@@ -1,0 +1,119 @@
+// Ablation C': context-swap cost (paper §4/§5: a blocked requester does
+// "either a context swap or a busy wait").
+//
+// Optimistic synchronization's benefit compounds with expensive blocking:
+// a successful speculation never blocks, so it never swaps. Sweeping the
+// per-swap cost under light contention shows the per-section
+// synchronization overhead gap widening between the optimistic and regular
+// protocols, while heavy contention (where the history disables
+// speculation) keeps them equal.
+#include <iostream>
+
+#include "core/optimistic_mutex.hpp"
+#include "dsm/system.hpp"
+#include "simkern/random.hpp"
+#include "stats/table.hpp"
+
+using namespace optsync;
+
+namespace {
+
+struct RunResult {
+  double avg_overhead_ns = 0;  ///< (request..release) - body, per section
+  std::uint64_t swaps = 0;
+  std::uint64_t speculations = 0;
+};
+
+RunResult run(bool optimistic, sim::Duration swap_ns,
+              sim::Duration think_mean_ns) {
+  constexpr std::size_t kNodes = 64;
+  constexpr int kSections = 20;
+  constexpr sim::Duration kBody = 4'000;
+
+  sim::Scheduler sched;
+  const auto topo = net::MeshTorus2D::near_square(kNodes);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  std::vector<net::NodeId> members;
+  for (net::NodeId i = 0; i < kNodes; ++i) members.push_back(i);
+  const auto g = sys.create_group(members, 0);
+  const auto lock = sys.define_lock("L", g);
+  const auto a = sys.define_mutex_data("a", g, lock, 0);
+
+  core::OptimisticMutex::Config cfg;
+  cfg.enable_optimistic = optimistic;
+  cfg.context_switch_ns = swap_ns;
+  core::OptimisticMutex mux(sys, lock, cfg);
+
+  sim::Duration total_overhead = 0;
+  std::vector<sim::Process> procs;
+  auto worker = [&](net::NodeId n) -> sim::Process {
+    sim::Rng rng(n * 131 + 7);
+    // Phase-stagger the starts so the first requests don't collide.
+    co_await sim::delay(sched,
+                        static_cast<sim::Duration>(n) * think_mean_ns / 8);
+    for (int k = 0; k < kSections; ++k) {
+      co_await sim::delay(
+          sched, static_cast<sim::Duration>(
+                     rng.exponential(static_cast<double>(think_mean_ns))));
+      const sim::Time entered = sched.now();
+      core::Section sec;
+      sec.shared_writes = {a};
+      sec.body = [&sys, &sched, a](dsm::DsmNode& nd) -> sim::Process {
+        const auto v = nd.read(a);
+        co_await sim::delay(sched, kBody);
+        nd.write(a, v + 1);
+      };
+      co_await mux.execute(n, std::move(sec)).join();
+      total_overhead += sched.now() - entered - kBody;
+    }
+  };
+  for (net::NodeId n = 0; n < kNodes; ++n) procs.push_back(worker(n));
+  sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  if (sys.node(0).read(a) != static_cast<dsm::Word>(kNodes) * kSections) {
+    std::cerr << "MUTUAL EXCLUSION VIOLATION\n";
+    std::exit(1);
+  }
+  RunResult res;
+  res.avg_overhead_ns = static_cast<double>(total_overhead) /
+                        (static_cast<double>(kNodes) * kSections);
+  res.swaps = mux.stats().context_switches;
+  res.speculations = mux.stats().optimistic_attempts;
+  return res;
+}
+
+void sweep(const char* label, sim::Duration think_mean_ns) {
+  std::cout << "--- " << label << " (mean think "
+            << sim::format_time(think_mean_ns) << ") ---\n";
+  stats::Table table({"swap cost", "opt overhead/section",
+                      "reg overhead/section", "reg/opt", "opt swaps",
+                      "reg swaps", "speculations"});
+  for (const sim::Duration swap : {0ull, 1'000ull, 5'000ull, 20'000ull}) {
+    const auto opt = run(true, swap, think_mean_ns);
+    const auto reg = run(false, swap, think_mean_ns);
+    table.add_row(
+        {sim::format_time(swap),
+         sim::format_time(static_cast<sim::Time>(opt.avg_overhead_ns)),
+         sim::format_time(static_cast<sim::Time>(reg.avg_overhead_ns)),
+         stats::Table::num(reg.avg_overhead_ns /
+                           std::max(opt.avg_overhead_ns, 1.0)),
+         std::to_string(opt.swaps), std::to_string(reg.swaps),
+         std::to_string(opt.speculations)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: context-swap cost (64 CPUs, 4us sections)\n\n";
+  sweep("light contention", 4'000'000);   // lock ~2% utilized
+  sweep("heavy contention", 100'000);     // lock oversubscribed
+  std::cout << "Light contention: speculation hides the grant entirely, so\n"
+               "the optimistic protocol pays neither the wait nor the swap.\n"
+               "Heavy contention: the usage history disables speculation and\n"
+               "both protocols queue (and swap) identically — optimism never\n"
+               "hurts.\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark): substrate costs and the group-size /
+// topology ablation (DESIGN.md ablation C).
+#include <benchmark/benchmark.h>
+
+#include "core/optimistic_mutex.hpp"
+#include "dsm/system.hpp"
+#include "net/spanning_tree.hpp"
+#include "simkern/random.hpp"
+#include "simkern/scheduler.hpp"
+#include "sync/gwc_lock.hpp"
+#include "workloads/counter.hpp"
+#include "workloads/scenario_fig7.hpp"
+
+namespace {
+
+using namespace optsync;
+
+// ----------------------------------------------------------- simkern -----
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sched.after(static_cast<sim::Duration>(i % 97), [&fired] { ++fired; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 256; ++i) {
+      q.push(static_cast<sim::Time>((i * 37) % 101), [] {});
+    }
+    while (!q.empty()) {
+      auto e = q.pop();
+      benchmark::DoNotOptimize(e.id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_Rng(benchmark::State& state) {
+  sim::Rng rng(123);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Rng);
+
+// ------------------------------------------------------------ network ----
+
+void BM_SpanningTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto topo = net::MeshTorus2D::near_square(n);
+  std::vector<net::NodeId> members;
+  for (net::NodeId i = 0; i < n; ++i) members.push_back(i);
+  for (auto _ : state) {
+    net::SpanningTree tree(topo, members, 0);
+    benchmark::DoNotOptimize(tree.radius_hops());
+  }
+}
+BENCHMARK(BM_SpanningTreeBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+sim::Process one_grant_cycle(sync::GwcQueueLock& lock, net::NodeId who) {
+  co_await lock.acquire(who).join();
+  lock.release(who);
+}
+
+// Group-size ablation: simulated grant latency + multicast cost as the
+// sharing group grows (one full request/grant/release cycle, idle lock).
+void BM_GwcGrantCycle_GroupSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto topo = net::MeshTorus2D::near_square(n);
+  // Farthest node from root 0 on a torus is the wrap-around midpoint —
+  // NOT node n-1, which is diagonal-adjacent to 0.
+  const auto far = static_cast<net::NodeId>(
+      (topo.rows() / 2) * topo.cols() + topo.cols() / 2);
+  std::uint64_t grant_ns_total = 0;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+    std::vector<net::NodeId> members;
+    for (net::NodeId i = 0; i < n; ++i) members.push_back(i);
+    const auto g = sys.create_group(members, 0);
+    const auto lockvar = sys.define_lock("L", g);
+    sync::GwcQueueLock lock(sys, lockvar);
+    auto proc = one_grant_cycle(lock, far);
+    sched.run();
+    proc.rethrow_if_failed();
+    grant_ns_total += lock.stats().total_wait_ns;
+    ++cycles;
+  }
+  state.counters["sim_grant_ns"] =
+      benchmark::Counter(static_cast<double>(grant_ns_total) /
+                         static_cast<double>(cycles));
+}
+BENCHMARK(BM_GwcGrantCycle_GroupSize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------- optimistic ---
+
+// Host-side cost of running one full optimistic execution in the simulator
+// (includes journal save/restore bookkeeping).
+void BM_OptimisticExecute(benchmark::State& state) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+    std::vector<net::NodeId> members;
+    for (net::NodeId i = 0; i < 8; ++i) members.push_back(i);
+    const auto g = sys.create_group(members, 0);
+    const auto lockvar = sys.define_lock("L", g);
+    const auto a = sys.define_mutex_data("a", g, lockvar);
+    core::OptimisticMutex mux(sys, lockvar, core::OptimisticMutex::Config{});
+    core::Section sec;
+    sec.shared_writes = {a};
+    sec.body = [&sched, a](dsm::DsmNode& nd) -> sim::Process {
+      const auto v = nd.read(a);
+      co_await sim::delay(sched, 500);
+      nd.write(a, v + 1);
+    };
+    auto proc = mux.execute(3, sec);
+    sched.run();
+    proc.rethrow_if_failed();
+    benchmark::DoNotOptimize(sys.node(0).read(a));
+  }
+}
+BENCHMARK(BM_OptimisticExecute);
+
+// Full Fig. 7 rollback interaction per iteration: measures the host cost of
+// the heaviest protocol path (speculate, interrupt, rollback, retry).
+void BM_RollbackInteraction(benchmark::State& state) {
+  workloads::Fig7Params p;
+  for (auto _ : state) {
+    const auto res = workloads::run_scenario_fig7(p);
+    if (res.final_a != res.expected_a) state.SkipWithError("wrong result");
+    benchmark::DoNotOptimize(res.rollbacks);
+  }
+}
+BENCHMARK(BM_RollbackInteraction);
+
+// Host throughput of the counter workload (whole simulation per iteration).
+void BM_CounterWorkload(benchmark::State& state) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  workloads::CounterParams p;
+  p.increments_per_node = 10;
+  for (auto _ : state) {
+    const auto res =
+        run_counter(workloads::CounterMethod::kOptimisticGwc, p, topo);
+    if (res.final_count != res.expected_count) {
+      state.SkipWithError("mutual exclusion violation");
+    }
+    benchmark::DoNotOptimize(res.elapsed);
+  }
+}
+BENCHMARK(BM_CounterWorkload);
+
+}  // namespace
+
+BENCHMARK_MAIN();

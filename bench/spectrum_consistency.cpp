@@ -1,0 +1,59 @@
+// §1.2 reproduction: the consistency-model spectrum as write-burst cost.
+//
+// Each of N processors issues 64 shared writes (200 ns apart) and hits a
+// synchronization point. The paper's survey, quantified:
+//   * sequential consistency is "inefficient even for two processors"
+//     (every write stalls a full observation round trip);
+//   * processor consistency pipelines through a store buffer;
+//   * total store ordering funnels every write in the system through one
+//     arbitrator — "not viable for large distributed memories": its stall
+//     grows with N while everyone else's stays flat;
+//   * partial store ordering relaxes the buffer;
+//   * weak/release consistency defers everything to the sync point;
+//   * group write consistency never stalls and owes nothing at the sync
+//     point — ordering, not completion, is the guarantee.
+#include <iostream>
+
+#include "consistency/spectrum.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace optsync;
+  using consistency::Model;
+
+  consistency::SpectrumParams params;
+
+  std::cout << "Consistency spectrum: " << params.writes_per_node
+            << " shared writes per CPU + one sync point\n"
+            << "(mesh torus, per-write stall / sync stall / total, in us)\n\n";
+
+  const Model models[] = {Model::kSequential,   Model::kProcessor,
+                          Model::kTotalStore,   Model::kPartialStore,
+                          Model::kWeakRelease,  Model::kGroupWrite};
+
+  for (const std::size_t n : {4, 16, 64}) {
+    const auto topo = net::MeshTorus2D::near_square(n);
+    std::cout << "--- " << n << " CPUs ---\n";
+    stats::Table table({"model", "write stall", "sync stall", "elapsed",
+                        "messages"});
+    consistency::SpectrumParams p = params;
+    p.nodes = n;
+    for (const Model m : models) {
+      const auto res = run_spectrum(m, p, topo);
+      table.add_row({model_name(m),
+                     sim::format_time(static_cast<sim::Time>(
+                         res.avg_write_stall_ns)),
+                     sim::format_time(static_cast<sim::Time>(
+                         res.avg_sync_stall_ns)),
+                     sim::format_time(res.elapsed),
+                     std::to_string(res.messages)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "paper (§1.2): SC worst everywhere; TSO's central arbitrator\n"
+               "degrades with size; GWC pays with messages, never with"
+               " stalls.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Adaptive locking: the usage-frequency history in action (paper §4).
+//
+// A node alternates between a quiet phase (it is effectively the lock's only
+// user) and a contended phase (all 8 nodes hammer the same lock). The EWMA
+// history (old = 0.95*old + 0.05*new, threshold 0.30) makes the quiet phase
+// run optimistically and the contended phase fall back to regular requests —
+// "this method does not add any network traffic when the lock is heavily
+// contended".
+#include <iostream>
+
+#include "stats/table.hpp"
+#include "workloads/counter.hpp"
+
+int main() {
+  using namespace optsync;
+  const auto topo = net::MeshTorus2D::near_square(8);
+
+  stats::Table table({"phase", "think time", "opt attempts", "rollbacks",
+                      "regular paths", "sections/ms"});
+
+  struct Phase {
+    const char* name;
+    sim::Duration think;
+  };
+  for (const auto& phase : {Phase{"quiet", 500'000},
+                            Phase{"contended", 3'000},
+                            Phase{"quiet again", 500'000}}) {
+    workloads::CounterParams p;
+    p.increments_per_node = 50;
+    p.think_mean_ns = phase.think;
+    const auto res =
+        run_counter(workloads::CounterMethod::kOptimisticGwc, p, topo);
+    if (res.final_count != res.expected_count) {
+      std::cerr << "mutual exclusion violated!\n";
+      return 1;
+    }
+    table.add_row({phase.name, sim::format_time(phase.think),
+                   std::to_string(res.optimistic_attempts),
+                   std::to_string(res.rollbacks),
+                   std::to_string(res.regular_paths),
+                   stats::Table::num(res.sections_per_ms)});
+  }
+  table.print(std::cout);
+  std::cout << "\nUnder contention the history estimate crosses the 0.30\n"
+               "threshold and requests switch to the regular path, so\n"
+               "speculation (and its rollback risk) disappears exactly when\n"
+               "it would be wasted.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Iterative (Jacobi-style) solver on eagersharing: bulk-synchronous rounds
+// with ZERO lock traffic.
+//
+// Each of 16 processors owns one strip of a 1-D diffusion problem. Per
+// round it:
+//   1. publishes its boundary values via a single-writer PublishedRecord
+//      (the §2 reader/writer idiom — no mutex needed),
+//   2. crosses an EagerBarrier (one eagershared write per node per round),
+//   3. reads its neighbors' boundaries from LOCAL memory (eagersharing
+//      already delivered them) and relaxes its strip.
+//
+// Demonstrates the paper's broader claim: with GWC ordering, most
+// synchronization penalties vanish when writers are unique.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/publication.hpp"
+#include "dsm/system.hpp"
+#include "sync/barrier.hpp"
+
+using namespace optsync;
+
+namespace {
+
+constexpr std::size_t kNodes = 16;
+constexpr std::size_t kCells = 8;  // cells per strip
+constexpr int kRounds = 24;
+constexpr sim::Duration kComputePerCell = 300;  // ~10 flops at 33 MFLOPS
+
+struct Solver {
+  sim::Scheduler sched;
+  net::MeshTorus2D topo = net::MeshTorus2D::near_square(kNodes);
+  std::unique_ptr<dsm::DsmSystem> sys;
+  dsm::GroupId g = 0;
+  std::unique_ptr<sync::EagerBarrier> barrier;
+  // boundary[i] publishes {left_cell, right_cell} of node i's strip.
+  std::vector<std::unique_ptr<core::PublishedRecord>> boundary;
+  // Local (unshared) strips, fixed-point values scaled by 1000.
+  std::vector<std::vector<dsm::Word>> strip =
+      std::vector<std::vector<dsm::Word>>(kNodes,
+                                          std::vector<dsm::Word>(kCells, 0));
+};
+
+sim::Process node_main(Solver& s, dsm::NodeId me) {
+  auto& strip = s.strip[me];
+  for (int round = 0; round < kRounds; ++round) {
+    // 1. publish boundary cells (single writer: no lock).
+    s.boundary[me]->publish({strip.front(), strip.back()});
+
+    // 2. synchronize the round.
+    co_await s.barrier->wait(me).join();
+
+    // 3. neighbors' boundaries are already local; relax.
+    const auto left = static_cast<dsm::NodeId>((me + kNodes - 1) % kNodes);
+    const auto right = static_cast<dsm::NodeId>((me + 1) % kNodes);
+    const auto lb = s.boundary[left]->try_read(me);
+    const auto rb = s.boundary[right]->try_read(me);
+    const dsm::Word left_ghost = lb ? (*lb)[1] : 0;    // their right cell
+    const dsm::Word right_ghost = rb ? (*rb)[0] : 0;   // their left cell
+
+    std::vector<dsm::Word> next(kCells);
+    for (std::size_t c = 0; c < kCells; ++c) {
+      const dsm::Word lv = c == 0 ? left_ghost : strip[c - 1];
+      const dsm::Word rv = c + 1 == kCells ? right_ghost : strip[c + 1];
+      dsm::Word self = strip[c];
+      // Heat source on node 0, cell 0.
+      if (me == 0 && c == 0) self = 1'000'000;
+      next[c] = (lv + rv + 2 * self) / 4;
+    }
+    strip = std::move(next);
+    co_await sim::delay(s.sched, kComputePerCell * kCells);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Solver s;
+  s.sys = std::make_unique<dsm::DsmSystem>(s.sched, s.topo, dsm::DsmConfig{});
+  std::vector<dsm::NodeId> members;
+  for (dsm::NodeId i = 0; i < kNodes; ++i) members.push_back(i);
+  s.g = s.sys->create_group(members, 0);
+  s.barrier = std::make_unique<sync::EagerBarrier>(*s.sys, s.g, "round");
+  for (dsm::NodeId i = 0; i < kNodes; ++i) {
+    s.boundary.push_back(std::make_unique<core::PublishedRecord>(
+        *s.sys, s.g, "b" + std::to_string(i), 2, i));
+  }
+
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId i = 0; i < kNodes; ++i) procs.push_back(node_main(s, i));
+  s.sched.run();
+  for (const auto& p : procs) p.rethrow_if_failed();
+
+  std::cout << "heat after " << kRounds << " rounds (node strip averages):\n";
+  for (dsm::NodeId i = 0; i < kNodes; ++i) {
+    dsm::Word sum = 0;
+    for (const auto v : s.strip[i]) sum += v;
+    std::printf("  node %2u: %8.3f\n", i,
+                static_cast<double>(sum) / kCells / 1000.0);
+  }
+
+  std::cout << "\nsimulated time: " << sim::format_time(s.sched.now())
+            << "\nmessages:       " << s.sys->network().stats().messages
+            << "  (0 lock messages: publication + barrier only)\n"
+            << "barrier rounds:  " << s.barrier->stats().episodes / kNodes
+            << "\n";
+  return 0;
+}

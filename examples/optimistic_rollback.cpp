@@ -1,0 +1,33 @@
+// Optimistic rollback, observed at message level — the paper's Figure 7
+// walkthrough with commentary.
+#include <iostream>
+
+#include "workloads/scenario_fig7.hpp"
+
+int main() {
+  using namespace optsync;
+
+  workloads::Fig7Params params;
+  params.nodes = 8;
+  params.far_section_ns = 2'000;
+
+  std::cout
+      << "Two processors race for one lock. The one far from the group root\n"
+         "speculates and loses; watch the mechanisms fire:\n"
+         "  1. both send non-blocking lock requests and keep computing,\n"
+         "  2. the root grants the nearer request, queues the other,\n"
+         "  3. the loser's interrupt suspends insharing and triggers a\n"
+         "     rollback; its in-flight speculative update is dropped at the\n"
+         "     root (it is not the holder),\n"
+         "  4. the queued grant arrives, the section re-runs with valid\n"
+         "     values, and every node converges on the same state.\n\n";
+
+  const auto res = run_scenario_fig7(params);
+  std::cout << res.trace << "\n";
+
+  std::cout << "outcome: a = " << res.final_a << " (serial result "
+            << res.expected_a << "), " << res.rollbacks << " rollback, "
+            << res.speculative_drops
+            << " speculative write(s) suppressed at the root\n";
+  return res.final_a == res.expected_a ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Pipeline stages: the paper's Figure 8 example at a couple of sizes,
+// showing how much of the lock round trip optimistic synchronization hides.
+#include <iostream>
+
+#include "stats/table.hpp"
+#include "workloads/pipeline.hpp"
+
+int main() {
+  using namespace optsync;
+  using workloads::PipelineMethod;
+
+  workloads::PipelineParams params;
+  params.data_items = 256;
+
+  std::cout << "Pipeline of " << params.data_items
+            << " data items; one uncontended mutex per hop\n"
+            << "(mutex compute : local compute = 1 : "
+            << static_cast<int>(1.0 / params.mutex_ratio + 0.5) << ")\n\n";
+
+  stats::Table table(
+      {"CPUs", "method", "network power", "efficiency", "rollbacks"});
+  for (const std::size_t n : {4, 32}) {
+    const auto topo = net::MeshTorus2D::near_square(n);
+    struct Row {
+      PipelineMethod m;
+      const char* name;
+    };
+    for (const auto& [m, name] :
+         {Row{PipelineMethod::kOptimistic, "optimistic GWC"},
+          Row{PipelineMethod::kRegular, "regular GWC"},
+          Row{PipelineMethod::kEntry, "entry consistency"}}) {
+      const auto res = run_pipeline(m, params, topo);
+      table.add_row({std::to_string(n), name,
+                     stats::Table::num(res.network_power),
+                     stats::Table::num(res.avg_efficiency),
+                     std::to_string(res.rollbacks)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNo contention ever occurs, so optimistic locking never"
+               " rolls back here:\nits whole gain is the hidden lock"
+               " round trip.\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "consistency/entry.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::consistency {
+
+EntryEngine::EntryEngine(net::Network& net, Config cfg)
+    : net_(&net), cfg_(cfg) {}
+
+EntryEngine::LockId EntryEngine::create_lock(net::NodeId initial_owner,
+                                             std::uint32_t data_bytes) {
+  OPTSYNC_EXPECT(initial_owner < net_->topology().size());
+  const auto id = static_cast<LockId>(locks_.size());
+  Lock lk;
+  lk.owner = initial_owner;
+  lk.data_bytes = data_bytes;
+  locks_.push_back(std::move(lk));
+  return id;
+}
+
+EntryEngine::Lock& EntryEngine::lock(LockId l) {
+  OPTSYNC_EXPECT(l < locks_.size());
+  return locks_[l];
+}
+
+net::NodeId EntryEngine::owner(LockId l) const {
+  OPTSYNC_EXPECT(l < locks_.size());
+  return locks_[l].owner;
+}
+
+bool EntryEngine::busy(LockId l) const {
+  OPTSYNC_EXPECT(l < locks_.size());
+  return locks_[l].busy;
+}
+
+void EntryEngine::add_reader(LockId l, net::NodeId n) {
+  lock(l).readers.insert(n);
+}
+
+sim::Signal& EntryEngine::invalidation_signal(net::NodeId n) {
+  auto& slot = inval_signals_[n];
+  if (!slot) slot = std::make_unique<sim::Signal>(net_->scheduler());
+  return *slot;
+}
+
+sim::Process EntryEngine::acquire(net::NodeId n, LockId l) {
+  auto& sched = net_->scheduler();
+  Lock& L = lock(l);
+  ++stats_.acquisitions;
+
+  // Owner re-entering an idle lock: permission is granted locally. Readers
+  // must still be invalidated before exclusive mode (Fig. 1b: "Before CPU1
+  // is given permission, the lock owner sends an invalidation to the
+  // processors holding the data in non-exclusive mode").
+  if (L.owner == n && !L.busy && !L.transferring && L.queue.empty()) {
+    ++stats_.local_grants;
+    L.busy = true;  // reserve now so a concurrent remote request queues
+                    // behind us instead of racing the invalidation round
+    if (!L.readers.empty()) {
+      ++stats_.invalidations;
+      sim::Signal done(sched);
+      std::size_t pending = L.readers.size();
+      for (const net::NodeId r : L.readers) {
+        net_->send(n, r, cfg_.ctrl_bytes, "ec-inval", [this, n, r, &pending,
+                                                       &done] {
+          invalidation_signal(r).notify_all();
+          net_->send(r, n, cfg_.ctrl_bytes, "ec-inval-ack", [&pending, &done] {
+            if (--pending == 0) done.notify_all();
+          });
+        });
+      }
+      while (pending != 0) co_await done.wait();
+      L.readers.clear();
+    }
+    co_await sim::delay(sched, cfg_.local_op_ns);
+    co_return;
+  }
+
+  // Remote acquisition: the request reaches the owner (directly under the
+  // perfect-guess model, via the manager under the directory scheme), gets
+  // queued there, and completes when data+grant arrive here.
+  bool granted = false;
+  sim::Signal wake(sched);
+  L.queue.push_back(Waiter{n, [&granted, &wake] {
+                             granted = true;
+                             wake.notify_all();
+                           }});
+  if (cfg_.route_via_manager && cfg_.manager != n) {
+    net_->send(n, cfg_.manager, cfg_.ctrl_bytes, "ec-req", [this, l] {
+      Lock& lk = lock(l);
+      net_->send(cfg_.manager, lk.owner, cfg_.ctrl_bytes, "ec-fwd",
+                 [this, l] { pump(l); });
+    });
+  } else {
+    net_->send(n, L.owner, cfg_.ctrl_bytes, "ec-req", [this, l] { pump(l); });
+  }
+  while (!granted) co_await wake.wait();
+}
+
+void EntryEngine::release(net::NodeId n, LockId l) {
+  Lock& L = lock(l);
+  OPTSYNC_EXPECT(L.owner == n);
+  OPTSYNC_EXPECT(L.busy);
+  // "All releases in entry consistency are local."
+  L.busy = false;
+  pump(l);
+}
+
+void EntryEngine::pump(LockId l) {
+  Lock& L = lock(l);
+  if (L.busy || L.transferring || L.queue.empty()) return;
+  start_transfer(l);
+}
+
+void EntryEngine::start_transfer(LockId l) {
+  Lock& L = lock(l);
+  L.transferring = true;
+  const net::NodeId from = L.owner;
+
+  if (L.readers.empty()) {
+    send_data_grant(l, from);
+    return;
+  }
+  // Invalidation round trip to every non-exclusive holder, then transfer.
+  ++stats_.invalidations;
+  L.pending_acks = L.readers.size();
+  for (const net::NodeId r : L.readers) {
+    net_->send(from, r, cfg_.ctrl_bytes, "ec-inval", [this, l, from, r] {
+      invalidation_signal(r).notify_all();
+      net_->send(r, from, cfg_.ctrl_bytes, "ec-inval-ack", [this, l, from] {
+        Lock& lk = lock(l);
+        if (--lk.pending_acks == 0) {
+          lk.readers.clear();
+          send_data_grant(l, from);
+        }
+      });
+    });
+  }
+}
+
+void EntryEngine::send_data_grant(LockId l, net::NodeId from) {
+  Lock& L = lock(l);
+  OPTSYNC_ENSURE(!L.queue.empty());
+  const net::NodeId to = L.queue.front().node;
+  ++stats_.transfers;
+  // The grant carries the guarded data ("extra time to send the data just
+  // before each lock").
+  net_->send(from, to, cfg_.ctrl_bytes + L.data_bytes, "ec-grant",
+             [this, l, to] {
+               Lock& lk = lock(l);
+               lk.owner = to;
+               lk.busy = true;
+               lk.transferring = false;
+               Waiter w = std::move(lk.queue.front());
+               lk.queue.pop_front();
+               w.grant();
+             });
+}
+
+sim::Process EntryEngine::read_nonexclusive(net::NodeId n, LockId l,
+                                            std::uint32_t value_bytes) {
+  auto& sched = net_->scheduler();
+  Lock& L = lock(l);
+  if (L.owner == n) {
+    co_await sim::delay(sched, cfg_.local_op_ns);
+    co_return;
+  }
+  if (cfg_.cache_reads && L.readers.contains(n)) {
+    ++stats_.cached_reads;
+    co_await sim::delay(sched, cfg_.local_op_ns);
+    co_return;
+  }
+  // Demand-fetch round trip to the current owner.
+  ++stats_.demand_fetches;
+  bool done = false;
+  sim::Signal wake(sched);
+  net_->send(n, L.owner, cfg_.ctrl_bytes, "ec-fetch",
+             [this, l, n, value_bytes, &done, &wake] {
+               Lock& lk = lock(l);
+               net_->send(lk.owner, n, cfg_.ctrl_bytes + value_bytes,
+                          "ec-data", [&done, &wake] {
+                            done = true;
+                            wake.notify_all();
+                          });
+               lk.readers.insert(n);
+             });
+  while (!done) co_await wake.wait();
+}
+
+}  // namespace optsync::consistency

@@ -1,0 +1,117 @@
+// Entry consistency baseline (Midway-style, paper [2] and §3/Fig. 1b).
+//
+// Data is associated with a guard lock and moves with it: the grant message
+// carries the guarded data, exclusive-mode entry invalidates non-exclusive
+// copies, releases are purely local, and data NOT covered by a held guard is
+// demand-fetched. Per the paper's §3.1 we model the "fast version of entry
+// consistency, which is assumed always to know the lock owner, so no time is
+// ever lost in relaying requests to find the lock owner".
+//
+// The engine is a timed centralized model of the distributed protocol: it
+// charges every message the real pattern would send (requests, invalidations
+// and their acks, data+grant transfers, demand-fetch round trips) but keeps
+// its bookkeeping in one place. The GWC substrate, by contrast, is fully
+// distributed — that asymmetry only favors the baseline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::consistency {
+
+class EntryEngine {
+ public:
+  using LockId = std::uint32_t;
+
+  struct Config {
+    std::uint32_t ctrl_bytes = 16;     ///< request/grant/invalidation size
+    sim::Duration local_op_ns = 50;    ///< local lock bookkeeping cost
+    bool cache_reads = false;  ///< non-exclusive reads stay valid until the
+                               ///< next exclusive transfer (vs. refetching)
+    /// Remote requests route through a fixed manager node that tracks the
+    /// owner (the distributed-directory scheme of [5]) instead of going
+    /// straight to the owner ("fast version", §3.1). Costs one extra
+    /// manager-to-owner leg per remote acquire.
+    bool route_via_manager = false;
+    net::NodeId manager = 0;
+  };
+
+  EntryEngine(net::Network& net, Config cfg);
+  explicit EntryEngine(net::Network& net) : EntryEngine(net, Config{}) {}
+  EntryEngine(const EntryEngine&) = delete;
+  EntryEngine& operator=(const EntryEngine&) = delete;
+
+  /// Creates a guard lock whose data section is `data_bytes` long.
+  LockId create_lock(net::NodeId initial_owner, std::uint32_t data_bytes);
+
+  /// Acquires in exclusive mode; completes when data+grant arrive.
+  /// Use as: co_await ec.acquire(n, l).join();
+  sim::Process acquire(net::NodeId n, LockId l);
+
+  /// Local release; triggers the transfer to the next queued waiter.
+  void release(net::NodeId n, LockId l);
+
+  /// Reads guarded data in non-exclusive mode: a demand-fetch round trip to
+  /// the owner (unless cached), registering `n` for invalidation.
+  /// `value_bytes` is the payload returned (8 = one word).
+  sim::Process read_nonexclusive(net::NodeId n, LockId l,
+                                 std::uint32_t value_bytes = 8);
+
+  [[nodiscard]] net::NodeId owner(LockId l) const;
+  [[nodiscard]] bool busy(LockId l) const;
+
+  /// Notified when an invalidation arrives at node `n` — a non-exclusive
+  /// reader's cue that the guarded data changed and must be refetched.
+  sim::Signal& invalidation_signal(net::NodeId n);
+
+  /// Registers `n` as holding the guarded data in non-exclusive mode
+  /// without charging a fetch — scenario setup only.
+  void add_reader(LockId l, net::NodeId n);
+
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t local_grants = 0;   ///< owner re-acquired without transfer
+    std::uint64_t transfers = 0;      ///< ownership moves (data shipped)
+    std::uint64_t invalidations = 0;  ///< invalidation rounds
+    std::uint64_t demand_fetches = 0;
+    std::uint64_t cached_reads = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Waiter {
+    net::NodeId node;
+    std::function<void()> grant;
+  };
+  struct Lock {
+    net::NodeId owner = 0;
+    std::uint32_t data_bytes = 0;
+    bool busy = false;
+    bool transferring = false;
+    std::deque<Waiter> queue;
+    std::unordered_set<net::NodeId> readers;
+    std::size_t pending_acks = 0;
+  };
+
+  /// Starts the next ownership transfer if one is due.
+  void pump(LockId l);
+  void start_transfer(LockId l);
+  void send_data_grant(LockId l, net::NodeId from);
+  Lock& lock(LockId l);
+
+  net::Network* net_;
+  Config cfg_;
+  std::vector<Lock> locks_;
+  std::unordered_map<net::NodeId, std::unique_ptr<sim::Signal>> inval_signals_;
+  Stats stats_;
+};
+
+}  // namespace optsync::consistency

@@ -1,0 +1,127 @@
+#include "consistency/release.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::consistency {
+
+ReleaseEngine::ReleaseEngine(net::Network& net,
+                             std::vector<net::NodeId> sharers, Config cfg)
+    : net_(&net), sharers_(std::move(sharers)), cfg_(cfg) {
+  OPTSYNC_EXPECT(!sharers_.empty());
+}
+
+ReleaseEngine::LockId ReleaseEngine::create_lock(net::NodeId manager) {
+  OPTSYNC_EXPECT(manager < net_->topology().size());
+  const auto id = static_cast<LockId>(locks_.size());
+  Lock lk;
+  lk.manager = manager;
+  lk.owner = manager;
+  locks_.push_back(std::move(lk));
+  return id;
+}
+
+ReleaseEngine::Lock& ReleaseEngine::lock(LockId l) {
+  OPTSYNC_EXPECT(l < locks_.size());
+  return locks_[l];
+}
+
+net::NodeId ReleaseEngine::holder(LockId l) const {
+  OPTSYNC_EXPECT(l < locks_.size());
+  return locks_[l].holder;
+}
+
+sim::Process ReleaseEngine::acquire(net::NodeId n, LockId l) {
+  auto& sched = net_->scheduler();
+  Lock& L = lock(l);
+  ++stats_.acquisitions;
+
+  bool granted = false;
+  sim::Signal wake(sched);
+  auto notify = [&granted, &wake] {
+    granted = true;
+    wake.notify_all();
+  };
+
+  // Request travels to the manager, which forwards it to the token's
+  // current location; the grant (or the queueing) happens there.
+  net_->send(n, L.manager, cfg_.ctrl_bytes, "rc-req", [this, l, n,
+                                                       notify]() mutable {
+    Lock& lk = lock(l);
+    const net::NodeId at = lk.owner;
+    ++stats_.forwards;
+    net_->send(lk.manager, at, cfg_.ctrl_bytes, "rc-fwd",
+               [this, l, n, notify]() mutable {
+                 Lock& k = lock(l);
+                 if (k.holder == kNone && k.queue.empty()) {
+                   // Free: grant travels from the token holder to n.
+                   k.holder = n;  // reserve
+                   net_->send(k.owner, n, cfg_.ctrl_bytes, "rc-grant",
+                              [this, l, n, notify]() mutable {
+                                Lock& kk = lock(l);
+                                kk.owner = n;
+                                notify();
+                              });
+                 } else {
+                   k.queue.push_back(Waiter{n, std::move(notify)});
+                 }
+               });
+  });
+
+  while (!granted) co_await wake.wait();
+  co_await sim::delay(sched, cfg_.local_op_ns);
+}
+
+void ReleaseEngine::write_shared(net::NodeId n, LockId l,
+                                 std::uint32_t count) {
+  Lock& L = lock(l);
+  OPTSYNC_EXPECT(L.holder == n);
+  L.dirty_updates += count;
+  stats_.update_packets +=
+      count * static_cast<std::uint64_t>(sharers_.size() - 1);
+}
+
+sim::Process ReleaseEngine::release(net::NodeId n, LockId l) {
+  auto& sched = net_->scheduler();
+  Lock& L = lock(l);
+  OPTSYNC_EXPECT(L.holder == n);
+  ++stats_.releases;
+
+  // The holder's pipelined updates must reach every sharer — and be
+  // acknowledged — before the release takes effect. Updates to distinct
+  // nodes travel in parallel; packets to the same node serialize on the
+  // outgoing link; the slowest ack closes the release.
+  if (L.dirty_updates > 0) {
+    sim::Duration flush = 0;
+    for (const net::NodeId m : sharers_) {
+      if (m == n) continue;
+      const sim::Duration serialize =
+          static_cast<sim::Duration>(L.dirty_updates) *
+          net_->link().ns_per_byte * cfg_.update_bytes;
+      const sim::Duration ack = net_->latency(m, n, cfg_.ctrl_bytes);
+      flush = std::max(flush, serialize + net_->latency(n, m, 0) + ack);
+    }
+    L.dirty_updates = 0;
+    co_await sim::delay(sched, flush);
+  }
+
+  L.holder = kNone;
+  grant_next(l, n);
+}
+
+void ReleaseEngine::grant_next(LockId l, net::NodeId from) {
+  Lock& L = lock(l);
+  if (L.queue.empty()) return;
+  Waiter w = std::move(L.queue.front());
+  L.queue.pop_front();
+  L.holder = w.node;  // reserve
+  net_->send(from, w.node, cfg_.ctrl_bytes, "rc-grant",
+             [this, l, w = std::move(w)]() mutable {
+               Lock& k = lock(l);
+               k.owner = w.node;
+               w.grant();
+             });
+}
+
+}  // namespace optsync::consistency

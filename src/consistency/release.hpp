@@ -1,0 +1,95 @@
+// Weak / release consistency baseline (paper [3], [6] and §3/Fig. 1c).
+//
+// Shared data is eagerly updated (cache-update style) so reads are local,
+// but consistency is only enforced at synchronization points: a holder's
+// release is blocked until all its pipelined updates have reached every
+// node. Lock location follows the classical manager+owner scheme ("This
+// method may need three one-way messages to get a lock [5]": requester ->
+// manager -> current owner -> grant to requester).
+//
+// Weak and release consistency behave identically for the paper's workloads
+// ("Weak and release consistency behave the same since each processor locks,
+// reads or updates, and releases only once"), so one engine serves both.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::consistency {
+
+class ReleaseEngine {
+ public:
+  using LockId = std::uint32_t;
+
+  struct Config {
+    std::uint32_t ctrl_bytes = 16;
+    std::uint32_t update_bytes = 16;  ///< one shared-variable update packet
+    sim::Duration local_op_ns = 50;
+  };
+
+  /// `sharers` are the nodes holding copies of the data guarded by locks of
+  /// this engine — a release must wait for updates to reach all of them.
+  ReleaseEngine(net::Network& net, std::vector<net::NodeId> sharers,
+                Config cfg);
+  ReleaseEngine(net::Network& net, std::vector<net::NodeId> sharers)
+      : ReleaseEngine(net, std::move(sharers), Config{}) {}
+  ReleaseEngine(const ReleaseEngine&) = delete;
+  ReleaseEngine& operator=(const ReleaseEngine&) = delete;
+
+  /// Creates a lock managed by (and initially owned by) `manager`.
+  LockId create_lock(net::NodeId manager);
+
+  /// Acquires the lock: request -> manager -> owner -> grant (up to three
+  /// one-way messages). Use as: co_await rc.acquire(n, l).join();
+  sim::Process acquire(net::NodeId n, LockId l);
+
+  /// Records `count` pipelined shared writes by the holder; their
+  /// propagation cost is charged at release time.
+  void write_shared(net::NodeId n, LockId l, std::uint32_t count = 1);
+
+  /// Releases the lock. The release completes — and the next waiter can be
+  /// granted — only after the holder's updates reach all sharers
+  /// (Fig. 1c: "lock release to CPU3 is blocked until the updates reach
+  /// all nodes"). Returns a Process so callers can await the completion.
+  sim::Process release(net::NodeId n, LockId l);
+
+  [[nodiscard]] net::NodeId holder(LockId l) const;
+
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t forwards = 0;  ///< manager-to-owner forwarding messages
+    std::uint64_t releases = 0;
+    std::uint64_t update_packets = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Waiter {
+    net::NodeId node;
+    std::function<void()> grant;
+  };
+  struct Lock {
+    net::NodeId manager = 0;
+    net::NodeId owner = 0;       ///< last grantee (where the token lives)
+    net::NodeId holder = kNone;  ///< kNone when free
+    std::uint32_t dirty_updates = 0;
+    std::deque<Waiter> queue;
+  };
+  static constexpr net::NodeId kNone = ~net::NodeId{0};
+
+  void grant_next(LockId l, net::NodeId from);
+  Lock& lock(LockId l);
+
+  net::Network* net_;
+  std::vector<net::NodeId> sharers_;
+  Config cfg_;
+  std::vector<Lock> locks_;
+  Stats stats_;
+};
+
+}  // namespace optsync::consistency

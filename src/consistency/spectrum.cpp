@@ -1,0 +1,180 @@
+#include "consistency/spectrum.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/coro.hpp"
+#include "simkern/scheduler.hpp"
+
+namespace optsync::consistency {
+
+std::string model_name(Model m) {
+  switch (m) {
+    case Model::kSequential:
+      return "sequential";
+    case Model::kProcessor:
+      return "processor";
+    case Model::kTotalStore:
+      return "total store order";
+    case Model::kPartialStore:
+      return "partial store order";
+    case Model::kWeakRelease:
+      return "weak/release";
+    case Model::kGroupWrite:
+      return "group write (GWC)";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Shared {
+  const SpectrumParams* p;
+  const net::Topology* topo;
+  net::LinkModel link = net::LinkModel::paper();
+  sim::Scheduler* sched;
+  Model model;
+
+  sim::Time arbitrator_busy_until = 0;  ///< kTotalStore global queue
+  sim::Time root_busy_until = 0;        ///< kGroupWrite serial dispatch
+
+  sim::Duration total_write_stall = 0;
+  sim::Duration total_sync_stall = 0;
+  std::uint64_t messages = 0;
+  sim::Time finished_at = 0;
+
+  /// One-way latency from n to its farthest peer (write visibility bound).
+  [[nodiscard]] sim::Duration max_one_way(net::NodeId n) const {
+    sim::Duration worst = 0;
+    for (net::NodeId m = 0; m < topo->size(); ++m) {
+      if (m == n) continue;
+      worst = std::max(worst, link.delay(topo->hop_count(n, m),
+                                         p->update_bytes));
+    }
+    return worst;
+  }
+};
+
+sim::Process spectrum_node(Shared& sh, net::NodeId n) {
+  const auto& p = *sh.p;
+  auto& sched = *sh.sched;
+  const auto others = static_cast<std::uint64_t>(sh.topo->size() - 1);
+  const std::uint32_t buffer_depth =
+      sh.model == Model::kPartialStore ? p.store_buffer * 4 : p.store_buffer;
+
+  std::deque<sim::Time> outstanding;  // completion times, ascending
+
+  for (std::uint32_t w = 0; w < p.writes_per_node; ++w) {
+    co_await sim::delay(sched, p.gap_ns);
+
+    switch (sh.model) {
+      case Model::kSequential: {
+        // Round trip to the farthest observer before the next instruction.
+        const sim::Duration stall = 2 * sh.max_one_way(n);
+        sh.total_write_stall += stall;
+        sh.messages += 2 * others;  // update + ack per peer
+        co_await sim::delay(sched, stall);
+        break;
+      }
+      case Model::kProcessor:
+      case Model::kPartialStore:
+      case Model::kTotalStore: {
+        // Store buffer: stall only when full.
+        while (!outstanding.empty() && outstanding.front() <= sched.now()) {
+          outstanding.pop_front();
+        }
+        if (outstanding.size() >= buffer_depth) {
+          const sim::Duration stall = outstanding.front() - sched.now();
+          sh.total_write_stall += stall;
+          co_await sim::delay(sched, stall);
+          outstanding.pop_front();
+        }
+        sim::Time completion;
+        if (sh.model == Model::kTotalStore) {
+          // One global arbitrator serializes every write in the system —
+          // the paper's "centralized memory write arbitrator" bottleneck.
+          const sim::Time arrive =
+              sched.now() +
+              sh.link.delay(sh.topo->hop_count(n, p.hub), p.update_bytes);
+          const sim::Time start =
+              std::max(arrive, sh.arbitrator_busy_until);
+          sh.arbitrator_busy_until = start + p.arbitrator_service_ns;
+          completion = sh.arbitrator_busy_until + sh.max_one_way(p.hub);
+          sh.messages += 1 + others;  // to arbitrator + fan-out
+        } else {
+          completion = sched.now() + sh.max_one_way(n);
+          sh.messages += others;
+        }
+        outstanding.push_back(completion);
+        break;
+      }
+      case Model::kWeakRelease: {
+        // Pipelined freely; acked at the sync point.
+        outstanding.push_back(sched.now() + 2 * sh.max_one_way(n));
+        sh.messages += 2 * others;  // update + ack per peer
+        break;
+      }
+      case Model::kGroupWrite: {
+        // Interception + root sequencing: the CPU never waits; ordering is
+        // the guarantee, so nothing is owed at the sync point either.
+        const sim::Time arrive =
+            sched.now() +
+            sh.link.delay(sh.topo->hop_count(n, p.hub), p.update_bytes);
+        const sim::Time dispatch =
+            std::max(arrive, sh.root_busy_until) + 25;
+        sh.root_busy_until = dispatch;
+        sh.messages += 1 + others + 1;  // up-tree + multicast (incl. echo)
+        break;
+      }
+    }
+  }
+
+  // Synchronization point.
+  const sim::Time sync_begin = sched.now();
+  if (!outstanding.empty()) {
+    const sim::Time last = outstanding.back();
+    if (last > sched.now()) {
+      co_await sim::delay(sched, last - sched.now());
+    }
+  }
+  sh.total_sync_stall += sched.now() - sync_begin;
+  sh.finished_at = std::max(sh.finished_at, sched.now());
+}
+
+}  // namespace
+
+SpectrumResult run_spectrum(Model model, const SpectrumParams& params,
+                            const net::Topology& topo) {
+  OPTSYNC_EXPECT(topo.size() >= 2);
+  OPTSYNC_EXPECT(params.hub < topo.size());
+  sim::Scheduler sched;
+  Shared sh;
+  sh.p = &params;
+  sh.topo = &topo;
+  sh.sched = &sched;
+  sh.model = model;
+
+  std::vector<sim::Process> procs;
+  for (net::NodeId n = 0; n < topo.size(); ++n) {
+    procs.push_back(spectrum_node(sh, n));
+  }
+  sched.run();
+  for (const auto& p : procs) p.rethrow_if_failed();
+  for (const auto& p : procs) OPTSYNC_ENSURE(p.done());
+
+  const double total_writes = static_cast<double>(topo.size()) *
+                              static_cast<double>(params.writes_per_node);
+  SpectrumResult res;
+  res.elapsed = sh.finished_at;
+  res.avg_write_stall_ns =
+      static_cast<double>(sh.total_write_stall) / total_writes;
+  res.avg_sync_stall_ns = static_cast<double>(sh.total_sync_stall) /
+                          static_cast<double>(topo.size());
+  res.messages = sh.messages;
+  return res;
+}
+
+}  // namespace optsync::consistency

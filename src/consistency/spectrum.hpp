@@ -1,0 +1,81 @@
+// The §1.2 consistency-model spectrum as a write-cost model.
+//
+// "Consistency models place specific requirements on the order in which
+// shared memory accesses from one processor may be observed by other
+// processors." The paper surveys sequential consistency ("inefficient even
+// for two processors"), processor consistency, total store ordering ("its
+// use of a centralized memory write arbitrator is not viable for large
+// distributed memories"), partial store ordering, weak/release consistency,
+// and group write consistency, whose root sequencing removes per-write
+// stalls entirely.
+//
+// This module quantifies that survey: for a burst of W shared writes per
+// processor followed by a synchronization point, it simulates what each
+// model makes the *issuing processor wait for*:
+//
+//   kSequential     — every write is a globally-acknowledged round trip
+//                     before the next instruction;
+//   kProcessor      — writes enter a FIFO store buffer (reads bypass); the
+//                     processor stalls only when the buffer is full, and
+//                     drains it at the sync point;
+//   kTotalStore     — like kProcessor, but every write is serialized
+//                     through ONE global arbitrator node whose service
+//                     queue all processors share;
+//   kPartialStore   — like kProcessor with a deeper buffer (order enforced
+//                     only at explicit markers == our sync point);
+//   kWeakRelease    — writes are pipelined freely; the sync point blocks
+//                     until all of this processor's writes are acked
+//                     everywhere;
+//   kGroupWrite     — writes stream to the group root (never stall); the
+//                     sync point is free because ordering, not completion,
+//                     is what GWC guarantees (synchronization rides the
+//                     same sequenced stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::consistency {
+
+enum class Model {
+  kSequential,
+  kProcessor,
+  kTotalStore,
+  kPartialStore,
+  kWeakRelease,
+  kGroupWrite,
+};
+
+std::string model_name(Model m);
+
+struct SpectrumParams {
+  std::size_t nodes = 16;
+  std::uint32_t writes_per_node = 64;
+  /// Local computation between consecutive writes.
+  sim::Duration gap_ns = 200;
+  std::uint32_t update_bytes = 16;
+  /// Store-buffer depth for kProcessor (kPartialStore uses 4x this).
+  std::uint32_t store_buffer = 4;
+  /// Arbitrator service time per write for kTotalStore.
+  sim::Duration arbitrator_service_ns = 100;
+  net::NodeId hub = 0;  ///< arbitrator / group root / directory location
+};
+
+struct SpectrumResult {
+  /// Time until every processor has passed its sync point.
+  sim::Time elapsed = 0;
+  /// Mean per-write stall experienced by the issuing processors.
+  double avg_write_stall_ns = 0;
+  /// Mean time spent blocked at the sync point.
+  double avg_sync_stall_ns = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Runs the write-burst benchmark under `model` on `topo`.
+SpectrumResult run_spectrum(Model model, const SpectrumParams& params,
+                            const net::Topology& topo);
+
+}  // namespace optsync::consistency

@@ -1,0 +1,62 @@
+// Mutual exclusion across multiple sharing groups (paper §2, last lines).
+//
+// "Mutual exclusion across multiple groups requires permissions from all the
+// involved roots. Routing corresponding locking messages and data changes on
+// the same paths through the roots guarantees a consistent view of variable
+// updates."
+//
+// Each group's root manages its own queue lock; a cross-group critical
+// section acquires one lock per involved group. Locks are always acquired
+// in a fixed global order (ascending lock VarId), which makes deadlock
+// impossible regardless of how sections overlap: the resource-ordering
+// argument — a cycle in the wait-for graph would need some node to hold a
+// higher-ordered lock while waiting for a lower one.
+#pragma once
+
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "simkern/coro.hpp"
+#include "sync/gwc_lock.hpp"
+
+namespace optsync::core {
+
+class MultiGroupMutex {
+ public:
+  /// `locks` may live in any number of distinct groups. They are reordered
+  /// into the global acquisition order internally.
+  MultiGroupMutex(dsm::DsmSystem& sys, std::vector<dsm::VarId> locks);
+
+  MultiGroupMutex(const MultiGroupMutex&) = delete;
+  MultiGroupMutex& operator=(const MultiGroupMutex&) = delete;
+
+  /// Acquires every lock, in global order. The caller must be a member of
+  /// every involved group. Use as: co_await m.acquire(n).join();
+  sim::Process acquire(dsm::NodeId n);
+
+  /// Releases every lock, in reverse order.
+  void release(dsm::NodeId n);
+
+  /// True when node `n` holds all the locks.
+  [[nodiscard]] bool held_by(dsm::NodeId n) const;
+
+  [[nodiscard]] const std::vector<dsm::VarId>& locks() const {
+    return ordered_;
+  }
+
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    sim::Duration total_acquire_ns = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Process acquire_impl(dsm::NodeId n);
+
+  dsm::DsmSystem* sys_;
+  std::vector<dsm::VarId> ordered_;
+  std::vector<std::unique_ptr<sync::GwcQueueLock>> clients_;
+  Stats stats_;
+};
+
+}  // namespace optsync::core

@@ -1,0 +1,225 @@
+#include "core/optimistic_mutex.hpp"
+
+#include "simkern/assert.hpp"
+#include "simkern/log.hpp"
+
+namespace optsync::core {
+
+using dsm::kLockFree;
+using dsm::lock_grant_value;
+using dsm::lock_held;
+using dsm::lock_request_value;
+using dsm::NodeId;
+using dsm::VarId;
+using dsm::Word;
+
+OptimisticMutex::OptimisticMutex(dsm::DsmSystem& sys, VarId lock, Config cfg)
+    : sys_(&sys), lock_(lock), cfg_(cfg) {
+  OPTSYNC_EXPECT(sys.var(lock).kind == dsm::VarKind::kLock);
+}
+
+OptimisticMutex::NodeState& OptimisticMutex::state(NodeId n) {
+  auto it = states_.find(n);
+  if (it == states_.end()) {
+    it = states_.emplace(n, NodeState(cfg_.history_decay)).first;
+  }
+  return it->second;
+}
+
+double OptimisticMutex::history_value(NodeId n) const {
+  const auto it = states_.find(n);
+  return it == states_.end() ? 0.0 : it->second.history.value();
+}
+
+bool OptimisticMutex::in_section(NodeId n) const {
+  const auto it = states_.find(n);
+  return it != states_.end() && it->second.in_section;
+}
+
+// Interrupt code (paper Fig. 5). Invoked by the sharing interface when an
+// armed lock change arrives; insharing is already suspended. Runs the
+// decision logic; actual rollback work (which takes simulated time) is
+// deferred to the execute() coroutine via pending_rollback.
+void OptimisticMutex::on_lock_interrupt(NodeId n, Word value) {
+  auto& st = state(n);
+  auto& node = sys_->node(n);
+
+  if (dsm::lock_granted_to(value, n)) {
+    // Permission for the local CPU: stop watching, let queued updates flow.
+    node.disarm_interrupt(lock_);
+    node.resume_insharing();
+    return;
+  }
+  if (value == kLockFree) {
+    // Momentary free (previous holder released before our request reached
+    // the root). Keep watching; our grant will follow.
+    node.resume_insharing();
+    return;
+  }
+
+  // Another processor got the lock.
+  OPTSYNC_ENSURE(lock_held(value));
+  st.history.observe(1.0);  // P9: update usage frequency history
+  if (!st.variables_saved) {
+    // Regular path in progress — values were never speculated on.
+    node.resume_insharing();
+    return;
+  }
+  // Optimistic execution failed: leave insharing suspended so the journal
+  // can be restored before any of the new holder's updates touch memory.
+  // The execute() coroutine performs the timed restore and then resumes
+  // insharing (rollback code, Fig. 4 lines 22-26).
+  st.pending_rollback = true;
+  sim::log_debug("n", n, " speculation failed: lock granted to n",
+                 dsm::lock_holder(value));
+}
+
+sim::Process OptimisticMutex::execute(NodeId n, Section section,
+                                      ExecuteStats* out) {
+  // Validate synchronously: a coroutine would capture these as a failed
+  // Process instead of throwing to the caller.
+  OPTSYNC_EXPECT(section.body != nullptr);
+  OPTSYNC_EXPECT((section.save_locals == nullptr) ==
+                 (section.restore_locals == nullptr));
+  // Fig. 4 line 01/28: nested acquisition is a programming error — on this
+  // lock (per-mutex state) or on any other (the node models a single
+  // instruction stream; DsmNode tracks occupancy across mutexes).
+  if (state(n).in_section) {
+    throw ContractViolation("cannot safely nest mutex lock requests");
+  }
+  sys_->node(n).enter_mutex_section();  // throws on cross-mutex overlap
+  return execute_impl(n, std::move(section), out);
+}
+
+namespace {
+/// Clears the node's occupancy flag even if the section body throws.
+struct SectionOccupancy {
+  dsm::DsmNode* node;
+  ~SectionOccupancy() {
+    if (node != nullptr) node->exit_mutex_section();
+  }
+};
+}  // namespace
+
+sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
+                                           ExecuteStats* out) {
+  auto& node = sys_->node(n);
+  SectionOccupancy occupancy{&node};  // entered by the wrapper
+  auto& sched = sys_->scheduler();
+  auto& st = state(n);
+  st.in_section = true;
+  st.variables_saved = false;  // line 02
+  st.pending_rollback = false;
+  st.rolled_back = false;
+  ++stats_.executions;
+
+  ExecuteStats local_stats;
+  local_stats.requested_at = sched.now();
+
+  // Lines 03-04: atomically save the old local value and request the lock.
+  const Word old_val = node.atomic_exchange(lock_, lock_request_value(n));
+
+  // Line 05: update usage frequency history from the observed local state.
+  const bool was_busy = lock_held(old_val) && dsm::lock_holder(old_val) != n;
+  st.history.observe(was_busy ? 1.0 : 0.0);
+
+  // Line 06: watch for lock changes; the interrupt atomically suspends
+  // insharing when it fires.
+  node.arm_interrupt(lock_, [this, n](VarId, Word value, NodeId) {
+    on_lock_interrupt(n, value);
+  });
+
+  // Line 07: does anything indicate current or recent usage?
+  const bool indicates_usage =
+      was_busy || old_val != kLockFree ||
+      st.history.indicates_usage(cfg_.history_threshold);
+
+  if (!cfg_.enable_optimistic || indicates_usage) {
+    // ---- Regular path (lines 08-12) ----------------------------------
+    ++stats_.regular_paths;
+    // Line 08. No interrupt can have fired yet: arming and this branch run
+    // within one scheduler event, so disarming is race-free.
+    node.disarm_interrupt(lock_);
+    const sim::Time wait_began = sched.now();
+    while (node.read(lock_) != lock_grant_value(n)) {  // line 10: reg-wait
+      co_await node.on_change(lock_).wait();
+    }
+    if (cfg_.context_switch_ns > 0 &&
+        sched.now() - wait_began > cfg_.context_switch_ns) {
+      // Spin-then-swap: the grant outlasted the spin budget, so the
+      // processor swapped out and now pays the swap out + in.
+      ++stats_.context_switches;
+      co_await sim::delay(sched, 2 * cfg_.context_switch_ns);
+    }
+    co_await section.body(node).join();  // lines 11-12
+  } else {
+    // ---- Optimistic path (lines 14-19) --------------------------------
+    ++stats_.optimistic_attempts;
+    local_stats.used_optimistic = true;
+
+    // Lines 14-15: save every variable the section will change.
+    st.journal.snapshot(node, section.shared_writes);
+    if (section.save_locals) {
+      st.journal.add_local(section.save_locals, section.restore_locals);
+    }
+    st.variables_saved = true;  // line 16
+    const sim::Duration save_cost =
+        cfg_.save_cost_per_var_ns *
+        (section.shared_writes.size() + (section.save_locals ? 1 : 0));
+    co_await sim::delay(sched, save_cost);
+
+    // Lines 17-18: speculative execution. Shared writes stream to the
+    // root, which discards them unless/until this node holds the lock.
+    co_await section.body(node).join();
+
+    // Line 19: wait for the lock answer; handle rollback if the interrupt
+    // reported that another CPU won.
+    const sim::Time wait_began = sched.now();
+    for (;;) {
+      if (st.pending_rollback) {
+        // Rollback (lines 22-26): restore takes local-memory time; the
+        // sharing interface keeps insharing suspended throughout.
+        OPTSYNC_ENSURE(node.insharing_suspended());
+        const sim::Duration restore_cost =
+            cfg_.save_cost_per_var_ns * st.journal.shared_count();
+        co_await sim::delay(sched, restore_cost);
+        st.journal.restore(node);
+        st.variables_saved = false;  // line 24
+        st.pending_rollback = false;
+        st.rolled_back = true;
+        ++stats_.rollbacks;
+        local_stats.rolled_back = true;
+        node.resume_insharing();  // line 25
+        continue;                 // line 26: back to the wait loop
+      }
+      if (node.read(lock_) == lock_grant_value(n)) break;
+      co_await node.on_change(lock_).wait();
+    }
+    if (cfg_.context_switch_ns > 0 &&
+        sched.now() - wait_began > cfg_.context_switch_ns) {
+      ++stats_.context_switches;
+      co_await sim::delay(sched, 2 * cfg_.context_switch_ns);
+    }
+
+    if (st.rolled_back) {
+      // The speculation was undone; run the section for real now that the
+      // lock is held and every local shared value is valid (GWC ordering:
+      // all of the previous holder's writes preceded our grant).
+      co_await section.body(node).join();
+    } else {
+      ++stats_.optimistic_successes;
+      st.journal.discard();
+      st.variables_saved = false;
+    }
+  }
+
+  // Line 27: release. The FREE write follows all of this node's data
+  // writes through the root, so every member sees data-before-release.
+  node.disarm_interrupt(lock_);
+  node.write(lock_, kLockFree);
+  st.in_section = false;
+  local_stats.finished_at = sched.now();
+  if (out != nullptr) *out = local_stats;
+}
+
+}  // namespace optsync::core

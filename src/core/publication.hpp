@@ -1,0 +1,80 @@
+// Single-writer publication over GWC — the paper's §2 opening idiom.
+//
+// "Since writes are ordered, the case for one writer is simple; an ordinary
+// variable can lock a data structure awaited by reader(s). If code on the
+// writing processor finishes all data updates before unlocking the variable,
+// all processors will see the same order of changes. Each processor can
+// check its local lock to see whether the data is valid. Relocking while
+// data is being read can trigger rereading to get consistent data values."
+//
+// This is a seqlock realized on eagershared variables: the writer bumps a
+// version to odd (writing), streams the fields, then bumps it to the next
+// even value. GWC's total order per group means every reader's local memory
+// applies those writes in exactly that order, so the classic version-check
+// protocol makes torn reads impossible — with zero reader-side traffic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::core {
+
+class PublishedRecord {
+ public:
+  /// Creates the version variable plus `fields` data variables in group
+  /// `g`. Only node `writer` may publish.
+  PublishedRecord(dsm::DsmSystem& sys, dsm::GroupId g, std::string name,
+                  std::size_t fields, dsm::NodeId writer);
+
+  PublishedRecord(const PublishedRecord&) = delete;
+  PublishedRecord& operator=(const PublishedRecord&) = delete;
+
+  /// Publishes a new value of the record (writer only).
+  /// Precondition: values.size() == field_count().
+  void publish(const std::vector<dsm::Word>& values);
+
+  /// Publishes with `per_field_ns` of computation between field writes —
+  /// a writer that produces the record incrementally. Readers observe a
+  /// real "writing" window (odd version) and must retry through it.
+  sim::Process publish_slowly(std::vector<dsm::Word> values,
+                              sim::Duration per_field_ns);
+
+  /// One consistency-checked read attempt from node `n`'s local memory.
+  /// Returns nullopt when a publish is in flight locally (odd version or
+  /// version changed mid-read) — the paper's "trigger rereading" case.
+  [[nodiscard]] std::optional<std::vector<dsm::Word>> try_read(
+      dsm::NodeId n) const;
+
+  /// Retries until a consistent snapshot is available; waits on the local
+  /// version variable between attempts (no network traffic — eagersharing
+  /// delivers the fields unprompted).
+  sim::Process read(dsm::NodeId n, std::vector<dsm::Word>* out);
+
+  [[nodiscard]] std::size_t field_count() const { return fields_.size(); }
+  [[nodiscard]] dsm::VarId version_var() const { return version_; }
+  [[nodiscard]] dsm::NodeId writer() const { return writer_; }
+
+  /// Version counter last published (even = quiescent).
+  [[nodiscard]] dsm::Word current_version() const { return version_value_; }
+
+  struct Stats {
+    std::uint64_t publishes = 0;
+    std::uint64_t clean_reads = 0;
+    std::uint64_t retried_reads = 0;  ///< try_read returned nullopt
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  dsm::DsmSystem* sys_;
+  dsm::NodeId writer_;
+  dsm::VarId version_;
+  std::vector<dsm::VarId> fields_;
+  dsm::Word version_value_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace optsync::core

@@ -1,0 +1,36 @@
+#include "core/rollback_journal.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::core {
+
+void RollbackJournal::snapshot(const dsm::DsmNode& node,
+                               const std::vector<dsm::VarId>& vars) {
+  OPTSYNC_EXPECT(shared_.empty());
+  shared_.reserve(vars.size());
+  for (const dsm::VarId v : vars) {
+    shared_.push_back(Saved{v, node.read(v)});
+  }
+}
+
+void RollbackJournal::add_local(std::function<void()> save,
+                                std::function<void()> restore) {
+  OPTSYNC_EXPECT(save != nullptr && restore != nullptr);
+  save();
+  local_restores_.push_back(std::move(restore));
+}
+
+void RollbackJournal::restore(dsm::DsmNode& node) {
+  for (const Saved& s : shared_) {
+    node.poke(s.var, s.value);
+  }
+  for (auto& r : local_restores_) r();
+  discard();
+}
+
+void RollbackJournal::discard() {
+  shared_.clear();
+  local_restores_.clear();
+}
+
+}  // namespace optsync::core

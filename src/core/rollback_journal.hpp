@@ -1,0 +1,50 @@
+// Rollback journal for optimistic critical sections (paper Fig. 4, 14-16).
+//
+// Before an optimistic execution alters anything, the prior values of all
+// variables it will change are saved ("saved-" prefixed variables in the
+// paper's compiler-generated code). On a failed speculation the journal
+// restores them. Restoration uses DsmNode::poke — a purely local memory
+// operation — because the group root already discarded the speculative
+// writes, so there is nothing to undo remotely.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dsm/node.hpp"
+#include "dsm/types.hpp"
+
+namespace optsync::core {
+
+class RollbackJournal {
+ public:
+  /// Snapshots the current local values of `vars` on `node`.
+  /// Precondition: the journal is empty (one speculation at a time).
+  void snapshot(const dsm::DsmNode& node, const std::vector<dsm::VarId>& vars);
+
+  /// Registers an extra save/restore pair for the section's local variables
+  /// (the paper's saved_lcl_c). `save` runs immediately; `restore` runs on
+  /// rollback.
+  void add_local(std::function<void()> save, std::function<void()> restore);
+
+  /// Restores all saved values onto `node` and clears the journal.
+  void restore(dsm::DsmNode& node);
+
+  /// Drops saved state without restoring (successful speculation).
+  void discard();
+
+  [[nodiscard]] bool empty() const {
+    return shared_.empty() && local_restores_.empty();
+  }
+  [[nodiscard]] std::size_t shared_count() const { return shared_.size(); }
+
+ private:
+  struct Saved {
+    dsm::VarId var;
+    dsm::Word value;
+  };
+  std::vector<Saved> shared_;
+  std::vector<std::function<void()>> local_restores_;
+};
+
+}  // namespace optsync::core

@@ -1,0 +1,42 @@
+#include "core/section_builder.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::core {
+
+Section SectionBuilder::build() const {
+  OPTSYNC_EXPECT(body_ != nullptr);
+  Section sec;
+  sec.shared_writes = write_set_;
+  if (!saves_.empty()) {
+    sec.save_locals = [saves = saves_] {
+      for (const auto& s : saves) s();
+    };
+    sec.restore_locals = [restores = restores_] {
+      for (const auto& r : restores) r();
+    };
+  }
+  sec.body = [sys = sys_, compute = compute_ns_,
+              fn = body_](dsm::DsmNode& node) -> sim::Process {
+    if (compute > 0) co_await sim::delay(sys->scheduler(), compute);
+    fn(node);
+  };
+  return sec;
+}
+
+Section read_compute_write(dsm::DsmSystem& sys, dsm::VarId src, dsm::VarId dst,
+                           sim::Duration compute_ns,
+                           std::function<dsm::Word(dsm::Word)> f) {
+  OPTSYNC_EXPECT(f != nullptr);
+  Section sec;
+  sec.shared_writes = {dst};
+  sec.body = [&sys, src, dst, compute_ns,
+              f = std::move(f)](dsm::DsmNode& node) -> sim::Process {
+    const dsm::Word before = node.read(src);
+    if (compute_ns > 0) co_await sim::delay(sys.scheduler(), compute_ns);
+    node.write(dst, f(before));
+  };
+  return sec;
+}
+
+}  // namespace optsync::core

@@ -1,0 +1,89 @@
+// Section builders — the paper's compiler transformation as a library API.
+//
+// The paper has a compiler turn plain mutex code (Fig. 3) into the
+// rollback-capable form (Fig. 4): collect the shared write-set, save local
+// variables, make the body re-runnable. These helpers do that assembly for
+// the common shapes so call sites stay as small as the paper's source
+// fragment:
+//
+//   // lcl_c = shared_a + lcl_b + lcl_c;  shared_a = shared_a + lcl_c;
+//   auto sec = core::SectionBuilder(sys)
+//                  .writes(shared_a)
+//                  .local(lcl_c)
+//                  .compute_ns(1'500)
+//                  .body([&](dsm::DsmNode& n) {
+//                    lcl_c = n.read(shared_a) + lcl_b + lcl_c;
+//                    n.write(shared_a, n.read(shared_a) + lcl_c);
+//                  })
+//                  .build();
+//   co_await mux.execute(me, std::move(sec)).join();
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "core/optimistic_mutex.hpp"
+
+namespace optsync::core {
+
+class SectionBuilder {
+ public:
+  explicit SectionBuilder(dsm::DsmSystem& sys) : sys_(&sys) {}
+
+  /// Adds shared variables the body writes (the rollback save list).
+  SectionBuilder& writes(dsm::VarId v) {
+    write_set_.push_back(v);
+    return *this;
+  }
+  SectionBuilder& writes(std::initializer_list<dsm::VarId> vs) {
+    // (Plain loop rather than vector::insert: GCC 12's inliner raises a
+    // spurious -Wstringop-overflow on the initializer_list overload.)
+    for (const dsm::VarId v : vs) write_set_.push_back(v);
+    return *this;
+  }
+
+  /// Registers a local variable to save/restore across rollback
+  /// (the paper's saved_lcl_c). May be called for several locals.
+  template <class T>
+  SectionBuilder& local(T& ref) {
+    auto saved = std::make_shared<T>();
+    saves_.push_back([&ref, saved] { *saved = ref; });
+    restores_.push_back([&ref, saved] { ref = *saved; });
+    return *this;
+  }
+
+  /// Simulated compute time of the section (charged before the writes).
+  SectionBuilder& compute_ns(sim::Duration d) {
+    compute_ns_ = d;
+    return *this;
+  }
+
+  /// The section's reads/computes/writes, as a plain (non-coroutine)
+  /// function; the builder wraps it with the compute delay. Must be
+  /// re-runnable (it is re-invoked after a rollback).
+  SectionBuilder& body(std::function<void(dsm::DsmNode&)> fn) {
+    body_ = std::move(fn);
+    return *this;
+  }
+
+  /// Assembles the Section. Precondition: body was set.
+  [[nodiscard]] Section build() const;
+
+ private:
+  dsm::DsmSystem* sys_;
+  std::vector<dsm::VarId> write_set_;
+  std::vector<std::function<void()>> saves_;
+  std::vector<std::function<void()>> restores_;
+  sim::Duration compute_ns_ = 0;
+  std::function<void(dsm::DsmNode&)> body_;
+};
+
+/// The exact Fig. 3 shape as a one-liner: read `src`, compute for
+/// `compute_ns`, write `f(old)` back into `dst` (often dst == src).
+Section read_compute_write(dsm::DsmSystem& sys, dsm::VarId src,
+                           dsm::VarId dst, sim::Duration compute_ns,
+                           std::function<dsm::Word(dsm::Word)> f);
+
+}  // namespace optsync::core

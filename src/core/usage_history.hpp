@@ -1,0 +1,46 @@
+// Lock usage-frequency history (paper §4).
+//
+// "The history frequency information can, as an example, be derived from a
+// simple formula such as old = 0.95*old + 0.05*new, where old and new
+// represent usage and 1.0 means 'lock held by another CPU'."
+//
+// A requester consults this estimate (together with the local lock copy) to
+// decide between an optimistic and a regular request; the paper's example
+// threshold is 0.30.
+#pragma once
+
+#include "simkern/assert.hpp"
+
+namespace optsync::core {
+
+class UsageHistory {
+ public:
+  /// `decay` is the weight of the old estimate (the paper's 0.95).
+  explicit UsageHistory(double decay = 0.95) : decay_(decay) {
+    OPTSYNC_EXPECT(decay >= 0.0 && decay <= 1.0);
+  }
+
+  /// Folds one observation in: 1.0 = "lock held by another CPU",
+  /// 0.0 = "lock free". Fractional values are allowed for aggregated
+  /// observations.
+  void observe(double busy) {
+    OPTSYNC_EXPECT(busy >= 0.0 && busy <= 1.0);
+    value_ = decay_ * value_ + (1.0 - decay_) * busy;
+  }
+
+  /// Current busyness estimate in [0, 1].
+  [[nodiscard]] double value() const { return value_; }
+
+  /// True when the estimate exceeds `threshold` — take the regular path.
+  [[nodiscard]] bool indicates_usage(double threshold) const {
+    return value_ > threshold;
+  }
+
+  void reset() { value_ = 0.0; }
+
+ private:
+  double decay_;
+  double value_ = 0.0;
+};
+
+}  // namespace optsync::core

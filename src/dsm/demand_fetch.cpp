@@ -1,0 +1,145 @@
+#include "dsm/demand_fetch.hpp"
+
+#include <memory>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::dsm {
+
+DemandFetchStore::DemandFetchStore(net::Network& net, Config cfg)
+    : net_(&net), cfg_(cfg) {}
+
+VarId DemandFetchStore::define(std::string name, NodeId home, Word init) {
+  OPTSYNC_EXPECT(home < net_->topology().size());
+  const auto v = static_cast<VarId>(entries_.size());
+  Entry e;
+  e.name = std::move(name);
+  e.home = home;
+  e.owner = home;
+  e.exclusive = true;
+  e.value = init;
+  entries_.push_back(std::move(e));
+  return v;
+}
+
+DemandFetchStore::Entry& DemandFetchStore::entry(VarId v) {
+  OPTSYNC_EXPECT(v < entries_.size());
+  return entries_[v];
+}
+
+Word DemandFetchStore::peek(VarId v) const {
+  OPTSYNC_EXPECT(v < entries_.size());
+  return entries_[v].value;
+}
+
+bool DemandFetchStore::has_valid_copy(NodeId n, VarId v) const {
+  OPTSYNC_EXPECT(v < entries_.size());
+  const Entry& e = entries_[v];
+  return e.owner == n || e.sharers.contains(n);
+}
+
+sim::Process DemandFetchStore::read(NodeId n, VarId v, Word* out) {
+  OPTSYNC_EXPECT(out != nullptr);
+  auto& sched = net_->scheduler();
+  Entry& e = entry(v);
+
+  if (e.owner == n || e.sharers.contains(n)) {
+    ++stats_.read_hits;
+    co_await sim::delay(sched, cfg_.local_ns);
+    *out = e.value;
+    co_return;
+  }
+
+  // Miss: request -> home -> (forward to owner when dirty) -> data reply.
+  ++stats_.read_misses;
+  bool done = false;
+  sim::Signal wake(sched);
+  net_->send(n, e.home, cfg_.ctrl_bytes, "df-read", [this, v, n, &done,
+                                                     &wake] {
+    Entry& k = entry(v);
+    const NodeId supplier = k.exclusive ? k.owner : k.home;
+    auto deliver = [this, v, n, supplier, &done, &wake] {
+      net_->send(supplier, n, cfg_.data_bytes, "df-data", [this, v, n, &done,
+                                                           &wake] {
+        Entry& kk = entry(v);
+        kk.exclusive = false;  // now shared
+        kk.sharers.insert(n);
+        kk.sharers.insert(kk.owner);
+        done = true;
+        wake.notify_all();
+      });
+    };
+    if (supplier == k.home) {
+      deliver();
+    } else {
+      // Forward the request one more hop to the dirty owner.
+      net_->send(k.home, supplier, cfg_.ctrl_bytes, "df-fwd", deliver);
+    }
+  });
+  while (!done) co_await wake.wait();
+  *out = entry(v).value;
+}
+
+sim::Process DemandFetchStore::write(NodeId n, VarId v, Word value) {
+  auto& sched = net_->scheduler();
+  Entry& e = entry(v);
+
+  if (e.owner == n && e.exclusive) {
+    ++stats_.write_hits;
+    co_await sim::delay(sched, cfg_.local_ns);
+    e.value = value;
+    co_return;
+  }
+
+  // Miss: obtain exclusivity via the home — invalidate every sharer (round
+  // trips run in parallel; the slowest ack gates the grant), then transfer
+  // ownership to the writer.
+  ++stats_.write_misses;
+  bool done = false;
+  sim::Signal wake(sched);
+  net_->send(n, e.home, cfg_.ctrl_bytes, "df-write", [this, v, n, value,
+                                                      &done, &wake] {
+    Entry& k = entry(v);
+    const NodeId home = k.home;
+    auto grant = [this, v, n, home, value, &done, &wake] {
+      net_->send(home, n, cfg_.data_bytes, "df-own", [this, v, n, value,
+                                                      &done, &wake] {
+        Entry& gg = entry(v);
+        gg.owner = n;
+        gg.exclusive = true;
+        gg.sharers.clear();
+        gg.value = value;
+        done = true;
+        wake.notify_all();
+      });
+    };
+
+    std::vector<NodeId> to_invalidate;
+    for (const NodeId s : k.sharers) {
+      if (s != n) to_invalidate.push_back(s);
+    }
+    if (k.exclusive && k.owner != n &&
+        !k.sharers.contains(k.owner)) {
+      to_invalidate.push_back(k.owner);
+    }
+    if (to_invalidate.empty()) {
+      grant();
+      return;
+    }
+    stats_.invalidations += to_invalidate.size();
+    auto pending = std::make_shared<std::size_t>(to_invalidate.size());
+    for (const NodeId r : to_invalidate) {
+      net_->send(home, r, cfg_.ctrl_bytes, "df-inval",
+                 [this, v, r, home, pending, grant] {
+                   entry(v).sharers.erase(r);
+                   net_->send(r, home, cfg_.ctrl_bytes, "df-inval-ack",
+                              [pending, grant] {
+                                if (--*pending == 0) grant();
+                              });
+                 });
+    }
+  });
+  while (!done) co_await wake.wait();
+}
+
+}  // namespace optsync::dsm

@@ -1,0 +1,91 @@
+// Demand-fetch shared memory — the other end of the paper's §1.1 spectrum.
+//
+// "At one end are demand-driven methods, which delay accesses to remote data
+// until each is actually needed, but the processor must halt until each
+// remote datum can be fetched. Network traffic is minimized."
+//
+// A directory-based MSI-style protocol at variable granularity: each
+// variable has a home node holding the directory entry; reads miss to the
+// current owner and join the sharer set; writes obtain exclusivity by
+// invalidating sharers through the home. This is the baseline the paper's
+// §1.1 argues "does not scale well; for many important parallel algorithms,
+// they do not execute efficiently on more than a few dozen processors" —
+// quantified by bench/spectrum_remote_access.
+//
+// Like the entry/release engines, this is a timed centralized model of a
+// distributed protocol: it charges every message the real pattern sends but
+// keeps bookkeeping in one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dsm/types.hpp"
+#include "net/network.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::dsm {
+
+class DemandFetchStore {
+ public:
+  struct Config {
+    std::uint32_t ctrl_bytes = 16;   ///< request / invalidation / ack size
+    std::uint32_t data_bytes = 24;   ///< reply carrying one datum
+    sim::Duration local_ns = 25;     ///< cache-hit / local bookkeeping cost
+  };
+
+  DemandFetchStore(net::Network& net, Config cfg);
+  explicit DemandFetchStore(net::Network& net)
+      : DemandFetchStore(net, Config{}) {}
+  DemandFetchStore(const DemandFetchStore&) = delete;
+  DemandFetchStore& operator=(const DemandFetchStore&) = delete;
+
+  /// Defines a variable homed (directory + initial copy) at `home`.
+  VarId define(std::string name, NodeId home, Word init = 0);
+
+  /// Reads `v` from node `n`. A valid local copy costs local_ns; a miss
+  /// stalls the caller for the full fetch ("the processor must halt until
+  /// each remote datum can be fetched"). The value is written to *out.
+  sim::Process read(NodeId n, VarId v, Word* out);
+
+  /// Writes `v` from node `n`. Exclusive ownership is acquired first
+  /// (invalidating all sharers through the home); subsequent writes by the
+  /// same node hit locally.
+  sim::Process write(NodeId n, VarId v, Word value);
+
+  /// Current committed value (the owner's copy) — test/verification only.
+  [[nodiscard]] Word peek(VarId v) const;
+
+  /// True when `n` holds a valid (shared or exclusive) copy of `v`.
+  [[nodiscard]] bool has_valid_copy(NodeId n, VarId v) const;
+
+  struct Stats {
+    std::uint64_t read_hits = 0;
+    std::uint64_t read_misses = 0;
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t invalidations = 0;  ///< individual invalidation messages
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    NodeId home = 0;
+    NodeId owner = 0;  ///< node with the authoritative (dirty-able) copy
+    bool exclusive = false;  ///< owner may write without a miss
+    std::unordered_set<NodeId> sharers;  ///< includes owner when shared
+    Word value = 0;
+  };
+
+  Entry& entry(VarId v);
+
+  net::Network* net_;
+  Config cfg_;
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace optsync::dsm

@@ -1,0 +1,9 @@
+#include "dsm/group.hpp"
+
+namespace optsync::dsm {
+
+Group::Group(GroupId id, const net::Topology& topo,
+             std::vector<NodeId> members, NodeId root)
+    : id_(id), tree_(topo, std::move(members), root) {}
+
+}  // namespace optsync::dsm

@@ -1,0 +1,41 @@
+// Sharing groups: membership + the multicast tree rooted at the group root.
+#pragma once
+
+#include <vector>
+
+#include "dsm/types.hpp"
+#include "net/spanning_tree.hpp"
+
+namespace optsync::dsm {
+
+/// A sharing group: the set of nodes that eagerly share a set of variables,
+/// with one member acting as root (sequencer, lock manager, retransmitter).
+class Group {
+ public:
+  Group(GroupId id, const net::Topology& topo, std::vector<NodeId> members,
+        NodeId root);
+
+  [[nodiscard]] GroupId id() const { return id_; }
+  [[nodiscard]] NodeId root() const { return tree_.root(); }
+  [[nodiscard]] const std::vector<NodeId>& members() const {
+    return tree_.members();
+  }
+  [[nodiscard]] bool contains(NodeId n) const { return tree_.contains(n); }
+  [[nodiscard]] const net::SpanningTree& tree() const { return tree_; }
+
+  /// Physical hops from a member up to the root along the tree.
+  [[nodiscard]] unsigned up_hops(NodeId member) const {
+    return tree_.hops_to_root(member);
+  }
+
+  /// Physical hops from the root down to a member along the tree.
+  [[nodiscard]] unsigned down_hops(NodeId member) const {
+    return tree_.hops_to_root(member);
+  }
+
+ private:
+  GroupId id_;
+  net::SpanningTree tree_;
+};
+
+}  // namespace optsync::dsm

@@ -1,0 +1,150 @@
+#include "dsm/node.hpp"
+
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/log.hpp"
+
+namespace optsync::dsm {
+
+DsmNode::DsmNode(DsmSystem& sys, NodeId id)
+    : sys_(&sys), id_(id), hw_blocking_(sys.config().hardware_blocking) {}
+
+void DsmNode::ensure_capacity(VarId v) {
+  if (v >= memory_.size()) memory_.resize(v + 1, 0);
+}
+
+Word DsmNode::read(VarId v) const {
+  OPTSYNC_EXPECT(v < sys_->var_count());
+  return v < memory_.size() ? memory_[v] : 0;
+}
+
+void DsmNode::write(VarId v, Word value) {
+  OPTSYNC_EXPECT(v < sys_->var_count());
+  ensure_capacity(v);
+  memory_[v] = value;
+  ++stats_.local_writes;
+  sys_->share_out(id_, v, value);
+  on_change(v).notify_all();
+}
+
+Word DsmNode::atomic_exchange(VarId v, Word value) {
+  OPTSYNC_EXPECT(v < sys_->var_count());
+  ensure_capacity(v);
+  const Word old = memory_[v];
+  // The swap and the outgoing request are one indivisible step: no sequenced
+  // update can be applied in between because apply() only runs from
+  // scheduler events, never inside this call.
+  memory_[v] = value;
+  ++stats_.local_writes;
+  sys_->share_out(id_, v, value);
+  on_change(v).notify_all();
+  return old;
+}
+
+void DsmNode::poke(VarId v, Word value) {
+  OPTSYNC_EXPECT(v < sys_->var_count());
+  ensure_capacity(v);
+  memory_[v] = value;
+}
+
+void DsmNode::enter_mutex_section() {
+  if (in_mutex_section_) {
+    throw ContractViolation(
+        "cannot safely nest mutex lock requests (node " +
+        std::to_string(id_) + " is already inside a critical section)");
+  }
+  in_mutex_section_ = true;
+}
+
+void DsmNode::exit_mutex_section() {
+  OPTSYNC_ENSURE(in_mutex_section_);
+  in_mutex_section_ = false;
+}
+
+void DsmNode::suspend_insharing() { suspended_ = true; }
+
+void DsmNode::resume_insharing() {
+  suspended_ = false;
+  if (draining_) return;  // already inside a drain higher up the stack
+  draining_ = true;
+  while (!suspended_ && !inbox_.empty()) {
+    Pending p = inbox_.front();
+    inbox_.pop_front();
+    apply(p);
+  }
+  draining_ = false;
+}
+
+void DsmNode::arm_interrupt(VarId v, InterruptHandler handler) {
+  OPTSYNC_EXPECT(handler != nullptr);
+  interrupts_[v] = std::move(handler);
+}
+
+void DsmNode::disarm_interrupt(VarId v) { interrupts_.erase(v); }
+
+bool DsmNode::interrupt_armed(VarId v) const {
+  return interrupts_.contains(v);
+}
+
+sim::Signal& DsmNode::on_change(VarId v) {
+  auto& slot = signals_[v];
+  if (!slot) slot = std::make_unique<sim::Signal>(sys_->scheduler());
+  return *slot;
+}
+
+void DsmNode::deliver(GroupId g, std::uint64_t seq, VarId v, Word value,
+                      NodeId origin) {
+  if (suspended_) {
+    inbox_.push_back(Pending{g, seq, v, value, origin});
+    ++stats_.queued_while_suspended;
+    return;
+  }
+  apply(Pending{g, seq, v, value, origin});
+}
+
+void DsmNode::apply(const Pending& p) {
+  // Hardware blocking (Fig. 6): drop root echoes of this node's own writes
+  // to mutex-protected data so a late echo can never overwrite values
+  // restored by a rollback. Lock variables are never dropped.
+  const VarInfo& info = sys_->var(p.var);
+  if (hw_blocking_ && p.origin == id_ && info.kind == VarKind::kMutexData) {
+    ++stats_.echoes_dropped;
+    return;
+  }
+
+  // GWC delivery invariant: root sequence numbers apply in increasing order.
+  auto& last = last_seq_[p.group];
+  OPTSYNC_ENSURE(p.seq > last);
+  last = p.seq;
+
+  ensure_capacity(p.var);
+  memory_[p.var] = p.value;
+  ++stats_.updates_applied;
+  if (log_applied_) {
+    applied_[p.group].push_back(
+        AppliedUpdate{p.seq, p.var, p.value, p.origin});
+  }
+
+  const auto it = interrupts_.find(p.var);
+  if (it != interrupts_.end()) {
+    // Atomic interrupt + insharing suspension (Fig. 5): later packets queue
+    // until the interrupt logic resumes insharing.
+    suspended_ = true;
+    ++stats_.interrupts;
+    // Copy the handler: it may disarm (erase) itself while running.
+    auto handler = it->second;
+    on_change(p.var).notify_all();
+    handler(p.var, p.value, p.origin);
+    return;
+  }
+  on_change(p.var).notify_all();
+}
+
+const std::vector<DsmNode::AppliedUpdate>& DsmNode::applied_log(
+    GroupId g) const {
+  static const std::vector<AppliedUpdate> kEmpty;
+  const auto it = applied_.find(g);
+  return it == applied_.end() ? kEmpty : it->second;
+}
+
+}  // namespace optsync::dsm

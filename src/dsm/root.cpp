@@ -1,0 +1,94 @@
+#include "dsm/root.hpp"
+
+#include <algorithm>
+
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/log.hpp"
+
+namespace optsync::dsm {
+
+GroupRoot::GroupRoot(DsmSystem& sys, GroupId gid) : sys_(&sys), gid_(gid) {}
+
+const GroupRoot::LockState& GroupRoot::lock_state(VarId lock) const {
+  static const LockState kIdle;
+  const auto it = locks_.find(lock);
+  return it == locks_.end() ? kIdle : it->second;
+}
+
+void GroupRoot::on_arrival(NodeId origin, VarId v, Word value) {
+  const VarInfo& info = sys_->var(v);
+  OPTSYNC_EXPECT(info.group == gid_);
+
+  switch (info.kind) {
+    case VarKind::kLock:
+      handle_lock_write(origin, v, value);
+      return;
+
+    case VarKind::kMutexData:
+      if (sys_->config().root_filters_speculative) {
+        const LockState& ls = lock_state(info.guard);
+        if (ls.holder != origin) {
+          // §4: "If the local CPU does not have the lock when the new
+          // values reach the root, it will discard them."
+          ++stats_.speculative_drops;
+          sim::log_debug("root g", gid_, " drops speculative write of ",
+                         info.name, "=", value, " from n", origin);
+          return;
+        }
+      }
+      multicast(v, value, origin);
+      return;
+
+    case VarKind::kData:
+      multicast(v, value, origin);
+      return;
+  }
+}
+
+void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value) {
+  LockState& ls = locks_[v];
+
+  if (value == kLockFree) {
+    // Release. The paper assumes correct bracketing; enforce it.
+    OPTSYNC_EXPECT(ls.holder == origin);
+    ++ls.releases;
+    if (!ls.queue.empty()) {
+      // "The root checks whether any nodes are queued awaiting exclusive
+      // access. If so, the next queued number is written as the new lock
+      // value" — the grant is appended right after the releaser's data.
+      ls.holder = ls.queue.front();
+      ls.queue.pop_front();
+      ++ls.queued_grants;
+      multicast(v, lock_grant_value(ls.holder), sys_->group(gid_).root());
+    } else {
+      ls.holder = kNoNode;
+      multicast(v, kLockFree, sys_->group(gid_).root());
+    }
+    return;
+  }
+
+  OPTSYNC_EXPECT(value < 0);  // a request: -(id + 1)
+  const NodeId requester = static_cast<NodeId>(-value - 1);
+  OPTSYNC_EXPECT(requester == origin);
+  OPTSYNC_EXPECT(ls.holder != requester);  // no nested acquisition (Fig. 4)
+  ++ls.requests;
+  if (ls.holder == kNoNode) {
+    ls.holder = requester;
+    ++ls.immediate_grants;
+    multicast(v, lock_grant_value(requester), sys_->group(gid_).root());
+  } else {
+    // Busy: queue the processor id; requests are consumed by the root and
+    // never propagate to other members.
+    ls.queue.push_back(requester);
+    ls.max_queue_depth = std::max(ls.max_queue_depth, ls.queue.size());
+  }
+}
+
+void GroupRoot::multicast(VarId v, Word value, NodeId origin) {
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.sequenced;
+  sys_->multicast(gid_, seq, v, value, origin);
+}
+
+}  // namespace optsync::dsm

@@ -1,0 +1,63 @@
+// The group root: sequencing arbiter and lock manager (paper §1.2, §2, §4).
+//
+// Every eagershared write of the group funnels to the root, which assigns a
+// group-wide sequence number and multicasts it down the spanning tree. The
+// root doubles as the lock manager for all lock variables of the group: lock
+// requests and releases are consumed here and turned into sequenced grant /
+// free writes. For optimistic synchronization the root additionally filters
+// mutex-data writes from nodes that do not hold the guard lock ("the group
+// root can suppress propagation of improper data changes", §4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "dsm/types.hpp"
+
+namespace optsync::dsm {
+
+class DsmSystem;
+
+class GroupRoot {
+ public:
+  GroupRoot(DsmSystem& sys, GroupId gid);
+  GroupRoot(const GroupRoot&) = delete;
+  GroupRoot& operator=(const GroupRoot&) = delete;
+
+  /// An eagershared write from `origin` arrives at the root.
+  void on_arrival(NodeId origin, VarId v, Word value);
+
+  /// Queue-lock state for one lock variable.
+  struct LockState {
+    NodeId holder = kNoNode;
+    std::deque<NodeId> queue;
+    std::uint64_t requests = 0;
+    std::uint64_t immediate_grants = 0;  ///< granted without queueing
+    std::uint64_t queued_grants = 0;     ///< granted from the queue
+    std::uint64_t releases = 0;
+    std::size_t max_queue_depth = 0;
+  };
+  [[nodiscard]] const LockState& lock_state(VarId lock) const;
+
+  struct Stats {
+    std::uint64_t sequenced = 0;
+    std::uint64_t speculative_drops = 0;  ///< filtered non-holder writes (§4)
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] GroupId group() const { return gid_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  void handle_lock_write(NodeId origin, VarId v, Word value);
+  void multicast(VarId v, Word value, NodeId origin);
+
+  DsmSystem* sys_;
+  GroupId gid_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<VarId, LockState> locks_;
+  Stats stats_;
+};
+
+}  // namespace optsync::dsm

@@ -1,0 +1,139 @@
+#include "dsm/system.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::dsm {
+
+DsmSystem::DsmSystem(sim::Scheduler& sched, const net::Topology& topo,
+                     DsmConfig config)
+    : sched_(&sched),
+      topo_(&topo),
+      config_(config),
+      net_(sched, topo, config.link),
+      jitter_rng_(config.jitter_seed) {
+  nodes_.reserve(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    nodes_.push_back(std::make_unique<DsmNode>(*this, i));
+  }
+}
+
+GroupId DsmSystem::create_group(std::vector<NodeId> members, NodeId root) {
+  for (const NodeId m : members) OPTSYNC_EXPECT(m < nodes_.size());
+  const auto gid = static_cast<GroupId>(groups_.size());
+  groups_.push_back(
+      std::make_unique<Group>(gid, *topo_, std::move(members), root));
+  roots_.push_back(std::make_unique<GroupRoot>(*this, gid));
+  return gid;
+}
+
+VarId DsmSystem::define_data(std::string name, GroupId g, Word init,
+                             std::uint32_t wire_bytes) {
+  OPTSYNC_EXPECT(g < groups_.size());
+  const auto v = static_cast<VarId>(vars_.size());
+  vars_.push_back(
+      VarInfo{std::move(name), g, VarKind::kData, kNoVar, wire_bytes});
+  initialize(v, init);
+  return v;
+}
+
+VarId DsmSystem::define_lock(std::string name, GroupId g) {
+  OPTSYNC_EXPECT(g < groups_.size());
+  const auto v = static_cast<VarId>(vars_.size());
+  vars_.push_back(VarInfo{std::move(name), g, VarKind::kLock, kNoVar, 0});
+  initialize(v, kLockFree);
+  return v;
+}
+
+VarId DsmSystem::define_mutex_data(std::string name, GroupId g, VarId lock,
+                                   Word init) {
+  OPTSYNC_EXPECT(g < groups_.size());
+  OPTSYNC_EXPECT(lock < vars_.size());
+  OPTSYNC_EXPECT(vars_[lock].kind == VarKind::kLock);
+  OPTSYNC_EXPECT(vars_[lock].group == g);
+  const auto v = static_cast<VarId>(vars_.size());
+  vars_.push_back(VarInfo{std::move(name), g, VarKind::kMutexData, lock, 0});
+  initialize(v, init);
+  return v;
+}
+
+void DsmSystem::initialize(VarId v, Word value) {
+  OPTSYNC_EXPECT(v < vars_.size());
+  for (const NodeId m : group(vars_[v].group).members()) {
+    nodes_[m]->poke(v, value);
+  }
+}
+
+DsmNode& DsmSystem::node(NodeId n) {
+  OPTSYNC_EXPECT(n < nodes_.size());
+  return *nodes_[n];
+}
+
+const DsmNode& DsmSystem::node(NodeId n) const {
+  OPTSYNC_EXPECT(n < nodes_.size());
+  return *nodes_[n];
+}
+
+const Group& DsmSystem::group(GroupId g) const {
+  OPTSYNC_EXPECT(g < groups_.size());
+  return *groups_[g];
+}
+
+GroupRoot& DsmSystem::root_of(GroupId g) {
+  OPTSYNC_EXPECT(g < roots_.size());
+  return *roots_[g];
+}
+
+const VarInfo& DsmSystem::var(VarId v) const {
+  OPTSYNC_EXPECT(v < vars_.size());
+  return vars_[v];
+}
+
+std::uint32_t DsmSystem::bytes_for(VarId v) const {
+  const VarInfo& info = vars_[v];
+  if (info.kind == VarKind::kLock) return config_.lock_bytes;
+  return info.wire_bytes != 0 ? info.wire_bytes : config_.update_bytes;
+}
+
+void DsmSystem::share_out(NodeId origin, VarId v, Word value) {
+  const VarInfo& info = vars_[v];
+  const Group& grp = group(info.group);
+  OPTSYNC_EXPECT(grp.contains(origin));
+  const NodeId root = grp.root();
+  const char* tag = info.kind == VarKind::kLock ? "lock-up" : "data-up";
+  net_.send_hops(origin, root, grp.up_hops(origin), bytes_for(v), tag,
+                 [this, g = info.group, origin, v, value] {
+                   roots_[g]->on_arrival(origin, v, value);
+                 });
+}
+
+void DsmSystem::multicast(GroupId g, std::uint64_t seq, VarId v, Word value,
+                          NodeId origin) {
+  const Group& grp = group(g);
+  const NodeId root = grp.root();
+  const char* tag = vars_[v].kind == VarKind::kLock ? "lock-down" : "data-down";
+  const std::uint32_t bytes = bytes_for(v);
+  sim::Duration proc = config_.root_process_ns;
+  if (config_.root_jitter_ns > 0) {
+    // Congestion injection: one draw per sequencing step (every member's
+    // copy of this update is delayed identically).
+    proc += jitter_rng_.below(config_.root_jitter_ns);
+  }
+  // The root dispatches sequenced updates as a serial server: dispatch
+  // times are monotone per group, so per-member delivery stays FIFO (the
+  // GWC guarantee) even under jittered processing times.
+  if (group_busy_until_.size() <= g) group_busy_until_.resize(g + 1, 0);
+  const sim::Time dispatch =
+      std::max(sched_->now(), group_busy_until_[g]) + proc;
+  group_busy_until_[g] = dispatch;
+  for (const NodeId m : grp.members()) {
+    sched_->at(dispatch, [this, &grp, root, m, g, seq, v, value, origin,
+                          bytes, tag] {
+      net_.send_hops(root, m, grp.down_hops(m), bytes, tag,
+                     [this, m, g, seq, v, value, origin] {
+                       nodes_[m]->deliver(g, seq, v, value, origin);
+                     });
+    });
+  }
+}
+
+}  // namespace optsync::dsm

@@ -1,0 +1,97 @@
+// DsmSystem: wires nodes, groups, roots, and the network together.
+//
+// This is the public entry point of the simulated Sesame substrate. Typical
+// setup (see examples/quickstart.cpp):
+//
+//   sim::Scheduler sched;
+//   auto topo = net::MeshTorus2D::near_square(16);
+//   dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+//   auto g    = sys.create_group({0,1,2,3}, /*root=*/1);
+//   auto lock = sys.define_lock("L", g);
+//   auto a    = sys.define_mutex_data("a", g, lock, /*init=*/0);
+//   ... spawn sim::Process coroutines that read/write through sys.node(i) ...
+//   sched.run();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/group.hpp"
+#include "dsm/node.hpp"
+#include "dsm/root.hpp"
+#include "dsm/types.hpp"
+#include "net/network.hpp"
+#include "simkern/random.hpp"
+#include "simkern/scheduler.hpp"
+
+namespace optsync::dsm {
+
+class DsmSystem {
+ public:
+  /// Creates one DsmNode per topology node. The topology must outlive the
+  /// system.
+  DsmSystem(sim::Scheduler& sched, const net::Topology& topo,
+            DsmConfig config = {});
+
+  DsmSystem(const DsmSystem&) = delete;
+  DsmSystem& operator=(const DsmSystem&) = delete;
+
+  // --- construction ----------------------------------------------------
+  /// Creates a sharing group over `members` rooted at `root`.
+  GroupId create_group(std::vector<NodeId> members, NodeId root);
+
+  /// Defines a plain eagershared variable, initialized on all members.
+  /// `wire_bytes` overrides the update packet size (0 = config default),
+  /// for modelling aggregates larger than one word.
+  VarId define_data(std::string name, GroupId g, Word init = 0,
+                    std::uint32_t wire_bytes = 0);
+
+  /// Defines a lock variable (initially free).
+  VarId define_lock(std::string name, GroupId g);
+
+  /// Defines a datum guarded by `lock` (root-filtered, HW-block eligible).
+  VarId define_mutex_data(std::string name, GroupId g, VarId lock,
+                          Word init = 0);
+
+  /// Re-initializes a variable on every group member without any traffic.
+  void initialize(VarId v, Word value);
+
+  // --- access ------------------------------------------------------------
+  [[nodiscard]] DsmNode& node(NodeId n);
+  [[nodiscard]] const DsmNode& node(NodeId n) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const Group& group(GroupId g) const;
+  [[nodiscard]] GroupRoot& root_of(GroupId g);
+  [[nodiscard]] const VarInfo& var(VarId v) const;
+  [[nodiscard]] std::size_t var_count() const { return vars_.size(); }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return *sched_; }
+  [[nodiscard]] const DsmConfig& config() const { return config_; }
+  [[nodiscard]] const net::Topology& topology() const { return *topo_; }
+
+  // --- substrate internals (used by DsmNode / GroupRoot) -----------------
+  /// Ships a node's write to its group root (up the spanning tree).
+  void share_out(NodeId origin, VarId v, Word value);
+
+  /// Root -> members: multicasts a sequenced update down the tree.
+  void multicast(GroupId g, std::uint64_t seq, VarId v, Word value,
+                 NodeId origin);
+
+  /// Wire size of messages about variable `v`.
+  [[nodiscard]] std::uint32_t bytes_for(VarId v) const;
+
+ private:
+  sim::Scheduler* sched_;
+  const net::Topology* topo_;
+  DsmConfig config_;
+  net::Network net_;
+  std::vector<std::unique_ptr<DsmNode>> nodes_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::vector<std::unique_ptr<GroupRoot>> roots_;
+  std::vector<VarInfo> vars_;
+  std::vector<sim::Time> group_busy_until_;  ///< root serial-dispatch clock
+  sim::Rng jitter_rng_{0};
+};
+
+}  // namespace optsync::dsm

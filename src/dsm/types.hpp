@@ -1,0 +1,112 @@
+// Core identifiers and wire-format constants of the Sesame DSM model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "net/link_model.hpp"
+#include "net/topology.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::dsm {
+
+using net::NodeId;
+
+/// Identifies an eagerly shared variable. Dense, assigned by DsmSystem.
+using VarId = std::uint32_t;
+
+/// Identifies a sharing group. Dense, assigned by DsmSystem.
+using GroupId = std::uint32_t;
+
+/// Value type of shared variables. The paper's variables are scalar words;
+/// aggregates are modelled as several variables plus an explicit byte size
+/// used for serialization costs.
+using Word = std::int64_t;
+
+/// Distinguished lock value meaning "free" (the paper's -99..99: a unique
+/// negative number matching no processor id).
+inline constexpr Word kLockFree = -999'999'999;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// How the group root and the sharing interfaces treat a variable.
+enum class VarKind {
+  kData,       ///< plain eagershared datum: sequenced, echoed to the writer
+  kMutexData,  ///< datum guarded by a lock: root filters writes from
+               ///< non-holders; HW blocking drops self-echoes (Fig. 6)
+  kLock        ///< lock variable: writes are requests/releases consumed by
+               ///< the root, which emits grants/frees as sequenced writes
+};
+
+/// Encodes a lock request for processor `id` (the paper writes the negated
+/// processor number). Node ids are 0-based; the wire value is -(id + 1) so
+/// node 0 is representable.
+constexpr Word lock_request_value(NodeId id) {
+  return -(static_cast<Word>(id) + 1);
+}
+
+/// Encodes a grant for processor `id` (the positive processor number).
+constexpr Word lock_grant_value(NodeId id) {
+  return static_cast<Word>(id) + 1;
+}
+
+/// True when a lock word means "granted to `id`".
+constexpr bool lock_granted_to(Word v, NodeId id) {
+  return v == lock_grant_value(id);
+}
+
+/// True when a lock word means "granted to someone".
+constexpr bool lock_held(Word v) { return v > 0; }
+
+/// Extracts the holder from a grant word. Precondition: lock_held(v).
+constexpr NodeId lock_holder(Word v) { return static_cast<NodeId>(v - 1); }
+
+/// Tuning knobs for the simulated Sesame substrate.
+struct DsmConfig {
+  net::LinkModel link = net::LinkModel::paper();
+  net::CpuModel cpu = net::CpuModel::paper();
+
+  /// Size on the wire of one sequenced data-update packet
+  /// (header + variable id + 8-byte value).
+  std::uint32_t update_bytes = 16;
+
+  /// Size of lock request / grant / release packets.
+  std::uint32_t lock_bytes = 16;
+
+  /// Root packet-handling latency per message (sequencing is done by the
+  /// sharing interface hardware; keep small).
+  sim::Duration root_process_ns = 25;
+
+  /// Root drops writes to mutex data from nodes not holding the guard lock
+  /// (the enabling mechanism for optimistic synchronization, §4).
+  bool root_filters_speculative = true;
+
+  /// Sharing interfaces drop root echoes of their own mutex-data writes
+  /// (the hardware blocking mechanism, Fig. 6).
+  bool hardware_blocking = true;
+
+  /// Adds a uniformly random [0, jitter) delay to each root sequencing step
+  /// (congestion/fault injection for robustness tests). The whole multicast
+  /// batch shares one draw, so per-member FIFO — and therefore GWC order —
+  /// is preserved by construction. 0 disables. Deterministic per seed.
+  sim::Duration root_jitter_ns = 0;
+  std::uint64_t jitter_seed = 0x0dd5eedull;
+};
+
+/// Variable metadata kept by the system.
+struct VarInfo {
+  std::string name;
+  GroupId group = 0;
+  VarKind kind = VarKind::kData;
+  /// For kMutexData: the lock variable that guards it (kNoVar otherwise).
+  VarId guard = std::numeric_limits<VarId>::max();
+  /// Wire size of update packets for this variable; 0 means the config
+  /// default. Lets workloads model aggregates larger than one word.
+  std::uint32_t wire_bytes = 0;
+};
+
+inline constexpr VarId kNoVar = std::numeric_limits<VarId>::max();
+
+}  // namespace optsync::dsm

@@ -1,0 +1,63 @@
+// Link cost model — the paper's physical constants.
+//
+// §4.1: "each data sharing hop in a square mesh torus takes 200 ns, and each
+// point to point fiber link is 1 gigabit/sec". Messages are cut-through
+// routed: one serialization at the source plus a per-hop switching latency.
+#pragma once
+
+#include <cstdint>
+
+#include "simkern/time.hpp"
+
+namespace optsync::net {
+
+struct LinkModel {
+  /// Per-hop switching/propagation latency.
+  sim::Duration hop_latency_ns = 200;
+
+  /// Serialization cost per byte. 1 Gbit/s = 8 ns per byte.
+  sim::Duration ns_per_byte = 8;
+
+  /// Fixed per-message software/interface overhead at the source.
+  /// The Sesame interface intercepts writes in hardware, so this is tiny.
+  sim::Duration fixed_overhead_ns = 0;
+
+  /// End-to-end delay of a `bytes`-byte message crossing `hops` hops.
+  /// hops == 0 (self-delivery) still pays serialization + overhead, which
+  /// models the interface loopback a root node uses for its own group.
+  [[nodiscard]] constexpr sim::Duration delay(unsigned hops,
+                                              std::uint32_t bytes) const {
+    return fixed_overhead_ns + static_cast<sim::Duration>(hops) * hop_latency_ns +
+           static_cast<sim::Duration>(bytes) * ns_per_byte;
+  }
+
+  /// The paper's configuration.
+  static constexpr LinkModel paper() { return LinkModel{}; }
+
+  /// Zero network delay — the "maximum speedup" bound in Figs. 2 and 8.
+  static constexpr LinkModel zero() { return LinkModel{0, 0, 0}; }
+};
+
+/// Compute cost model for simulated CPUs (paper §4.1: 33 MFLOPS peak,
+/// 400 MB/s local memory bandwidth).
+struct CpuModel {
+  double mflops = 33.0;
+  double mem_mb_per_s = 400.0;
+
+  /// Time to execute `flops` floating-point operations at peak speed.
+  [[nodiscard]] sim::Duration flops_time(std::uint64_t flops) const {
+    return static_cast<sim::Duration>(
+        static_cast<double>(flops) * 1'000.0 / mflops);
+  }
+
+  /// Time to stream `bytes` through local memory (MB = 1e6 bytes, so
+  /// 400 MB/s is exactly 2.5 ns per byte).
+  [[nodiscard]] sim::Duration mem_time(std::uint64_t bytes) const {
+    return static_cast<sim::Duration>(
+        static_cast<double>(bytes) * 1'000.0 / mem_mb_per_s);
+  }
+
+  static constexpr CpuModel paper() { return CpuModel{}; }
+};
+
+}  // namespace optsync::net

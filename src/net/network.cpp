@@ -1,0 +1,35 @@
+#include "net/network.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::net {
+
+void Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
+                   std::string_view tag, std::function<void()> on_delivery) {
+  send_hops(src, dst, topo_->hop_count(src, dst), bytes, tag,
+            std::move(on_delivery));
+}
+
+void Network::send_hops(NodeId src, NodeId dst, unsigned hops,
+                        std::uint32_t bytes, std::string_view tag,
+                        std::function<void()> on_delivery) {
+  OPTSYNC_EXPECT(on_delivery != nullptr);
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  stats_.hop_bytes += static_cast<std::uint64_t>(bytes) * hops;
+  const sim::Time sent_at = sched_->now();
+  const sim::Duration d = link_.delay(hops, bytes);
+  if (trace_) {
+    // Capture trace data now; emit at delivery so lines appear in arrival
+    // order, which is what the Fig. 7 trace bench wants to show.
+    sched_->after(d, [this, sent_at, src, dst, bytes, tag,
+                      cb = std::move(on_delivery)] {
+      trace_(MessageTrace{sent_at, sched_->now(), src, dst, bytes, tag});
+      cb();
+    });
+  } else {
+    sched_->after(d, std::move(on_delivery));
+  }
+}
+
+}  // namespace optsync::net

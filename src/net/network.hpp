@@ -1,0 +1,85 @@
+// Message delivery engine: topology + link model + scheduler.
+//
+// The network is connectionless and reliable (Sesame's tree protocol handles
+// retransmission in hardware; we model the common case of loss-free fiber,
+// as the paper's simulations do). Delivery order between a fixed (src, dst)
+// pair is FIFO because delays are deterministic per message size and the
+// scheduler breaks ties by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "net/link_model.hpp"
+#include "net/topology.hpp"
+#include "simkern/scheduler.hpp"
+
+namespace optsync::net {
+
+/// Counters exposed for benches and the EXPERIMENTS tables.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hop_bytes = 0;  ///< bytes weighted by hops travelled
+};
+
+/// One observed message; emitted to the trace hook when installed.
+struct MessageTrace {
+  sim::Time sent_at;
+  sim::Time delivered_at;
+  NodeId src;
+  NodeId dst;
+  std::uint32_t bytes;
+  std::string_view tag;  ///< protocol-level label, e.g. "lock-req"
+};
+
+class Network {
+ public:
+  Network(sim::Scheduler& sched, const Topology& topo, LinkModel link)
+      : sched_(&sched), topo_(&topo), link_(link) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return *sched_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const LinkModel& link() const { return link_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// End-to-end latency from src to dst for a message of `bytes`.
+  [[nodiscard]] sim::Duration latency(NodeId src, NodeId dst,
+                                      std::uint32_t bytes) const {
+    return link_.delay(topo_->hop_count(src, dst), bytes);
+  }
+
+  /// Latency across a pre-computed number of hops (tree-edge delivery).
+  [[nodiscard]] sim::Duration latency_hops(unsigned hops,
+                                           std::uint32_t bytes) const {
+    return link_.delay(hops, bytes);
+  }
+
+  /// Sends a message; `on_delivery` runs at the arrival time.
+  /// `tag` labels the message for tracing (must outlive the delivery —
+  /// callers pass string literals).
+  void send(NodeId src, NodeId dst, std::uint32_t bytes, std::string_view tag,
+            std::function<void()> on_delivery);
+
+  /// Sends across an explicit hop count (used for tree edges whose physical
+  /// length differs from the src-dst shortest path).
+  void send_hops(NodeId src, NodeId dst, unsigned hops, std::uint32_t bytes,
+                 std::string_view tag, std::function<void()> on_delivery);
+
+  /// Installs a hook observing every delivery (replaces any previous hook).
+  using TraceHook = std::function<void(const MessageTrace&)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+ private:
+  sim::Scheduler* sched_;
+  const Topology* topo_;
+  LinkModel link_;
+  NetworkStats stats_;
+  TraceHook trace_;
+};
+
+}  // namespace optsync::net

@@ -1,0 +1,99 @@
+#include "net/spanning_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::net {
+
+namespace {
+std::unordered_map<NodeId, std::size_t> build_index(
+    const std::vector<NodeId>& members) {
+  std::unordered_map<NodeId, std::size_t> idx;
+  idx.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const bool inserted = idx.emplace(members[i], i).second;
+    OPTSYNC_EXPECT(inserted);  // duplicate member ids are a caller bug
+  }
+  return idx;
+}
+}  // namespace
+
+SpanningTree::SpanningTree(const Topology& topo, std::vector<NodeId> members,
+                           NodeId root)
+    : members_(std::move(members)), root_(root) {
+  OPTSYNC_EXPECT(!members_.empty());
+  index_ = build_index(members_);
+  const auto& idx = index_;
+  OPTSYNC_EXPECT(idx.contains(root_));
+
+  const std::size_t m = members_.size();
+  parent_.assign(m, root_);
+  children_.assign(m, {});
+  depth_.assign(m, 0);
+  hops_to_root_.assign(m, 0);
+  edge_hops_.assign(m, 0);
+
+  // BFS over topology edges restricted to member nodes.
+  std::vector<bool> visited(m, false);
+  std::deque<NodeId> frontier;
+  frontier.push_back(root_);
+  visited[idx.at(root_)] = true;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    const std::size_t ci = idx.at(cur);
+    for (const NodeId nb : topo.neighbors(cur)) {
+      const auto it = idx.find(nb);
+      if (it == idx.end() || visited[it->second]) continue;
+      visited[it->second] = true;
+      parent_[it->second] = cur;
+      edge_hops_[it->second] = 1;
+      depth_[it->second] = depth_[ci] + 1;
+      hops_to_root_[it->second] = hops_to_root_[ci] + 1;
+      children_[ci].push_back(nb);
+      frontier.push_back(nb);
+    }
+  }
+
+  // Members unreachable through member-only paths hang directly off the
+  // root via a routed virtual link of shortest-path length.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (visited[i]) continue;
+    parent_[i] = root_;
+    edge_hops_[i] = topo.hop_count(members_[i], root_);
+    depth_[i] = 1;
+    hops_to_root_[i] = edge_hops_[i];
+    children_[idx.at(root_)].push_back(members_[i]);
+  }
+
+  radius_hops_ = *std::max_element(hops_to_root_.begin(), hops_to_root_.end());
+}
+
+std::size_t SpanningTree::index_of(NodeId n) const {
+  const auto it = index_.find(n);
+  OPTSYNC_EXPECT(it != index_.end());
+  return it->second;
+}
+
+bool SpanningTree::contains(NodeId n) const { return index_.contains(n); }
+
+NodeId SpanningTree::parent(NodeId n) const { return parent_[index_of(n)]; }
+
+const std::vector<NodeId>& SpanningTree::children(NodeId n) const {
+  return children_[index_of(n)];
+}
+
+unsigned SpanningTree::depth(NodeId n) const { return depth_[index_of(n)]; }
+
+unsigned SpanningTree::hops_to_root(NodeId n) const {
+  return hops_to_root_[index_of(n)];
+}
+
+unsigned SpanningTree::edge_hops(NodeId n) const {
+  return edge_hops_[index_of(n)];
+}
+
+}  // namespace optsync::net

@@ -1,0 +1,65 @@
+// BFS spanning trees for group multicast.
+//
+// Sesame routes, sequences, and retransmits all sharing traffic of a group
+// along a spanning tree rooted at the group root (paper §1.2). We build the
+// tree by breadth-first search over the topology restricted to the group's
+// members; when group members are not contiguous in the topology, tree edges
+// may span multiple physical hops (the edge weight records that).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace optsync::net {
+
+/// A multicast spanning tree over a subset of nodes, rooted at one of them.
+class SpanningTree {
+ public:
+  /// Builds the tree for `members` rooted at `root` (which must be a member).
+  /// BFS over the topology's neighbor relation gives minimum-depth trees on
+  /// member-connected topologies; for members that are only reachable through
+  /// non-members, the tree falls back to direct (shortest-path) edges whose
+  /// weight is the full hop distance — modelling a routed virtual link.
+  SpanningTree(const Topology& topo, std::vector<NodeId> members, NodeId root);
+
+  [[nodiscard]] NodeId root() const { return root_; }
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+  [[nodiscard]] bool contains(NodeId n) const;
+
+  /// Parent of `n` in the tree; root's parent is itself.
+  [[nodiscard]] NodeId parent(NodeId n) const;
+
+  /// Children of `n` in deterministic order.
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId n) const;
+
+  /// Tree depth of `n` in *tree edges* (root = 0).
+  [[nodiscard]] unsigned depth(NodeId n) const;
+
+  /// Physical hops from `n` to the root along tree edges.
+  [[nodiscard]] unsigned hops_to_root(NodeId n) const;
+
+  /// Physical hops of the single tree edge from `n` up to parent(n).
+  [[nodiscard]] unsigned edge_hops(NodeId n) const;
+
+  /// Largest hops_to_root over all members: the worst-case multicast radius.
+  [[nodiscard]] unsigned radius_hops() const { return radius_hops_; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(NodeId n) const;
+
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  NodeId root_;
+  // Indexed by member position (members_ order).
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<unsigned> depth_;
+  std::vector<unsigned> hops_to_root_;
+  std::vector<unsigned> edge_hops_;
+  unsigned radius_hops_ = 0;
+};
+
+}  // namespace optsync::net

@@ -1,0 +1,148 @@
+#include "net/topology.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::net {
+
+// ---------------------------------------------------------------- FullyConn
+FullyConnected::FullyConnected(std::size_t n) : n_(n) { OPTSYNC_EXPECT(n >= 1); }
+
+std::vector<NodeId> FullyConnected::neighbors(NodeId n) const {
+  OPTSYNC_EXPECT(n < n_);
+  std::vector<NodeId> out;
+  out.reserve(n_ - 1);
+  for (NodeId i = 0; i < n_; ++i)
+    if (i != n) out.push_back(i);
+  return out;
+}
+
+unsigned FullyConnected::hop_count(NodeId a, NodeId b) const {
+  OPTSYNC_EXPECT(a < n_ && b < n_);
+  return a == b ? 0u : 1u;
+}
+
+std::string FullyConnected::name() const {
+  return "fully-connected " + std::to_string(n_);
+}
+
+// --------------------------------------------------------------------- Ring
+Ring::Ring(std::size_t n) : n_(n) { OPTSYNC_EXPECT(n >= 1); }
+
+std::vector<NodeId> Ring::neighbors(NodeId n) const {
+  OPTSYNC_EXPECT(n < n_);
+  if (n_ == 1) return {};
+  if (n_ == 2) return {static_cast<NodeId>(1 - n)};
+  const auto left = static_cast<NodeId>((n + n_ - 1) % n_);
+  const auto right = static_cast<NodeId>((n + 1) % n_);
+  return {left, right};
+}
+
+unsigned Ring::hop_count(NodeId a, NodeId b) const {
+  OPTSYNC_EXPECT(a < n_ && b < n_);
+  const auto d = static_cast<unsigned>(a > b ? a - b : b - a);
+  return std::min(d, static_cast<unsigned>(n_) - d);
+}
+
+std::string Ring::name() const { return "ring " + std::to_string(n_); }
+
+// -------------------------------------------------------------- MeshTorus2D
+MeshTorus2D::MeshTorus2D(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  OPTSYNC_EXPECT(rows >= 1 && cols >= 1);
+}
+
+MeshTorus2D MeshTorus2D::near_square(std::size_t n) {
+  OPTSYNC_EXPECT(n >= 1);
+  std::size_t best = 1;
+  for (std::size_t r = 1; r * r <= n; ++r) {
+    if (n % r == 0) best = r;
+  }
+  return MeshTorus2D(best, n / best);
+}
+
+MeshTorus2D MeshTorus2D::compact(std::size_t n) {
+  OPTSYNC_EXPECT(n >= 1);
+  std::size_t rows = 1;
+  while ((rows + 1) * (rows + 1) <= n) ++rows;
+  const std::size_t cols = (n + rows - 1) / rows;
+  return MeshTorus2D(rows, cols);
+}
+
+std::vector<NodeId> MeshTorus2D::neighbors(NodeId n) const {
+  OPTSYNC_EXPECT(n < size());
+  const std::size_t r = n / cols_;
+  const std::size_t c = n % cols_;
+  std::vector<NodeId> out;
+  auto add = [&](std::size_t rr, std::size_t cc) {
+    const auto id = static_cast<NodeId>(rr * cols_ + cc);
+    if (id != n) out.push_back(id);
+  };
+  if (rows_ > 1) {
+    add((r + rows_ - 1) % rows_, c);
+    if (rows_ > 2) add((r + 1) % rows_, c);
+  }
+  if (cols_ > 1) {
+    add(r, (c + cols_ - 1) % cols_);
+    if (cols_ > 2) add(r, (c + 1) % cols_);
+  }
+  return out;
+}
+
+unsigned MeshTorus2D::hop_count(NodeId a, NodeId b) const {
+  OPTSYNC_EXPECT(a < size() && b < size());
+  const auto wrap_dist = [](std::size_t x, std::size_t y, std::size_t dim) {
+    const std::size_t d = x > y ? x - y : y - x;
+    return static_cast<unsigned>(std::min(d, dim - d));
+  };
+  const std::size_t ra = a / cols_, ca = a % cols_;
+  const std::size_t rb = b / cols_, cb = b % cols_;
+  return wrap_dist(ra, rb, rows_) + wrap_dist(ca, cb, cols_);
+}
+
+std::string MeshTorus2D::name() const {
+  return "mesh-torus " + std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+// ---------------------------------------------------------------- Hypercube
+Hypercube::Hypercube(std::size_t n) : n_(n) {
+  OPTSYNC_EXPECT(n >= 1 && std::has_single_bit(n));
+  dims_ = static_cast<unsigned>(std::bit_width(n) - 1);
+}
+
+std::vector<NodeId> Hypercube::neighbors(NodeId n) const {
+  OPTSYNC_EXPECT(n < n_);
+  std::vector<NodeId> out;
+  out.reserve(dims_);
+  for (unsigned d = 0; d < dims_; ++d) out.push_back(n ^ (1u << d));
+  return out;
+}
+
+unsigned Hypercube::hop_count(NodeId a, NodeId b) const {
+  OPTSYNC_EXPECT(a < n_ && b < n_);
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+std::string Hypercube::name() const {
+  return "hypercube " + std::to_string(n_);
+}
+
+// ------------------------------------------------------------------ factory
+std::unique_ptr<Topology> make_topology(TopologyKind kind, std::size_t n) {
+  switch (kind) {
+    case TopologyKind::kFullyConnected:
+      return std::make_unique<FullyConnected>(n);
+    case TopologyKind::kRing:
+      return std::make_unique<Ring>(n);
+    case TopologyKind::kMeshTorus:
+      return std::make_unique<MeshTorus2D>(MeshTorus2D::near_square(n));
+    case TopologyKind::kHypercube:
+      return std::make_unique<Hypercube>(n);
+  }
+  OPTSYNC_ENSURE(false && "unreachable: unknown TopologyKind");
+  return nullptr;
+}
+
+}  // namespace optsync::net

@@ -1,0 +1,117 @@
+// Interconnect topologies.
+//
+// The paper's evaluation (§4.1) assumes a square mesh torus with 200 ns per
+// hop and 1 Gbit/s point-to-point fiber links. The topology abstraction
+// provides neighbor sets (for spanning-tree construction) and shortest-path
+// hop counts (for the link cost model); additional topologies are used in
+// tests and the group-size ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optsync::net {
+
+/// Identifies a node (processor + Sesame sharing interface) in the network.
+using NodeId = std::uint32_t;
+
+/// Abstract interconnect: a connected undirected graph of nodes.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of nodes; ids are dense in [0, size()).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Direct neighbors of `n`, in a deterministic order.
+  [[nodiscard]] virtual std::vector<NodeId> neighbors(NodeId n) const = 0;
+
+  /// Shortest-path distance in hops (0 when a == b).
+  [[nodiscard]] virtual unsigned hop_count(NodeId a, NodeId b) const = 0;
+
+  /// Human-readable description, e.g. "mesh-torus 8x16".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Every node one hop from every other; the degenerate small-network case.
+class FullyConnected final : public Topology {
+ public:
+  explicit FullyConnected(std::size_t n);
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const override;
+  [[nodiscard]] unsigned hop_count(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t n_;
+};
+
+/// Bidirectional ring.
+class Ring final : public Topology {
+ public:
+  explicit Ring(std::size_t n);
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const override;
+  [[nodiscard]] unsigned hop_count(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t n_;
+};
+
+/// 2-D mesh with wrap-around links in both dimensions (a torus).
+/// Node id = row * cols + col; distance is the sum of per-dimension
+/// wrap-aware distances (dimension-order routing).
+class MeshTorus2D final : public Topology {
+ public:
+  MeshTorus2D(std::size_t rows, std::size_t cols);
+
+  /// Builds the most nearly square torus with exactly `n` nodes
+  /// (rows * cols == n, rows the largest divisor of n with rows <= sqrt(n)).
+  /// A prime n therefore degenerates to a 1 x n ring, matching how a real
+  /// installation would be laid out.
+  static MeshTorus2D near_square(std::size_t n);
+
+  /// Builds the smallest near-square torus with at least `n` slots
+  /// (rows = floor(sqrt(n)), cols = ceil(n / rows)). Workloads that need
+  /// exactly n processors use node ids [0, n) and leave the remainder idle
+  /// — how a real installation lays out an awkward count like 129 rather
+  /// than stretching to a 3 x 43 grid.
+  static MeshTorus2D compact(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const override { return rows_ * cols_; }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const override;
+  [[nodiscard]] unsigned hop_count(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+/// Binary hypercube; size must be a power of two.
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(std::size_t n);
+  [[nodiscard]] std::size_t size() const override { return n_; }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const override;
+  [[nodiscard]] unsigned hop_count(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t n_;
+  unsigned dims_;
+};
+
+/// Named topology kinds for command-line / bench configuration.
+enum class TopologyKind { kFullyConnected, kRing, kMeshTorus, kHypercube };
+
+/// Factory covering all kinds; mesh picks the near-square shape.
+std::unique_ptr<Topology> make_topology(TopologyKind kind, std::size_t n);
+
+}  // namespace optsync::net

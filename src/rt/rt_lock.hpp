@@ -1,0 +1,59 @@
+// The regular GWC queue lock for the threaded runtime — the blocking
+// counterpart of sync::GwcQueueLock, usable straight from std::threads.
+#pragma once
+
+#include <atomic>
+
+#include "rt/rt_group.hpp"
+
+namespace optsync::rt {
+
+class RtGwcQueueLock {
+ public:
+  RtGwcQueueLock(RtSystem& sys, VarId lock) : sys_(&sys), lock_(lock) {}
+  RtGwcQueueLock(const RtGwcQueueLock&) = delete;
+  RtGwcQueueLock& operator=(const RtGwcQueueLock&) = delete;
+
+  /// Requests the lock for node `n` and blocks the calling thread until the
+  /// grant reaches the node's local memory.
+  void acquire(NodeId n) {
+    sys_->atomic_exchange(n, lock_, dsm::lock_request_value(n));
+    sys_->wait_until(n, lock_,
+                     [n](Word v) { return dsm::lock_granted_to(v, n); });
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Releases the lock (caller must hold it).
+  void release(NodeId n) {
+    sys_->write(n, lock_, kLockFree);
+    releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// RAII guard for exception-safe sections.
+  class Guard {
+   public:
+    Guard(RtGwcQueueLock& lk, NodeId n) : lk_(&lk), n_(n) { lk.acquire(n); }
+    ~Guard() { lk_->release(n_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    RtGwcQueueLock* lk_;
+    NodeId n_;
+  };
+
+  [[nodiscard]] std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t releases() const {
+    return releases_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RtSystem* sys_;
+  VarId lock_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> releases_{0};
+};
+
+}  // namespace optsync::rt

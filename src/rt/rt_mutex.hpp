@@ -1,0 +1,86 @@
+// Optimistic mutual exclusion on the threaded runtime.
+//
+// The same Fig. 4/5 state machine as core::OptimisticMutex, but with the
+// interrupt handler genuinely racing the requesting thread: the handler runs
+// on the node's applier thread (where the sharing hardware would raise it),
+// while the section body runs on the caller's thread. Synchronization
+// between the two is the per-node state mutex + condition variable.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/usage_history.hpp"
+#include "rt/rt_group.hpp"
+
+namespace optsync::rt {
+
+class RtOptimisticMutex {
+ public:
+  struct Config {
+    bool enable_optimistic = true;
+    double history_threshold = 0.30;
+    double history_decay = 0.95;
+  };
+
+  RtOptimisticMutex(RtSystem& sys, VarId lock, Config cfg);
+  RtOptimisticMutex(RtSystem& sys, VarId lock)
+      : RtOptimisticMutex(sys, lock, Config{}) {}
+  RtOptimisticMutex(const RtOptimisticMutex&) = delete;
+  RtOptimisticMutex& operator=(const RtOptimisticMutex&) = delete;
+
+  struct Section {
+    /// Mutex-data variables the body writes (the rollback save list).
+    std::vector<VarId> shared_writes;
+    std::function<void()> save_locals;
+    std::function<void()> restore_locals;
+    /// Runs on the calling thread; re-run after a rollback, so must be
+    /// re-runnable.
+    std::function<void(NodeId)> body;
+  };
+
+  struct Outcome {
+    bool used_optimistic = false;
+    bool rolled_back = false;
+  };
+
+  /// Executes `section` on node `n` under the lock. Blocking call.
+  Outcome execute(NodeId n, const Section& section);
+
+  struct Stats {
+    std::atomic<std::uint64_t> executions{0};
+    std::atomic<std::uint64_t> optimistic_attempts{0};
+    std::atomic<std::uint64_t> optimistic_successes{0};
+    std::atomic<std::uint64_t> rollbacks{0};
+    std::atomic<std::uint64_t> regular_paths{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    explicit NodeState(double decay) : history(decay) {}
+    std::mutex mu;
+    std::condition_variable cv;
+    core::UsageHistory history;  // guarded by mu
+    bool in_section = false;
+    bool variables_saved = false;
+    bool pending_rollback = false;
+    bool granted = false;
+  };
+
+  NodeState& state(NodeId n);
+
+  RtSystem* sys_;
+  VarId lock_;
+  Config cfg_;
+  std::mutex states_mu_;
+  std::unordered_map<NodeId, std::unique_ptr<NodeState>> states_;
+  Stats stats_;
+};
+
+}  // namespace optsync::rt

@@ -1,0 +1,42 @@
+// Contract checking for the library (CppCoreGuidelines I.6/I.8 style).
+//
+// Violations throw ContractViolation so tests can assert on misuse, and so a
+// failed invariant inside a long simulation surfaces with context instead of
+// silently corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace optsync {
+
+/// Thrown when a precondition, postcondition, or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace optsync
+
+#define OPTSYNC_EXPECT(cond)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::optsync::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                       __LINE__);                          \
+  } while (false)
+
+#define OPTSYNC_ENSURE(cond)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::optsync::detail::contract_fail("invariant", #cond, __FILE__,       \
+                                       __LINE__);                          \
+  } while (false)

@@ -1,0 +1,73 @@
+// Typed FIFO channel for coroutine processes.
+//
+// The message-passing companion to Signal: producers push values, consumer
+// coroutines co_await pop(). Used by protocol code that wants explicit
+// queues (and by library users building their own engines on simkern).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "simkern/assert.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::sim {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : signal_(sched) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues an item and wakes waiting consumers.
+  /// Precondition: the channel is not closed.
+  void push(T item) {
+    OPTSYNC_EXPECT(!closed_);
+    items_.push_back(std::move(item));
+    signal_.notify_all();
+  }
+
+  /// Closes the channel: pending items still drain; pop() then yields
+  /// nullopt. Idempotent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    signal_.notify_all();
+  }
+
+  /// Awaits the next item; nullopt when the channel closed and drained.
+  /// Multiple concurrent consumers race fairly (wake order is FIFO).
+  sim::Process pop_into(std::optional<T>* out) {
+    OPTSYNC_EXPECT(out != nullptr);
+    while (items_.empty() && !closed_) {
+      co_await signal_.wait();
+    }
+    if (items_.empty()) {
+      *out = std::nullopt;
+      co_return;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  Signal signal_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace optsync::sim

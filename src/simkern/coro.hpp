@@ -1,0 +1,170 @@
+// C++20 coroutine processes for the discrete-event kernel.
+//
+// A simulated CPU program is written as a coroutine returning Process:
+//
+//   sim::Process worker(sim::Scheduler& sched, ...) {
+//     co_await sim::delay(sched, 500);     // compute for 500 ns
+//     co_await queue_not_empty.wait();     // block on a Signal
+//     ...
+//   }
+//
+// Processes start eagerly (they run until their first suspension when
+// created) and are resumed by scheduler events, never recursively, so the
+// event-at-a-time determinism of the kernel is preserved.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "simkern/assert.hpp"
+#include "simkern/scheduler.hpp"
+
+namespace optsync::sim {
+
+namespace detail {
+/// Shared completion record: lets Process handles outlive the coroutine
+/// frame and lets other coroutines join on completion.
+struct ProcessState {
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> joiners;
+};
+}  // namespace detail
+
+/// Handle to a running simulated process.
+///
+/// The coroutine frame owns itself (it is destroyed when the coroutine runs
+/// to completion); Process only holds the shared completion record. Dropping
+/// a Process handle therefore does NOT cancel the process — simulated
+/// programs run to completion like real ones.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type {
+    std::shared_ptr<detail::ProcessState> state =
+        std::make_shared<detail::ProcessState>();
+
+    Process get_return_object() { return Process(state); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto state = h.promise().state;
+        state->done = true;
+        auto joiners = std::move(state->joiners);
+        state->joiners.clear();
+        h.destroy();
+        // Resume joiners after destroying the frame: a joiner may itself
+        // complete and release resources the finished process referenced.
+        for (auto j : joiners) j.resume();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { state->error = std::current_exception(); }
+  };
+
+  Process() = default;
+
+  /// True once the coroutine has run to completion (normally or by throwing).
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+
+  /// Rethrows the exception that terminated the process, if any.
+  void rethrow_if_failed() const {
+    if (state_ && state_->error) std::rethrow_exception(state_->error);
+  }
+
+  [[nodiscard]] bool failed() const {
+    return state_ && state_->error != nullptr;
+  }
+
+  /// Awaitable that suspends the caller until this process completes.
+  /// Propagates the process's exception to the joiner.
+  auto join() {
+    struct Awaiter {
+      std::shared_ptr<detail::ProcessState> state;
+      bool await_ready() const { return state->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        state->joiners.push_back(h);
+      }
+      void await_resume() const {
+        if (state->error) std::rethrow_exception(state->error);
+      }
+    };
+    OPTSYNC_EXPECT(state_ != nullptr);
+    return Awaiter{state_};
+  }
+
+ private:
+  explicit Process(std::shared_ptr<detail::ProcessState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+/// Awaitable that resumes the coroutine after `d` simulated nanoseconds.
+inline auto delay(Scheduler& sched, Duration d) {
+  struct Awaiter {
+    Scheduler& sched;
+    Duration d;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sched.after(d, [h] { h.resume(); });
+    }
+    void await_resume() const {}
+  };
+  return Awaiter{sched, d};
+}
+
+/// Broadcast wake-up point for coroutines (a condition variable analog).
+///
+/// notify_all() resumes every current waiter *via scheduler events at the
+/// current time*, never inline, so a notifier's own state updates complete
+/// before any waiter observes them and wake order is deterministic.
+class Signal {
+ public:
+  explicit Signal(Scheduler& sched) : sched_(&sched) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Awaitable: suspends until the next notify_all().
+  auto wait() {
+    struct Awaiter {
+      Signal& sig;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sig.waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Wakes all coroutines currently waiting. Waiters that arrive during the
+  /// notification are not woken (standard condvar semantics).
+  void notify_all() {
+    if (waiters_.empty()) return;
+    auto batch = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : batch) {
+      sched_->after(0, [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Scheduler* sched_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// NOTE: "wait until predicate" is written at call sites as the standard
+// condition-variable idiom, which works verbatim with Signal:
+//
+//   while (!pred()) co_await sig.wait();
+
+}  // namespace optsync::sim

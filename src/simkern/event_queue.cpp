@@ -1,0 +1,64 @@
+#include "simkern/event_queue.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::sim {
+
+EventId EventQueue::push(Time when, Callback cb) {
+  OPTSYNC_EXPECT(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (cancelled_.contains(id)) return false;
+  // An id is live iff it is still somewhere in the heap; fired events were
+  // removed, so probing the heap is the only authoritative check. Scanning is
+  // O(n) but cancellation is rare (only interrupt disarm paths use it).
+  const bool pending = std::any_of(heap_.begin(), heap_.end(),
+                                   [id](const Entry& e) { return e.id == id; });
+  if (!pending) return false;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() {
+  if (live_ == 0) return kNever;
+  drop_cancelled_top();
+  return heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_top();
+  OPTSYNC_EXPECT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return Popped{e.time, e.id, std::move(e.callback)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+}  // namespace optsync::sim

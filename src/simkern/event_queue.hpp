@@ -1,0 +1,80 @@
+// Priority queue of timed events with stable FIFO ordering and cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "simkern/time.hpp"
+
+namespace optsync::sim {
+
+/// Identifies a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+/// Min-heap of events ordered by (time, insertion sequence).
+///
+/// The sequence tie-break makes the kernel fully deterministic: two events
+/// scheduled for the same instant always fire in scheduling order, so a given
+/// seed reproduces a simulation bit-for-bit.
+///
+/// Cancellation is lazy: cancelled ids are remembered and their entries are
+/// dropped when they reach the top of the heap.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Inserts an event; returns an id usable with cancel().
+  EventId push(Time when, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kNever when empty.
+  /// Amortized O(log n): lazily discards cancelled tombstones at the top.
+  [[nodiscard]] Time next_time();
+
+  /// Removes and returns the earliest live event.
+  /// Precondition: !empty().
+  struct Popped {
+    Time time;
+    EventId id;
+    Callback callback;
+  };
+  Popped pop();
+
+  /// Drops all events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace optsync::sim

@@ -1,0 +1,90 @@
+// Minimal leveled logger with simulated-time prefixes.
+//
+// Benches use Level::kInfo for trace output (Fig. 7 message traces); the
+// test suite keeps the logger at kWarn so thousands of simulations stay
+// silent. Not thread-safe by design — only the simulated (single-threaded)
+// substrate logs through it; the threaded runtime reports via its own stats.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "simkern/time.hpp"
+
+namespace optsync::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Scheduler;
+
+/// Per-simulation logger. Owns no stream; writes through a sink callback so
+/// tests can capture output and benches can tee to files.
+class Logger {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  Logger() = default;
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the sink. Default sink writes to stderr.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Attaches a scheduler so lines carry simulated timestamps.
+  void attach_clock(const Scheduler* sched) { clock_ = sched; }
+
+  [[nodiscard]] bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  void log(LogLevel lvl, std::string_view msg);
+
+  /// Global logger used by the simulated substrate.
+  static Logger& global();
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  const Scheduler* clock_ = nullptr;
+};
+
+namespace detail {
+template <class... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <class... Args>
+void log_trace(Args&&... args) {
+  auto& lg = Logger::global();
+  if (lg.enabled(LogLevel::kTrace))
+    lg.log(LogLevel::kTrace, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_debug(Args&&... args) {
+  auto& lg = Logger::global();
+  if (lg.enabled(LogLevel::kDebug))
+    lg.log(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_info(Args&&... args) {
+  auto& lg = Logger::global();
+  if (lg.enabled(LogLevel::kInfo))
+    lg.log(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <class... Args>
+void log_warn(Args&&... args) {
+  auto& lg = Logger::global();
+  if (lg.enabled(LogLevel::kWarn))
+    lg.log(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace optsync::sim

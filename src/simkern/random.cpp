@@ -1,0 +1,34 @@
+#include "simkern/random.hpp"
+
+#include <cmath>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::sim {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  OPTSYNC_EXPECT(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  OPTSYNC_EXPECT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::exponential(double mean) {
+  OPTSYNC_EXPECT(mean > 0.0);
+  // Avoid log(0) by nudging u away from zero.
+  const double u = 1.0 - uniform01();
+  return -mean * std::log(u);
+}
+
+}  // namespace optsync::sim

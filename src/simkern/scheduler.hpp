@@ -1,0 +1,74 @@
+// The discrete-event simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simkern/event_queue.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::sim {
+
+/// Single-threaded deterministic discrete-event scheduler.
+///
+/// Everything in the simulated world (network message arrivals, CPU compute
+/// completions, interrupt deliveries) is an event. Events at equal times fire
+/// in scheduling order, so simulations are reproducible.
+///
+/// The scheduler is deliberately not thread-safe: the whole point of the
+/// simulated substrate is determinism. The threaded runtime under rt/ covers
+/// real concurrency.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when`.
+  /// Precondition: when >= now() (the simulation cannot affect its past).
+  EventId at(Time when, Callback cb);
+
+  /// Schedules `cb` to run `delay` from now.
+  EventId after(Duration delay, Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs a single event if one is pending. Returns false when idle.
+  bool step();
+
+  /// Runs until the event queue drains or stop() is called.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run();
+
+  /// Runs events with time <= deadline; leaves later events pending.
+  /// Afterwards now() == min(deadline, time the queue drained).
+  std::uint64_t run_until(Time deadline);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// True when no events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed over the scheduler's lifetime.
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace optsync::sim

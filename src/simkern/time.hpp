@@ -1,0 +1,54 @@
+// Simulated-time types for the discrete-event kernel.
+//
+// All simulated durations are integral nanoseconds. The paper's cost model
+// (200 ns per mesh hop, 1 Gbit/s links, 33 MFLOPS CPUs) is expressed exactly
+// in these units, so every figure bench is integer-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace optsync::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+/// A span of simulated time in nanoseconds.
+using Duration = std::uint64_t;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return v; }
+constexpr Duration operator""_us(unsigned long long v) { return v * 1'000ull; }
+constexpr Duration operator""_ms(unsigned long long v) {
+  return v * 1'000'000ull;
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return v * 1'000'000'000ull;
+}
+}  // namespace literals
+
+/// Renders a time as a human-readable string with an adaptive unit,
+/// e.g. 1234 -> "1.234us", 5000000 -> "5.000ms".
+inline std::string format_time(Time t) {
+  char buf[48];
+  if (t < 1'000ull) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(t));
+  } else if (t < 1'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(t) / 1e3);
+  } else if (t < 1'000'000'000ull) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(t) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(t) / 1e9);
+  }
+  return buf;
+}
+
+/// Converts a simulated time to (floating) seconds; used by the stats layer
+/// when computing rates such as tasks/second or MFLOPS sustained.
+inline double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace optsync::sim

@@ -1,0 +1,3 @@
+// metrics.hpp is header-only; this TU exists so the module owns a .o and
+// future non-inline additions have a home.
+#include "stats/metrics.hpp"

@@ -1,0 +1,55 @@
+// Efficiency and speedup accounting (paper §3.1, §4.1).
+//
+// "Speedup is average processor efficiency times network size. Efficiency is
+// the percentage of peak processor speed." Workloads report useful compute
+// time per node; network power = (sum of useful time) / elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::stats {
+
+class EfficiencyMeter {
+ public:
+  explicit EfficiencyMeter(std::size_t nodes) : useful_(nodes, 0) {}
+
+  /// Credits `d` nanoseconds of useful (peak-speed) computation to node `n`.
+  void add_useful(net::NodeId n, sim::Duration d) { useful_.at(n) += d; }
+
+  /// Fraction of `elapsed` node `n` spent computing usefully.
+  [[nodiscard]] double efficiency(net::NodeId n, sim::Time elapsed) const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(useful_.at(n)) /
+                              static_cast<double>(elapsed);
+  }
+
+  /// Average efficiency over all nodes.
+  [[nodiscard]] double average_efficiency(sim::Time elapsed) const {
+    return network_power(elapsed) / static_cast<double>(useful_.size());
+  }
+
+  /// "Network power": average efficiency times network size — equivalently
+  /// the equivalent number of fully-busy processors.
+  [[nodiscard]] double network_power(sim::Time elapsed) const {
+    if (elapsed == 0) return 0.0;
+    std::uint64_t sum = 0;
+    for (const auto u : useful_) sum += u;
+    return static_cast<double>(sum) / static_cast<double>(elapsed);
+  }
+
+  [[nodiscard]] sim::Duration useful(net::NodeId n) const {
+    return useful_.at(n);
+  }
+  [[nodiscard]] std::size_t nodes() const { return useful_.size(); }
+
+  void reset() { useful_.assign(useful_.size(), 0); }
+
+ private:
+  std::vector<sim::Duration> useful_;
+};
+
+}  // namespace optsync::stats

@@ -1,0 +1,32 @@
+// Plain-text table / CSV rendering for the figure benches.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optsync::stats {
+
+/// Right-aligned fixed-width text table with a header row, plus CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optsync::stats

@@ -1,0 +1,86 @@
+#include "stats/timeline.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::stats {
+
+Timeline::Timeline(std::size_t lanes) : lanes_(lanes), notes_(lanes) {}
+
+void Timeline::record(std::size_t lane, sim::Time start, sim::Time end,
+                      Activity a) {
+  OPTSYNC_EXPECT(lane < lanes_.size());
+  OPTSYNC_EXPECT(start <= end);
+  if (start == end) return;
+  lanes_[lane].push_back(Interval{start, end, a});
+}
+
+void Timeline::annotate(std::size_t lane, sim::Time at, std::string text) {
+  OPTSYNC_EXPECT(lane < lanes_.size());
+  notes_[lane].push_back(Annotation{at, std::move(text)});
+}
+
+void Timeline::render(std::ostream& os, sim::Time horizon, std::size_t width,
+                      const std::vector<std::string>& lane_names) const {
+  OPTSYNC_EXPECT(width >= 8);
+  if (horizon == 0) horizon = 1;
+
+  std::size_t label_width = 6;
+  for (const auto& n : lane_names) label_width = std::max(label_width, n.size());
+
+  auto col = [&](sim::Time t) {
+    return std::min(width - 1,
+                    static_cast<std::size_t>(static_cast<double>(t) /
+                                             static_cast<double>(horizon) *
+                                             static_cast<double>(width)));
+  };
+
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    std::string row(width, ' ');
+    for (const auto& iv : lanes_[lane]) {
+      if (iv.start >= horizon) continue;
+      const std::size_t c0 = col(iv.start);
+      const std::size_t c1 = col(std::min(iv.end, horizon));
+      for (std::size_t c = c0; c <= c1 && c < width; ++c) {
+        row[c] = static_cast<char>(iv.activity);
+      }
+    }
+    std::string name =
+        lane < lane_names.size() ? lane_names[lane] : "lane" + std::to_string(lane);
+    name.resize(label_width, ' ');
+    os << name << " |" << row << "|\n";
+    for (const auto& note : notes_[lane]) {
+      os << std::string(label_width, ' ') << "  @" << sim::format_time(note.at)
+         << ": " << note.text << "\n";
+    }
+  }
+  os << std::string(label_width, ' ') << "  0" << std::string(width - 4, ' ')
+     << sim::format_time(horizon) << "\n";
+  os << std::string(label_width, ' ')
+     << "  legend: #=compute M=mutex-section .=wait R=rollback ~=transfer\n";
+}
+
+sim::Duration Timeline::total(std::size_t lane, Activity a) const {
+  OPTSYNC_EXPECT(lane < lanes_.size());
+  sim::Duration sum = 0;
+  for (const auto& iv : lanes_[lane]) {
+    if (iv.activity == a) sum += iv.end - iv.start;
+  }
+  return sum;
+}
+
+ScopedActivity::ScopedActivity(Timeline& tl, std::size_t lane, Activity a,
+                               const sim::Scheduler& sched)
+    : tl_(&tl), lane_(lane), activity_(a), sched_(&sched),
+      start_(sched.now()) {}
+
+ScopedActivity::~ScopedActivity() { stop(); }
+
+void ScopedActivity::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  tl_->record(lane_, start_, sched_->now(), activity_);
+}
+
+}  // namespace optsync::stats

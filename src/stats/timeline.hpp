@@ -1,0 +1,76 @@
+// Interval recording + ASCII Gantt rendering, used to regenerate the
+// paper's timing diagrams (Fig. 1) and the rollback interaction (Fig. 7).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "simkern/scheduler.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::stats {
+
+/// What a processor was doing during an interval. The glyphs are what the
+/// ASCII renderer paints.
+enum class Activity : char {
+  kCompute = '#',   ///< useful local computation
+  kMutex = 'M',     ///< computing inside the critical section
+  kWait = '.',      ///< idle, waiting for a lock / data
+  kRollback = 'R',  ///< restoring journal state
+  kTransfer = '~',  ///< waiting on an explicit data transfer
+};
+
+/// Records per-lane (usually per-CPU) activity intervals.
+class Timeline {
+ public:
+  explicit Timeline(std::size_t lanes);
+
+  void record(std::size_t lane, sim::Time start, sim::Time end, Activity a);
+
+  /// Adds a point annotation (rendered in the legend with its time).
+  void annotate(std::size_t lane, sim::Time at, std::string text);
+
+  /// Renders all lanes over [0, horizon] scaled to `width` columns.
+  void render(std::ostream& os, sim::Time horizon, std::size_t width = 96,
+              const std::vector<std::string>& lane_names = {}) const;
+
+  /// Total time lane spent in activity `a` within [0, horizon].
+  [[nodiscard]] sim::Duration total(std::size_t lane, Activity a) const;
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+
+ private:
+  struct Interval {
+    sim::Time start;
+    sim::Time end;
+    Activity activity;
+  };
+  struct Annotation {
+    sim::Time at;
+    std::string text;
+  };
+  std::vector<std::vector<Interval>> lanes_;
+  std::vector<std::vector<Annotation>> notes_;
+};
+
+/// RAII helper: records an interval from construction to stop()/destruction.
+class ScopedActivity {
+ public:
+  ScopedActivity(Timeline& tl, std::size_t lane, Activity a,
+                 const sim::Scheduler& sched);
+  ~ScopedActivity();
+  void stop();
+
+ private:
+  Timeline* tl_;
+  std::size_t lane_;
+  Activity activity_;
+  const sim::Scheduler* sched_;
+  sim::Time start_;
+  bool stopped_ = false;
+};
+
+}  // namespace optsync::stats

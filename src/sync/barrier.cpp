@@ -1,0 +1,51 @@
+#include "sync/barrier.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::sync {
+
+EagerBarrier::EagerBarrier(dsm::DsmSystem& sys, dsm::GroupId g,
+                           std::string name)
+    : sys_(&sys), group_(g), members_(sys.group(g).members()) {
+  arrivals_.reserve(members_.size());
+  for (const dsm::NodeId m : members_) {
+    arrivals_.push_back(
+        sys.define_data(name + ".arrive." + std::to_string(m), g, 0));
+  }
+}
+
+std::size_t EagerBarrier::index_of(dsm::NodeId n) const {
+  const auto it = std::find(members_.begin(), members_.end(), n);
+  OPTSYNC_EXPECT(it != members_.end());
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+dsm::Word EagerBarrier::generation(dsm::NodeId n) const {
+  return sys_->node(n).read(arrivals_[index_of(n)]);
+}
+
+sim::Process EagerBarrier::wait(dsm::NodeId n) {
+  // Membership check throws synchronously (before the coroutine frame).
+  const std::size_t me = index_of(n);
+  return wait_impl(n, me);
+}
+
+sim::Process EagerBarrier::wait_impl(dsm::NodeId n, std::size_t me) {
+  auto& node = sys_->node(n);
+  const dsm::Word gen = node.read(arrivals_[me]) + 1;
+  node.write(arrivals_[me], gen);  // single-writer: no lock needed
+
+  // Chase the laggards: wait on whichever member's local copy is still
+  // behind, one at a time. Each arrival is pushed here by eagersharing, so
+  // the checks are free local reads.
+  for (std::size_t j = 0; j < arrivals_.size(); ++j) {
+    while (node.read(arrivals_[j]) < gen) {
+      co_await node.on_change(arrivals_[j]).wait();
+    }
+  }
+  ++stats_.episodes;
+}
+
+}  // namespace optsync::sync

@@ -1,0 +1,53 @@
+// A fully decentralized barrier on eagersharing.
+//
+// §2's single-writer principle generalized: every participant owns one
+// arrival-counter variable (single writer — no lock needed), and everybody
+// sums their *local copies* to detect that the generation is complete.
+// Eagersharing pushes each arrival to all members unprompted, so the whole
+// barrier costs exactly one shared write per participant per episode — no
+// polling traffic, no lock manager, no coordinator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::sync {
+
+class EagerBarrier {
+ public:
+  /// Creates per-participant arrival variables in group `g` for exactly the
+  /// group's members.
+  EagerBarrier(dsm::DsmSystem& sys, dsm::GroupId g, std::string name);
+
+  EagerBarrier(const EagerBarrier&) = delete;
+  EagerBarrier& operator=(const EagerBarrier&) = delete;
+
+  /// Enters the barrier on node `n` and completes when every member's
+  /// arrival (as seen in n's local memory) reaches this episode.
+  /// Use as: co_await bar.wait(n).join();
+  sim::Process wait(dsm::NodeId n);
+
+  /// Episodes completed at node `n` (its own arrival count).
+  [[nodiscard]] dsm::Word generation(dsm::NodeId n) const;
+
+  struct Stats {
+    std::uint64_t episodes = 0;  ///< total wait() completions
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(dsm::NodeId n) const;
+  sim::Process wait_impl(dsm::NodeId n, std::size_t me);
+
+  dsm::DsmSystem* sys_;
+  dsm::GroupId group_;
+  std::vector<dsm::NodeId> members_;
+  std::vector<dsm::VarId> arrivals_;  ///< arrivals_[i] written only by
+                                      ///< members_[i]
+  Stats stats_;
+};
+
+}  // namespace optsync::sync

@@ -1,0 +1,43 @@
+#include "sync/gwc_lock.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::sync {
+
+using dsm::lock_grant_value;
+using dsm::lock_request_value;
+
+GwcQueueLock::GwcQueueLock(dsm::DsmSystem& sys, dsm::VarId lock)
+    : sys_(&sys), lock_(lock) {
+  OPTSYNC_EXPECT(sys.var(lock).kind == dsm::VarKind::kLock);
+}
+
+sim::Process GwcQueueLock::acquire(dsm::NodeId n) {
+  auto& node = sys_->node(n);
+  OPTSYNC_EXPECT(!held_by(n));  // no nested acquisition
+  const sim::Time requested = sys_->scheduler().now();
+
+  node.atomic_exchange(lock_, lock_request_value(n));
+  while (node.read(lock_) != lock_grant_value(n)) {
+    co_await node.on_change(lock_).wait();
+  }
+
+  const sim::Duration waited = sys_->scheduler().now() - requested;
+  ++stats_.acquisitions;
+  stats_.total_wait_ns += waited;
+  stats_.max_wait_ns = std::max(stats_.max_wait_ns, waited);
+}
+
+void GwcQueueLock::release(dsm::NodeId n) {
+  OPTSYNC_EXPECT(held_by(n));
+  sys_->node(n).write(lock_, dsm::kLockFree);
+  ++stats_.releases;
+}
+
+bool GwcQueueLock::held_by(dsm::NodeId n) const {
+  return sys_->node(n).read(lock_) == lock_grant_value(n);
+}
+
+}  // namespace optsync::sync

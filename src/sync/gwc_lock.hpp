@@ -1,0 +1,56 @@
+// The regular (non-optimistic) GWC queue lock (paper §2).
+//
+// A lock is an ordinary eagerly shared variable. A requester atomically
+// writes -(its id) into the local copy; the sharing interface forwards the
+// request to the group root, which grants immediately or queues the id.
+// The grant (+id) and the free value propagate as sequenced group writes,
+// so "a processor always receives exclusive access within one or one half
+// round-trip time of the lock being freed" and grants always follow the
+// previous holder's data writes.
+//
+// This is the standalone client used by workloads that manage the critical
+// section themselves; OptimisticMutex::execute subsumes it when a prepared
+// Section is available.
+#pragma once
+
+#include "dsm/system.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::sync {
+
+class GwcQueueLock {
+ public:
+  /// `lock` must be a lock variable of `sys`.
+  GwcQueueLock(dsm::DsmSystem& sys, dsm::VarId lock);
+
+  GwcQueueLock(const GwcQueueLock&) = delete;
+  GwcQueueLock& operator=(const GwcQueueLock&) = delete;
+
+  /// Requests the lock for node `n` and completes when the grant reaches
+  /// the node's local memory. Use as: co_await lk.acquire(n).join();
+  sim::Process acquire(dsm::NodeId n);
+
+  /// Releases the lock (must follow the holder's last data write so GWC
+  /// ordering carries data-before-release to every member).
+  void release(dsm::NodeId n);
+
+  /// True when node `n`'s local copy shows `n` as the holder.
+  [[nodiscard]] bool held_by(dsm::NodeId n) const;
+
+  [[nodiscard]] dsm::VarId lock_var() const { return lock_; }
+
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t releases = 0;
+    sim::Duration total_wait_ns = 0;  ///< request-to-grant, summed
+    sim::Duration max_wait_ns = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  dsm::DsmSystem* sys_;
+  dsm::VarId lock_;
+  Stats stats_;
+};
+
+}  // namespace optsync::sync

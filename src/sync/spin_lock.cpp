@@ -1,0 +1,51 @@
+#include "sync/spin_lock.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::sync {
+
+TasSpinLock::TasSpinLock(net::Network& net, net::NodeId home, Config cfg)
+    : net_(&net), home_(home), cfg_(cfg) {
+  OPTSYNC_EXPECT(home < net.topology().size());
+}
+
+sim::Process TasSpinLock::acquire(net::NodeId n) {
+  // Note: holder_ may still read as n while this node's previous release is
+  // in flight; the test-and-set at the home node simply fails and retries.
+  auto& sched = net_->scheduler();
+  sim::Signal reply(sched);
+  sim::Duration backoff = cfg_.backoff_base_ns;
+
+  for (;;) {
+    ++stats_.attempts;
+    bool replied = false;
+    bool won = false;
+    net_->send(n, home_, cfg_.msg_bytes, "tas-req", [&] {
+      // Test-and-set executes atomically at the home node on arrival.
+      const bool ok = holder_ == kNoHolder;
+      if (ok) holder_ = n;
+      net_->send(home_, n, cfg_.msg_bytes, "tas-rep", [&, ok] {
+        won = ok;
+        replied = true;
+        reply.notify_all();
+      });
+    });
+    while (!replied) co_await reply.wait();
+    if (won) break;
+    co_await sim::delay(sched, backoff);
+    backoff = std::min(backoff * 2, cfg_.backoff_max_ns);
+  }
+  ++stats_.acquisitions;
+}
+
+void TasSpinLock::release(net::NodeId n) {
+  OPTSYNC_EXPECT(holder_ == n);
+  net_->send(n, home_, cfg_.msg_bytes, "tas-rel", [this] {
+    holder_ = kNoHolder;
+    ++stats_.releases;
+  });
+}
+
+}  // namespace optsync::sync

@@ -1,0 +1,60 @@
+// Test-and-set spin lock over demand-fetch remote access — the classical
+// baseline the paper contrasts with queue locks (§1.3: "In distributed
+// systems repeatedly testing locks produces too much network traffic").
+//
+// The lock word lives on a home node; every test-and-set is a full network
+// round trip, retried with bounded exponential backoff. Used by the
+// contention ablation bench to show why queue-based locks are the right
+// substrate for DSM synchronization.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::sync {
+
+class TasSpinLock {
+ public:
+  struct Config {
+    std::uint32_t msg_bytes = 16;
+    sim::Duration backoff_base_ns = 400;
+    sim::Duration backoff_max_ns = 51'200;
+  };
+
+  TasSpinLock(net::Network& net, net::NodeId home, Config cfg);
+  TasSpinLock(net::Network& net, net::NodeId home)
+      : TasSpinLock(net, home, Config{}) {}
+
+  TasSpinLock(const TasSpinLock&) = delete;
+  TasSpinLock& operator=(const TasSpinLock&) = delete;
+
+  /// Spins (with backoff) until the test-and-set succeeds.
+  /// Use as: co_await lk.acquire(n).join();
+  sim::Process acquire(net::NodeId n);
+
+  /// Sends the release to the home node. The lock frees when it arrives.
+  void release(net::NodeId n);
+
+  [[nodiscard]] bool held() const { return holder_ != kNoHolder; }
+  [[nodiscard]] net::NodeId holder() const { return holder_; }
+
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t attempts = 0;  ///< test-and-set round trips issued
+    std::uint64_t releases = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr net::NodeId kNoHolder = ~net::NodeId{0};
+
+  net::Network* net_;
+  net::NodeId home_;
+  Config cfg_;
+  net::NodeId holder_ = kNoHolder;
+  Stats stats_;
+};
+
+}  // namespace optsync::sync

@@ -1,0 +1,107 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optsync::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+Flags::Flags(const std::vector<std::string>& args) { parse(args); }
+
+void Flags::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("bare '--' is not a valid flag");
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // boolean `--name`.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+void Flags::allow_only(const std::vector<std::string>& allowed) const {
+  for (const auto& [name, _] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace optsync::util

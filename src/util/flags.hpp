@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for the CLI tools and benches.
+//
+// Supports `--name value`, `--name=value`, boolean `--name`, and positional
+// arguments. Unknown flags are errors (fail fast beats silent typos).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace optsync::util {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  /// Also usable directly from a vector (tests).
+  explicit Flags(const std::vector<std::string>& args);
+
+  /// Positional arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value; `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value; throws std::invalid_argument on non-numeric.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Floating-point value.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Boolean: `--x` or `--x=true/1/yes` is true; `--x=false/0/no` is false.
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool fallback = false) const;
+
+  /// Names seen on the command line (for validation / help text).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Throws std::invalid_argument when a present flag is not in `allowed`.
+  void allow_only(const std::vector<std::string>& allowed) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace optsync::util

@@ -1,0 +1,272 @@
+#include "workloads/counter.hpp"
+
+#include <vector>
+
+#include "consistency/entry.hpp"
+#include "core/optimistic_mutex.hpp"
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/coro.hpp"
+#include "simkern/random.hpp"
+#include "sync/spin_lock.hpp"
+
+namespace optsync::workloads {
+
+namespace {
+
+sim::Duration think_time(const CounterParams& p, sim::Rng& rng) {
+  if (!p.jitter) return p.think_mean_ns;
+  return static_cast<sim::Duration>(
+      rng.exponential(static_cast<double>(p.think_mean_ns)));
+}
+
+struct OverheadAccum {
+  sim::Duration total = 0;
+  std::uint64_t sections = 0;
+  void add(sim::Duration wall, sim::Duration compute) {
+    total += wall > compute ? wall - compute : 0;
+    ++sections;
+  }
+  [[nodiscard]] double mean() const {
+    return sections == 0 ? 0.0
+                         : static_cast<double>(total) /
+                               static_cast<double>(sections);
+  }
+};
+
+// ------------------------------------------------------------------ GWC ---
+
+struct GwcCtx {
+  const CounterParams* params;
+  dsm::DsmSystem* sys;
+  core::OptimisticMutex* mux;
+  dsm::VarId counter;
+  OverheadAccum overhead;
+  // Ground-truth exclusivity check: true while some node is executing the
+  // section body with the lock actually required.
+  int in_section = 0;
+  sim::Time finished_at = 0;
+};
+
+sim::Process gwc_counter_node(GwcCtx& ctx, net::NodeId me) {
+  const auto& p = *ctx.params;
+  auto& sched = ctx.sys->scheduler();
+  sim::Rng rng(p.seed ^ (0x9e37ull * (me + 1)));
+
+  for (std::uint32_t k = 0; k < p.increments_per_node; ++k) {
+    co_await sim::delay(sched, think_time(p, rng));
+    const sim::Time entered = sched.now();
+
+    core::Section sec;
+    sec.shared_writes = {ctx.counter};
+    sec.body = [&ctx, &sched](dsm::DsmNode& nd) -> sim::Process {
+      const dsm::Word before = nd.read(ctx.counter);
+      co_await sim::delay(sched, ctx.params->section_ns);
+      nd.write(ctx.counter, before + 1);
+    };
+    co_await ctx.mux->execute(me, sec).join();
+    ctx.overhead.add(sched.now() - entered, p.section_ns);
+  }
+  ctx.finished_at = std::max(ctx.finished_at, sched.now());
+}
+
+CounterResult run_gwc(const CounterParams& p, const net::Topology& topo,
+                      bool optimistic) {
+  sim::Scheduler sched;
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  std::vector<net::NodeId> members;
+  for (net::NodeId i = 0; i < topo.size(); ++i) members.push_back(i);
+  const dsm::GroupId g = sys.create_group(members, p.group_root);
+  const dsm::VarId lock = sys.define_lock("ctr.lock", g);
+  const dsm::VarId counter = sys.define_mutex_data("ctr.value", g, lock, 0);
+
+  core::OptimisticMutex::Config mcfg;
+  mcfg.enable_optimistic = optimistic;
+  mcfg.history_threshold = p.history_threshold;
+  mcfg.history_decay = p.history_decay;
+  core::OptimisticMutex mux(sys, lock, mcfg);
+
+  GwcCtx ctx;
+  ctx.params = &p;
+  ctx.sys = &sys;
+  ctx.mux = &mux;
+  ctx.counter = counter;
+
+  std::vector<sim::Process> procs;
+  for (net::NodeId i = 0; i < topo.size(); ++i) {
+    procs.push_back(gwc_counter_node(ctx, i));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  CounterResult res;
+  res.final_count = sys.node(p.group_root).read(counter);
+  res.expected_count =
+      static_cast<dsm::Word>(topo.size()) * p.increments_per_node;
+  res.elapsed = ctx.finished_at;
+  res.sections_per_ms =
+      res.elapsed == 0 ? 0.0
+                       : static_cast<double>(res.expected_count) /
+                             (static_cast<double>(res.elapsed) / 1e6);
+  res.messages = sys.network().stats().messages;
+  res.rollbacks = mux.stats().rollbacks;
+  res.optimistic_attempts = mux.stats().optimistic_attempts;
+  res.optimistic_successes = mux.stats().optimistic_successes;
+  res.regular_paths = mux.stats().regular_paths;
+  res.avg_sync_overhead_ns = ctx.overhead.mean();
+  return res;
+}
+
+// ---------------------------------------------------------------- entry ---
+
+struct EntryCtx {
+  const CounterParams* params;
+  sim::Scheduler* sched;
+  consistency::EntryEngine* ec;
+  consistency::EntryEngine::LockId lock;
+  dsm::Word counter = 0;
+  int in_section = 0;
+  OverheadAccum overhead;
+  sim::Time finished_at = 0;
+};
+
+sim::Process entry_counter_node(EntryCtx& ctx, net::NodeId me) {
+  const auto& p = *ctx.params;
+  auto& sched = *ctx.sched;
+  sim::Rng rng(p.seed ^ (0x9e37ull * (me + 1)));
+
+  for (std::uint32_t k = 0; k < p.increments_per_node; ++k) {
+    co_await sim::delay(sched, think_time(p, rng));
+    const sim::Time entered = sched.now();
+    co_await ctx.ec->acquire(me, ctx.lock).join();
+    OPTSYNC_ENSURE(++ctx.in_section == 1);
+    const dsm::Word before = ctx.counter;
+    co_await sim::delay(sched, p.section_ns);
+    ctx.counter = before + 1;
+    OPTSYNC_ENSURE(--ctx.in_section == 0);
+    ctx.ec->release(me, ctx.lock);
+    ctx.overhead.add(sched.now() - entered, p.section_ns);
+  }
+  ctx.finished_at = std::max(ctx.finished_at, sched.now());
+}
+
+CounterResult run_entry(const CounterParams& p, const net::Topology& topo) {
+  sim::Scheduler sched;
+  net::Network net(sched, topo, net::LinkModel::paper());
+  consistency::EntryEngine ec(net, consistency::EntryEngine::Config{});
+  const auto lock = ec.create_lock(p.group_root, p.entry_data_bytes);
+
+  EntryCtx ctx;
+  ctx.params = &p;
+  ctx.sched = &sched;
+  ctx.ec = &ec;
+  ctx.lock = lock;
+
+  std::vector<sim::Process> procs;
+  for (net::NodeId i = 0; i < topo.size(); ++i) {
+    procs.push_back(entry_counter_node(ctx, i));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  CounterResult res;
+  res.final_count = ctx.counter;
+  res.expected_count =
+      static_cast<dsm::Word>(topo.size()) * p.increments_per_node;
+  res.elapsed = ctx.finished_at;
+  res.sections_per_ms =
+      res.elapsed == 0 ? 0.0
+                       : static_cast<double>(res.expected_count) /
+                             (static_cast<double>(res.elapsed) / 1e6);
+  res.messages = net.stats().messages;
+  res.avg_sync_overhead_ns = ctx.overhead.mean();
+  return res;
+}
+
+// ------------------------------------------------------------------ TAS ---
+
+struct TasCtx {
+  const CounterParams* params;
+  sim::Scheduler* sched;
+  sync::TasSpinLock* lock;
+  dsm::Word counter = 0;
+  int in_section = 0;
+  OverheadAccum overhead;
+  sim::Time finished_at = 0;
+};
+
+sim::Process tas_counter_node(TasCtx& ctx, net::NodeId me) {
+  const auto& p = *ctx.params;
+  auto& sched = *ctx.sched;
+  sim::Rng rng(p.seed ^ (0x9e37ull * (me + 1)));
+
+  for (std::uint32_t k = 0; k < p.increments_per_node; ++k) {
+    co_await sim::delay(sched, think_time(p, rng));
+    const sim::Time entered = sched.now();
+    co_await ctx.lock->acquire(me).join();
+    OPTSYNC_ENSURE(++ctx.in_section == 1);
+    const dsm::Word before = ctx.counter;
+    co_await sim::delay(sched, p.section_ns);
+    ctx.counter = before + 1;
+    OPTSYNC_ENSURE(--ctx.in_section == 0);
+    ctx.lock->release(me);
+    ctx.overhead.add(sched.now() - entered, p.section_ns);
+  }
+  ctx.finished_at = std::max(ctx.finished_at, sched.now());
+}
+
+CounterResult run_tas(const CounterParams& p, const net::Topology& topo) {
+  sim::Scheduler sched;
+  net::Network net(sched, topo, net::LinkModel::paper());
+  sync::TasSpinLock lock(net, p.group_root, sync::TasSpinLock::Config{});
+
+  TasCtx ctx;
+  ctx.params = &p;
+  ctx.sched = &sched;
+  ctx.lock = &lock;
+
+  std::vector<sim::Process> procs;
+  for (net::NodeId i = 0; i < topo.size(); ++i) {
+    procs.push_back(tas_counter_node(ctx, i));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  CounterResult res;
+  res.final_count = ctx.counter;
+  res.expected_count =
+      static_cast<dsm::Word>(topo.size()) * p.increments_per_node;
+  res.elapsed = ctx.finished_at;
+  res.sections_per_ms =
+      res.elapsed == 0 ? 0.0
+                       : static_cast<double>(res.expected_count) /
+                             (static_cast<double>(res.elapsed) / 1e6);
+  res.messages = net.stats().messages;
+  res.spin_attempts = lock.stats().attempts;
+  res.avg_sync_overhead_ns = ctx.overhead.mean();
+  return res;
+}
+
+}  // namespace
+
+CounterResult run_counter(CounterMethod method, const CounterParams& params,
+                          const net::Topology& topo) {
+  OPTSYNC_EXPECT(topo.size() >= 1);
+  switch (method) {
+    case CounterMethod::kOptimisticGwc:
+      return run_gwc(params, topo, /*optimistic=*/true);
+    case CounterMethod::kRegularGwc:
+      return run_gwc(params, topo, /*optimistic=*/false);
+    case CounterMethod::kEntry:
+      return run_entry(params, topo);
+    case CounterMethod::kTasSpin:
+      return run_tas(params, topo);
+  }
+  OPTSYNC_ENSURE(false && "unreachable: unknown CounterMethod");
+  return {};
+}
+
+}  // namespace optsync::workloads

@@ -1,0 +1,60 @@
+// Contended shared counter — the ablation workload.
+//
+// Every node repeatedly: thinks (uncontended local work), then increments a
+// single shared counter inside a critical section. Sweeping the think time
+// moves the lock from idle to saturated, which is exactly the regime knob
+// the optimistic/regular decision (usage-frequency history) responds to.
+// The final counter value doubles as a mutual-exclusion correctness check:
+// it must equal nodes * increments under every method, including failed
+// speculations that rolled back.
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/types.hpp"
+#include "net/topology.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::workloads {
+
+enum class CounterMethod {
+  kOptimisticGwc,  ///< OptimisticMutex, history-gated speculation
+  kRegularGwc,     ///< GWC queue lock, no speculation
+  kEntry,          ///< entry consistency baseline
+  kTasSpin         ///< test-and-set spin lock baseline
+};
+
+struct CounterParams {
+  std::uint32_t increments_per_node = 50;
+  sim::Duration section_ns = 1'000;
+  /// Mean think time between sections; smaller = more contention.
+  sim::Duration think_mean_ns = 50'000;
+  /// Exponentially distributed think times when true, fixed when false.
+  bool jitter = true;
+  std::uint64_t seed = 42;
+  double history_threshold = 0.30;
+  double history_decay = 0.95;
+  net::NodeId group_root = 0;
+  std::uint32_t entry_data_bytes = 64;
+};
+
+struct CounterResult {
+  dsm::Word final_count = 0;
+  dsm::Word expected_count = 0;
+  sim::Time elapsed = 0;
+  double sections_per_ms = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t optimistic_attempts = 0;
+  std::uint64_t optimistic_successes = 0;
+  std::uint64_t regular_paths = 0;
+  std::uint64_t spin_attempts = 0;  ///< TAS round trips (kTasSpin only)
+  /// Mean time from deciding to enter until release completes, minus the
+  /// section compute itself: pure synchronization overhead per section.
+  double avg_sync_overhead_ns = 0.0;
+};
+
+CounterResult run_counter(CounterMethod method, const CounterParams& params,
+                          const net::Topology& topo);
+
+}  // namespace optsync::workloads

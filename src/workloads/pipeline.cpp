@@ -1,0 +1,266 @@
+#include "workloads/pipeline.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "consistency/entry.hpp"
+#include "core/optimistic_mutex.hpp"
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/coro.hpp"
+#include "stats/metrics.hpp"
+
+namespace optsync::workloads {
+
+namespace {
+
+struct Times {
+  sim::Duration local;  ///< A and C (one "local task" each)
+  sim::Duration mutex;  ///< M
+};
+
+Times compute_times(const PipelineParams& p, const net::CpuModel& cpu) {
+  const sim::Duration local = cpu.flops_time(p.local_flops);
+  const auto mutex = static_cast<sim::Duration>(
+      static_cast<double>(local) * p.mutex_ratio);
+  return Times{local, mutex};
+}
+
+// ------------------------------------------------------------------ GWC ---
+
+struct GwcRun {
+  const PipelineParams* params;
+  Times times;
+  dsm::DsmSystem* sys;
+  core::OptimisticMutex* mux;
+  dsm::VarId shared_a;
+  std::vector<dsm::VarId> d;  ///< d[i]: hops published by processor i
+  stats::EfficiencyMeter* meter;
+  sim::Time finished_at = 0;
+};
+
+sim::Process gwc_pipe_node(GwcRun& run, net::NodeId i) {
+  const auto& p = *run.params;
+  auto& sys = *run.sys;
+  auto& sched = sys.scheduler();
+  auto& node = sys.node(i);
+  const auto n = static_cast<std::uint32_t>(sys.node_count());
+
+  for (std::uint32_t hop = i; hop < p.data_items; hop += n) {
+    if (hop > 0) {
+      // Wait for the wavefront from the predecessor. Eagersharing has
+      // already placed the datum in local memory by the time the counter
+      // update (written after it) arrives — GWC write order at work.
+      const net::NodeId prev = (i + n - 1) % n;
+      while (node.read(run.d[prev]) < static_cast<dsm::Word>(hop)) {
+        co_await node.on_change(run.d[prev]).wait();
+      }
+    }
+
+    co_await sim::delay(sched, run.times.local);  // local calculations
+    run.meter->add_useful(i, run.times.local);
+
+    core::Section sec;
+    sec.shared_writes = {run.shared_a};
+    sec.body = [&run, i](dsm::DsmNode& nd) -> sim::Process {
+      // Read, compute, write back (the paper's Fig. 3 shape).
+      const dsm::Word before = nd.read(run.shared_a);
+      co_await sim::delay(run.sys->scheduler(), run.times.mutex);
+      run.meter->add_useful(i, run.times.mutex);
+      nd.write(run.shared_a, before + 1);
+    };
+    co_await run.mux->execute(i, sec).join();
+
+    // Share the new datum with processor i+1 (single-writer variable; the
+    // release that the mutex just issued precedes it in group order).
+    node.write(run.d[i], static_cast<dsm::Word>(hop) + 1);
+
+    co_await sim::delay(sched, run.times.local);  // continues local calc
+    run.meter->add_useful(i, run.times.local);
+    run.finished_at = std::max(run.finished_at, sched.now());
+  }
+}
+
+PipelineResult run_gwc(const PipelineParams& p, const net::Topology& topo,
+                       const dsm::DsmConfig& cfg, bool optimistic) {
+  OPTSYNC_EXPECT(topo.size() >= 2);
+  sim::Scheduler sched;
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  std::vector<net::NodeId> members;
+  for (net::NodeId i = 0; i < topo.size(); ++i) members.push_back(i);
+  const dsm::GroupId g = sys.create_group(members, p.group_root);
+
+  const dsm::VarId lock = sys.define_lock("pipe.lock", g);
+  const dsm::VarId a = sys.define_mutex_data("pipe.a", g, lock, 0);
+  std::vector<dsm::VarId> d;
+  for (net::NodeId i = 0; i < topo.size(); ++i) {
+    d.push_back(sys.define_data("pipe.d" + std::to_string(i), g, 0,
+                                p.pipe_data_bytes));
+  }
+
+  core::OptimisticMutex::Config mcfg;
+  mcfg.enable_optimistic = optimistic;
+  core::OptimisticMutex mux(sys, lock, mcfg);
+  stats::EfficiencyMeter meter(topo.size());
+
+  GwcRun run;
+  run.params = &p;
+  run.times = compute_times(p, cfg.cpu);
+  run.sys = &sys;
+  run.mux = &mux;
+  run.shared_a = a;
+  run.d = d;
+  run.meter = &meter;
+
+  std::vector<sim::Process> procs;
+  for (net::NodeId i = 0; i < topo.size(); ++i) {
+    procs.push_back(gwc_pipe_node(run, i));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  PipelineResult res;
+  res.elapsed = run.finished_at;
+  res.network_power = meter.network_power(res.elapsed);
+  res.avg_efficiency = meter.average_efficiency(res.elapsed);
+  res.messages = sys.network().stats().messages;
+  res.bytes = sys.network().stats().bytes;
+  res.optimistic_attempts = mux.stats().optimistic_attempts;
+  res.optimistic_successes = mux.stats().optimistic_successes;
+  res.rollbacks = mux.stats().rollbacks;
+  res.shared_accumulator = sys.node(p.group_root).read(a);
+  return res;
+}
+
+// ---------------------------------------------------------------- entry ---
+
+struct EntryRun {
+  const PipelineParams* params;
+  Times times;
+  sim::Scheduler* sched;
+  consistency::EntryEngine* ec;
+  consistency::EntryEngine::LockId mutex_lock;
+  std::vector<consistency::EntryEngine::LockId> d_lock;  ///< guards d[i]
+  std::vector<dsm::Word> d_count;
+  std::vector<std::unique_ptr<sim::Signal>> d_sig;
+  stats::EfficiencyMeter* meter;
+  std::int64_t shared_accumulator = 0;
+  sim::Time finished_at = 0;
+};
+
+sim::Process entry_pipe_node(EntryRun& run, net::NodeId i, std::size_t n) {
+  const auto& p = *run.params;
+  auto& sched = *run.sched;
+  auto& ec = *run.ec;
+
+  for (std::uint32_t hop = i; hop < p.data_items; hop += n) {
+    if (hop > 0) {
+      const net::NodeId prev = static_cast<net::NodeId>((i + n - 1) % n);
+      while (run.d_count[prev] < static_cast<dsm::Word>(hop)) {
+        co_await run.d_sig[prev]->wait();
+      }
+      // "Demand fetch is needed when non-mutually exclusive data is read."
+      co_await ec.read_nonexclusive(i, run.d_lock[prev], p.pipe_data_bytes)
+          .join();
+    }
+
+    co_await sim::delay(sched, run.times.local);
+    run.meter->add_useful(i, run.times.local);
+
+    // Exclusive entry: the grant ships the guarded data from the previous
+    // holder (the predecessor processor).
+    co_await ec.acquire(i, run.mutex_lock).join();
+    co_await sim::delay(sched, run.times.mutex);
+    run.meter->add_useful(i, run.times.mutex);
+    ++run.shared_accumulator;
+    ec.release(i, run.mutex_lock);
+
+    // Publish: exclusive entry of the datum's own guard invalidates the
+    // successor's non-exclusive copy from the previous round.
+    co_await ec.acquire(i, run.d_lock[i]).join();
+    ec.release(i, run.d_lock[i]);
+    run.d_count[i] = static_cast<dsm::Word>(hop) + 1;
+    run.d_sig[i]->notify_all();
+
+    co_await sim::delay(sched, run.times.local);
+    run.meter->add_useful(i, run.times.local);
+    run.finished_at = std::max(run.finished_at, sched.now());
+  }
+}
+
+PipelineResult run_entry(const PipelineParams& p, const net::Topology& topo) {
+  OPTSYNC_EXPECT(topo.size() >= 2);
+  sim::Scheduler sched;
+  net::Network net(sched, topo, net::LinkModel::paper());
+
+  consistency::EntryEngine::Config cfg;
+  cfg.cache_reads = false;  // every test refetches (pure demand fetch)
+  // Lock location goes through a fixed manager (directory scheme): the
+  // extra leg grows with the mesh, which is what bends the paper's entry
+  // line down from 0.81 at 2 CPUs to 0.64 at 128.
+  cfg.route_via_manager = true;
+  cfg.manager = p.group_root;
+  consistency::EntryEngine ec(net, cfg);
+
+  const std::size_t n = topo.size();
+  EntryRun run;
+  run.params = &p;
+  run.times = compute_times(p, net::CpuModel::paper());
+  run.sched = &sched;
+  run.ec = &ec;
+  // The global mutex starts owned by the last processor so the very first
+  // acquire pays the same transfer every later hop pays.
+  run.mutex_lock = ec.create_lock(static_cast<net::NodeId>(n - 1),
+                                  p.mutex_data_bytes);
+  for (net::NodeId i = 0; i < n; ++i) {
+    run.d_lock.push_back(ec.create_lock(i, p.pipe_data_bytes));
+    run.d_count.push_back(0);
+    run.d_sig.push_back(std::make_unique<sim::Signal>(sched));
+  }
+  stats::EfficiencyMeter meter(n);
+  run.meter = &meter;
+
+  std::vector<sim::Process> procs;
+  for (net::NodeId i = 0; i < n; ++i) {
+    procs.push_back(entry_pipe_node(run, i, n));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  PipelineResult res;
+  res.elapsed = run.finished_at;
+  res.network_power = meter.network_power(res.elapsed);
+  res.avg_efficiency = meter.average_efficiency(res.elapsed);
+  res.messages = net.stats().messages;
+  res.bytes = net.stats().bytes;
+  res.shared_accumulator = run.shared_accumulator;
+  return res;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(PipelineMethod method, const PipelineParams& p,
+                            const net::Topology& topo) {
+  switch (method) {
+    case PipelineMethod::kNoDelay: {
+      dsm::DsmConfig cfg;
+      cfg.link = net::LinkModel::zero();
+      cfg.root_process_ns = 0;
+      return run_gwc(p, topo, cfg, /*optimistic=*/false);
+    }
+    case PipelineMethod::kOptimistic:
+      return run_gwc(p, topo, dsm::DsmConfig{}, /*optimistic=*/true);
+    case PipelineMethod::kRegular:
+      return run_gwc(p, topo, dsm::DsmConfig{}, /*optimistic=*/false);
+    case PipelineMethod::kEntry:
+      return run_entry(p, topo);
+  }
+  OPTSYNC_ENSURE(false && "unreachable: unknown PipelineMethod");
+  return {};
+}
+
+}  // namespace optsync::workloads

@@ -1,0 +1,222 @@
+#include "workloads/scenario_fig1.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "consistency/entry.hpp"
+#include "consistency/release.hpp"
+#include "dsm/system.hpp"
+#include "net/topology.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/coro.hpp"
+#include "stats/timeline.hpp"
+#include "sync/gwc_lock.hpp"
+
+namespace optsync::workloads {
+
+namespace {
+
+// The figure's layout: three CPUs, CPU2 (node index 1) is the group root /
+// lock owner / lock manager in all three models.
+constexpr net::NodeId kCpu1 = 0;
+constexpr net::NodeId kCpu2 = 1;
+constexpr net::NodeId kCpu3 = 2;
+
+struct Shared {
+  const Fig1Params* params;
+  sim::Scheduler* sched;
+  stats::Timeline* timeline;
+  std::array<sim::Duration, 3>* idle;
+  std::array<int, 3>* grant_order;
+  int granted_so_far = 0;
+  sim::Time last_release = 0;
+
+  void note_grant(net::NodeId cpu, sim::Time requested_at) {
+    (*idle)[cpu] += sched->now() - requested_at;
+    (*grant_order)[static_cast<std::size_t>(granted_so_far++)] =
+        static_cast<int>(cpu) + 1;
+    timeline->record(cpu, requested_at, sched->now(),
+                     stats::Activity::kWait);
+  }
+  void note_section(net::NodeId cpu, sim::Time began) {
+    timeline->record(cpu, began, sched->now(), stats::Activity::kMutex);
+    last_release = std::max(last_release, sched->now());
+  }
+};
+
+sim::Process gwc_cpu(Shared& sh, dsm::DsmSystem& sys, sync::GwcQueueLock& lk,
+                     const std::vector<dsm::VarId>& data, net::NodeId cpu,
+                     sim::Duration start_at) {
+  auto& sched = sys.scheduler();
+  const auto& p = *sh.params;
+  co_await sim::delay(sched, start_at);
+  const sim::Time requested = sched.now();
+  co_await lk.acquire(cpu).join();
+  sh.note_grant(cpu, requested);
+
+  const sim::Time began = sched.now();
+  auto& node = sys.node(cpu);
+  // Reads are local (eagersharing); writes stream out without stalling.
+  const sim::Duration slice = p.update_ns / p.writes_per_update;
+  for (std::uint32_t w = 0; w < p.writes_per_update; ++w) {
+    co_await sim::delay(sched, slice);
+    node.write(data[w], static_cast<dsm::Word>(cpu * 100 + w));
+  }
+  // "When CPU1 finishes its last update, it immediately releases the lock."
+  lk.release(cpu);
+  sh.note_section(cpu, began);
+}
+
+Fig1Result run_gwc(const Fig1Params& p) {
+  sim::Scheduler sched;
+  net::FullyConnected topo(3);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  const dsm::GroupId g = sys.create_group({kCpu1, kCpu2, kCpu3}, kCpu2);
+  const dsm::VarId lock = sys.define_lock("fig1.lock", g);
+  std::vector<dsm::VarId> data;
+  for (std::uint32_t w = 0; w < p.writes_per_update; ++w) {
+    data.push_back(
+        sys.define_mutex_data("fig1.d" + std::to_string(w), g, lock));
+  }
+  sync::GwcQueueLock lk(sys, lock);
+
+  Fig1Result res;
+  stats::Timeline tl(3);
+  Shared sh{&p, &sched, &tl, &res.idle_ns, &res.grant_order};
+
+  std::vector<sim::Process> procs;
+  procs.push_back(gwc_cpu(sh, sys, lk, data, kCpu1, 0));
+  procs.push_back(gwc_cpu(sh, sys, lk, data, kCpu3, p.cpu3_offset_ns));
+  procs.push_back(gwc_cpu(sh, sys, lk, data, kCpu2, p.cpu2_offset_ns));
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+
+  res.total_ns = sh.last_release;
+  std::ostringstream os;
+  tl.render(os, res.total_ns, 84, {"CPU1", "CPU2", "CPU3"});
+  res.timeline = os.str();
+  return res;
+}
+
+sim::Process entry_cpu(Shared& sh, sim::Scheduler& sched,
+                       consistency::EntryEngine& ec,
+                       consistency::EntryEngine::LockId l, net::NodeId cpu,
+                       sim::Duration start_at) {
+  const auto& p = *sh.params;
+  co_await sim::delay(sched, start_at);
+  const sim::Time requested = sched.now();
+  co_await ec.acquire(cpu, l).join();
+  sh.note_grant(cpu, requested);
+
+  const sim::Time began = sched.now();
+  // Under entry consistency the guarded data arrived with the grant, so the
+  // update itself is local computation.
+  co_await sim::delay(sched, p.update_ns);
+  ec.release(cpu, l);  // local release
+  sh.note_section(cpu, began);
+}
+
+Fig1Result run_entry(const Fig1Params& p) {
+  sim::Scheduler sched;
+  net::FullyConnected topo(3);
+  net::Network net(sched, topo, net::LinkModel::paper());
+  consistency::EntryEngine ec(net, consistency::EntryEngine::Config{});
+  const auto l = ec.create_lock(kCpu2, p.entry_data_bytes);
+  // The figure starts with CPU1 and CPU3 holding the data in non-exclusive
+  // mode, forcing the invalidation round before the first grant.
+  ec.add_reader(l, kCpu1);
+  ec.add_reader(l, kCpu3);
+
+  Fig1Result res;
+  stats::Timeline tl(3);
+  Shared sh{&p, &sched, &tl, &res.idle_ns, &res.grant_order};
+
+  std::vector<sim::Process> procs;
+  procs.push_back(entry_cpu(sh, sched, ec, l, kCpu1, 0));
+  procs.push_back(entry_cpu(sh, sched, ec, l, kCpu3, p.cpu3_offset_ns));
+  procs.push_back(entry_cpu(sh, sched, ec, l, kCpu2, p.cpu2_offset_ns));
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+
+  res.total_ns = sh.last_release;
+  std::ostringstream os;
+  tl.render(os, res.total_ns, 84, {"CPU1", "CPU2", "CPU3"});
+  res.timeline = os.str();
+  return res;
+}
+
+sim::Process release_cpu(Shared& sh, sim::Scheduler& sched,
+                         consistency::ReleaseEngine& rc,
+                         consistency::ReleaseEngine::LockId l, net::NodeId cpu,
+                         sim::Duration start_at) {
+  const auto& p = *sh.params;
+  co_await sim::delay(sched, start_at);
+  const sim::Time requested = sched.now();
+  co_await rc.acquire(cpu, l).join();
+  sh.note_grant(cpu, requested);
+
+  const sim::Time began = sched.now();
+  const sim::Duration slice = p.update_ns / p.writes_per_update;
+  for (std::uint32_t w = 0; w < p.writes_per_update; ++w) {
+    co_await sim::delay(sched, slice);
+    rc.write_shared(cpu, l);
+  }
+  // Release blocks until the updates reach all nodes (Fig. 1c).
+  co_await rc.release(cpu, l).join();
+  sh.note_section(cpu, began);
+}
+
+Fig1Result run_weak_release(const Fig1Params& p) {
+  sim::Scheduler sched;
+  net::FullyConnected topo(3);
+  net::Network net(sched, topo, net::LinkModel::paper());
+  consistency::ReleaseEngine rc(net, {kCpu1, kCpu2, kCpu3},
+                                consistency::ReleaseEngine::Config{});
+  const auto l = rc.create_lock(kCpu2);
+
+  Fig1Result res;
+  stats::Timeline tl(3);
+  Shared sh{&p, &sched, &tl, &res.idle_ns, &res.grant_order};
+
+  std::vector<sim::Process> procs;
+  procs.push_back(release_cpu(sh, sched, rc, l, kCpu1, 0));
+  procs.push_back(release_cpu(sh, sched, rc, l, kCpu3, p.cpu3_offset_ns));
+  procs.push_back(release_cpu(sh, sched, rc, l, kCpu2, p.cpu2_offset_ns));
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+
+  res.total_ns = sh.last_release;
+  std::ostringstream os;
+  tl.render(os, res.total_ns, 84, {"CPU1", "CPU2", "CPU3"});
+  res.timeline = os.str();
+  return res;
+}
+
+}  // namespace
+
+Fig1Result run_scenario_fig1(Fig1Model model, const Fig1Params& params) {
+  switch (model) {
+    case Fig1Model::kGwc:
+      return run_gwc(params);
+    case Fig1Model::kEntry:
+      return run_entry(params);
+    case Fig1Model::kWeakRelease:
+      return run_weak_release(params);
+  }
+  OPTSYNC_ENSURE(false && "unreachable: unknown Fig1Model");
+  return {};
+}
+
+std::string fig1_model_name(Fig1Model model) {
+  switch (model) {
+    case Fig1Model::kGwc:
+      return "Sesame GWC";
+    case Fig1Model::kEntry:
+      return "entry consistency";
+    case Fig1Model::kWeakRelease:
+      return "weak/release consistency";
+  }
+  return "?";
+}
+
+}  // namespace optsync::workloads

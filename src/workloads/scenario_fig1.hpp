@@ -1,0 +1,49 @@
+// The paper's Figure 1: idle time during three successive mutually
+// exclusive accesses under (a) Sesame GWC, (b) entry consistency, and
+// (c) weak/release consistency.
+//
+// Three CPUs contend for one lock. CPU1 and CPU3 request early (CPU3
+// slightly after CPU1), CPU2 — the group root / lock manager — requests
+// later. Each performs one read-update-release of the shared data. The
+// scenario records a per-CPU activity timeline and the wasted idle time
+// each model incurs.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "simkern/time.hpp"
+
+namespace optsync::workloads {
+
+enum class Fig1Model { kGwc, kEntry, kWeakRelease };
+
+struct Fig1Params {
+  /// Compute time of each CPU's update section (5 us default).
+  sim::Duration update_ns = 5'000;
+  /// Number of shared-variable writes each update performs.
+  std::uint32_t writes_per_update = 8;
+  /// Guarded-data size shipped by entry consistency grants.
+  std::uint32_t entry_data_bytes = 128;
+  /// CPU3 requests this long after CPU1.
+  sim::Duration cpu3_offset_ns = 1'000;
+  /// CPU2 requests this long after CPU1.
+  sim::Duration cpu2_offset_ns = 12'000;
+};
+
+struct Fig1Result {
+  /// Wall-clock until the last release completes.
+  sim::Time total_ns = 0;
+  /// Per-CPU idle (lock-wait) time; index 0 = CPU1, 1 = CPU2, 2 = CPU3.
+  std::array<sim::Duration, 3> idle_ns{};
+  /// Rendered ASCII timeline of the run.
+  std::string timeline;
+  /// Order in which CPUs entered the critical section (1-based ids).
+  std::array<int, 3> grant_order{};
+};
+
+Fig1Result run_scenario_fig1(Fig1Model model, const Fig1Params& params);
+
+std::string fig1_model_name(Fig1Model model);
+
+}  // namespace optsync::workloads

@@ -1,0 +1,418 @@
+#include "workloads/task_queue.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "consistency/entry.hpp"
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+#include "simkern/coro.hpp"
+#include "simkern/random.hpp"
+#include "stats/metrics.hpp"
+#include "sync/gwc_lock.hpp"
+
+namespace optsync::workloads {
+
+namespace {
+
+constexpr dsm::Word kPoison = -1;
+
+struct Times {
+  sim::Duration exec;
+  sim::Duration produce;
+};
+
+Times compute_times(const TaskQueueParams& p, const net::CpuModel& cpu) {
+  const sim::Duration exec = cpu.flops_time(p.exec_flops);
+  const auto produce = static_cast<sim::Duration>(
+      static_cast<double>(exec) * p.produce_ratio);
+  return Times{exec, produce};
+}
+
+sim::Duration poll_interval(const TaskQueueParams& p, const Times& t) {
+  return p.poll_interval_ns != 0 ? p.poll_interval_ns : t.exec / 2;
+}
+
+// Deterministic per-consumer jitter so idle pollers spread out instead of
+// synchronizing (factor in [0.5, 1.5)).
+sim::Duration jittered(sim::Duration base, sim::Rng& rng) {
+  return static_cast<sim::Duration>(static_cast<double>(base) *
+                                    (0.5 + rng.uniform01()));
+}
+
+// ------------------------------------------------------------------ GWC ---
+
+struct GwcQueueVars {
+  dsm::VarId lock;
+  dsm::VarId head;
+  dsm::VarId tail;
+  std::vector<dsm::VarId> slots;
+  dsm::VarId done_tick;                ///< multi-writer wake-up for producer
+  std::vector<dsm::VarId> done_per_consumer;
+};
+
+struct GwcRun {
+  const TaskQueueParams* params;
+  Times times;
+  dsm::DsmSystem* sys;
+  sync::GwcQueueLock* lock;
+  GwcQueueVars vars;
+  stats::EfficiencyMeter* meter;
+  std::uint64_t wasted_grants = 0;
+  std::uint64_t tasks_executed = 0;
+  sim::Time finished_at = 0;
+};
+
+sim::Process gwc_producer(GwcRun& run) {
+  const auto& p = *run.params;
+  auto& sys = *run.sys;
+  auto& sched = sys.scheduler();
+  auto& node = sys.node(p.producer);
+  const std::size_t n_consumers = run.vars.done_per_consumer.size();
+
+  // Enqueues a batch under one lock grant: per-slot writes plus a single
+  // tail update (GWC ordering makes the tail write publish the whole batch).
+  auto enqueue_batch = [&](const std::vector<dsm::Word>& batch)
+      -> sim::Process {
+    // Only the producer writes tail, so space observed once holds until we
+    // enqueue (consumers only advance head).
+    while (node.read(run.vars.tail) - node.read(run.vars.head) +
+               static_cast<dsm::Word>(batch.size()) >
+           static_cast<dsm::Word>(p.queue_capacity)) {
+      co_await node.on_change(run.vars.head).wait();
+    }
+    co_await run.lock->acquire(p.producer).join();
+    const dsm::Word tail = node.read(run.vars.tail);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      node.write(run.vars.slots[static_cast<std::size_t>(tail + i) %
+                                p.queue_capacity],
+                 batch[i]);
+    }
+    node.write(run.vars.tail, tail + static_cast<dsm::Word>(batch.size()));
+    run.lock->release(p.producer);
+  };
+
+  // A batch larger than the queue could never fit and would stall forever.
+  const std::uint32_t batch_max =
+      std::max(1u, std::min(p.producer_batch, p.queue_capacity));
+  std::vector<dsm::Word> batch;
+  for (std::uint32_t t = 0; t < p.total_tasks; ++t) {
+    co_await sim::delay(sched, run.times.produce);
+    run.meter->add_useful(p.producer, run.times.produce);
+    batch.push_back(static_cast<dsm::Word>(t + 1));
+    if (batch.size() >= batch_max || t + 1 == p.total_tasks) {
+      co_await enqueue_batch(batch).join();
+      batch.clear();
+    }
+  }
+  // One poison pill per consumer terminates the network.
+  for (std::size_t c = 0; c < n_consumers; ++c) {
+    batch.push_back(kPoison);
+    if (batch.size() >= batch_max || c + 1 == n_consumers) {
+      co_await enqueue_batch(batch).join();
+      batch.clear();
+    }
+  }
+
+  // "One producer generates a total of 1024 tasks and waits for the last to
+  // be executed before stopping." Completion counts are single-writer
+  // eagershared variables; the producer sums its local copies.
+  for (;;) {
+    dsm::Word done = 0;
+    for (const dsm::VarId v : run.vars.done_per_consumer) {
+      done += node.read(v);
+    }
+    if (done >= static_cast<dsm::Word>(p.total_tasks)) break;
+    co_await node.on_change(run.vars.done_tick).wait();
+  }
+  run.finished_at = sched.now();
+}
+
+sim::Process gwc_consumer(GwcRun& run, net::NodeId me, dsm::VarId my_done) {
+  const auto& p = *run.params;
+  auto& sys = *run.sys;
+  auto& sched = sys.scheduler();
+  auto& node = sys.node(me);
+  dsm::Word completed = 0;
+  sim::Rng rng(0x7a5f + me * 977);
+  const sim::Duration poll = poll_interval(p, run.times);
+  sim::Duration cur_poll = poll;  // doubles on wasted grants (backoff)
+
+  for (;;) {
+    // Local test — eagersharing keeps head/tail in local memory. An empty
+    // queue means sleep-and-repoll; re-testing is free on the network, and
+    // spreading the polls avoids a request stampede on every enqueue.
+    co_await sim::delay(sched, p.local_test_ns);
+    if (node.read(run.vars.head) == node.read(run.vars.tail)) {
+      co_await sim::delay(sched, jittered(cur_poll, rng));
+      continue;
+    }
+    co_await run.lock->acquire(me).join();
+    const dsm::Word head = node.read(run.vars.head);
+    const dsm::Word tail = node.read(run.vars.tail);
+    if (head == tail) {
+      // Someone else drained the queue between our local test and the
+      // grant. Back off multiplicatively so the hungry-consumer population
+      // self-regulates to the task arrival rate.
+      run.lock->release(me);
+      ++run.wasted_grants;
+      cur_poll = std::min<sim::Duration>(cur_poll * 2, poll * 8);
+      co_await sim::delay(sched, jittered(cur_poll, rng));
+      continue;
+    }
+    cur_poll = poll;
+    const dsm::Word task = node.read(
+        run.vars.slots[static_cast<std::size_t>(head) % p.queue_capacity]);
+    node.write(run.vars.head, head + 1);
+    run.lock->release(me);
+
+    if (task == kPoison) break;
+    OPTSYNC_ENSURE(task > 0);
+    co_await sim::delay(sched, run.times.exec);
+    run.meter->add_useful(me, run.times.exec);
+    ++run.tasks_executed;
+    ++completed;
+    node.write(my_done, completed);
+    node.write(run.vars.done_tick, completed);
+  }
+}
+
+TaskQueueResult run_gwc_impl(const TaskQueueParams& params,
+                             const net::Topology& topo,
+                             const dsm::DsmConfig& cfg) {
+  const std::size_t used = params.nodes_used == 0
+                               ? topo.size()
+                               : std::min(params.nodes_used, topo.size());
+  OPTSYNC_EXPECT(used >= 2);
+  sim::Scheduler sched;
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  std::vector<net::NodeId> members;
+  for (net::NodeId i = 0; i < used; ++i) members.push_back(i);
+  const dsm::GroupId g = sys.create_group(members, params.group_root);
+
+  GwcQueueVars vars;
+  vars.lock = sys.define_lock("taskq.lock", g);
+  vars.head = sys.define_mutex_data("taskq.head", g, vars.lock, 0);
+  vars.tail = sys.define_mutex_data("taskq.tail", g, vars.lock, 0);
+  for (std::uint32_t i = 0; i < params.queue_capacity; ++i) {
+    vars.slots.push_back(
+        sys.define_mutex_data("taskq.slot" + std::to_string(i), g, vars.lock));
+  }
+  vars.done_tick = sys.define_data("taskq.done_tick", g);
+  for (net::NodeId i = 0; i < used; ++i) {
+    if (i == params.producer) continue;
+    vars.done_per_consumer.push_back(
+        sys.define_data("taskq.done." + std::to_string(i), g));
+  }
+
+  sync::GwcQueueLock lock(sys, vars.lock);
+  stats::EfficiencyMeter meter(used);
+
+  GwcRun run;
+  run.params = &params;
+  run.times = compute_times(params, cfg.cpu);
+  run.sys = &sys;
+  run.lock = &lock;
+  run.vars = vars;
+  run.meter = &meter;
+
+  std::vector<sim::Process> procs;
+  procs.push_back(gwc_producer(run));
+  std::size_t done_idx = 0;
+  for (net::NodeId i = 0; i < used; ++i) {
+    if (i == params.producer) continue;
+    procs.push_back(gwc_consumer(run, i, vars.done_per_consumer[done_idx++]));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  TaskQueueResult res;
+  res.elapsed = run.finished_at;
+  res.network_power = meter.network_power(res.elapsed);
+  res.avg_efficiency = meter.average_efficiency(res.elapsed);
+  res.tasks_executed = run.tasks_executed;
+  res.messages = sys.network().stats().messages;
+  res.bytes = sys.network().stats().bytes;
+  res.lock_acquisitions = lock.stats().acquisitions;
+  res.wasted_grants = run.wasted_grants;
+  return res;
+}
+
+// ---------------------------------------------------------------- entry ---
+
+struct EntryRun {
+  const TaskQueueParams* params;
+  Times times;
+  sim::Scheduler* sched;
+  consistency::EntryEngine* ec;
+  consistency::EntryEngine::LockId lock;
+  std::deque<dsm::Word> queue;  ///< ground truth; protocol costs via engine
+  stats::EfficiencyMeter* meter;
+  sim::Signal* done_sig;
+  std::uint64_t done = 0;
+  std::uint64_t wasted_grants = 0;
+  std::uint64_t tasks_executed = 0;
+  sim::Time finished_at = 0;
+};
+
+sim::Process entry_producer(EntryRun& run, std::size_t n_consumers) {
+  const auto& p = *run.params;
+  auto& sched = *run.sched;
+  auto& ec = *run.ec;
+
+  sim::Rng rng(0x600d);
+  const sim::Duration poll = poll_interval(p, run.times);
+
+  auto enqueue_batch = [&](const std::vector<dsm::Word>& batch)
+      -> sim::Process {
+    // Fullness test: a demand-fetched read unless we own the data; when
+    // full, sleep and re-test.
+    for (;;) {
+      co_await ec.read_nonexclusive(p.producer, run.lock).join();
+      if (run.queue.size() + batch.size() <= p.queue_capacity) break;
+      co_await sim::delay(sched, jittered(poll, rng));
+    }
+    co_await ec.acquire(p.producer, run.lock).join();
+    for (const dsm::Word v : batch) run.queue.push_back(v);
+    ec.release(p.producer, run.lock);
+  };
+
+  const std::uint32_t batch_max =
+      std::max(1u, std::min(p.producer_batch, p.queue_capacity));
+  std::vector<dsm::Word> batch;
+  for (std::uint32_t t = 0; t < p.total_tasks; ++t) {
+    co_await sim::delay(sched, run.times.produce);
+    run.meter->add_useful(p.producer, run.times.produce);
+    batch.push_back(static_cast<dsm::Word>(t + 1));
+    if (batch.size() >= batch_max || t + 1 == p.total_tasks) {
+      co_await enqueue_batch(batch).join();
+      batch.clear();
+    }
+  }
+  for (std::size_t c = 0; c < n_consumers; ++c) {
+    batch.push_back(kPoison);
+    if (batch.size() >= batch_max || c + 1 == n_consumers) {
+      co_await enqueue_batch(batch).join();
+      batch.clear();
+    }
+  }
+
+  // Completion notification is modelled as free for the baseline (GWC pays
+  // for its done-counter updates; the asymmetry favors entry consistency).
+  while (run.done < p.total_tasks) co_await run.done_sig->wait();
+  run.finished_at = sched.now();
+}
+
+sim::Process entry_consumer(EntryRun& run, net::NodeId me) {
+  const auto& p = *run.params;
+  auto& sched = *run.sched;
+  auto& ec = *run.ec;
+  sim::Rng rng(0xbeef + me * 977);
+  const sim::Duration poll = poll_interval(p, run.times);
+  sim::Duration cur_poll = poll;
+
+  for (;;) {
+    // "The processors must fetch and test a variable written by the
+    // producer ... causing network traffic and delays." Each test after an
+    // invalidation is a fresh demand-fetch round trip (engine-charged).
+    co_await ec.read_nonexclusive(me, run.lock).join();
+    if (run.queue.empty()) {
+      co_await sim::delay(sched, jittered(cur_poll, rng));
+      continue;
+    }
+    co_await ec.acquire(me, run.lock).join();
+    if (run.queue.empty()) {
+      ec.release(me, run.lock);
+      ++run.wasted_grants;
+      cur_poll = std::min<sim::Duration>(cur_poll * 2, poll * 8);
+      co_await sim::delay(sched, jittered(cur_poll, rng));
+      continue;
+    }
+    cur_poll = poll;
+    const dsm::Word task = run.queue.front();
+    run.queue.pop_front();
+    ec.release(me, run.lock);
+
+    if (task == kPoison) break;
+    co_await sim::delay(sched, run.times.exec);
+    run.meter->add_useful(me, run.times.exec);
+    ++run.tasks_executed;
+    ++run.done;
+    run.done_sig->notify_all();
+  }
+}
+
+}  // namespace
+
+TaskQueueResult run_task_queue_gwc(const TaskQueueParams& params,
+                                   const net::Topology& topo,
+                                   const dsm::DsmConfig& cfg) {
+  return run_gwc_impl(params, topo, cfg);
+}
+
+TaskQueueResult run_task_queue_ideal(const TaskQueueParams& params,
+                                     const net::Topology& topo) {
+  dsm::DsmConfig cfg;
+  cfg.link = net::LinkModel::zero();
+  cfg.root_process_ns = 0;
+  return run_gwc_impl(params, topo, cfg);
+}
+
+TaskQueueResult run_task_queue_entry(const TaskQueueParams& params,
+                                     const net::Topology& topo,
+                                     const net::LinkModel& link) {
+  const std::size_t used = params.nodes_used == 0
+                               ? topo.size()
+                               : std::min(params.nodes_used, topo.size());
+  OPTSYNC_EXPECT(used >= 2);
+  sim::Scheduler sched;
+  net::Network net(sched, topo, link);
+
+  consistency::EntryEngine::Config ec_cfg;
+  ec_cfg.cache_reads = true;  // Midway keeps non-exclusive copies valid
+                              // until the next exclusive transfer
+  consistency::EntryEngine ec(net, ec_cfg);
+  // The guarded section is the queue object: head, tail, and the task ring.
+  const auto lock =
+      ec.create_lock(params.producer, 16 + 8 * params.queue_capacity);
+
+  stats::EfficiencyMeter meter(used);
+  sim::Signal done_sig(sched);
+
+  EntryRun run;
+  run.params = &params;
+  net::CpuModel cpu;  // same 33 MFLOPS CPUs in all variants
+  run.times = compute_times(params, cpu);
+  run.sched = &sched;
+  run.ec = &ec;
+  run.lock = lock;
+  run.meter = &meter;
+  run.done_sig = &done_sig;
+
+  std::vector<sim::Process> procs;
+  procs.push_back(entry_producer(run, used - 1));
+  for (net::NodeId i = 0; i < used; ++i) {
+    if (i == params.producer) continue;
+    procs.push_back(entry_consumer(run, i));
+  }
+  sched.run();
+  for (const auto& pr : procs) pr.rethrow_if_failed();
+  for (const auto& pr : procs) OPTSYNC_ENSURE(pr.done());
+
+  TaskQueueResult res;
+  res.elapsed = run.finished_at;
+  res.network_power = meter.network_power(res.elapsed);
+  res.avg_efficiency = meter.average_efficiency(res.elapsed);
+  res.tasks_executed = run.tasks_executed;
+  res.messages = net.stats().messages;
+  res.bytes = net.stats().bytes;
+  res.lock_acquisitions = ec.stats().acquisitions;
+  res.wasted_grants = run.wasted_grants;
+  res.demand_fetches = ec.stats().demand_fetches;
+  res.invalidation_rounds = ec.stats().invalidations;
+  return res;
+}
+
+}  // namespace optsync::workloads

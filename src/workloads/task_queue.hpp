@@ -1,0 +1,94 @@
+// Task-management workload (paper §3.1 / Fig. 2).
+//
+// One producer generates `total_tasks` tasks into a shared bounded queue
+// guarded by one mutual exclusion lock; the other N-1 processors dequeue and
+// execute them. The producer "waits for the last to be executed before
+// stopping". Task production is much faster than execution (the paper's
+// ratio assumption); past the point where N-1 exceeds 1/ratio the producer
+// cannot keep everyone busy and efficiency collapses — the downturn visible
+// at the right edge of Fig. 2.
+//
+// Three variants regenerate the figure's three lines:
+//   * run_task_queue_gwc    — eagersharing + GWC queue lock (Sesame);
+//   * run_task_queue_entry  — the "fast" entry consistency baseline
+//                             (owner always known, local releases, data
+//                             moves with the lock, demand-fetched tests);
+//   * run_task_queue_ideal  — GWC with a zero-delay network: the
+//                             "maximum speedup possible if network delays
+//                             were zero" bound.
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/types.hpp"
+#include "net/topology.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::workloads {
+
+struct TaskQueueParams {
+  std::uint32_t total_tasks = 1024;
+
+  /// Task execution cost. 8448 flops at 33 MFLOPS = 256 us.
+  std::uint64_t exec_flops = 8448;
+
+  /// t_produce = produce_ratio * t_execute. 1/128 reproduces the paper's
+  /// "with over 100 processors, there are not enough tasks produced to
+  /// keep all processors busy".
+  double produce_ratio = 1.0 / 128.0;
+
+  std::uint32_t queue_capacity = 128;
+
+  /// Local cost of testing the queue state (a couple of loads + compare).
+  sim::Duration local_test_ns = 50;
+
+  /// Tasks enqueued per lock acquisition. The producer generates tasks one
+  /// by one (t_produce each) but amortizes the lock over a batch — without
+  /// this, one grant per enqueue lets the consumers' grant cycles starve
+  /// the producer and the queue never fills. 64 (half the queue) gives the
+  /// paper's scaling; calibration in EXPERIMENTS.md.
+  std::uint32_t producer_batch = 64;
+
+  /// An idle consumer re-tests the (local, free) queue state this often
+  /// instead of stampeding on every enqueue; 0 = half the task execution
+  /// time. Keeps wasted grants O(1) per task in the starved regime.
+  sim::Duration poll_interval_ns = 0;
+
+  net::NodeId producer = 0;
+  net::NodeId group_root = 0;
+
+  /// Number of processors actually used (ids [0, nodes_used)); 0 = every
+  /// topology node. Lets awkward counts like 129 run on a compact torus
+  /// with a few idle slots instead of a degenerate 3x43 grid.
+  std::size_t nodes_used = 0;
+};
+
+struct TaskQueueResult {
+  double network_power = 0.0;   ///< the figure's "speedup"
+  double avg_efficiency = 0.0;
+  sim::Time elapsed = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t wasted_grants = 0;     ///< lock acquired, queue was empty
+  std::uint64_t demand_fetches = 0;    ///< entry variant only
+  std::uint64_t invalidation_rounds = 0;  ///< entry variant only
+};
+
+/// Sesame: eagersharing + GWC queue lock. The queue lives in real DSM
+/// variables; values flow through the substrate end to end.
+TaskQueueResult run_task_queue_gwc(const TaskQueueParams& params,
+                                   const net::Topology& topo,
+                                   const dsm::DsmConfig& cfg);
+
+/// Entry consistency baseline over the same topology and link model.
+TaskQueueResult run_task_queue_entry(const TaskQueueParams& params,
+                                     const net::Topology& topo,
+                                     const net::LinkModel& link);
+
+/// Zero-network-delay bound (GWC protocol, free messages).
+TaskQueueResult run_task_queue_ideal(const TaskQueueParams& params,
+                                     const net::Topology& topo);
+
+}  // namespace optsync::workloads

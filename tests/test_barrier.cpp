@@ -1,0 +1,127 @@
+#include "sync/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::sync {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n)
+      : topo(net::MeshTorus2D::near_square(n)),
+        sys(sched, topo, dsm::DsmConfig{}) {
+    std::vector<dsm::NodeId> members;
+    for (dsm::NodeId i = 0; i < n; ++i) members.push_back(i);
+    g = sys.create_group(members, 0);
+    bar = std::make_unique<EagerBarrier>(sys, g, "bar");
+  }
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  dsm::GroupId g = 0;
+  std::unique_ptr<EagerBarrier> bar;
+};
+
+TEST(EagerBarrier, NobodyPassesUntilAllArrive) {
+  Fixture f(8);
+  int passed = 0;
+  auto worker = [&f, &passed](dsm::NodeId n,
+                              sim::Duration arrive_at) -> sim::Process {
+    co_await sim::delay(f.sched, arrive_at);
+    co_await f.bar->wait(n).join();
+    ++passed;
+  };
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId n = 0; n < 7; ++n) {
+    procs.push_back(worker(n, n * 1'000));
+  }
+  f.sched.run_until(50'000);
+  EXPECT_EQ(passed, 0);  // the straggler (node 7) has not arrived
+  procs.push_back(worker(7, 0));  // arrives now (sim time 50us)
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(passed, 8);
+}
+
+TEST(EagerBarrier, RepeatedEpisodesStaySynchronized) {
+  Fixture f(9);
+  constexpr int kEpisodes = 12;
+  // Track the phase each node believes it is in; at no instant may two
+  // nodes be more than one episode apart once past the barrier.
+  std::vector<int> phase(9, 0);
+  bool violation = false;
+  auto worker = [&](dsm::NodeId n, std::uint64_t seed) -> sim::Process {
+    sim::Rng rng(seed);
+    for (int e = 0; e < kEpisodes; ++e) {
+      co_await sim::delay(f.sched, rng.below(5'000));
+      co_await f.bar->wait(n).join();
+      phase[n] = e + 1;
+      for (int other = 0; other < 9; ++other) {
+        if (std::abs(phase[other] - phase[n]) > 1) violation = true;
+      }
+    }
+  };
+  std::vector<sim::Process> procs;
+  sim::Rng rng(99);
+  for (dsm::NodeId n = 0; n < 9; ++n) procs.push_back(worker(n, rng.next()));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_FALSE(violation);
+  for (dsm::NodeId n = 0; n < 9; ++n) {
+    EXPECT_EQ(f.bar->generation(n), kEpisodes);
+  }
+}
+
+TEST(EagerBarrier, OneWritePerParticipantPerEpisode) {
+  Fixture f(4);
+  const auto before = f.sys.network().stats().messages;
+  auto worker = [&f](dsm::NodeId n) -> sim::Process {
+    co_await f.bar->wait(n).join();
+  };
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId n = 0; n < 4; ++n) procs.push_back(worker(n));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  // 4 arrival writes, each = 1 unicast to root + 4 multicast deliveries.
+  EXPECT_EQ(f.sys.network().stats().messages - before, 4u * 5u);
+}
+
+TEST(EagerBarrier, NonMemberRejected) {
+  sim::Scheduler sched;
+  const net::FullyConnected topo(4);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  const auto g = sys.create_group({0, 1}, 0);
+  EagerBarrier bar(sys, g, "b");
+  EXPECT_THROW(bar.wait(3), ContractViolation);
+}
+
+class BarrierSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BarrierSizes, AllEpisodesComplete) {
+  Fixture f(GetParam());
+  const std::size_t n = GetParam();
+  auto worker = [&f](dsm::NodeId me, std::uint64_t seed) -> sim::Process {
+    sim::Rng rng(seed);
+    for (int e = 0; e < 5; ++e) {
+      co_await sim::delay(f.sched, rng.below(3'000));
+      co_await f.bar->wait(me).join();
+    }
+  };
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId i = 0; i < n; ++i) procs.push_back(worker(i, i * 31 + 7));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(f.bar->stats().episodes, n * 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BarrierSizes,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{8}, std::size_t{16},
+                                           std::size_t{25}));
+
+}  // namespace
+}  // namespace optsync::sync

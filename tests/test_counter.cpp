@@ -1,0 +1,110 @@
+#include "workloads/counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace optsync::workloads {
+namespace {
+
+CounterParams small() {
+  CounterParams p;
+  p.increments_per_node = 15;
+  return p;
+}
+
+class CounterAllMethods : public ::testing::TestWithParam<CounterMethod> {};
+
+TEST_P(CounterAllMethods, ExactCountModerateContention) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  auto p = small();
+  p.think_mean_ns = 50'000;
+  const auto res = run_counter(GetParam(), p, topo);
+  EXPECT_EQ(res.final_count, res.expected_count);
+  EXPECT_GT(res.elapsed, 0u);
+}
+
+TEST_P(CounterAllMethods, ExactCountHeavyContention) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  auto p = small();
+  p.think_mean_ns = 2'000;
+  const auto res = run_counter(GetParam(), p, topo);
+  EXPECT_EQ(res.final_count, res.expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, CounterAllMethods,
+                         ::testing::Values(CounterMethod::kOptimisticGwc,
+                                           CounterMethod::kRegularGwc,
+                                           CounterMethod::kEntry,
+                                           CounterMethod::kTasSpin));
+
+TEST(Counter, OptimisticSpeculatesWhenIdle) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  auto p = small();
+  p.think_mean_ns = 500'000;  // lock almost always free
+  const auto res = run_counter(CounterMethod::kOptimisticGwc, p, topo);
+  EXPECT_EQ(res.final_count, res.expected_count);
+  EXPECT_GT(res.optimistic_attempts, res.expected_count / 2 * 1ull);
+}
+
+TEST(Counter, HistoryShutsOffSpeculationUnderContention) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  auto p = small();
+  p.increments_per_node = 40;
+  p.think_mean_ns = 1'000;  // saturated lock
+  const auto res = run_counter(CounterMethod::kOptimisticGwc, p, topo);
+  EXPECT_EQ(res.final_count, res.expected_count);
+  // Most executions should have fallen back to the regular path.
+  EXPECT_GT(res.regular_paths, res.optimistic_attempts);
+}
+
+TEST(Counter, OptimisticNoSlowerWhenIdle) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  auto p = small();
+  p.think_mean_ns = 500'000;
+  p.jitter = false;
+  const auto opt = run_counter(CounterMethod::kOptimisticGwc, p, topo);
+  const auto reg = run_counter(CounterMethod::kRegularGwc, p, topo);
+  EXPECT_LE(opt.avg_sync_overhead_ns, reg.avg_sync_overhead_ns);
+}
+
+TEST(Counter, TasSpinGeneratesMostTraffic) {
+  const auto topo = net::MeshTorus2D::near_square(8);
+  auto p = small();
+  p.think_mean_ns = 2'000;
+  const auto gwc = run_counter(CounterMethod::kRegularGwc, p, topo);
+  const auto tas = run_counter(CounterMethod::kTasSpin, p, topo);
+  EXPECT_EQ(tas.final_count, tas.expected_count);
+  EXPECT_GT(tas.spin_attempts, gwc.expected_count * 1ull);
+}
+
+TEST(Counter, DeterministicForFixedSeed) {
+  const auto topo = net::MeshTorus2D::near_square(4);
+  auto p = small();
+  p.seed = 77;
+  const auto a = run_counter(CounterMethod::kOptimisticGwc, p, topo);
+  const auto b = run_counter(CounterMethod::kOptimisticGwc, p, topo);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(Counter, SeedChangesSchedule) {
+  const auto topo = net::MeshTorus2D::near_square(4);
+  auto p1 = small();
+  p1.seed = 1;
+  auto p2 = small();
+  p2.seed = 2;
+  const auto a = run_counter(CounterMethod::kOptimisticGwc, p1, topo);
+  const auto b = run_counter(CounterMethod::kOptimisticGwc, p2, topo);
+  EXPECT_NE(a.elapsed, b.elapsed);
+}
+
+TEST(Counter, SingleNodeTrivial) {
+  const auto topo = net::MeshTorus2D::near_square(1);
+  auto p = small();
+  const auto res = run_counter(CounterMethod::kOptimisticGwc, p, topo);
+  EXPECT_EQ(res.final_count, res.expected_count);
+  EXPECT_EQ(res.rollbacks, 0u);
+}
+
+}  // namespace
+}  // namespace optsync::workloads

@@ -1,0 +1,172 @@
+#include "dsm/demand_fetch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::dsm {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n)
+      : topo(net::MeshTorus2D::near_square(n)),
+        net_(sched, topo, net::LinkModel::paper()),
+        store(net_, DemandFetchStore::Config{}) {}
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  net::Network net_;
+  DemandFetchStore store;
+};
+
+TEST(DemandFetch, HomeReadsAndWritesAreLocal) {
+  Fixture f(4);
+  const auto v = f.store.define("x", 2, 7);
+  Word out = 0;
+  auto p = [](Fixture& fx, VarId var, Word* o) -> sim::Process {
+    co_await fx.store.read(2, var, o).join();
+    co_await fx.store.write(2, var, 9).join();
+  }(f, v, &out);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(f.store.peek(v), 9);
+  EXPECT_EQ(f.net_.stats().messages, 0u);
+  EXPECT_EQ(f.store.stats().read_hits, 1u);
+  EXPECT_EQ(f.store.stats().write_hits, 1u);
+}
+
+TEST(DemandFetch, RemoteReadMissFetchesAndCaches) {
+  Fixture f(4);
+  const auto v = f.store.define("x", 0, 42);
+  Word first = 0, second = 0;
+  auto p = [](Fixture& fx, VarId var, Word* a, Word* b) -> sim::Process {
+    co_await fx.store.read(3, var, a).join();  // miss
+    co_await fx.store.read(3, var, b).join();  // hit (cached)
+  }(f, v, &first, &second);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(first, 42);
+  EXPECT_EQ(second, 42);
+  EXPECT_EQ(f.store.stats().read_misses, 1u);
+  EXPECT_EQ(f.store.stats().read_hits, 1u);
+  EXPECT_TRUE(f.store.has_valid_copy(3, v));
+}
+
+TEST(DemandFetch, MissStallsForTheRoundTrip) {
+  // "The processor must halt until each remote datum can be fetched."
+  Fixture f(4);
+  const auto v = f.store.define("x", 0, 1);
+  sim::Time stall = 0;
+  auto p = [](Fixture& fx, VarId var, sim::Time* out) -> sim::Process {
+    const sim::Time t0 = fx.sched.now();
+    Word val = 0;
+    co_await fx.store.read(3, var, &val).join();
+    *out = fx.sched.now() - t0;
+  }(f, v, &stall);
+  f.sched.run();
+  p.rethrow_if_failed();
+  // Request (16B) + data reply (24B); node 3 is diagonal from home node 0
+  // on the 2x2 torus: two hops each way.
+  EXPECT_EQ(stall, (2u * 200 + 128) + (2u * 200 + 192));
+}
+
+TEST(DemandFetch, WriteInvalidatesSharers) {
+  Fixture f(4);
+  const auto v = f.store.define("x", 0, 5);
+  auto p = [](Fixture& fx, VarId var) -> sim::Process {
+    Word tmp = 0;
+    co_await fx.store.read(1, var, &tmp).join();
+    co_await fx.store.read(2, var, &tmp).join();
+    co_await fx.store.read(3, var, &tmp).join();
+    // Node 1 writes: nodes 2, 3 (and home 0) must lose their copies.
+    co_await fx.store.write(1, var, 6).join();
+  }(f, v);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.store.peek(v), 6);
+  EXPECT_TRUE(f.store.has_valid_copy(1, v));
+  EXPECT_FALSE(f.store.has_valid_copy(2, v));
+  EXPECT_FALSE(f.store.has_valid_copy(3, v));
+  EXPECT_GE(f.store.stats().invalidations, 2u);
+}
+
+TEST(DemandFetch, ReadAfterRemoteWriteSeesNewValue) {
+  Fixture f(9);
+  const auto v = f.store.define("x", 0, 1);
+  Word seen = 0;
+  auto p = [](Fixture& fx, VarId var, Word* out) -> sim::Process {
+    Word tmp = 0;
+    co_await fx.store.read(5, var, &tmp).join();   // 5 caches 1
+    co_await fx.store.write(7, var, 99).join();    // invalidates 5
+    co_await fx.store.read(5, var, out).join();    // must refetch 99
+  }(f, v, &seen);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(seen, 99);
+  EXPECT_EQ(f.store.stats().read_misses, 2u);
+}
+
+TEST(DemandFetch, DirtyOwnerForwardsData) {
+  Fixture f(9);
+  const auto v = f.store.define("x", 0, 1);
+  Word seen = 0;
+  auto p = [](Fixture& fx, VarId var, Word* out) -> sim::Process {
+    co_await fx.store.write(4, var, 77).join();  // 4 becomes dirty owner
+    co_await fx.store.read(8, var, out).join();  // home forwards to 4
+  }(f, v, &seen);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(DemandFetch, RepeatedWritesBySameNodeHitLocally) {
+  Fixture f(4);
+  const auto v = f.store.define("x", 0, 0);
+  auto p = [](Fixture& fx, VarId var) -> sim::Process {
+    for (int i = 1; i <= 10; ++i) {
+      co_await fx.store.write(2, var, i).join();
+    }
+  }(f, v);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.store.peek(v), 10);
+  EXPECT_EQ(f.store.stats().write_misses, 1u);
+  EXPECT_EQ(f.store.stats().write_hits, 9u);
+}
+
+TEST(DemandFetch, CoherenceUnderRandomAccesses) {
+  // Linearized ground truth: sequential coroutine issuing random reads and
+  // writes from random nodes always observes the last written value.
+  Fixture f(9);
+  const auto v = f.store.define("x", 4, 0);
+  bool coherent = true;
+  auto p = [](Fixture& fx, VarId var, bool* ok) -> sim::Process {
+    sim::Rng rng(321);
+    Word truth = 0;
+    for (int i = 0; i < 120; ++i) {
+      const auto node = static_cast<NodeId>(rng.below(9));
+      if (rng.chance(0.4)) {
+        truth = static_cast<Word>(i);
+        co_await fx.store.write(node, var, truth).join();
+      } else {
+        Word got = 0;
+        co_await fx.store.read(node, var, &got).join();
+        if (got != truth) *ok = false;
+      }
+    }
+  }(f, v, &coherent);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_TRUE(coherent);
+}
+
+TEST(DemandFetch, InvalidHomeRejected) {
+  Fixture f(4);
+  EXPECT_THROW(f.store.define("x", 99, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace optsync::dsm

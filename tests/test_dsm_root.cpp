@@ -1,0 +1,181 @@
+#include "dsm/root.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+
+namespace optsync::dsm {
+namespace {
+
+class GroupRootTest : public ::testing::Test {
+ protected:
+  GroupRootTest() : topo_(5), sys_(sched_, topo_, DsmConfig{}) {
+    group_ = sys_.create_group({0, 1, 2, 3, 4}, 2);
+    lock_ = sys_.define_lock("l", group_);
+    mdata_ = sys_.define_mutex_data("m", group_, lock_);
+    data_ = sys_.define_data("d", group_);
+  }
+
+  GroupRoot& root() { return sys_.root_of(group_); }
+
+  sim::Scheduler sched_;
+  net::FullyConnected topo_;
+  DsmSystem sys_;
+  GroupId group_ = 0;
+  VarId lock_ = 0, mdata_ = 0, data_ = 0;
+};
+
+TEST_F(GroupRootTest, FreeLockGrantedImmediately) {
+  sys_.node(3).write(lock_, lock_request_value(3));
+  sched_.run();
+  const auto& ls = root().lock_state(lock_);
+  EXPECT_EQ(ls.holder, 3u);
+  EXPECT_EQ(ls.requests, 1u);
+  EXPECT_EQ(ls.immediate_grants, 1u);
+  EXPECT_TRUE(ls.queue.empty());
+  // Grant propagated to every member.
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(sys_.node(n).read(lock_), lock_grant_value(3));
+  }
+}
+
+TEST_F(GroupRootTest, BusyLockQueuesRequester) {
+  sys_.node(3).write(lock_, lock_request_value(3));
+  sched_.run();
+  sys_.node(1).write(lock_, lock_request_value(1));
+  sched_.run();
+  const auto& ls = root().lock_state(lock_);
+  EXPECT_EQ(ls.holder, 3u);
+  ASSERT_EQ(ls.queue.size(), 1u);
+  EXPECT_EQ(ls.queue.front(), 1u);
+  EXPECT_EQ(ls.max_queue_depth, 1u);
+  // A queued request does NOT disturb anyone's lock copy.
+  EXPECT_EQ(sys_.node(0).read(lock_), lock_grant_value(3));
+}
+
+TEST_F(GroupRootTest, ReleaseHandsToNextQueued) {
+  sys_.node(3).write(lock_, lock_request_value(3));
+  sched_.run();
+  sys_.node(1).write(lock_, lock_request_value(1));
+  sys_.node(4).write(lock_, lock_request_value(4));
+  sched_.run();
+  sys_.node(3).write(lock_, kLockFree);
+  sched_.run();
+  const auto& ls = root().lock_state(lock_);
+  EXPECT_EQ(ls.holder, 1u);  // FIFO
+  EXPECT_EQ(ls.queued_grants, 1u);
+  EXPECT_EQ(sys_.node(0).read(lock_), lock_grant_value(1));
+  sys_.node(1).write(lock_, kLockFree);
+  sched_.run();
+  EXPECT_EQ(root().lock_state(lock_).holder, 4u);
+}
+
+TEST_F(GroupRootTest, ReleaseWithEmptyQueuePropagatesFree) {
+  sys_.node(3).write(lock_, lock_request_value(3));
+  sched_.run();
+  sys_.node(3).write(lock_, kLockFree);
+  sched_.run();
+  EXPECT_EQ(root().lock_state(lock_).holder, kNoNode);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(sys_.node(n).read(lock_), kLockFree);
+  }
+}
+
+TEST_F(GroupRootTest, ReleaseByNonHolderRejected) {
+  sys_.node(3).write(lock_, lock_request_value(3));
+  sched_.run();
+  sys_.node(1).write(lock_, kLockFree);
+  EXPECT_THROW(sched_.run(), ContractViolation);
+}
+
+TEST_F(GroupRootTest, NestedRequestRejected) {
+  sys_.node(3).write(lock_, lock_request_value(3));
+  sched_.run();
+  sys_.node(3).write(lock_, lock_request_value(3));
+  EXPECT_THROW(sched_.run(), ContractViolation);
+}
+
+TEST_F(GroupRootTest, SpeculativeWriteFromNonHolderDropped) {
+  sys_.node(1).write(mdata_, 77);  // nobody holds the lock
+  sched_.run();
+  EXPECT_EQ(root().stats().speculative_drops, 1u);
+  EXPECT_EQ(sys_.node(0).read(mdata_), 0);
+  // The speculator's own local memory still shows its write (to be rolled
+  // back by the mutex machinery).
+  EXPECT_EQ(sys_.node(1).read(mdata_), 77);
+}
+
+TEST_F(GroupRootTest, HolderWritesPropagate) {
+  sys_.node(1).write(lock_, lock_request_value(1));
+  sched_.run();
+  sys_.node(1).write(mdata_, 88);
+  sched_.run();
+  EXPECT_EQ(root().stats().speculative_drops, 0u);
+  for (NodeId n = 0; n < 5; ++n) {
+    if (n == 1) continue;  // writer's echo is HW-blocked
+    EXPECT_EQ(sys_.node(n).read(mdata_), 88);
+  }
+}
+
+TEST_F(GroupRootTest, FilteringCanBeDisabled) {
+  DsmConfig cfg;
+  cfg.root_filters_speculative = false;
+  sim::Scheduler sched;
+  DsmSystem sys(sched, topo_, cfg);
+  const auto g = sys.create_group({0, 1, 2}, 0);
+  const auto l = sys.define_lock("l", g);
+  const auto m = sys.define_mutex_data("m", g, l);
+  sys.node(1).write(m, 5);
+  sched.run();
+  EXPECT_EQ(sys.node(2).read(m), 5);
+  EXPECT_EQ(sys.root_of(g).stats().speculative_drops, 0u);
+}
+
+TEST_F(GroupRootTest, PlainDataNeverFiltered) {
+  sys_.node(1).write(data_, 13);
+  sched_.run();
+  EXPECT_EQ(root().stats().speculative_drops, 0u);
+  EXPECT_EQ(sys_.node(4).read(data_), 13);
+}
+
+TEST_F(GroupRootTest, SequenceNumbersIncrease) {
+  sys_.node(1).write(data_, 1);
+  sys_.node(2).write(data_, 2);
+  sched_.run();
+  EXPECT_EQ(root().stats().sequenced, 2u);
+  EXPECT_EQ(root().next_seq(), 3u);
+}
+
+TEST_F(GroupRootTest, GrantFollowsReleasersDataInGroupOrder) {
+  // The paper's key handoff property: the holder's last data write reaches
+  // every member BEFORE the next grant does.
+  sys_.node(1).write(lock_, lock_request_value(1));
+  sched_.run();
+  sys_.node(3).write(lock_, lock_request_value(3));  // queued
+  sched_.run();
+
+  sys_.node(4).enable_applied_log(true);
+  sys_.node(1).write(mdata_, 1234);  // last data write
+  sys_.node(1).write(lock_, kLockFree);  // then release
+  sched_.run();
+
+  const auto& log = sys_.node(4).applied_log(group_);
+  ASSERT_GE(log.size(), 2u);
+  // Find positions of the data write and the grant-to-3.
+  int data_pos = -1, grant_pos = -1;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].var == mdata_ && log[i].value == 1234) {
+      data_pos = static_cast<int>(i);
+    }
+    if (log[i].var == lock_ && log[i].value == lock_grant_value(3)) {
+      grant_pos = static_cast<int>(i);
+    }
+  }
+  ASSERT_NE(data_pos, -1);
+  ASSERT_NE(grant_pos, -1);
+  EXPECT_LT(data_pos, grant_pos);
+}
+
+}  // namespace
+}  // namespace optsync::dsm

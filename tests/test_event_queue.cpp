@@ -1,0 +1,133 @@
+#include "simkern/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(30, [&] { fired.push_back(3); });
+  q.push(10, [&] { fired.push_back(1); });
+  q.push(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i) {
+    q.push(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.push(7, [] {});
+  auto popped = q.pop();
+  EXPECT_EQ(popped.time, 7u);
+  EXPECT_EQ(popped.id, id);
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(5, [&] { fired = true; });
+  q.push(6, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().callback();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(5, [] {});
+  q.push(9, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(5, [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledTop) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(9, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), 9u);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.push(1, nullptr), ContractViolation);
+}
+
+TEST(EventQueue, RandomizedOrderMatchesStableSort) {
+  Rng rng(2024);
+  EventQueue q;
+  struct Expect {
+    Time t;
+    int tag;
+  };
+  std::vector<Expect> expected;
+  for (int i = 0; i < 500; ++i) {
+    const Time t = rng.below(50);  // many ties
+    expected.push_back({t, i});
+    q.push(t, [] {});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expect& a, const Expect& b) { return a.t < b.t; });
+  for (const auto& e : expected) {
+    auto popped = q.pop();
+    EXPECT_EQ(popped.time, e.t);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace optsync::sim

@@ -1,0 +1,94 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace optsync::util {
+namespace {
+
+TEST(Flags, SpaceSeparatedValues) {
+  Flags f({"--cpus", "33", "--variant", "gwc"});
+  EXPECT_EQ(f.get_int("cpus", 0), 33);
+  EXPECT_EQ(f.get("variant"), "gwc");
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  Flags f({"--cpus=16", "--ratio=0.5"});
+  EXPECT_EQ(f.get_int("cpus", 0), 16);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0), 0.5);
+}
+
+TEST(Flags, BooleanForms) {
+  Flags f({"--csv", "--verbose=false", "--fast=yes"});
+  EXPECT_TRUE(f.get_bool("csv"));
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_TRUE(f.get_bool("fast"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  Flags f({"taskqueue", "--cpus", "8", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "taskqueue");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, TrailingBooleanFlag) {
+  // A flag at the end with no value is boolean-true.
+  Flags f({"--cpus", "8", "--csv"});
+  EXPECT_EQ(f.get_int("cpus", 0), 8);
+  EXPECT_TRUE(f.get_bool("csv"));
+}
+
+TEST(Flags, FlagFollowedByFlagIsBoolean) {
+  Flags f({"--csv", "--cpus", "8"});
+  EXPECT_TRUE(f.get_bool("csv"));
+  EXPECT_EQ(f.get_int("cpus", 0), 8);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags f({});
+  EXPECT_EQ(f.get("x", "def"), "def");
+  EXPECT_EQ(f.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  Flags f({"--cpus", "eight", "--ratio", "1.2.3"});
+  EXPECT_THROW((void)f.get_int("cpus", 0), std::invalid_argument);
+  EXPECT_THROW((void)f.get_double("ratio", 0), std::invalid_argument);
+}
+
+TEST(Flags, MalformedBooleanThrows) {
+  Flags f({"--csv=maybe"});
+  EXPECT_THROW((void)f.get_bool("csv"), std::invalid_argument);
+}
+
+TEST(Flags, BareDoubleDashRejected) {
+  EXPECT_THROW(Flags({"--"}), std::invalid_argument);
+}
+
+TEST(Flags, AllowOnlyCatchesTypos) {
+  Flags f({"--cpus", "4", "--vairant", "gwc"});
+  EXPECT_THROW(f.allow_only({"cpus", "variant"}), std::invalid_argument);
+  EXPECT_NO_THROW(f.allow_only({"cpus", "vairant"}));
+}
+
+TEST(Flags, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--n", "3"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.get_int("n", 0), 3);
+}
+
+TEST(Flags, NamesListsAllFlags) {
+  Flags f({"--b", "1", "--a", "2"});
+  const auto names = f.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order: sorted
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace optsync::util

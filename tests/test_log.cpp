@@ -1,0 +1,79 @@
+#include "simkern/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/scheduler.hpp"
+
+namespace optsync::sim {
+namespace {
+
+class CaptureLog {
+ public:
+  CaptureLog() {
+    Logger::global().set_sink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+    Logger::global().set_level(LogLevel::kTrace);
+  }
+  ~CaptureLog() {
+    Logger::global().set_sink(nullptr);
+    Logger::global().set_level(LogLevel::kWarn);
+    Logger::global().attach_clock(nullptr);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST(Logger, LevelsFilter) {
+  CaptureLog cap;
+  Logger::global().set_level(LogLevel::kWarn);
+  log_debug("hidden");
+  log_info("hidden too");
+  log_warn("visible");
+  ASSERT_EQ(cap.lines_.size(), 1u);
+  EXPECT_NE(cap.lines_[0].find("visible"), std::string::npos);
+  EXPECT_NE(cap.lines_[0].find("WARN"), std::string::npos);
+}
+
+TEST(Logger, ConcatenatesArguments) {
+  CaptureLog cap;
+  log_info("n", 3, " -> ", 4.5);
+  ASSERT_EQ(cap.lines_.size(), 1u);
+  EXPECT_NE(cap.lines_[0].find("n3 -> 4.5"), std::string::npos);
+}
+
+TEST(Logger, SimTimePrefixWhenClockAttached) {
+  CaptureLog cap;
+  Scheduler sched;
+  Logger::global().attach_clock(&sched);
+  sched.at(1500, [] { log_info("at event"); });
+  sched.run();
+  ASSERT_EQ(cap.lines_.size(), 1u);
+  EXPECT_NE(cap.lines_[0].find("1.500us"), std::string::npos);
+}
+
+TEST(Logger, OffSilencesEverything) {
+  CaptureLog cap;
+  Logger::global().set_level(LogLevel::kOff);
+  log_warn("nope");
+  EXPECT_TRUE(cap.lines_.empty());
+}
+
+TEST(Logger, EnabledReflectsLevel) {
+  CaptureLog cap;
+  Logger::global().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::global().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::global().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::global().enabled(LogLevel::kError));
+}
+
+TEST(FormatTime, AdaptiveUnits) {
+  EXPECT_EQ(format_time(999), "999ns");
+  EXPECT_EQ(format_time(1'234), "1.234us");
+  EXPECT_EQ(format_time(5'000'000), "5.000ms");
+  EXPECT_EQ(format_time(2'500'000'000ull), "2.500s");
+}
+
+}  // namespace
+}  // namespace optsync::sim

@@ -1,0 +1,186 @@
+#include "core/multi_group_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::core {
+namespace {
+
+// Two overlapping groups on one mesh; nodes in the overlap update data from
+// both groups under cross-group mutual exclusion.
+struct Fixture {
+  Fixture() : topo(net::MeshTorus2D::near_square(12)),
+              sys(sched, topo, dsm::DsmConfig{}) {
+    ga = sys.create_group({0, 1, 2, 3, 4, 5, 6, 7}, 0);
+    gb = sys.create_group({4, 5, 6, 7, 8, 9, 10, 11}, 11);
+    la = sys.define_lock("la", ga);
+    lb = sys.define_lock("lb", gb);
+    da = sys.define_mutex_data("da", ga, la, 0);
+    db = sys.define_mutex_data("db", gb, lb, 0);
+  }
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  dsm::GroupId ga = 0, gb = 0;
+  dsm::VarId la = 0, lb = 0, da = 0, db = 0;
+};
+
+sim::Process cross_update(Fixture& f, MultiGroupMutex& m, dsm::NodeId n,
+                          int count, std::uint64_t seed, int* active,
+                          int* max_active) {
+  sim::Rng rng(seed);
+  auto& node = f.sys.node(n);
+  for (int k = 0; k < count; ++k) {
+    co_await sim::delay(f.sched, rng.below(4'000));
+    co_await m.acquire(n).join();
+    *active += 1;
+    *max_active = std::max(*max_active, *active);
+    const dsm::Word a = node.read(f.da);
+    const dsm::Word b = node.read(f.db);
+    co_await sim::delay(f.sched, 500);
+    node.write(f.da, a + 1);
+    node.write(f.db, b + 1);
+    *active -= 1;
+    m.release(n);
+  }
+}
+
+TEST(MultiGroupMutex, SingleHolderAcrossGroups) {
+  Fixture f;
+  MultiGroupMutex m(f.sys, {f.la, f.lb});
+  int active = 0, max_active = 0;
+  std::vector<sim::Process> procs;
+  // Only overlap nodes (members of both groups) may take both locks.
+  for (const dsm::NodeId n : {4u, 5u, 6u, 7u}) {
+    procs.push_back(cross_update(f, m, n, 8, n * 11 + 1, &active,
+                                 &max_active));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(max_active, 1);
+  // 4 nodes x 8 updates on both variables, atomically.
+  EXPECT_EQ(f.sys.node(4).read(f.da), 32);
+  EXPECT_EQ(f.sys.node(4).read(f.db), 32);
+  // Consistency on non-overlap members too.
+  EXPECT_EQ(f.sys.node(0).read(f.da), 32);
+  EXPECT_EQ(f.sys.node(11).read(f.db), 32);
+}
+
+TEST(MultiGroupMutex, CrossGroupInvariantPreserved) {
+  // da and db are always updated together; any reader holding both locks
+  // must observe da == db.
+  Fixture f;
+  MultiGroupMutex m(f.sys, {f.la, f.lb});
+  bool consistent = true;
+  auto checker = [&f, &m, &consistent](dsm::NodeId n, int rounds)
+      -> sim::Process {
+    auto& node = f.sys.node(n);
+    for (int k = 0; k < rounds; ++k) {
+      co_await sim::delay(f.sched, 2'500);
+      co_await m.acquire(n).join();
+      if (node.read(f.da) != node.read(f.db)) consistent = false;
+      m.release(n);
+    }
+  };
+  int active = 0, max_active = 0;
+  auto w1 = cross_update(f, m, 5, 10, 7, &active, &max_active);
+  auto w2 = cross_update(f, m, 6, 10, 8, &active, &max_active);
+  auto c = checker(4, 12);
+  f.sched.run();
+  w1.rethrow_if_failed();
+  w2.rethrow_if_failed();
+  c.rethrow_if_failed();
+  EXPECT_TRUE(consistent);
+}
+
+TEST(MultiGroupMutex, NoDeadlockWhenSectionsOverlapPartially) {
+  // Node 5 takes {la}, node 6 takes {lb}, node 7 takes {la, lb} — the
+  // global acquisition order (ascending VarId) excludes cycles.
+  Fixture f;
+  MultiGroupMutex m_a(f.sys, {f.la});
+  MultiGroupMutex m_b(f.sys, {f.lb});
+  MultiGroupMutex m_ab(f.sys, {f.lb, f.la});  // order normalized internally
+  std::uint64_t completions = 0;
+  auto worker = [&f, &completions](MultiGroupMutex& m, dsm::NodeId n,
+                                   std::uint64_t seed) -> sim::Process {
+    sim::Rng rng(seed);
+    for (int k = 0; k < 15; ++k) {
+      co_await sim::delay(f.sched, rng.below(2'000));
+      co_await m.acquire(n).join();
+      co_await sim::delay(f.sched, 300);
+      m.release(n);
+      ++completions;
+    }
+  };
+  auto p1 = worker(m_a, 5, 1);
+  auto p2 = worker(m_b, 6, 2);
+  auto p3 = worker(m_ab, 7, 3);
+  f.sched.run();
+  p1.rethrow_if_failed();
+  p2.rethrow_if_failed();
+  p3.rethrow_if_failed();
+  EXPECT_EQ(completions, 45u);  // everything ran to completion: no deadlock
+}
+
+TEST(MultiGroupMutex, LocksNormalizedToGlobalOrder) {
+  Fixture f;
+  MultiGroupMutex m(f.sys, {f.lb, f.la});
+  ASSERT_EQ(m.locks().size(), 2u);
+  EXPECT_LT(m.locks()[0], m.locks()[1]);
+}
+
+TEST(MultiGroupMutex, HeldByTracksAllLocks) {
+  Fixture f;
+  MultiGroupMutex m(f.sys, {f.la, f.lb});
+  EXPECT_FALSE(m.held_by(5));
+  auto p = [](MultiGroupMutex& mm) -> sim::Process {
+    co_await mm.acquire(5).join();
+    EXPECT_TRUE(mm.held_by(5));
+    mm.release(5);
+  }(m);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_FALSE(m.held_by(5));
+}
+
+TEST(MultiGroupMutex, DuplicateLocksRejected) {
+  Fixture f;
+  EXPECT_THROW(MultiGroupMutex(f.sys, {f.la, f.la}), ContractViolation);
+}
+
+TEST(MultiGroupMutex, NonMemberRejected) {
+  Fixture f;
+  MultiGroupMutex m(f.sys, {f.la, f.lb});
+  // Node 0 is only in group A.
+  EXPECT_THROW(m.acquire(0), ContractViolation);
+}
+
+TEST(MultiGroupMutex, SingleLockDegeneratesToQueueLock) {
+  Fixture f;
+  MultiGroupMutex m(f.sys, {f.la});
+  int active = 0, max_active = 0;
+  auto worker = [&](dsm::NodeId n) -> sim::Process {
+    auto& node = f.sys.node(n);
+    co_await m.acquire(n).join();
+    active += 1;
+    max_active = std::max(max_active, active);
+    node.write(f.da, node.read(f.da) + 1);
+    co_await sim::delay(f.sched, 400);
+    active -= 1;
+    m.release(n);
+  };
+  std::vector<sim::Process> procs;
+  for (const dsm::NodeId n : {0u, 1u, 2u, 3u}) procs.push_back(worker(n));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(max_active, 1);
+  EXPECT_EQ(f.sys.node(0).read(f.da), 4);
+  EXPECT_EQ(m.stats().acquisitions, 4u);
+}
+
+}  // namespace
+}  // namespace optsync::core

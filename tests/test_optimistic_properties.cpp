@@ -1,0 +1,196 @@
+// Property tests for optimistic synchronization: over randomized schedules,
+// the optimistic protocol must be (a) serializable — the final shared state
+// equals SOME serial order of the sections, (b) invisible when speculating —
+// non-holders' writes are never observed remotely, and (c) equivalent to the
+// regular protocol's final state when sections commute up to ordering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/optimistic_mutex.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::core {
+namespace {
+
+using dsm::DsmConfig;
+using dsm::DsmSystem;
+using dsm::VarId;
+using dsm::Word;
+using net::NodeId;
+
+struct PropertyCase {
+  std::size_t nodes;
+  int sections_per_node;
+  sim::Duration spread_ns;    ///< request start times spread over this window
+  sim::Duration section_ns;
+  std::uint64_t seed;
+};
+
+class OptimisticSerializability
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+// Each section appends its (node, iteration) tag to a shared "log" realized
+// as a counter + per-slot variables; serializability means every tag appears
+// exactly once and slots are dense.
+TEST_P(OptimisticSerializability, EveryIncrementAppliedExactlyOnce) {
+  const auto& c = GetParam();
+  sim::Scheduler sched;
+  const auto topo = net::MeshTorus2D::near_square(c.nodes);
+  DsmSystem sys(sched, topo, DsmConfig{});
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < c.nodes; ++i) members.push_back(i);
+  const auto g = sys.create_group(members, 0);
+  const auto lock = sys.define_lock("L", g);
+  const auto counter = sys.define_mutex_data("ctr", g, lock, 0);
+  OptimisticMutex mux(sys, lock, OptimisticMutex::Config{});
+
+  sim::Rng rng(c.seed);
+  std::vector<sim::Process> procs;
+  auto worker = [&](NodeId me, std::uint64_t seed) -> sim::Process {
+    sim::Rng local(seed);
+    for (int k = 0; k < c.sections_per_node; ++k) {
+      co_await sim::delay(sched, local.below(c.spread_ns));
+      Section sec;
+      sec.shared_writes = {counter};
+      sec.body = [&sys, &sched, counter, section_ns = c.section_ns](
+                     dsm::DsmNode& nd) -> sim::Process {
+        const Word v = nd.read(counter);
+        co_await sim::delay(sched, section_ns);
+        nd.write(counter, v + 1);
+      };
+      co_await mux.execute(me, std::move(sec)).join();
+    }
+  };
+  for (NodeId i = 0; i < c.nodes; ++i) procs.push_back(worker(i, rng.next()));
+  sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+
+  const Word expected =
+      static_cast<Word>(c.nodes) * static_cast<Word>(c.sections_per_node);
+  for (const NodeId m : members) {
+    EXPECT_EQ(sys.node(m).read(counter), expected) << "node " << m;
+  }
+  const auto& ms = mux.stats();
+  EXPECT_EQ(ms.executions,
+            static_cast<std::uint64_t>(c.nodes) *
+                static_cast<std::uint64_t>(c.sections_per_node));
+  EXPECT_EQ(ms.optimistic_successes + ms.rollbacks + ms.regular_paths,
+            ms.executions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSchedules, OptimisticSerializability,
+    ::testing::Values(PropertyCase{2, 20, 2'000, 500, 11},
+                      PropertyCase{4, 12, 5'000, 800, 12},
+                      PropertyCase{8, 8, 3'000, 1'000, 13},
+                      PropertyCase{8, 8, 50'000, 1'000, 14},
+                      PropertyCase{16, 5, 10'000, 700, 15},
+                      PropertyCase{16, 5, 200'000, 700, 16},
+                      PropertyCase{25, 4, 100'000, 500, 17}));
+
+// Speculation invisibility: an observer node records every value of the
+// mutex datum it ever applies; none may come from a node that was not the
+// holder when the root sequenced it. We detect that indirectly: observed
+// values must form the serial chain 1, 2, 3, ... with no gaps, duplicates,
+// or foreign values.
+TEST(OptimisticInvisibility, ObserversOnlySeeCommittedChain) {
+  sim::Scheduler sched;
+  const auto topo = net::MeshTorus2D::near_square(9);
+  DsmSystem sys(sched, topo, DsmConfig{});
+  std::vector<NodeId> members;
+  for (NodeId i = 0; i < 9; ++i) members.push_back(i);
+  const auto g = sys.create_group(members, 0);
+  const auto lock = sys.define_lock("L", g);
+  const auto counter = sys.define_mutex_data("ctr", g, lock, 0);
+  OptimisticMutex mux(sys, lock, OptimisticMutex::Config{});
+
+  const NodeId observer = 4;
+  sys.node(observer).enable_applied_log(true);
+
+  sim::Rng rng(31);
+  std::vector<sim::Process> procs;
+  auto worker = [&](NodeId me, std::uint64_t seed) -> sim::Process {
+    sim::Rng local(seed);
+    for (int k = 0; k < 6; ++k) {
+      co_await sim::delay(sched, local.below(4'000));
+      Section sec;
+      sec.shared_writes = {counter};
+      sec.body = [&sys, &sched, counter](dsm::DsmNode& nd) -> sim::Process {
+        const Word v = nd.read(counter);
+        co_await sim::delay(sched, 600);
+        nd.write(counter, v + 1);
+      };
+      co_await mux.execute(me, std::move(sec)).join();
+    }
+  };
+  for (const NodeId n : {0u, 2u, 7u, 8u}) procs.push_back(worker(n, rng.next()));
+  sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+
+  // Force some rollbacks to have happened, or the test is vacuous; with 4
+  // hammering nodes and short think times there is real contention.
+  EXPECT_GT(mux.stats().rollbacks + mux.stats().regular_paths, 0u);
+
+  Word expect = 1;
+  for (const auto& upd : sys.node(observer).applied_log(g)) {
+    if (upd.var != counter) continue;
+    EXPECT_EQ(upd.value, expect) << "observer saw a speculative or stale "
+                                    "value break the committed chain";
+    ++expect;
+  }
+  EXPECT_EQ(expect, 25);  // 4 workers x 6 increments, all observed
+}
+
+// Equivalence: with identical workloads, optimistic and regular executions
+// reach the same final shared value (the protocols may order sections
+// differently, but the commutative increment makes end states comparable).
+class OptimisticEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(OptimisticEquivalence, FinalStateMatchesRegularProtocol) {
+  auto run_once = [&](bool optimistic) {
+    sim::Scheduler sched;
+    const auto topo = net::MeshTorus2D::near_square(8);
+    DsmSystem sys(sched, topo, DsmConfig{});
+    std::vector<NodeId> members;
+    for (NodeId i = 0; i < 8; ++i) members.push_back(i);
+    const auto g = sys.create_group(members, 0);
+    const auto lock = sys.define_lock("L", g);
+    const auto counter = sys.define_mutex_data("ctr", g, lock, 7);
+    OptimisticMutex::Config cfg;
+    cfg.enable_optimistic = optimistic;
+    OptimisticMutex mux(sys, lock, cfg);
+
+    sim::Rng rng(GetParam());
+    std::vector<sim::Process> procs;
+    auto worker = [&](NodeId me, std::uint64_t seed) -> sim::Process {
+      sim::Rng local(seed);
+      for (int k = 0; k < 5; ++k) {
+        co_await sim::delay(sched, local.below(6'000));
+        Section sec;
+        sec.shared_writes = {counter};
+        sec.body = [&sys, &sched, counter](dsm::DsmNode& nd) -> sim::Process {
+          const Word v = nd.read(counter);
+          co_await sim::delay(sched, 400);
+          nd.write(counter, v + 3);
+        };
+        co_await mux.execute(me, std::move(sec)).join();
+      }
+    };
+    for (NodeId i = 0; i < 8; ++i) procs.push_back(worker(i, rng.next()));
+    sched.run();
+    for (auto& p : procs) p.rethrow_if_failed();
+    return sys.node(3).read(counter);
+  };
+
+  EXPECT_EQ(run_once(true), run_once(false));
+  EXPECT_EQ(run_once(true), 7 + 8 * 5 * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimisticEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace optsync::core

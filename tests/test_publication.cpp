@@ -1,0 +1,151 @@
+#include "core/publication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::size_t fields = 3)
+      : topo(net::MeshTorus2D::near_square(n)),
+        sys(sched, topo, dsm::DsmConfig{}) {
+    std::vector<dsm::NodeId> members;
+    for (dsm::NodeId i = 0; i < n; ++i) members.push_back(i);
+    g = sys.create_group(members, 0);
+    rec = std::make_unique<PublishedRecord>(sys, g, "rec", fields,
+                                            /*writer=*/1);
+  }
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  dsm::GroupId g = 0;
+  std::unique_ptr<PublishedRecord> rec;
+};
+
+TEST(PublishedRecord, PublishReachesAllReaders) {
+  Fixture f(9);
+  f.rec->publish({10, 20, 30});
+  f.sched.run();
+  for (dsm::NodeId n = 0; n < 9; ++n) {
+    const auto snap = f.rec->try_read(n);
+    ASSERT_TRUE(snap.has_value()) << "node " << n;
+    EXPECT_EQ(*snap, (std::vector<dsm::Word>{10, 20, 30}));
+  }
+}
+
+TEST(PublishedRecord, VersionIsEvenWhenQuiescent) {
+  Fixture f(4);
+  EXPECT_EQ(f.rec->current_version(), 0);
+  f.rec->publish({1, 2, 3});
+  f.rec->publish({4, 5, 6});
+  f.sched.run();
+  EXPECT_EQ(f.rec->current_version(), 4);
+  EXPECT_EQ(f.sys.node(3).read(f.rec->version_var()), 4);
+}
+
+TEST(PublishedRecord, NoTornReadsEver) {
+  // The central property: any snapshot a reader accepts equals one of the
+  // published tuples, never a mix — even while the writer is mid-publish
+  // (slow publishes open real odd-version windows).
+  Fixture f(9);
+  std::set<std::vector<dsm::Word>> published;
+  sim::Rng rng(404);
+  std::vector<sim::Process> writers;
+  for (int k = 1; k <= 20; ++k) {
+    const std::vector<dsm::Word> values{k, k * 100, k * 10'000};
+    published.insert(values);
+    f.sched.at(static_cast<sim::Time>(k) * 2'000, [&f, &writers, values] {
+      writers.push_back(f.rec->publish_slowly(values, /*per_field=*/300));
+    });
+  }
+  published.insert({0, 0, 0});  // initial state
+
+  // Readers sample at random times while publishes are in flight.
+  int accepted = 0, rejected = 0;
+  for (int s = 0; s < 400; ++s) {
+    const auto node = static_cast<dsm::NodeId>(rng.below(9));
+    f.sched.at(rng.below(42'000), [&, node] {
+      const auto snap = f.rec->try_read(node);
+      if (!snap.has_value()) {
+        ++rejected;
+        return;
+      }
+      ++accepted;
+      EXPECT_TRUE(published.contains(*snap))
+          << "torn read: " << (*snap)[0] << "," << (*snap)[1] << ","
+          << (*snap)[2];
+    });
+  }
+  f.sched.run();
+  for (const auto& w : writers) w.rethrow_if_failed();
+  EXPECT_GT(accepted, 0);
+  // Publishes hold the odd version for ~900ns each, 20 times in 40us, so
+  // random sampling must land inside some window.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(PublishedRecord, BlockingReadRetriesUntilConsistent) {
+  Fixture f(4);
+  // Start a slow publish; a reader on the WRITER's node sees the odd
+  // version immediately and must retry until the publish completes.
+  auto w = f.rec->publish_slowly({7, 8, 9}, 500);
+  std::vector<dsm::Word> out;
+  auto r = f.rec->read(f.rec->writer(), &out);
+  EXPECT_FALSE(r.done());  // blocked mid-publish
+  f.sched.run();
+  w.rethrow_if_failed();
+  r.rethrow_if_failed();
+  EXPECT_EQ(out, (std::vector<dsm::Word>{7, 8, 9}));
+  EXPECT_GT(f.rec->stats().retried_reads, 0u);
+}
+
+TEST(PublishedRecord, StatsCountRetries) {
+  Fixture f(4);
+  f.rec->publish({1, 1, 1});
+  f.sched.run();
+  (void)f.rec->try_read(2);
+  EXPECT_EQ(f.rec->stats().clean_reads, 1u);
+  EXPECT_EQ(f.rec->stats().publishes, 1u);
+}
+
+TEST(PublishedRecord, WriterMustBeGroupMember) {
+  sim::Scheduler sched;
+  const net::FullyConnected topo(4);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  const auto g = sys.create_group({0, 1}, 0);
+  EXPECT_THROW(PublishedRecord(sys, g, "r", 2, /*writer=*/3),
+               ContractViolation);
+}
+
+TEST(PublishedRecord, FieldCountValidated) {
+  Fixture f(4);
+  EXPECT_THROW(f.rec->publish({1, 2}), ContractViolation);  // needs 3
+}
+
+TEST(PublishedRecord, ZeroFieldsRejected) {
+  sim::Scheduler sched;
+  const net::FullyConnected topo(2);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  const auto g = sys.create_group({0, 1}, 0);
+  EXPECT_THROW(PublishedRecord(sys, g, "r", 0, 0), ContractViolation);
+}
+
+TEST(PublishedRecord, ManyFieldsWork) {
+  Fixture f(4, 16);
+  std::vector<dsm::Word> big;
+  for (int i = 0; i < 16; ++i) big.push_back(i * 3);
+  f.rec->publish(big);
+  f.sched.run();
+  const auto snap = f.rec->try_read(2);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(*snap, big);
+}
+
+}  // namespace
+}  // namespace optsync::core

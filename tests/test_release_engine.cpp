@@ -1,0 +1,152 @@
+#include "consistency/release.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::consistency {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n)
+      : topo(n), net_(sched, topo, net::LinkModel::paper()) {
+    std::vector<net::NodeId> sharers;
+    for (net::NodeId i = 0; i < n; ++i) sharers.push_back(i);
+    rc = std::make_unique<ReleaseEngine>(net_, sharers,
+                                         ReleaseEngine::Config{});
+  }
+  sim::Scheduler sched;
+  net::FullyConnected topo;
+  net::Network net_;
+  std::unique_ptr<ReleaseEngine> rc;
+};
+
+sim::Process cycle(Fixture& f, ReleaseEngine::LockId l, net::NodeId n,
+                   sim::Duration d, std::uint32_t writes, int* active,
+                   int* max_active) {
+  co_await f.rc->acquire(n, l).join();
+  *active += 1;
+  *max_active = std::max(*max_active, *active);
+  co_await sim::delay(f.sched, d);
+  if (writes > 0) f.rc->write_shared(n, l, writes);
+  *active -= 1;
+  co_await f.rc->release(n, l).join();
+}
+
+TEST(ReleaseEngine, AcquireViaManagerAndOwner) {
+  Fixture f(4);
+  const auto l = f.rc->create_lock(1);
+  int active = 0, max_active = 0;
+  auto p = cycle(f, l, 3, 100, 0, &active, &max_active);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.rc->stats().acquisitions, 1u);
+  EXPECT_EQ(f.rc->stats().forwards, 1u);
+  // request + forward + grant = 3 one-way messages.
+  EXPECT_EQ(f.net_.stats().messages, 3u);
+}
+
+TEST(ReleaseEngine, MutualExclusion) {
+  Fixture f(8);
+  const auto l = f.rc->create_lock(0);
+  int active = 0, max_active = 0;
+  std::vector<sim::Process> procs;
+  for (net::NodeId n = 0; n < 8; ++n) {
+    procs.push_back(cycle(f, l, n, 300, 2, &active, &max_active));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(max_active, 1);
+  EXPECT_EQ(f.rc->stats().releases, 8u);
+}
+
+TEST(ReleaseEngine, ReleaseBlockedUntilUpdatesFlush) {
+  Fixture f(4);
+  const auto l = f.rc->create_lock(0);
+  sim::Time no_writes_release = 0, with_writes_release = 0;
+  {
+    auto p = [](Fixture& fx, ReleaseEngine::LockId lk,
+                sim::Time* out) -> sim::Process {
+      co_await fx.rc->acquire(0, lk).join();
+      const sim::Time before = fx.sched.now();
+      co_await fx.rc->release(0, lk).join();
+      *out = fx.sched.now() - before;
+    }(f, l, &no_writes_release);
+    f.sched.run();
+    p.rethrow_if_failed();
+  }
+  {
+    auto p = [](Fixture& fx, ReleaseEngine::LockId lk,
+                sim::Time* out) -> sim::Process {
+      co_await fx.rc->acquire(0, lk).join();
+      fx.rc->write_shared(0, lk, 10);
+      const sim::Time before = fx.sched.now();
+      co_await fx.rc->release(0, lk).join();
+      *out = fx.sched.now() - before;
+    }(f, l, &with_writes_release);
+    f.sched.run();
+    p.rethrow_if_failed();
+  }
+  EXPECT_EQ(no_writes_release, 0u);
+  EXPECT_GT(with_writes_release, 0u);
+}
+
+TEST(ReleaseEngine, UpdatePacketCountScalesWithSharers) {
+  Fixture f(5);
+  const auto l = f.rc->create_lock(0);
+  auto p = [](Fixture& fx, ReleaseEngine::LockId lk) -> sim::Process {
+    co_await fx.rc->acquire(0, lk).join();
+    fx.rc->write_shared(0, lk, 3);
+    co_await fx.rc->release(0, lk).join();
+  }(f, l);
+  f.sched.run();
+  p.rethrow_if_failed();
+  // 3 writes to 4 other sharers.
+  EXPECT_EQ(f.rc->stats().update_packets, 12u);
+}
+
+TEST(ReleaseEngine, QueuedWaiterGetsGrantAfterFlush) {
+  Fixture f(4);
+  const auto l = f.rc->create_lock(0);
+  std::vector<net::NodeId> order;
+  auto worker = [&f, &order, l](net::NodeId n, sim::Duration start,
+                                std::uint32_t writes) -> sim::Process {
+    co_await sim::delay(f.sched, start);
+    co_await f.rc->acquire(n, l).join();
+    order.push_back(n);
+    co_await sim::delay(f.sched, 5'000);
+    if (writes) f.rc->write_shared(n, l, writes);
+    co_await f.rc->release(n, l).join();
+  };
+  std::vector<sim::Process> procs;
+  procs.push_back(worker(1, 0, 5));
+  procs.push_back(worker(2, 1'000, 0));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(order, (std::vector<net::NodeId>{1, 2}));
+}
+
+TEST(ReleaseEngine, WriteWithoutHoldRejected) {
+  Fixture f(4);
+  const auto l = f.rc->create_lock(0);
+  EXPECT_THROW(f.rc->write_shared(2, l), ContractViolation);
+}
+
+TEST(ReleaseEngine, HolderTracked) {
+  Fixture f(4);
+  const auto l = f.rc->create_lock(1);
+  auto p = [](Fixture& fx, ReleaseEngine::LockId lk) -> sim::Process {
+    EXPECT_EQ(fx.rc->holder(lk), ~net::NodeId{0});
+    co_await fx.rc->acquire(2, lk).join();
+    EXPECT_EQ(fx.rc->holder(lk), 2u);
+    co_await fx.rc->release(2, lk).join();
+  }(f, l);
+  f.sched.run();
+  p.rethrow_if_failed();
+}
+
+}  // namespace
+}  // namespace optsync::consistency

@@ -1,0 +1,112 @@
+#include "core/rollback_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/system.hpp"
+#include "simkern/assert.hpp"
+
+namespace optsync::core {
+namespace {
+
+struct Fixture {
+  Fixture() : topo(3), sys(sched, topo, dsm::DsmConfig{}) {
+    g = sys.create_group({0, 1, 2}, 0);
+    a = sys.define_data("a", g, 10);
+    b = sys.define_data("b", g, 20);
+  }
+  sim::Scheduler sched;
+  net::FullyConnected topo;
+  dsm::DsmSystem sys;
+  dsm::GroupId g = 0;
+  dsm::VarId a = 0, b = 0;
+};
+
+TEST(RollbackJournal, RestoresSnapshotValues) {
+  Fixture f;
+  RollbackJournal j;
+  j.snapshot(f.sys.node(1), {f.a, f.b});
+  f.sys.node(1).poke(f.a, 111);
+  f.sys.node(1).poke(f.b, 222);
+  j.restore(f.sys.node(1));
+  EXPECT_EQ(f.sys.node(1).read(f.a), 10);
+  EXPECT_EQ(f.sys.node(1).read(f.b), 20);
+}
+
+TEST(RollbackJournal, RestoreIsLocalOnly) {
+  Fixture f;
+  RollbackJournal j;
+  j.snapshot(f.sys.node(1), {f.a});
+  f.sys.node(1).poke(f.a, 99);
+  j.restore(f.sys.node(1));
+  f.sched.run();
+  EXPECT_EQ(f.sys.network().stats().messages, 0u);
+  EXPECT_EQ(f.sys.node(2).read(f.a), 10);  // untouched elsewhere
+}
+
+TEST(RollbackJournal, EmptyAfterRestore) {
+  Fixture f;
+  RollbackJournal j;
+  j.snapshot(f.sys.node(0), {f.a});
+  EXPECT_FALSE(j.empty());
+  EXPECT_EQ(j.shared_count(), 1u);
+  j.restore(f.sys.node(0));
+  EXPECT_TRUE(j.empty());
+}
+
+TEST(RollbackJournal, DiscardDropsWithoutRestoring) {
+  Fixture f;
+  RollbackJournal j;
+  j.snapshot(f.sys.node(0), {f.a});
+  f.sys.node(0).poke(f.a, 55);
+  j.discard();
+  EXPECT_TRUE(j.empty());
+  EXPECT_EQ(f.sys.node(0).read(f.a), 55);
+}
+
+TEST(RollbackJournal, LocalVariableSaveRestore) {
+  Fixture f;
+  RollbackJournal j;
+  int lcl = 7;
+  int saved = 0;
+  j.add_local([&] { saved = lcl; }, [&] { lcl = saved; });
+  EXPECT_EQ(saved, 7);  // save ran immediately
+  lcl = 42;
+  j.restore(f.sys.node(0));
+  EXPECT_EQ(lcl, 7);
+}
+
+TEST(RollbackJournal, SecondSnapshotWithoutClearRejected) {
+  Fixture f;
+  RollbackJournal j;
+  j.snapshot(f.sys.node(0), {f.a});
+  EXPECT_THROW(j.snapshot(f.sys.node(0), {f.b}), ContractViolation);
+  j.discard();
+  EXPECT_NO_THROW(j.snapshot(f.sys.node(0), {f.b}));
+}
+
+TEST(RollbackJournal, EmptyVarListIsValid) {
+  Fixture f;
+  RollbackJournal j;
+  j.snapshot(f.sys.node(0), {});
+  EXPECT_TRUE(j.empty());
+  j.restore(f.sys.node(0));  // no-op
+}
+
+TEST(RollbackJournal, NullLocalHooksRejected) {
+  RollbackJournal j;
+  EXPECT_THROW(j.add_local(nullptr, [] {}), ContractViolation);
+  EXPECT_THROW(j.add_local([] {}, nullptr), ContractViolation);
+}
+
+TEST(RollbackJournal, MultipleLocalsRestoreInRegistrationOrder) {
+  Fixture f;
+  RollbackJournal j;
+  std::vector<int> order;
+  j.add_local([] {}, [&] { order.push_back(1); });
+  j.add_local([] {}, [&] { order.push_back(2); });
+  j.restore(f.sys.node(0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace optsync::core

@@ -1,0 +1,90 @@
+#include "rt/rt_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace optsync::rt {
+namespace {
+
+RtSystem::Config cfg(std::size_t n, std::uint32_t delay_us = 0) {
+  RtSystem::Config c;
+  c.nodes = n;
+  c.link_delay_us = delay_us;
+  return c;
+}
+
+TEST(RtGwcQueueLock, SingleThreadAcquireRelease) {
+  RtSystem sys(cfg(3));
+  const auto l = sys.define_lock("l");
+  RtGwcQueueLock lk(sys, l);
+  lk.acquire(1);
+  EXPECT_TRUE(dsm::lock_granted_to(sys.read(1, l), 1));
+  lk.release(1);
+  sys.quiesce();
+  for (NodeId n = 0; n < 3; ++n) EXPECT_EQ(sys.read(n, l), kLockFree);
+  EXPECT_EQ(lk.acquisitions(), 1u);
+  EXPECT_EQ(lk.releases(), 1u);
+}
+
+TEST(RtGwcQueueLock, MutualExclusionAcrossThreads) {
+  RtSystem sys(cfg(4));
+  const auto l = sys.define_lock("l");
+  const auto d = sys.define_mutex_data("d", l);
+  RtGwcQueueLock lk(sys, l);
+
+  std::atomic<int> in_section{0};
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> threads;
+  for (NodeId n = 0; n < 4; ++n) {
+    threads.emplace_back([&, n] {
+      for (int k = 0; k < 25; ++k) {
+        RtGwcQueueLock::Guard guard(lk, n);
+        if (in_section.fetch_add(1) != 0) overlap.store(true);
+        sys.write(n, d, sys.read(n, d) + 1);
+        std::this_thread::yield();
+        in_section.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  sys.quiesce();
+  EXPECT_FALSE(overlap.load());
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(sys.read(n, d), 100);
+}
+
+TEST(RtGwcQueueLock, GuardReleasesOnScopeExit) {
+  RtSystem sys(cfg(2));
+  const auto l = sys.define_lock("l");
+  RtGwcQueueLock lk(sys, l);
+  {
+    RtGwcQueueLock::Guard guard(lk, 0);
+    EXPECT_TRUE(dsm::lock_granted_to(sys.read(0, l), 0));
+  }
+  sys.quiesce();
+  EXPECT_EQ(sys.read(1, l), kLockFree);
+}
+
+TEST(RtGwcQueueLock, LinkDelayWidensRaceWindows) {
+  RtSystem sys(cfg(3, /*link delay us*/ 30));
+  const auto l = sys.define_lock("l");
+  const auto d = sys.define_mutex_data("d", l);
+  RtGwcQueueLock lk(sys, l);
+  std::vector<std::thread> threads;
+  for (NodeId n = 0; n < 3; ++n) {
+    threads.emplace_back([&, n] {
+      for (int k = 0; k < 10; ++k) {
+        RtGwcQueueLock::Guard guard(lk, n);
+        sys.write(n, d, sys.read(n, d) + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  sys.quiesce();
+  EXPECT_EQ(sys.read(0, d), 30);
+}
+
+}  // namespace
+}  // namespace optsync::rt

@@ -1,0 +1,231 @@
+// The optimistic mutex under real concurrency: threads race the interrupt
+// handler, the sequencer filters speculative writes, rollbacks restore
+// memory — and the shared counter must still be exact.
+#include "rt/rt_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace optsync::rt {
+namespace {
+
+RtSystem::Config cfg(std::size_t n, std::uint32_t delay_us = 0) {
+  RtSystem::Config c;
+  c.nodes = n;
+  c.link_delay_us = delay_us;
+  return c;
+}
+
+TEST(RtOptimisticMutex, SingleSectionSucceedsOptimistically) {
+  RtSystem sys(cfg(4));
+  const auto l = sys.define_lock("l");
+  const auto a = sys.define_mutex_data("a", l);
+  RtOptimisticMutex mux(sys, l, RtOptimisticMutex::Config{});
+
+  RtOptimisticMutex::Section sec;
+  sec.shared_writes = {a};
+  sec.body = [&sys, a](NodeId me) {
+    const Word v = sys.read(me, a);
+    sys.write(me, a, v + 1);
+  };
+  const auto outcome = mux.execute(2, sec);
+  EXPECT_TRUE(outcome.used_optimistic);
+  EXPECT_FALSE(outcome.rolled_back);
+  sys.quiesce();
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(sys.read(n, a), 1);
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(sys.read(n, l), kLockFree);
+}
+
+TEST(RtOptimisticMutex, DisabledOptimismTakesRegularPath) {
+  RtSystem sys(cfg(3));
+  const auto l = sys.define_lock("l");
+  const auto a = sys.define_mutex_data("a", l);
+  RtOptimisticMutex::Config mcfg;
+  mcfg.enable_optimistic = false;
+  RtOptimisticMutex mux(sys, l, mcfg);
+  RtOptimisticMutex::Section sec;
+  sec.shared_writes = {a};
+  sec.body = [&sys, a](NodeId me) { sys.write(me, a, sys.read(me, a) + 1); };
+  mux.execute(1, sec);
+  sys.quiesce();
+  EXPECT_EQ(mux.stats().regular_paths.load(), 1u);
+  EXPECT_EQ(mux.stats().optimistic_attempts.load(), 0u);
+  EXPECT_EQ(sys.read(0, a), 1);
+}
+
+struct StressCase {
+  std::size_t nodes;
+  int sections;
+  std::uint32_t link_delay_us;
+  unsigned jitter_us;
+};
+
+class RtMutexStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(RtMutexStress, CounterExactUnderRacingThreads) {
+  const auto& c = GetParam();
+  RtSystem sys(cfg(c.nodes, c.link_delay_us));
+  const auto l = sys.define_lock("l");
+  const auto a = sys.define_mutex_data("a", l);
+  RtOptimisticMutex mux(sys, l, RtOptimisticMutex::Config{});
+
+  std::atomic<int> in_section{0};
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> threads;
+  for (NodeId n = 0; n < c.nodes; ++n) {
+    threads.emplace_back([&, n] {
+      std::mt19937 rng(n * 7919u + 13u);
+      std::uniform_int_distribution<unsigned> jitter(0, c.jitter_us);
+      for (int k = 0; k < c.sections; ++k) {
+        if (c.jitter_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(jitter(rng)));
+        }
+        RtOptimisticMutex::Section sec;
+        sec.shared_writes = {a};
+        sec.body = [&sys, a, &in_section, &overlap](NodeId me) {
+          // The body may run speculatively without the lock; the EXCLUSIVE
+          // property we can assert is on committed state, checked below.
+          // Still track simultaneous *post-grant* bodies via rollback-free
+          // reasoning: count overlapping body executions; speculative
+          // overlap is legal, so only record, don't assert.
+          if (in_section.fetch_add(1) > 0) overlap.store(true);
+          const Word v = sys.read(me, a);
+          std::this_thread::yield();
+          sys.write(me, a, v + 1);
+          in_section.fetch_sub(1);
+        };
+        mux.execute(n, sec);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  sys.quiesce();
+
+  const Word expected = static_cast<Word>(c.nodes) * c.sections;
+  for (NodeId n = 0; n < c.nodes; ++n) {
+    EXPECT_EQ(sys.read(n, a), expected) << "node " << n;
+  }
+  const auto& ms = mux.stats();
+  EXPECT_EQ(ms.executions.load(),
+            static_cast<std::uint64_t>(c.nodes) * c.sections);
+  EXPECT_EQ(ms.optimistic_successes.load() + ms.rollbacks.load() +
+                ms.regular_paths.load(),
+            ms.executions.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Races, RtMutexStress,
+    ::testing::Values(StressCase{2, 60, 0, 0}, StressCase{4, 30, 0, 50},
+                      StressCase{4, 30, 30, 0}, StressCase{8, 15, 10, 100}));
+
+TEST(RtOptimisticMutex, RollbacksHappenAndStateStaysExact) {
+  // Two nodes hammer with no think time: speculation failures are certain
+  // on at least some runs; correctness must hold regardless.
+  RtSystem sys(cfg(2, /*link delay*/ 50));
+  const auto l = sys.define_lock("l");
+  const auto a = sys.define_mutex_data("a", l);
+  RtOptimisticMutex mux(sys, l, RtOptimisticMutex::Config{});
+
+  auto hammer = [&](NodeId n, int count) {
+    for (int k = 0; k < count; ++k) {
+      RtOptimisticMutex::Section sec;
+      sec.shared_writes = {a};
+      sec.body = [&sys, a](NodeId me) {
+        const Word v = sys.read(me, a);
+        sys.write(me, a, v + 1);
+      };
+      mux.execute(n, sec);
+    }
+  };
+  std::thread t0(hammer, 0, 40);
+  std::thread t1(hammer, 1, 40);
+  t0.join();
+  t1.join();
+  sys.quiesce();
+  EXPECT_EQ(sys.read(0, a), 80);
+  EXPECT_EQ(sys.read(1, a), 80);
+}
+
+TEST(RtOptimisticMutex, ObserverNeverSeesSpeculativeValues) {
+  // A third node that polls the counter concurrently must observe only the
+  // committed chain: non-decreasing, stepping by 1 (speculative writes are
+  // filtered at the sequencer and HW-blocked as echoes; they can only ever
+  // pollute the speculator's own memory, which rollback repairs).
+  RtSystem sys(cfg(3, /*link delay*/ 20));
+  const auto l = sys.define_lock("l");
+  const auto a = sys.define_mutex_data("a", l);
+  RtOptimisticMutex mux(sys, l, RtOptimisticMutex::Config{});
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotone{true};
+  std::thread observer([&] {
+    Word last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Word v = sys.read(2, a);
+      if (v < last || v > last + 64) monotone.store(false);
+      if (v > last) last = v;
+      std::this_thread::yield();
+    }
+  });
+
+  auto hammer = [&](NodeId n) {
+    for (int k = 0; k < 30; ++k) {
+      RtOptimisticMutex::Section sec;
+      sec.shared_writes = {a};
+      sec.body = [&sys, a](NodeId me) {
+        sys.write(me, a, sys.read(me, a) + 1);
+      };
+      mux.execute(n, sec);
+    }
+  };
+  std::thread t0(hammer, 0);
+  std::thread t1(hammer, 1);
+  t0.join();
+  t1.join();
+  sys.quiesce();
+  stop.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_TRUE(monotone.load());
+  EXPECT_EQ(sys.read(2, a), 60);
+}
+
+TEST(RtOptimisticMutex, LocalSaveRestoreHooksRunOnRollback) {
+  RtSystem sys(cfg(2, 50));
+  const auto l = sys.define_lock("l");
+  const auto a = sys.define_mutex_data("a", l);
+  RtOptimisticMutex mux(sys, l, RtOptimisticMutex::Config{});
+
+  std::atomic<int> saves{0}, restores{0};
+  auto worker = [&](NodeId n) {
+    for (int k = 0; k < 30; ++k) {
+      RtOptimisticMutex::Section sec;
+      sec.shared_writes = {a};
+      sec.save_locals = [&saves] { saves.fetch_add(1); };
+      sec.restore_locals = [&restores] { restores.fetch_add(1); };
+      sec.body = [&sys, a](NodeId me) {
+        sys.write(me, a, sys.read(me, a) + 1);
+      };
+      mux.execute(n, sec);
+    }
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+  sys.quiesce();
+  EXPECT_EQ(sys.read(0, a), 60);
+  EXPECT_EQ(restores.load(), static_cast<int>(mux.stats().rollbacks.load()));
+  EXPECT_EQ(saves.load(),
+            static_cast<int>(mux.stats().optimistic_attempts.load()));
+}
+
+}  // namespace
+}  // namespace optsync::rt

@@ -1,0 +1,133 @@
+// Integration tests over the figure scenarios (Fig. 1 and Fig. 7).
+#include <gtest/gtest.h>
+
+#include "workloads/scenario_fig1.hpp"
+#include "workloads/scenario_fig7.hpp"
+
+namespace optsync::workloads {
+namespace {
+
+// ------------------------------------------------------------- Figure 1 --
+
+TEST(Fig1, AllModelsServeAllThreeCpus) {
+  for (const auto m :
+       {Fig1Model::kGwc, Fig1Model::kEntry, Fig1Model::kWeakRelease}) {
+    const auto res = run_scenario_fig1(m, Fig1Params{});
+    int served = 0;
+    for (const int cpu : res.grant_order) {
+      if (cpu >= 1 && cpu <= 3) ++served;
+    }
+    EXPECT_EQ(served, 3) << fig1_model_name(m);
+    EXPECT_GT(res.total_ns, 0u);
+    EXPECT_FALSE(res.timeline.empty());
+  }
+}
+
+TEST(Fig1, EarlyRequestersGoFirst) {
+  // CPU1 requests first, CPU3 second, CPU2 last — FIFO service in every
+  // model given the generous request spacing.
+  for (const auto m :
+       {Fig1Model::kGwc, Fig1Model::kEntry, Fig1Model::kWeakRelease}) {
+    const auto res = run_scenario_fig1(m, Fig1Params{});
+    EXPECT_EQ(res.grant_order[0], 1) << fig1_model_name(m);
+    EXPECT_EQ(res.grant_order[1], 3) << fig1_model_name(m);
+    EXPECT_EQ(res.grant_order[2], 2) << fig1_model_name(m);
+  }
+}
+
+TEST(Fig1, ModelOrderingMatchesPaper) {
+  // §3: "Entry consistency is not as rapid as Sesame. ... Weak and release
+  // consistency take much longer than GWC" — GWC < entry < weak/release.
+  const auto gwc = run_scenario_fig1(Fig1Model::kGwc, Fig1Params{});
+  const auto entry = run_scenario_fig1(Fig1Model::kEntry, Fig1Params{});
+  const auto weak = run_scenario_fig1(Fig1Model::kWeakRelease, Fig1Params{});
+  EXPECT_LT(gwc.total_ns, entry.total_ns);
+  EXPECT_LT(entry.total_ns, weak.total_ns);
+}
+
+TEST(Fig1, GwcWastesLeastIdleTime) {
+  const auto gwc = run_scenario_fig1(Fig1Model::kGwc, Fig1Params{});
+  const auto entry = run_scenario_fig1(Fig1Model::kEntry, Fig1Params{});
+  const auto weak = run_scenario_fig1(Fig1Model::kWeakRelease, Fig1Params{});
+  const auto idle = [](const Fig1Result& r) {
+    return r.idle_ns[0] + r.idle_ns[1] + r.idle_ns[2];
+  };
+  EXPECT_LT(idle(gwc), idle(entry));
+  EXPECT_LT(idle(gwc), idle(weak));
+}
+
+TEST(Fig1, FirstRequesterBarelyWaitsUnderGwc) {
+  const auto res = run_scenario_fig1(Fig1Model::kGwc, Fig1Params{});
+  // CPU1's wait is just its request/grant round trip through the root.
+  EXPECT_LT(res.idle_ns[0], 2'000u);
+}
+
+TEST(Fig1, WeakReleaseBlocksOnUpdatePropagation) {
+  // Weak/release holds each grant back until the previous holder's updates
+  // reached all nodes, so CPU3 (second in line) waits longer than under GWC.
+  const auto gwc = run_scenario_fig1(Fig1Model::kGwc, Fig1Params{});
+  const auto weak = run_scenario_fig1(Fig1Model::kWeakRelease, Fig1Params{});
+  EXPECT_GT(weak.idle_ns[2], gwc.idle_ns[2]);
+}
+
+// ------------------------------------------------------------- Figure 7 --
+
+TEST(Fig7, RollbackInteractionEndsCorrect) {
+  const auto res = run_scenario_fig7(Fig7Params{});
+  EXPECT_EQ(res.final_a, res.expected_a);
+  EXPECT_EQ(res.rollbacks, 1u);
+  EXPECT_GE(res.speculative_drops, 1u);
+  EXPECT_TRUE(res.far_used_optimistic);
+  EXPECT_TRUE(res.near_used_optimistic);
+}
+
+TEST(Fig7, TraceMentionsTheProtocolSteps) {
+  const auto res = run_scenario_fig7(Fig7Params{});
+  EXPECT_NE(res.trace.find("lock-up"), std::string::npos);
+  EXPECT_NE(res.trace.find("lock-down"), std::string::npos);
+  EXPECT_NE(res.trace.find("data-up"), std::string::npos);
+}
+
+TEST(Fig7, LongerSpeculationStillRollsBackCleanly) {
+  Fig7Params p;
+  p.far_section_ns = 20'000;  // far node mid-body when the interrupt hits
+  p.near_section_ns = 60'000;
+  const auto res = run_scenario_fig7(p);
+  EXPECT_EQ(res.final_a, res.expected_a);
+  EXPECT_EQ(res.rollbacks, 1u);
+}
+
+TEST(Fig7, LateArrivingStaleWritePropagatesButIsCorrectedBeforeRelease) {
+  // The other timing (paper §4 last paragraph of the HW-blocking
+  // discussion): the stale write reaches the root AFTER the root granted
+  // the lock to the speculator, so it passes through — but locking means
+  // nobody can read it before the re-executed section overwrites it.
+  Fig7Params p;
+  p.near_section_ns = 500;  // near releases before the stale write lands
+  p.far_section_ns = 8'000;
+  const auto res = run_scenario_fig7(p);
+  EXPECT_EQ(res.final_a, res.expected_a);
+  EXPECT_EQ(res.rollbacks, 1u);
+  EXPECT_EQ(res.speculative_drops, 0u);  // root let it through this time
+  EXPECT_GE(res.echoes_dropped, 1u);     // HW blocking caught the echo
+}
+
+TEST(Fig7, BiggerRingsWork) {
+  for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+    Fig7Params p;
+    p.nodes = n;
+    const auto res = run_scenario_fig7(p);
+    EXPECT_EQ(res.final_a, res.expected_a) << "ring " << n;
+    EXPECT_EQ(res.rollbacks, 1u) << "ring " << n;
+  }
+}
+
+TEST(Fig7, Deterministic) {
+  const auto a = run_scenario_fig7(Fig7Params{});
+  const auto b = run_scenario_fig7(Fig7Params{});
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+}  // namespace
+}  // namespace optsync::workloads

@@ -1,0 +1,147 @@
+#include "core/section_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::core {
+namespace {
+
+struct Fixture {
+  Fixture() : topo(net::MeshTorus2D::near_square(9)),
+              sys(sched, topo, dsm::DsmConfig{}) {
+    std::vector<dsm::NodeId> members;
+    for (dsm::NodeId i = 0; i < 9; ++i) members.push_back(i);
+    g = sys.create_group(members, 0);
+    lock = sys.define_lock("L", g);
+    a = sys.define_mutex_data("a", g, lock, 100);
+    mux = std::make_unique<OptimisticMutex>(sys, lock,
+                                            OptimisticMutex::Config{});
+  }
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  dsm::GroupId g = 0;
+  dsm::VarId lock = 0, a = 0;
+  std::unique_ptr<OptimisticMutex> mux;
+};
+
+sim::Process exec_at(Fixture& f, dsm::NodeId n, sim::Duration at, Section sec,
+                     ExecuteStats* out = nullptr) {
+  co_await sim::delay(f.sched, at);
+  co_await f.mux->execute(n, std::move(sec), out).join();
+}
+
+TEST(SectionBuilder, BuildsWorkingSection) {
+  Fixture f;
+  auto sec = SectionBuilder(f.sys)
+                 .writes(f.a)
+                 .compute_ns(1'000)
+                 .body([&f](dsm::DsmNode& n) { n.write(f.a, n.read(f.a) + 5); })
+                 .build();
+  auto p = exec_at(f, 3, 0, std::move(sec));
+  f.sched.run();
+  p.rethrow_if_failed();
+  for (dsm::NodeId n = 0; n < 9; ++n) EXPECT_EQ(f.sys.node(n).read(f.a), 105);
+}
+
+TEST(SectionBuilder, LocalsRestoredOnRollback) {
+  Fixture f;
+  dsm::Word lcl_c = 7;
+  // The paper's Fig. 3: lcl_c = shared_a + lcl_c; shared_a += lcl_c.
+  auto loser = SectionBuilder(f.sys)
+                   .writes(f.a)
+                   .local(lcl_c)
+                   .compute_ns(2'000)
+                   .body([&](dsm::DsmNode& n) {
+                     lcl_c = n.read(f.a) + lcl_c;
+                     n.write(f.a, n.read(f.a) + lcl_c);
+                   })
+                   .build();
+  auto winner = read_compute_write(f.sys, f.a, f.a, 12'000,
+                                   [](dsm::Word v) { return v + 1; });
+
+  ExecuteStats loser_stats;
+  auto p1 = exec_at(f, 1, 0, std::move(winner));       // near root: wins
+  auto p2 = exec_at(f, 8, 100, std::move(loser), &loser_stats);
+  f.sched.run();
+  p1.rethrow_if_failed();
+  p2.rethrow_if_failed();
+
+  EXPECT_TRUE(loser_stats.rolled_back);
+  // Retry computed from valid a=101 and RESTORED lcl_c=7:
+  // lcl_c = 101 + 7 = 108; a = 101 + 108 = 209.
+  EXPECT_EQ(f.sys.node(0).read(f.a), 209);
+  EXPECT_EQ(lcl_c, 108);
+}
+
+TEST(SectionBuilder, MultipleLocalsAndWrites) {
+  Fixture f;
+  const auto b = f.sys.define_mutex_data("b", f.g, f.lock, 50);
+  int x = 1;
+  double y = 2.5;
+  auto sec = SectionBuilder(f.sys)
+                 .writes({f.a, b})
+                 .local(x)
+                 .local(y)
+                 .body([&](dsm::DsmNode& n) {
+                   x += 1;
+                   y *= 2;
+                   n.write(f.a, n.read(f.a) + x);
+                   n.write(b, n.read(b) + static_cast<dsm::Word>(y));
+                 })
+                 .build();
+  ASSERT_NE(sec.save_locals, nullptr);
+  ASSERT_NE(sec.restore_locals, nullptr);
+  sec.save_locals();
+  x = 99;
+  y = 99.0;
+  sec.restore_locals();
+  EXPECT_EQ(x, 1);
+  EXPECT_DOUBLE_EQ(y, 2.5);
+
+  auto p = exec_at(f, 2, 0, std::move(sec));
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.sys.node(0).read(f.a), 102);
+  EXPECT_EQ(f.sys.node(0).read(b), 55);
+}
+
+TEST(SectionBuilder, BodyRequired) {
+  Fixture f;
+  EXPECT_THROW((void)SectionBuilder(f.sys).writes(f.a).build(),
+               ContractViolation);
+}
+
+TEST(ReadComputeWrite, AppliesFunction) {
+  Fixture f;
+  auto sec = read_compute_write(f.sys, f.a, f.a, 500,
+                                [](dsm::Word v) { return v * 3; });
+  auto p = exec_at(f, 4, 0, std::move(sec));
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.sys.node(7).read(f.a), 300);
+}
+
+TEST(ReadComputeWrite, DistinctSourceAndDestination) {
+  Fixture f;
+  const auto out = f.sys.define_mutex_data("out", f.g, f.lock, 0);
+  auto sec = read_compute_write(f.sys, f.a, out, 500,
+                                [](dsm::Word v) { return v + 11; });
+  auto p = exec_at(f, 4, 0, std::move(sec));
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.sys.node(0).read(out), 111);
+  EXPECT_EQ(f.sys.node(0).read(f.a), 100);  // source untouched
+}
+
+TEST(ReadComputeWrite, NullFunctionRejected) {
+  Fixture f;
+  EXPECT_THROW((void)read_compute_write(f.sys, f.a, f.a, 0, nullptr),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace optsync::core

@@ -1,0 +1,131 @@
+#include "simkern/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace optsync::sim {
+namespace {
+
+TEST(SimChannel, PushThenPop) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.push(1);
+  ch.push(2);
+  std::optional<int> a, b;
+  auto p1 = ch.pop_into(&a);
+  auto p2 = ch.pop_into(&b);
+  sched.run();
+  p1.rethrow_if_failed();
+  p2.rethrow_if_failed();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SimChannel, PopBlocksUntilPush) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::optional<int> got;
+  Time popped_at = 0;
+  // Named closure: an immediately-invoked capturing lambda coroutine would
+  // dangle (the temporary closure dies while the coroutine is suspended).
+  auto consumer_fn = [&]() -> Process {
+    co_await ch.pop_into(&got).join();
+    popped_at = sched.now();
+  };
+  auto consumer = consumer_fn();
+  sched.at(500, [&] { ch.push(42); });
+  sched.run();
+  consumer.rethrow_if_failed();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(popped_at, 500u);
+}
+
+TEST(SimChannel, CloseDrainsThenSignalsEnd) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.push(7);
+  ch.close();
+  std::optional<int> first, second;
+  auto p1 = ch.pop_into(&first);
+  auto p2 = ch.pop_into(&second);
+  sched.run();
+  p1.rethrow_if_failed();
+  p2.rethrow_if_failed();
+  EXPECT_EQ(first, 7);
+  EXPECT_EQ(second, std::nullopt);
+}
+
+TEST(SimChannel, BlockedConsumerWakesOnClose) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::optional<int> got{123};
+  auto p = ch.pop_into(&got);
+  sched.at(100, [&] { ch.close(); });
+  sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(SimChannel, PushAfterCloseRejected) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.close();
+  EXPECT_THROW(ch.push(1), ContractViolation);
+  ch.close();  // idempotent
+}
+
+TEST(SimChannel, TryPopNonBlocking) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  EXPECT_EQ(ch.try_pop(), std::nullopt);
+  ch.push(5);
+  EXPECT_EQ(ch.try_pop(), 5);
+  EXPECT_EQ(ch.try_pop(), std::nullopt);
+}
+
+TEST(SimChannel, ProducerConsumerPipeline) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> received;
+  auto producer_fn = [&]() -> Process {
+    for (int i = 0; i < 20; ++i) {
+      co_await delay(sched, 100);
+      ch.push(i);
+    }
+    ch.close();
+  };
+  auto consumer_fn = [&]() -> Process {
+    for (;;) {
+      std::optional<int> item;
+      co_await ch.pop_into(&item).join();
+      if (!item) break;
+      received.push_back(*item);
+      co_await delay(sched, 250);  // slower than the producer
+    }
+  };
+  auto producer = producer_fn();
+  auto consumer = consumer_fn();
+  sched.run();
+  producer.rethrow_if_failed();
+  consumer.rethrow_if_failed();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(SimChannel, MoveOnlyPayloads) {
+  Scheduler sched;
+  Channel<std::unique_ptr<int>> ch(sched);
+  ch.push(std::make_unique<int>(9));
+  std::optional<std::unique_ptr<int>> got;
+  auto p = ch.pop_into(&got);
+  sched.run();
+  p.rethrow_if_failed();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, 9);
+}
+
+}  // namespace
+}  // namespace optsync::sim

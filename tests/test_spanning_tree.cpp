@@ -1,0 +1,143 @@
+#include "net/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::net {
+namespace {
+
+std::vector<NodeId> all_nodes(std::size_t n) {
+  std::vector<NodeId> v;
+  for (NodeId i = 0; i < n; ++i) v.push_back(i);
+  return v;
+}
+
+TEST(SpanningTree, RootProperties) {
+  const MeshTorus2D topo(4, 4);
+  SpanningTree tree(topo, all_nodes(16), 5);
+  EXPECT_EQ(tree.root(), 5u);
+  EXPECT_EQ(tree.depth(5), 0u);
+  EXPECT_EQ(tree.hops_to_root(5), 0u);
+  EXPECT_EQ(tree.parent(5), 5u);
+}
+
+TEST(SpanningTree, CoversAllMembers) {
+  const MeshTorus2D topo(4, 4);
+  SpanningTree tree(topo, all_nodes(16), 0);
+  for (NodeId i = 0; i < 16; ++i) {
+    EXPECT_TRUE(tree.contains(i));
+  }
+  EXPECT_FALSE(tree.contains(16));
+}
+
+TEST(SpanningTree, ParentChildConsistency) {
+  const MeshTorus2D topo(4, 4);
+  SpanningTree tree(topo, all_nodes(16), 3);
+  for (NodeId i = 0; i < 16; ++i) {
+    if (i == tree.root()) continue;
+    const NodeId par = tree.parent(i);
+    const auto& kids = tree.children(par);
+    EXPECT_NE(std::find(kids.begin(), kids.end(), i), kids.end())
+        << "node " << i << " missing from children of " << par;
+    EXPECT_EQ(tree.depth(i), tree.depth(par) + 1);
+  }
+}
+
+TEST(SpanningTree, EveryNodeReachesRootThroughParents) {
+  const MeshTorus2D topo(8, 8);
+  SpanningTree tree(topo, all_nodes(64), 17);
+  for (NodeId i = 0; i < 64; ++i) {
+    NodeId cur = i;
+    unsigned steps = 0;
+    unsigned hops = 0;
+    while (cur != tree.root()) {
+      hops += tree.edge_hops(cur);
+      cur = tree.parent(cur);
+      ASSERT_LT(++steps, 100u) << "parent chain does not terminate";
+    }
+    EXPECT_EQ(hops, tree.hops_to_root(i));
+  }
+}
+
+TEST(SpanningTree, BfsDepthIsMinimalOnMemberGraph) {
+  // On a ring of 8 with all members, the BFS tree depth from node 0 to the
+  // opposite node must be exactly 4 (shortest path).
+  const Ring topo(8);
+  SpanningTree tree(topo, all_nodes(8), 0);
+  EXPECT_EQ(tree.hops_to_root(4), 4u);
+  EXPECT_EQ(tree.radius_hops(), 4u);
+}
+
+TEST(SpanningTree, BfsUsesTopologyEdges) {
+  const MeshTorus2D topo(4, 4);
+  SpanningTree tree(topo, all_nodes(16), 0);
+  for (NodeId i = 0; i < 16; ++i) {
+    if (i == 0) continue;
+    EXPECT_EQ(tree.edge_hops(i), 1u)
+        << "contiguous group must use direct physical edges";
+    // Tree distance equals shortest-path distance on a torus with all
+    // members present (BFS property).
+    EXPECT_EQ(tree.hops_to_root(i), topo.hop_count(i, 0));
+  }
+}
+
+TEST(SpanningTree, SparseMembersFallBackToVirtualLinks) {
+  // Members 0 and 10 on a 4x4 torus with nothing in between: 10 hangs off
+  // the root via a routed link of the full shortest-path length.
+  const MeshTorus2D topo(4, 4);
+  SpanningTree tree(topo, {0, 10}, 0);
+  EXPECT_EQ(tree.parent(10), 0u);
+  EXPECT_EQ(tree.edge_hops(10), topo.hop_count(0, 10));
+  EXPECT_EQ(tree.hops_to_root(10), topo.hop_count(0, 10));
+}
+
+TEST(SpanningTree, RootMustBeMember) {
+  const MeshTorus2D topo(4, 4);
+  EXPECT_THROW(SpanningTree(topo, {1, 2, 3}, 9), ContractViolation);
+}
+
+TEST(SpanningTree, DuplicateMembersRejected) {
+  const MeshTorus2D topo(4, 4);
+  EXPECT_THROW(SpanningTree(topo, {1, 2, 2}, 1), ContractViolation);
+}
+
+TEST(SpanningTree, SingleMemberTree) {
+  const MeshTorus2D topo(4, 4);
+  SpanningTree tree(topo, {7}, 7);
+  EXPECT_EQ(tree.radius_hops(), 0u);
+  EXPECT_TRUE(tree.children(7).empty());
+}
+
+TEST(SpanningTree, RandomSubsetsAlwaysValid) {
+  const MeshTorus2D topo(6, 6);
+  sim::Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::set<NodeId> chosen;
+    const std::size_t count = 2 + rng.below(20);
+    while (chosen.size() < count) {
+      chosen.insert(static_cast<NodeId>(rng.below(36)));
+    }
+    std::vector<NodeId> members(chosen.begin(), chosen.end());
+    const NodeId root = members[rng.below(members.size())];
+    SpanningTree tree(topo, members, root);
+    // Invariants: every member reaches the root; child counts add up.
+    std::size_t edges = 0;
+    for (const NodeId m : members) {
+      edges += tree.children(m).size();
+      NodeId cur = m;
+      unsigned steps = 0;
+      while (cur != root) {
+        cur = tree.parent(cur);
+        ASSERT_LT(++steps, 100u);
+      }
+    }
+    EXPECT_EQ(edges, members.size() - 1);  // a tree has n-1 edges
+  }
+}
+
+}  // namespace
+}  // namespace optsync::net

@@ -1,0 +1,107 @@
+#include "consistency/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace optsync::consistency {
+namespace {
+
+SpectrumResult run(Model m, std::size_t n) {
+  SpectrumParams p;
+  p.nodes = n;
+  const auto topo = net::MeshTorus2D::near_square(n);
+  return run_spectrum(m, p, topo);
+}
+
+TEST(Spectrum, GwcNeverStalls) {
+  // "A processor can immediately perform the next instruction, even if it
+  // is another shared write."
+  for (const std::size_t n : {2u, 16u, 64u}) {
+    const auto res = run(Model::kGroupWrite, n);
+    EXPECT_EQ(res.avg_write_stall_ns, 0.0) << n;
+    EXPECT_EQ(res.avg_sync_stall_ns, 0.0) << n;
+  }
+}
+
+TEST(Spectrum, SequentialStallsEveryWrite) {
+  const auto res = run(Model::kSequential, 16);
+  EXPECT_GT(res.avg_write_stall_ns, 1'000.0);  // >= one RTT per write
+  EXPECT_EQ(res.avg_sync_stall_ns, 0.0);       // nothing left to wait for
+}
+
+TEST(Spectrum, SequentialIsWorstEvenAtTwoProcessors) {
+  // "It is inefficient even for two processors."
+  const auto sc = run(Model::kSequential, 2);
+  for (const Model m : {Model::kProcessor, Model::kTotalStore,
+                        Model::kPartialStore, Model::kWeakRelease,
+                        Model::kGroupWrite}) {
+    EXPECT_GT(sc.elapsed, run(m, 2).elapsed)
+        << "vs " << model_name(m);
+  }
+}
+
+TEST(Spectrum, TsoArbitratorDegradesWithScale) {
+  // "Its use of a centralized memory write arbitrator is not viable for
+  // large distributed memories": TSO's stall grows superlinearly with N
+  // while processor consistency's stays flat.
+  const auto tso_small = run(Model::kTotalStore, 4);
+  const auto tso_big = run(Model::kTotalStore, 64);
+  const auto pc_small = run(Model::kProcessor, 4);
+  const auto pc_big = run(Model::kProcessor, 64);
+
+  const double tso_growth =
+      (tso_big.avg_write_stall_ns + tso_big.avg_sync_stall_ns + 1) /
+      (tso_small.avg_write_stall_ns + tso_small.avg_sync_stall_ns + 1);
+  const double pc_growth =
+      (pc_big.avg_write_stall_ns + pc_big.avg_sync_stall_ns + 1) /
+      (pc_small.avg_write_stall_ns + pc_small.avg_sync_stall_ns + 1);
+  EXPECT_GT(tso_growth, pc_growth * 2);
+}
+
+TEST(Spectrum, WeakReleasePaysAtSyncPointOnly) {
+  const auto res = run(Model::kWeakRelease, 16);
+  EXPECT_EQ(res.avg_write_stall_ns, 0.0);
+  EXPECT_GT(res.avg_sync_stall_ns, 0.0);
+}
+
+TEST(Spectrum, PartialStoreBuffersDeeperThanProcessor) {
+  // A deeper buffer can only reduce write stalls.
+  const auto pc = run(Model::kProcessor, 16);
+  const auto pso = run(Model::kPartialStore, 16);
+  EXPECT_LE(pso.avg_write_stall_ns, pc.avg_write_stall_ns);
+}
+
+TEST(Spectrum, GwcTradesMessagesForStalls) {
+  // GWC multicasts everything (root echo included): most traffic, least
+  // waiting.
+  const auto gwc = run(Model::kGroupWrite, 16);
+  const auto pc = run(Model::kProcessor, 16);
+  EXPECT_GT(gwc.messages, pc.messages);
+  EXPECT_LT(gwc.elapsed, pc.elapsed + 1);
+}
+
+TEST(Spectrum, ElapsedOrderingMatchesPaperNarrative) {
+  // At 16 CPUs: SC slowest; GWC fastest.
+  const auto sc = run(Model::kSequential, 16);
+  const auto gwc = run(Model::kGroupWrite, 16);
+  for (const Model m : {Model::kProcessor, Model::kTotalStore,
+                        Model::kPartialStore, Model::kWeakRelease}) {
+    const auto r = run(m, 16);
+    EXPECT_LT(r.elapsed, sc.elapsed) << model_name(m);
+    EXPECT_GE(r.elapsed, gwc.elapsed) << model_name(m);
+  }
+}
+
+TEST(Spectrum, ModelNamesDistinct) {
+  EXPECT_NE(model_name(Model::kSequential), model_name(Model::kGroupWrite));
+  EXPECT_FALSE(model_name(Model::kTotalStore).empty());
+}
+
+TEST(Spectrum, Deterministic) {
+  const auto a = run(Model::kTotalStore, 16);
+  const auto b = run(Model::kTotalStore, 16);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+}  // namespace
+}  // namespace optsync::consistency

@@ -1,0 +1,105 @@
+#include "sync/spin_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simkern/random.hpp"
+
+namespace optsync::sync {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t n)
+      : topo(net::MeshTorus2D::near_square(n)),
+        net_(sched, topo, net::LinkModel::paper()) {}
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  net::Network net_;
+};
+
+sim::Process cycle(Fixture& f, TasSpinLock& lk, net::NodeId n,
+                   sim::Duration hold, int* active, int* max_active) {
+  co_await lk.acquire(n).join();
+  *active += 1;
+  *max_active = std::max(*max_active, *active);
+  co_await sim::delay(f.sched, hold);
+  *active -= 1;
+  lk.release(n);
+}
+
+TEST(TasSpinLock, UncontendedAcquireTakesOneAttempt) {
+  Fixture f(4);
+  TasSpinLock lk(f.net_, 0, TasSpinLock::Config{});
+  int active = 0, max_active = 0;
+  auto p = cycle(f, lk, 3, 100, &active, &max_active);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(lk.stats().attempts, 1u);
+  EXPECT_EQ(lk.stats().acquisitions, 1u);
+  EXPECT_EQ(lk.stats().releases, 1u);
+}
+
+TEST(TasSpinLock, MutualExclusion) {
+  Fixture f(9);
+  TasSpinLock lk(f.net_, 0, TasSpinLock::Config{});
+  int active = 0, max_active = 0;
+  std::vector<sim::Process> procs;
+  for (net::NodeId n = 0; n < 9; ++n) {
+    procs.push_back(cycle(f, lk, n, 700, &active, &max_active));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(max_active, 1);
+  EXPECT_EQ(lk.stats().acquisitions, 9u);
+}
+
+TEST(TasSpinLock, ContentionCostsExtraAttempts) {
+  // The paper's §1.3 point: repeated testing produces network traffic.
+  Fixture f(9);
+  TasSpinLock lk(f.net_, 0, TasSpinLock::Config{});
+  int active = 0, max_active = 0;
+  std::vector<sim::Process> procs;
+  for (net::NodeId n = 0; n < 9; ++n) {
+    procs.push_back(cycle(f, lk, n, 5'000, &active, &max_active));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_GT(lk.stats().attempts, lk.stats().acquisitions);
+  EXPECT_GT(f.net_.stats().messages, 9u * 3u);
+}
+
+TEST(TasSpinLock, BackoffBounded) {
+  TasSpinLock::Config cfg;
+  cfg.backoff_base_ns = 100;
+  cfg.backoff_max_ns = 400;
+  Fixture f(4);
+  TasSpinLock lk(f.net_, 0, cfg);
+  int active = 0, max_active = 0;
+  std::vector<sim::Process> procs;
+  for (net::NodeId n = 0; n < 4; ++n) {
+    procs.push_back(cycle(f, lk, n, 20'000, &active, &max_active));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  EXPECT_EQ(max_active, 1);
+  EXPECT_EQ(lk.stats().acquisitions, 4u);
+}
+
+TEST(TasSpinLock, HolderTracked) {
+  Fixture f(4);
+  TasSpinLock lk(f.net_, 1, TasSpinLock::Config{});
+  EXPECT_FALSE(lk.held());
+  auto p = [](TasSpinLock& lock) -> sim::Process {
+    co_await lock.acquire(2).join();
+    EXPECT_TRUE(lock.held());
+    EXPECT_EQ(lock.holder(), 2u);
+    lock.release(2);
+  }(lk);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_FALSE(lk.held());
+}
+
+}  // namespace
+}  // namespace optsync::sync

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simkern/assert.hpp"
+#include "stats/metrics.hpp"
+#include "stats/table.hpp"
+#include "stats/timeline.hpp"
+
+namespace optsync::stats {
+namespace {
+
+// ------------------------------------------------------------- metrics ---
+
+TEST(EfficiencyMeter, NetworkPowerIsUsefulOverElapsed) {
+  EfficiencyMeter m(4);
+  m.add_useful(0, 500);
+  m.add_useful(1, 250);
+  m.add_useful(1, 250);
+  EXPECT_DOUBLE_EQ(m.network_power(1000), 1.0);
+  EXPECT_DOUBLE_EQ(m.average_efficiency(1000), 0.25);
+  EXPECT_DOUBLE_EQ(m.efficiency(0, 1000), 0.5);
+  EXPECT_DOUBLE_EQ(m.efficiency(2, 1000), 0.0);
+}
+
+TEST(EfficiencyMeter, ZeroElapsedSafe) {
+  EfficiencyMeter m(2);
+  m.add_useful(0, 10);
+  EXPECT_EQ(m.network_power(0), 0.0);
+  EXPECT_EQ(m.efficiency(0, 0), 0.0);
+}
+
+TEST(EfficiencyMeter, ResetClears) {
+  EfficiencyMeter m(2);
+  m.add_useful(1, 100);
+  m.reset();
+  EXPECT_EQ(m.useful(1), 0u);
+}
+
+TEST(EfficiencyMeter, OutOfRangeNodeThrows) {
+  EfficiencyMeter m(2);
+  EXPECT_THROW(m.add_useful(5, 1), std::out_of_range);
+}
+
+// --------------------------------------------------------------- table ---
+
+TEST(Table, AlignsAndPrintsAllRows) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"10", "20", "30"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+// ------------------------------------------------------------ timeline ---
+
+TEST(Timeline, RecordsAndTotals) {
+  Timeline tl(2);
+  tl.record(0, 0, 100, Activity::kCompute);
+  tl.record(0, 100, 150, Activity::kWait);
+  tl.record(1, 0, 50, Activity::kMutex);
+  EXPECT_EQ(tl.total(0, Activity::kCompute), 100u);
+  EXPECT_EQ(tl.total(0, Activity::kWait), 50u);
+  EXPECT_EQ(tl.total(1, Activity::kMutex), 50u);
+  EXPECT_EQ(tl.total(1, Activity::kWait), 0u);
+}
+
+TEST(Timeline, ZeroLengthIntervalIgnored) {
+  Timeline tl(1);
+  tl.record(0, 5, 5, Activity::kCompute);
+  EXPECT_EQ(tl.total(0, Activity::kCompute), 0u);
+}
+
+TEST(Timeline, InvalidIntervalRejected) {
+  Timeline tl(1);
+  EXPECT_THROW(tl.record(0, 10, 5, Activity::kCompute), ContractViolation);
+  EXPECT_THROW(tl.record(3, 0, 5, Activity::kCompute), ContractViolation);
+}
+
+TEST(Timeline, RenderContainsGlyphsAndNames) {
+  Timeline tl(2);
+  tl.record(0, 0, 500, Activity::kCompute);
+  tl.record(1, 500, 1000, Activity::kWait);
+  tl.annotate(1, 750, "interrupt");
+  std::ostringstream os;
+  tl.render(os, 1000, 40, {"CPU1", "CPU2"});
+  const auto out = os.str();
+  EXPECT_NE(out.find("CPU1"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+  EXPECT_NE(out.find("interrupt"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(ScopedActivity, RecordsOnDestruction) {
+  sim::Scheduler sched;
+  Timeline tl(1);
+  sched.at(100, [] {});
+  {
+    ScopedActivity act(tl, 0, Activity::kCompute, sched);
+    sched.run();
+  }
+  EXPECT_EQ(tl.total(0, Activity::kCompute), 100u);
+}
+
+TEST(ScopedActivity, StopIsIdempotent) {
+  sim::Scheduler sched;
+  Timeline tl(1);
+  sched.at(50, [] {});
+  ScopedActivity act(tl, 0, Activity::kWait, sched);
+  sched.run();
+  act.stop();
+  act.stop();
+  EXPECT_EQ(tl.total(0, Activity::kWait), 50u);
+}
+
+}  // namespace
+}  // namespace optsync::stats

@@ -1,0 +1,119 @@
+#include "workloads/task_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/types.hpp"
+
+namespace optsync::workloads {
+namespace {
+
+TaskQueueParams small_params(std::uint32_t tasks = 64) {
+  TaskQueueParams p;
+  p.total_tasks = tasks;
+  p.queue_capacity = 16;
+  return p;
+}
+
+TEST(TaskQueueGwc, AllTasksExecutedExactlyOnce) {
+  const auto topo = net::MeshTorus2D::near_square(5);
+  const auto res = run_task_queue_gwc(small_params(), topo, dsm::DsmConfig{});
+  EXPECT_EQ(res.tasks_executed, 64u);
+  EXPECT_GT(res.elapsed, 0u);
+  EXPECT_GT(res.network_power, 0.0);
+}
+
+TEST(TaskQueueGwc, SpeedupGrowsWithProcessors) {
+  const auto p = small_params(128);
+  const auto r3 =
+      run_task_queue_gwc(p, net::MeshTorus2D::near_square(3), dsm::DsmConfig{});
+  const auto r9 =
+      run_task_queue_gwc(p, net::MeshTorus2D::near_square(9), dsm::DsmConfig{});
+  EXPECT_GT(r9.network_power, r3.network_power * 1.5);
+}
+
+TEST(TaskQueueGwc, EfficiencyBelowOne) {
+  const auto topo = net::MeshTorus2D::near_square(5);
+  const auto res = run_task_queue_gwc(small_params(), topo, dsm::DsmConfig{});
+  EXPECT_LT(res.avg_efficiency, 1.0);
+  EXPECT_GT(res.avg_efficiency, 0.0);
+}
+
+TEST(TaskQueueIdeal, BeatsRealNetwork) {
+  const auto topo = net::MeshTorus2D::near_square(9);
+  const auto p = small_params(128);
+  const auto ideal = run_task_queue_ideal(p, topo);
+  const auto real = run_task_queue_gwc(p, topo, dsm::DsmConfig{});
+  EXPECT_GE(ideal.network_power, real.network_power * 0.999);
+  EXPECT_LT(ideal.elapsed, real.elapsed + 1);
+}
+
+TEST(TaskQueueEntry, AllTasksExecutedExactlyOnce) {
+  const auto topo = net::MeshTorus2D::near_square(5);
+  const auto res =
+      run_task_queue_entry(small_params(), topo, net::LinkModel::paper());
+  EXPECT_EQ(res.tasks_executed, 64u);
+  EXPECT_GT(res.demand_fetches, 0u);
+}
+
+TEST(TaskQueueEntry, GwcOutperformsEntry) {
+  // The Figure 2 headline, at test scale.
+  const auto topo = net::MeshTorus2D::near_square(9);
+  const auto p = small_params(128);
+  const auto gwc = run_task_queue_gwc(p, topo, dsm::DsmConfig{});
+  const auto entry = run_task_queue_entry(p, topo, net::LinkModel::paper());
+  EXPECT_GT(gwc.network_power, entry.network_power);
+}
+
+TEST(TaskQueueEntry, PaysInvalidationAndFetchTraffic) {
+  const auto topo = net::MeshTorus2D::near_square(5);
+  const auto res =
+      run_task_queue_entry(small_params(), topo, net::LinkModel::paper());
+  EXPECT_GT(res.invalidation_rounds, 0u);
+  EXPECT_GT(res.demand_fetches, 0u);
+}
+
+TEST(TaskQueueGwc, DeterministicAcrossRuns) {
+  const auto topo = net::MeshTorus2D::near_square(5);
+  const auto a = run_task_queue_gwc(small_params(), topo, dsm::DsmConfig{});
+  const auto b = run_task_queue_gwc(small_params(), topo, dsm::DsmConfig{});
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.lock_acquisitions, b.lock_acquisitions);
+}
+
+TEST(TaskQueueGwc, SmallCapacityStillCompletes) {
+  auto p = small_params(48);
+  p.queue_capacity = 2;  // heavy producer blocking
+  const auto topo = net::MeshTorus2D::near_square(3);
+  const auto res = run_task_queue_gwc(p, topo, dsm::DsmConfig{});
+  EXPECT_EQ(res.tasks_executed, 48u);
+}
+
+TEST(TaskQueueGwc, TwoNodeDegenerateCase) {
+  // One producer, one consumer.
+  const auto topo = net::MeshTorus2D::near_square(2);
+  const auto res = run_task_queue_gwc(small_params(32), topo, dsm::DsmConfig{});
+  EXPECT_EQ(res.tasks_executed, 32u);
+  EXPECT_LE(res.network_power, 2.0);
+}
+
+class TaskQueueSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TaskQueueSizes, ConservationAcrossVariants) {
+  const auto topo = net::MeshTorus2D::near_square(GetParam());
+  const auto p = small_params(96);
+  const auto gwc = run_task_queue_gwc(p, topo, dsm::DsmConfig{});
+  const auto entry = run_task_queue_entry(p, topo, net::LinkModel::paper());
+  const auto ideal = run_task_queue_ideal(p, topo);
+  EXPECT_EQ(gwc.tasks_executed, 96u);
+  EXPECT_EQ(entry.tasks_executed, 96u);
+  EXPECT_EQ(ideal.tasks_executed, 96u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TaskQueueSizes,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{5}, std::size_t{9},
+                                           std::size_t{17}));
+
+}  // namespace
+}  // namespace optsync::workloads

@@ -1,0 +1,216 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::net {
+namespace {
+
+// Reference BFS distance for cross-checking analytic hop counts.
+unsigned bfs_distance(const Topology& t, NodeId a, NodeId b) {
+  if (a == b) return 0;
+  std::vector<int> dist(t.size(), -1);
+  std::deque<NodeId> frontier{a};
+  dist[a] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const NodeId nb : t.neighbors(cur)) {
+      if (dist[nb] != -1) continue;
+      dist[nb] = dist[cur] + 1;
+      if (nb == b) return static_cast<unsigned>(dist[nb]);
+      frontier.push_back(nb);
+    }
+  }
+  ADD_FAILURE() << "disconnected topology";
+  return 0;
+}
+
+TEST(FullyConnected, EverythingOneHop) {
+  FullyConnected t(5);
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId b = 0; b < 5; ++b) {
+      EXPECT_EQ(t.hop_count(a, b), a == b ? 0u : 1u);
+    }
+  }
+}
+
+TEST(FullyConnected, NeighborsExcludeSelf) {
+  FullyConnected t(4);
+  const auto nb = t.neighbors(2);
+  EXPECT_EQ(nb.size(), 3u);
+  EXPECT_EQ(std::count(nb.begin(), nb.end(), 2u), 0);
+}
+
+TEST(Ring, HopCountWrapsAround) {
+  Ring t(10);
+  EXPECT_EQ(t.hop_count(0, 1), 1u);
+  EXPECT_EQ(t.hop_count(0, 9), 1u);
+  EXPECT_EQ(t.hop_count(0, 5), 5u);
+  EXPECT_EQ(t.hop_count(2, 8), 4u);
+}
+
+TEST(Ring, TwoNodeRingHasOneNeighbor) {
+  Ring t(2);
+  EXPECT_EQ(t.neighbors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(t.neighbors(1), std::vector<NodeId>{0});
+}
+
+TEST(Ring, SingleNodeHasNoNeighbors) {
+  Ring t(1);
+  EXPECT_TRUE(t.neighbors(0).empty());
+}
+
+TEST(MeshTorus2D, NearSquareFactorsExactly) {
+  for (std::size_t n : {1u, 2u, 4u, 12u, 16u, 30u, 128u, 129u, 257u}) {
+    const auto t = MeshTorus2D::near_square(n);
+    EXPECT_EQ(t.size(), n);
+    EXPECT_LE(t.rows(), t.cols());
+  }
+}
+
+TEST(MeshTorus2D, NearSquareOfSquareIsSquare) {
+  const auto t = MeshTorus2D::near_square(64);
+  EXPECT_EQ(t.rows(), 8u);
+  EXPECT_EQ(t.cols(), 8u);
+}
+
+TEST(MeshTorus2D, PrimeDegeneratesToRingShape) {
+  const auto t = MeshTorus2D::near_square(13);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 13u);
+}
+
+TEST(MeshTorus2D, CompactStaysNearSquare) {
+  // compact(n) trades a few idle slots for a sane aspect ratio.
+  const auto t129 = MeshTorus2D::compact(129);
+  EXPECT_EQ(t129.rows(), 11u);
+  EXPECT_EQ(t129.cols(), 12u);
+  EXPECT_GE(t129.size(), 129u);
+
+  const auto t257 = MeshTorus2D::compact(257);
+  EXPECT_EQ(t257.rows(), 16u);
+  EXPECT_GE(t257.size(), 257u);
+
+  const auto t16 = MeshTorus2D::compact(16);
+  EXPECT_EQ(t16.rows(), 4u);
+  EXPECT_EQ(t16.cols(), 4u);
+  EXPECT_EQ(t16.size(), 16u);  // exact when n is a square
+}
+
+TEST(MeshTorus2D, CompactNeverWastesMoreThanOneRow) {
+  for (std::size_t n = 2; n <= 300; ++n) {
+    const auto t = MeshTorus2D::compact(n);
+    EXPECT_GE(t.size(), n);
+    EXPECT_LT(t.size() - n, t.rows());
+  }
+}
+
+TEST(MeshTorus2D, HopCountMatchesBfs) {
+  const MeshTorus2D t(4, 6);
+  for (NodeId a = 0; a < t.size(); a += 5) {
+    for (NodeId b = 0; b < t.size(); ++b) {
+      EXPECT_EQ(t.hop_count(a, b), bfs_distance(t, a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(MeshTorus2D, NeighborsAreMutual) {
+  const MeshTorus2D t(3, 5);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (const NodeId b : t.neighbors(a)) {
+      const auto back = t.neighbors(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end());
+    }
+  }
+}
+
+TEST(MeshTorus2D, NoDuplicateNeighbors) {
+  const MeshTorus2D t(2, 2);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    const auto nb = t.neighbors(a);
+    const std::set<NodeId> uniq(nb.begin(), nb.end());
+    EXPECT_EQ(uniq.size(), nb.size());
+  }
+}
+
+TEST(Hypercube, HopCountIsHammingDistance) {
+  Hypercube t(16);
+  EXPECT_EQ(t.hop_count(0b0000, 0b1111), 4u);
+  EXPECT_EQ(t.hop_count(0b0101, 0b0100), 1u);
+  EXPECT_EQ(t.hop_count(3, 3), 0u);
+}
+
+TEST(Hypercube, RequiresPowerOfTwo) {
+  EXPECT_THROW(Hypercube(12), ContractViolation);
+  EXPECT_NO_THROW(Hypercube(1));
+  EXPECT_NO_THROW(Hypercube(8));
+}
+
+TEST(Hypercube, DegreeIsLogN) {
+  Hypercube t(32);
+  EXPECT_EQ(t.neighbors(7).size(), 5u);
+}
+
+TEST(Factory, MakesAllKinds) {
+  EXPECT_EQ(make_topology(TopologyKind::kFullyConnected, 6)->size(), 6u);
+  EXPECT_EQ(make_topology(TopologyKind::kRing, 6)->size(), 6u);
+  EXPECT_EQ(make_topology(TopologyKind::kMeshTorus, 6)->size(), 6u);
+  EXPECT_EQ(make_topology(TopologyKind::kHypercube, 8)->size(), 8u);
+}
+
+class HopCountSymmetry
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, std::size_t>> {
+};
+
+TEST_P(HopCountSymmetry, Symmetric) {
+  const auto [kind, n] = GetParam();
+  const auto t = make_topology(kind, n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a; b < n; ++b) {
+      EXPECT_EQ(t->hop_count(a, b), t->hop_count(b, a));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, HopCountSymmetry,
+    ::testing::Combine(::testing::Values(TopologyKind::kFullyConnected,
+                                         TopologyKind::kRing,
+                                         TopologyKind::kMeshTorus),
+                       ::testing::Values(std::size_t{2}, std::size_t{7},
+                                         std::size_t{16})));
+
+class TriangleInequality
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, std::size_t>> {
+};
+
+TEST_P(TriangleInequality, Holds) {
+  const auto [kind, n] = GetParam();
+  const auto t = make_topology(kind, n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      for (NodeId c = 0; c < n; c += 3) {
+        EXPECT_LE(t->hop_count(a, b),
+                  t->hop_count(a, c) + t->hop_count(c, b));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TriangleInequality,
+    ::testing::Combine(::testing::Values(TopologyKind::kFullyConnected,
+                                         TopologyKind::kRing,
+                                         TopologyKind::kMeshTorus,
+                                         TopologyKind::kHypercube),
+                       ::testing::Values(std::size_t{8}, std::size_t{16})));
+
+}  // namespace
+}  // namespace optsync::net

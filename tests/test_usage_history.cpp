@@ -1,0 +1,106 @@
+#include "core/usage_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::core {
+namespace {
+
+TEST(UsageHistory, StartsAtZero) {
+  UsageHistory h;
+  EXPECT_EQ(h.value(), 0.0);
+  EXPECT_FALSE(h.indicates_usage(0.30));
+}
+
+TEST(UsageHistory, PaperFormulaExact) {
+  // old = 0.95*old + 0.05*new
+  UsageHistory h(0.95);
+  h.observe(1.0);
+  EXPECT_NEAR(h.value(), 0.05, 1e-12);
+  h.observe(1.0);
+  EXPECT_NEAR(h.value(), 0.95 * 0.05 + 0.05, 1e-12);
+}
+
+TEST(UsageHistory, ConvergesTowardOneUnderConstantBusy) {
+  UsageHistory h(0.95);
+  for (int i = 0; i < 200; ++i) h.observe(1.0);
+  EXPECT_GT(h.value(), 0.99);
+  EXPECT_LE(h.value(), 1.0 + 1e-12);
+}
+
+TEST(UsageHistory, DecaysTowardZeroWhenIdle) {
+  UsageHistory h(0.95);
+  for (int i = 0; i < 30; ++i) h.observe(1.0);
+  const double peak = h.value();
+  for (int i = 0; i < 200; ++i) h.observe(0.0);
+  EXPECT_LT(h.value(), 0.01);
+  EXPECT_LT(h.value(), peak);
+}
+
+TEST(UsageHistory, CrossesPaperThresholdAfterSustainedContention) {
+  // With decay 0.95 the estimate passes 0.30 after 7 consecutive busy
+  // observations: 1 - 0.95^7 = 0.302.
+  UsageHistory h(0.95);
+  int n = 0;
+  while (!h.indicates_usage(0.30)) {
+    h.observe(1.0);
+    ++n;
+    ASSERT_LT(n, 100);
+  }
+  EXPECT_EQ(n, 7);
+}
+
+TEST(UsageHistory, ThresholdBoundaryIsExclusive) {
+  UsageHistory h(0.0);  // value tracks the last observation exactly
+  h.observe(0.30);
+  EXPECT_FALSE(h.indicates_usage(0.30));
+  h.observe(0.31);
+  EXPECT_TRUE(h.indicates_usage(0.30));
+}
+
+TEST(UsageHistory, ZeroDecayTracksLastObservation) {
+  UsageHistory h(0.0);
+  h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.value(), 1.0);
+  h.observe(0.0);
+  EXPECT_DOUBLE_EQ(h.value(), 0.0);
+}
+
+TEST(UsageHistory, FullDecayIgnoresObservations) {
+  UsageHistory h(1.0);
+  h.observe(1.0);
+  EXPECT_DOUBLE_EQ(h.value(), 0.0);
+}
+
+TEST(UsageHistory, ResetClears) {
+  UsageHistory h;
+  for (int i = 0; i < 10; ++i) h.observe(1.0);
+  h.reset();
+  EXPECT_EQ(h.value(), 0.0);
+}
+
+TEST(UsageHistory, RejectsOutOfRangeInputs) {
+  EXPECT_THROW(UsageHistory(-0.1), ContractViolation);
+  EXPECT_THROW(UsageHistory(1.1), ContractViolation);
+  UsageHistory h;
+  EXPECT_THROW(h.observe(-0.5), ContractViolation);
+  EXPECT_THROW(h.observe(1.5), ContractViolation);
+}
+
+class HistoryDecaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistoryDecaySweep, ValueStaysInUnitInterval) {
+  UsageHistory h(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    h.observe(i % 3 == 0 ? 1.0 : 0.0);
+    EXPECT_GE(h.value(), 0.0);
+    EXPECT_LE(h.value(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Decays, HistoryDecaySweep,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.95, 0.99, 1.0));
+
+}  // namespace
+}  // namespace optsync::core

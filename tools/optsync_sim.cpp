@@ -1,0 +1,274 @@
+// optsync_sim — command-line driver for the simulated workloads.
+//
+//   optsync_sim taskqueue --cpus 33 [--variant gwc|entry|ideal]
+//                         [--tasks 1024] [--batch 16] [--capacity 128]
+//                         [--ratio 128] [--csv]
+//   optsync_sim pipeline  --cpus 32 [--method optimistic|regular|entry|nodelay]
+//                         [--items 1024] [--mutex-ratio 0.2] [--csv]
+//   optsync_sim counter   --cpus 16 [--method optimistic|regular|entry|tas]
+//                         [--think-ns 50000] [--increments 50]
+//                         [--threshold 0.30] [--seed 42] [--csv]
+//   optsync_sim fig1      [--model gwc|entry|weak]
+//   optsync_sim fig7      [--nodes 8] [--near-ns 30000] [--far-ns 2000]
+//
+// Every command prints a human-readable summary, or one CSV row (with a
+// header) under --csv for scripting sweeps.
+#include <iostream>
+#include <string>
+
+#include "stats/table.hpp"
+#include "util/flags.hpp"
+#include "workloads/counter.hpp"
+#include "workloads/pipeline.hpp"
+#include "workloads/scenario_fig1.hpp"
+#include "workloads/scenario_fig7.hpp"
+#include "workloads/task_queue.hpp"
+
+using namespace optsync;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: optsync_sim <taskqueue|pipeline|counter|fig1|fig7> [flags]\n"
+      "run `optsync_sim <command> --help` for the command's flags\n";
+  return 2;
+}
+
+void print_kv(const std::string& key, const std::string& value) {
+  std::cout << "  " << key;
+  for (std::size_t i = key.size(); i < 24; ++i) std::cout << ' ';
+  std::cout << value << "\n";
+}
+
+int run_taskqueue(const util::Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "taskqueue flags: --cpus N --variant gwc|entry|ideal "
+                 "--tasks N --batch N\n  --capacity N --ratio N (t_exec/"
+                 "t_prod) --csv\n";
+    return 0;
+  }
+  flags.allow_only({"cpus", "variant", "tasks", "batch", "capacity", "ratio",
+                    "csv", "help"});
+  const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 17));
+  const std::string variant = flags.get("variant", "gwc");
+
+  workloads::TaskQueueParams p;
+  p.total_tasks = static_cast<std::uint32_t>(flags.get_int("tasks", 1024));
+  p.producer_batch = static_cast<std::uint32_t>(flags.get_int("batch", 16));
+  p.queue_capacity =
+      static_cast<std::uint32_t>(flags.get_int("capacity", 128));
+  p.produce_ratio = 1.0 / flags.get_double("ratio", 128.0);
+  p.nodes_used = cpus;
+  const auto topo = net::MeshTorus2D::compact(cpus);
+
+  workloads::TaskQueueResult res;
+  if (variant == "gwc") {
+    res = run_task_queue_gwc(p, topo, dsm::DsmConfig{});
+  } else if (variant == "entry") {
+    res = run_task_queue_entry(p, topo, net::LinkModel::paper());
+  } else if (variant == "ideal") {
+    res = run_task_queue_ideal(p, topo);
+  } else {
+    std::cerr << "unknown variant '" << variant << "'\n";
+    return 2;
+  }
+
+  if (flags.get_bool("csv")) {
+    std::cout << "cpus,variant,power,efficiency,elapsed_ns,messages,"
+                 "wasted_grants\n"
+              << cpus << "," << variant << "," << res.network_power << ","
+              << res.avg_efficiency << "," << res.elapsed << ","
+              << res.messages << "," << res.wasted_grants << "\n";
+    return 0;
+  }
+  std::cout << "task management on " << topo.name() << " (" << cpus
+            << " CPUs, " << variant << ")\n";
+  print_kv("network power", stats::Table::num(res.network_power));
+  print_kv("avg efficiency", stats::Table::num(res.avg_efficiency));
+  print_kv("elapsed", sim::format_time(res.elapsed));
+  print_kv("tasks executed", std::to_string(res.tasks_executed));
+  print_kv("messages", std::to_string(res.messages));
+  print_kv("wasted grants", std::to_string(res.wasted_grants));
+  if (variant == "entry") {
+    print_kv("demand fetches", std::to_string(res.demand_fetches));
+    print_kv("invalidation rounds", std::to_string(res.invalidation_rounds));
+  }
+  return 0;
+}
+
+int run_pipeline_cmd(const util::Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "pipeline flags: --cpus N --method optimistic|regular|entry|"
+                 "nodelay\n  --items N --mutex-ratio R --csv\n";
+    return 0;
+  }
+  flags.allow_only({"cpus", "method", "items", "mutex-ratio", "csv", "help"});
+  const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
+  const std::string method = flags.get("method", "optimistic");
+
+  workloads::PipelineParams p;
+  p.data_items = static_cast<std::uint32_t>(flags.get_int("items", 1024));
+  p.mutex_ratio = flags.get_double("mutex-ratio", 0.2);
+  const auto topo = net::MeshTorus2D::near_square(cpus);
+
+  workloads::PipelineMethod m;
+  if (method == "optimistic") {
+    m = workloads::PipelineMethod::kOptimistic;
+  } else if (method == "regular") {
+    m = workloads::PipelineMethod::kRegular;
+  } else if (method == "entry") {
+    m = workloads::PipelineMethod::kEntry;
+  } else if (method == "nodelay") {
+    m = workloads::PipelineMethod::kNoDelay;
+  } else {
+    std::cerr << "unknown method '" << method << "'\n";
+    return 2;
+  }
+  const auto res = run_pipeline(m, p, topo);
+
+  if (flags.get_bool("csv")) {
+    std::cout << "cpus,method,power,efficiency,elapsed_ns,messages,rollbacks\n"
+              << cpus << "," << method << "," << res.network_power << ","
+              << res.avg_efficiency << "," << res.elapsed << ","
+              << res.messages << "," << res.rollbacks << "\n";
+    return 0;
+  }
+  std::cout << "pipeline on " << topo.name() << " (" << cpus << " CPUs, "
+            << method << ")\n";
+  print_kv("network power", stats::Table::num(res.network_power));
+  print_kv("avg efficiency", stats::Table::num(res.avg_efficiency));
+  print_kv("elapsed", sim::format_time(res.elapsed));
+  print_kv("optimistic attempts", std::to_string(res.optimistic_attempts));
+  print_kv("rollbacks", std::to_string(res.rollbacks));
+  return 0;
+}
+
+int run_counter_cmd(const util::Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "counter flags: --cpus N --method optimistic|regular|entry|"
+                 "tas\n  --think-ns N --increments N --threshold X --seed N "
+                 "--csv\n";
+    return 0;
+  }
+  flags.allow_only({"cpus", "method", "think-ns", "increments", "threshold",
+                    "seed", "csv", "help"});
+  const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
+  const std::string method = flags.get("method", "optimistic");
+
+  workloads::CounterParams p;
+  p.think_mean_ns =
+      static_cast<sim::Duration>(flags.get_int("think-ns", 50'000));
+  p.increments_per_node =
+      static_cast<std::uint32_t>(flags.get_int("increments", 50));
+  p.history_threshold = flags.get_double("threshold", 0.30);
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto topo = net::MeshTorus2D::near_square(cpus);
+
+  workloads::CounterMethod m;
+  if (method == "optimistic") {
+    m = workloads::CounterMethod::kOptimisticGwc;
+  } else if (method == "regular") {
+    m = workloads::CounterMethod::kRegularGwc;
+  } else if (method == "entry") {
+    m = workloads::CounterMethod::kEntry;
+  } else if (method == "tas") {
+    m = workloads::CounterMethod::kTasSpin;
+  } else {
+    std::cerr << "unknown method '" << method << "'\n";
+    return 2;
+  }
+  const auto res = run_counter(m, p, topo);
+  if (res.final_count != res.expected_count) {
+    std::cerr << "MUTUAL EXCLUSION VIOLATION: " << res.final_count
+              << " != " << res.expected_count << "\n";
+    return 1;
+  }
+
+  if (flags.get_bool("csv")) {
+    std::cout << "cpus,method,sections_per_ms,sync_overhead_ns,messages,"
+                 "rollbacks,opt_attempts,opt_successes\n"
+              << cpus << "," << method << "," << res.sections_per_ms << ","
+              << res.avg_sync_overhead_ns << "," << res.messages << ","
+              << res.rollbacks << "," << res.optimistic_attempts << ","
+              << res.optimistic_successes << "\n";
+    return 0;
+  }
+  std::cout << "shared counter on " << topo.name() << " (" << cpus
+            << " CPUs, " << method << ")\n";
+  print_kv("final count", std::to_string(res.final_count) + " (correct)");
+  print_kv("sections per ms", stats::Table::num(res.sections_per_ms));
+  print_kv("sync overhead", sim::format_time(static_cast<sim::Time>(
+                                res.avg_sync_overhead_ns)));
+  print_kv("messages", std::to_string(res.messages));
+  print_kv("rollbacks", std::to_string(res.rollbacks));
+  print_kv("speculations", std::to_string(res.optimistic_attempts));
+  return 0;
+}
+
+int run_fig1_cmd(const util::Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "fig1 flags: --model gwc|entry|weak\n";
+    return 0;
+  }
+  flags.allow_only({"model", "help"});
+  const std::string model = flags.get("model", "gwc");
+  workloads::Fig1Model m;
+  if (model == "gwc") {
+    m = workloads::Fig1Model::kGwc;
+  } else if (model == "entry") {
+    m = workloads::Fig1Model::kEntry;
+  } else if (model == "weak") {
+    m = workloads::Fig1Model::kWeakRelease;
+  } else {
+    std::cerr << "unknown model '" << model << "'\n";
+    return 2;
+  }
+  const auto res = run_scenario_fig1(m, workloads::Fig1Params{});
+  std::cout << workloads::fig1_model_name(m) << "\n" << res.timeline;
+  print_kv("total", sim::format_time(res.total_ns));
+  print_kv("idle CPU1/2/3", sim::format_time(res.idle_ns[0]) + " / " +
+                                sim::format_time(res.idle_ns[1]) + " / " +
+                                sim::format_time(res.idle_ns[2]));
+  return 0;
+}
+
+int run_fig7_cmd(const util::Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "fig7 flags: --nodes N --near-ns N --far-ns N\n";
+    return 0;
+  }
+  flags.allow_only({"nodes", "near-ns", "far-ns", "help"});
+  workloads::Fig7Params p;
+  p.nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
+  p.near_section_ns =
+      static_cast<sim::Duration>(flags.get_int("near-ns", 30'000));
+  p.far_section_ns =
+      static_cast<sim::Duration>(flags.get_int("far-ns", 2'000));
+  const auto res = run_scenario_fig7(p);
+  std::cout << res.trace;
+  print_kv("final a", std::to_string(res.final_a) + " (expected " +
+                          std::to_string(res.expected_a) + ")");
+  print_kv("rollbacks", std::to_string(res.rollbacks));
+  print_kv("root drops", std::to_string(res.speculative_drops));
+  return res.final_a == res.expected_a ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const util::Flags flags(argc - 1, argv + 1);
+    if (cmd == "taskqueue") return run_taskqueue(flags);
+    if (cmd == "pipeline") return run_pipeline_cmd(flags);
+    if (cmd == "counter") return run_counter_cmd(flags);
+    if (cmd == "fig1") return run_fig1_cmd(flags);
+    if (cmd == "fig7") return run_fig7_cmd(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
