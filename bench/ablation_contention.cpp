@@ -9,11 +9,16 @@
 #include <iostream>
 
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 #include "workloads/counter.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace optsync;
   using workloads::CounterMethod;
+
+  util::Flags flags(argc, argv);
+  flags.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   const auto topo = net::MeshTorus2D::near_square(16);
   const sim::Duration think_levels[] = {800'000, 100'000, 10'000, 2'000};
@@ -39,6 +44,7 @@ int main() {
       workloads::CounterParams p;
       p.increments_per_node = 40;
       p.think_mean_ns = think;
+      p.seed = seed;
       const auto res = run_counter(row.method, p, topo);
       if (res.final_count != res.expected_count) {
         std::cout << "MUTUAL EXCLUSION VIOLATION under " << row.name << ": "
@@ -62,4 +68,8 @@ int main() {
     std::cout << "\n";
   }
   return 0;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

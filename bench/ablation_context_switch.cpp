@@ -13,6 +13,7 @@
 #include "dsm/system.hpp"
 #include "simkern/random.hpp"
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 
 using namespace optsync;
 
@@ -25,7 +26,7 @@ struct RunResult {
 };
 
 RunResult run(bool optimistic, sim::Duration swap_ns,
-              sim::Duration think_mean_ns) {
+              sim::Duration think_mean_ns, std::uint64_t seed) {
   constexpr std::size_t kNodes = 64;
   constexpr int kSections = 20;
   constexpr sim::Duration kBody = 4'000;
@@ -47,7 +48,7 @@ RunResult run(bool optimistic, sim::Duration swap_ns,
   sim::Duration total_overhead = 0;
   std::vector<sim::Process> procs;
   auto worker = [&](net::NodeId n) -> sim::Process {
-    sim::Rng rng(n * 131 + 7);
+    sim::Rng rng(seed * 0x9e3779b9ull + n * 131 + 7);
     // Phase-stagger the starts so the first requests don't collide.
     co_await sim::delay(sched,
                         static_cast<sim::Duration>(n) * think_mean_ns / 8);
@@ -82,15 +83,16 @@ RunResult run(bool optimistic, sim::Duration swap_ns,
   return res;
 }
 
-void sweep(const char* label, sim::Duration think_mean_ns) {
+void sweep(const char* label, sim::Duration think_mean_ns,
+           std::uint64_t seed) {
   std::cout << "--- " << label << " (mean think "
             << sim::format_time(think_mean_ns) << ") ---\n";
   stats::Table table({"swap cost", "opt overhead/section",
                       "reg overhead/section", "reg/opt", "opt swaps",
                       "reg swaps", "speculations"});
   for (const sim::Duration swap : {0ull, 1'000ull, 5'000ull, 20'000ull}) {
-    const auto opt = run(true, swap, think_mean_ns);
-    const auto reg = run(false, swap, think_mean_ns);
+    const auto opt = run(true, swap, think_mean_ns, seed);
+    const auto reg = run(false, swap, think_mean_ns, seed);
     table.add_row(
         {sim::format_time(swap),
          sim::format_time(static_cast<sim::Time>(opt.avg_overhead_ns)),
@@ -106,14 +108,21 @@ void sweep(const char* label, sim::Duration think_mean_ns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  util::Flags flags(argc, argv);
+  flags.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
   std::cout << "Ablation: context-swap cost (64 CPUs, 4us sections)\n\n";
-  sweep("light contention", 4'000'000);   // lock ~2% utilized
-  sweep("heavy contention", 100'000);     // lock oversubscribed
+  sweep("light contention", 4'000'000, seed);   // lock ~2% utilized
+  sweep("heavy contention", 100'000, seed);     // lock oversubscribed
   std::cout << "Light contention: speculation hides the grant entirely, so\n"
                "the optimistic protocol pays neither the wait nor the swap.\n"
                "Heavy contention: the usage history disables speculation and\n"
                "both protocols queue (and swap) identically — optimism never\n"
                "hurts.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -10,10 +10,15 @@
 #include <iostream>
 
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 #include "workloads/counter.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace optsync;
+
+  util::Flags flags(argc, argv);
+  flags.allow_only({"seed"});
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   const auto topo = net::MeshTorus2D::near_square(16);
   const double thresholds[] = {0.0, 0.10, 0.30, 0.50, 0.90, 1.01};
@@ -36,6 +41,7 @@ int main() {
       p.increments_per_node = 60;
       p.think_mean_ns = think;
       p.history_threshold = th;
+      p.seed = seed;
       const auto res =
           run_counter(workloads::CounterMethod::kOptimisticGwc, p, topo);
       if (res.final_count != res.expected_count) {
@@ -59,4 +65,8 @@ int main() {
                "contended locks fall back to regular requests, adding zero\n"
                "extra traffic.\n";
   return 0;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

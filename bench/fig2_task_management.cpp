@@ -12,18 +12,23 @@
 #include <vector>
 
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 #include "workloads/task_queue.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace optsync;
 
   // --quick trims the largest sizes (used by the smoke script); the default
-  // reproduces the figure's full x-axis.
-  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+  // reproduces the figure's full x-axis. --seed varies the consumers'
+  // polling jitter.
+  util::Flags flags(argc, argv);
+  flags.allow_only({"quick", "seed"});
+  const bool quick = flags.get_bool("quick");
   std::vector<std::size_t> sizes = {3, 5, 9, 17, 33, 65, 129};
   if (!quick) sizes.push_back(257);
 
   workloads::TaskQueueParams params;
+  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
 
   std::cout << "Figure 2: speedup for task management (" << params.total_tasks
             << " tasks, produce:execute = 1:"
@@ -72,4 +77,8 @@ int main(int argc, char** argv) {
             << stats::Table::num(peak_gwc / std::max(peak_entry, 1e-9)) << "\n";
   std::cout << "paper:  GWC 84.1 @ 129; entry 22.5 @ 33; ratio 3.7\n";
   return 0;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

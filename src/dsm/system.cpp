@@ -10,7 +10,15 @@ DsmSystem::DsmSystem(sim::Scheduler& sched, const net::Topology& topo,
       topo_(&topo),
       config_(config),
       net_(sched, topo, config.link),
+      rel_(net_, config.reliable),
       jitter_rng_(config.jitter_seed) {
+  // Faults imply the reliable layer: a lossy fiber without retransmission
+  // cannot uphold GWC, and the delivery assertions in DsmNode would (and
+  // should) fire.
+  reliable_on_ = config_.reliable.enabled || !config_.faults.empty();
+  if (!config_.faults.empty()) {
+    injector_.emplace(net_, config_.faults);
+  }
   nodes_.reserve(topo.size());
   for (NodeId i = 0; i < topo.size(); ++i) {
     nodes_.push_back(std::make_unique<DsmNode>(*this, i));
@@ -94,13 +102,23 @@ std::uint32_t DsmSystem::bytes_for(VarId v) const {
   return info.wire_bytes != 0 ? info.wire_bytes : config_.update_bytes;
 }
 
+void DsmSystem::transport_send(NodeId src, NodeId dst, unsigned hops,
+                               std::uint32_t bytes, std::string_view tag,
+                               std::function<void()> on_delivery) {
+  if (reliable_on_) {
+    rel_.send(src, dst, hops, bytes, tag, std::move(on_delivery));
+  } else {
+    net_.send_hops(src, dst, hops, bytes, tag, std::move(on_delivery));
+  }
+}
+
 void DsmSystem::share_out(NodeId origin, VarId v, Word value) {
   const VarInfo& info = vars_[v];
   const Group& grp = group(info.group);
   OPTSYNC_EXPECT(grp.contains(origin));
   const NodeId root = grp.root();
   const char* tag = info.kind == VarKind::kLock ? "lock-up" : "data-up";
-  net_.send_hops(origin, root, grp.up_hops(origin), bytes_for(v), tag,
+  transport_send(origin, root, grp.up_hops(origin), bytes_for(v), tag,
                  [this, g = info.group, origin, v, value] {
                    roots_[g]->on_arrival(origin, v, value);
                  });
@@ -128,7 +146,7 @@ void DsmSystem::multicast(GroupId g, std::uint64_t seq, VarId v, Word value,
   for (const NodeId m : grp.members()) {
     sched_->at(dispatch, [this, &grp, root, m, g, seq, v, value, origin,
                           bytes, tag] {
-      net_.send_hops(root, m, grp.down_hops(m), bytes, tag,
+      transport_send(root, m, grp.down_hops(m), bytes, tag,
                      [this, m, g, seq, v, value, origin] {
                        nodes_[m]->deliver(g, seq, v, value, origin);
                      });

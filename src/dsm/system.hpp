@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,9 @@
 #include "dsm/node.hpp"
 #include "dsm/root.hpp"
 #include "dsm/types.hpp"
+#include "faults/fault_injector.hpp"
 #include "net/network.hpp"
+#include "net/reliable_channel.hpp"
 #include "simkern/random.hpp"
 #include "simkern/scheduler.hpp"
 
@@ -70,6 +73,16 @@ class DsmSystem {
   [[nodiscard]] const DsmConfig& config() const { return config_; }
   [[nodiscard]] const net::Topology& topology() const { return *topo_; }
 
+  /// True when substrate traffic goes through the reliable channel (faults
+  /// configured, or ReliableConfig::enabled set).
+  [[nodiscard]] bool reliable_transport() const { return reliable_on_; }
+  [[nodiscard]] const net::ReliableChannel& reliable() const { return rel_; }
+
+  /// The active fault injector, or nullptr when the run is fault-free.
+  [[nodiscard]] faults::FaultInjector* injector() {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
   // --- substrate internals (used by DsmNode / GroupRoot) -----------------
   /// Ships a node's write to its group root (up the spanning tree).
   void share_out(NodeId origin, VarId v, Word value);
@@ -82,10 +95,19 @@ class DsmSystem {
   [[nodiscard]] std::uint32_t bytes_for(VarId v) const;
 
  private:
+  /// Routes one substrate message through the reliable channel or the raw
+  /// network, per configuration.
+  void transport_send(NodeId src, NodeId dst, unsigned hops,
+                      std::uint32_t bytes, std::string_view tag,
+                      std::function<void()> on_delivery);
+
   sim::Scheduler* sched_;
   const net::Topology* topo_;
   DsmConfig config_;
   net::Network net_;
+  net::ReliableChannel rel_;
+  bool reliable_on_ = false;
+  std::optional<faults::FaultInjector> injector_;
   std::vector<std::unique_ptr<DsmNode>> nodes_;
   std::vector<std::unique_ptr<Group>> groups_;
   std::vector<std::unique_ptr<GroupRoot>> roots_;

@@ -5,7 +5,9 @@
 #include <limits>
 #include <string>
 
+#include "faults/fault_plan.hpp"
 #include "net/link_model.hpp"
+#include "net/reliable_channel.hpp"
 #include "net/topology.hpp"
 #include "simkern/time.hpp"
 
@@ -93,6 +95,18 @@ struct DsmConfig {
   /// is preserved by construction. 0 disables. Deterministic per seed.
   sim::Duration root_jitter_ns = 0;
   std::uint64_t jitter_seed = 0x0dd5eedull;
+
+  /// Message-level fault schedule (drops, duplicates, reorder-within-jitter
+  /// delays, node pauses, link partitions). Empty (the default) leaves the
+  /// network loss-free and the substrate byte-identical to the seed model.
+  /// A non-empty plan force-enables the reliable transport below — GWC
+  /// cannot survive loss without retransmission.
+  faults::FaultPlan faults;
+
+  /// Reliable tree transport (sequence numbers + ack/retransmit + dedup)
+  /// between nodes and group roots. `reliable.enabled` opts in explicitly;
+  /// it is implied whenever `faults` is non-empty.
+  net::ReliableConfig reliable;
 };
 
 /// Variable metadata kept by the system.

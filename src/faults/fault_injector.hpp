@@ -1,0 +1,36 @@
+// FaultInjector: hooks a FaultPlan into a net::Network.
+//
+// Installation is transparent to every caller of Network::send /
+// send_hops — the hook runs inside the network's send path, so protocol
+// code is attacked without being modified. RAII: destroying the injector
+// (or the owning DsmSystem) uninstalls the hook.
+#pragma once
+
+#include "faults/fault_plan.hpp"
+#include "net/network.hpp"
+
+namespace optsync::faults {
+
+class FaultInjector {
+ public:
+  /// Takes the plan by value: the injector owns the replaying generator.
+  FaultInjector(net::Network& net, FaultPlan plan)
+      : net_(&net), plan_(std::move(plan)) {
+    net_->set_fault_hook(
+        [this](const net::MessageMeta& m) { return plan_.decide(m); });
+  }
+
+  ~FaultInjector() { net_->set_fault_hook(nullptr); }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] FaultPlan& plan() { return plan_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  net::Network* net_;
+  FaultPlan plan_;
+};
+
+}  // namespace optsync::faults

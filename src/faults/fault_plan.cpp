@@ -1,0 +1,110 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::faults {
+
+FaultPlan& FaultPlan::add_rule(MessageFaultRule rule) {
+  OPTSYNC_EXPECT(rule.drop_p >= 0.0 && rule.drop_p <= 1.0);
+  OPTSYNC_EXPECT(rule.dup_p >= 0.0 && rule.dup_p <= 1.0);
+  OPTSYNC_EXPECT(rule.delay_p >= 0.0 && rule.delay_p <= 1.0);
+  OPTSYNC_EXPECT(rule.delay_p == 0.0 || rule.delay_jitter_ns > 0);
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop(double p, std::string tag_prefix, net::NodeId src,
+                           net::NodeId dst) {
+  MessageFaultRule r;
+  r.tag_prefix = std::move(tag_prefix);
+  r.src = src;
+  r.dst = dst;
+  r.drop_p = p;
+  return add_rule(std::move(r));
+}
+
+FaultPlan& FaultPlan::duplicate(double p, std::string tag_prefix) {
+  MessageFaultRule r;
+  r.tag_prefix = std::move(tag_prefix);
+  r.dup_p = p;
+  return add_rule(std::move(r));
+}
+
+FaultPlan& FaultPlan::delay(double p, sim::Duration jitter_ns,
+                            std::string tag_prefix) {
+  MessageFaultRule r;
+  r.tag_prefix = std::move(tag_prefix);
+  r.delay_p = p;
+  r.delay_jitter_ns = jitter_ns;
+  return add_rule(std::move(r));
+}
+
+FaultPlan& FaultPlan::pause_node(net::NodeId node, sim::Time from,
+                                 sim::Time until) {
+  OPTSYNC_EXPECT(from < until);
+  pauses_.push_back(PauseWindow{node, from, until});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_link(net::NodeId a, net::NodeId b,
+                                     sim::Time from, sim::Time until) {
+  OPTSYNC_EXPECT(from < until);
+  OPTSYNC_EXPECT(a != b);
+  partitions_.push_back(PartitionWindow{a, b, from, until});
+  return *this;
+}
+
+bool FaultPlan::matches(const MessageFaultRule& r, const net::MessageMeta& m) {
+  if (r.src != kAnyNode && r.src != m.src) return false;
+  if (r.dst != kAnyNode && r.dst != m.dst) return false;
+  return m.tag.substr(0, r.tag_prefix.size()) == r.tag_prefix;
+}
+
+net::FaultAction FaultPlan::decide(const net::MessageMeta& m) {
+  net::FaultAction act;
+  if (m.src == m.dst) return act;  // loopback never crosses the fiber
+
+  // Partitions are absolute: the link is physically dark, no draw needed.
+  for (const auto& pw : partitions_) {
+    const bool on_link = (pw.a == m.src && pw.b == m.dst) ||
+                         (pw.a == m.dst && pw.b == m.src);
+    if (on_link && m.sent_at >= pw.from && m.sent_at < pw.until) {
+      act.drop = true;
+      return act;
+    }
+  }
+
+  for (const auto& rule : rules_) {
+    if (!matches(rule, m)) continue;
+    if (rule.drop_p > 0 && rng_.chance(rule.drop_p)) {
+      act.drop = true;
+      return act;  // destroyed; later rules can't resurrect it
+    }
+    if (rule.dup_p > 0 && rng_.chance(rule.dup_p)) {
+      act.duplicates += 1;
+      act.dup_extra_delay += rng_.below(std::max<sim::Duration>(
+          rule.delay_jitter_ns, m.base_delay + 1));
+    }
+    if (rule.delay_p > 0 && rng_.chance(rule.delay_p)) {
+      act.extra_delay += rng_.below(rule.delay_jitter_ns);
+    }
+  }
+
+  // Pauses hold traffic touching the node: a message sent while the source
+  // is paused leaves at window end; one arriving while the destination is
+  // paused sits in its interface until the window ends.
+  for (const auto& pw : pauses_) {
+    if (pw.node == m.src && m.sent_at >= pw.from && m.sent_at < pw.until) {
+      act.extra_delay += pw.until - m.sent_at;
+    }
+    const sim::Time arrival = m.sent_at + m.base_delay + act.extra_delay;
+    if (pw.node == m.dst && arrival >= pw.from && arrival < pw.until) {
+      act.extra_delay += pw.until - arrival;
+    }
+  }
+  return act;
+}
+
+}  // namespace optsync::faults

@@ -1,0 +1,127 @@
+// Deterministic, seeded fault schedules for the simulated network.
+//
+// The paper hand-waves reliability — "the spanning tree protocol handles
+// retransmission in hardware" — so the seed modelled the fiber as loss-free.
+// A FaultPlan makes the failure paths explicit and attackable: it describes,
+// as data, which messages to drop, duplicate, or delay (per tag/src/dst
+// predicate), which nodes pause, and which links partition, all driven by a
+// sim::Rng so a (plan, seed) pair replays bit-for-bit. The plan is pure
+// description + generator state; faults::FaultInjector wires it into
+// net::Network, and net::ReliableChannel is the layer whose job is to
+// survive it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "simkern/random.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::faults {
+
+/// Wildcard node id for rule predicates.
+inline constexpr net::NodeId kAnyNode = static_cast<net::NodeId>(-1);
+
+/// One message-level fault rule. A message matches when its tag starts with
+/// `tag_prefix` (empty prefix = every tag) and src/dst equal the rule's
+/// (kAnyNode = any). Matching draws against each probability independently,
+/// so one rule can both drop and delay. Retransmissions are matched like
+/// fresh sends — repeated loss of the same packet is exactly the case the
+/// reliability layer's backoff must handle.
+struct MessageFaultRule {
+  std::string tag_prefix;  ///< "" matches any tag; "lock" matches lock-up/-down
+  net::NodeId src = kAnyNode;
+  net::NodeId dst = kAnyNode;
+  double drop_p = 0.0;   ///< message destroyed in flight
+  double dup_p = 0.0;    ///< one extra copy delivered
+  double delay_p = 0.0;  ///< extra uniform [0, delay_jitter_ns) latency
+  sim::Duration delay_jitter_ns = 0;
+};
+
+/// Node `node` stops receiving and transmitting during [from, until):
+/// messages touching it are held and complete after the window. Models a
+/// GC-style stall or an OS descheduling the sharing interface's host.
+struct PauseWindow {
+  net::NodeId node;
+  sim::Time from;
+  sim::Time until;
+};
+
+/// The (a, b) link — a tree edge or routed virtual link, matched by message
+/// endpoints in either direction — goes dark during [from, until): every
+/// message sent across it in the window is destroyed.
+struct PartitionWindow {
+  net::NodeId a;
+  net::NodeId b;
+  sim::Time from;
+  sim::Time until;
+};
+
+/// A seeded, deterministic fault schedule. Value-semantic: copying a plan
+/// copies the generator state, so a DsmConfig carrying a plan replays the
+/// identical schedule on every run.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Resets the generator; decisions replay from the start.
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    rng_.reseed(seed);
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // --- schedule construction (fluent, so configs read as one expression) --
+  FaultPlan& add_rule(MessageFaultRule rule);
+
+  /// Shorthand: drop matching messages with probability `p`.
+  FaultPlan& drop(double p, std::string tag_prefix = "",
+                  net::NodeId src = kAnyNode, net::NodeId dst = kAnyNode);
+
+  /// Shorthand: duplicate matching messages with probability `p`.
+  FaultPlan& duplicate(double p, std::string tag_prefix = "");
+
+  /// Shorthand: delay matching messages with probability `p` by an extra
+  /// uniform [0, jitter_ns). Per-message draws break per-pair FIFO — the
+  /// reorder-within-jitter fault.
+  FaultPlan& delay(double p, sim::Duration jitter_ns,
+                   std::string tag_prefix = "");
+
+  FaultPlan& pause_node(net::NodeId node, sim::Time from, sim::Time until);
+  FaultPlan& partition_link(net::NodeId a, net::NodeId b, sim::Time from,
+                            sim::Time until);
+
+  [[nodiscard]] bool empty() const {
+    return rules_.empty() && pauses_.empty() && partitions_.empty();
+  }
+  [[nodiscard]] const std::vector<MessageFaultRule>& rules() const {
+    return rules_;
+  }
+  [[nodiscard]] const std::vector<PauseWindow>& pauses() const {
+    return pauses_;
+  }
+  [[nodiscard]] const std::vector<PartitionWindow>& partitions() const {
+    return partitions_;
+  }
+
+  /// Decides the fate of one message. Mutates generator state: calling
+  /// sequence determines the draws, which the deterministic scheduler makes
+  /// reproducible. Loopback (src == dst) is never faulted — the sharing
+  /// interface's self-delivery does not cross the fiber.
+  net::FaultAction decide(const net::MessageMeta& m);
+
+ private:
+  [[nodiscard]] static bool matches(const MessageFaultRule& r,
+                                    const net::MessageMeta& m);
+
+  std::uint64_t seed_ = 0;
+  sim::Rng rng_{0};
+  std::vector<MessageFaultRule> rules_;
+  std::vector<PauseWindow> pauses_;
+  std::vector<PartitionWindow> partitions_;
+};
+
+}  // namespace optsync::faults

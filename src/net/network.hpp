@@ -1,10 +1,17 @@
 // Message delivery engine: topology + link model + scheduler.
 //
-// The network is connectionless and reliable (Sesame's tree protocol handles
-// retransmission in hardware; we model the common case of loss-free fiber,
-// as the paper's simulations do). Delivery order between a fixed (src, dst)
-// pair is FIFO because delays are deterministic per message size and the
-// scheduler breaks ties by insertion order.
+// By default the network is connectionless and reliable (Sesame's tree
+// protocol handles retransmission in hardware; we model the common case of
+// loss-free fiber, as the paper's simulations do). Delivery order between a
+// fixed (src, dst) pair is FIFO because delays are deterministic per message
+// size and the scheduler breaks ties by insertion order.
+//
+// That happy path can be attacked: a fault hook (installed by
+// faults::FaultInjector) inspects every send and may drop it, duplicate it,
+// or add per-message delay — which breaks the FIFO property on purpose.
+// Protocols that must survive that run on top of net::ReliableChannel, the
+// explicit software model of the "reliable, root-sequenced" delivery the
+// paper attributes to hardware retransmission.
 #pragma once
 
 #include <cstdint>
@@ -22,16 +29,58 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t hop_bytes = 0;  ///< bytes weighted by hops travelled
+  // Fault-injection counters (zero unless a fault hook is installed).
+  std::uint64_t drops_injected = 0;   ///< messages destroyed by the injector
+  std::uint64_t dups_injected = 0;    ///< extra copies created by the injector
+  std::uint64_t delays_injected = 0;  ///< messages given extra delay
+  sim::Duration max_extra_delay_ns = 0;  ///< largest injected delay
 };
+
+/// What kind of delivery a trace record describes. kNormal covers the
+/// loss-free fast path; the other kinds only occur under fault injection
+/// and/or the reliable-channel layer.
+enum class DeliveryKind : std::uint8_t {
+  kNormal = 0,
+  kRetransmit,     ///< a ReliableChannel retransmission arriving
+  kDuplicate,      ///< an injector-created extra copy arriving
+  kDupSuppressed,  ///< arrival discarded by ReliableChannel dedup
+  kInjectedDrop,   ///< message destroyed in flight by the injector
+};
+
+/// Short label for trace output ("normal", "rexmit", ...).
+[[nodiscard]] std::string_view delivery_kind_name(DeliveryKind k);
 
 /// One observed message; emitted to the trace hook when installed.
 struct MessageTrace {
   sim::Time sent_at;
-  sim::Time delivered_at;
+  sim::Time delivered_at;  ///< for kInjectedDrop: when it would have arrived
   NodeId src;
   NodeId dst;
   std::uint32_t bytes;
   std::string_view tag;  ///< protocol-level label, e.g. "lock-req"
+  DeliveryKind kind = DeliveryKind::kNormal;
+};
+
+/// What a fault hook sees about a message at send time.
+struct MessageMeta {
+  NodeId src;
+  NodeId dst;
+  unsigned hops;
+  std::uint32_t bytes;
+  std::string_view tag;
+  sim::Time sent_at;
+  sim::Duration base_delay;  ///< fault-free end-to-end latency
+  DeliveryKind kind;         ///< kNormal or kRetransmit
+};
+
+/// What the fault hook decided for one message. Defaults mean "deliver
+/// normally". A duplicate delivers the same payload a second time at
+/// base_delay + extra_delay + dup_extra_delay.
+struct FaultAction {
+  bool drop = false;
+  unsigned duplicates = 0;
+  sim::Duration extra_delay = 0;
+  sim::Duration dup_extra_delay = 0;
 };
 
 class Network {
@@ -66,20 +115,38 @@ class Network {
             std::function<void()> on_delivery);
 
   /// Sends across an explicit hop count (used for tree edges whose physical
-  /// length differs from the src-dst shortest path).
+  /// length differs from the src-dst shortest path). `kind` distinguishes
+  /// retransmissions for tracing; fresh sends leave it kNormal.
   void send_hops(NodeId src, NodeId dst, unsigned hops, std::uint32_t bytes,
-                 std::string_view tag, std::function<void()> on_delivery);
+                 std::string_view tag, std::function<void()> on_delivery,
+                 DeliveryKind kind = DeliveryKind::kNormal);
 
   /// Installs a hook observing every delivery (replaces any previous hook).
   using TraceHook = std::function<void(const MessageTrace&)>;
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
+  /// Emits a record straight to the trace hook. Used by layered protocols
+  /// to report events the raw network cannot see (duplicate suppression).
+  void emit_trace(const MessageTrace& t) {
+    if (trace_) trace_(t);
+  }
+
+  /// Installs the fault hook consulted on every send (nullptr removes it).
+  /// Owned by faults::FaultInjector; plain callers never touch this.
+  using FaultHook = std::function<FaultAction(const MessageMeta&)>;
+  void set_fault_hook(FaultHook hook) { fault_ = std::move(hook); }
+  [[nodiscard]] bool fault_hook_installed() const { return fault_ != nullptr; }
+
  private:
+  void deliver_at(sim::Duration delay, MessageTrace trace,
+                  std::function<void()> on_delivery);
+
   sim::Scheduler* sched_;
   const Topology* topo_;
   LinkModel link_;
   NetworkStats stats_;
   TraceHook trace_;
+  FaultHook fault_;
 };
 
 }  // namespace optsync::net

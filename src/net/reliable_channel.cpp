@@ -1,0 +1,155 @@
+#include "net/reliable_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::net {
+
+std::size_t ReliableChannel::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [k, f] : flows_) n += f.packets.size();
+  return n;
+}
+
+void ReliableChannel::send(NodeId src, NodeId dst, unsigned hops,
+                           std::uint32_t bytes, std::string_view tag,
+                           std::function<void()> on_delivery) {
+  OPTSYNC_EXPECT(on_delivery != nullptr);
+  if (src == dst) {
+    // Interface loopback: never crosses the fiber, cannot be lost, and the
+    // fault layer never touches it. No sequencing or ack overhead.
+    net_->send_hops(src, dst, hops, bytes, tag, std::move(on_delivery));
+    return;
+  }
+  const FlowKey k = key(src, dst);
+  Flow& f = flows_[k];
+  f.hops = hops;
+  const std::uint64_t seq = f.next_seq++;
+  Packet& pkt = f.packets[seq];
+  pkt.hops = hops;
+  pkt.bytes = bytes;
+  pkt.tag = tag;
+  pkt.on_delivery = std::move(on_delivery);
+  pkt.first_sent = net_->scheduler().now();
+  stats_.data_packets += 1;
+  transmit(k, seq, DeliveryKind::kNormal);
+}
+
+void ReliableChannel::transmit(FlowKey k, std::uint64_t seq,
+                               DeliveryKind kind) {
+  Flow& f = flows_[k];
+  const auto it = f.packets.find(seq);
+  OPTSYNC_ENSURE(it != f.packets.end());
+  const Packet& pkt = it->second;
+  net_->send_hops(key_src(k), key_dst(k), pkt.hops, pkt.bytes, pkt.tag,
+                  [this, k, seq] { on_data(k, seq); }, kind);
+  arm_timer(k, seq);
+}
+
+void ReliableChannel::arm_timer(FlowKey k, std::uint64_t seq) {
+  Flow& f = flows_[k];
+  Packet& pkt = f.packets.at(seq);
+  const double scaled = static_cast<double>(cfg_.rto_ns) *
+                        std::pow(cfg_.backoff, pkt.attempts);
+  const auto rto = std::min<sim::Duration>(
+      cfg_.max_rto_ns, static_cast<sim::Duration>(scaled));
+  pkt.timer =
+      net_->scheduler().after(rto, [this, k, seq] { on_timeout(k, seq); });
+}
+
+void ReliableChannel::on_timeout(FlowKey k, std::uint64_t seq) {
+  const auto fit = flows_.find(k);
+  if (fit == flows_.end()) return;
+  const auto it = fit->second.packets.find(seq);
+  if (it == fit->second.packets.end()) return;  // acked; timer raced the ack
+  Packet& pkt = it->second;
+  pkt.timer = 0;
+  if (pkt.attempts >= cfg_.max_retransmits) {
+    // Cap hit: abandon. The packet stays in the map (visible through
+    // in_flight()) so a stuck simulation is diagnosable, not silent.
+    stats_.expirations += 1;
+    return;
+  }
+  pkt.attempts += 1;
+  stats_.retransmits += 1;
+  transmit(k, seq, DeliveryKind::kRetransmit);
+}
+
+void ReliableChannel::on_data(FlowKey k, std::uint64_t seq) {
+  Flow& f = flows_[k];
+  const auto it = f.packets.find(seq);
+  const bool already_released =
+      seq < f.next_release || it == f.packets.end() ||
+      (it != f.packets.end() && it->second.received);
+  if (already_released) {
+    // A retransmission raced the original (or an injected duplicate):
+    // suppress, but re-ack so the sender stops retransmitting.
+    stats_.dup_suppressed += 1;
+    const sim::Time now = net_->scheduler().now();
+    MessageTrace t{now, now, key_src(k), key_dst(k), 0, "rel-dup",
+                   DeliveryKind::kDupSuppressed};
+    if (it != f.packets.end()) {
+      t.bytes = it->second.bytes;
+      t.tag = it->second.tag;
+      t.sent_at = it->second.first_sent;
+    }
+    net_->emit_trace(t);
+    send_ack(k);
+    return;
+  }
+
+  it->second.received = true;
+  if (seq != f.next_release) {
+    // A gap precedes this packet (its predecessor was dropped or delayed
+    // past it): hold until the retransmission fills the gap.
+    stats_.out_of_order += 1;
+    send_ack(k);
+    return;
+  }
+
+  // Release the contiguous prefix in order, exactly once. Callbacks may
+  // reenter send() on this channel (sequenced updates fan back out through
+  // the root), so re-find the packet each iteration.
+  while (true) {
+    const auto rit = f.packets.find(f.next_release);
+    if (rit == f.packets.end() || !rit->second.received ||
+        !rit->second.on_delivery) {
+      break;
+    }
+    auto cb = std::move(rit->second.on_delivery);
+    rit->second.on_delivery = nullptr;
+    const sim::Duration delay =
+        net_->scheduler().now() - rit->second.first_sent;
+    stats_.max_delivery_delay_ns =
+        std::max(stats_.max_delivery_delay_ns, delay);
+    f.next_release += 1;
+    cb();
+  }
+  send_ack(k);
+}
+
+void ReliableChannel::send_ack(FlowKey k) {
+  Flow& f = flows_[k];
+  const std::uint64_t cumulative = f.next_release - 1;
+  stats_.acks_sent += 1;
+  // Acks travel the reverse path and are just as attackable as data: a
+  // lost ack means a retransmission that the receiver will dedup.
+  net_->send_hops(key_dst(k), key_src(k), f.hops, cfg_.ack_bytes, "rel-ack",
+                  [this, k, cumulative] { on_ack(k, cumulative); });
+}
+
+void ReliableChannel::on_ack(FlowKey k, std::uint64_t upto) {
+  const auto fit = flows_.find(k);
+  if (fit == flows_.end()) return;
+  Flow& f = fit->second;
+  while (!f.packets.empty() && f.packets.begin()->first <= upto) {
+    Packet& pkt = f.packets.begin()->second;
+    OPTSYNC_ENSURE(pkt.received && !pkt.on_delivery);
+    if (pkt.timer != 0) net_->scheduler().cancel(pkt.timer);
+    f.packets.erase(f.packets.begin());
+  }
+}
+
+}  // namespace optsync::net

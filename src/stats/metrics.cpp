@@ -1,3 +1,54 @@
-// metrics.hpp is header-only; this TU exists so the module owns a .o and
-// future non-inline additions have a home.
 #include "stats/metrics.hpp"
+
+#include <sstream>
+
+namespace optsync::stats {
+
+FaultReport collect_fault_report(const net::NetworkStats& net,
+                                 const net::ReliableStats& rel) {
+  FaultReport r;
+  r.drops_injected = net.drops_injected;
+  r.dups_injected = net.dups_injected;
+  r.delays_injected = net.delays_injected;
+  r.retransmits = rel.retransmits;
+  r.dup_suppressed = rel.dup_suppressed;
+  r.acks_sent = rel.acks_sent;
+  r.expirations = rel.expirations;
+  r.max_delivery_delay_ns = rel.max_delivery_delay_ns;
+  return r;
+}
+
+std::string format_fault_report(const FaultReport& r) {
+  std::ostringstream out;
+  auto row = [&out](const char* key, std::uint64_t value) {
+    out << "  " << key;
+    for (std::size_t i = std::string(key).size(); i < 24; ++i) out << ' ';
+    out << value << "\n";
+  };
+  row("drops injected", r.drops_injected);
+  row("dups injected", r.dups_injected);
+  row("delays injected", r.delays_injected);
+  row("retransmits", r.retransmits);
+  row("dups suppressed", r.dup_suppressed);
+  row("acks sent", r.acks_sent);
+  row("retransmit-cap hits", r.expirations);
+  out << "  max delivery delay      "
+      << sim::format_time(r.max_delivery_delay_ns) << "\n";
+  return out.str();
+}
+
+std::string fault_report_csv_header() {
+  return "drops_injected,dups_injected,delays_injected,retransmits,"
+         "dup_suppressed,acks_sent,expirations,max_delivery_delay_ns";
+}
+
+std::string fault_report_csv_row(const FaultReport& r) {
+  std::ostringstream out;
+  out << r.drops_injected << "," << r.dups_injected << ","
+      << r.delays_injected << "," << r.retransmits << "," << r.dup_suppressed
+      << "," << r.acks_sent << "," << r.expirations << ","
+      << r.max_delivery_delay_ns;
+  return out.str();
+}
+
+}  // namespace optsync::stats

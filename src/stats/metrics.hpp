@@ -6,8 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "net/network.hpp"
+#include "net/reliable_channel.hpp"
 #include "net/topology.hpp"
 #include "simkern/time.hpp"
 
@@ -51,5 +54,35 @@ class EfficiencyMeter {
  private:
   std::vector<sim::Duration> useful_;
 };
+
+/// One row of fault/reliability accounting for benches and the CLI: what
+/// the injector did to the wire and what the reliable layer paid to hide
+/// it. Collected from NetworkStats + ReliableStats so workload results can
+/// carry the counters without knowing the layering.
+struct FaultReport {
+  std::uint64_t drops_injected = 0;
+  std::uint64_t dups_injected = 0;
+  std::uint64_t delays_injected = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t expirations = 0;  ///< retransmit-cap hits: should stay 0
+  sim::Duration max_delivery_delay_ns = 0;
+
+  [[nodiscard]] bool quiet() const {
+    return drops_injected == 0 && dups_injected == 0 &&
+           delays_injected == 0 && retransmits == 0 && dup_suppressed == 0;
+  }
+};
+
+FaultReport collect_fault_report(const net::NetworkStats& net,
+                                 const net::ReliableStats& rel);
+
+/// Multi-line human-readable rendering (one "  key  value" row per field).
+std::string format_fault_report(const FaultReport& r);
+
+/// CSV fragments, for appending to a bench's row/header.
+std::string fault_report_csv_header();
+std::string fault_report_csv_row(const FaultReport& r);
 
 }  // namespace optsync::stats

@@ -8,6 +8,7 @@
 #include "simkern/assert.hpp"
 #include "simkern/coro.hpp"
 #include "simkern/random.hpp"
+#include "stats/metrics.hpp"
 #include "sync/spin_lock.hpp"
 
 namespace optsync::workloads {
@@ -73,7 +74,7 @@ sim::Process gwc_counter_node(GwcCtx& ctx, net::NodeId me) {
 CounterResult run_gwc(const CounterParams& p, const net::Topology& topo,
                       bool optimistic) {
   sim::Scheduler sched;
-  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  dsm::DsmSystem sys(sched, topo, p.dsm);
   std::vector<net::NodeId> members;
   for (net::NodeId i = 0; i < topo.size(); ++i) members.push_back(i);
   const dsm::GroupId g = sys.create_group(members, p.group_root);
@@ -115,6 +116,8 @@ CounterResult run_gwc(const CounterParams& p, const net::Topology& topo,
   res.optimistic_successes = mux.stats().optimistic_successes;
   res.regular_paths = mux.stats().regular_paths;
   res.avg_sync_overhead_ns = ctx.overhead.mean();
+  res.faults =
+      stats::collect_fault_report(sys.network().stats(), sys.reliable().stats());
   return res;
 }
 

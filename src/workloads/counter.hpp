@@ -14,6 +14,7 @@
 #include "dsm/types.hpp"
 #include "net/topology.hpp"
 #include "simkern/time.hpp"
+#include "stats/metrics.hpp"
 
 namespace optsync::workloads {
 
@@ -36,6 +37,10 @@ struct CounterParams {
   double history_decay = 0.95;
   net::NodeId group_root = 0;
   std::uint32_t entry_data_bytes = 64;
+  /// Substrate configuration for the GWC variants — carries the fault plan
+  /// and reliable-transport knobs for fault sweeps (ablation_fault_rate,
+  /// the soak tests). The entry/TAS baselines ignore it.
+  dsm::DsmConfig dsm;
 };
 
 struct CounterResult {
@@ -52,6 +57,9 @@ struct CounterResult {
   /// Mean time from deciding to enter until release completes, minus the
   /// section compute itself: pure synchronization overhead per section.
   double avg_sync_overhead_ns = 0.0;
+  /// Injection/reliability counters (all zero when the run had no faults
+  /// and the reliable layer was off). GWC variants only.
+  stats::FaultReport faults;
 };
 
 CounterResult run_counter(CounterMethod method, const CounterParams& params,

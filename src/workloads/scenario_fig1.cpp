@@ -70,7 +70,7 @@ sim::Process gwc_cpu(Shared& sh, dsm::DsmSystem& sys, sync::GwcQueueLock& lk,
 Fig1Result run_gwc(const Fig1Params& p) {
   sim::Scheduler sched;
   net::FullyConnected topo(3);
-  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  dsm::DsmSystem sys(sched, topo, p.dsm);
   const dsm::GroupId g = sys.create_group({kCpu1, kCpu2, kCpu3}, kCpu2);
   const dsm::VarId lock = sys.define_lock("fig1.lock", g);
   std::vector<dsm::VarId> data;

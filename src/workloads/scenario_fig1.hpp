@@ -12,6 +12,7 @@
 #include <array>
 #include <string>
 
+#include "dsm/types.hpp"
 #include "simkern/time.hpp"
 
 namespace optsync::workloads {
@@ -29,6 +30,9 @@ struct Fig1Params {
   sim::Duration cpu3_offset_ns = 1'000;
   /// CPU2 requests this long after CPU1.
   sim::Duration cpu2_offset_ns = 12'000;
+  /// Substrate config for the GWC model (fault plan + reliable transport);
+  /// the entry and weak/release models run on their own engines.
+  dsm::DsmConfig dsm;
 };
 
 struct Fig1Result {

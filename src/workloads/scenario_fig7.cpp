@@ -40,7 +40,7 @@ Fig7Result run_scenario_fig7(const Fig7Params& p) {
   sim::Scheduler sched;
   net::Ring topo(p.nodes);
 
-  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  dsm::DsmSystem sys(sched, topo, p.dsm);
   const net::NodeId root = 0;
   const net::NodeId near = 1;  // one hop from the root: its request wins
   const auto far = static_cast<net::NodeId>(p.nodes / 2);  // opposite side
@@ -84,6 +84,8 @@ Fig7Result run_scenario_fig7(const Fig7Params& p) {
   res.near_used_optimistic = near_stats.used_optimistic;
   res.elapsed = sched.now();
   res.trace = trace.str();
+  res.faults =
+      stats::collect_fault_report(sys.network().stats(), sys.reliable().stats());
   return res;
 }
 

@@ -14,6 +14,7 @@
 
 #include "dsm/types.hpp"
 #include "simkern/time.hpp"
+#include "stats/metrics.hpp"
 
 namespace optsync::workloads {
 
@@ -29,6 +30,9 @@ struct Fig7Params {
   sim::Duration near_head_start_ns = 100;
   /// Ring size; the far node sits opposite the root.
   std::size_t nodes = 8;
+  /// Substrate config — lets the soak tests replay the figure-7 interaction
+  /// over a lossy network with the reliable layer on.
+  dsm::DsmConfig dsm;
 };
 
 struct Fig7Result {
@@ -41,6 +45,7 @@ struct Fig7Result {
   bool near_used_optimistic = false;
   sim::Time elapsed = 0;
   std::string trace;  ///< message-level log of the interaction
+  stats::FaultReport faults;  ///< all-zero when the run had no faults
 };
 
 Fig7Result run_scenario_fig7(const Fig7Params& params);

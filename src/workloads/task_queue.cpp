@@ -134,7 +134,7 @@ sim::Process gwc_consumer(GwcRun& run, net::NodeId me, dsm::VarId my_done) {
   auto& sched = sys.scheduler();
   auto& node = sys.node(me);
   dsm::Word completed = 0;
-  sim::Rng rng(0x7a5f + me * 977);
+  sim::Rng rng(0x7a5f + p.seed * 0x9e3779b9ull + me * 977);
   const sim::Duration poll = poll_interval(p, run.times);
   sim::Duration cur_poll = poll;  // doubles on wasted grants (backoff)
 
@@ -262,7 +262,7 @@ sim::Process entry_producer(EntryRun& run, std::size_t n_consumers) {
   auto& sched = *run.sched;
   auto& ec = *run.ec;
 
-  sim::Rng rng(0x600d);
+  sim::Rng rng(0x600d + p.seed * 0x9e3779b9ull);
   const sim::Duration poll = poll_interval(p, run.times);
 
   auto enqueue_batch = [&](const std::vector<dsm::Word>& batch)
@@ -309,7 +309,7 @@ sim::Process entry_consumer(EntryRun& run, net::NodeId me) {
   const auto& p = *run.params;
   auto& sched = *run.sched;
   auto& ec = *run.ec;
-  sim::Rng rng(0xbeef + me * 977);
+  sim::Rng rng(0xbeef + p.seed * 0x9e3779b9ull + me * 977);
   const sim::Duration poll = poll_interval(p, run.times);
   sim::Duration cur_poll = poll;
 

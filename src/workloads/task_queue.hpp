@@ -54,6 +54,9 @@ struct TaskQueueParams {
   /// time. Keeps wasted grants O(1) per task in the starved regime.
   sim::Duration poll_interval_ns = 0;
 
+  /// Base seed mixed into every per-node polling-jitter generator.
+  std::uint64_t seed = 0;
+
   net::NodeId producer = 0;
   net::NodeId group_root = 0;
 

@@ -1,0 +1,207 @@
+// ReliableChannel: exactly-once, per-(src,dst) FIFO delivery over a lossy
+// network — retransmission, duplicate suppression, reorder recovery, ack
+// loss, and the retransmit cap.
+#include "net/reliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faults/fault_injector.hpp"
+#include "net/network.hpp"
+
+namespace optsync::net {
+namespace {
+
+struct Harness {
+  sim::Scheduler sched;
+  MeshTorus2D topo{2, 2};
+  Network net{sched, topo, LinkModel::paper()};
+  ReliableChannel rel{net, ReliableConfig{}};
+};
+
+TEST(ReliableChannel, FaultFreeDeliversInOrderAndDrains) {
+  Harness h;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    h.rel.send(0, 1, 1, 16, "m", [&order, i] { order.push_back(i); });
+  }
+  h.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(h.rel.stats().data_packets, 10u);
+  EXPECT_EQ(h.rel.stats().retransmits, 0u);
+  EXPECT_EQ(h.rel.stats().dup_suppressed, 0u);
+  EXPECT_EQ(h.rel.stats().expirations, 0u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);  // every packet cumulatively acked
+  EXPECT_GE(h.rel.stats().acks_sent, 1u);
+}
+
+TEST(ReliableChannel, LoopbackBypassesTheProtocol) {
+  Harness h;
+  int delivered = 0;
+  h.rel.send(2, 2, 0, 16, "self", [&] { ++delivered; });
+  h.sched.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(h.rel.stats().data_packets, 0u);
+  EXPECT_EQ(h.rel.stats().acks_sent, 0u);
+}
+
+TEST(ReliableChannel, RetransmitRecoversFromDrops) {
+  Harness h;
+  // Drop the first three data transmissions outright; let acks through.
+  int to_drop = 3;
+  h.net.set_fault_hook([&to_drop](const MessageMeta& m) {
+    FaultAction act;
+    if (m.tag == "m" && to_drop > 0) {
+      --to_drop;
+      act.drop = true;
+    }
+    return act;
+  });
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    h.rel.send(0, 1, 1, 16, "m", [&order, i] { order.push_back(i); });
+  }
+  h.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_GE(h.rel.stats().retransmits, 3u);
+  EXPECT_EQ(h.rel.stats().expirations, 0u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+  // Recovery is visible in the latency accounting: a retransmitted packet
+  // arrived at least one RTO late.
+  EXPECT_GE(h.rel.stats().max_delivery_delay_ns, h.rel.config().rto_ns);
+}
+
+TEST(ReliableChannel, InjectedDuplicatesAreSuppressed) {
+  Harness h;
+  faults::FaultPlan plan(5);
+  plan.duplicate(1.0, "m");
+  faults::FaultInjector inj(h.net, plan);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    h.rel.send(0, 3, 2, 16, "m", [&order, i] { order.push_back(i); });
+  }
+  h.sched.run();
+  // Exactly once each, in order, despite every packet arriving twice.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_GE(h.rel.stats().dup_suppressed, 8u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+}
+
+TEST(ReliableChannel, ReorderIsHeldAndReleasedInOrder) {
+  Harness h;
+  // Delay only the first packet far past the second: the receiver must hold
+  // the early arrival and release 0 then 1.
+  bool first = true;
+  h.net.set_fault_hook([&first](const MessageMeta& m) {
+    FaultAction act;
+    if (m.tag == "m" && first) {
+      first = false;
+      act.extra_delay = 10'000;
+    }
+    return act;
+  });
+  std::vector<int> order;
+  h.rel.send(0, 1, 1, 16, "m", [&order] { order.push_back(0); });
+  h.rel.send(0, 1, 1, 16, "m", [&order] { order.push_back(1); });
+  h.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_GE(h.rel.stats().out_of_order, 1u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+}
+
+TEST(ReliableChannel, LostAcksCauseRetransmitThenDedup) {
+  Harness h;
+  // Kill the first four acks: the sender times out and retransmits packets
+  // the receiver already consumed; dedup + re-ack settle the flow.
+  int acks_to_drop = 4;
+  h.net.set_fault_hook([&acks_to_drop](const MessageMeta& m) {
+    FaultAction act;
+    if (m.tag == "rel-ack" && acks_to_drop > 0) {
+      --acks_to_drop;
+      act.drop = true;
+    }
+    return act;
+  });
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    h.rel.send(0, 1, 1, 16, "m", [&order, i] { order.push_back(i); });
+  }
+  h.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_GE(h.rel.stats().retransmits, 1u);
+  EXPECT_GE(h.rel.stats().dup_suppressed, 1u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+}
+
+TEST(ReliableChannel, RetransmitCapAbandonsAndCounts) {
+  sim::Scheduler sched;
+  const MeshTorus2D topo(2, 2);
+  Network net(sched, topo, LinkModel::paper());
+  ReliableConfig cfg;
+  cfg.max_retransmits = 3;  // keep the backoff walk short
+  ReliableChannel rel(net, cfg);
+  net.set_fault_hook([](const MessageMeta& m) {
+    FaultAction act;
+    act.drop = m.tag == "void";  // this flow is permanently dark
+    return act;
+  });
+  int delivered = 0;
+  rel.send(0, 1, 1, 16, "void", [&] { ++delivered; });
+  sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rel.stats().retransmits, 3u);
+  EXPECT_EQ(rel.stats().expirations, 1u);
+  // The abandoned packet stays visible — a stuck flow is diagnosable.
+  EXPECT_EQ(rel.in_flight(), 1u);
+}
+
+TEST(ReliableChannel, TraceDistinguishesRetransmitAndSuppression) {
+  Harness h;
+  int to_drop = 1;
+  h.net.set_fault_hook([&to_drop](const MessageMeta& m) {
+    FaultAction act;
+    // Drop the first transmission and duplicate the retransmission, so the
+    // run exercises both rexmit and dedup trace kinds.
+    if (m.tag == "m") {
+      if (to_drop > 0) {
+        --to_drop;
+        act.drop = true;
+      } else if (m.kind == DeliveryKind::kRetransmit) {
+        act.duplicates = 1;
+      }
+    }
+    return act;
+  });
+  std::vector<DeliveryKind> kinds;
+  h.net.set_trace_hook(
+      [&kinds](const MessageTrace& t) { kinds.push_back(t.kind); });
+  int delivered = 0;
+  h.rel.send(0, 1, 1, 16, "m", [&] { ++delivered; });
+  h.sched.run();
+  EXPECT_EQ(delivered, 1);
+  auto count = [&kinds](DeliveryKind k) {
+    std::size_t n = 0;
+    for (const auto kk : kinds) n += kk == k;
+    return n;
+  };
+  EXPECT_EQ(count(DeliveryKind::kInjectedDrop), 1u);
+  EXPECT_GE(count(DeliveryKind::kRetransmit), 1u);
+  EXPECT_GE(count(DeliveryKind::kDupSuppressed), 1u);
+}
+
+TEST(ReliableChannel, FlowsAreIndependentPerDirection) {
+  Harness h;
+  std::vector<std::string> order;
+  h.rel.send(0, 1, 1, 16, "fwd", [&order] { order.push_back("fwd"); });
+  h.rel.send(1, 0, 1, 16, "rev", [&order] { order.push_back("rev"); });
+  h.rel.send(2, 1, 1, 16, "other", [&order] { order.push_back("other"); });
+  h.sched.run();
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(h.rel.stats().data_packets, 3u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace optsync::net

@@ -112,6 +112,56 @@ TEST(SpanningTree, SingleMemberTree) {
   EXPECT_TRUE(tree.children(7).empty());
 }
 
+TEST(SpanningTree, SingleNodeTopology) {
+  // The degenerate network: one processor, no fiber at all.
+  const FullyConnected topo(1);
+  SpanningTree tree(topo, {0}, 0);
+  EXPECT_EQ(tree.root(), 0u);
+  EXPECT_EQ(tree.parent(0), 0u);
+  EXPECT_EQ(tree.depth(0), 0u);
+  EXPECT_EQ(tree.hops_to_root(0), 0u);
+  EXPECT_EQ(tree.radius_hops(), 0u);
+  EXPECT_TRUE(tree.children(0).empty());
+}
+
+TEST(SpanningTree, TwoNodeLine) {
+  // Ring(2) degenerates to a line with a doubled edge; the tree must use
+  // the single physical hop once, from either root.
+  const Ring topo(2);
+  for (const NodeId root : {NodeId{0}, NodeId{1}}) {
+    SpanningTree tree(topo, all_nodes(2), root);
+    const NodeId leaf = 1 - root;
+    EXPECT_EQ(tree.parent(leaf), root);
+    EXPECT_EQ(tree.edge_hops(leaf), 1u);
+    EXPECT_EQ(tree.depth(leaf), 1u);
+    EXPECT_EQ(tree.radius_hops(), 1u);
+    ASSERT_EQ(tree.children(root).size(), 1u);
+    EXPECT_EQ(tree.children(root)[0], leaf);
+  }
+}
+
+TEST(SpanningTree, PartitionedMemberSetBridgesViaRoot) {
+  // Members form two islands on the ring ({0,1} and {4,5}) with no member
+  // path between them: the far island cannot be reached by BFS over member
+  // edges, so each far node hangs off the root on a routed virtual link of
+  // full shortest-path length.
+  const Ring topo(8);
+  SpanningTree tree(topo, {0, 1, 4, 5}, 0);
+  EXPECT_EQ(tree.parent(1), 0u);
+  EXPECT_EQ(tree.edge_hops(1), 1u);
+  for (const NodeId far : {NodeId{4}, NodeId{5}}) {
+    EXPECT_EQ(tree.parent(far), 0u);
+    EXPECT_EQ(tree.depth(far), 1u);
+    EXPECT_EQ(tree.edge_hops(far), topo.hop_count(far, 0));
+    EXPECT_EQ(tree.hops_to_root(far), topo.hop_count(far, 0));
+  }
+  // Still a tree: n-1 edges counted through the children lists.
+  std::size_t edges = 0;
+  for (const NodeId m : tree.members()) edges += tree.children(m).size();
+  EXPECT_EQ(edges, tree.members().size() - 1);
+  EXPECT_EQ(tree.radius_hops(), topo.hop_count(4, 0));
+}
+
 TEST(SpanningTree, RandomSubsetsAlwaysValid) {
   const MeshTorus2D topo(6, 6);
   sim::Rng rng(99);

@@ -8,14 +8,28 @@
 //   optsync_sim counter   --cpus 16 [--method optimistic|regular|entry|tas]
 //                         [--think-ns 50000] [--increments 50]
 //                         [--threshold 0.30] [--seed 42] [--csv]
+//                         [fault flags]
 //   optsync_sim fig1      [--model gwc|entry|weak]
 //   optsync_sim fig7      [--nodes 8] [--near-ns 30000] [--far-ns 2000]
+//                         [fault flags]
+//
+// Fault flags (counter and fig7, GWC substrate only):
+//   --fault-drop P         drop probability on lock and data traffic
+//   --fault-seed N         fault-schedule seed (default 1)
+//   --partition A:B:S:E    link (A,B) dark during [S,E) ns; repeatable via
+//                          comma-separated windows
+// Any fault flag routes traffic through the reliable channel and appends a
+// fault/reliability report to the summary.
 //
 // Every command prints a human-readable summary, or one CSV row (with a
 // header) under --csv for scripting sweeps.
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "stats/metrics.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
 #include "workloads/counter.hpp"
@@ -39,6 +53,48 @@ void print_kv(const std::string& key, const std::string& value) {
   std::cout << "  " << key;
   for (std::size_t i = key.size(); i < 24; ++i) std::cout << ' ';
   std::cout << value << "\n";
+}
+
+/// Builds a FaultPlan from --fault-drop / --fault-seed / --partition.
+/// Returns false (with a message) on a malformed --partition spec.
+bool parse_fault_flags(const util::Flags& flags, faults::FaultPlan* plan) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  plan->reseed(seed);
+  const double drop = flags.get_double("fault-drop", 0.0);
+  if (drop < 0.0 || drop > 1.0) {
+    std::cerr << "--fault-drop must be in [0, 1]\n";
+    return false;
+  }
+  if (drop > 0.0) plan->drop(drop, "lock").drop(drop, "data");
+  // --partition A:B:S:E[,A:B:S:E...]
+  const std::string spec = flags.get("partition", "");
+  std::istringstream windows(spec);
+  std::string window;
+  while (std::getline(windows, window, ',')) {
+    std::istringstream fields(window);
+    std::string field;
+    std::vector<std::uint64_t> v;
+    while (std::getline(fields, field, ':')) {
+      try {
+        v.push_back(std::stoull(field));
+      } catch (const std::exception&) {
+        v.clear();
+        break;
+      }
+    }
+    if (v.size() != 4 || v[0] == v[1] || v[2] >= v[3]) {
+      std::cerr << "bad --partition window '" << window
+                << "' (want A:B:START:END with A != B, START < END)\n";
+      return false;
+    }
+    plan->partition_link(static_cast<net::NodeId>(v[0]),
+                         static_cast<net::NodeId>(v[1]), v[2], v[3]);
+  }
+  return true;
+}
+
+void print_fault_report(const stats::FaultReport& r) {
+  std::cout << "fault / reliability report\n" << stats::format_fault_report(r);
 }
 
 int run_taskqueue(const util::Flags& flags) {
@@ -148,11 +204,13 @@ int run_counter_cmd(const util::Flags& flags) {
   if (flags.has("help")) {
     std::cout << "counter flags: --cpus N --method optimistic|regular|entry|"
                  "tas\n  --think-ns N --increments N --threshold X --seed N "
-                 "--csv\n";
+                 "--csv\n  --fault-drop P --fault-seed N --partition "
+                 "A:B:START:END[,...]\n";
     return 0;
   }
   flags.allow_only({"cpus", "method", "think-ns", "increments", "threshold",
-                    "seed", "csv", "help"});
+                    "seed", "csv", "help", "fault-drop", "fault-seed",
+                    "partition"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
   const std::string method = flags.get("method", "optimistic");
 
@@ -163,6 +221,9 @@ int run_counter_cmd(const util::Flags& flags) {
       static_cast<std::uint32_t>(flags.get_int("increments", 50));
   p.history_threshold = flags.get_double("threshold", 0.30);
   p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  faults::FaultPlan plan;
+  if (!parse_fault_flags(flags, &plan)) return 2;
+  p.dsm.faults = plan;
   const auto topo = net::MeshTorus2D::near_square(cpus);
 
   workloads::CounterMethod m;
@@ -203,6 +264,7 @@ int run_counter_cmd(const util::Flags& flags) {
   print_kv("messages", std::to_string(res.messages));
   print_kv("rollbacks", std::to_string(res.rollbacks));
   print_kv("speculations", std::to_string(res.optimistic_attempts));
+  if (!plan.empty()) print_fault_report(res.faults);
   return 0;
 }
 
@@ -235,22 +297,29 @@ int run_fig1_cmd(const util::Flags& flags) {
 
 int run_fig7_cmd(const util::Flags& flags) {
   if (flags.has("help")) {
-    std::cout << "fig7 flags: --nodes N --near-ns N --far-ns N\n";
+    std::cout << "fig7 flags: --nodes N --near-ns N --far-ns N\n"
+                 "  --fault-drop P --fault-seed N --partition "
+                 "A:B:START:END[,...]\n";
     return 0;
   }
-  flags.allow_only({"nodes", "near-ns", "far-ns", "help"});
+  flags.allow_only({"nodes", "near-ns", "far-ns", "help", "fault-drop",
+                    "fault-seed", "partition"});
   workloads::Fig7Params p;
   p.nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
   p.near_section_ns =
       static_cast<sim::Duration>(flags.get_int("near-ns", 30'000));
   p.far_section_ns =
       static_cast<sim::Duration>(flags.get_int("far-ns", 2'000));
+  faults::FaultPlan plan;
+  if (!parse_fault_flags(flags, &plan)) return 2;
+  p.dsm.faults = plan;
   const auto res = run_scenario_fig7(p);
   std::cout << res.trace;
   print_kv("final a", std::to_string(res.final_a) + " (expected " +
                           std::to_string(res.expected_a) + ")");
   print_kv("rollbacks", std::to_string(res.rollbacks));
   print_kv("root drops", std::to_string(res.speculative_drops));
+  if (!plan.empty()) print_fault_report(res.faults);
   return res.final_a == res.expected_a ? 0 : 1;
 }
 
