@@ -8,6 +8,7 @@
 // when the lock is usually free.
 #include <iostream>
 
+#include "bench_metrics.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
 #include "workloads/counter.hpp"
@@ -17,7 +18,9 @@ int main(int argc, char** argv) try {
   using workloads::CounterMethod;
 
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed"});
+  flags.allow_only({"seed", "metrics-out"});
+  benchio::MetricsOut metrics("ablation_contention",
+                              flags.get("metrics-out"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   const auto topo = net::MeshTorus2D::near_square(16);
@@ -63,11 +66,24 @@ int main(int argc, char** argv) try {
                          static_cast<sim::Time>(res.avg_sync_overhead_ns)),
                      std::to_string(res.messages),
                      std::to_string(res.rollbacks), notes});
+      metrics
+          .row("think=" + std::to_string(think) + "," + std::string(row.name))
+          .set("sections_per_ms", res.sections_per_ms)
+          .set("sync_overhead_ns", res.avg_sync_overhead_ns)
+          .set("messages", static_cast<double>(res.messages))
+          .set("rollbacks", static_cast<double>(res.rollbacks));
+      if (row.method == CounterMethod::kOptimisticGwc ||
+          row.method == CounterMethod::kRegularGwc) {
+        auto ls = res.lock_stats;
+        ls.name = std::string("ctr.lock/") + row.name +
+                  "/think=" + std::to_string(think);
+        metrics.lock(ls);
+      }
     }
     table.print(std::cout);
     std::cout << "\n";
   }
-  return 0;
+  return metrics.write() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

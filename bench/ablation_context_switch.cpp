@@ -9,6 +9,7 @@
 // speculation) keeps them equal.
 #include <iostream>
 
+#include "bench_metrics.hpp"
 #include "core/optimistic_mutex.hpp"
 #include "dsm/system.hpp"
 #include "simkern/random.hpp"
@@ -23,6 +24,7 @@ struct RunResult {
   double avg_overhead_ns = 0;  ///< (request..release) - body, per section
   std::uint64_t swaps = 0;
   std::uint64_t speculations = 0;
+  stats::LockStats lock_stats;
 };
 
 RunResult run(bool optimistic, sim::Duration swap_ns,
@@ -40,9 +42,12 @@ RunResult run(bool optimistic, sim::Duration swap_ns,
   const auto lock = sys.define_lock("L", g);
   const auto a = sys.define_mutex_data("a", g, lock, 0);
 
+  stats::LockStats lstats;
+  lstats.name = optimistic ? "L/optimistic" : "L/regular";
   core::OptimisticMutex::Config cfg;
   cfg.enable_optimistic = optimistic;
   cfg.context_switch_ns = swap_ns;
+  cfg.lock_stats = &lstats;
   core::OptimisticMutex mux(sys, lock, cfg);
 
   sim::Duration total_overhead = 0;
@@ -80,11 +85,13 @@ RunResult run(bool optimistic, sim::Duration swap_ns,
                         (static_cast<double>(kNodes) * kSections);
   res.swaps = mux.stats().context_switches;
   res.speculations = mux.stats().optimistic_attempts;
+  lstats.root_speculative_drops = sys.root_of(g).stats().speculative_drops;
+  res.lock_stats = std::move(lstats);
   return res;
 }
 
-void sweep(const char* label, sim::Duration think_mean_ns,
-           std::uint64_t seed) {
+void sweep(const char* label, sim::Duration think_mean_ns, std::uint64_t seed,
+           benchio::MetricsOut& metrics) {
   std::cout << "--- " << label << " (mean think "
             << sim::format_time(think_mean_ns) << ") ---\n";
   stats::Table table({"swap cost", "opt overhead/section",
@@ -101,6 +108,22 @@ void sweep(const char* label, sim::Duration think_mean_ns,
                            std::max(opt.avg_overhead_ns, 1.0)),
          std::to_string(opt.swaps), std::to_string(reg.swaps),
          std::to_string(opt.speculations)});
+    metrics
+        .row(std::string(label) + ",swap=" + std::to_string(swap))
+        .set("opt_overhead_ns", opt.avg_overhead_ns)
+        .set("reg_overhead_ns", reg.avg_overhead_ns)
+        .set("opt_swaps", static_cast<double>(opt.swaps))
+        .set("reg_swaps", static_cast<double>(reg.swaps))
+        .set("speculations", static_cast<double>(opt.speculations))
+        .set("rollbacks", static_cast<double>(opt.lock_stats.rollbacks));
+    if (swap == 20'000ull) {
+      auto opt_ls = opt.lock_stats;
+      opt_ls.name = "L/optimistic/" + std::string(label);
+      metrics.lock(opt_ls);
+      auto reg_ls = reg.lock_stats;
+      reg_ls.name = "L/regular/" + std::string(label);
+      metrics.lock(reg_ls);
+    }
   }
   table.print(std::cout);
   std::cout << "\n";
@@ -110,17 +133,19 @@ void sweep(const char* label, sim::Duration think_mean_ns,
 
 int main(int argc, char** argv) try {
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed"});
+  flags.allow_only({"seed", "metrics-out"});
+  benchio::MetricsOut metrics("ablation_context_switch",
+                              flags.get("metrics-out"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
   std::cout << "Ablation: context-swap cost (64 CPUs, 4us sections)\n\n";
-  sweep("light contention", 4'000'000, seed);   // lock ~2% utilized
-  sweep("heavy contention", 100'000, seed);     // lock oversubscribed
+  sweep("light contention", 4'000'000, seed, metrics);  // lock ~2% utilized
+  sweep("heavy contention", 100'000, seed, metrics);    // lock oversubscribed
   std::cout << "Light contention: speculation hides the grant entirely, so\n"
                "the optimistic protocol pays neither the wait nor the swap.\n"
                "Heavy contention: the usage history disables speculation and\n"
                "both protocols queue (and swap) identically — optimism never\n"
                "hurts.\n";
-  return 0;
+  return metrics.write() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

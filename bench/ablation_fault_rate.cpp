@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "stats/metrics.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
@@ -24,7 +25,9 @@
 int main(int argc, char** argv) try {
   using namespace optsync;
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed", "nodes", "incr", "think", "csv"});
+  flags.allow_only({"seed", "nodes", "incr", "think", "csv", "metrics-out"});
+  benchio::MetricsOut metrics("ablation_fault_rate",
+                              flags.get("metrics-out"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 16));
   const auto incr = static_cast<std::uint32_t>(flags.get_int("incr", 30));
@@ -71,6 +74,23 @@ int main(int argc, char** argv) try {
                   << " != " << res.expected_count << "\n";
         return 1;
       }
+      metrics
+          .row(std::string(name) + ",drop=" + stats::Table::num(drop))
+          .set("sections_per_ms", res.sections_per_ms)
+          .set("sync_overhead_ns", res.avg_sync_overhead_ns)
+          .set("messages", static_cast<double>(res.messages))
+          .set("rollbacks", static_cast<double>(res.rollbacks))
+          .set("drops_injected", static_cast<double>(res.faults.drops_injected))
+          .set("retransmits", static_cast<double>(res.faults.retransmits))
+          .set("expired_acked", static_cast<double>(res.faults.expired_acked))
+          .set("revivals", static_cast<double>(res.faults.revivals))
+          .set("max_delivery_delay_ns",
+               static_cast<double>(res.faults.max_delivery_delay_ns));
+      if (drop == drop_rates[4]) {
+        auto ls = res.lock_stats;
+        ls.name = "ctr.lock/" + std::string(name) + "/drop=0.10";
+        metrics.lock(ls);
+      }
       if (csv) {
         std::cout << drop << "," << name << "," << res.sections_per_ms << ","
                   << res.avg_sync_overhead_ns << "," << res.messages << ","
@@ -92,7 +112,7 @@ int main(int argc, char** argv) try {
       std::cout << "\n";
     }
   }
-  return 0;
+  return metrics.write() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

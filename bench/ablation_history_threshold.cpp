@@ -9,6 +9,7 @@
 // "always speculate" (threshold >= 1, rollback storms under contention).
 #include <iostream>
 
+#include "bench_metrics.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
 #include "workloads/counter.hpp"
@@ -17,7 +18,9 @@ int main(int argc, char** argv) try {
   using namespace optsync;
 
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed"});
+  flags.allow_only({"seed", "metrics-out"});
+  benchio::MetricsOut metrics("ablation_history_threshold",
+                              flags.get("metrics-out"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
 
   const auto topo = net::MeshTorus2D::near_square(16);
@@ -56,6 +59,21 @@ int main(int argc, char** argv) try {
                      std::to_string(res.regular_paths),
                      sim::format_time(static_cast<sim::Time>(
                          res.avg_sync_overhead_ns))});
+      metrics
+          .row("think=" + std::to_string(think) +
+               ",threshold=" + stats::Table::num(th))
+          .set("sections_per_ms", res.sections_per_ms)
+          .set("optimistic_attempts",
+               static_cast<double>(res.optimistic_attempts))
+          .set("optimistic_successes",
+               static_cast<double>(res.optimistic_successes))
+          .set("rollbacks", static_cast<double>(res.rollbacks))
+          .set("regular_paths", static_cast<double>(res.regular_paths))
+          .set("sync_overhead_ns", res.avg_sync_overhead_ns);
+      auto ls = res.lock_stats;
+      ls.name = "ctr.lock/think=" + std::to_string(think) +
+                ",threshold=" + stats::Table::num(th);
+      metrics.lock(ls);
     }
     table.print(std::cout);
     std::cout << "\n";
@@ -64,7 +82,7 @@ int main(int argc, char** argv) try {
   std::cout << "paper: example threshold 0.30 with decay 0.95; heavily\n"
                "contended locks fall back to regular requests, adding zero\n"
                "extra traffic.\n";
-  return 0;
+  return metrics.write() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

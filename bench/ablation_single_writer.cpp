@@ -17,10 +17,12 @@
 #include <memory>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/optimistic_mutex.hpp"
 #include "core/publication.hpp"
 #include "dsm/system.hpp"
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 
 using namespace optsync;
 
@@ -34,6 +36,7 @@ struct Outcome {
   sim::Time elapsed = 0;
   std::uint64_t messages = 0;
   bool torn_free = true;
+  stats::LockStats lock_stats;  ///< mutex variants only
 };
 
 enum class Variant { kPublication, kOptimisticMutex, kRegularMutex };
@@ -85,8 +88,12 @@ Outcome run(Variant variant) {
     fields.push_back(
         sys.define_mutex_data("f" + std::to_string(i), g, lock, 0));
   }
+  stats::LockStats lstats;
+  lstats.name =
+      variant == Variant::kOptimisticMutex ? "L/optimistic" : "L/regular";
   core::OptimisticMutex::Config cfg;
   cfg.enable_optimistic = variant == Variant::kOptimisticMutex;
+  cfg.lock_stats = &lstats;
   core::OptimisticMutex mux(sys, lock, cfg);
 
   auto writer = [&]() -> sim::Process {
@@ -126,12 +133,18 @@ Outcome run(Variant variant) {
   for (auto& p : procs) p.rethrow_if_failed();
   out.elapsed = sched.now();
   out.messages = sys.network().stats().messages;
+  lstats.root_speculative_drops = sys.root_of(g).stats().speculative_drops;
+  out.lock_stats = std::move(lstats);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  const util::Flags flags(argc, argv);
+  flags.allow_only({"metrics-out"});
+  benchio::MetricsOut metrics("ablation_single_writer",
+                              flags.get("metrics-out"));
   std::cout << "Ablation: single-writer publication vs locking (§2)\n"
             << "(" << kNodes << " CPUs, 1 writer, " << kRounds
             << " updates of a 4-field record, readers every round)\n\n";
@@ -155,5 +168,25 @@ int main() {
                " run finishes ~12% sooner — and the\nversion bracket makes"
                " torn reads structurally impossible rather than\nmerely"
                " unobserved.\n";
+
+  metrics.row("publication")
+      .set("elapsed_ns", static_cast<double>(pub.elapsed))
+      .set("messages", static_cast<double>(pub.messages))
+      .set("torn_free", pub.torn_free ? 1.0 : 0.0);
+  metrics.row("optimistic_mutex")
+      .set("elapsed_ns", static_cast<double>(opt.elapsed))
+      .set("messages", static_cast<double>(opt.messages))
+      .set("rollbacks", static_cast<double>(opt.lock_stats.rollbacks));
+  metrics.row("regular_mutex")
+      .set("elapsed_ns", static_cast<double>(reg.elapsed))
+      .set("messages", static_cast<double>(reg.messages))
+      .set("rollbacks", static_cast<double>(reg.lock_stats.rollbacks));
+  metrics.lock(opt.lock_stats);
+  metrics.lock(reg.lock_stats);
+  if (!metrics.write()) return 1;
   return pub.torn_free ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -1,0 +1,104 @@
+// Shared --metrics-out support for the figure/ablation benches.
+//
+// Every bench main accepts `--metrics-out PATH` and, when given, writes one
+// JSON document describing the run (schema "optsync-bench/1", documented in
+// EXPERIMENTS.md):
+//
+//   {
+//     "schema": "optsync-bench/1",
+//     "bench": "<executable name>",
+//     "rows": [ {"label": "...", "<metric>": <number>, ...}, ... ],
+//     "locks": [ <stats::LockStats JSON>, ... ]
+//   }
+//
+// "rows" mirrors the human-readable table the bench prints (one object per
+// table row, metric names as keys); "locks" carries the per-lock flight
+// records (acquire/hold percentiles, speculation outcomes) where the bench
+// exercises the GWC lock protocol.
+//
+// Header-only on purpose: benches are standalone executables and this keeps
+// the CMake wiring untouched.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/json.hpp"
+#include "stats/lock_stats.hpp"
+
+namespace optsync::benchio {
+
+class MetricsOut {
+ public:
+  MetricsOut(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  /// False when no --metrics-out was requested; rows may still be added
+  /// (cheap), they are simply never written.
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+    Row& set(std::string key, double v) {
+      metrics.emplace_back(std::move(key), v);
+      return *this;
+    }
+  };
+
+  /// Starts a new row; chain `.set("metric", value)` calls on the result.
+  Row& row(std::string label) {
+    rows_.emplace_back();
+    rows_.back().label = std::move(label);
+    return rows_.back();
+  }
+
+  /// Records a per-lock flight record (copied; call after the run finishes).
+  void lock(const stats::LockStats& ls) { locks_.push_back(ls); }
+
+  /// Writes the document. Returns false (and reports on stderr) on I/O
+  /// failure so mains can propagate a nonzero exit code.
+  [[nodiscard]] bool write() const {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "error: cannot open --metrics-out file: " << path_ << "\n";
+      return false;
+    }
+    stats::JsonWriter w(out, /*pretty=*/true);
+    w.begin_object();
+    w.value("schema", "optsync-bench/1");
+    w.value("bench", bench_);
+    w.begin_array("rows");
+    for (const auto& r : rows_) {
+      w.begin_object();
+      w.value("label", r.label);
+      for (const auto& [key, v] : r.metrics) w.value(key, v);
+      w.end_object();
+    }
+    w.end_array();
+    w.begin_array("locks");
+    for (const auto& ls : locks_) ls.write_json(w);
+    w.end_array();
+    w.end_object();
+    out << "\n";
+    if (!out) {
+      std::cerr << "error: failed writing --metrics-out file: " << path_
+                << "\n";
+      return false;
+    }
+    std::cerr << "metrics written to " << path_ << "\n";
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+  std::vector<stats::LockStats> locks_;
+};
+
+}  // namespace optsync::benchio

@@ -9,12 +9,19 @@
 // need three one-way messages.
 #include <iostream>
 
+#include "bench_metrics.hpp"
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 #include "workloads/scenario_fig1.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace optsync;
   using workloads::Fig1Model;
+
+  const util::Flags flags(argc, argv);
+  flags.allow_only({"metrics-out"});
+  benchio::MetricsOut metrics("fig1_locking_comparison",
+                              flags.get("metrics-out"));
 
   std::cout << "Figure 1: locking comparison (3 CPUs, one lock; CPU1 and\n"
                "CPU3 request early, CPU2 — the root/manager — later)\n\n";
@@ -38,10 +45,16 @@ int main() {
                    std::to_string(res.grant_order[0]) + "," +
                        std::to_string(res.grant_order[1]) + "," +
                        std::to_string(res.grant_order[2])});
+    metrics.row(std::string(workloads::fig1_model_name(model)))
+        .set("total_ns", static_cast<double>(res.total_ns))
+        .set("idle_cpu1_ns", static_cast<double>(res.idle_ns[0]))
+        .set("idle_cpu2_ns", static_cast<double>(res.idle_ns[1]))
+        .set("idle_cpu3_ns", static_cast<double>(res.idle_ns[2]))
+        .set("total_idle_ns", static_cast<double>(total_idle));
   }
 
   table.print(std::cout);
   std::cout << "\npaper: same time scale in all three parts shows GWC better"
                " than entry,\nweak, or release consistency for this example.\n";
-  return 0;
+  return metrics.write() ? 0 : 1;
 }

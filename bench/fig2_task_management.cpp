@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
 #include "workloads/task_queue.hpp"
@@ -22,7 +23,9 @@ int main(int argc, char** argv) try {
   // reproduces the figure's full x-axis. --seed varies the consumers'
   // polling jitter.
   util::Flags flags(argc, argv);
-  flags.allow_only({"quick", "seed"});
+  flags.allow_only({"quick", "seed", "metrics-out"});
+  benchio::MetricsOut metrics("fig2_task_management",
+                              flags.get("metrics-out"));
   const bool quick = flags.get_bool("quick");
   std::vector<std::size_t> sizes = {3, 5, 9, 17, 33, 65, 129};
   if (!quick) sizes.push_back(257);
@@ -68,6 +71,12 @@ int main(int argc, char** argv) try {
                                      std::max(entry.network_power, 1e-9)),
                    std::to_string(gwc.messages), std::to_string(entry.messages),
                    std::to_string(entry.demand_fetches)});
+    metrics.row("cpus=" + std::to_string(n))
+        .set("ideal_power", ideal.network_power)
+        .set("gwc_power", gwc.network_power)
+        .set("entry_power", entry.network_power)
+        .set("gwc_messages", static_cast<double>(gwc.messages))
+        .set("entry_messages", static_cast<double>(entry.messages));
   }
 
   table.print(std::cout);
@@ -76,7 +85,7 @@ int main(int argc, char** argv) try {
             << " @ " << peak_entry_n << " CPUs; ratio "
             << stats::Table::num(peak_gwc / std::max(peak_entry, 1e-9)) << "\n";
   std::cout << "paper:  GWC 84.1 @ 129; entry 22.5 @ 33; ratio 3.7\n";
-  return 0;
+  return metrics.write() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

@@ -5,14 +5,27 @@
 // race to the root. The trace shows: both lock requests, the near grant, the
 // far node's interrupt + rollback, the root silently dropping the stale
 // speculative update, and the final correct update after the queued grant.
+#include <fstream>
 #include <iostream>
 
+#include "bench_metrics.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/recorder.hpp"
+#include "util/flags.hpp"
 #include "workloads/scenario_fig7.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace optsync;
 
+  const util::Flags flags(argc, argv);
+  flags.allow_only({"metrics-out", "trace-out"});
+  benchio::MetricsOut metrics("fig7_rollback_trace",
+                              flags.get("metrics-out"));
+  const std::string trace_out = flags.get("trace-out");
+
+  trace::Recorder recorder;
   workloads::Fig7Params params;
+  if (!trace_out.empty()) params.dsm.recorder = &recorder;
   const auto res = workloads::run_scenario_fig7(params);
 
   std::cout << "Figure 7: the most complex rollback interaction\n\n"
@@ -35,11 +48,34 @@ int main() {
             << "  elapsed                 = " << sim::format_time(res.elapsed)
             << "\n";
 
-  const bool ok = res.final_a == res.expected_a && res.rollbacks == 1 &&
-                  res.speculative_drops >= 1 && res.far_used_optimistic;
+  bool ok = res.final_a == res.expected_a && res.rollbacks == 1 &&
+            res.speculative_drops >= 1 && res.far_used_optimistic;
   std::cout << "\n" << (ok ? "PASS" : "FAIL")
             << ": wrong-speculation is rolled back, the speculative write is"
                " suppressed at the root,\nand the retried section produces"
                " the same state a non-optimistic execution would.\n";
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "error: cannot open --trace-out file: " << trace_out
+                << "\n";
+      ok = false;
+    } else {
+      trace::write_chrome_trace(out, recorder);
+      std::cout << "trace written to " << trace_out << " ("
+                << recorder.size() << " events; load in Perfetto or"
+                << " chrome://tracing)\n";
+    }
+  }
+
+  metrics.row("fig7")
+      .set("final_a", static_cast<double>(res.final_a))
+      .set("rollbacks", static_cast<double>(res.rollbacks))
+      .set("speculative_drops", static_cast<double>(res.speculative_drops))
+      .set("echoes_dropped", static_cast<double>(res.echoes_dropped))
+      .set("elapsed_ns", static_cast<double>(res.elapsed));
+  metrics.lock(res.lock_stats);
+  if (!metrics.write()) ok = false;
   return ok ? 0 : 1;
 }

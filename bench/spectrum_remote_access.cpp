@@ -18,10 +18,12 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "dsm/demand_fetch.hpp"
 #include "dsm/system.hpp"
 #include "simkern/coro.hpp"
 #include "stats/table.hpp"
+#include "util/flags.hpp"
 
 using namespace optsync;
 
@@ -130,7 +132,11 @@ Result run_eager(std::size_t n, int reads_per_round) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  const util::Flags flags(argc, argv);
+  flags.allow_only({"metrics-out"});
+  benchio::MetricsOut metrics("spectrum_remote_access",
+                              flags.get("metrics-out"));
   std::cout << "Remote-access spectrum (§1.1): demand fetch vs eagersharing\n"
             << "(1 producer updating every " << sim::format_time(kGap)
             << ", " << kRounds << " rounds)\n\n";
@@ -145,6 +151,11 @@ int main() {
                  sim::format_time(static_cast<sim::Time>(d.avg_read_stall_ns)),
                  sim::format_time(static_cast<sim::Time>(e.avg_read_stall_ns)),
                  std::to_string(d.messages), std::to_string(e.messages)});
+    metrics.row("reader-heavy,cpus=" + std::to_string(n))
+        .set("demand_read_stall_ns", d.avg_read_stall_ns)
+        .set("eager_read_stall_ns", e.avg_read_stall_ns)
+        .set("demand_messages", static_cast<double>(d.messages))
+        .set("eager_messages", static_cast<double>(e.messages));
   }
   hot.print(std::cout);
 
@@ -156,6 +167,9 @@ int main() {
     const auto e = run_eager(n, 0);   // eagersharing still multicasts all
     cold.add_row({std::to_string(n), std::to_string(d.messages),
                   std::to_string(e.messages)});
+    metrics.row("write-mostly,cpus=" + std::to_string(n))
+        .set("demand_messages", static_cast<double>(d.messages))
+        .set("eager_messages", static_cast<double>(e.messages));
   }
   cold.print(std::cout);
 
@@ -163,5 +177,9 @@ int main() {
                " read stalls)\nat the price of multicast traffic; demand"
                " fetch minimizes traffic but stalls\nevery post-update read"
                " — and the stalls grow with machine size.\n";
-  return 0;
+  return metrics.write() ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -36,6 +36,21 @@ bool OptimisticMutex::in_section(NodeId n) const {
   return it != states_.end() && it->second.in_section;
 }
 
+void OptimisticMutex::emit(NodeId n, trace::EventKind kind, Word value) {
+  auto* rec = sys_->recorder();
+  if (rec == nullptr) return;
+  trace::Event e;
+  e.t = sys_->scheduler().now();
+  e.kind = kind;
+  e.node = n;
+  e.group = sys_->var(lock_).group;
+  e.var = lock_;
+  e.value = value;
+  e.origin = n;
+  e.label = "lock";
+  rec->record(e);
+}
+
 // Interrupt code (paper Fig. 5). Invoked by the sharing interface when an
 // armed lock change arrives; insharing is already suspended. Runs the
 // decision logic; actual rollback work (which takes simulated time) is
@@ -118,6 +133,7 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
 
   // Lines 03-04: atomically save the old local value and request the lock.
   const Word old_val = node.atomic_exchange(lock_, lock_request_value(n));
+  emit(n, trace::EventKind::kLockRequest, lock_request_value(n));
 
   // Line 05: update usage frequency history from the observed local state.
   const bool was_busy = lock_held(old_val) && dsm::lock_holder(old_val) != n;
@@ -133,10 +149,22 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
   const bool indicates_usage =
       was_busy || old_val != kLockFree ||
       st.history.indicates_usage(cfg_.history_threshold);
+  // Did the EWMA estimate alone veto speculation? (Local evidence — a held
+  // or in-flight lock word — would have forced the regular path anyway.)
+  const bool history_veto =
+      cfg_.enable_optimistic && !was_busy && old_val == kLockFree &&
+      st.history.indicates_usage(cfg_.history_threshold);
+
+  sim::Time acquired_at = 0;  // ownership confirmed (grant observed locally)
 
   if (!cfg_.enable_optimistic || indicates_usage) {
     // ---- Regular path (lines 08-12) ----------------------------------
     ++stats_.regular_paths;
+    if (history_veto) {
+      ++stats_.history_vetoes;
+      if (cfg_.lock_stats != nullptr) ++cfg_.lock_stats->history_vetoes;
+      emit(n, trace::EventKind::kHistoryVeto, old_val);
+    }
     // Line 08. No interrupt can have fired yet: arming and this branch run
     // within one scheduler event, so disarming is race-free.
     node.disarm_interrupt(lock_);
@@ -151,11 +179,18 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
       ++stats_.context_switches;
       co_await sim::delay(sched, 2 * cfg_.context_switch_ns);
     }
+    acquired_at = sched.now();
+    emit(n, trace::EventKind::kLockAcquire, lock_grant_value(n));
     co_await section.body(node).join();  // lines 11-12
   } else {
     // ---- Optimistic path (lines 14-19) --------------------------------
     ++stats_.optimistic_attempts;
     local_stats.used_optimistic = true;
+    if (cfg_.lock_stats != nullptr) {
+      ++cfg_.lock_stats->speculative_attempts;
+      ++cfg_.lock_stats->history_allows;
+    }
+    emit(n, trace::EventKind::kSpeculateBegin, old_val);
 
     // Lines 14-15: save every variable the section will change.
     st.journal.snapshot(node, section.shared_writes);
@@ -189,6 +224,8 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
         st.rolled_back = true;
         ++stats_.rollbacks;
         local_stats.rolled_back = true;
+        if (cfg_.lock_stats != nullptr) ++cfg_.lock_stats->rollbacks;
+        emit(n, trace::EventKind::kRollback, node.read(lock_));
         node.resume_insharing();  // line 25
         continue;                 // line 26: back to the wait loop
       }
@@ -200,14 +237,19 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
       ++stats_.context_switches;
       co_await sim::delay(sched, 2 * cfg_.context_switch_ns);
     }
+    acquired_at = sched.now();
 
     if (st.rolled_back) {
       // The speculation was undone; run the section for real now that the
       // lock is held and every local shared value is valid (GWC ordering:
       // all of the previous holder's writes preceded our grant).
+      emit(n, trace::EventKind::kLockAcquire, lock_grant_value(n));
       co_await section.body(node).join();
     } else {
       ++stats_.optimistic_successes;
+      if (cfg_.lock_stats != nullptr) ++cfg_.lock_stats->speculative_commits;
+      emit(n, trace::EventKind::kSpeculateCommit, lock_grant_value(n));
+      emit(n, trace::EventKind::kLockAcquire, lock_grant_value(n));
       st.journal.discard();
       st.variables_saved = false;
     }
@@ -217,8 +259,15 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
   // writes through the root, so every member sees data-before-release.
   node.disarm_interrupt(lock_);
   node.write(lock_, kLockFree);
+  emit(n, trace::EventKind::kLockRelease, kLockFree);
   st.in_section = false;
   local_stats.finished_at = sched.now();
+  if (cfg_.lock_stats != nullptr) {
+    ++cfg_.lock_stats->acquisitions;
+    cfg_.lock_stats->acquire_ns.record(acquired_at -
+                                       local_stats.requested_at);
+    cfg_.lock_stats->hold_ns.record(sched.now() - acquired_at);
+  }
   if (out != nullptr) *out = local_stats;
 }
 

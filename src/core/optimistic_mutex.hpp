@@ -26,6 +26,8 @@
 #include "core/usage_history.hpp"
 #include "dsm/system.hpp"
 #include "simkern/coro.hpp"
+#include "stats/lock_stats.hpp"
+#include "trace/recorder.hpp"
 
 namespace optsync::core {
 
@@ -79,6 +81,11 @@ class OptimisticMutex {
     /// if the grant still has not arrived it swaps out and pays 2x this on
     /// top of the wait (spin-then-swap). 0 models pure busy-waiting.
     sim::Duration context_switch_ns = 0;
+
+    /// Optional per-lock metrics record, shared by every node using this
+    /// mutex (acquire/hold latencies, speculation outcomes, history-gate
+    /// decisions). Not owned; nullptr disables collection.
+    stats::LockStats* lock_stats = nullptr;
   };
 
   /// `lock` must be a lock variable defined in `sys`.
@@ -112,6 +119,8 @@ class OptimisticMutex {
     std::uint64_t rollbacks = 0;
     std::uint64_t regular_paths = 0;
     std::uint64_t context_switches = 0;  ///< blocking episodes that swapped
+    std::uint64_t history_vetoes = 0;    ///< regular paths forced purely by
+                                         ///< the EWMA history estimate
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -132,6 +141,7 @@ class OptimisticMutex {
   NodeState& state(dsm::NodeId n);
   void on_lock_interrupt(dsm::NodeId n, dsm::Word value);
   sim::Process execute_impl(dsm::NodeId n, Section section, ExecuteStats* out);
+  void emit(dsm::NodeId n, trace::EventKind kind, dsm::Word value);
 
   dsm::DsmSystem* sys_;
   dsm::VarId lock_;

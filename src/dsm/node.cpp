@@ -3,6 +3,7 @@
 #include "dsm/system.hpp"
 #include "simkern/assert.hpp"
 #include "simkern/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace optsync::dsm {
 
@@ -109,6 +110,19 @@ void DsmNode::apply(const Pending& p) {
   const VarInfo& info = sys_->var(p.var);
   if (hw_blocking_ && p.origin == id_ && info.kind == VarKind::kMutexData) {
     ++stats_.echoes_dropped;
+    if (auto* rec = sys_->recorder()) {
+      trace::Event e;
+      e.t = sys_->scheduler().now();
+      e.kind = trace::EventKind::kEchoDrop;
+      e.node = id_;
+      e.group = p.group;
+      e.var = p.var;
+      e.seq = p.seq;
+      e.value = p.value;
+      e.origin = p.origin;
+      e.label = var_kind_name(info.kind);
+      rec->record(e);
+    }
     return;
   }
 
@@ -120,6 +134,19 @@ void DsmNode::apply(const Pending& p) {
   ensure_capacity(p.var);
   memory_[p.var] = p.value;
   ++stats_.updates_applied;
+  if (auto* rec = sys_->recorder()) {
+    trace::Event e;
+    e.t = sys_->scheduler().now();
+    e.kind = trace::EventKind::kNodeApply;
+    e.node = id_;
+    e.group = p.group;
+    e.var = p.var;
+    e.seq = p.seq;
+    e.value = p.value;
+    e.origin = p.origin;
+    e.label = var_kind_name(info.kind);
+    rec->record(e);
+  }
   if (log_applied_) {
     applied_[p.group].push_back(
         AppliedUpdate{p.seq, p.var, p.value, p.origin});

@@ -5,6 +5,7 @@
 #include "dsm/system.hpp"
 #include "simkern/assert.hpp"
 #include "simkern/log.hpp"
+#include "trace/recorder.hpp"
 
 namespace optsync::dsm {
 
@@ -34,6 +35,18 @@ void GroupRoot::on_arrival(NodeId origin, VarId v, Word value) {
           ++stats_.speculative_drops;
           sim::log_debug("root g", gid_, " drops speculative write of ",
                          info.name, "=", value, " from n", origin);
+          if (auto* rec = sys_->recorder()) {
+            trace::Event e;
+            e.t = sys_->scheduler().now();
+            e.kind = trace::EventKind::kRootDropSpec;
+            e.node = sys_->group(gid_).root();
+            e.group = gid_;
+            e.var = v;
+            e.value = value;
+            e.origin = origin;
+            e.label = var_kind_name(info.kind);
+            rec->record(e);
+          }
           return;
         }
       }
@@ -88,6 +101,19 @@ void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value) {
 void GroupRoot::multicast(VarId v, Word value, NodeId origin) {
   const std::uint64_t seq = next_seq_++;
   ++stats_.sequenced;
+  if (auto* rec = sys_->recorder()) {
+    trace::Event e;
+    e.t = sys_->scheduler().now();
+    e.kind = trace::EventKind::kRootSequence;
+    e.node = sys_->group(gid_).root();
+    e.group = gid_;
+    e.var = v;
+    e.seq = seq;
+    e.value = value;
+    e.origin = origin;
+    e.label = var_kind_name(sys_->var(v).kind);
+    rec->record(e);
+  }
   sys_->multicast(gid_, seq, v, value, origin);
 }
 

@@ -1,6 +1,7 @@
 #include "dsm/system.hpp"
 
 #include "simkern/assert.hpp"
+#include "trace/recorder.hpp"
 
 namespace optsync::dsm {
 
@@ -18,6 +19,23 @@ DsmSystem::DsmSystem(sim::Scheduler& sched, const net::Topology& topo,
   reliable_on_ = config_.reliable.enabled || !config_.faults.empty();
   if (!config_.faults.empty()) {
     injector_.emplace(net_, config_.faults);
+  }
+  if (config_.recorder != nullptr) {
+    // Tap every network delivery (and reliable-channel outcome: expiry,
+    // revival, dedup all flow through emit_trace) into the recorder. An
+    // observer, not the primary hook, so tests' own hooks coexist.
+    net_.add_trace_observer([rec = config_.recorder](
+                                const net::MessageTrace& t) {
+      trace::Event e;
+      e.t = t.delivered_at;
+      e.kind = trace::EventKind::kNetDeliver;
+      e.node = t.dst;
+      e.origin = t.src;
+      e.value = static_cast<std::int64_t>(t.bytes);
+      e.seq = static_cast<std::uint64_t>(t.kind);  // DeliveryKind ordinal
+      e.label = t.tag;
+      rec->record(e);
+    });
   }
   nodes_.reserve(topo.size());
   for (NodeId i = 0; i < topo.size(); ++i) {

@@ -83,6 +83,9 @@ class DsmSystem {
     return injector_ ? &*injector_ : nullptr;
   }
 
+  /// The attached flight recorder, or nullptr (from DsmConfig::recorder).
+  [[nodiscard]] trace::Recorder* recorder() const { return config_.recorder; }
+
   // --- substrate internals (used by DsmNode / GroupRoot) -----------------
   /// Ships a node's write to its group root (up the spanning tree).
   void share_out(NodeId origin, VarId v, Word value);

@@ -4,12 +4,17 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 
 #include "faults/fault_plan.hpp"
 #include "net/link_model.hpp"
 #include "net/reliable_channel.hpp"
 #include "net/topology.hpp"
 #include "simkern/time.hpp"
+
+namespace optsync::trace {
+class Recorder;
+}
 
 namespace optsync::dsm {
 
@@ -41,6 +46,20 @@ enum class VarKind {
   kLock        ///< lock variable: writes are requests/releases consumed by
                ///< the root, which emits grants/frees as sequenced writes
 };
+
+/// Stable label for trace records ("data" / "mutex-data" / "lock"). The
+/// GWC checker keys its rules off these strings.
+constexpr std::string_view var_kind_name(VarKind k) {
+  switch (k) {
+    case VarKind::kData:
+      return "data";
+    case VarKind::kMutexData:
+      return "mutex-data";
+    case VarKind::kLock:
+      return "lock";
+  }
+  return "?";
+}
 
 /// Encodes a lock request for processor `id` (the paper writes the negated
 /// processor number). Node ids are 0-based; the wire value is -(id + 1) so
@@ -107,6 +126,12 @@ struct DsmConfig {
   /// between nodes and group roots. `reliable.enabled` opts in explicitly;
   /// it is implied whenever `faults` is non-empty.
   net::ReliableConfig reliable;
+
+  /// Optional flight recorder. When set, the substrate reports network
+  /// deliveries, root sequencing/filtering, and member application into it
+  /// (trace/recorder.hpp); core/OptimisticMutex adds lock and speculation
+  /// transitions. Not owned; must outlive the DsmSystem. nullptr = off.
+  trace::Recorder* recorder = nullptr;
 };
 
 /// Variable metadata kept by the system.

@@ -18,6 +18,10 @@ std::string_view delivery_kind_name(DeliveryKind k) {
       return "dup-suppressed";
     case DeliveryKind::kInjectedDrop:
       return "dropped";
+    case DeliveryKind::kExpired:
+      return "expired";
+    case DeliveryKind::kRevived:
+      return "revived";
   }
   return "?";
 }
@@ -30,12 +34,12 @@ void Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
 
 void Network::deliver_at(sim::Duration delay, MessageTrace trace,
                          std::function<void()> on_delivery) {
-  if (trace_) {
+  if (trace_ || !observers_.empty()) {
     // Capture trace data now; emit at delivery so lines appear in arrival
     // order, which is what the Fig. 7 trace bench wants to show.
     sched_->after(delay, [this, trace, cb = std::move(on_delivery)]() mutable {
       trace.delivered_at = sched_->now();
-      trace_(trace);
+      emit_trace(trace);
       cb();
     });
   } else {

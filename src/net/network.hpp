@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <string_view>
+#include <vector>
 
 #include "net/link_model.hpp"
 #include "net/topology.hpp"
@@ -45,6 +46,9 @@ enum class DeliveryKind : std::uint8_t {
   kDuplicate,      ///< an injector-created extra copy arriving
   kDupSuppressed,  ///< arrival discarded by ReliableChannel dedup
   kInjectedDrop,   ///< message destroyed in flight by the injector
+  kExpired,        ///< packet abandoned at the retransmit cap
+  kRevived,        ///< abandoned packet retransmitted after an ack proved
+                   ///< the receiver is still waiting on it
 };
 
 /// Short label for trace output ("normal", "rexmit", ...).
@@ -125,10 +129,18 @@ class Network {
   using TraceHook = std::function<void(const MessageTrace&)>;
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
 
+  /// Adds an additional observer without displacing the primary hook. The
+  /// flight recorder taps the network this way so tests that install their
+  /// own trace hook keep working alongside it.
+  void add_trace_observer(TraceHook hook) {
+    observers_.push_back(std::move(hook));
+  }
+
   /// Emits a record straight to the trace hook. Used by layered protocols
   /// to report events the raw network cannot see (duplicate suppression).
   void emit_trace(const MessageTrace& t) {
     if (trace_) trace_(t);
+    for (const auto& obs : observers_) obs(t);
   }
 
   /// Installs the fault hook consulted on every send (nullptr removes it).
@@ -146,6 +158,7 @@ class Network {
   LinkModel link_;
   NetworkStats stats_;
   TraceHook trace_;
+  std::vector<TraceHook> observers_;
   FaultHook fault_;
 };
 

@@ -68,8 +68,14 @@ void ReliableChannel::on_timeout(FlowKey k, std::uint64_t seq) {
   pkt.timer = 0;
   if (pkt.attempts >= cfg_.max_retransmits) {
     // Cap hit: abandon. The packet stays in the map (visible through
-    // in_flight()) so a stuck simulation is diagnosable, not silent.
+    // in_flight()) so a stuck simulation is diagnosable, not silent. A later
+    // ack naming this seq as next-expected revives it (see on_ack): the
+    // receiver is demonstrably alive and still waiting on the gap.
     stats_.expirations += 1;
+    pkt.expired = true;
+    const sim::Time now = net_->scheduler().now();
+    net_->emit_trace(MessageTrace{pkt.first_sent, now, key_src(k), key_dst(k),
+                                  pkt.bytes, pkt.tag, DeliveryKind::kExpired});
     return;
   }
   pkt.attempts += 1;
@@ -132,23 +138,50 @@ void ReliableChannel::on_data(FlowKey k, std::uint64_t seq) {
 
 void ReliableChannel::send_ack(FlowKey k) {
   Flow& f = flows_[k];
-  const std::uint64_t cumulative = f.next_release - 1;
+  // The ack carries next_release verbatim — the receiver's next expected
+  // sequence. With 0-based sequences this encodes "nothing released yet" as
+  // a plain 0; the old `next_release - 1` form wrapped to UINT64_MAX in that
+  // state and erased every in-flight packet, including the dropped one.
+  const std::uint64_t next_expected = f.next_release;
   stats_.acks_sent += 1;
   // Acks travel the reverse path and are just as attackable as data: a
   // lost ack means a retransmission that the receiver will dedup.
   net_->send_hops(key_dst(k), key_src(k), f.hops, cfg_.ack_bytes, "rel-ack",
-                  [this, k, cumulative] { on_ack(k, cumulative); });
+                  [this, k, next_expected] { on_ack(k, next_expected); });
 }
 
-void ReliableChannel::on_ack(FlowKey k, std::uint64_t upto) {
+void ReliableChannel::on_ack(FlowKey k, std::uint64_t next_expected) {
   const auto fit = flows_.find(k);
   if (fit == flows_.end()) return;
   Flow& f = fit->second;
-  while (!f.packets.empty() && f.packets.begin()->first <= upto) {
+  while (!f.packets.empty() && f.packets.begin()->first < next_expected) {
     Packet& pkt = f.packets.begin()->second;
-    OPTSYNC_ENSURE(pkt.received && !pkt.on_delivery);
+    if (pkt.expired) {
+      // Abandoned at the cap, yet the cumulative ack proves a copy got
+      // through (a delayed duplicate, or a retransmission whose ack was
+      // lost). Settle it without asserting — the released-state invariant
+      // below only holds for packets the sender was still tracking.
+      stats_.expired_acked += 1;
+    } else {
+      OPTSYNC_ENSURE(pkt.received && !pkt.on_delivery);
+    }
     if (pkt.timer != 0) net_->scheduler().cancel(pkt.timer);
     f.packets.erase(f.packets.begin());
+  }
+  // Revival: the receiver names the head-of-line packet it is still waiting
+  // for. If the sender had abandoned exactly that packet, the flow is wedged
+  // — nothing will ever retransmit it and every later packet stalls in the
+  // receiver's out-of-order buffer. The ack is proof of a live path, so put
+  // the packet back on the state machine with a fresh backoff budget.
+  const auto head = f.packets.find(next_expected);
+  if (head != f.packets.end() && head->second.expired &&
+      !head->second.received) {
+    Packet& pkt = head->second;
+    pkt.expired = false;
+    pkt.attempts = 0;
+    stats_.revivals += 1;
+    stats_.retransmits += 1;
+    transmit(k, next_expected, DeliveryKind::kRevived);
   }
 }
 

@@ -58,6 +58,14 @@ struct ReliableStats {
   std::uint64_t out_of_order = 0;    ///< arrivals buffered awaiting a gap
   std::uint64_t acks_sent = 0;
   std::uint64_t expirations = 0;  ///< packets abandoned at the cap
+  /// Expired packets that a late-arriving copy delivered anyway and a
+  /// cumulative ack then settled. Distinct from expirations: these packets
+  /// were given up on, yet still reached the receiver.
+  std::uint64_t expired_acked = 0;
+  /// Expired packets put back on the retransmission state machine because
+  /// an ack named them as the receiver's next expected sequence — proof the
+  /// receiver is alive and still waiting on the gap.
+  std::uint64_t revivals = 0;
   /// Largest (delivery time - first send time) over all released packets —
   /// the worst case a retransmitted message was late by.
   sim::Duration max_delivery_delay_ns = 0;
@@ -95,10 +103,15 @@ class ReliableChannel {
     unsigned attempts = 0;      // retransmissions so far
     sim::EventId timer = 0;     // 0 = no timer armed
     bool received = false;      // receiver end has consumed this seq
+    bool expired = false;       // abandoned at the retransmit cap
   };
+  // Sequences are 0-based. Acks carry the receiver's next expected sequence
+  // number verbatim ("everything below this has been released"), so
+  // "nothing released yet" is the natural value 0 — never the result of a
+  // subtraction that could wrap when the first packet is still missing.
   struct Flow {
-    std::uint64_t next_seq = 1;       // sender: next sequence to assign
-    std::uint64_t next_release = 1;   // receiver: next seq to deliver
+    std::uint64_t next_seq = 0;       // sender: next sequence to assign
+    std::uint64_t next_release = 0;   // receiver: next seq to deliver
     unsigned hops = 0;                // reverse-path length for acks
     std::map<std::uint64_t, Packet> packets;  // unacked, keyed by seq
   };
@@ -115,7 +128,7 @@ class ReliableChannel {
   void arm_timer(FlowKey k, std::uint64_t seq);
   void on_timeout(FlowKey k, std::uint64_t seq);
   void on_data(FlowKey k, std::uint64_t seq);
-  void on_ack(FlowKey k, std::uint64_t upto);
+  void on_ack(FlowKey k, std::uint64_t next_expected);
   void send_ack(FlowKey k);
 
   Network* net_;

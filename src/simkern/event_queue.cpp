@@ -11,21 +11,18 @@ EventId EventQueue::push(Time when, Callback cb) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_;
+  live_ids_.insert(id);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  if (cancelled_.contains(id)) return false;
-  // An id is live iff it is still somewhere in the heap; fired events were
-  // removed, so probing the heap is the only authoritative check. Scanning is
-  // O(n) but cancellation is rare (only interrupt disarm paths use it).
-  const bool pending = std::any_of(heap_.begin(), heap_.end(),
-                                   [id](const Entry& e) { return e.id == id; });
-  if (!pending) return false;
+  // The live set is authoritative: an id is present iff it was pushed, has
+  // not fired, and has not been cancelled. O(1) — the reliable channel
+  // cancels one retransmit timer per acked packet, so this must not scan.
+  const auto it = live_ids_.find(id);
+  if (it == live_ids_.end()) return false;
+  live_ids_.erase(it);
   cancelled_.insert(id);
-  --live_;
   return true;
 }
 
@@ -40,7 +37,7 @@ void EventQueue::drop_cancelled_top() {
 }
 
 Time EventQueue::next_time() {
-  if (live_ == 0) return kNever;
+  if (live_ids_.empty()) return kNever;
   drop_cancelled_top();
   return heap_.front().time;
 }
@@ -51,14 +48,14 @@ EventQueue::Popped EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  --live_;
+  live_ids_.erase(e.id);
   return Popped{e.time, e.id, std::move(e.callback)};
 }
 
 void EventQueue::clear() {
   heap_.clear();
+  live_ids_.clear();
   cancelled_.clear();
-  live_ = 0;
 }
 
 }  // namespace optsync::sim

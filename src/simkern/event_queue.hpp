@@ -19,8 +19,10 @@ using EventId = std::uint64_t;
 /// scheduled for the same instant always fire in scheduling order, so a given
 /// seed reproduces a simulation bit-for-bit.
 ///
-/// Cancellation is lazy: cancelled ids are remembered and their entries are
-/// dropped when they reach the top of the heap.
+/// Cancellation is lazy: cancel() is O(1) — it moves the id from the live-id
+/// set to the tombstone set — and the heap entry is physically dropped when
+/// it reaches the top. The reliable channel arms one timer per transmission
+/// and cancels one per ack, so cancel sits on the per-message hot path.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -33,10 +35,10 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] bool empty() const { return live_ids_.empty(); }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return live_ids_.size(); }
 
   /// Time of the earliest live event; kNever when empty.
   /// Amortized O(log n): lazily discards cancelled tombstones at the top.
@@ -71,10 +73,10 @@ class EventQueue {
   void drop_cancelled_top();
 
   std::vector<Entry> heap_;
+  std::unordered_set<EventId> live_ids_;  ///< ids in the heap, not cancelled
   std::unordered_set<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::size_t live_ = 0;
 };
 
 }  // namespace optsync::sim

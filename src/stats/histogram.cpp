@@ -1,0 +1,92 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace optsync::stats {
+
+unsigned Histogram::bucket_index(std::uint64_t v) {
+  // Values below one full octave of sub-buckets are stored exactly; above
+  // that, (octave, sub-bucket) with sub-buckets slicing the octave evenly.
+  if (v < kSubBuckets) return static_cast<unsigned>(v);
+  const unsigned octave = std::bit_width(v) - 1;  // >= kSubBits here
+  const unsigned shift = octave - kSubBits;
+  const unsigned sub = static_cast<unsigned>((v >> shift) & (kSubBuckets - 1));
+  return (octave - kSubBits + 1) * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_midpoint(unsigned idx) {
+  if (idx < kSubBuckets) return static_cast<std::int64_t>(idx);
+  const unsigned group = idx / kSubBuckets;  // >= 1
+  const unsigned sub = idx % kSubBuckets;
+  const std::uint64_t width = 1ull << (group - 1);
+  const std::uint64_t low = (kSubBuckets + sub) * width;
+  return static_cast<std::int64_t>(low + width / 2);
+}
+
+void Histogram::record(std::int64_t value) {
+  const std::uint64_t v =
+      value < 0 ? 0ull : static_cast<std::uint64_t>(value);
+  buckets_[bucket_index(v)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value < 0 ? 0 : value;
+  } else {
+    min_ = std::min(min_, value < 0 ? 0 : value);
+    max_ = std::max(max_, value < 0 ? 0 : value);
+  }
+  sum_ += value < 0 ? 0 : value;
+  count_ += 1;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (unsigned i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      // Midpoint of the bucket, clamped to the observed range so p99 of a
+      // tight distribution never reports a value outside [min, max].
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream out;
+  out << "n=" << count_ << " min=" << min() << " p50=" << p50()
+      << " p95=" << p95() << " p99=" << p99() << " max=" << max();
+  return out.str();
+}
+
+}  // namespace optsync::stats

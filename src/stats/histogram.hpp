@@ -1,0 +1,65 @@
+// Log-bucketed latency histogram (HDR style).
+//
+// Values land in buckets indexed by (octave, linear sub-bucket): the octave
+// is floor(log2(v)) and each octave is split into 2^kSubBits equal-width
+// sub-buckets, bounding the relative quantization error at 1/2^kSubBits
+// (6.25% with kSubBits = 4). That is plenty for latency percentiles — the
+// paper's latency claims span orders of magnitude, not single percent — and
+// keeps the footprint fixed (64 octaves x 16 sub-buckets of u64) so a
+// histogram can sit inside every per-lock record without heap churn.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace optsync::stats {
+
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  static constexpr unsigned kOctaves = 64;
+
+  /// Records one sample. Negative values clamp to zero (durations are
+  /// non-negative by construction; clamping keeps a clock quirk from
+  /// corrupting the distribution).
+  void record(std::int64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1], e.g. 0.5 / 0.95 / 0.99. Returns the
+  /// representative (midpoint) value of the bucket holding the q-th sample;
+  /// exact min/max are returned at the extremes. 0 when empty.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+  [[nodiscard]] std::int64_t p50() const { return percentile(0.50); }
+  [[nodiscard]] std::int64_t p95() const { return percentile(0.95); }
+  [[nodiscard]] std::int64_t p99() const { return percentile(0.99); }
+
+  /// Accumulates another histogram into this one (bucket-wise).
+  void merge(const Histogram& other);
+
+  void reset();
+
+  /// One-line human-readable summary: "n=… min=… p50=… p95=… p99=… max=…".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  static unsigned bucket_index(std::uint64_t v);
+  static std::int64_t bucket_midpoint(unsigned idx);
+
+  std::array<std::uint64_t, kOctaves * kSubBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace optsync::stats

@@ -1,0 +1,172 @@
+#include "stats/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace optsync::stats {
+
+void JsonWriter::write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void JsonWriter::comma() {
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    *out_ << ',';
+  }
+  indent();
+}
+
+void JsonWriter::indent() {
+  if (!pretty_) return;
+  *out_ << '\n';
+  for (std::size_t i = 0; i < first_.size(); ++i) *out_ << "  ";
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma();
+  write_escaped(*out_, key);
+  *out_ << (pretty_ ? ": " : ":");
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  *out_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  *out_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool was_empty = first_.back();
+  first_.pop_back();
+  if (!was_empty) indent();
+  *out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  *out_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  *out_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool was_empty = first_.back();
+  first_.pop_back();
+  if (!was_empty) indent();
+  *out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view key, std::string_view v) {
+  key_prefix(key);
+  write_escaped(*out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view key, double v) {
+  key_prefix(key);
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    *out_ << buf;
+  } else {
+    *out_ << "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view key, std::int64_t v) {
+  key_prefix(key);
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view key, std::uint64_t v) {
+  key_prefix(key);
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view key, bool v) {
+  key_prefix(key);
+  *out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  write_escaped(*out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    *out_ << buf;
+  } else {
+    *out_ << "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  *out_ << v;
+  return *this;
+}
+
+}  // namespace optsync::stats

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer for metrics and trace export.
+//
+// No external dependency and no DOM: benches stream a metrics object and the
+// Chrome-trace exporter streams tens of thousands of event records, so the
+// writer appends directly to an ostream with an explicit nesting stack. The
+// writer inserts commas automatically; callers just open/close containers
+// and emit keyed or bare values in order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace optsync::stats {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = false)
+      : out_(&out), pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+
+  JsonWriter& value(std::string_view key, std::string_view v);
+  JsonWriter& value(std::string_view key, const char* v) {
+    return value(key, std::string_view(v));
+  }
+  JsonWriter& value(std::string_view key, double v);
+  JsonWriter& value(std::string_view key, std::int64_t v);
+  JsonWriter& value(std::string_view key, std::uint64_t v);
+  JsonWriter& value(std::string_view key, int v) {
+    return value(key, static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(std::string_view key, unsigned v) {
+    return value(key, static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(std::string_view key, bool v);
+
+  /// Bare (unkeyed) values, for array elements.
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+
+  /// Writes a JSON string literal (quoted + escaped) to `out`.
+  static void write_escaped(std::ostream& out, std::string_view s);
+
+ private:
+  void comma();
+  void indent();
+  void key_prefix(std::string_view key);
+
+  std::ostream* out_;
+  bool pretty_;
+  std::vector<bool> first_;  // per nesting level: no element emitted yet
+};
+
+}  // namespace optsync::stats

@@ -67,6 +67,8 @@ struct FaultReport {
   std::uint64_t dup_suppressed = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t expirations = 0;  ///< retransmit-cap hits: should stay 0
+  std::uint64_t expired_acked = 0;  ///< abandoned packets later acked anyway
+  std::uint64_t revivals = 0;       ///< abandoned packets resurrected by acks
   sim::Duration max_delivery_delay_ns = 0;
 
   [[nodiscard]] bool quiet() const {

@@ -1,0 +1,21 @@
+// Chrome trace-event JSON export for the flight recorder.
+//
+// Produces the "JSON Array Format" that chrome://tracing and Perfetto load
+// directly: one pid for the whole simulation, one tid per simulated node,
+// timestamps in microseconds (sim time is nanoseconds; fractional µs keeps
+// full precision). Critical-section holds and speculative windows become
+// duration slices (ph B/E) so a Fig. 7 run visibly shows the near CPU's
+// speculate slice being cut short by the far CPU's rollback; everything
+// else becomes thread-scoped instant events carrying their payload in args.
+#pragma once
+
+#include <ostream>
+
+#include "trace/recorder.hpp"
+
+namespace optsync::trace {
+
+/// Writes the retained events as a complete Chrome trace JSON document.
+void write_chrome_trace(std::ostream& out, const Recorder& rec);
+
+}  // namespace optsync::trace

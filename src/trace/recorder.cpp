@@ -1,0 +1,77 @@
+#include "trace/recorder.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::trace {
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSchedDispatch:
+      return "sched-dispatch";
+    case EventKind::kNetDeliver:
+      return "net-deliver";
+    case EventKind::kRootSequence:
+      return "root-sequence";
+    case EventKind::kRootDropSpec:
+      return "root-drop-spec";
+    case EventKind::kNodeApply:
+      return "node-apply";
+    case EventKind::kEchoDrop:
+      return "echo-drop";
+    case EventKind::kLockRequest:
+      return "lock-request";
+    case EventKind::kLockAcquire:
+      return "lock-acquire";
+    case EventKind::kLockRelease:
+      return "lock-release";
+    case EventKind::kSpeculateBegin:
+      return "speculate-begin";
+    case EventKind::kSpeculateCommit:
+      return "speculate-commit";
+    case EventKind::kRollback:
+      return "rollback";
+    case EventKind::kHistoryVeto:
+      return "history-veto";
+  }
+  return "?";
+}
+
+Recorder::Recorder(std::size_t capacity) : ring_(capacity) {
+  OPTSYNC_EXPECT(capacity > 0);
+}
+
+void Recorder::record(const Event& e) {
+  recorded_ += 1;
+  for (const auto& sink : sinks_) sink(e);
+  if (size_ == ring_.size()) {
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    dropped_ += 1;
+  } else {
+    ring_[(head_ + size_) % ring_.size()] = e;
+    size_ += 1;
+  }
+}
+
+void Recorder::for_each(const std::function<void(const Event&)>& fn) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    fn(ring_[(head_ + i) % ring_.size()]);
+  }
+}
+
+std::uint64_t Recorder::count(EventKind k) const {
+  std::uint64_t n = 0;
+  for_each([&](const Event& e) {
+    if (e.kind == k) n += 1;
+  });
+  return n;
+}
+
+void Recorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace optsync::trace

@@ -81,10 +81,13 @@ CounterResult run_gwc(const CounterParams& p, const net::Topology& topo,
   const dsm::VarId lock = sys.define_lock("ctr.lock", g);
   const dsm::VarId counter = sys.define_mutex_data("ctr.value", g, lock, 0);
 
+  stats::LockStats lstats;
+  lstats.name = "ctr.lock";
   core::OptimisticMutex::Config mcfg;
   mcfg.enable_optimistic = optimistic;
   mcfg.history_threshold = p.history_threshold;
   mcfg.history_decay = p.history_decay;
+  mcfg.lock_stats = &lstats;
   core::OptimisticMutex mux(sys, lock, mcfg);
 
   GwcCtx ctx;
@@ -118,6 +121,8 @@ CounterResult run_gwc(const CounterParams& p, const net::Topology& topo,
   res.avg_sync_overhead_ns = ctx.overhead.mean();
   res.faults =
       stats::collect_fault_report(sys.network().stats(), sys.reliable().stats());
+  lstats.root_speculative_drops = sys.root_of(g).stats().speculative_drops;
+  res.lock_stats = std::move(lstats);
   return res;
 }
 

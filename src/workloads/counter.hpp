@@ -14,6 +14,7 @@
 #include "dsm/types.hpp"
 #include "net/topology.hpp"
 #include "simkern/time.hpp"
+#include "stats/lock_stats.hpp"
 #include "stats/metrics.hpp"
 
 namespace optsync::workloads {
@@ -60,6 +61,10 @@ struct CounterResult {
   /// Injection/reliability counters (all zero when the run had no faults
   /// and the reliable layer was off). GWC variants only.
   stats::FaultReport faults;
+  /// Per-lock observability record for the counter's one lock: acquire/hold
+  /// latency histograms, speculation outcomes, history-gate decisions.
+  /// GWC variants only (empty for the entry/TAS baselines).
+  stats::LockStats lock_stats;
 };
 
 CounterResult run_counter(CounterMethod method, const CounterParams& params,

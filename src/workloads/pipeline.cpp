@@ -100,8 +100,11 @@ PipelineResult run_gwc(const PipelineParams& p, const net::Topology& topo,
                                 p.pipe_data_bytes));
   }
 
+  stats::LockStats lstats;
+  lstats.name = "pipe.lock";
   core::OptimisticMutex::Config mcfg;
   mcfg.enable_optimistic = optimistic;
+  mcfg.lock_stats = &lstats;
   core::OptimisticMutex mux(sys, lock, mcfg);
   stats::EfficiencyMeter meter(topo.size());
 
@@ -132,6 +135,8 @@ PipelineResult run_gwc(const PipelineParams& p, const net::Topology& topo,
   res.optimistic_successes = mux.stats().optimistic_successes;
   res.rollbacks = mux.stats().rollbacks;
   res.shared_accumulator = sys.node(p.group_root).read(a);
+  lstats.root_speculative_drops = sys.root_of(g).stats().speculative_drops;
+  res.lock_stats = std::move(lstats);
   return res;
 }
 

@@ -28,6 +28,7 @@
 #include "dsm/types.hpp"
 #include "net/topology.hpp"
 #include "simkern/time.hpp"
+#include "stats/lock_stats.hpp"
 
 namespace optsync::workloads {
 
@@ -69,6 +70,8 @@ struct PipelineResult {
   /// Final value of the mutex-updated accumulator; equals the hop count in
   /// every correct run (used by the integration tests).
   std::int64_t shared_accumulator = 0;
+  /// Per-lock observability record for pipe.lock (GWC variants only).
+  stats::LockStats lock_stats;
 };
 
 PipelineResult run_pipeline(PipelineMethod method, const PipelineParams& p,

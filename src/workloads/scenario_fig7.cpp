@@ -52,7 +52,11 @@ Fig7Result run_scenario_fig7(const Fig7Params& p) {
   constexpr dsm::Word kInitial = 3;
   const dsm::VarId a = sys.define_mutex_data("fig7.a", g, lock, kInitial);
 
-  core::OptimisticMutex mux(sys, lock, core::OptimisticMutex::Config{});
+  stats::LockStats lstats;
+  lstats.name = "fig7.lock";
+  core::OptimisticMutex::Config mcfg;
+  mcfg.lock_stats = &lstats;
+  core::OptimisticMutex mux(sys, lock, mcfg);
 
   // Capture the message-level interaction.
   std::ostringstream trace;
@@ -86,6 +90,8 @@ Fig7Result run_scenario_fig7(const Fig7Params& p) {
   res.trace = trace.str();
   res.faults =
       stats::collect_fault_report(sys.network().stats(), sys.reliable().stats());
+  lstats.root_speculative_drops = res.speculative_drops;
+  res.lock_stats = std::move(lstats);
   return res;
 }
 

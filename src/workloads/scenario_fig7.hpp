@@ -14,6 +14,7 @@
 
 #include "dsm/types.hpp"
 #include "simkern/time.hpp"
+#include "stats/lock_stats.hpp"
 #include "stats/metrics.hpp"
 
 namespace optsync::workloads {
@@ -46,6 +47,7 @@ struct Fig7Result {
   sim::Time elapsed = 0;
   std::string trace;  ///< message-level log of the interaction
   stats::FaultReport faults;  ///< all-zero when the run had no faults
+  stats::LockStats lock_stats;  ///< per-lock record for fig7.lock
 };
 
 Fig7Result run_scenario_fig7(const Fig7Params& params);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "simkern/assert.hpp"
@@ -105,6 +107,67 @@ TEST(EventQueue, ClearDropsEverything) {
 TEST(EventQueue, NullCallbackRejected) {
   EventQueue q;
   EXPECT_THROW(q.push(1, nullptr), ContractViolation);
+}
+
+// Regression: cancel used to scan the heap linearly, so retransmit-timer
+// churn (every reliable-channel packet arms a timer that is almost always
+// cancelled by its ack) was quadratic in pending timers. With the live-id
+// set, cancelling most of a 10k+ backlog is effectively instant; the
+// wall-clock bound below is ~100x slack for the O(1) implementation and
+// hopeless for a linear scan (~10^10 comparisons).
+TEST(EventQueue, CancelStormOverLargeBacklogIsFast) {
+  constexpr int kBatches = 10;
+  constexpr int kPerBatch = 10'000;
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(kPerBatch);
+  int fired = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int b = 0; b < kBatches; ++b) {
+    ids.clear();
+    for (int i = 0; i < kPerBatch; ++i) {
+      // Far-future "timers"; one in a hundred survives its batch.
+      ids.push_back(q.push(1'000'000 + b, [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < kPerBatch; ++i) {
+      if (i % 100 != 0) {
+        EXPECT_TRUE(q.cancel(ids[static_cast<size_t>(i)]));
+      }
+    }
+  }
+  const auto cancel_done = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.size(), static_cast<size_t>(kBatches * kPerBatch / 100));
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, kBatches * kPerBatch / 100);
+  // Double-cancel after the drain: all ids are dead, none fire again.
+  for (const EventId id : ids) EXPECT_FALSE(q.cancel(id));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      cancel_done - start);
+  EXPECT_LT(elapsed.count(), 2'000) << "cancel looks superlinear";
+}
+
+TEST(EventQueue, CancelledBacklogDoesNotLeakIntoPopOrder) {
+  Rng rng(7);
+  EventQueue q;
+  std::vector<EventId> live;
+  std::vector<Time> expected;
+  for (int i = 0; i < 20'000; ++i) {
+    const Time t = rng.below(1'000);
+    const EventId id = q.push(t, [] {});
+    if (rng.below(4) == 0) {
+      live.push_back(id);
+      expected.push_back(t);
+    } else {
+      ASSERT_TRUE(q.cancel(id));
+    }
+  }
+  EXPECT_EQ(q.size(), live.size());
+  std::sort(expected.begin(), expected.end());
+  for (const Time t : expected) {
+    auto popped = q.pop();
+    EXPECT_EQ(popped.time, t);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, RandomizedOrderMatchesStableSort) {

@@ -191,6 +191,116 @@ TEST(ReliableChannel, TraceDistinguishesRetransmitAndSuppression) {
   EXPECT_GE(count(DeliveryKind::kDupSuppressed), 1u);
 }
 
+// Regression (ack encoding): an ack sent before anything was released must
+// carry "next expected = 0" and erase nothing. The seed encoded acks as
+// `next_release - 1`, which wrapped to UINT64_MAX in this state and
+// cumulatively erased every in-flight packet — including the dropped one the
+// receiver was still waiting for, wedging the flow forever.
+TEST(ReliableChannel, AckBeforeFirstReleaseErasesNothing) {
+  Harness h;
+  // Drop only the very first transmission of packet 0; packet 1 gets through
+  // and is held out of order, which makes the receiver ack "still at 0".
+  bool drop_one = true;
+  h.net.set_fault_hook([&drop_one](const MessageMeta& m) {
+    FaultAction act;
+    if (m.tag == "m" && drop_one) {
+      drop_one = false;
+      act.drop = true;
+    }
+    return act;
+  });
+  std::vector<int> order;
+  h.rel.send(0, 1, 1, 16, "m", [&order] { order.push_back(0); });
+  h.rel.send(0, 1, 1, 16, "m", [&order] { order.push_back(1); });
+  // Run just past the out-of-order ack's arrival: both packets must still be
+  // tracked (nothing falsely acked), and none abandoned.
+  h.sched.run_until(h.rel.config().rto_ns / 2);
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(h.rel.in_flight(), 2u);
+  EXPECT_EQ(h.rel.stats().expirations, 0u);
+  // The retransmission then fills the gap and the flow drains in order.
+  h.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_GE(h.rel.stats().retransmits, 1u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+}
+
+// Regression (expiry + late ack): a packet abandoned at the retransmit cap
+// can still be settled by a later cumulative ack (its delivery raced the
+// expiry, or every ack was lost while copies got through). The seed asserted
+// `received && !on_delivery` for every cumulatively acked packet, which an
+// abandoned one violates — the ack handler crashed the simulation instead of
+// counting the packet.
+TEST(ReliableChannel, ExpiredThenAckedPacketIsToleratedAndCounted) {
+  sim::Scheduler sched;
+  const MeshTorus2D topo(2, 2);
+  Network net(sched, topo, LinkModel::paper());
+  ReliableConfig cfg;
+  cfg.rto_ns = 1'000;
+  cfg.max_retransmits = 2;  // expired by t = 1000 + 2000 + 4000 = 7000
+  ReliableChannel rel(net, cfg);
+  // Every ack is lost until t = 10us: packet 0 is delivered immediately but
+  // the sender never hears so, retransmits to the cap, and abandons it.
+  net.set_fault_hook([&sched](const MessageMeta& m) {
+    FaultAction act;
+    act.drop = m.tag == "rel-ack" && sched.now() < 10'000;
+    return act;
+  });
+  std::vector<int> order;
+  rel.send(0, 1, 1, 16, "m", [&order] { order.push_back(0); });
+  sched.run_until(9'000);
+  EXPECT_EQ(order, (std::vector<int>{0}));  // receiver got it long ago
+  EXPECT_EQ(rel.stats().expirations, 1u);   // sender gave up on it
+  EXPECT_EQ(rel.in_flight(), 1u);
+  // A second packet (acks now flow) produces a cumulative ack covering the
+  // abandoned packet. The ack must settle it, not crash.
+  sched.at(20'000, [&rel, &order] {
+    rel.send(0, 1, 1, 16, "m", [&order] { order.push_back(1); });
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(rel.stats().expired_acked, 1u);
+  EXPECT_EQ(rel.stats().revivals, 0u);
+  EXPECT_EQ(rel.in_flight(), 0u);
+}
+
+// An abandoned packet the receiver is still waiting for (it was never
+// delivered — the flow is truly wedged) is revived when an ack names it as
+// the next expected sequence: the ack proves the path and the receiver are
+// alive, so the sender restarts the retransmission state machine rather than
+// stalling every later packet in the out-of-order buffer forever.
+TEST(ReliableChannel, WedgedFlowIsRevivedByLaterAck) {
+  sim::Scheduler sched;
+  const MeshTorus2D topo(2, 2);
+  Network net(sched, topo, LinkModel::paper());
+  ReliableConfig cfg;
+  cfg.rto_ns = 1'000;
+  cfg.max_retransmits = 2;
+  ReliableChannel rel(net, cfg);
+  // Packet 0 ("head") is dark until t = 10us — original and all retransmits
+  // die, so the sender abandons it at t = 7us.
+  net.set_fault_hook([&sched](const MessageMeta& m) {
+    FaultAction act;
+    act.drop = m.tag == "head" && sched.now() < 10'000;
+    return act;
+  });
+  std::vector<int> order;
+  rel.send(0, 1, 1, 16, "head", [&order] { order.push_back(0); });
+  sched.run_until(9'000);
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(rel.stats().expirations, 1u);
+  // Packet 1 arrives out of order; the receiver's ack says "still expecting
+  // 0", which revives the abandoned head and unwedges the flow.
+  sched.at(20'000, [&rel, &order] {
+    rel.send(0, 1, 1, 16, "tail", [&order] { order.push_back(1); });
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(rel.stats().revivals, 1u);
+  EXPECT_EQ(rel.stats().expired_acked, 0u);
+  EXPECT_EQ(rel.in_flight(), 0u);
+}
+
 TEST(ReliableChannel, FlowsAreIndependentPerDirection) {
   Harness h;
   std::vector<std::string> order;

@@ -1,0 +1,382 @@
+// Flight recorder, Chrome trace export, per-lock metrics, and the GWC
+// invariant checker — the observability layer end to end: unit behavior of
+// the ring/histogram/JSON pieces, then whole-scenario runs proving the
+// recorder captures the paper's figure-7 interaction and the checker
+// accepts real runs while rejecting doctored streams.
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dsm/types.hpp"
+#include "stats/histogram.hpp"
+#include "stats/json.hpp"
+#include "stats/lock_stats.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/gwc_checker.hpp"
+#include "workloads/counter.hpp"
+#include "workloads/scenario_fig7.hpp"
+
+namespace optsync {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::GwcChecker;
+using trace::Recorder;
+
+Event make_event(EventKind kind, sim::Time t = 0) {
+  Event e;
+  e.kind = kind;
+  e.t = t;
+  return e;
+}
+
+// ------------------------------------------------------------- recorder ---
+
+TEST(Recorder, RetainsInOrderAndCounts) {
+  Recorder rec(8);
+  for (int i = 0; i < 5; ++i) {
+    rec.record(make_event(EventKind::kNodeApply, static_cast<sim::Time>(i)));
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.count(EventKind::kNodeApply), 5u);
+  EXPECT_EQ(rec.count(EventKind::kRollback), 0u);
+  sim::Time expect = 0;
+  rec.for_each([&expect](const Event& e) { EXPECT_EQ(e.t, expect++); });
+}
+
+TEST(Recorder, RingEvictsOldestWhenFull) {
+  Recorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(make_event(EventKind::kNetDeliver, static_cast<sim::Time>(i)));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  std::vector<sim::Time> times;
+  rec.for_each([&times](const Event& e) { times.push_back(e.t); });
+  EXPECT_EQ(times, (std::vector<sim::Time>{6, 7, 8, 9}));
+}
+
+TEST(Recorder, SinksSeeEveryEventDespiteEviction) {
+  Recorder rec(2);
+  std::uint64_t seen = 0;
+  rec.add_sink([&seen](const Event&) { ++seen; });
+  for (int i = 0; i < 100; ++i) rec.record(make_event(EventKind::kRollback));
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(rec.size(), 2u);
+}
+
+TEST(Recorder, ClearResetsRetentionAndCounters) {
+  Recorder rec(8);
+  rec.record(make_event(EventKind::kLockAcquire));
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.count(EventKind::kLockAcquire), 0u);
+}
+
+TEST(Recorder, EveryKindHasAName) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kHistoryVeto); ++k) {
+    EXPECT_FALSE(
+        trace::event_kind_name(static_cast<EventKind>(k)).empty());
+  }
+}
+
+// ------------------------------------------------------------ histogram ---
+
+TEST(Histogram, SmallValuesAreExact) {
+  stats::Histogram h;
+  for (std::int64_t v : {0, 1, 2, 3, 7, 15}) h.record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 15);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(1.0), 15);
+}
+
+TEST(Histogram, PercentilesWithinRelativeErrorBound) {
+  stats::Histogram h;
+  for (std::int64_t v = 1; v <= 10'000; ++v) h.record(v);
+  // Log bucketing with 16 sub-buckets guarantees <= 6.25% relative error.
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact = q * 10'000;
+    const double got = static_cast<double>(h.percentile(q));
+    EXPECT_NEAR(got, exact, exact * 0.0625 + 1)
+        << "q=" << q << " got " << got;
+  }
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(Histogram, NegativeClampsAndMergeAccumulates) {
+  stats::Histogram a;
+  a.record(-5);
+  EXPECT_EQ(a.min(), 0);
+  stats::Histogram b;
+  b.record(100);
+  b.record(200);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 200);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile(0.5), 0);
+}
+
+// ----------------------------------------------------------------- json ---
+
+TEST(JsonWriter, EscapesAndNests) {
+  std::ostringstream out;
+  stats::JsonWriter w(out);
+  w.begin_object();
+  w.value("name", "a\"b\\c\n");
+  w.begin_array("xs");
+  w.value(static_cast<std::int64_t>(1));
+  w.value(2.5);
+  w.end_array();
+  w.value("flag", true);
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"xs\":[1,2.5],\"flag\":true}");
+}
+
+TEST(LockStats, WritesWellFormedJson) {
+  stats::LockStats ls;
+  ls.name = "test.lock";
+  ls.acquisitions = 3;
+  ls.speculative_attempts = 2;
+  ls.speculative_commits = 1;
+  ls.rollbacks = 1;
+  ls.acquire_ns.record(1'000);
+  ls.acquire_ns.record(2'000);
+  std::ostringstream out;
+  stats::JsonWriter w(out);
+  ls.write_json(w);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"name\":\"test.lock\""), std::string::npos);
+  EXPECT_NE(s.find("\"rollbacks\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"commit_rate\":0.5"), std::string::npos);
+  EXPECT_NE(s.find("\"p99_ns\":"), std::string::npos);
+}
+
+// -------------------------------------------------- scenario + exporter ---
+
+workloads::Fig7Result run_fig7_recorded(Recorder& rec,
+                                        GwcChecker* checker = nullptr) {
+  if (checker != nullptr) checker->install(rec);
+  workloads::Fig7Params p;
+  p.dsm.recorder = &rec;
+  return workloads::run_scenario_fig7(p);
+}
+
+TEST(TraceIntegration, Fig7RecordsTheRollbackInteraction) {
+  Recorder rec;
+  const auto res = run_fig7_recorded(rec);
+  ASSERT_EQ(res.final_a, res.expected_a);
+  // The figure's mechanisms, as flight-recorder events: both nodes see a
+  // free lock and speculate, the near node's speculation commits, the far
+  // node's rolls back, the root silently drops the stale write, and
+  // hardware blocking eats the winner's own echo.
+  EXPECT_EQ(rec.count(EventKind::kSpeculateBegin), 2u);
+  EXPECT_EQ(rec.count(EventKind::kSpeculateCommit), 1u);
+  EXPECT_EQ(rec.count(EventKind::kRollback), 1u);
+  EXPECT_GE(rec.count(EventKind::kRootDropSpec), 1u);
+  EXPECT_GE(rec.count(EventKind::kEchoDrop), 1u);
+  EXPECT_EQ(rec.count(EventKind::kLockRequest), 2u);
+  EXPECT_EQ(rec.count(EventKind::kLockAcquire), 2u);
+  EXPECT_EQ(rec.count(EventKind::kLockRelease), 2u);
+  // Event times are monotone non-decreasing (the stream is the sim clock).
+  sim::Time last = 0;
+  rec.for_each([&last](const Event& e) {
+    EXPECT_GE(e.t, last);
+    last = e.t;
+  });
+  // Per-lock record agrees with the scenario's own counters.
+  EXPECT_EQ(res.lock_stats.rollbacks, 1u);
+  EXPECT_EQ(res.lock_stats.acquisitions, 2u);
+  EXPECT_EQ(res.lock_stats.speculative_attempts, 2u);
+  EXPECT_EQ(res.lock_stats.speculative_commits, 1u);
+  EXPECT_EQ(res.lock_stats.acquire_ns.count(), 2u);
+  EXPECT_GT(res.lock_stats.acquire_ns.max(), 0);
+}
+
+TEST(TraceIntegration, ChromeExportIsBalancedAndLoadable) {
+  Recorder rec;
+  run_fig7_recorded(rec);
+  std::ostringstream out;
+  trace::write_chrome_trace(out, rec);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"speculate\""), std::string::npos);
+  EXPECT_NE(json.find("\"rollback\""), std::string::npos);
+  // Spans must balance: equal numbers of begin and end events, and braces
+  // must nest (a cheap well-formedness proxy that catches truncation).
+  auto occurrences = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(occurrences("\"ph\":\"B\""), occurrences("\"ph\":\"E\""));
+  EXPECT_GE(occurrences("\"ph\":\"B\""), 2u);  // speculate + two holds
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// ---------------------------------------------------------- GWC checker ---
+
+TEST(GwcChecker, AcceptsTheFig7Run) {
+  Recorder rec;
+  GwcChecker checker;
+  const auto res = run_fig7_recorded(rec, &checker);
+  ASSERT_EQ(res.final_a, res.expected_a);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.writes_checked(), 0u);
+}
+
+TEST(GwcChecker, AcceptsAContendedCounterRun) {
+  Recorder rec;
+  GwcChecker checker;
+  checker.install(rec);
+  workloads::CounterParams p;
+  p.increments_per_node = 20;
+  p.think_mean_ns = 5'000;  // heavy contention: rollbacks + vetoes
+  p.dsm.recorder = &rec;
+  const auto topo = net::MeshTorus2D::near_square(8);
+  const auto res =
+      run_counter(workloads::CounterMethod::kOptimisticGwc, p, topo);
+  ASSERT_EQ(res.final_count, res.expected_count);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.writes_checked(), 100u);
+}
+
+// Doctored streams: each of the checker's four invariants, violated.
+
+Event sequenced(std::uint32_t group, std::uint64_t seq, std::uint32_t var,
+                std::int64_t value, std::uint32_t origin,
+                std::string_view label) {
+  Event e;
+  e.kind = EventKind::kRootSequence;
+  e.group = group;
+  e.seq = seq;
+  e.var = var;
+  e.value = value;
+  e.origin = origin;
+  e.label = label;
+  return e;
+}
+
+Event applied(std::uint32_t group, std::uint64_t seq, std::uint32_t node,
+              std::uint32_t var, std::int64_t value, std::uint32_t origin,
+              std::string_view label) {
+  Event e;
+  e.kind = EventKind::kNodeApply;
+  e.group = group;
+  e.seq = seq;
+  e.node = node;
+  e.var = var;
+  e.value = value;
+  e.origin = origin;
+  e.label = label;
+  return e;
+}
+
+TEST(GwcChecker, RejectsOutOfOrderApplication) {
+  GwcChecker c;
+  c.on_event(sequenced(0, 1, 7, 10, 2, "data"));
+  c.on_event(sequenced(0, 2, 7, 20, 2, "data"));
+  c.on_event(applied(0, 1, 3, 7, 10, 2, "data"));
+  c.on_event(applied(0, 2, 3, 7, 20, 2, "data"));
+  EXPECT_TRUE(c.ok()) << c.report();
+  c.on_event(applied(0, 1, 3, 7, 10, 2, "data"));  // goes backwards
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("after seq"), std::string::npos);
+  EXPECT_EQ(c.writes_checked(), 3u);
+}
+
+TEST(GwcChecker, RejectsValueMismatchAgainstRootSequence) {
+  GwcChecker c;
+  c.on_event(sequenced(0, 1, 7, 10, 2, "data"));
+  c.on_event(applied(0, 1, 3, 7, 99, 2, "data"));  // wrong value
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("root sequenced"), std::string::npos);
+}
+
+TEST(GwcChecker, RejectsInventedSequenceNumber) {
+  GwcChecker c;
+  c.on_event(sequenced(0, 1, 7, 10, 2, "data"));
+  c.on_event(applied(0, 1, 3, 7, 10, 2, "data"));
+  c.on_event(applied(0, 5, 3, 7, 77, 2, "data"));  // root never issued seq 5
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("never issued"), std::string::npos);
+}
+
+TEST(GwcChecker, RejectsGapThatIsNotAnOwnEcho) {
+  GwcChecker c;
+  c.on_event(sequenced(0, 1, 7, 10, 2, "data"));
+  c.on_event(sequenced(0, 2, 7, 20, 2, "data"));
+  // Node 3 skips seq 1 — but seq 1 is plain data, not node 3's own
+  // mutex-data echo, so the gap is a lost update, not hardware blocking.
+  c.on_event(applied(0, 2, 3, 7, 20, 2, "data"));
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("skipped seq"), std::string::npos);
+}
+
+TEST(GwcChecker, AcceptsGapFromOwnMutexDataEcho) {
+  GwcChecker c;
+  const std::int64_t grant3 = dsm::lock_grant_value(3);
+  c.on_event(sequenced(0, 1, 9, grant3, 3, "lock"));
+  c.on_event(applied(0, 1, 3, 9, grant3, 3, "lock"));
+  // Node 3's own mutex-data write: sequenced, then echo-blocked locally.
+  c.on_event(sequenced(0, 2, 7, 10, 3, "mutex-data"));
+  c.on_event(sequenced(0, 3, 9, dsm::kLockFree, 3, "lock"));
+  c.on_event(applied(0, 3, 3, 9, dsm::kLockFree, 3, "lock"));  // skips seq 2
+  EXPECT_TRUE(c.ok()) << c.report();
+}
+
+TEST(GwcChecker, RejectsSpeculativeWriteSequencedForNonHolder) {
+  GwcChecker c;
+  // Lock granted to node 2; then a mutex-data write from node 5 is
+  // sequenced — the root failed to filter a speculative write.
+  c.on_event(sequenced(0, 1, 9, dsm::lock_grant_value(2), 2, "lock"));
+  c.on_event(sequenced(0, 2, 7, 42, 5, "mutex-data"));
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("holds the lock"), std::string::npos);
+}
+
+TEST(GwcChecker, RejectsMutexDataSequencedWhileLockFree) {
+  GwcChecker c;
+  c.on_event(sequenced(0, 1, 7, 42, 5, "mutex-data"));  // no grant ever
+  EXPECT_FALSE(c.ok());
+  EXPECT_NE(c.report().find("lock is free"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsync

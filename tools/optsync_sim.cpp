@@ -21,16 +21,29 @@
 // Any fault flag routes traffic through the reliable channel and appends a
 // fault/reliability report to the summary.
 //
+// Observability flags (any command):
+//   --metrics-out PATH     write a metrics JSON document (schema
+//                          "optsync-bench/1", see EXPERIMENTS.md)
+//   --trace-out PATH       (counter, fig7) write a Chrome trace-event JSON
+//                          flight recording — load in Perfetto or
+//                          chrome://tracing
+//
 // Every command prints a human-readable summary, or one CSV row (with a
 // header) under --csv for scripting sweeps.
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "stats/json.hpp"
+#include "stats/lock_stats.hpp"
 #include "stats/metrics.hpp"
 #include "stats/table.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/recorder.hpp"
 #include "util/flags.hpp"
 #include "workloads/counter.hpp"
 #include "workloads/pipeline.hpp"
@@ -97,6 +110,52 @@ void print_fault_report(const stats::FaultReport& r) {
   std::cout << "fault / reliability report\n" << stats::format_fault_report(r);
 }
 
+/// Writes one metrics document in the benches' "optsync-bench/1" schema:
+/// a single row named after the subcommand plus any per-lock records.
+/// Returns false (with a message) on I/O failure.
+bool write_metrics_json(
+    const std::string& path, const std::string& command,
+    const std::vector<std::pair<std::string, double>>& values,
+    const stats::LockStats* lock) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open --metrics-out file: " << path << "\n";
+    return false;
+  }
+  stats::JsonWriter w(out, /*pretty=*/true);
+  w.begin_object();
+  w.value("schema", "optsync-bench/1");
+  w.value("bench", "optsync_sim/" + command);
+  w.begin_array("rows");
+  w.begin_object();
+  w.value("label", command);
+  for (const auto& [key, v] : values) w.value(key, v);
+  w.end_object();
+  w.end_array();
+  w.begin_array("locks");
+  if (lock != nullptr) lock->write_json(w);
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  std::cerr << "metrics written to " << path << "\n";
+  return static_cast<bool>(out);
+}
+
+/// Writes the flight recording as Chrome trace-event JSON.
+bool write_trace_json(const std::string& path, const trace::Recorder& rec) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open --trace-out file: " << path << "\n";
+    return false;
+  }
+  trace::write_chrome_trace(out, rec);
+  std::cerr << "trace written to " << path << " (" << rec.size()
+            << " events; load in Perfetto or chrome://tracing)\n";
+  return static_cast<bool>(out);
+}
+
 int run_taskqueue(const util::Flags& flags) {
   if (flags.has("help")) {
     std::cout << "taskqueue flags: --cpus N --variant gwc|entry|ideal "
@@ -105,7 +164,7 @@ int run_taskqueue(const util::Flags& flags) {
     return 0;
   }
   flags.allow_only({"cpus", "variant", "tasks", "batch", "capacity", "ratio",
-                    "csv", "help"});
+                    "csv", "help", "metrics-out"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 17));
   const std::string variant = flags.get("variant", "gwc");
 
@@ -130,6 +189,16 @@ int run_taskqueue(const util::Flags& flags) {
     return 2;
   }
 
+  if (!write_metrics_json(
+          flags.get("metrics-out"), "taskqueue",
+          {{"network_power", res.network_power},
+           {"avg_efficiency", res.avg_efficiency},
+           {"elapsed_ns", static_cast<double>(res.elapsed)},
+           {"messages", static_cast<double>(res.messages)},
+           {"wasted_grants", static_cast<double>(res.wasted_grants)}},
+          nullptr)) {
+    return 1;
+  }
   if (flags.get_bool("csv")) {
     std::cout << "cpus,variant,power,efficiency,elapsed_ns,messages,"
                  "wasted_grants\n"
@@ -159,7 +228,8 @@ int run_pipeline_cmd(const util::Flags& flags) {
                  "nodelay\n  --items N --mutex-ratio R --csv\n";
     return 0;
   }
-  flags.allow_only({"cpus", "method", "items", "mutex-ratio", "csv", "help"});
+  flags.allow_only({"cpus", "method", "items", "mutex-ratio", "csv", "help",
+                    "metrics-out"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
   const std::string method = flags.get("method", "optimistic");
 
@@ -183,6 +253,18 @@ int run_pipeline_cmd(const util::Flags& flags) {
   }
   const auto res = run_pipeline(m, p, topo);
 
+  const bool is_gwc = m == workloads::PipelineMethod::kOptimistic ||
+                      m == workloads::PipelineMethod::kRegular;
+  if (!write_metrics_json(
+          flags.get("metrics-out"), "pipeline",
+          {{"network_power", res.network_power},
+           {"avg_efficiency", res.avg_efficiency},
+           {"elapsed_ns", static_cast<double>(res.elapsed)},
+           {"messages", static_cast<double>(res.messages)},
+           {"rollbacks", static_cast<double>(res.rollbacks)}},
+          is_gwc ? &res.lock_stats : nullptr)) {
+    return 1;
+  }
   if (flags.get_bool("csv")) {
     std::cout << "cpus,method,power,efficiency,elapsed_ns,messages,rollbacks\n"
               << cpus << "," << method << "," << res.network_power << ","
@@ -210,7 +292,7 @@ int run_counter_cmd(const util::Flags& flags) {
   }
   flags.allow_only({"cpus", "method", "think-ns", "increments", "threshold",
                     "seed", "csv", "help", "fault-drop", "fault-seed",
-                    "partition"});
+                    "partition", "metrics-out", "trace-out"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
   const std::string method = flags.get("method", "optimistic");
 
@@ -224,6 +306,9 @@ int run_counter_cmd(const util::Flags& flags) {
   faults::FaultPlan plan;
   if (!parse_fault_flags(flags, &plan)) return 2;
   p.dsm.faults = plan;
+  trace::Recorder recorder;
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) p.dsm.recorder = &recorder;
   const auto topo = net::MeshTorus2D::near_square(cpus);
 
   workloads::CounterMethod m;
@@ -246,6 +331,22 @@ int run_counter_cmd(const util::Flags& flags) {
     return 1;
   }
 
+  const bool is_gwc = m == workloads::CounterMethod::kOptimisticGwc ||
+                      m == workloads::CounterMethod::kRegularGwc;
+  if (!write_trace_json(trace_out, recorder)) return 1;
+  if (!write_metrics_json(
+          flags.get("metrics-out"), "counter",
+          {{"sections_per_ms", res.sections_per_ms},
+           {"sync_overhead_ns", res.avg_sync_overhead_ns},
+           {"messages", static_cast<double>(res.messages)},
+           {"rollbacks", static_cast<double>(res.rollbacks)},
+           {"optimistic_attempts",
+            static_cast<double>(res.optimistic_attempts)},
+           {"optimistic_successes",
+            static_cast<double>(res.optimistic_successes)}},
+          is_gwc ? &res.lock_stats : nullptr)) {
+    return 1;
+  }
   if (flags.get_bool("csv")) {
     std::cout << "cpus,method,sections_per_ms,sync_overhead_ns,messages,"
                  "rollbacks,opt_attempts,opt_successes\n"
@@ -273,7 +374,7 @@ int run_fig1_cmd(const util::Flags& flags) {
     std::cout << "fig1 flags: --model gwc|entry|weak\n";
     return 0;
   }
-  flags.allow_only({"model", "help"});
+  flags.allow_only({"model", "help", "metrics-out"});
   const std::string model = flags.get("model", "gwc");
   workloads::Fig1Model m;
   if (model == "gwc") {
@@ -292,6 +393,15 @@ int run_fig1_cmd(const util::Flags& flags) {
   print_kv("idle CPU1/2/3", sim::format_time(res.idle_ns[0]) + " / " +
                                 sim::format_time(res.idle_ns[1]) + " / " +
                                 sim::format_time(res.idle_ns[2]));
+  if (!write_metrics_json(
+          flags.get("metrics-out"), "fig1",
+          {{"total_ns", static_cast<double>(res.total_ns)},
+           {"idle_cpu1_ns", static_cast<double>(res.idle_ns[0])},
+           {"idle_cpu2_ns", static_cast<double>(res.idle_ns[1])},
+           {"idle_cpu3_ns", static_cast<double>(res.idle_ns[2])}},
+          nullptr)) {
+    return 1;
+  }
   return 0;
 }
 
@@ -303,7 +413,7 @@ int run_fig7_cmd(const util::Flags& flags) {
     return 0;
   }
   flags.allow_only({"nodes", "near-ns", "far-ns", "help", "fault-drop",
-                    "fault-seed", "partition"});
+                    "fault-seed", "partition", "metrics-out", "trace-out"});
   workloads::Fig7Params p;
   p.nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
   p.near_section_ns =
@@ -313,6 +423,9 @@ int run_fig7_cmd(const util::Flags& flags) {
   faults::FaultPlan plan;
   if (!parse_fault_flags(flags, &plan)) return 2;
   p.dsm.faults = plan;
+  trace::Recorder recorder;
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) p.dsm.recorder = &recorder;
   const auto res = run_scenario_fig7(p);
   std::cout << res.trace;
   print_kv("final a", std::to_string(res.final_a) + " (expected " +
@@ -320,6 +433,16 @@ int run_fig7_cmd(const util::Flags& flags) {
   print_kv("rollbacks", std::to_string(res.rollbacks));
   print_kv("root drops", std::to_string(res.speculative_drops));
   if (!plan.empty()) print_fault_report(res.faults);
+  if (!write_trace_json(trace_out, recorder)) return 1;
+  if (!write_metrics_json(
+          flags.get("metrics-out"), "fig7",
+          {{"final_a", static_cast<double>(res.final_a)},
+           {"rollbacks", static_cast<double>(res.rollbacks)},
+           {"speculative_drops", static_cast<double>(res.speculative_drops)},
+           {"elapsed_ns", static_cast<double>(res.elapsed)}},
+          &res.lock_stats)) {
+    return 1;
+  }
   return res.final_a == res.expected_a ? 0 : 1;
 }
 
