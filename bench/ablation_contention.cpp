@@ -18,10 +18,10 @@ int main(int argc, char** argv) try {
   using workloads::CounterMethod;
 
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed", "metrics-out"});
-  benchio::MetricsOut metrics("ablation_contention",
-                              flags.get("metrics-out"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  bench::Harness harness("ablation_contention", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
+  const auto seed = harness.seed();
 
   const auto topo = net::MeshTorus2D::near_square(16);
   const sim::Duration think_levels[] = {800'000, 100'000, 10'000, 2'000};
@@ -48,6 +48,7 @@ int main(int argc, char** argv) try {
       p.increments_per_node = 40;
       p.think_mean_ns = think;
       p.seed = seed;
+      harness.apply(p.dsm);
       const auto res = run_counter(row.method, p, topo);
       if (res.final_count != res.expected_count) {
         std::cout << "MUTUAL EXCLUSION VIOLATION under " << row.name << ": "
@@ -83,7 +84,7 @@ int main(int argc, char** argv) try {
     table.print(std::cout);
     std::cout << "\n";
   }
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

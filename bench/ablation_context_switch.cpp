@@ -28,14 +28,15 @@ struct RunResult {
 };
 
 RunResult run(bool optimistic, sim::Duration swap_ns,
-              sim::Duration think_mean_ns, std::uint64_t seed) {
+              sim::Duration think_mean_ns, std::uint64_t seed,
+              const dsm::DsmConfig& dcfg) {
   constexpr std::size_t kNodes = 64;
   constexpr int kSections = 20;
   constexpr sim::Duration kBody = 4'000;
 
   sim::Scheduler sched;
   const auto topo = net::MeshTorus2D::near_square(kNodes);
-  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  dsm::DsmSystem sys(sched, topo, dcfg);
   std::vector<net::NodeId> members;
   for (net::NodeId i = 0; i < kNodes; ++i) members.push_back(i);
   const auto g = sys.create_group(members, 0);
@@ -91,15 +92,15 @@ RunResult run(bool optimistic, sim::Duration swap_ns,
 }
 
 void sweep(const char* label, sim::Duration think_mean_ns, std::uint64_t seed,
-           benchio::MetricsOut& metrics) {
+           const dsm::DsmConfig& dcfg, benchio::MetricsOut& metrics) {
   std::cout << "--- " << label << " (mean think "
             << sim::format_time(think_mean_ns) << ") ---\n";
   stats::Table table({"swap cost", "opt overhead/section",
                       "reg overhead/section", "reg/opt", "opt swaps",
                       "reg swaps", "speculations"});
   for (const sim::Duration swap : {0ull, 1'000ull, 5'000ull, 20'000ull}) {
-    const auto opt = run(true, swap, think_mean_ns, seed);
-    const auto reg = run(false, swap, think_mean_ns, seed);
+    const auto opt = run(true, swap, think_mean_ns, seed, dcfg);
+    const auto reg = run(false, swap, think_mean_ns, seed, dcfg);
     table.add_row(
         {sim::format_time(swap),
          sim::format_time(static_cast<sim::Time>(opt.avg_overhead_ns)),
@@ -133,19 +134,21 @@ void sweep(const char* label, sim::Duration think_mean_ns, std::uint64_t seed,
 
 int main(int argc, char** argv) try {
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed", "metrics-out"});
-  benchio::MetricsOut metrics("ablation_context_switch",
-                              flags.get("metrics-out"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+  bench::Harness harness("ablation_context_switch", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
+  const auto seed = harness.seed();
+  dsm::DsmConfig dcfg;
+  harness.apply(dcfg);
   std::cout << "Ablation: context-swap cost (64 CPUs, 4us sections)\n\n";
-  sweep("light contention", 4'000'000, seed, metrics);  // lock ~2% utilized
-  sweep("heavy contention", 100'000, seed, metrics);    // lock oversubscribed
+  sweep("light contention", 4'000'000, seed, dcfg, metrics);  // ~2% utilized
+  sweep("heavy contention", 100'000, seed, dcfg, metrics);  // oversubscribed
   std::cout << "Light contention: speculation hides the grant entirely, so\n"
                "the optimistic protocol pays neither the wait nor the swap.\n"
                "Heavy contention: the usage history disables speculation and\n"
                "both protocols queue (and swap) identically — optimism never\n"
                "hurts.\n";
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

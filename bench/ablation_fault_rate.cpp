@@ -25,10 +25,10 @@
 int main(int argc, char** argv) try {
   using namespace optsync;
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed", "nodes", "incr", "think", "csv", "metrics-out"});
-  benchio::MetricsOut metrics("ablation_fault_rate",
-                              flags.get("metrics-out"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  bench::Harness harness("ablation_fault_rate", flags);
+  harness.allow_only(flags, {"nodes", "incr", "think", "csv"});
+  auto& metrics = harness.metrics();
+  const auto seed = harness.seed();
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 16));
   const auto incr = static_cast<std::uint32_t>(flags.get_int("incr", 30));
   const auto think = static_cast<sim::Duration>(flags.get_int("think", 50'000));
@@ -59,6 +59,7 @@ int main(int argc, char** argv) try {
       p.increments_per_node = incr;
       p.think_mean_ns = think;
       p.seed = seed;
+      harness.apply(p.dsm);
       if (drop > 0.0) {
         p.dsm.faults = faults::FaultPlan(seed);
         p.dsm.faults.drop(drop, "lock").drop(drop, "data");
@@ -112,7 +113,7 @@ int main(int argc, char** argv) try {
       std::cout << "\n";
     }
   }
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

@@ -18,10 +18,10 @@ int main(int argc, char** argv) try {
   using namespace optsync;
 
   util::Flags flags(argc, argv);
-  flags.allow_only({"seed", "metrics-out"});
-  benchio::MetricsOut metrics("ablation_history_threshold",
-                              flags.get("metrics-out"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  bench::Harness harness("ablation_history_threshold", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
+  const auto seed = harness.seed();
 
   const auto topo = net::MeshTorus2D::near_square(16);
   const double thresholds[] = {0.0, 0.10, 0.30, 0.50, 0.90, 1.01};
@@ -45,6 +45,7 @@ int main(int argc, char** argv) try {
       p.think_mean_ns = think;
       p.history_threshold = th;
       p.seed = seed;
+      harness.apply(p.dsm);
       const auto res =
           run_counter(workloads::CounterMethod::kOptimisticGwc, p, topo);
       if (res.final_count != res.expected_count) {
@@ -82,7 +83,7 @@ int main(int argc, char** argv) try {
   std::cout << "paper: example threshold 0.30 with decay 0.95; heavily\n"
                "contended locks fall back to regular requests, adding zero\n"
                "extra traffic.\n";
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

@@ -41,10 +41,10 @@ struct Outcome {
 
 enum class Variant { kPublication, kOptimisticMutex, kRegularMutex };
 
-Outcome run(Variant variant) {
+Outcome run(Variant variant, const dsm::DsmConfig& dcfg) {
   sim::Scheduler sched;
   const auto topo = net::MeshTorus2D::near_square(kNodes);
-  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  dsm::DsmSystem sys(sched, topo, dcfg);
   std::vector<dsm::NodeId> members;
   for (dsm::NodeId i = 0; i < kNodes; ++i) members.push_back(i);
   const auto g = sys.create_group(members, 0);
@@ -142,16 +142,18 @@ Outcome run(Variant variant) {
 
 int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
-  flags.allow_only({"metrics-out"});
-  benchio::MetricsOut metrics("ablation_single_writer",
-                              flags.get("metrics-out"));
+  bench::Harness harness("ablation_single_writer", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
+  dsm::DsmConfig dcfg;
+  harness.apply(dcfg);
   std::cout << "Ablation: single-writer publication vs locking (§2)\n"
             << "(" << kNodes << " CPUs, 1 writer, " << kRounds
             << " updates of a 4-field record, readers every round)\n\n";
   stats::Table table({"variant", "elapsed", "messages", "consistent reads"});
-  const auto pub = run(Variant::kPublication);
-  const auto opt = run(Variant::kOptimisticMutex);
-  const auto reg = run(Variant::kRegularMutex);
+  const auto pub = run(Variant::kPublication, dcfg);
+  const auto opt = run(Variant::kOptimisticMutex, dcfg);
+  const auto reg = run(Variant::kRegularMutex, dcfg);
   table.add_row({"publication (no lock)", sim::format_time(pub.elapsed),
                  std::to_string(pub.messages), pub.torn_free ? "yes" : "NO"});
   table.add_row({"optimistic mutex", sim::format_time(opt.elapsed),
@@ -183,7 +185,7 @@ int main(int argc, char** argv) try {
       .set("rollbacks", static_cast<double>(reg.lock_stats.rollbacks));
   metrics.lock(opt.lock_stats);
   metrics.lock(reg.lock_stats);
-  if (!metrics.write()) return 1;
+  if (!harness.finish()) return 1;
   return pub.torn_free ? 0 : 1;
 }
 catch (const std::exception& e) {

@@ -16,6 +16,13 @@
 // records (acquire/hold percentiles, speculation outcomes) where the bench
 // exercises the GWC lock protocol.
 //
+// bench::Harness (below) layers the rest of the shared bench plumbing on
+// top: the standard flag set every bench accepts (--seed, --metrics-out,
+// --trace-out, --coalesce-max-writes, --coalesce-max-ns, --ack-delay-ns),
+// the flight recorder wiring for --trace-out, and the end-of-run writes.
+// Before it, eleven bench mains and the CLI each re-parsed these flags by
+// hand and each grew its own subset.
+//
 // Header-only on purpose: benches are standalone executables and this keeps
 // the CMake wiring untouched.
 #pragma once
@@ -26,8 +33,12 @@
 #include <utility>
 #include <vector>
 
+#include "dsm/types.hpp"
 #include "stats/json.hpp"
 #include "stats/lock_stats.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/recorder.hpp"
+#include "util/flags.hpp"
 
 namespace optsync::benchio {
 
@@ -101,4 +112,107 @@ class MetricsOut {
   std::vector<stats::LockStats> locks_;
 };
 
+/// The shared bench/CLI plumbing: standard flags, recorder, output writes.
+///
+/// Usage pattern:
+///
+///   util::Flags flags(argc, argv);
+///   benchio::Harness h("fig1_locking_comparison", flags);
+///   h.allow_only(flags, {"nodes", "think"});   // bench-specific extras
+///   ...
+///   Params p;
+///   h.apply(p.dsm);           // coalescing knobs, ack delay, recorder
+///   ... run, fill h.metrics() rows ...
+///   return h.finish() && ok ? 0 : 1;
+///
+/// Flags handled here (defaults mirror DsmConfig / ReliableConfig, so an
+/// unflagged run is byte-identical to constructing the config directly):
+///   --seed N                 workload/fault seed (default 42)
+///   --metrics-out PATH       optsync-bench/1 JSON document
+///   --trace-out PATH         Chrome trace of the run's flight record
+///   --coalesce-max-writes N  root frame size cap (default 1 = unbatched)
+///   --coalesce-max-ns NS     partial-frame flush deadline
+///   --ack-delay-ns NS        reliable-channel delayed/piggybacked acks
+class Harness {
+ public:
+  Harness(std::string bench, const util::Flags& flags)
+      : metrics_(std::move(bench), flags.get("metrics-out")),
+        trace_out_(flags.get("trace-out")),
+        seed_(static_cast<std::uint64_t>(flags.get_int("seed", 42))),
+        coalesce_max_writes_(static_cast<std::uint32_t>(
+            flags.get_int("coalesce-max-writes",
+                          dsm::DsmConfig{}.coalesce_max_writes))),
+        coalesce_max_ns_(
+            flags.get_int("coalesce-max-ns", dsm::DsmConfig{}.coalesce_max_ns)),
+        ack_delay_ns_(flags.get_int("ack-delay-ns",
+                                    net::ReliableConfig{}.ack_delay_ns)) {}
+
+  /// Flags::allow_only with the harness's standard names spliced in; pass
+  /// only the bench-specific extras.
+  void allow_only(const util::Flags& flags,
+                  std::vector<std::string> extras) const {
+    extras.insert(extras.end(), {"seed", "metrics-out", "trace-out",
+                                 "coalesce-max-writes", "coalesce-max-ns",
+                                 "ack-delay-ns"});
+    flags.allow_only(extras);
+  }
+
+  /// Pushes the standard knobs into a run's DsmConfig. Wires the flight
+  /// recorder in when --trace-out was requested.
+  void apply(dsm::DsmConfig& cfg) {
+    cfg.coalesce_max_writes = coalesce_max_writes_;
+    cfg.coalesce_max_ns = coalesce_max_ns_;
+    cfg.reliable.ack_delay_ns = ack_delay_ns_;
+    if (tracing()) cfg.recorder = &recorder_;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint32_t coalesce_max_writes() const {
+    return coalesce_max_writes_;
+  }
+  [[nodiscard]] sim::Duration coalesce_max_ns() const {
+    return coalesce_max_ns_;
+  }
+  [[nodiscard]] sim::Duration ack_delay_ns() const { return ack_delay_ns_; }
+
+  [[nodiscard]] bool tracing() const { return !trace_out_.empty(); }
+  [[nodiscard]] trace::Recorder& recorder() { return recorder_; }
+  [[nodiscard]] MetricsOut& metrics() { return metrics_; }
+
+  /// End-of-run writes: the Chrome trace (when requested) and the metrics
+  /// document. False on any I/O failure so mains can exit nonzero.
+  [[nodiscard]] bool finish() {
+    bool ok = true;
+    if (tracing()) {
+      std::ofstream out(trace_out_);
+      if (!out) {
+        std::cerr << "error: cannot open --trace-out file: " << trace_out_
+                  << "\n";
+        ok = false;
+      } else {
+        trace::write_chrome_trace(out, recorder_);
+        std::cout << "trace written to " << trace_out_ << " ("
+                  << recorder_.size() << " events; load in Perfetto or"
+                  << " chrome://tracing)\n";
+      }
+    }
+    if (!metrics_.write()) ok = false;
+    return ok;
+  }
+
+ private:
+  MetricsOut metrics_;
+  std::string trace_out_;
+  std::uint64_t seed_;
+  std::uint32_t coalesce_max_writes_;
+  sim::Duration coalesce_max_ns_;
+  sim::Duration ack_delay_ns_;
+  trace::Recorder recorder_;
+};
+
 }  // namespace optsync::benchio
+
+namespace optsync::bench {
+using benchio::Harness;    // canonical alias: bench::Harness
+using benchio::MetricsOut;
+}  // namespace optsync::bench

@@ -23,15 +23,17 @@ int main(int argc, char** argv) try {
   // reproduces the figure's full x-axis. --seed varies the consumers'
   // polling jitter.
   util::Flags flags(argc, argv);
-  flags.allow_only({"quick", "seed", "metrics-out"});
-  benchio::MetricsOut metrics("fig2_task_management",
-                              flags.get("metrics-out"));
+  bench::Harness harness("fig2_task_management", flags);
+  harness.allow_only(flags, {"quick"});
+  auto& metrics = harness.metrics();
   const bool quick = flags.get_bool("quick");
   std::vector<std::size_t> sizes = {3, 5, 9, 17, 33, 65, 129};
   if (!quick) sizes.push_back(257);
 
   workloads::TaskQueueParams params;
-  params.seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+  params.seed = harness.seed();
+  dsm::DsmConfig dcfg;
+  harness.apply(dcfg);
 
   std::cout << "Figure 2: speedup for task management (" << params.total_tasks
             << " tasks, produce:execute = 1:"
@@ -50,8 +52,7 @@ int main(int argc, char** argv) try {
     params.nodes_used = n;
 
     const auto ideal = workloads::run_task_queue_ideal(params, topo);
-    const auto gwc =
-        workloads::run_task_queue_gwc(params, topo, dsm::DsmConfig{});
+    const auto gwc = workloads::run_task_queue_gwc(params, topo, dcfg);
     const auto entry =
         workloads::run_task_queue_entry(params, topo, net::LinkModel::paper());
 
@@ -85,7 +86,7 @@ int main(int argc, char** argv) try {
             << " @ " << peak_entry_n << " CPUs; ratio "
             << stats::Table::num(peak_gwc / std::max(peak_entry, 1e-9)) << "\n";
   std::cout << "paper:  GWC 84.1 @ 129; entry 22.5 @ 33; ratio 3.7\n";
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

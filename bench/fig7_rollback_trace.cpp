@@ -5,27 +5,22 @@
 // race to the root. The trace shows: both lock requests, the near grant, the
 // far node's interrupt + rollback, the root silently dropping the stale
 // speculative update, and the final correct update after the queued grant.
-#include <fstream>
 #include <iostream>
 
 #include "bench_metrics.hpp"
-#include "trace/chrome_export.hpp"
-#include "trace/recorder.hpp"
 #include "util/flags.hpp"
 #include "workloads/scenario_fig7.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace optsync;
 
   const util::Flags flags(argc, argv);
-  flags.allow_only({"metrics-out", "trace-out"});
-  benchio::MetricsOut metrics("fig7_rollback_trace",
-                              flags.get("metrics-out"));
-  const std::string trace_out = flags.get("trace-out");
+  bench::Harness harness("fig7_rollback_trace", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
 
-  trace::Recorder recorder;
   workloads::Fig7Params params;
-  if (!trace_out.empty()) params.dsm.recorder = &recorder;
+  harness.apply(params.dsm);
   const auto res = workloads::run_scenario_fig7(params);
 
   std::cout << "Figure 7: the most complex rollback interaction\n\n"
@@ -55,20 +50,6 @@ int main(int argc, char** argv) {
                " suppressed at the root,\nand the retried section produces"
                " the same state a non-optimistic execution would.\n";
 
-  if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::cerr << "error: cannot open --trace-out file: " << trace_out
-                << "\n";
-      ok = false;
-    } else {
-      trace::write_chrome_trace(out, recorder);
-      std::cout << "trace written to " << trace_out << " ("
-                << recorder.size() << " events; load in Perfetto or"
-                << " chrome://tracing)\n";
-    }
-  }
-
   metrics.row("fig7")
       .set("final_a", static_cast<double>(res.final_a))
       .set("rollbacks", static_cast<double>(res.rollbacks))
@@ -76,6 +57,10 @@ int main(int argc, char** argv) {
       .set("echoes_dropped", static_cast<double>(res.echoes_dropped))
       .set("elapsed_ns", static_cast<double>(res.elapsed));
   metrics.lock(res.lock_stats);
-  if (!metrics.write()) ok = false;
+  if (!harness.finish()) ok = false;
   return ok ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

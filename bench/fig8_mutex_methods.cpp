@@ -25,13 +25,15 @@ int main(int argc, char** argv) try {
   using workloads::PipelineMethod;
 
   const util::Flags flags(argc, argv);
-  flags.allow_only({"quick", "metrics-out"});
-  benchio::MetricsOut metrics("fig8_mutex_methods", flags.get("metrics-out"));
+  bench::Harness harness("fig8_mutex_methods", flags);
+  harness.allow_only(flags, {"quick"});
+  auto& metrics = harness.metrics();
   const bool quick = flags.get_bool("quick");
   std::vector<std::size_t> sizes = {2, 4, 8, 16, 32, 64};
   if (!quick) sizes.push_back(128);
 
   workloads::PipelineParams params;
+  harness.apply(params.dsm);
 
   std::cout << "Figure 8: mutex methods — network power in CPUs\n"
             << "(pipeline of " << params.data_items
@@ -92,7 +94,7 @@ int main(int argc, char** argv) try {
                " (no-delay bound 1.89)\n"
             << "paper summary: optimistic ~1.1x regular GWC, ~2.1x entry"
                " consistency; no rollbacks occur.\n";
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

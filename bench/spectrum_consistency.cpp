@@ -24,9 +24,9 @@ int main(int argc, char** argv) try {
   using consistency::Model;
 
   const util::Flags flags(argc, argv);
-  flags.allow_only({"metrics-out"});
-  benchio::MetricsOut metrics("spectrum_consistency",
-                              flags.get("metrics-out"));
+  bench::Harness harness("spectrum_consistency", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
 
   consistency::SpectrumParams params;
 
@@ -69,7 +69,7 @@ int main(int argc, char** argv) try {
   std::cout << "paper (§1.2): SC worst everywhere; TSO's central arbitrator\n"
                "degrades with size; GWC pays with messages, never with"
                " stalls.\n";
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

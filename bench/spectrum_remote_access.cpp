@@ -85,10 +85,11 @@ Result run_demand(std::size_t n, int reads_per_round) {
 
 // --- eagersharing ----------------------------------------------------------
 
-Result run_eager(std::size_t n, int reads_per_round) {
+Result run_eager(std::size_t n, int reads_per_round,
+                 const dsm::DsmConfig& dcfg) {
   sim::Scheduler sched;
   const auto topo = net::MeshTorus2D::near_square(n);
-  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  dsm::DsmSystem sys(sched, topo, dcfg);
   std::vector<net::NodeId> members;
   for (net::NodeId i = 0; i < n; ++i) members.push_back(i);
   const auto g = sys.create_group(members, 0);
@@ -134,9 +135,11 @@ Result run_eager(std::size_t n, int reads_per_round) {
 
 int main(int argc, char** argv) try {
   const util::Flags flags(argc, argv);
-  flags.allow_only({"metrics-out"});
-  benchio::MetricsOut metrics("spectrum_remote_access",
-                              flags.get("metrics-out"));
+  bench::Harness harness("spectrum_remote_access", flags);
+  harness.allow_only(flags, {});
+  auto& metrics = harness.metrics();
+  dsm::DsmConfig dcfg;
+  harness.apply(dcfg);
   std::cout << "Remote-access spectrum (§1.1): demand fetch vs eagersharing\n"
             << "(1 producer updating every " << sim::format_time(kGap)
             << ", " << kRounds << " rounds)\n\n";
@@ -146,7 +149,7 @@ int main(int argc, char** argv) try {
                     "demand msgs", "eager msgs"});
   for (const std::size_t n : {4, 16, 64}) {
     const auto d = run_demand(n, 1);
-    const auto e = run_eager(n, 1);
+    const auto e = run_eager(n, 1, dcfg);
     hot.add_row({std::to_string(n),
                  sim::format_time(static_cast<sim::Time>(d.avg_read_stall_ns)),
                  sim::format_time(static_cast<sim::Time>(e.avg_read_stall_ns)),
@@ -163,8 +166,8 @@ int main(int argc, char** argv) try {
   stats::Table cold({"CPUs", "demand msgs", "eager msgs"});
   for (const std::size_t n : {4, 16, 64}) {
     // Model rare reads by reading once every 16 rounds: run 1/16 the reads.
-    const auto d = run_demand(n, 0);  // writes only: demand sends nothing
-    const auto e = run_eager(n, 0);   // eagersharing still multicasts all
+    const auto d = run_demand(n, 0);       // writes only: demand sends nothing
+    const auto e = run_eager(n, 0, dcfg);  // eagersharing still multicasts
     cold.add_row({std::to_string(n), std::to_string(d.messages),
                   std::to_string(e.messages)});
     metrics.row("write-mostly,cpus=" + std::to_string(n))
@@ -177,7 +180,7 @@ int main(int argc, char** argv) try {
                " read stalls)\nat the price of multicast traffic; demand"
                " fetch minimizes traffic but stalls\nevery post-update read"
                " — and the stalls grow with machine size.\n";
-  return metrics.write() ? 0 : 1;
+  return harness.finish() ? 0 : 1;
 }
 catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";

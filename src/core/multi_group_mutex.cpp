@@ -35,13 +35,16 @@ sim::Process MultiGroupMutex::acquire_impl(dsm::NodeId n) {
     co_await client->acquire(n).join();
   }
   ++stats_.acquisitions;
-  stats_.total_acquire_ns += sys_->scheduler().now() - started;
+  const sim::Duration waited = sys_->scheduler().now() - started;
+  stats_.total_wait_ns += waited;
+  stats_.max_wait_ns = std::max(stats_.max_wait_ns, waited);
 }
 
 void MultiGroupMutex::release(dsm::NodeId n) {
   for (auto it = clients_.rbegin(); it != clients_.rend(); ++it) {
     (*it)->release(n);
   }
+  ++stats_.releases;
 }
 
 bool MultiGroupMutex::held_by(dsm::NodeId n) const {

@@ -18,10 +18,11 @@
 #include "dsm/system.hpp"
 #include "simkern/coro.hpp"
 #include "sync/gwc_lock.hpp"
+#include "sync/lock.hpp"
 
 namespace optsync::core {
 
-class MultiGroupMutex {
+class MultiGroupMutex : public sync::Lock {
  public:
   /// `locks` may live in any number of distinct groups. They are reordered
   /// into the global acquisition order internally.
@@ -32,23 +33,24 @@ class MultiGroupMutex {
 
   /// Acquires every lock, in global order. The caller must be a member of
   /// every involved group. Use as: co_await m.acquire(n).join();
-  sim::Process acquire(dsm::NodeId n);
+  sim::Process acquire(dsm::NodeId n) override;
 
   /// Releases every lock, in reverse order.
-  void release(dsm::NodeId n);
+  void release(dsm::NodeId n) override;
 
   /// True when node `n` holds all the locks.
-  [[nodiscard]] bool held_by(dsm::NodeId n) const;
+  [[nodiscard]] bool held_by(dsm::NodeId n) const override;
 
   [[nodiscard]] const std::vector<dsm::VarId>& locks() const {
     return ordered_;
   }
 
-  struct Stats {
-    std::uint64_t acquisitions = 0;
-    sim::Duration total_acquire_ns = 0;
-  };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Unified counters. The wait here is the whole-chain acquire latency
+  /// (first request to last grant), not a per-constituent-lock figure.
+  [[nodiscard]] const sync::LockStatsView& stats() const { return stats_; }
+  [[nodiscard]] sync::LockStatsView stats_view() const override {
+    return stats_;
+  }
 
  private:
   sim::Process acquire_impl(dsm::NodeId n);
@@ -56,7 +58,7 @@ class MultiGroupMutex {
   dsm::DsmSystem* sys_;
   std::vector<dsm::VarId> ordered_;
   std::vector<std::unique_ptr<sync::GwcQueueLock>> clients_;
-  Stats stats_;
+  sync::LockStatsView stats_;
 };
 
 }  // namespace optsync::core

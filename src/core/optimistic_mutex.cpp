@@ -1,5 +1,7 @@
 #include "core/optimistic_mutex.hpp"
 
+#include <algorithm>
+
 #include "simkern/assert.hpp"
 #include "simkern/log.hpp"
 
@@ -24,6 +26,46 @@ OptimisticMutex::NodeState& OptimisticMutex::state(NodeId n) {
     it = states_.emplace(n, NodeState(cfg_.history_decay)).first;
   }
   return it->second;
+}
+
+bool OptimisticMutex::held_by(NodeId n) const {
+  return sys_->node(n).read(lock_) == lock_grant_value(n);
+}
+
+bool OptimisticMutex::try_speculate(NodeId n) const {
+  if (!cfg_.enable_optimistic) return false;
+  if (sys_->node(n).read(lock_) != kLockFree) return false;
+  const auto it = states_.find(n);
+  return it == states_.end() ||
+         !it->second.history.indicates_usage(cfg_.history_threshold);
+}
+
+sim::Process OptimisticMutex::acquire(NodeId n) {
+  auto& node = sys_->node(n);
+  OPTSYNC_EXPECT(!held_by(n));  // no nested acquisition
+  auto& st = state(n);
+  const sim::Time requested = sys_->scheduler().now();
+
+  const Word old_val = node.atomic_exchange(lock_, lock_request_value(n));
+  emit(n, trace::EventKind::kLockRequest, lock_request_value(n));
+  st.history.observe(
+      lock_held(old_val) && dsm::lock_holder(old_val) != n ? 1.0 : 0.0);
+  while (node.read(lock_) != lock_grant_value(n)) {
+    co_await node.on_change(lock_).wait();
+  }
+  emit(n, trace::EventKind::kLockAcquire, lock_grant_value(n));
+
+  const sim::Duration waited = sys_->scheduler().now() - requested;
+  ++stats_.acquisitions;
+  stats_.total_wait_ns += waited;
+  stats_.max_wait_ns = std::max(stats_.max_wait_ns, waited);
+}
+
+void OptimisticMutex::release(NodeId n) {
+  OPTSYNC_EXPECT(held_by(n));
+  sys_->node(n).write(lock_, kLockFree);
+  emit(n, trace::EventKind::kLockRelease, kLockFree);
+  ++stats_.releases;
 }
 
 double OptimisticMutex::history_value(NodeId n) const {
@@ -262,6 +304,13 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
   emit(n, trace::EventKind::kLockRelease, kLockFree);
   st.in_section = false;
   local_stats.finished_at = sched.now();
+  // Unified-view accounting: every completed execution is one confirmed
+  // acquisition + one release; the wait is request-to-ownership.
+  ++stats_.acquisitions;
+  ++stats_.releases;
+  const sim::Duration waited = acquired_at - local_stats.requested_at;
+  stats_.total_wait_ns += waited;
+  stats_.max_wait_ns = std::max(stats_.max_wait_ns, waited);
   if (cfg_.lock_stats != nullptr) {
     ++cfg_.lock_stats->acquisitions;
     cfg_.lock_stats->acquire_ns.record(acquired_at -

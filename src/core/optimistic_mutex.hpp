@@ -27,6 +27,7 @@
 #include "dsm/system.hpp"
 #include "simkern/coro.hpp"
 #include "stats/lock_stats.hpp"
+#include "sync/lock.hpp"
 #include "trace/recorder.hpp"
 
 namespace optsync::core {
@@ -58,7 +59,7 @@ struct ExecuteStats {
   sim::Time finished_at = 0;
 };
 
-class OptimisticMutex {
+class OptimisticMutex : public sync::Lock {
  public:
   struct Config {
     /// Master switch; false degrades execute() to the regular GWC queue
@@ -106,23 +107,36 @@ class OptimisticMutex {
   sim::Process execute(dsm::NodeId n, Section section,
                        ExecuteStats* out = nullptr);
 
+  // --- sync::Lock interface --------------------------------------------
+  /// Regular-path (non-speculative) acquisition for callers that manage
+  /// the critical section themselves. execute() remains the full Fig. 4
+  /// transformation; this is the §2 queue-lock protocol on the same lock
+  /// variable, sharing the same wait-time accounting.
+  sim::Process acquire(dsm::NodeId n) override;
+
+  /// Writes FREE; must follow the holder's final data writes.
+  void release(dsm::NodeId n) override;
+
+  /// True when node `n`'s local copy shows `n` as the holder.
+  [[nodiscard]] bool held_by(dsm::NodeId n) const override;
+
+  /// Advisory Fig. 4 line 07 probe: optimism enabled, the local lock copy
+  /// reads FREE, and the EWMA history does not indicate usage.
+  [[nodiscard]] bool try_speculate(dsm::NodeId n) const override;
+
+  [[nodiscard]] sync::LockStatsView stats_view() const override {
+    return stats_;
+  }
+
   /// The node's current busyness estimate for this lock.
   [[nodiscard]] double history_value(dsm::NodeId n) const;
 
   /// True while node `n` is inside execute() (Fig. 4 line 01/28 guard).
   [[nodiscard]] bool in_section(dsm::NodeId n) const;
 
-  struct Stats {
-    std::uint64_t executions = 0;
-    std::uint64_t optimistic_attempts = 0;
-    std::uint64_t optimistic_successes = 0;
-    std::uint64_t rollbacks = 0;
-    std::uint64_t regular_paths = 0;
-    std::uint64_t context_switches = 0;  ///< blocking episodes that swapped
-    std::uint64_t history_vetoes = 0;    ///< regular paths forced purely by
-                                         ///< the EWMA history estimate
-  };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Live counters in the unified shape (executions, optimistic_attempts,
+  /// rollbacks, ... — the historical field names are all preserved there).
+  [[nodiscard]] const sync::LockStatsView& stats() const { return stats_; }
 
   [[nodiscard]] dsm::VarId lock_var() const { return lock_; }
 
@@ -147,7 +161,7 @@ class OptimisticMutex {
   dsm::VarId lock_;
   Config cfg_;
   std::unordered_map<dsm::NodeId, NodeState> states_;
-  Stats stats_;
+  sync::LockStatsView stats_;
 };
 
 }  // namespace optsync::core

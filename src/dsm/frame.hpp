@@ -1,0 +1,95 @@
+// Multicast frames: the unit of root -> member shipping.
+//
+// The root sequences every eagershared write of its group; instead of paying
+// one network message per sequenced write, it accumulates consecutive writes
+// into a frame and multicasts the frame down the spanning tree. Writes keep
+// their individual sequence numbers — framing changes packaging, never order
+// — and a lock grant issued right after a holder's release rides in the same
+// frame as that holder's final data writes (paper §2: "the next queued
+// number is written as the new lock value" immediately after the releaser's
+// updates).
+//
+// Wire-format model: each single-write message carries a per-message header
+// of `header_bytes` inside its `bytes_for(var)` cost. Writes sharing a frame
+// share one header, so an n-write frame costs
+//
+//     sum(bytes_for(var_i)) - (n - 1) * header_bytes
+//
+// floored at header_bytes + 4n (a 4-byte record stub per write can never be
+// amortized away). A 1-write frame therefore costs exactly bytes_for(var) —
+// the unbatched model is the n = 1 special case, byte for byte.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dsm/types.hpp"
+
+namespace optsync::dsm {
+
+/// One root-sequenced write as shipped in a frame.
+struct SequencedWrite {
+  std::uint64_t seq = 0;
+  VarId var = kNoVar;
+  Word value = 0;
+  NodeId origin = kNoNode;
+};
+
+/// An ordered run of sequenced writes multicast as one network message.
+/// Sequence numbers are contiguous and ascending (the root appends writes
+/// in sequencing order and never reorders).
+struct Frame {
+  std::vector<SequencedWrite> writes;
+
+  [[nodiscard]] bool empty() const { return writes.empty(); }
+  [[nodiscard]] std::size_t size() const { return writes.size(); }
+  [[nodiscard]] std::uint64_t first_seq() const { return writes.front().seq; }
+  [[nodiscard]] std::uint64_t last_seq() const { return writes.back().seq; }
+};
+
+/// Wire size of a frame whose writes total `sum_write_bytes` as standalone
+/// messages: one shared header replaces the n per-message headers. See the
+/// file comment for the floor. n == 1 yields exactly `sum_write_bytes`.
+[[nodiscard]] inline std::uint32_t frame_wire_bytes(
+    std::uint64_t sum_write_bytes, std::size_t n_writes,
+    std::uint32_t header_bytes) {
+  if (n_writes == 0) return 0;
+  const std::uint64_t amortized =
+      static_cast<std::uint64_t>(n_writes - 1) * header_bytes;
+  const std::uint64_t floor =
+      header_bytes + 4ull * static_cast<std::uint64_t>(n_writes);
+  const std::uint64_t bytes =
+      std::max(sum_write_bytes > amortized ? sum_write_bytes - amortized : 0,
+               floor);
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      bytes, std::numeric_limits<std::uint32_t>::max()));
+}
+
+/// Splits a frame into chunks of at most `max_writes` writes each,
+/// preserving order. The inverse of merge_frames; used by tests and by any
+/// transport that needs to re-packetize (an MTU model, say).
+[[nodiscard]] inline std::vector<Frame> split_frame(const Frame& f,
+                                                    std::size_t max_writes) {
+  std::vector<Frame> out;
+  if (max_writes == 0) max_writes = 1;
+  for (std::size_t i = 0; i < f.writes.size(); i += max_writes) {
+    Frame chunk;
+    const auto end = std::min(i + max_writes, f.writes.size());
+    chunk.writes.assign(f.writes.begin() + static_cast<std::ptrdiff_t>(i),
+                        f.writes.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+/// Concatenates frames back into one, in order.
+[[nodiscard]] inline Frame merge_frames(const std::vector<Frame>& parts) {
+  Frame out;
+  for (const Frame& p : parts) {
+    out.writes.insert(out.writes.end(), p.writes.begin(), p.writes.end());
+  }
+  return out;
+}
+
+}  // namespace optsync::dsm

@@ -103,6 +103,12 @@ void DsmNode::deliver(GroupId g, std::uint64_t seq, VarId v, Word value,
   apply(Pending{g, seq, v, value, origin});
 }
 
+void DsmNode::deliver_frame(GroupId g, const Frame& frame) {
+  for (const SequencedWrite& w : frame.writes) {
+    deliver(g, w.seq, w.var, w.value, w.origin);
+  }
+}
+
 void DsmNode::apply(const Pending& p) {
   // Hardware blocking (Fig. 6): drop root echoes of this node's own writes
   // to mutex-protected data so a late echo can never overwrite values

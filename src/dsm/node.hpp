@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dsm/frame.hpp"
 #include "dsm/types.hpp"
 #include "simkern/coro.hpp"
 
@@ -85,6 +86,12 @@ class DsmNode {
   /// A sequenced update from a group root arrives at this interface.
   void deliver(GroupId g, std::uint64_t seq, VarId v, Word value,
                NodeId origin);
+
+  /// A whole multicast frame arrives: its writes are applied one by one in
+  /// sequence order through deliver(), so an interrupt raised mid-frame
+  /// (a lock grant riding with data) suspends insharing and queues the
+  /// remainder of the frame exactly as it would queue later packets.
+  void deliver_frame(GroupId g, const Frame& frame);
 
   struct Stats {
     std::uint64_t local_writes = 0;

@@ -114,7 +114,59 @@ void GroupRoot::multicast(VarId v, Word value, NodeId origin) {
     e.label = var_kind_name(sys_->var(v).kind);
     rec->record(e);
   }
-  sys_->multicast(gid_, seq, v, value, origin);
+
+  // Coalescing: append into the open frame; ship when the size cap fills it
+  // or the coalesce timer expires. Sequencing order IS frame order, so a
+  // grant emitted right after a release (handle_lock_write) lands in the
+  // same frame as the releasing holder's final data writes (§2). At
+  // coalesce_max_writes == 1 the size cap fires on every write and this is
+  // exactly the old ship-immediately path.
+  pending_.writes.push_back(SequencedWrite{seq, v, value, origin});
+  const std::uint32_t cap = std::max(1u, sys_->config().coalesce_max_writes);
+  if (pending_.writes.size() >= cap) {
+    flush_pending(/*timer_fired=*/false);
+    return;
+  }
+  if (flush_timer_ == 0) {
+    flush_timer_ = sys_->scheduler().after(
+        sys_->config().coalesce_max_ns,
+        [this] {
+          flush_timer_ = 0;
+          flush_pending(/*timer_fired=*/true);
+        });
+  }
+}
+
+void GroupRoot::flush() { flush_pending(/*timer_fired=*/false); }
+
+void GroupRoot::flush_pending(bool timer_fired) {
+  if (flush_timer_ != 0) {
+    sys_->scheduler().cancel(flush_timer_);
+    flush_timer_ = 0;
+  }
+  if (pending_.writes.empty()) return;
+  ++stats_.frames;
+  if (timer_fired) {
+    ++stats_.timer_flushes;
+  } else {
+    ++stats_.size_flushes;
+  }
+  stats_.max_frame_writes =
+      std::max(stats_.max_frame_writes, pending_.writes.size());
+  if (auto* rec = sys_->recorder()) {
+    trace::Event e;
+    e.t = sys_->scheduler().now();
+    e.kind = trace::EventKind::kFrameFlush;
+    e.node = sys_->group(gid_).root();
+    e.group = gid_;
+    e.seq = pending_.first_seq();
+    e.value = static_cast<std::int64_t>(pending_.writes.size());
+    e.label = timer_fired ? "timer" : "size";
+    rec->record(e);
+  }
+  Frame out;
+  out.writes.swap(pending_.writes);
+  sys_->multicast_frame(gid_, std::move(out));
 }
 
 }  // namespace optsync::dsm

@@ -13,7 +13,9 @@
 #include <deque>
 #include <unordered_map>
 
+#include "dsm/frame.hpp"
 #include "dsm/types.hpp"
+#include "simkern/scheduler.hpp"
 
 namespace optsync::dsm {
 
@@ -43,8 +45,21 @@ class GroupRoot {
   struct Stats {
     std::uint64_t sequenced = 0;
     std::uint64_t speculative_drops = 0;  ///< filtered non-holder writes (§4)
+    std::uint64_t frames = 0;             ///< multicast frames flushed
+    std::uint64_t size_flushes = 0;       ///< frames closed by the size cap
+    std::uint64_t timer_flushes = 0;      ///< frames closed by coalesce_max_ns
+    std::size_t max_frame_writes = 0;     ///< largest frame shipped
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Flushes the pending frame now, if any (tests and shutdown barriers;
+  /// normal operation flushes on the size cap or the coalesce timer).
+  void flush();
+
+  /// Writes sequenced but not yet multicast (the open frame's size).
+  [[nodiscard]] std::size_t pending_writes() const {
+    return pending_.writes.size();
+  }
 
   [[nodiscard]] GroupId group() const { return gid_; }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
@@ -52,11 +67,14 @@ class GroupRoot {
  private:
   void handle_lock_write(NodeId origin, VarId v, Word value);
   void multicast(VarId v, Word value, NodeId origin);
+  void flush_pending(bool timer_fired);
 
   DsmSystem* sys_;
   GroupId gid_;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<VarId, LockState> locks_;
+  Frame pending_;                 ///< open frame awaiting flush
+  sim::EventId flush_timer_ = 0;  ///< 0 = not armed
   Stats stats_;
 };
 

@@ -142,31 +142,54 @@ void DsmSystem::share_out(NodeId origin, VarId v, Word value) {
                  });
 }
 
-void DsmSystem::multicast(GroupId g, std::uint64_t seq, VarId v, Word value,
-                          NodeId origin) {
+void DsmSystem::multicast_frame(GroupId g, Frame frame) {
+  OPTSYNC_EXPECT(!frame.writes.empty());
   const Group& grp = group(g);
   const NodeId root = grp.root();
-  const char* tag = vars_[v].kind == VarKind::kLock ? "lock-down" : "data-down";
-  const std::uint32_t bytes = bytes_for(v);
+  // A frame carrying any lock word travels as lock traffic (a grant rides
+  // with the previous holder's data); pure data frames stay "data-down".
+  // At coalesce_max_writes == 1 this reproduces the per-write tags exactly.
+  bool has_lock = false;
+  std::uint64_t sum_bytes = 0;
+  for (const SequencedWrite& w : frame.writes) {
+    sum_bytes += bytes_for(w.var);
+    if (vars_[w.var].kind == VarKind::kLock) has_lock = true;
+  }
+  const char* tag = has_lock ? "lock-down" : "data-down";
+  const std::uint32_t bytes = frame_wire_bytes(sum_bytes, frame.writes.size(),
+                                               config_.frame_header_bytes);
   sim::Duration proc = config_.root_process_ns;
   if (config_.root_jitter_ns > 0) {
-    // Congestion injection: one draw per sequencing step (every member's
-    // copy of this update is delayed identically).
+    // Congestion injection: one draw per frame (every member's copy of this
+    // frame is delayed identically).
     proc += jitter_rng_.below(config_.root_jitter_ns);
   }
-  // The root dispatches sequenced updates as a serial server: dispatch
-  // times are monotone per group, so per-member delivery stays FIFO (the
-  // GWC guarantee) even under jittered processing times.
+  // The root dispatches frames as a serial server: dispatch times are
+  // monotone per group, so per-member delivery stays FIFO (the GWC
+  // guarantee) even under jittered processing times.
   if (group_busy_until_.size() <= g) group_busy_until_.resize(g + 1, 0);
-  const sim::Time dispatch =
-      std::max(sched_->now(), group_busy_until_[g]) + proc;
+  if (group_wire_clear_.size() <= g) group_wire_clear_.resize(g + 1, 0);
+  sim::Time dispatch = std::max(sched_->now(), group_busy_until_[g]) + proc;
+  // Frames vary in size, and a message's flight time grows with its size:
+  // a small frame injected right behind a large one could arrive first and
+  // violate per-member FIFO. Hold the injection until the previous frame
+  // has cleared the root's serializer — with equal-size messages (any
+  // coalesce_max_writes == 1 run over uniform update_bytes) the clamp never
+  // binds and dispatch times are identical to the unbatched model.
+  const sim::Duration serialize =
+      static_cast<sim::Duration>(bytes) * config_.link.ns_per_byte;
+  if (dispatch + serialize < group_wire_clear_[g]) {
+    dispatch = group_wire_clear_[g] - serialize;
+  }
   group_busy_until_[g] = dispatch;
+  group_wire_clear_[g] = dispatch + serialize;
+  // Every member's copy shares one immutable payload.
+  auto payload = std::make_shared<const Frame>(std::move(frame));
   for (const NodeId m : grp.members()) {
-    sched_->at(dispatch, [this, &grp, root, m, g, seq, v, value, origin,
-                          bytes, tag] {
+    sched_->at(dispatch, [this, &grp, root, m, g, bytes, tag, payload] {
       transport_send(root, m, grp.down_hops(m), bytes, tag,
-                     [this, m, g, seq, v, value, origin] {
-                       nodes_[m]->deliver(g, seq, v, value, origin);
+                     [this, m, g, payload] {
+                       nodes_[m]->deliver_frame(g, *payload);
                      });
     });
   }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "dsm/frame.hpp"
 #include "dsm/group.hpp"
 #include "dsm/node.hpp"
 #include "dsm/root.hpp"
@@ -90,9 +91,10 @@ class DsmSystem {
   /// Ships a node's write to its group root (up the spanning tree).
   void share_out(NodeId origin, VarId v, Word value);
 
-  /// Root -> members: multicasts a sequenced update down the tree.
-  void multicast(GroupId g, std::uint64_t seq, VarId v, Word value,
-                 NodeId origin);
+  /// Root -> members: multicasts a frame of sequenced writes down the tree.
+  /// The whole frame travels as one message per member (per-frame header
+  /// amortization; see dsm/frame.hpp for the byte model).
+  void multicast_frame(GroupId g, Frame frame);
 
   /// Wire size of messages about variable `v`.
   [[nodiscard]] std::uint32_t bytes_for(VarId v) const;
@@ -116,6 +118,11 @@ class DsmSystem {
   std::vector<std::unique_ptr<GroupRoot>> roots_;
   std::vector<VarInfo> vars_;
   std::vector<sim::Time> group_busy_until_;  ///< root serial-dispatch clock
+  /// When the root's interface finishes serializing its latest frame. A
+  /// later, smaller frame may not be injected so soon after a larger one
+  /// that it would overtake it on the (FIFO) down links — frames of one
+  /// group vary in size, and per-member delivery order must stay FIFO.
+  std::vector<sim::Time> group_wire_clear_;
   sim::Rng jitter_rng_{0};
 };
 

@@ -115,6 +115,25 @@ struct DsmConfig {
   sim::Duration root_jitter_ns = 0;
   std::uint64_t jitter_seed = 0x0dd5eedull;
 
+  /// --- root write coalescing (multicast frames) -----------------------
+  /// Maximum sequenced writes per multicast frame. 1 (the default) flushes
+  /// every write the moment it is sequenced — packaging, timing, and wire
+  /// bytes all identical to the unbatched model. Larger values let the root
+  /// accumulate a frame and amortize per-message headers (dsm/frame.hpp).
+  std::uint32_t coalesce_max_writes = 1;
+
+  /// How long a partially filled frame may wait for more writes before the
+  /// root flushes it anyway. Bounds the latency cost of batching (a lock
+  /// grant sitting in an open frame is invisible until the flush) and
+  /// guarantees progress. Irrelevant at coalesce_max_writes == 1, where
+  /// every flush is size-triggered.
+  sim::Duration coalesce_max_ns = 10'000;
+
+  /// Per-message header bytes amortized when writes share a frame: an
+  /// n-write frame costs sum(bytes_for(var)) - (n-1)*frame_header_bytes on
+  /// the wire (floored; see dsm/frame.hpp).
+  std::uint32_t frame_header_bytes = 8;
+
   /// Message-level fault schedule (drops, duplicates, reorder-within-jitter
   /// delays, node pauses, link partitions). Empty (the default) leaves the
   /// network loss-free and the substrate byte-identical to the seed model.

@@ -43,6 +43,32 @@ void ReliableChannel::transmit(FlowKey k, std::uint64_t seq,
   const auto it = f.packets.find(seq);
   OPTSYNC_ENSURE(it != f.packets.end());
   const Packet& pkt = it->second;
+
+  // Piggybacking: if this end owes the destination a cumulative ack for the
+  // reverse-direction flow, fold it into this packet's header for free. The
+  // ack value is captured at transmit time — a retransmission of this packet
+  // carries a fresh (possibly larger) cumulative ack. If the packet is lost
+  // the piggybacked ack is lost with it; recovery is the sender's normal
+  // retransmit, whose duplicate triggers an immediate re-ack.
+  if (cfg_.ack_delay_ns > 0) {
+    const auto rit = flows_.find(reverse(k));
+    if (rit != flows_.end() && rit->second.ack_pending) {
+      Flow& rf = rit->second;
+      rf.ack_pending = false;  // the armed timer sees this and stays silent
+      const std::uint64_t next_expected = rf.next_release;
+      const FlowKey rk = reverse(k);
+      stats_.acks_piggybacked += 1;
+      net_->send_hops(key_src(k), key_dst(k), pkt.hops, pkt.bytes, pkt.tag,
+                      [this, k, seq, rk, next_expected] {
+                        on_ack(rk, next_expected);
+                        on_data(k, seq);
+                      },
+                      kind);
+      arm_timer(k, seq);
+      return;
+    }
+  }
+
   net_->send_hops(key_src(k), key_dst(k), pkt.hops, pkt.bytes, pkt.tag,
                   [this, k, seq] { on_data(k, seq); }, kind);
   arm_timer(k, seq);
@@ -133,11 +159,36 @@ void ReliableChannel::on_data(FlowKey k, std::uint64_t seq) {
     f.next_release += 1;
     cb();
   }
-  send_ack(k);
+  note_ack_owed(k);
+}
+
+void ReliableChannel::note_ack_owed(FlowKey k) {
+  if (cfg_.ack_delay_ns == 0) {
+    send_ack(k);
+    return;
+  }
+  // Delayed ack: give a reverse-direction packet ack_delay_ns to depart and
+  // carry the cumulative ack for free. The timer guarantees the sender is
+  // never starved of acks on a one-way flow — a standalone ack goes out at
+  // the deadline if nothing piggybacked it first.
+  Flow& f = flows_[k];
+  f.ack_pending = true;
+  if (f.ack_timer == 0) {
+    f.ack_timer = net_->scheduler().after(cfg_.ack_delay_ns, [this, k] {
+      Flow& fl = flows_[k];
+      fl.ack_timer = 0;
+      if (fl.ack_pending) send_ack(k);
+    });
+  }
 }
 
 void ReliableChannel::send_ack(FlowKey k) {
   Flow& f = flows_[k];
+  f.ack_pending = false;
+  if (f.ack_timer != 0) {
+    net_->scheduler().cancel(f.ack_timer);
+    f.ack_timer = 0;
+  }
   // The ack carries next_release verbatim — the receiver's next expected
   // sequence. With 0-based sequences this encodes "nothing released yet" as
   // a plain 0; the old `next_release - 1` form wrapped to UINT64_MAX in that

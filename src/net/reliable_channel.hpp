@@ -49,6 +49,15 @@ struct ReliableConfig {
 
   /// Wire size of an ack (header + cumulative sequence number).
   std::uint32_t ack_bytes = 12;
+
+  /// Delayed-ack window. 0 (default) acks every release immediately — the
+  /// seed's exact behaviour. When > 0, an ack owed after an in-order release
+  /// is held for this long; if any reverse-direction packet departs first,
+  /// the cumulative ack rides in its header for free (acks_piggybacked) and
+  /// no standalone ack is sent. Loss-recovery acks (dup suppression,
+  /// out-of-order buffering) are never delayed — they are what stops a
+  /// retransmit storm.
+  sim::Duration ack_delay_ns = 0;
 };
 
 struct ReliableStats {
@@ -56,7 +65,10 @@ struct ReliableStats {
   std::uint64_t retransmits = 0;     ///< timer-driven re-sends
   std::uint64_t dup_suppressed = 0;  ///< arrivals discarded by dedup
   std::uint64_t out_of_order = 0;    ///< arrivals buffered awaiting a gap
-  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_sent = 0;       ///< standalone ack packets on the wire
+  /// Cumulative acks that rode in a reverse-direction data packet's header
+  /// instead of costing a standalone ack_bytes message.
+  std::uint64_t acks_piggybacked = 0;
   std::uint64_t expirations = 0;  ///< packets abandoned at the cap
   /// Expired packets that a late-arriving copy delivered anyway and a
   /// cumulative ack then settled. Distinct from expirations: these packets
@@ -114,6 +126,10 @@ class ReliableChannel {
     std::uint64_t next_release = 0;   // receiver: next seq to deliver
     unsigned hops = 0;                // reverse-path length for acks
     std::map<std::uint64_t, Packet> packets;  // unacked, keyed by seq
+    // Delayed-ack state (ack_delay_ns > 0): an ack is owed for releases on
+    // this flow and may be piggybacked on the next reverse-direction packet.
+    bool ack_pending = false;
+    sim::EventId ack_timer = 0;  // 0 = no standalone-ack timer armed
   };
   using FlowKey = std::uint64_t;
   static FlowKey key(NodeId src, NodeId dst) {
@@ -123,6 +139,7 @@ class ReliableChannel {
   static NodeId key_dst(FlowKey k) {
     return static_cast<NodeId>(k & 0xffffffffull);
   }
+  static FlowKey reverse(FlowKey k) { return key(key_dst(k), key_src(k)); }
 
   void transmit(FlowKey k, std::uint64_t seq, DeliveryKind kind);
   void arm_timer(FlowKey k, std::uint64_t seq);
@@ -130,6 +147,7 @@ class ReliableChannel {
   void on_data(FlowKey k, std::uint64_t seq);
   void on_ack(FlowKey k, std::uint64_t next_expected);
   void send_ack(FlowKey k);
+  void note_ack_owed(FlowKey k);
 
   Network* net_;
   ReliableConfig cfg_;

@@ -17,6 +17,7 @@
 
 #include "core/usage_history.hpp"
 #include "rt/rt_group.hpp"
+#include "sync/lock.hpp"
 
 namespace optsync::rt {
 
@@ -52,6 +53,26 @@ class RtOptimisticMutex {
   /// Executes `section` on node `n` under the lock. Blocking call.
   Outcome execute(NodeId n, const Section& section);
 
+  /// Snapshot of the counters in the unified sync::LockStatsView shape.
+  /// The class cannot implement sync::Lock itself (it runs on real
+  /// threads, not the simulator's coroutine scheduler) but it reports in
+  /// the same vocabulary: executions == acquisitions here, since every
+  /// completed execute() confirmed ownership exactly once.
+  [[nodiscard]] sync::LockStatsView stats_view() const {
+    sync::LockStatsView v;
+    v.executions = stats_.executions.load(std::memory_order_relaxed);
+    v.acquisitions = v.executions;
+    v.releases = v.executions;
+    v.optimistic_attempts =
+        stats_.optimistic_attempts.load(std::memory_order_relaxed);
+    v.optimistic_successes =
+        stats_.optimistic_successes.load(std::memory_order_relaxed);
+    v.rollbacks = stats_.rollbacks.load(std::memory_order_relaxed);
+    v.regular_paths = stats_.regular_paths.load(std::memory_order_relaxed);
+    return v;
+  }
+
+ private:
   struct Stats {
     std::atomic<std::uint64_t> executions{0};
     std::atomic<std::uint64_t> optimistic_attempts{0};
@@ -59,9 +80,7 @@ class RtOptimisticMutex {
     std::atomic<std::uint64_t> rollbacks{0};
     std::atomic<std::uint64_t> regular_paths{0};
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
 
- private:
   struct NodeState {
     explicit NodeState(double decay) : history(decay) {}
     std::mutex mu;

@@ -13,6 +13,7 @@ FaultReport collect_fault_report(const net::NetworkStats& net,
   r.retransmits = rel.retransmits;
   r.dup_suppressed = rel.dup_suppressed;
   r.acks_sent = rel.acks_sent;
+  r.acks_piggybacked = rel.acks_piggybacked;
   r.expirations = rel.expirations;
   r.expired_acked = rel.expired_acked;
   r.revivals = rel.revivals;
@@ -33,6 +34,7 @@ std::string format_fault_report(const FaultReport& r) {
   row("retransmits", r.retransmits);
   row("dups suppressed", r.dup_suppressed);
   row("acks sent", r.acks_sent);
+  row("acks piggybacked", r.acks_piggybacked);
   row("retransmit-cap hits", r.expirations);
   row("expired-then-acked", r.expired_acked);
   row("revivals", r.revivals);
@@ -43,16 +45,17 @@ std::string format_fault_report(const FaultReport& r) {
 
 std::string fault_report_csv_header() {
   return "drops_injected,dups_injected,delays_injected,retransmits,"
-         "dup_suppressed,acks_sent,expirations,expired_acked,revivals,"
-         "max_delivery_delay_ns";
+         "dup_suppressed,acks_sent,acks_piggybacked,expirations,"
+         "expired_acked,revivals,max_delivery_delay_ns";
 }
 
 std::string fault_report_csv_row(const FaultReport& r) {
   std::ostringstream out;
   out << r.drops_injected << "," << r.dups_injected << ","
       << r.delays_injected << "," << r.retransmits << "," << r.dup_suppressed
-      << "," << r.acks_sent << "," << r.expirations << "," << r.expired_acked
-      << "," << r.revivals << "," << r.max_delivery_delay_ns;
+      << "," << r.acks_sent << "," << r.acks_piggybacked << ","
+      << r.expirations << "," << r.expired_acked << "," << r.revivals << ","
+      << r.max_delivery_delay_ns;
   return out.str();
 }
 

@@ -66,6 +66,7 @@ struct FaultReport {
   std::uint64_t retransmits = 0;
   std::uint64_t dup_suppressed = 0;
   std::uint64_t acks_sent = 0;
+  std::uint64_t acks_piggybacked = 0;  ///< acks that rode a data packet free
   std::uint64_t expirations = 0;  ///< retransmit-cap hits: should stay 0
   std::uint64_t expired_acked = 0;  ///< abandoned packets later acked anyway
   std::uint64_t revivals = 0;       ///< abandoned packets resurrected by acks

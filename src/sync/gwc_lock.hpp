@@ -15,10 +15,11 @@
 
 #include "dsm/system.hpp"
 #include "simkern/coro.hpp"
+#include "sync/lock.hpp"
 
 namespace optsync::sync {
 
-class GwcQueueLock {
+class GwcQueueLock : public Lock {
  public:
   /// `lock` must be a lock variable of `sys`.
   GwcQueueLock(dsm::DsmSystem& sys, dsm::VarId lock);
@@ -28,29 +29,26 @@ class GwcQueueLock {
 
   /// Requests the lock for node `n` and completes when the grant reaches
   /// the node's local memory. Use as: co_await lk.acquire(n).join();
-  sim::Process acquire(dsm::NodeId n);
+  sim::Process acquire(dsm::NodeId n) override;
 
   /// Releases the lock (must follow the holder's last data write so GWC
   /// ordering carries data-before-release to every member).
-  void release(dsm::NodeId n);
+  void release(dsm::NodeId n) override;
 
   /// True when node `n`'s local copy shows `n` as the holder.
-  [[nodiscard]] bool held_by(dsm::NodeId n) const;
+  [[nodiscard]] bool held_by(dsm::NodeId n) const override;
 
   [[nodiscard]] dsm::VarId lock_var() const { return lock_; }
 
-  struct Stats {
-    std::uint64_t acquisitions = 0;
-    std::uint64_t releases = 0;
-    sim::Duration total_wait_ns = 0;  ///< request-to-grant, summed
-    sim::Duration max_wait_ns = 0;
-  };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Live counters (unified shape; the optimistic-path fields stay zero —
+  /// this is the regular §2 protocol).
+  [[nodiscard]] const LockStatsView& stats() const { return stats_; }
+  [[nodiscard]] LockStatsView stats_view() const override { return stats_; }
 
  private:
   dsm::DsmSystem* sys_;
   dsm::VarId lock_;
-  Stats stats_;
+  LockStatsView stats_;
 };
 
 }  // namespace optsync::sync

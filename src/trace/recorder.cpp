@@ -32,6 +32,8 @@ std::string_view event_kind_name(EventKind k) {
       return "rollback";
     case EventKind::kHistoryVeto:
       return "history-veto";
+    case EventKind::kFrameFlush:
+      return "frame-flush";
   }
   return "?";
 }

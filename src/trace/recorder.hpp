@@ -37,6 +37,8 @@ enum class EventKind : std::uint8_t {
   kSpeculateCommit,  ///< speculation survived: writes are legitimate
   kRollback,         ///< interrupt proved another holder: state restored
   kHistoryVeto,      ///< EWMA history predicted contention; regular path
+  kFrameFlush,       ///< root shipped a multicast frame (seq = first seq,
+                     ///< value = writes in the frame, label = flush cause)
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k);

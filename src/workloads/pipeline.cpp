@@ -252,15 +252,15 @@ PipelineResult run_pipeline(PipelineMethod method, const PipelineParams& p,
                             const net::Topology& topo) {
   switch (method) {
     case PipelineMethod::kNoDelay: {
-      dsm::DsmConfig cfg;
+      dsm::DsmConfig cfg = p.dsm;
       cfg.link = net::LinkModel::zero();
       cfg.root_process_ns = 0;
       return run_gwc(p, topo, cfg, /*optimistic=*/false);
     }
     case PipelineMethod::kOptimistic:
-      return run_gwc(p, topo, dsm::DsmConfig{}, /*optimistic=*/true);
+      return run_gwc(p, topo, p.dsm, /*optimistic=*/true);
     case PipelineMethod::kRegular:
-      return run_gwc(p, topo, dsm::DsmConfig{}, /*optimistic=*/false);
+      return run_gwc(p, topo, p.dsm, /*optimistic=*/false);
     case PipelineMethod::kEntry:
       return run_entry(p, topo);
   }

@@ -56,6 +56,11 @@ struct PipelineParams {
   std::uint32_t mutex_data_bytes = 640;
 
   net::NodeId group_root = 0;
+
+  /// Substrate config for the GWC variants (coalescing, reliability, the
+  /// recorder). kNoDelay overrides the link/root costs on a copy; kEntry
+  /// ignores it entirely.
+  dsm::DsmConfig dsm;
 };
 
 struct PipelineResult {

@@ -92,6 +92,10 @@ Fig1Result run_gwc(const Fig1Params& p) {
   for (const auto& pr : procs) pr.rethrow_if_failed();
 
   res.total_ns = sh.last_release;
+  res.messages = sys.network().stats().messages;
+  res.bytes = sys.network().stats().bytes;
+  res.hop_bytes = sys.network().stats().hop_bytes;
+  res.frames = sys.root_of(g).stats().frames;
   std::ostringstream os;
   tl.render(os, res.total_ns, 84, {"CPU1", "CPU2", "CPU3"});
   res.timeline = os.str();
@@ -139,6 +143,9 @@ Fig1Result run_entry(const Fig1Params& p) {
   for (const auto& pr : procs) pr.rethrow_if_failed();
 
   res.total_ns = sh.last_release;
+  res.messages = net.stats().messages;
+  res.bytes = net.stats().bytes;
+  res.hop_bytes = net.stats().hop_bytes;
   std::ostringstream os;
   tl.render(os, res.total_ns, 84, {"CPU1", "CPU2", "CPU3"});
   res.timeline = os.str();
@@ -186,6 +193,9 @@ Fig1Result run_weak_release(const Fig1Params& p) {
   for (const auto& pr : procs) pr.rethrow_if_failed();
 
   res.total_ns = sh.last_release;
+  res.messages = net.stats().messages;
+  res.bytes = net.stats().bytes;
+  res.hop_bytes = net.stats().hop_bytes;
   std::ostringstream os;
   tl.render(os, res.total_ns, 84, {"CPU1", "CPU2", "CPU3"});
   res.timeline = os.str();

@@ -44,6 +44,14 @@ struct Fig1Result {
   std::string timeline;
   /// Order in which CPUs entered the critical section (1-based ids).
   std::array<int, 3> grant_order{};
+  /// Network totals for the run (every model fills these from its engine's
+  /// Network; the coalescing comparison in bench/fig1_locking_comparison
+  /// diffs them across --coalesce-max-writes settings).
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hop_bytes = 0;
+  /// Multicast frames the root flushed (GWC model only).
+  std::uint64_t frames = 0;
 };
 
 Fig1Result run_scenario_fig1(Fig1Model model, const Fig1Params& params);

@@ -26,6 +26,21 @@ class GroupRootTest : public ::testing::Test {
   VarId lock_ = 0, mdata_ = 0, data_ = 0;
 };
 
+TEST_F(GroupRootTest, LockStateOfUntouchedLockIsIdle) {
+  // A lock nobody has ever requested has no entry in the root's map;
+  // lock_state must hand back the idle state, not fault (stats readers and
+  // the speculative-write filter both query locks that may never have been
+  // written).
+  const auto& ls = root().lock_state(lock_);
+  EXPECT_EQ(ls.holder, kNoNode);
+  EXPECT_EQ(ls.requests, 0u);
+  EXPECT_TRUE(ls.queue.empty());
+  // Same for a VarId that is not a lock at all.
+  const auto& not_a_lock = root().lock_state(data_);
+  EXPECT_EQ(not_a_lock.holder, kNoNode);
+  EXPECT_EQ(not_a_lock.requests, 0u);
+}
+
 TEST_F(GroupRootTest, FreeLockGrantedImmediately) {
   sys_.node(3).write(lock_, lock_request_value(3));
   sched_.run();

@@ -9,6 +9,7 @@
 // each suite's own assertions.
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "dsm/system.hpp"
@@ -157,6 +158,43 @@ TEST_P(Fig7FaultSoak, RollbackInteractionStaysCorrect) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fig7FaultSoak,
                          ::testing::Range<std::uint64_t>(3000, 3010));
+
+class CoalescedFaultSoak
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint64_t>> {};
+
+// The counter soak again, now with root write coalescing (and, at batch > 1,
+// piggybacked acks) layered on top of the lossy fiber: frames holding many
+// sequenced writes — including grants riding with the releaser's final
+// updates — are dropped, duplicated, and reordered, and every member must
+// still apply the root's exact sequence.
+TEST_P(CoalescedFaultSoak, CounterStaysExactAtEveryBatchSize) {
+  const auto [batch, seed] = GetParam();
+  const net::MeshTorus2D topo(2, 2);
+  workloads::CounterParams p;
+  p.increments_per_node = 6;
+  p.think_mean_ns = 20'000;
+  p.seed = seed;
+  p.dsm.faults = standard_attack(seed);
+  p.dsm.coalesce_max_writes = batch;
+  if (batch > 1) p.dsm.reliable.ack_delay_ns = 4'000;
+  GwcAudit audit;
+  p.dsm.recorder = &audit.recorder;
+  const auto method = seed % 2 == 0 ? workloads::CounterMethod::kOptimisticGwc
+                                    : workloads::CounterMethod::kRegularGwc;
+  const auto res = workloads::run_counter(method, p, topo);
+  EXPECT_EQ(res.final_count, res.expected_count)
+      << "batch " << batch << " seed " << seed;
+  EXPECT_EQ(res.faults.expirations, 0u);
+  EXPECT_TRUE(audit.checker.ok()) << "batch " << batch << " seed " << seed
+                                  << ": " << audit.checker.report();
+  EXPECT_GT(audit.checker.writes_checked(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchBySeed, CoalescedFaultSoak,
+    ::testing::Combine(::testing::Values(1u, 4u, 64u),
+                       ::testing::Range<std::uint64_t>(5000, 5012)));
 
 TEST(FaultSoak, PartitionWindowHealsWithoutDataLoss) {
   // A tree edge goes dark for 100 us at the start of the run: every message

@@ -313,5 +313,93 @@ TEST(ReliableChannel, FlowsAreIndependentPerDirection) {
   EXPECT_EQ(h.rel.in_flight(), 0u);
 }
 
+TEST(ReliableChannel, ZeroAckDelayNeverPiggybacks) {
+  // The default config is the legacy protocol: every release acks
+  // immediately on its own packet, nothing rides on reverse traffic.
+  Harness h;
+  h.rel.send(0, 1, 1, 16, "fwd", [] {});
+  h.sched.at(1'000, [&h] { h.rel.send(1, 0, 1, 16, "rev", [] {}); });
+  h.sched.run();
+  EXPECT_EQ(h.rel.stats().acks_piggybacked, 0u);
+  EXPECT_GE(h.rel.stats().acks_sent, 2u);
+  EXPECT_EQ(h.rel.in_flight(), 0u);
+}
+
+TEST(ReliableChannel, AckRidesOnReverseTraffic) {
+  sim::Scheduler sched;
+  MeshTorus2D topo(2, 2);
+  Network net(sched, topo, LinkModel::paper());
+  ReliableConfig cfg;
+  cfg.ack_delay_ns = 50'000;  // long window: the reverse send always wins
+  ReliableChannel rel(net, cfg);
+  bool fwd = false, rev = false;
+  rel.send(0, 1, 1, 16, "fwd", [&fwd] { fwd = true; });
+  // Reverse-direction data inside the window carries 0 -> 1's ack for free.
+  sched.at(2'000, [&rel, &rev] {
+    rel.send(1, 0, 1, 16, "rev", [&rev] { rev = true; });
+  });
+  sched.run();
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(rev);
+  EXPECT_GE(rel.stats().acks_piggybacked, 1u);
+  EXPECT_EQ(rel.in_flight(), 0u);  // the piggybacked ack cleared the sender
+  // The piggybacked release never also went out standalone; only the final
+  // reverse packet (no forward traffic left to ride) costs an ack message.
+  EXPECT_LE(rel.stats().acks_sent, 1u);
+}
+
+TEST(ReliableChannel, IdleFlowFallsBackToStandaloneAck) {
+  // No reverse traffic ever appears: the delayed ack must still go out on
+  // its own packet after the idle window, or the sender retransmits forever.
+  sim::Scheduler sched;
+  MeshTorus2D topo(2, 2);
+  Network net(sched, topo, LinkModel::paper());
+  ReliableConfig cfg;
+  cfg.ack_delay_ns = 4'000;
+  ReliableChannel rel(net, cfg);
+  int delivered = 0;
+  for (int i = 0; i < 3; ++i) {
+    rel.send(0, 1, 1, 16, "fwd", [&delivered] { ++delivered; });
+  }
+  sched.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(rel.stats().acks_piggybacked, 0u);
+  EXPECT_GE(rel.stats().acks_sent, 1u);
+  EXPECT_EQ(rel.in_flight(), 0u);
+}
+
+TEST(ReliableChannel, DelayedAcksSurviveLossOnBothDirections) {
+  // Piggybacking under 20% loss each way: dup-triggered loss-recovery acks
+  // are never delayed, so the flows still drain and FIFO still holds.
+  sim::Scheduler sched;
+  MeshTorus2D topo(2, 2);
+  Network net(sched, topo, LinkModel::paper());
+  ReliableConfig cfg;
+  cfg.ack_delay_ns = 4'000;
+  ReliableChannel rel(net, cfg);
+  faults::FaultPlan plan(11);
+  plan.drop(0.20, "fwd").drop(0.20, "rev");
+  faults::FaultInjector inj(net, plan);
+  std::vector<int> fwd_order, rev_order;
+  for (int i = 0; i < 12; ++i) {
+    sched.at(static_cast<sim::Time>(i) * 3'000, [&rel, &fwd_order, i] {
+      rel.send(0, 1, 1, 16, "fwd", [&fwd_order, i] { fwd_order.push_back(i); });
+    });
+    sched.at(static_cast<sim::Time>(i) * 3'000 + 500, [&rel, &rev_order, i] {
+      rel.send(1, 0, 1, 16, "rev", [&rev_order, i] { rev_order.push_back(i); });
+    });
+  }
+  sched.run();
+  ASSERT_EQ(fwd_order.size(), 12u);
+  ASSERT_EQ(rev_order.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(fwd_order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(rev_order[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_GE(rel.stats().acks_piggybacked, 1u);
+  EXPECT_EQ(rel.stats().expirations, 0u);
+  EXPECT_EQ(rel.in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace optsync::net

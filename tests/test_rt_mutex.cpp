@@ -53,8 +53,8 @@ TEST(RtOptimisticMutex, DisabledOptimismTakesRegularPath) {
   sec.body = [&sys, a](NodeId me) { sys.write(me, a, sys.read(me, a) + 1); };
   mux.execute(1, sec);
   sys.quiesce();
-  EXPECT_EQ(mux.stats().regular_paths.load(), 1u);
-  EXPECT_EQ(mux.stats().optimistic_attempts.load(), 0u);
+  EXPECT_EQ(mux.stats_view().regular_paths, 1u);
+  EXPECT_EQ(mux.stats_view().optimistic_attempts, 0u);
   EXPECT_EQ(sys.read(0, a), 1);
 }
 
@@ -112,12 +112,11 @@ TEST_P(RtMutexStress, CounterExactUnderRacingThreads) {
   for (NodeId n = 0; n < c.nodes; ++n) {
     EXPECT_EQ(sys.read(n, a), expected) << "node " << n;
   }
-  const auto& ms = mux.stats();
-  EXPECT_EQ(ms.executions.load(),
+  const auto ms = mux.stats_view();
+  EXPECT_EQ(ms.executions,
             static_cast<std::uint64_t>(c.nodes) * c.sections);
-  EXPECT_EQ(ms.optimistic_successes.load() + ms.rollbacks.load() +
-                ms.regular_paths.load(),
-            ms.executions.load());
+  EXPECT_EQ(ms.optimistic_successes + ms.rollbacks + ms.regular_paths,
+            ms.executions);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -222,9 +221,10 @@ TEST(RtOptimisticMutex, LocalSaveRestoreHooksRunOnRollback) {
   t1.join();
   sys.quiesce();
   EXPECT_EQ(sys.read(0, a), 60);
-  EXPECT_EQ(restores.load(), static_cast<int>(mux.stats().rollbacks.load()));
+  EXPECT_EQ(restores.load(),
+            static_cast<int>(mux.stats_view().rollbacks));
   EXPECT_EQ(saves.load(),
-            static_cast<int>(mux.stats().optimistic_attempts.load()));
+            static_cast<int>(mux.stats_view().optimistic_attempts));
 }
 
 }  // namespace

@@ -7,8 +7,7 @@
 //                         [--items 1024] [--mutex-ratio 0.2] [--csv]
 //   optsync_sim counter   --cpus 16 [--method optimistic|regular|entry|tas]
 //                         [--think-ns 50000] [--increments 50]
-//                         [--threshold 0.30] [--seed 42] [--csv]
-//                         [fault flags]
+//                         [--threshold 0.30] [--csv] [fault flags]
 //   optsync_sim fig1      [--model gwc|entry|weak]
 //   optsync_sim fig7      [--nodes 8] [--near-ns 30000] [--far-ns 2000]
 //                         [fault flags]
@@ -21,29 +20,22 @@
 // Any fault flag routes traffic through the reliable channel and appends a
 // fault/reliability report to the summary.
 //
-// Observability flags (any command):
-//   --metrics-out PATH     write a metrics JSON document (schema
-//                          "optsync-bench/1", see EXPERIMENTS.md)
-//   --trace-out PATH       (counter, fig7) write a Chrome trace-event JSON
-//                          flight recording — load in Perfetto or
-//                          chrome://tracing
+// Every command additionally accepts the standard bench flags handled by
+// bench::Harness (see bench/bench_metrics.hpp): --seed, --metrics-out,
+// --trace-out, --coalesce-max-writes, --coalesce-max-ns, --ack-delay-ns.
 //
 // Every command prints a human-readable summary, or one CSV row (with a
 // header) under --csv for scripting sweeps.
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "faults/fault_plan.hpp"
-#include "stats/json.hpp"
 #include "stats/lock_stats.hpp"
 #include "stats/metrics.hpp"
 #include "stats/table.hpp"
-#include "trace/chrome_export.hpp"
-#include "trace/recorder.hpp"
 #include "util/flags.hpp"
 #include "workloads/counter.hpp"
 #include "workloads/pipeline.hpp"
@@ -110,52 +102,6 @@ void print_fault_report(const stats::FaultReport& r) {
   std::cout << "fault / reliability report\n" << stats::format_fault_report(r);
 }
 
-/// Writes one metrics document in the benches' "optsync-bench/1" schema:
-/// a single row named after the subcommand plus any per-lock records.
-/// Returns false (with a message) on I/O failure.
-bool write_metrics_json(
-    const std::string& path, const std::string& command,
-    const std::vector<std::pair<std::string, double>>& values,
-    const stats::LockStats* lock) {
-  if (path.empty()) return true;
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot open --metrics-out file: " << path << "\n";
-    return false;
-  }
-  stats::JsonWriter w(out, /*pretty=*/true);
-  w.begin_object();
-  w.value("schema", "optsync-bench/1");
-  w.value("bench", "optsync_sim/" + command);
-  w.begin_array("rows");
-  w.begin_object();
-  w.value("label", command);
-  for (const auto& [key, v] : values) w.value(key, v);
-  w.end_object();
-  w.end_array();
-  w.begin_array("locks");
-  if (lock != nullptr) lock->write_json(w);
-  w.end_array();
-  w.end_object();
-  out << "\n";
-  std::cerr << "metrics written to " << path << "\n";
-  return static_cast<bool>(out);
-}
-
-/// Writes the flight recording as Chrome trace-event JSON.
-bool write_trace_json(const std::string& path, const trace::Recorder& rec) {
-  if (path.empty()) return true;
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "error: cannot open --trace-out file: " << path << "\n";
-    return false;
-  }
-  trace::write_chrome_trace(out, rec);
-  std::cerr << "trace written to " << path << " (" << rec.size()
-            << " events; load in Perfetto or chrome://tracing)\n";
-  return static_cast<bool>(out);
-}
-
 int run_taskqueue(const util::Flags& flags) {
   if (flags.has("help")) {
     std::cout << "taskqueue flags: --cpus N --variant gwc|entry|ideal "
@@ -163,8 +109,9 @@ int run_taskqueue(const util::Flags& flags) {
                  "t_prod) --csv\n";
     return 0;
   }
-  flags.allow_only({"cpus", "variant", "tasks", "batch", "capacity", "ratio",
-                    "csv", "help", "metrics-out"});
+  bench::Harness harness("optsync_sim/taskqueue", flags);
+  harness.allow_only(flags, {"cpus", "variant", "tasks", "batch", "capacity",
+                             "ratio", "csv", "help"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 17));
   const std::string variant = flags.get("variant", "gwc");
 
@@ -179,7 +126,9 @@ int run_taskqueue(const util::Flags& flags) {
 
   workloads::TaskQueueResult res;
   if (variant == "gwc") {
-    res = run_task_queue_gwc(p, topo, dsm::DsmConfig{});
+    dsm::DsmConfig dcfg;
+    harness.apply(dcfg);
+    res = run_task_queue_gwc(p, topo, dcfg);
   } else if (variant == "entry") {
     res = run_task_queue_entry(p, topo, net::LinkModel::paper());
   } else if (variant == "ideal") {
@@ -189,16 +138,14 @@ int run_taskqueue(const util::Flags& flags) {
     return 2;
   }
 
-  if (!write_metrics_json(
-          flags.get("metrics-out"), "taskqueue",
-          {{"network_power", res.network_power},
-           {"avg_efficiency", res.avg_efficiency},
-           {"elapsed_ns", static_cast<double>(res.elapsed)},
-           {"messages", static_cast<double>(res.messages)},
-           {"wasted_grants", static_cast<double>(res.wasted_grants)}},
-          nullptr)) {
-    return 1;
-  }
+  harness.metrics()
+      .row("taskqueue")
+      .set("network_power", res.network_power)
+      .set("avg_efficiency", res.avg_efficiency)
+      .set("elapsed_ns", static_cast<double>(res.elapsed))
+      .set("messages", static_cast<double>(res.messages))
+      .set("wasted_grants", static_cast<double>(res.wasted_grants));
+  if (!harness.finish()) return 1;
   if (flags.get_bool("csv")) {
     std::cout << "cpus,variant,power,efficiency,elapsed_ns,messages,"
                  "wasted_grants\n"
@@ -228,14 +175,16 @@ int run_pipeline_cmd(const util::Flags& flags) {
                  "nodelay\n  --items N --mutex-ratio R --csv\n";
     return 0;
   }
-  flags.allow_only({"cpus", "method", "items", "mutex-ratio", "csv", "help",
-                    "metrics-out"});
+  bench::Harness harness("optsync_sim/pipeline", flags);
+  harness.allow_only(flags,
+                     {"cpus", "method", "items", "mutex-ratio", "csv", "help"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
   const std::string method = flags.get("method", "optimistic");
 
   workloads::PipelineParams p;
   p.data_items = static_cast<std::uint32_t>(flags.get_int("items", 1024));
   p.mutex_ratio = flags.get_double("mutex-ratio", 0.2);
+  harness.apply(p.dsm);
   const auto topo = net::MeshTorus2D::near_square(cpus);
 
   workloads::PipelineMethod m;
@@ -255,16 +204,15 @@ int run_pipeline_cmd(const util::Flags& flags) {
 
   const bool is_gwc = m == workloads::PipelineMethod::kOptimistic ||
                       m == workloads::PipelineMethod::kRegular;
-  if (!write_metrics_json(
-          flags.get("metrics-out"), "pipeline",
-          {{"network_power", res.network_power},
-           {"avg_efficiency", res.avg_efficiency},
-           {"elapsed_ns", static_cast<double>(res.elapsed)},
-           {"messages", static_cast<double>(res.messages)},
-           {"rollbacks", static_cast<double>(res.rollbacks)}},
-          is_gwc ? &res.lock_stats : nullptr)) {
-    return 1;
-  }
+  harness.metrics()
+      .row("pipeline")
+      .set("network_power", res.network_power)
+      .set("avg_efficiency", res.avg_efficiency)
+      .set("elapsed_ns", static_cast<double>(res.elapsed))
+      .set("messages", static_cast<double>(res.messages))
+      .set("rollbacks", static_cast<double>(res.rollbacks));
+  if (is_gwc) harness.metrics().lock(res.lock_stats);
+  if (!harness.finish()) return 1;
   if (flags.get_bool("csv")) {
     std::cout << "cpus,method,power,efficiency,elapsed_ns,messages,rollbacks\n"
               << cpus << "," << method << "," << res.network_power << ","
@@ -290,9 +238,10 @@ int run_counter_cmd(const util::Flags& flags) {
                  "A:B:START:END[,...]\n";
     return 0;
   }
-  flags.allow_only({"cpus", "method", "think-ns", "increments", "threshold",
-                    "seed", "csv", "help", "fault-drop", "fault-seed",
-                    "partition", "metrics-out", "trace-out"});
+  bench::Harness harness("optsync_sim/counter", flags);
+  harness.allow_only(flags, {"cpus", "method", "think-ns", "increments",
+                             "threshold", "csv", "help", "fault-drop",
+                             "fault-seed", "partition"});
   const auto cpus = static_cast<std::size_t>(flags.get_int("cpus", 16));
   const std::string method = flags.get("method", "optimistic");
 
@@ -302,13 +251,11 @@ int run_counter_cmd(const util::Flags& flags) {
   p.increments_per_node =
       static_cast<std::uint32_t>(flags.get_int("increments", 50));
   p.history_threshold = flags.get_double("threshold", 0.30);
-  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  p.seed = harness.seed();
   faults::FaultPlan plan;
   if (!parse_fault_flags(flags, &plan)) return 2;
   p.dsm.faults = plan;
-  trace::Recorder recorder;
-  const std::string trace_out = flags.get("trace-out");
-  if (!trace_out.empty()) p.dsm.recorder = &recorder;
+  harness.apply(p.dsm);
   const auto topo = net::MeshTorus2D::near_square(cpus);
 
   workloads::CounterMethod m;
@@ -333,20 +280,18 @@ int run_counter_cmd(const util::Flags& flags) {
 
   const bool is_gwc = m == workloads::CounterMethod::kOptimisticGwc ||
                       m == workloads::CounterMethod::kRegularGwc;
-  if (!write_trace_json(trace_out, recorder)) return 1;
-  if (!write_metrics_json(
-          flags.get("metrics-out"), "counter",
-          {{"sections_per_ms", res.sections_per_ms},
-           {"sync_overhead_ns", res.avg_sync_overhead_ns},
-           {"messages", static_cast<double>(res.messages)},
-           {"rollbacks", static_cast<double>(res.rollbacks)},
-           {"optimistic_attempts",
-            static_cast<double>(res.optimistic_attempts)},
-           {"optimistic_successes",
-            static_cast<double>(res.optimistic_successes)}},
-          is_gwc ? &res.lock_stats : nullptr)) {
-    return 1;
-  }
+  harness.metrics()
+      .row("counter")
+      .set("sections_per_ms", res.sections_per_ms)
+      .set("sync_overhead_ns", res.avg_sync_overhead_ns)
+      .set("messages", static_cast<double>(res.messages))
+      .set("rollbacks", static_cast<double>(res.rollbacks))
+      .set("optimistic_attempts",
+           static_cast<double>(res.optimistic_attempts))
+      .set("optimistic_successes",
+           static_cast<double>(res.optimistic_successes));
+  if (is_gwc) harness.metrics().lock(res.lock_stats);
+  if (!harness.finish()) return 1;
   if (flags.get_bool("csv")) {
     std::cout << "cpus,method,sections_per_ms,sync_overhead_ns,messages,"
                  "rollbacks,opt_attempts,opt_successes\n"
@@ -374,7 +319,8 @@ int run_fig1_cmd(const util::Flags& flags) {
     std::cout << "fig1 flags: --model gwc|entry|weak\n";
     return 0;
   }
-  flags.allow_only({"model", "help", "metrics-out"});
+  bench::Harness harness("optsync_sim/fig1", flags);
+  harness.allow_only(flags, {"model", "help"});
   const std::string model = flags.get("model", "gwc");
   workloads::Fig1Model m;
   if (model == "gwc") {
@@ -387,22 +333,21 @@ int run_fig1_cmd(const util::Flags& flags) {
     std::cerr << "unknown model '" << model << "'\n";
     return 2;
   }
-  const auto res = run_scenario_fig1(m, workloads::Fig1Params{});
+  workloads::Fig1Params p;
+  harness.apply(p.dsm);
+  const auto res = run_scenario_fig1(m, p);
   std::cout << workloads::fig1_model_name(m) << "\n" << res.timeline;
   print_kv("total", sim::format_time(res.total_ns));
   print_kv("idle CPU1/2/3", sim::format_time(res.idle_ns[0]) + " / " +
                                 sim::format_time(res.idle_ns[1]) + " / " +
                                 sim::format_time(res.idle_ns[2]));
-  if (!write_metrics_json(
-          flags.get("metrics-out"), "fig1",
-          {{"total_ns", static_cast<double>(res.total_ns)},
-           {"idle_cpu1_ns", static_cast<double>(res.idle_ns[0])},
-           {"idle_cpu2_ns", static_cast<double>(res.idle_ns[1])},
-           {"idle_cpu3_ns", static_cast<double>(res.idle_ns[2])}},
-          nullptr)) {
-    return 1;
-  }
-  return 0;
+  harness.metrics()
+      .row("fig1")
+      .set("total_ns", static_cast<double>(res.total_ns))
+      .set("idle_cpu1_ns", static_cast<double>(res.idle_ns[0]))
+      .set("idle_cpu2_ns", static_cast<double>(res.idle_ns[1]))
+      .set("idle_cpu3_ns", static_cast<double>(res.idle_ns[2]));
+  return harness.finish() ? 0 : 1;
 }
 
 int run_fig7_cmd(const util::Flags& flags) {
@@ -412,8 +357,9 @@ int run_fig7_cmd(const util::Flags& flags) {
                  "A:B:START:END[,...]\n";
     return 0;
   }
-  flags.allow_only({"nodes", "near-ns", "far-ns", "help", "fault-drop",
-                    "fault-seed", "partition", "metrics-out", "trace-out"});
+  bench::Harness harness("optsync_sim/fig7", flags);
+  harness.allow_only(flags, {"nodes", "near-ns", "far-ns", "help",
+                             "fault-drop", "fault-seed", "partition"});
   workloads::Fig7Params p;
   p.nodes = static_cast<std::size_t>(flags.get_int("nodes", 8));
   p.near_section_ns =
@@ -423,9 +369,7 @@ int run_fig7_cmd(const util::Flags& flags) {
   faults::FaultPlan plan;
   if (!parse_fault_flags(flags, &plan)) return 2;
   p.dsm.faults = plan;
-  trace::Recorder recorder;
-  const std::string trace_out = flags.get("trace-out");
-  if (!trace_out.empty()) p.dsm.recorder = &recorder;
+  harness.apply(p.dsm);
   const auto res = run_scenario_fig7(p);
   std::cout << res.trace;
   print_kv("final a", std::to_string(res.final_a) + " (expected " +
@@ -433,16 +377,14 @@ int run_fig7_cmd(const util::Flags& flags) {
   print_kv("rollbacks", std::to_string(res.rollbacks));
   print_kv("root drops", std::to_string(res.speculative_drops));
   if (!plan.empty()) print_fault_report(res.faults);
-  if (!write_trace_json(trace_out, recorder)) return 1;
-  if (!write_metrics_json(
-          flags.get("metrics-out"), "fig7",
-          {{"final_a", static_cast<double>(res.final_a)},
-           {"rollbacks", static_cast<double>(res.rollbacks)},
-           {"speculative_drops", static_cast<double>(res.speculative_drops)},
-           {"elapsed_ns", static_cast<double>(res.elapsed)}},
-          &res.lock_stats)) {
-    return 1;
-  }
+  harness.metrics()
+      .row("fig7")
+      .set("final_a", static_cast<double>(res.final_a))
+      .set("rollbacks", static_cast<double>(res.rollbacks))
+      .set("speculative_drops", static_cast<double>(res.speculative_drops))
+      .set("elapsed_ns", static_cast<double>(res.elapsed));
+  harness.metrics().lock(res.lock_stats);
+  if (!harness.finish()) return 1;
   return res.final_a == res.expected_a ? 0 : 1;
 }
 
