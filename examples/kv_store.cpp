@@ -1,18 +1,20 @@
 // A replicated key-value store on the optsync stack — what a downstream
 // user actually builds with this library.
 //
-// Keys hash to buckets; each bucket is a lock + a small set of mutex-data
-// slots in one sharing group. Gets are LOCAL reads (eagersharing keeps every
-// replica warm); puts run under a per-bucket OptimisticMutex, so an
-// uncontended bucket commits a put in roughly the bucket's compute time —
-// the lock round trip rides under it.
+// The heavy lifting now lives in the library: shard::ShardedStore stripes
+// the namespace over independent sharing groups (one lock + root + slot set
+// per shard, roots spread across the machine), routes each put through the
+// per-shard lock protocol, and keeps the serializability ledger. Gets are
+// LOCAL reads (eagersharing keeps every replica warm); an uncontended shard
+// commits a put in roughly its compute time — the lock round trip rides
+// under it. This file is just clients plus reporting; compare with the
+// pre-refactor revision to see the hand-rolled bucket machinery the store
+// replaced.
 #include <iostream>
-#include <memory>
-#include <string>
 #include <vector>
 
-#include "core/optimistic_mutex.hpp"
 #include "dsm/system.hpp"
+#include "shard/sharded_store.hpp"
 #include "simkern/random.hpp"
 
 using namespace optsync;
@@ -20,82 +22,29 @@ using namespace optsync;
 namespace {
 
 constexpr std::size_t kNodes = 16;
-constexpr std::size_t kBuckets = 8;
-constexpr std::size_t kSlotsPerBucket = 4;  // (key, value) pairs
-constexpr sim::Duration kPutCompute = 800;  // hash + slot scan
+constexpr std::uint32_t kShards = 8;  // was: hand-rolled buckets
 
-struct Bucket {
-  dsm::VarId lock;
-  std::vector<dsm::VarId> keys;
-  std::vector<dsm::VarId> values;
-  std::unique_ptr<core::OptimisticMutex> mux;
-};
-
-struct Store {
-  sim::Scheduler sched;
-  net::MeshTorus2D topo = net::MeshTorus2D::near_square(kNodes);
-  std::unique_ptr<dsm::DsmSystem> sys;
-  std::vector<Bucket> buckets;
+struct Counters {
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
   std::uint64_t get_hits = 0;
-
-  static std::size_t bucket_of(dsm::Word key) {
-    return static_cast<std::size_t>(key) % kBuckets;
-  }
-
-  /// Put: optimistic critical section over the bucket.
-  sim::Process put(dsm::NodeId n, dsm::Word key, dsm::Word value) {
-    Bucket& b = buckets[bucket_of(key)];
-    core::Section sec;
-    sec.shared_writes.reserve(kSlotsPerBucket * 2);
-    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
-      sec.shared_writes.push_back(b.keys[s]);
-      sec.shared_writes.push_back(b.values[s]);
-    }
-    sec.body = [this, &b, key, value](dsm::DsmNode& node) -> sim::Process {
-      co_await sim::delay(sched, kPutCompute);
-      // First matching or empty slot; evict slot 0 when full (toy policy).
-      std::size_t chosen = 0;
-      for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
-        const dsm::Word k = node.read(b.keys[s]);
-        if (k == key || k == 0) {
-          chosen = s;
-          break;
-        }
-      }
-      node.write(b.keys[chosen], key);
-      node.write(b.values[chosen], value);
-    };
-    ++puts;
-    co_await b.mux->execute(n, std::move(sec)).join();
-  }
-
-  /// Get: pure local reads — zero network traffic.
-  dsm::Word get(dsm::NodeId n, dsm::Word key) {
-    ++gets;
-    const Bucket& b = buckets[bucket_of(key)];
-    const auto& node = sys->node(n);
-    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
-      if (node.read(b.keys[s]) == key) {
-        ++get_hits;
-        return node.read(b.values[s]);
-      }
-    }
-    return 0;
-  }
 };
 
-sim::Process client(Store& store, dsm::NodeId me, std::uint64_t seed) {
+sim::Process client(shard::ShardedStore& store, Counters& counters,
+                    dsm::NodeId me, std::uint64_t seed) {
+  auto& sched = store.system().scheduler();
   sim::Rng rng(seed);
   for (int op = 0; op < 40; ++op) {
-    co_await sim::delay(store.sched,
+    co_await sim::delay(sched,
                         static_cast<sim::Duration>(rng.exponential(30'000)));
-    const auto key = static_cast<dsm::Word>(1 + rng.below(24));
+    const auto key = static_cast<shard::Key>(1 + rng.below(24));
     if (rng.chance(0.3)) {
-      co_await store.put(me, key, key * 1000 + me).join();
+      ++counters.puts;
+      co_await store.put(me, key, static_cast<dsm::Word>(key) * 1000 + me)
+          .join();
     } else {
-      (void)store.get(me, key);
+      ++counters.gets;
+      if (store.get(me, key).has_value()) ++counters.get_hits;
     }
   }
 }
@@ -103,70 +52,46 @@ sim::Process client(Store& store, dsm::NodeId me, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  Store store;
-  store.sys = std::make_unique<dsm::DsmSystem>(store.sched, store.topo,
-                                               dsm::DsmConfig{});
-  std::vector<dsm::NodeId> members;
-  for (dsm::NodeId i = 0; i < kNodes; ++i) members.push_back(i);
-  // Buckets spread their roots (lock managers) across the machine.
-  for (std::size_t bkt = 0; bkt < kBuckets; ++bkt) {
-    const auto root = static_cast<dsm::NodeId>((bkt * 2) % kNodes);
-    const auto g = store.sys->create_group(members, root);
-    Bucket b;
-    b.lock = store.sys->define_lock("kv.b" + std::to_string(bkt) + ".lock", g);
-    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
-      const std::string base =
-          "kv.b" + std::to_string(bkt) + ".s" + std::to_string(s);
-      b.keys.push_back(
-          store.sys->define_mutex_data(base + ".key", g, b.lock, 0));
-      b.values.push_back(
-          store.sys->define_mutex_data(base + ".val", g, b.lock, 0));
-    }
-    b.mux = std::make_unique<core::OptimisticMutex>(
-        *store.sys, b.lock, core::OptimisticMutex::Config{});
-    store.buckets.push_back(std::move(b));
-  }
+  sim::Scheduler sched;
+  const net::MeshTorus2D topo = net::MeshTorus2D::near_square(kNodes);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
 
+  shard::ShardedStoreConfig cfg;
+  cfg.shards = kShards;
+  cfg.slots_per_shard = 4;
+  cfg.lock = shard::LockPolicy::kOptimistic;  // pure §4 speculation
+  cfg.root_stride = 2;  // spread roots (lock managers) across the machine
+  shard::ShardedStore store(sys, cfg);
+
+  Counters counters;
   std::vector<sim::Process> procs;
   for (dsm::NodeId i = 0; i < kNodes; ++i) {
-    procs.push_back(client(store, i, 1000 + i));
+    procs.push_back(client(store, counters, i, 1000 + i));
   }
-  store.sched.run();
+  sched.run();
   for (const auto& p : procs) p.rethrow_if_failed();
 
   std::uint64_t speculations = 0, successes = 0, rollbacks = 0;
-  for (const auto& b : store.buckets) {
-    speculations += b.mux->stats().optimistic_attempts;
-    successes += b.mux->stats().optimistic_successes;
-    rollbacks += b.mux->stats().rollbacks;
+  for (shard::ShardId s = 0; s < kShards; ++s) {
+    const auto& ls = store.lock_stats(s);
+    speculations += ls.speculative_attempts;
+    successes += ls.speculative_commits;
+    rollbacks += ls.rollbacks;
   }
 
-  std::cout << "replicated KV store: " << kNodes << " replicas, " << kBuckets
+  std::cout << "replicated KV store: " << kNodes << " replicas, " << kShards
             << " buckets\n"
-            << "  puts                  " << store.puts << "\n"
-            << "  gets                  " << store.gets << " ("
-            << store.get_hits << " hits, all local reads)\n"
+            << "  puts                  " << counters.puts << "\n"
+            << "  gets                  " << counters.gets << " ("
+            << counters.get_hits << " hits, all local reads)\n"
             << "  speculative puts      " << speculations << " ("
             << successes << " committed without waiting, " << rollbacks
             << " rolled back)\n"
-            << "  simulated time        " << sim::format_time(store.sched.now())
+            << "  simulated time        " << sim::format_time(sched.now())
             << "\n"
-            << "  messages              " << store.sys->network().stats().messages
+            << "  messages              " << sys.network().stats().messages
             << "\n\nReplicas agree on every slot:\n";
-  // Verify convergence across replicas.
-  bool consistent = true;
-  for (const auto& b : store.buckets) {
-    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
-      const dsm::Word k0 = store.sys->node(0).read(b.keys[s]);
-      const dsm::Word v0 = store.sys->node(0).read(b.values[s]);
-      for (dsm::NodeId n = 1; n < kNodes; ++n) {
-        if (store.sys->node(n).read(b.keys[s]) != k0 ||
-            store.sys->node(n).read(b.values[s]) != v0) {
-          consistent = false;
-        }
-      }
-    }
-  }
+  const bool consistent = store.replicas_converged();
   std::cout << (consistent ? "  CONSISTENT\n" : "  DIVERGED (BUG)\n");
   return consistent ? 0 : 1;
 }

@@ -1,0 +1,49 @@
+#include "load/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::load {
+
+namespace {
+sim::Duration to_gap(double ns) {
+  // Gaps are at least 1 ns so simulated time always advances between
+  // arrivals and the schedule stays strictly ordered per node.
+  return ns < 1.0 ? 1 : static_cast<sim::Duration>(std::llround(ns));
+}
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig cfg) : cfg_(cfg) {
+  OPTSYNC_EXPECT(cfg_.mean_gap_ns > 0.0);
+  if (cfg_.kind == ArrivalKind::kBurst) {
+    OPTSYNC_EXPECT(cfg_.burst_size >= 1);
+    OPTSYNC_EXPECT(cfg_.burst_compression >= 1.0);
+  }
+}
+
+sim::Duration ArrivalProcess::next_gap(sim::Rng& rng) {
+  const double mean = cfg_.mean_gap_ns;
+  switch (cfg_.kind) {
+    case ArrivalKind::kPoisson:
+      return to_gap(rng.exponential(mean));
+    case ArrivalKind::kUniform:
+      return to_gap(mean * (0.5 + rng.uniform01()));
+    case ArrivalKind::kBurst: {
+      // A train of B arrivals spans (B-1) compressed gaps; the idle gap
+      // before the next train restores the long-run mean of B*mean per
+      // train. Compression 1 degenerates to a fixed-rate stream.
+      const std::uint64_t phase = position_++ % cfg_.burst_size;
+      const double in_train = mean / cfg_.burst_compression;
+      if (phase != 0 || position_ == 1) return to_gap(in_train);
+      const double idle =
+          static_cast<double>(cfg_.burst_size) * mean -
+          static_cast<double>(cfg_.burst_size - 1) * in_train;
+      return to_gap(idle);
+    }
+  }
+  return 1;
+}
+
+}  // namespace optsync::load

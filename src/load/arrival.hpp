@@ -1,0 +1,65 @@
+// Open-loop arrival processes for the synthetic traffic engine.
+//
+// An open-loop generator schedules request arrivals from a clock, not from
+// completions — a saturated service keeps receiving work and its queues
+// (and tail latencies) grow, exactly what an SLO measurement must observe
+// (no coordinated omission). The arrival process produces the inter-arrival
+// gaps; all randomness flows through the caller's sim::Rng so a seed fully
+// determines the schedule (determinism invariant 7).
+//
+//   * kPoisson — exponential gaps with the configured mean: memoryless
+//     arrivals, the standard open-system model.
+//   * kUniform — gaps uniform in [mean/2, 3*mean/2]: same mean, bounded
+//     burstiness; isolates queueing effects from arrival variance.
+//   * kBurst   — trains of `burst_size` requests with gaps compressed by
+//     `burst_compression`, separated by idle gaps sized so the long-run
+//     mean rate is preserved. Stresses frame coalescing and lock queues
+//     the way real traffic spikes do.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "simkern/random.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::load {
+
+enum class ArrivalKind { kPoisson, kUniform, kBurst };
+
+constexpr std::string_view arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kUniform:
+      return "uniform";
+    case ArrivalKind::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Mean inter-arrival gap; the offered rate is 1e9 / mean_gap_ns req/s.
+  double mean_gap_ns = 10'000.0;
+  /// kBurst: requests per train (>= 1).
+  std::uint32_t burst_size = 16;
+  /// kBurst: in-train gaps are mean_gap_ns / burst_compression (> 1).
+  double burst_compression = 8.0;
+};
+
+/// Stateful gap source. Construct once per schedule; feed one Rng.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalConfig cfg);
+
+  /// The gap between the previous arrival and the next one.
+  [[nodiscard]] sim::Duration next_gap(sim::Rng& rng);
+
+ private:
+  ArrivalConfig cfg_;
+  std::uint64_t position_ = 0;  ///< arrivals emitted (burst phase index)
+};
+
+}  // namespace optsync::load

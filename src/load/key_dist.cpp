@@ -1,0 +1,32 @@
+#include "load/key_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::load {
+
+KeySampler::KeySampler(KeyConfig cfg) : cfg_(cfg) {
+  OPTSYNC_EXPECT(cfg_.keys >= 1);
+  if (cfg_.dist != KeyDist::kZipfian) return;
+  OPTSYNC_EXPECT(cfg_.zipf_s >= 0.0);
+  cdf_.reserve(cfg_.keys);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < cfg_.keys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), cfg_.zipf_s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding at the tail
+}
+
+std::uint64_t KeySampler::sample(sim::Rng& rng) const {
+  if (cfg_.dist == KeyDist::kUniform) return 1 + rng.below(cfg_.keys);
+  const double u = rng.uniform01();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+  return (rank >= cfg_.keys ? cfg_.keys - 1 : rank) + 1;
+}
+
+}  // namespace optsync::load

@@ -1,0 +1,56 @@
+// Key popularity distributions for the traffic engine.
+//
+// kUniform picks each key with equal probability; kZipfian follows the
+// classic power law (weight of the r-th most popular key proportional to
+// 1/r^s), the standard model for skewed KV traffic. Skew is what makes
+// sharding interesting: under Zipf a handful of keys — and therefore a
+// handful of shards — absorb most writes, so hot shards flip the adaptive
+// gate to the queue lock while cold shards keep speculating.
+//
+// The Zipf CDF is precomputed at construction; sampling is one uniform01()
+// draw plus a binary search, fully deterministic per sim::Rng stream.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "simkern/random.hpp"
+
+namespace optsync::load {
+
+enum class KeyDist { kUniform, kZipfian };
+
+constexpr std::string_view key_dist_name(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform:
+      return "uniform";
+    case KeyDist::kZipfian:
+      return "zipfian";
+  }
+  return "?";
+}
+
+struct KeyConfig {
+  KeyDist dist = KeyDist::kZipfian;
+  std::uint64_t keys = 256;  ///< key domain is [1, keys] (0 is reserved)
+  double zipf_s = 0.99;      ///< Zipf exponent (YCSB default)
+};
+
+class KeySampler {
+ public:
+  explicit KeySampler(KeyConfig cfg);
+
+  /// Draws one key in [1, keys]. Under kZipfian, key 1 is the most
+  /// popular, key 2 the second, and so on (rank order = key order, which
+  /// makes frequency assertions in tests straightforward).
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+
+  [[nodiscard]] const KeyConfig& config() const { return cfg_; }
+
+ private:
+  KeyConfig cfg_;
+  std::vector<double> cdf_;  ///< empty for kUniform
+};
+
+}  // namespace optsync::load

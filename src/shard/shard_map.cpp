@@ -1,0 +1,30 @@
+#include "shard/shard_map.hpp"
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+
+namespace optsync::shard {
+
+ShardMap ShardMap::hashed(std::uint32_t shards) {
+  OPTSYNC_EXPECT(shards >= 1);
+  return ShardMap(Policy::kHash, shards, 0);
+}
+
+ShardMap ShardMap::ranged(std::uint32_t shards, Key key_space) {
+  OPTSYNC_EXPECT(shards >= 1);
+  OPTSYNC_EXPECT(key_space >= shards);
+  return ShardMap(Policy::kRange, shards, key_space / shards);
+}
+
+ShardId ShardMap::shard_of(Key key) const {
+  if (policy_ == Policy::kHash) {
+    // One splitmix64 round is a full-avalanche finalizer — dense key
+    // populations spread uniformly, and the mapping is platform-stable.
+    const std::uint64_t mixed = sim::SplitMix64(key).next();
+    return static_cast<ShardId>(mixed % shards_);
+  }
+  const Key stripe = key / stripe_;
+  return stripe >= shards_ ? shards_ - 1 : static_cast<ShardId>(stripe);
+}
+
+}  // namespace optsync::shard

@@ -1,0 +1,58 @@
+// Key -> shard directory for the sharded DSM service layer.
+//
+// A shard is one independent eagersharing group with its own root, lock,
+// and KV slots (shard/sharded_store.hpp); the ShardMap is the pure routing
+// function in front of them. Two policies:
+//
+//   * kHash  — splitmix64-mixed key modulo shard count. Spreads any key
+//     population (including dense sequential keys) uniformly; the mix is
+//     the same one simkern/random uses for seeding, so routing is
+//     platform-stable and deterministic.
+//   * kRange — the key space [0, key_space) cut into contiguous
+//     equal-width stripes, last stripe absorbing the remainder and any
+//     key >= key_space. Keeps key locality (neighbouring keys share a
+//     shard), the classic directory choice when scans matter.
+//
+// The directory is a value type: cheap to copy, no substrate references,
+// usable by routers, benches, and tests alike.
+#pragma once
+
+#include <cstdint>
+
+namespace optsync::shard {
+
+/// Dense shard index, [0, shards()).
+using ShardId = std::uint32_t;
+
+/// Service-level key. Keys are opaque 64-bit values; the KV layer reserves
+/// 0 for "empty slot", so clients use keys >= 1.
+using Key = std::uint64_t;
+
+class ShardMap {
+ public:
+  enum class Policy { kHash, kRange };
+
+  /// Hash-partitioned directory over `shards` shards (shards >= 1).
+  static ShardMap hashed(std::uint32_t shards);
+
+  /// Range-partitioned directory: [0, key_space) in `shards` contiguous
+  /// stripes. Precondition: shards >= 1, key_space >= shards.
+  static ShardMap ranged(std::uint32_t shards, Key key_space);
+
+  [[nodiscard]] ShardId shard_of(Key key) const;
+
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  [[nodiscard]] Policy policy() const { return policy_; }
+  /// Range policy only: size of one stripe (last stripe may be larger).
+  [[nodiscard]] Key stripe_width() const { return stripe_; }
+
+ private:
+  ShardMap(Policy policy, std::uint32_t shards, Key stripe)
+      : policy_(policy), shards_(shards), stripe_(stripe) {}
+
+  Policy policy_;
+  std::uint32_t shards_;
+  Key stripe_;  // range policy; 0 under hash
+};
+
+}  // namespace optsync::shard

@@ -1,0 +1,281 @@
+#include "shard/sharded_store.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "simkern/assert.hpp"
+#include "simkern/random.hpp"
+#include "stats/metrics.hpp"
+
+namespace optsync::shard {
+
+namespace {
+ShardMap make_map(const ShardedStoreConfig& cfg) {
+  return cfg.policy == ShardMap::Policy::kHash
+             ? ShardMap::hashed(cfg.shards)
+             : ShardMap::ranged(cfg.shards, cfg.key_space);
+}
+}  // namespace
+
+ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
+    : sys_(&sys), cfg_(cfg), map_(make_map(cfg)) {
+  OPTSYNC_EXPECT(cfg.shards >= 1);
+  OPTSYNC_EXPECT(cfg.slots_per_shard >= 1);
+  OPTSYNC_EXPECT(cfg.root_stride >= 1);
+  txn_stats_.name = "svc.txn";
+
+  std::vector<dsm::NodeId> members;
+  members.reserve(sys.node_count());
+  for (dsm::NodeId i = 0; i < sys.node_count(); ++i) members.push_back(i);
+
+  shards_.reserve(cfg.shards);
+  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+    auto sh = std::make_unique<Shard>(cfg.history_decay);
+    sh->root = members[(static_cast<std::size_t>(s) * cfg.root_stride) %
+                       members.size()];
+    sh->group = sys.create_group(members, sh->root);
+    const std::string base = "svc.s" + std::to_string(s);
+    sh->lock = sys.define_lock(base + ".lock", sh->group);
+    sh->version =
+        sys.define_mutex_data(base + ".ver", sh->group, sh->lock, 0);
+    sh->slot_keys.reserve(cfg.slots_per_shard);
+    sh->slot_values.reserve(cfg.slots_per_shard);
+    for (std::uint32_t k = 0; k < cfg.slots_per_shard; ++k) {
+      const std::string slot = base + ".k" + std::to_string(k);
+      sh->slot_keys.push_back(
+          sys.define_mutex_data(slot + ".key", sh->group, sh->lock, 0));
+      sh->slot_values.push_back(
+          sys.define_mutex_data(slot + ".val", sh->group, sh->lock, 0));
+    }
+    sh->stats.name = base + ".lock";
+    core::OptimisticMutex::Config mcfg;
+    mcfg.history_threshold = cfg.history_threshold;
+    mcfg.history_decay = cfg.history_decay;
+    mcfg.lock_stats = &sh->stats;
+    sh->mux = std::make_unique<core::OptimisticMutex>(sys, sh->lock, mcfg);
+    sh->queue = std::make_unique<sync::GwcQueueLock>(sys, sh->lock);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+std::size_t ShardedStore::slot_of(Key key) const {
+  // Second mix constant decorrelates the slot choice from the shard
+  // choice; without it every key of a hash shard would land in one slot.
+  return static_cast<std::size_t>(sim::SplitMix64(key ^ 0x510750ull).next() %
+                                  cfg_.slots_per_shard);
+}
+
+std::optional<dsm::Word> ShardedStore::get(dsm::NodeId n, Key key) const {
+  OPTSYNC_EXPECT(key != 0);
+  const Shard& sh = *shards_[map_.shard_of(key)];
+  const auto& node = sys_->node(n);
+  const std::size_t slot = slot_of(key);
+  if (node.read(sh.slot_keys[slot]) == static_cast<dsm::Word>(key)) {
+    return node.read(sh.slot_values[slot]);
+  }
+  return std::nullopt;
+}
+
+void ShardedStore::write_slot(Shard& sh, dsm::DsmNode& node, Key key,
+                              dsm::Word value) {
+  const std::size_t slot = slot_of(key);
+  node.write(sh.slot_keys[slot], static_cast<dsm::Word>(key));
+  node.write(sh.slot_values[slot], value);
+}
+
+sim::Process ShardedStore::put(dsm::NodeId n, Key key, dsm::Word value) {
+  OPTSYNC_EXPECT(key != 0);
+  Shard& sh = *shards_[map_.shard_of(key)];
+  bool use_queue = false;
+  switch (cfg_.lock) {
+    case LockPolicy::kQueue:
+      use_queue = true;
+      break;
+    case LockPolicy::kOptimistic:
+      use_queue = false;
+      break;
+    case LockPolicy::kAdaptive: {
+      // The §4 decision, per shard: fold the lock's busyness (local copy,
+      // zero traffic) into the shard's EWMA, then pick the protocol.
+      const dsm::Word lw = sys_->node(n).read(sh.lock);
+      const bool busy = dsm::lock_held(lw) && !dsm::lock_granted_to(lw, n);
+      sh.history.observe(busy ? 1.0 : 0.0);
+      use_queue = sh.history.indicates_usage(cfg_.history_threshold);
+      break;
+    }
+  }
+  return use_queue ? put_queued(sh, n, key, value)
+                   : put_optimistic(sh, n, key, value);
+}
+
+sim::Process ShardedStore::put_queued(Shard& sh, dsm::NodeId n, Key key,
+                                      dsm::Word value) {
+  auto& sched = sys_->scheduler();
+  const sim::Time started = sched.now();
+  co_await sh.queue->acquire(n).join();
+  const sim::Time acquired = sched.now();
+  auto& node = sys_->node(n);
+  co_await sim::delay(sched, cfg_.write_compute_ns);
+  write_slot(sh, node, key, value);
+  node.write(sh.version, node.read(sh.version) + 1);
+  sh.queue->release(n);
+  // The queue path feeds the same per-shard flight record the optimistic
+  // mutex feeds through Config::lock_stats, so one LockStats describes the
+  // shard lock whatever mix of protocols served it.
+  ++sh.stats.acquisitions;
+  sh.stats.acquire_ns.record(static_cast<std::int64_t>(acquired - started));
+  sh.stats.hold_ns.record(static_cast<std::int64_t>(sched.now() - acquired));
+  ++sh.committed;
+  ++sh.queue_ops;
+}
+
+sim::Process ShardedStore::put_optimistic(Shard& sh, dsm::NodeId n, Key key,
+                                          dsm::Word value) {
+  core::Section sec;
+  sec.shared_writes.reserve(2 * cfg_.slots_per_shard + 1);
+  for (std::uint32_t k = 0; k < cfg_.slots_per_shard; ++k) {
+    sec.shared_writes.push_back(sh.slot_keys[k]);
+    sec.shared_writes.push_back(sh.slot_values[k]);
+  }
+  sec.shared_writes.push_back(sh.version);
+  sec.body = [this, &sh, key, value](dsm::DsmNode& node) -> sim::Process {
+    co_await sim::delay(sys_->scheduler(), cfg_.write_compute_ns);
+    write_slot(sh, node, key, value);
+    node.write(sh.version, node.read(sh.version) + 1);
+  };
+  co_await sh.mux->execute(n, std::move(sec)).join();
+  ++sh.committed;
+  ++sh.optimistic_ops;
+}
+
+core::MultiGroupMutex& ShardedStore::txn_mutex(
+    const std::vector<ShardId>& ids) {
+  auto it = txn_muxes_.find(ids);
+  if (it == txn_muxes_.end()) {
+    std::vector<dsm::VarId> locks;
+    locks.reserve(ids.size());
+    for (const ShardId s : ids) locks.push_back(shards_[s]->lock);
+    it = txn_muxes_
+             .emplace(ids, std::make_unique<core::MultiGroupMutex>(
+                               *sys_, std::move(locks)))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Process ShardedStore::multi_put(
+    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
+  OPTSYNC_EXPECT(!kvs.empty());
+  std::vector<ShardId> ids;
+  ids.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) {
+    OPTSYNC_EXPECT(key != 0);
+    (void)value;
+    ids.push_back(map_.shard_of(key));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  core::MultiGroupMutex& mux = txn_mutex(ids);
+  return multi_put_impl(n, std::move(kvs), std::move(ids), mux);
+}
+
+sim::Process ShardedStore::multi_put_impl(
+    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs,
+    std::vector<ShardId> ids, core::MultiGroupMutex& mux) {
+  auto& sched = sys_->scheduler();
+  const sim::Time started = sched.now();
+  co_await mux.acquire(n).join();
+  const sim::Time acquired = sched.now();
+  auto& node = sys_->node(n);
+  co_await sim::delay(
+      sched, cfg_.write_compute_ns * static_cast<sim::Duration>(kvs.size()));
+  for (const auto& [key, value] : kvs) {
+    write_slot(*shards_[map_.shard_of(key)], node, key, value);
+  }
+  // One version bump (and one ledger commit) per involved shard, however
+  // many of the transaction's keys landed on it.
+  for (const ShardId s : ids) {
+    Shard& sh = *shards_[s];
+    node.write(sh.version, node.read(sh.version) + 1);
+  }
+  mux.release(n);
+  for (const ShardId s : ids) ++shards_[s]->committed;
+  ++txn_stats_.acquisitions;
+  txn_stats_.acquire_ns.record(static_cast<std::int64_t>(acquired - started));
+  txn_stats_.hold_ns.record(static_cast<std::int64_t>(sched.now() - acquired));
+}
+
+void ShardedStore::fill_report(stats::ServiceReport& report) {
+  if (report.shards.size() < shards_.size()) {
+    report.shards.resize(shards_.size());
+  }
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    auto& entry = report.shards[s];
+    entry.shard = s;
+    entry.lock_name = sh.stats.name;
+    const auto& root = sys_->root_of(sh.group).stats();
+    sh.stats.root_speculative_drops = root.speculative_drops;
+    entry.lock = sh.stats;
+    entry.sequenced = root.sequenced;
+    entry.frames = root.frames;
+    entry.max_frame_writes = root.max_frame_writes;
+    entry.version = sys_->node(sh.root).read(sh.version);
+    entry.committed_writes = sh.committed;
+  }
+  report.messages = sys_->network().stats().messages;
+  report.faults = stats::collect_fault_report(sys_->network().stats(),
+                                              sys_->reliable().stats());
+}
+
+bool ShardedStore::replicas_converged() const {
+  for (const auto& shp : shards_) {
+    const Shard& sh = *shp;
+    const auto& members = sys_->group(sh.group).members();
+    std::vector<dsm::VarId> vars = sh.slot_keys;
+    vars.insert(vars.end(), sh.slot_values.begin(), sh.slot_values.end());
+    vars.push_back(sh.version);
+    for (const dsm::VarId v : vars) {
+      const dsm::Word expect = sys_->node(members[0]).read(v);
+      for (const dsm::NodeId m : members) {
+        if (sys_->node(m).read(v) != expect) return false;
+      }
+    }
+  }
+  return true;
+}
+
+dsm::VarId ShardedStore::lock_var(ShardId s) const {
+  return shards_.at(s)->lock;
+}
+
+dsm::GroupId ShardedStore::group_of(ShardId s) const {
+  return shards_.at(s)->group;
+}
+
+std::uint64_t ShardedStore::committed_writes(ShardId s) const {
+  return shards_.at(s)->committed;
+}
+
+dsm::Word ShardedStore::version(ShardId s) const {
+  const Shard& sh = *shards_.at(s);
+  return sys_->node(sh.root).read(sh.version);
+}
+
+const stats::LockStats& ShardedStore::lock_stats(ShardId s) const {
+  return shards_.at(s)->stats;
+}
+
+double ShardedStore::shard_history(ShardId s) const {
+  return shards_.at(s)->history.value();
+}
+
+std::uint64_t ShardedStore::queue_path_ops(ShardId s) const {
+  return shards_.at(s)->queue_ops;
+}
+
+std::uint64_t ShardedStore::optimistic_path_ops(ShardId s) const {
+  return shards_.at(s)->optimistic_ops;
+}
+
+}  // namespace optsync::shard

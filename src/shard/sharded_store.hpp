@@ -1,0 +1,186 @@
+// ShardedStore: a KV namespace striped over N independent eagersharing
+// groups — the service layer that turns the paper's single-group lock
+// protocols into a horizontally scalable system.
+//
+// Single-root sequencing is the GWC scaling bottleneck: every write of a
+// group funnels through one root. The store therefore creates one sharing
+// group PER SHARD, each with its own root (spread round-robin over the
+// machine so sequencing work is distributed), its own lock variable, a
+// version word, and a set of KV slots. A ShardMap routes keys to shards;
+// unrelated keys never meet a common sequencer or lock queue.
+//
+// Per-shard lock protocol (LockPolicy):
+//   * kQueue      — the §2 GWC queue lock (sync::GwcQueueLock);
+//   * kOptimistic — core::OptimisticMutex, §4 speculation with the
+//     per-node EWMA gate;
+//   * kAdaptive   — a store-level per-shard core::UsageHistory observes
+//     lock busyness at every write arrival and routes the write to the
+//     queue-lock client when the shard looks contended, to the optimistic
+//     mutex when it looks idle. This is the §4 decision lifted from
+//     per-node to per-shard: a hot shard degenerates to the regular
+//     protocol (zero extra traffic), a cold one commits writes in
+//     roughly its compute time.
+//
+// Multi-key transactions that cross shards acquire every involved shard
+// lock through core::MultiGroupMutex (global VarId order — deadlock-free)
+// and bump every involved shard's version word, so the per-shard
+// serializability ledger (version == committed writes) stays exact across
+// shard boundaries.
+//
+// Concurrency contract: operations on one node must not overlap (a node
+// models one instruction stream — the Fig. 4 nesting rule). load::Generator
+// serializes per node; direct callers must do the same.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/multi_group_mutex.hpp"
+#include "core/optimistic_mutex.hpp"
+#include "core/usage_history.hpp"
+#include "dsm/system.hpp"
+#include "shard/shard_map.hpp"
+#include "simkern/coro.hpp"
+#include "stats/lock_stats.hpp"
+#include "stats/service_report.hpp"
+#include "sync/gwc_lock.hpp"
+
+namespace optsync::shard {
+
+enum class LockPolicy { kQueue, kOptimistic, kAdaptive };
+
+constexpr std::string_view lock_policy_name(LockPolicy p) {
+  switch (p) {
+    case LockPolicy::kQueue:
+      return "queue";
+    case LockPolicy::kOptimistic:
+      return "optimistic";
+    case LockPolicy::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+struct ShardedStoreConfig {
+  std::uint32_t shards = 4;
+  std::uint32_t slots_per_shard = 8;  ///< KV slots (key, value var pairs)
+  ShardMap::Policy policy = ShardMap::Policy::kHash;
+  /// Range policy: the striped key domain [0, key_space).
+  Key key_space = 1024;
+
+  LockPolicy lock = LockPolicy::kAdaptive;
+  /// Store-level adaptive gate (kAdaptive): route to the queue lock when
+  /// the shard's EWMA busyness exceeds the threshold (paper's 0.30/0.95).
+  double history_threshold = 0.30;
+  double history_decay = 0.95;
+
+  /// In-section compute per write (hash + slot scan).
+  sim::Duration write_compute_ns = 800;
+
+  /// Shard s roots at members[(s * root_stride) % members.size()]; the
+  /// default walks the machine so consecutive shards sequence on
+  /// different nodes.
+  std::uint32_t root_stride = 1;
+};
+
+class ShardedStore {
+ public:
+  /// Creates one sharing group per shard over ALL nodes of `sys` (full
+  /// replication — every node can serve local reads for every key).
+  ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg);
+
+  ShardedStore(const ShardedStore&) = delete;
+  ShardedStore& operator=(const ShardedStore&) = delete;
+
+  [[nodiscard]] const ShardMap& map() const { return map_; }
+  [[nodiscard]] std::uint32_t shards() const { return map_.shards(); }
+  [[nodiscard]] ShardId shard_of(Key key) const { return map_.shard_of(key); }
+  [[nodiscard]] dsm::DsmSystem& system() { return *sys_; }
+  [[nodiscard]] const ShardedStoreConfig& config() const { return cfg_; }
+
+  /// Local read on node `n` — zero network traffic (eagersharing keeps
+  /// every replica warm). Empty when the key is absent or was evicted.
+  [[nodiscard]] std::optional<dsm::Word> get(dsm::NodeId n, Key key) const;
+
+  /// Single-key write under the owning shard's lock, per the configured
+  /// LockPolicy. Keys are >= 1 (0 marks an empty slot).
+  /// Use as: co_await store.put(n, key, value).join();
+  sim::Process put(dsm::NodeId n, Key key, dsm::Word value);
+
+  /// Multi-key transaction: acquires every involved shard's lock through
+  /// MultiGroupMutex (ascending-VarId order), writes all pairs, bumps each
+  /// involved shard's version word once, releases in reverse order.
+  sim::Process multi_put(dsm::NodeId n,
+                         std::vector<std::pair<Key, dsm::Word>> kvs);
+
+  // --- end-of-run rollup -------------------------------------------------
+  /// Fills the lock/root/ledger side of `report` (resizing its shard list
+  /// if needed): per-shard LockStats, root sequencing/frame rollup, final
+  /// version vs. committed-write counts, network/fault totals.
+  void fill_report(stats::ServiceReport& report);
+
+  /// True when every replica of every shard agrees on every slot and the
+  /// version word (GWC convergence).
+  [[nodiscard]] bool replicas_converged() const;
+
+  // --- per-shard introspection (tests, benches) -------------------------
+  [[nodiscard]] dsm::VarId lock_var(ShardId s) const;
+  [[nodiscard]] dsm::GroupId group_of(ShardId s) const;
+  [[nodiscard]] std::uint64_t committed_writes(ShardId s) const;
+  /// Final version word, read on the shard's root node.
+  [[nodiscard]] dsm::Word version(ShardId s) const;
+  [[nodiscard]] const stats::LockStats& lock_stats(ShardId s) const;
+  /// Store-level adaptive-gate estimate for the shard (kAdaptive).
+  [[nodiscard]] double shard_history(ShardId s) const;
+  /// Writes routed to the queue-lock / optimistic client, per shard.
+  [[nodiscard]] std::uint64_t queue_path_ops(ShardId s) const;
+  [[nodiscard]] std::uint64_t optimistic_path_ops(ShardId s) const;
+  /// Whole-chain flight record of cross-shard transactions ("svc.txn").
+  [[nodiscard]] const stats::LockStats& txn_stats() const {
+    return txn_stats_;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(double decay) : history(decay) {}
+    dsm::GroupId group = 0;
+    dsm::NodeId root = 0;
+    dsm::VarId lock = dsm::kNoVar;
+    dsm::VarId version = dsm::kNoVar;
+    std::vector<dsm::VarId> slot_keys;
+    std::vector<dsm::VarId> slot_values;
+    std::unique_ptr<core::OptimisticMutex> mux;
+    std::unique_ptr<sync::GwcQueueLock> queue;
+    core::UsageHistory history;  ///< store-level adaptive gate
+    stats::LockStats stats;
+    std::uint64_t committed = 0;  ///< write sections finished on this shard
+    std::uint64_t queue_ops = 0;
+    std::uint64_t optimistic_ops = 0;
+  };
+
+  [[nodiscard]] std::size_t slot_of(Key key) const;
+  void write_slot(Shard& sh, dsm::DsmNode& node, Key key, dsm::Word value);
+  sim::Process put_queued(Shard& sh, dsm::NodeId n, Key key, dsm::Word value);
+  sim::Process put_optimistic(Shard& sh, dsm::NodeId n, Key key,
+                              dsm::Word value);
+  sim::Process multi_put_impl(dsm::NodeId n,
+                              std::vector<std::pair<Key, dsm::Word>> kvs,
+                              std::vector<ShardId> ids,
+                              core::MultiGroupMutex& mux);
+  /// Cached MultiGroupMutex per involved-shard set (clients are stateless
+  /// between acquisitions, so reuse is safe and keeps stats cumulative).
+  core::MultiGroupMutex& txn_mutex(const std::vector<ShardId>& ids);
+
+  dsm::DsmSystem* sys_;
+  ShardedStoreConfig cfg_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::vector<ShardId>, std::unique_ptr<core::MultiGroupMutex>>
+      txn_muxes_;
+  stats::LockStats txn_stats_;
+};
+
+}  // namespace optsync::shard

@@ -42,6 +42,7 @@ class Histogram {
   [[nodiscard]] std::int64_t p50() const { return percentile(0.50); }
   [[nodiscard]] std::int64_t p95() const { return percentile(0.95); }
   [[nodiscard]] std::int64_t p99() const { return percentile(0.99); }
+  [[nodiscard]] std::int64_t p999() const { return percentile(0.999); }
 
   /// Accumulates another histogram into this one (bucket-wise).
   void merge(const Histogram& other);

@@ -1,0 +1,71 @@
+#include "stats/service_report.hpp"
+
+#include <sstream>
+
+namespace optsync::stats {
+
+std::uint64_t ServiceReport::issued() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) {
+    for (const auto& o : s.ops) n += o.issued;
+  }
+  return n;
+}
+
+std::uint64_t ServiceReport::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) {
+    for (const auto& o : s.ops) n += o.completed;
+  }
+  return n;
+}
+
+double ServiceReport::goodput_rps() const {
+  if (elapsed_ns == 0) return 0.0;
+  return static_cast<double>(completed()) / sim::to_seconds(elapsed_ns);
+}
+
+Histogram ServiceReport::merged_latency(ServiceOp op) const {
+  Histogram h;
+  for (const auto& s : shards) h.merge(s.op(op).latency_ns);
+  return h;
+}
+
+bool ServiceReport::serializable() const {
+  for (const auto& s : shards) {
+    if (!s.serializable()) return false;
+  }
+  return true;
+}
+
+std::string ServiceReport::format() const {
+  std::ostringstream out;
+  out << "service: " << shards.size() << " shards, " << completed() << "/"
+      << issued() << " requests completed in " << sim::format_time(elapsed_ns)
+      << "\n";
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "  offered %.0f req/s, goodput %.0f req/s, %llu messages\n",
+                offered_rps, goodput_rps(),
+                static_cast<unsigned long long>(messages));
+  out << line;
+  out << "  shard  reads  writes  txns   w.p50       w.p99       w.p999      "
+         "serializable\n";
+  for (const auto& s : shards) {
+    const auto& w = s.op(ServiceOp::kWrite).latency_ns;
+    std::snprintf(
+        line, sizeof line,
+        "  %-6u %-6llu %-7llu %-6llu %-11s %-11s %-11s %s\n", s.shard,
+        static_cast<unsigned long long>(s.op(ServiceOp::kRead).completed),
+        static_cast<unsigned long long>(s.op(ServiceOp::kWrite).completed),
+        static_cast<unsigned long long>(s.op(ServiceOp::kTxn).completed),
+        sim::format_time(static_cast<sim::Time>(w.p50())).c_str(),
+        sim::format_time(static_cast<sim::Time>(w.p99())).c_str(),
+        sim::format_time(static_cast<sim::Time>(w.p999())).c_str(),
+        s.serializable() ? "yes" : "NO (BUG)");
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace optsync::stats

@@ -1,0 +1,113 @@
+// Service-wide SLO accounting for the sharded DSM service layer.
+//
+// One ServiceReport describes one service run: per-shard request counts and
+// latency distributions tagged by operation class (read / write / txn),
+// the shard lock's flight record (stats::LockStats), the shard root's
+// sequencing/frame rollup, and the per-shard serializability ledger
+// (final version word vs. writes committed under the lock — the
+// counter-exactness invariant, per shard).
+//
+// load::Generator fills the request-side fields while it drives traffic;
+// shard::ShardedStore fills the lock/root/ledger side at end of run
+// (ShardedStore::fill_report). Benches serialize shards into their
+// --metrics-out rows and locks arrays; format() renders the human table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkern/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/lock_stats.hpp"
+#include "stats/metrics.hpp"
+
+namespace optsync::stats {
+
+/// Operation classes the service distinguishes. kTxn is a multi-key write
+/// crossing shard (and therefore root) boundaries under MultiGroupMutex.
+enum class ServiceOp { kRead = 0, kWrite = 1, kTxn = 2 };
+inline constexpr std::size_t kServiceOpCount = 3;
+
+constexpr std::string_view service_op_name(ServiceOp op) {
+  switch (op) {
+    case ServiceOp::kRead:
+      return "read";
+    case ServiceOp::kWrite:
+      return "write";
+    case ServiceOp::kTxn:
+      return "txn";
+  }
+  return "?";
+}
+
+/// Request-side accounting for one (shard, operation class) pair.
+struct ServiceOpStats {
+  std::uint64_t issued = 0;     ///< requests routed here (open-loop arrivals)
+  std::uint64_t completed = 0;  ///< requests finished
+  /// Arrival-to-completion latency, including client queueing delay — the
+  /// open-loop (coordinated-omission-free) figure an SLO is stated over.
+  Histogram latency_ns;
+};
+
+/// Everything the service knows about one shard at end of run.
+struct ShardServiceStats {
+  std::uint32_t shard = 0;
+  std::string lock_name;
+
+  std::array<ServiceOpStats, kServiceOpCount> ops;
+  [[nodiscard]] ServiceOpStats& op(ServiceOp o) {
+    return ops[static_cast<std::size_t>(o)];
+  }
+  [[nodiscard]] const ServiceOpStats& op(ServiceOp o) const {
+    return ops[static_cast<std::size_t>(o)];
+  }
+
+  /// The shard lock's flight record (acquire/hold percentiles, speculation
+  /// ledger). Filled by ShardedStore.
+  LockStats lock;
+
+  // --- root rollup (GroupRoot::Stats excerpt) -------------------------
+  std::uint64_t sequenced = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t max_frame_writes = 0;
+
+  // --- serializability ledger -----------------------------------------
+  /// Final value of the shard's version word, bumped once per committed
+  /// write section. Must equal committed_writes (per-shard counter
+  /// exactness: mutual exclusion + serializability, invariant 2).
+  std::int64_t version = 0;
+  std::uint64_t committed_writes = 0;
+
+  [[nodiscard]] bool serializable() const {
+    return version == static_cast<std::int64_t>(committed_writes);
+  }
+};
+
+struct ServiceReport {
+  std::vector<ShardServiceStats> shards;
+  sim::Time elapsed_ns = 0;
+  std::uint64_t messages = 0;
+  double offered_rps = 0.0;  ///< open-loop offered load (filled by generator)
+  FaultReport faults;
+
+  [[nodiscard]] std::uint64_t issued() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
+  /// Completed requests per second of simulated time ("goodput" — every
+  /// completed request did real, serializable work).
+  [[nodiscard]] double goodput_rps() const;
+
+  /// All shards' latency distributions for `op`, merged.
+  [[nodiscard]] Histogram merged_latency(ServiceOp op) const;
+
+  /// Every shard's version word matches its committed-write count.
+  [[nodiscard]] bool serializable() const;
+
+  /// Human-readable summary: service totals plus one row per shard with
+  /// completed counts and write p50/p99/p999.
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace optsync::stats

@@ -1,0 +1,252 @@
+// Traffic-engine tests: the planned schedule is a pure function of the seed
+// (determinism invariant 7 — two plans from one seed are identical, field
+// for field), the key popularity distributions have the right shape
+// (Zipf frequency follows rank), the arrival processes keep their
+// configured mean, and an end-to-end run completes every request with
+// coherent per-shard accounting.
+#include "load/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "load/arrival.hpp"
+#include "load/key_dist.hpp"
+
+namespace optsync::load {
+namespace {
+
+// -------------------------------------------------------------- arrivals ---
+
+TEST(Arrival, PoissonKeepsConfiguredMean) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kPoisson;
+  cfg.mean_gap_ns = 10'000.0;
+  ArrivalProcess arr(cfg);
+  sim::Rng rng(7);
+  double total = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    total += static_cast<double>(arr.next_gap(rng));
+  }
+  EXPECT_NEAR(total / kN, cfg.mean_gap_ns, cfg.mean_gap_ns * 0.05);
+}
+
+TEST(Arrival, UniformGapsStayInBand) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kUniform;
+  cfg.mean_gap_ns = 8'000.0;
+  ArrivalProcess arr(cfg);
+  sim::Rng rng(11);
+  double total = 0;
+  constexpr int kN = 20'000;
+  for (int i = 0; i < kN; ++i) {
+    const auto gap = arr.next_gap(rng);
+    EXPECT_GE(gap, 4'000u);
+    EXPECT_LE(gap, 12'000u);
+    total += static_cast<double>(gap);
+  }
+  EXPECT_NEAR(total / kN, cfg.mean_gap_ns, cfg.mean_gap_ns * 0.05);
+}
+
+TEST(Arrival, BurstTrainsCompressThenIdle) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kBurst;
+  cfg.mean_gap_ns = 10'000.0;
+  cfg.burst_size = 4;
+  cfg.burst_compression = 10.0;
+  ArrivalProcess arr(cfg);
+  sim::Rng rng(3);
+  // Train: 4 arrivals 1000 ns apart, then one idle gap restoring the mean
+  // (4 * 10000 - 3 * 1000 = 37000 ns), repeating.
+  std::vector<sim::Duration> gaps;
+  for (int i = 0; i < 12; ++i) gaps.push_back(arr.next_gap(rng));
+  for (const int i : {0, 1, 2, 3, 5, 6, 7, 9, 10, 11}) {
+    EXPECT_EQ(gaps[static_cast<std::size_t>(i)], 1'000u) << "gap " << i;
+  }
+  EXPECT_EQ(gaps[4], 37'000u);
+  EXPECT_EQ(gaps[8], 37'000u);
+  // Steady state (full trains, gaps 4..11) keeps the configured mean; the
+  // ramp-in train is one compressed gap short of a full period.
+  double total = 0;
+  for (int i = 4; i < 12; ++i) total += static_cast<double>(gaps[i]);
+  EXPECT_NEAR(total / 8.0, cfg.mean_gap_ns, 1.0);
+}
+
+// ------------------------------------------------------------------ keys ---
+
+TEST(KeySampler, UniformCoversDomain) {
+  KeyConfig cfg;
+  cfg.dist = KeyDist::kUniform;
+  cfg.keys = 10;
+  const KeySampler sampler(cfg);
+  sim::Rng rng(5);
+  std::vector<int> counts(cfg.keys + 1, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = sampler.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, cfg.keys);
+    ++counts[k];
+  }
+  for (std::uint64_t k = 1; k <= cfg.keys; ++k) {
+    EXPECT_GT(counts[k], 700) << "key " << k;  // expect ~1000 each
+  }
+}
+
+TEST(KeySampler, ZipfFrequencyFollowsRank) {
+  KeyConfig cfg;
+  cfg.dist = KeyDist::kZipfian;
+  cfg.keys = 64;
+  cfg.zipf_s = 1.0;
+  const KeySampler sampler(cfg);
+  sim::Rng rng(9);
+  std::vector<int> counts(cfg.keys + 1, 0);
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  // Rank order: key 1 is the hottest, and well-separated ranks keep their
+  // order in the empirical frequencies.
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[8]);
+  EXPECT_GT(counts[8], counts[32]);
+  // With s = 1 the hottest key draws about 1/H(64) ~ 21% of the traffic.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.21, 0.03);
+}
+
+// ------------------------------------------------------------------ plan ---
+
+GeneratorConfig small_cfg(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.requests = 500;
+  cfg.rate_rps = 100'000.0;
+  cfg.txn_fraction = 0.10;
+  return cfg;
+}
+
+TEST(GeneratorPlan, SameSeedSameScheduleByteForByte) {
+  const auto a = Generator::plan(small_cfg(42), 8);
+  const auto b = Generator::plan(small_cfg(42), 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << "request " << i;
+    EXPECT_EQ(a[i].node, b[i].node) << "request " << i;
+    EXPECT_EQ(a[i].op, b[i].op) << "request " << i;
+    EXPECT_EQ(a[i].keys, b[i].keys) << "request " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "request " << i;
+  }
+}
+
+TEST(GeneratorPlan, DifferentSeedDifferentSchedule) {
+  const auto a = Generator::plan(small_cfg(42), 8);
+  const auto b = Generator::plan(small_cfg(43), 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].at != b[i].at || a[i].keys != b[i].keys;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorPlan, ShapeMatchesConfig) {
+  auto cfg = small_cfg(1);
+  cfg.requests = 2'000;
+  cfg.read_fraction = 0.30;
+  cfg.txn_fraction = 0.20;
+  cfg.txn_keys = 3;
+  const auto plan = Generator::plan(cfg, 4);
+  ASSERT_EQ(plan.size(), 2'000u);
+  std::uint64_t reads = 0, writes = 0, txns = 0;
+  sim::Time prev = 0;
+  for (const auto& r : plan) {
+    EXPECT_GE(r.at, prev);  // arrivals are time-ordered
+    prev = r.at;
+    EXPECT_LT(r.node, 4u);
+    switch (r.op) {
+      case stats::ServiceOp::kRead:
+        ++reads;
+        EXPECT_EQ(r.keys.size(), 1u);
+        break;
+      case stats::ServiceOp::kWrite:
+        ++writes;
+        EXPECT_EQ(r.keys.size(), 1u);
+        break;
+      case stats::ServiceOp::kTxn:
+        ++txns;
+        EXPECT_GE(r.keys.size(), 2u);
+        EXPECT_LE(r.keys.size(), 3u);
+        break;
+    }
+    for (const auto k : r.keys) EXPECT_GE(k, 1u);
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / 2'000, 0.30, 0.05);
+  EXPECT_NEAR(static_cast<double>(txns) / 2'000, 0.20, 0.05);
+  EXPECT_EQ(reads + writes + txns, 2'000u);
+}
+
+// ------------------------------------------------------------ end to end ---
+
+TEST(Generator, RunCompletesEveryRequestWithCoherentAccounting) {
+  sim::Scheduler sched;
+  const net::MeshTorus2D topo = net::MeshTorus2D::near_square(8);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = 4;
+  shard::ShardedStore store(sys, scfg);
+
+  auto cfg = small_cfg(77);
+  cfg.requests = 300;
+  Generator gen(cfg);
+  stats::ServiceReport report;
+  auto drive = gen.run(store, report);
+  sched.run();
+  drive.rethrow_if_failed();
+  store.fill_report(report);
+
+  EXPECT_TRUE(gen.done());
+  EXPECT_EQ(report.issued(), 300u);
+  EXPECT_EQ(report.completed(), 300u);
+  EXPECT_GT(report.elapsed_ns, 0u);
+  EXPECT_GT(report.goodput_rps(), 0.0);
+  EXPECT_TRUE(report.serializable());
+  EXPECT_TRUE(store.replicas_converged());
+  // Latency histograms hold exactly the completed requests, per op class.
+  std::uint64_t samples = 0;
+  for (const auto& s : report.shards) {
+    for (const auto& o : s.ops) {
+      EXPECT_EQ(o.issued, o.completed);
+      samples += o.latency_ns.count();
+    }
+  }
+  EXPECT_EQ(samples, 300u);
+  // Every write latency includes at least the in-section compute time.
+  const auto w = report.merged_latency(stats::ServiceOp::kWrite);
+  EXPECT_GE(w.min(), static_cast<std::int64_t>(
+                         store.config().write_compute_ns));
+}
+
+TEST(Generator, ServiceRunIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Scheduler sched;
+    const net::MeshTorus2D topo = net::MeshTorus2D::near_square(8);
+    dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+    shard::ShardedStoreConfig scfg;
+    scfg.shards = 2;
+    shard::ShardedStore store(sys, scfg);
+    auto cfg = small_cfg(seed);
+    cfg.requests = 200;
+    Generator gen(cfg);
+    stats::ServiceReport report;
+    auto drive = gen.run(store, report);
+    sched.run();
+    drive.rethrow_if_failed();
+    store.fill_report(report);
+    return std::tuple{report.elapsed_ns, report.messages,
+                      report.merged_latency(stats::ServiceOp::kWrite).max(),
+                      sched.now()};
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace optsync::load

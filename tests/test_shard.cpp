@@ -1,0 +1,233 @@
+// Shard directory and sharded-store tests: key routing is deterministic and
+// total, every shard keeps its own serializability ledger exact (version
+// word == committed writes, invariant 2 per shard), replicas of every shard
+// converge, and the per-shard lock-policy plumbing (queue / optimistic /
+// adaptive) routes writes the way the config says.
+#include "shard/sharded_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "shard/shard_map.hpp"
+
+namespace optsync::shard {
+namespace {
+
+// ------------------------------------------------------------- ShardMap ---
+
+TEST(ShardMap, HashRoutesEveryKeyInRange) {
+  const auto map = ShardMap::hashed(8);
+  std::set<ShardId> hit;
+  for (Key k = 1; k <= 4'000; ++k) {
+    const ShardId s = map.shard_of(k);
+    ASSERT_LT(s, 8u);
+    hit.insert(s);
+  }
+  // splitmix64 spreads a dense key range over all shards.
+  EXPECT_EQ(hit.size(), 8u);
+}
+
+TEST(ShardMap, HashIsDeterministic) {
+  const auto a = ShardMap::hashed(16);
+  const auto b = ShardMap::hashed(16);
+  for (Key k = 1; k <= 500; ++k) EXPECT_EQ(a.shard_of(k), b.shard_of(k));
+}
+
+TEST(ShardMap, RangeStripesAreContiguous) {
+  const auto map = ShardMap::ranged(4, 1000);
+  EXPECT_EQ(map.stripe_width(), 250u);
+  EXPECT_EQ(map.shard_of(0), 0u);
+  EXPECT_EQ(map.shard_of(249), 0u);
+  EXPECT_EQ(map.shard_of(250), 1u);
+  EXPECT_EQ(map.shard_of(999), 3u);
+  // Keys beyond the declared space land on the last shard, not out of range.
+  EXPECT_EQ(map.shard_of(5'000), 3u);
+}
+
+TEST(ShardMap, SingleShardTakesEverything) {
+  const auto map = ShardMap::hashed(1);
+  for (Key k = 1; k <= 100; ++k) EXPECT_EQ(map.shard_of(k), 0u);
+}
+
+// --------------------------------------------------------- ShardedStore ---
+
+struct Fixture {
+  explicit Fixture(ShardedStoreConfig cfg = {})
+      : topo(net::MeshTorus2D::near_square(8)),
+        sys(sched, topo, dsm::DsmConfig{}),
+        store(sys, cfg) {}
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  ShardedStore store;
+};
+
+sim::Process put_batch(Fixture& f, dsm::NodeId n, std::vector<Key> keys,
+                       dsm::Word base) {
+  for (const Key k : keys) {
+    co_await f.store.put(n, k, base + static_cast<dsm::Word>(k)).join();
+  }
+}
+
+TEST(ShardedStore, PutGetRoundtripAcrossShards) {
+  // Plenty of slots per shard so this key set maps collision-free (the
+  // store is slot-addressed like a cache: a colliding later put evicts).
+  ShardedStoreConfig cfg;
+  cfg.slots_per_shard = 64;
+  Fixture f(cfg);
+  auto p = put_batch(f, 0, {1, 2, 3, 17, 101, 999}, 5'000);
+  f.sched.run();
+  p.rethrow_if_failed();
+  // Reads are local on every node — all replicas serve the same values.
+  for (const dsm::NodeId n : {0u, 3u, 7u}) {
+    for (const Key k : {1ull, 2ull, 3ull, 17ull, 101ull, 999ull}) {
+      const auto got = f.store.get(n, k);
+      ASSERT_TRUE(got.has_value()) << "key " << k << " on node " << n;
+      EXPECT_EQ(*got, 5'000 + static_cast<dsm::Word>(k));
+    }
+  }
+  EXPECT_FALSE(f.store.get(0, 123'456).has_value());
+}
+
+TEST(ShardedStore, PerShardLedgerStaysExactUnderContention) {
+  ShardedStoreConfig cfg;
+  cfg.shards = 4;
+  Fixture f(cfg);
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    std::vector<Key> keys;
+    for (Key k = 1; k <= 12; ++k) keys.push_back(k * 7 + n);
+    procs.push_back(put_batch(f, n, std::move(keys), n * 1'000));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  for (ShardId s = 0; s < 4; ++s) {
+    EXPECT_EQ(f.store.version(s),
+              static_cast<dsm::Word>(f.store.committed_writes(s)))
+        << "shard " << s;
+  }
+  EXPECT_TRUE(f.store.replicas_converged());
+}
+
+sim::Process txn_batch(Fixture& f, dsm::NodeId n, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::pair<Key, dsm::Word>> kvs = {
+        {static_cast<Key>(r * 3 + 1), n * 100 + r},
+        {static_cast<Key>(r * 3 + 2), n * 100 + r + 1},
+        {static_cast<Key>(r * 3 + 3), n * 100 + r + 2},
+    };
+    co_await f.store.multi_put(n, std::move(kvs)).join();
+  }
+}
+
+TEST(ShardedStore, MultiPutKeepsEveryInvolvedLedgerExact) {
+  ShardedStoreConfig cfg;
+  cfg.shards = 4;
+  Fixture f(cfg);
+  std::vector<sim::Process> procs;
+  for (const dsm::NodeId n : {0u, 2u, 5u, 7u}) {
+    procs.push_back(txn_batch(f, n, 6));
+  }
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  std::uint64_t committed = 0;
+  for (ShardId s = 0; s < 4; ++s) {
+    EXPECT_EQ(f.store.version(s),
+              static_cast<dsm::Word>(f.store.committed_writes(s)))
+        << "shard " << s;
+    committed += f.store.committed_writes(s);
+  }
+  EXPECT_GT(committed, 0u);
+  EXPECT_GT(f.store.txn_stats().acquisitions, 0u);
+  EXPECT_TRUE(f.store.replicas_converged());
+}
+
+TEST(ShardedStore, QueuePolicyUsesOnlyQueuePath) {
+  ShardedStoreConfig cfg;
+  cfg.shards = 2;
+  cfg.lock = LockPolicy::kQueue;
+  Fixture f(cfg);
+  auto p = put_batch(f, 1, {1, 2, 3, 4, 5, 6, 7, 8}, 0);
+  f.sched.run();
+  p.rethrow_if_failed();
+  for (ShardId s = 0; s < 2; ++s) {
+    EXPECT_EQ(f.store.optimistic_path_ops(s), 0u);
+  }
+  EXPECT_EQ(f.store.queue_path_ops(0) + f.store.queue_path_ops(1), 8u);
+  EXPECT_TRUE(f.store.replicas_converged());
+}
+
+TEST(ShardedStore, OptimisticPolicyUsesOnlyOptimisticPath) {
+  ShardedStoreConfig cfg;
+  cfg.shards = 2;
+  cfg.lock = LockPolicy::kOptimistic;
+  Fixture f(cfg);
+  auto p = put_batch(f, 1, {1, 2, 3, 4, 5, 6, 7, 8}, 0);
+  f.sched.run();
+  p.rethrow_if_failed();
+  for (ShardId s = 0; s < 2; ++s) {
+    EXPECT_EQ(f.store.queue_path_ops(s), 0u);
+  }
+  EXPECT_EQ(f.store.optimistic_path_ops(0) + f.store.optimistic_path_ops(1),
+            8u);
+}
+
+TEST(ShardedStore, AdaptiveGateSpeculatesWhenAlone) {
+  // A single writer never observes a busy lock, so the store-level EWMA
+  // stays at zero and every write takes the optimistic path.
+  ShardedStoreConfig cfg;
+  cfg.shards = 1;
+  cfg.lock = LockPolicy::kAdaptive;
+  Fixture f(cfg);
+  auto p = put_batch(f, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.store.queue_path_ops(0), 0u);
+  EXPECT_EQ(f.store.optimistic_path_ops(0), 10u);
+  EXPECT_DOUBLE_EQ(f.store.shard_history(0), 0.0);
+}
+
+TEST(ShardedStore, LockStatsCoverBothPaths) {
+  // Whatever mix of protocols served the shard, one LockStats carries the
+  // whole flight record: acquisitions == committed single-key writes.
+  ShardedStoreConfig cfg;
+  cfg.shards = 1;
+  cfg.lock = LockPolicy::kQueue;
+  Fixture f(cfg);
+  auto a = put_batch(f, 0, {1, 2, 3}, 0);
+  auto b = put_batch(f, 5, {4, 5, 6}, 0);
+  f.sched.run();
+  a.rethrow_if_failed();
+  b.rethrow_if_failed();
+  const auto& ls = f.store.lock_stats(0);
+  EXPECT_EQ(ls.acquisitions, 6u);
+  EXPECT_EQ(ls.acquire_ns.count(), 6u);
+  EXPECT_EQ(ls.hold_ns.count(), 6u);
+}
+
+TEST(ShardedStore, FillReportRollsUpEveryShard) {
+  ShardedStoreConfig cfg;
+  cfg.shards = 3;
+  Fixture f(cfg);
+  auto p = put_batch(f, 0, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 0);
+  f.sched.run();
+  p.rethrow_if_failed();
+  stats::ServiceReport report;
+  f.store.fill_report(report);
+  ASSERT_EQ(report.shards.size(), 3u);
+  std::uint64_t committed = 0;
+  for (const auto& s : report.shards) {
+    EXPECT_TRUE(s.serializable());
+    EXPECT_FALSE(s.lock_name.empty());
+    committed += s.committed_writes;
+  }
+  EXPECT_EQ(committed, 12u);
+  EXPECT_TRUE(report.serializable());
+  EXPECT_GT(report.messages, 0u);
+}
+
+}  // namespace
+}  // namespace optsync::shard

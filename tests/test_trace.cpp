@@ -115,6 +115,39 @@ TEST(Histogram, PercentilesWithinRelativeErrorBound) {
   EXPECT_NEAR(h.mean(), 5000.5, 1.0);
 }
 
+TEST(Histogram, EmptyHistogramAnswersZeroEverywhere) {
+  const stats::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  EXPECT_EQ(h.p999(), 0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  stats::Histogram h;
+  h.record(4'321);
+  EXPECT_EQ(h.count(), 1u);
+  // p0 and p100 are exact (tracked min/max), and every quantile between
+  // them resolves to the one sample's bucket.
+  EXPECT_EQ(h.percentile(0.0), 4'321);
+  EXPECT_EQ(h.percentile(1.0), 4'321);
+  for (const double q : {0.001, 0.25, 0.50, 0.95, 0.999}) {
+    const double got = static_cast<double>(h.percentile(q));
+    EXPECT_NEAR(got, 4'321.0, 4'321.0 * 0.0625) << "q=" << q;
+  }
+}
+
+TEST(Histogram, OutOfRangeQuantilesClampToMinMax) {
+  stats::Histogram h;
+  h.record(10);
+  h.record(1'000);
+  EXPECT_EQ(h.percentile(-0.5), 10);
+  EXPECT_EQ(h.percentile(1.5), 1'000);
+}
+
 TEST(Histogram, NegativeClampsAndMergeAccumulates) {
   stats::Histogram a;
   a.record(-5);

@@ -1,0 +1,245 @@
+// dsm_service — command-line front end for the sharded DSM service.
+//
+// Runs one service configuration end to end: a shard::ShardedStore over a
+// mesh of simulated nodes, driven by the open-loop load::Generator, with
+// the full SLO report (per-shard read/write/txn counts and latency
+// percentiles, lock flight records, serializability ledger) printed at the
+// end. All the standard bench plumbing composes: --seed, --metrics-out,
+// --trace-out, --coalesce-max-writes/--coalesce-max-ns, --ack-delay-ns,
+// and the fault flags (--fault-drop, --fault-seed, --partition).
+//
+// In fault-soak mode (any fault flag set) the run additionally streams
+// every flight-recorder event through trace::GwcChecker, which proves the
+// applied write stream of EVERY shard's group is a gapless total order
+// with no speculative visibility — independently of the service's own
+// serializability and convergence assertions. Exit status is nonzero on
+// any violation, so the CI soak loop is just a shell loop over seeds.
+//
+//   dsm_service --shards 8 --rate 50000 --requests 2000 \
+//               --fault-drop 0.10 --fault-seed 7 --metrics-out out.json
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "dsm/system.hpp"
+#include "faults/fault_plan.hpp"
+#include "load/generator.hpp"
+#include "net/topology.hpp"
+#include "shard/sharded_store.hpp"
+#include "stats/metrics.hpp"
+#include "trace/gwc_checker.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace optsync;
+
+/// Builds a FaultPlan from --fault-drop / --fault-seed / --partition
+/// (same grammar as optsync_sim).
+bool parse_fault_flags(const util::Flags& flags, faults::FaultPlan* plan) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  plan->reseed(seed);
+  const double drop = flags.get_double("fault-drop", 0.0);
+  if (drop < 0.0 || drop > 1.0) {
+    std::cerr << "--fault-drop must be in [0, 1]\n";
+    return false;
+  }
+  if (drop > 0.0) plan->drop(drop, "lock").drop(drop, "data");
+  const std::string spec = flags.get("partition", "");
+  std::istringstream windows(spec);
+  std::string window;
+  while (std::getline(windows, window, ',')) {
+    std::istringstream fields(window);
+    std::string field;
+    std::vector<std::uint64_t> v;
+    while (std::getline(fields, field, ':')) {
+      try {
+        v.push_back(std::stoull(field));
+      } catch (const std::exception&) {
+        v.clear();
+        break;
+      }
+    }
+    if (v.size() != 4 || v[0] == v[1] || v[2] >= v[3]) {
+      std::cerr << "bad --partition window '" << window
+                << "' (want A:B:START:END with A != B, START < END)\n";
+      return false;
+    }
+    plan->partition_link(static_cast<net::NodeId>(v[0]),
+                         static_cast<net::NodeId>(v[1]), v[2], v[3]);
+  }
+  return true;
+}
+
+void usage() {
+  std::cerr
+      << "usage: dsm_service [options]\n"
+         "  --nodes N            simulated CPUs (default 16)\n"
+         "  --shards N           independent sharing groups (default 4)\n"
+         "  --requests N         total requests (default 2000)\n"
+         "  --rate R             offered load, req/s (default 100000)\n"
+         "  --arrival KIND       poisson | uniform | burst (default poisson)\n"
+         "  --dist KIND          zipfian | uniform keys (default zipfian)\n"
+         "  --zipf-s S           Zipf exponent (default 0.99)\n"
+         "  --keys N             key domain size (default 256)\n"
+         "  --read-fraction F    P(read) (default 0.5)\n"
+         "  --txn-fraction F     P(multi-key txn) (default 0.05)\n"
+         "  --txn-keys N         keys per txn (default 3)\n"
+         "  --policy P           queue | optimistic | adaptive (default"
+         " adaptive)\n"
+         "  --fault-drop P --fault-seed N --partition A:B:S:E[,...]\n"
+         "  plus the standard bench flags (--seed, --metrics-out,"
+         " --trace-out,\n  --coalesce-max-writes, --coalesce-max-ns,"
+         " --ack-delay-ns)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    usage();
+    return 0;
+  }
+  bench::Harness harness("dsm_service", flags);
+  harness.allow_only(
+      flags, {"nodes", "shards", "requests", "rate", "arrival", "dist",
+              "zipf-s", "keys", "read-fraction", "txn-fraction", "txn-keys",
+              "policy", "fault-drop", "fault-seed", "partition", "help"});
+
+  const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 16));
+  const auto shards = static_cast<std::uint32_t>(flags.get_int("shards", 4));
+
+  faults::FaultPlan plan;
+  if (!parse_fault_flags(flags, &plan)) return 2;
+  const bool soak = !plan.empty();
+
+  dsm::DsmConfig cfg;
+  cfg.faults = plan;
+  harness.apply(cfg);
+  // Fault-soak mode always audits GWC, trace file or not: the checker is a
+  // streaming recorder sink, so wire the recorder in regardless.
+  trace::GwcChecker checker;
+  if (soak) {
+    cfg.recorder = &harness.recorder();
+    checker.install(harness.recorder());
+  }
+
+  sim::Scheduler sched;
+  const auto topo = net::MeshTorus2D::near_square(nodes);
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = shards;
+  const std::string policy = flags.get("policy", "adaptive");
+  if (policy == "queue") {
+    scfg.lock = shard::LockPolicy::kQueue;
+  } else if (policy == "optimistic") {
+    scfg.lock = shard::LockPolicy::kOptimistic;
+  } else if (policy == "adaptive") {
+    scfg.lock = shard::LockPolicy::kAdaptive;
+  } else {
+    std::cerr << "unknown --policy '" << policy << "'\n";
+    return 2;
+  }
+  shard::ShardedStore store(sys, scfg);
+
+  load::GeneratorConfig gcfg;
+  gcfg.seed = harness.seed();
+  gcfg.requests = static_cast<std::uint64_t>(flags.get_int("requests", 2000));
+  gcfg.rate_rps = flags.get_double("rate", 100'000.0);
+  const std::string arrival = flags.get("arrival", "poisson");
+  if (arrival == "poisson") {
+    gcfg.arrival.kind = load::ArrivalKind::kPoisson;
+  } else if (arrival == "uniform") {
+    gcfg.arrival.kind = load::ArrivalKind::kUniform;
+  } else if (arrival == "burst") {
+    gcfg.arrival.kind = load::ArrivalKind::kBurst;
+  } else {
+    std::cerr << "unknown --arrival '" << arrival << "'\n";
+    return 2;
+  }
+  const std::string dist = flags.get("dist", "zipfian");
+  if (dist == "zipfian") {
+    gcfg.keys.dist = load::KeyDist::kZipfian;
+  } else if (dist == "uniform") {
+    gcfg.keys.dist = load::KeyDist::kUniform;
+  } else {
+    std::cerr << "unknown --dist '" << dist << "'\n";
+    return 2;
+  }
+  gcfg.keys.keys = static_cast<std::uint64_t>(flags.get_int("keys", 256));
+  gcfg.keys.zipf_s = flags.get_double("zipf-s", 0.99);
+  gcfg.read_fraction = flags.get_double("read-fraction", 0.5);
+  gcfg.txn_fraction = flags.get_double("txn-fraction", 0.05);
+  gcfg.txn_keys =
+      static_cast<std::uint32_t>(flags.get_int("txn-keys", 3));
+  load::Generator gen(gcfg);
+
+  stats::ServiceReport report;
+  auto drive = gen.run(store, report);
+  sched.run();
+  store.fill_report(report);
+
+  std::cout << report.format();
+
+  bool ok = true;
+  if (!gen.done()) {
+    std::cout << "GENERATOR STALLED: not all requests completed\n";
+    ok = false;
+  }
+  if (!report.serializable()) {
+    std::cout << "SERIALIZABILITY VIOLATION: a shard's version word does "
+                 "not match its committed-write count\n";
+    ok = false;
+  }
+  if (!store.replicas_converged()) {
+    std::cout << "CONVERGENCE VIOLATION: replicas disagree after quiesce\n";
+    ok = false;
+  }
+  if (soak) {
+    std::cout << "fault / reliability report\n"
+              << stats::format_fault_report(report.faults);
+    std::cout << "GWC audit (" << checker.writes_checked()
+              << " applied writes across " << shards
+              << " shard groups): " << checker.report() << "\n";
+    if (!checker.ok()) ok = false;
+  }
+
+  auto& metrics = harness.metrics();
+  metrics.row("service")
+      .set("shards", shards)
+      .set("offered_rps", report.offered_rps)
+      .set("goodput_rps", report.goodput_rps())
+      .set("messages", static_cast<double>(report.messages))
+      .set("elapsed_ns", static_cast<double>(report.elapsed_ns));
+  for (const auto& s : report.shards) {
+    const auto& w = s.op(stats::ServiceOp::kWrite).latency_ns;
+    const auto& r = s.op(stats::ServiceOp::kRead).latency_ns;
+    const auto& t = s.op(stats::ServiceOp::kTxn).latency_ns;
+    metrics.row("shard=" + std::to_string(s.shard))
+        .set("reads", static_cast<double>(s.op(stats::ServiceOp::kRead)
+                                              .completed))
+        .set("writes", static_cast<double>(s.op(stats::ServiceOp::kWrite)
+                                               .completed))
+        .set("txns", static_cast<double>(s.op(stats::ServiceOp::kTxn)
+                                             .completed))
+        .set("read_p99_ns", static_cast<double>(r.p99()))
+        .set("write_p50_ns", static_cast<double>(w.p50()))
+        .set("write_p99_ns", static_cast<double>(w.p99()))
+        .set("write_p999_ns", static_cast<double>(w.p999()))
+        .set("txn_p99_ns", static_cast<double>(t.p99()))
+        .set("sequenced", static_cast<double>(s.sequenced))
+        .set("frames", static_cast<double>(s.frames));
+    metrics.lock(s.lock);
+  }
+  if (store.txn_stats().acquisitions > 0) metrics.lock(store.txn_stats());
+
+  return harness.finish() && ok ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}
