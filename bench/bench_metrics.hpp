@@ -36,6 +36,8 @@
 #include "dsm/types.hpp"
 #include "stats/json.hpp"
 #include "stats/lock_stats.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/tracer.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/recorder.hpp"
 #include "util/flags.hpp"
@@ -130,14 +132,20 @@ class MetricsOut {
 ///   --seed N                 workload/fault seed (default 42)
 ///   --metrics-out PATH       optsync-bench/1 JSON document
 ///   --trace-out PATH         Chrome trace of the run's flight record
+///   --trace-capacity N       flight-recorder ring size (default 65536)
 ///   --coalesce-max-writes N  root frame size cap (default 1 = unbatched)
 ///   --coalesce-max-ns NS     partial-frame flush deadline
 ///   --ack-delay-ns NS        reliable-channel delayed/piggybacked acks
+///   --prom-out PATH          Prometheus text exposition of the sampler
+///   --timeseries-out PATH    optsync-timeseries/1 JSON of the sampler
+///   --sample-interval-ns NS  sampler tick period (default 50000)
 class Harness {
  public:
   Harness(std::string bench, const util::Flags& flags)
       : metrics_(std::move(bench), flags.get("metrics-out")),
         trace_out_(flags.get("trace-out")),
+        prom_out_(flags.get("prom-out")),
+        timeseries_out_(flags.get("timeseries-out")),
         seed_(static_cast<std::uint64_t>(flags.get_int("seed", 42))),
         coalesce_max_writes_(static_cast<std::uint32_t>(
             flags.get_int("coalesce-max-writes",
@@ -145,25 +153,36 @@ class Harness {
         coalesce_max_ns_(
             flags.get_int("coalesce-max-ns", dsm::DsmConfig{}.coalesce_max_ns)),
         ack_delay_ns_(flags.get_int("ack-delay-ns",
-                                    net::ReliableConfig{}.ack_delay_ns)) {}
+                                    net::ReliableConfig{}.ack_delay_ns)),
+        recorder_(static_cast<std::size_t>(
+            flags.get_int("trace-capacity", 1 << 16))),
+        sampler_(telemetry::SamplerConfig{
+            static_cast<sim::Duration>(flags.get_int(
+                "sample-interval-ns",
+                static_cast<std::int64_t>(
+                    telemetry::SamplerConfig{}.interval_ns))),
+            telemetry::SamplerConfig{}.capacity}) {}
 
   /// Flags::allow_only with the harness's standard names spliced in; pass
   /// only the bench-specific extras.
   void allow_only(const util::Flags& flags,
                   std::vector<std::string> extras) const {
-    extras.insert(extras.end(), {"seed", "metrics-out", "trace-out",
-                                 "coalesce-max-writes", "coalesce-max-ns",
-                                 "ack-delay-ns"});
+    extras.insert(extras.end(),
+                  {"seed", "metrics-out", "trace-out", "trace-capacity",
+                   "coalesce-max-writes", "coalesce-max-ns", "ack-delay-ns",
+                   "prom-out", "timeseries-out", "sample-interval-ns"});
     flags.allow_only(extras);
   }
 
   /// Pushes the standard knobs into a run's DsmConfig. Wires the flight
-  /// recorder in when --trace-out was requested.
+  /// recorder in when --trace-out was requested; the causal tracer is
+  /// always attached (an untraced op costs one branch per hook).
   void apply(dsm::DsmConfig& cfg) {
     cfg.coalesce_max_writes = coalesce_max_writes_;
     cfg.coalesce_max_ns = coalesce_max_ns_;
     cfg.reliable.ack_delay_ns = ack_delay_ns_;
     if (tracing()) cfg.recorder = &recorder_;
+    cfg.tracer = &tracer_;
   }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
@@ -176,11 +195,17 @@ class Harness {
   [[nodiscard]] sim::Duration ack_delay_ns() const { return ack_delay_ns_; }
 
   [[nodiscard]] bool tracing() const { return !trace_out_.empty(); }
+  [[nodiscard]] bool sampling() const {
+    return !prom_out_.empty() || !timeseries_out_.empty();
+  }
   [[nodiscard]] trace::Recorder& recorder() { return recorder_; }
+  [[nodiscard]] telemetry::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] telemetry::Sampler& sampler() { return sampler_; }
   [[nodiscard]] MetricsOut& metrics() { return metrics_; }
 
-  /// End-of-run writes: the Chrome trace (when requested) and the metrics
-  /// document. False on any I/O failure so mains can exit nonzero.
+  /// End-of-run writes: the Chrome trace (when requested), the telemetry
+  /// exports (when requested), and the metrics document. False on any I/O
+  /// failure so mains can exit nonzero.
   [[nodiscard]] bool finish() {
     bool ok = true;
     if (tracing()) {
@@ -190,10 +215,32 @@ class Harness {
                   << "\n";
         ok = false;
       } else {
-        trace::write_chrome_trace(out, recorder_);
+        trace::write_chrome_trace(out, recorder_, &tracer_);
         std::cout << "trace written to " << trace_out_ << " ("
                   << recorder_.size() << " events; load in Perfetto or"
                   << " chrome://tracing)\n";
+      }
+    }
+    if (!prom_out_.empty()) {
+      std::ofstream out(prom_out_);
+      if (!out) {
+        std::cerr << "error: cannot open --prom-out file: " << prom_out_
+                  << "\n";
+        ok = false;
+      } else {
+        sampler_.series().write_prometheus(out);
+        std::cout << "prometheus exposition written to " << prom_out_ << "\n";
+      }
+    }
+    if (!timeseries_out_.empty()) {
+      std::ofstream out(timeseries_out_);
+      if (!out) {
+        std::cerr << "error: cannot open --timeseries-out file: "
+                  << timeseries_out_ << "\n";
+        ok = false;
+      } else {
+        sampler_.series().write_json(out, sampler_.interval_ns());
+        std::cout << "timeseries written to " << timeseries_out_ << "\n";
       }
     }
     if (!metrics_.write()) ok = false;
@@ -203,11 +250,15 @@ class Harness {
  private:
   MetricsOut metrics_;
   std::string trace_out_;
+  std::string prom_out_;
+  std::string timeseries_out_;
   std::uint64_t seed_;
   std::uint32_t coalesce_max_writes_;
   sim::Duration coalesce_max_ns_;
   sim::Duration ack_delay_ns_;
   trace::Recorder recorder_;
+  telemetry::Tracer tracer_;
+  telemetry::Sampler sampler_;
 };
 
 }  // namespace optsync::benchio

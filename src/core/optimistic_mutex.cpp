@@ -4,6 +4,7 @@
 
 #include "simkern/assert.hpp"
 #include "simkern/log.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace optsync::core {
 
@@ -173,8 +174,23 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
   ExecuteStats local_stats;
   local_stats.requested_at = sched.now();
 
+  // Causal tracing: hang the request's wire/queue legs under a lock-wait
+  // umbrella span. The atomic_exchange ships the request synchronously, so
+  // repointing the node's context parent just around it is safe.
+  auto* trc = sys_->tracer();
+  const telemetry::SpanContext octx =
+      trc != nullptr ? trc->node_ctx(n) : telemetry::SpanContext{};
+  telemetry::SpanId wait_span = 0;
+  if (trc != nullptr && octx.valid()) {
+    wait_span =
+        trc->start_span(octx.trace, octx.span, telemetry::SpanKind::kLockWait,
+                        n, local_stats.requested_at);
+    trc->set_node_parent(n, wait_span);
+  }
+
   // Lines 03-04: atomically save the old local value and request the lock.
   const Word old_val = node.atomic_exchange(lock_, lock_request_value(n));
+  if (wait_span != 0) trc->set_node_parent(n, octx.span);
   emit(n, trace::EventKind::kLockRequest, lock_request_value(n));
 
   // Line 05: update usage frequency history from the observed local state.
@@ -222,6 +238,7 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
       co_await sim::delay(sched, 2 * cfg_.context_switch_ns);
     }
     acquired_at = sched.now();
+    if (wait_span != 0) trc->end_span(wait_span, acquired_at);
     emit(n, trace::EventKind::kLockAcquire, lock_grant_value(n));
     co_await section.body(node).join();  // lines 11-12
   } else {
@@ -233,6 +250,7 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
       ++cfg_.lock_stats->history_allows;
     }
     emit(n, trace::EventKind::kSpeculateBegin, old_val);
+    const sim::Time spec_begin = sched.now();
 
     // Lines 14-15: save every variable the section will change.
     st.journal.snapshot(node, section.shared_writes);
@@ -248,6 +266,10 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
     // Lines 17-18: speculative execution. Shared writes stream to the
     // root, which discards them unless/until this node holds the lock.
     co_await section.body(node).join();
+    if (trc != nullptr && octx.valid()) {
+      trc->record_span(octx.trace, octx.span, telemetry::SpanKind::kSpeculate,
+                       n, spec_begin, sched.now());
+    }
 
     // Line 19: wait for the lock answer; handle rollback if the interrupt
     // reported that another CPU won.
@@ -257,9 +279,15 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
         // Rollback (lines 22-26): restore takes local-memory time; the
         // sharing interface keeps insharing suspended throughout.
         OPTSYNC_ENSURE(node.insharing_suspended());
+        const sim::Time rb_begin = sched.now();
         const sim::Duration restore_cost =
             cfg_.save_cost_per_var_ns * st.journal.shared_count();
         co_await sim::delay(sched, restore_cost);
+        if (trc != nullptr && octx.valid()) {
+          trc->record_span(octx.trace, wait_span != 0 ? wait_span : octx.span,
+                           telemetry::SpanKind::kRollback, n, rb_begin,
+                           sched.now());
+        }
         st.journal.restore(node);
         st.variables_saved = false;  // line 24
         st.pending_rollback = false;
@@ -280,6 +308,7 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
       co_await sim::delay(sched, 2 * cfg_.context_switch_ns);
     }
     acquired_at = sched.now();
+    if (wait_span != 0) trc->end_span(wait_span, acquired_at);
 
     if (st.rolled_back) {
       // The speculation was undone; run the section for real now that the
@@ -304,6 +333,13 @@ sim::Process OptimisticMutex::execute_impl(NodeId n, Section section,
   emit(n, trace::EventKind::kLockRelease, kLockFree);
   st.in_section = false;
   local_stats.finished_at = sched.now();
+  if (trc != nullptr && octx.valid()) {
+    // Critical-section compute: ownership confirmed through the release
+    // write. Wins the attribution sweep over any overlapping wait-side
+    // leg — latency hiding is the paper's whole point.
+    trc->record_span(octx.trace, octx.span, telemetry::SpanKind::kCs, n,
+                     acquired_at, local_stats.finished_at);
+  }
   // Unified-view accounting: every completed execution is one confirmed
   // acquisition + one release; the wait is request-to-ownership.
   ++stats_.acquisitions;

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "dsm/types.hpp"
+#include "simkern/time.hpp"
+#include "telemetry/span.hpp"
 
 namespace optsync::dsm {
 
@@ -34,6 +36,12 @@ struct SequencedWrite {
   VarId var = kNoVar;
   Word value = 0;
   NodeId origin = kNoNode;
+  /// Causal context of the traced op this write belongs to (lock grants
+  /// carry the waiter's context; requests/releases the sender's). Invalid
+  /// for untraced traffic. Rides the frame so the coalesce/dispatch/
+  /// wire-down legs can be attributed to the right trace.
+  telemetry::SpanContext ctx{};
+  sim::Time sequenced_at = 0;  ///< when the root sequenced it (coalesce leg)
 };
 
 /// An ordered run of sequenced writes multicast as one network message.

@@ -5,6 +5,7 @@
 #include "dsm/system.hpp"
 #include "simkern/assert.hpp"
 #include "simkern/log.hpp"
+#include "telemetry/tracer.hpp"
 #include "trace/recorder.hpp"
 
 namespace optsync::dsm {
@@ -17,13 +18,14 @@ const GroupRoot::LockState& GroupRoot::lock_state(VarId lock) const {
   return it == locks_.end() ? kIdle : it->second;
 }
 
-void GroupRoot::on_arrival(NodeId origin, VarId v, Word value) {
+void GroupRoot::on_arrival(NodeId origin, VarId v, Word value,
+                           telemetry::SpanContext ctx) {
   const VarInfo& info = sys_->var(v);
   OPTSYNC_EXPECT(info.group == gid_);
 
   switch (info.kind) {
     case VarKind::kLock:
-      handle_lock_write(origin, v, value);
+      handle_lock_write(origin, v, value, ctx);
       return;
 
     case VarKind::kMutexData:
@@ -59,7 +61,8 @@ void GroupRoot::on_arrival(NodeId origin, VarId v, Word value) {
   }
 }
 
-void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value) {
+void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value,
+                                  telemetry::SpanContext ctx) {
   LockState& ls = locks_[v];
 
   if (value == kLockFree) {
@@ -73,10 +76,26 @@ void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value) {
       ls.holder = ls.queue.front();
       ls.queue.pop_front();
       ++ls.queued_grants;
-      multicast(v, lock_grant_value(ls.holder), sys_->group(gid_).root());
+      telemetry::SpanContext grant_ctx{};
+      auto& meta = waiter_meta_[v];
+      if (!meta.empty()) {
+        const WaiterMeta waiter = meta.front();
+        meta.pop_front();
+        grant_ctx = waiter.ctx;
+        if (auto* trc = sys_->tracer(); trc != nullptr && grant_ctx.valid()) {
+          // The queue-wait leg of the waiter's trace ends here: the grant
+          // is being sequenced into the releaser's frame right now.
+          trc->record_span(grant_ctx.trace, grant_ctx.span,
+                           telemetry::SpanKind::kRootQueue,
+                           sys_->group(gid_).root(), waiter.enqueued_at,
+                           sys_->scheduler().now());
+        }
+      }
+      multicast(v, lock_grant_value(ls.holder), sys_->group(gid_).root(),
+                grant_ctx);
     } else {
       ls.holder = kNoNode;
-      multicast(v, kLockFree, sys_->group(gid_).root());
+      multicast(v, kLockFree, sys_->group(gid_).root(), ctx);
     }
     return;
   }
@@ -89,16 +108,18 @@ void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value) {
   if (ls.holder == kNoNode) {
     ls.holder = requester;
     ++ls.immediate_grants;
-    multicast(v, lock_grant_value(requester), sys_->group(gid_).root());
+    multicast(v, lock_grant_value(requester), sys_->group(gid_).root(), ctx);
   } else {
     // Busy: queue the processor id; requests are consumed by the root and
     // never propagate to other members.
     ls.queue.push_back(requester);
     ls.max_queue_depth = std::max(ls.max_queue_depth, ls.queue.size());
+    waiter_meta_[v].push_back(WaiterMeta{ctx, sys_->scheduler().now()});
   }
 }
 
-void GroupRoot::multicast(VarId v, Word value, NodeId origin) {
+void GroupRoot::multicast(VarId v, Word value, NodeId origin,
+                          telemetry::SpanContext ctx) {
   const std::uint64_t seq = next_seq_++;
   ++stats_.sequenced;
   if (auto* rec = sys_->recorder()) {
@@ -121,7 +142,8 @@ void GroupRoot::multicast(VarId v, Word value, NodeId origin) {
   // same frame as the releasing holder's final data writes (§2). At
   // coalesce_max_writes == 1 the size cap fires on every write and this is
   // exactly the old ship-immediately path.
-  pending_.writes.push_back(SequencedWrite{seq, v, value, origin});
+  pending_.writes.push_back(
+      SequencedWrite{seq, v, value, origin, ctx, sys_->scheduler().now()});
   const std::uint32_t cap = std::max(1u, sys_->config().coalesce_max_writes);
   if (pending_.writes.size() >= cap) {
     flush_pending(/*timer_fired=*/false);
@@ -163,6 +185,18 @@ void GroupRoot::flush_pending(bool timer_fired) {
     e.value = static_cast<std::int64_t>(pending_.writes.size());
     e.label = timer_fired ? "timer" : "size";
     rec->record(e);
+  }
+  if (auto* trc = sys_->tracer()) {
+    // Close the coalesce leg of every traced write that sat in the open
+    // frame: sequenced-at -> this flush.
+    const sim::Time now = sys_->scheduler().now();
+    for (const SequencedWrite& w : pending_.writes) {
+      if (w.ctx.valid() && now > w.sequenced_at) {
+        trc->record_span(w.ctx.trace, w.ctx.span,
+                         telemetry::SpanKind::kCoalesce,
+                         sys_->group(gid_).root(), w.sequenced_at, now);
+      }
+    }
   }
   Frame out;
   out.writes.swap(pending_.writes);

@@ -27,8 +27,12 @@ class GroupRoot {
   GroupRoot(const GroupRoot&) = delete;
   GroupRoot& operator=(const GroupRoot&) = delete;
 
-  /// An eagershared write from `origin` arrives at the root.
-  void on_arrival(NodeId origin, VarId v, Word value);
+  /// An eagershared write from `origin` arrives at the root. `ctx` is the
+  /// causal context the message carried (invalid for untraced traffic);
+  /// lock requests park it in the waiter queue so the eventual grant can
+  /// be attributed to the requester's trace.
+  void on_arrival(NodeId origin, VarId v, Word value,
+                  telemetry::SpanContext ctx = {});
 
   /// Queue-lock state for one lock variable.
   struct LockState {
@@ -65,14 +69,25 @@ class GroupRoot {
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
  private:
-  void handle_lock_write(NodeId origin, VarId v, Word value);
-  void multicast(VarId v, Word value, NodeId origin);
+  void handle_lock_write(NodeId origin, VarId v, Word value,
+                         telemetry::SpanContext ctx);
+  void multicast(VarId v, Word value, NodeId origin,
+                 telemetry::SpanContext ctx = {});
   void flush_pending(bool timer_fired);
+
+  /// Trace metadata for queued lock waiters, kept in lockstep with
+  /// LockState::queue (only handle_lock_write pushes/pops either). A
+  /// side table so the public LockState stays a plain NodeId queue.
+  struct WaiterMeta {
+    telemetry::SpanContext ctx{};
+    sim::Time enqueued_at = 0;
+  };
 
   DsmSystem* sys_;
   GroupId gid_;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<VarId, LockState> locks_;
+  std::unordered_map<VarId, std::deque<WaiterMeta>> waiter_meta_;
   Frame pending_;                 ///< open frame awaiting flush
   sim::EventId flush_timer_ = 0;  ///< 0 = not armed
   Stats stats_;

@@ -1,6 +1,7 @@
 #include "dsm/system.hpp"
 
 #include "simkern/assert.hpp"
+#include "telemetry/tracer.hpp"
 #include "trace/recorder.hpp"
 
 namespace optsync::dsm {
@@ -136,10 +137,35 @@ void DsmSystem::share_out(NodeId origin, VarId v, Word value) {
   OPTSYNC_EXPECT(grp.contains(origin));
   const NodeId root = grp.root();
   const char* tag = info.kind == VarKind::kLock ? "lock-up" : "data-up";
-  transport_send(origin, root, grp.up_hops(origin), bytes_for(v), tag,
-                 [this, g = info.group, origin, v, value] {
-                   roots_[g]->on_arrival(origin, v, value);
-                 });
+  // Only lock traffic carries causal context: a traced op completes on its
+  // local release write, so data-write flight time is never on the op's
+  // critical path — but the request/release reaching the root is.
+  telemetry::SpanContext ctx{};
+  sim::Time sent = 0;
+  sim::Duration base = 0;
+  if (auto* trc = tracer(); trc != nullptr && info.kind == VarKind::kLock) {
+    ctx = trc->node_ctx(origin);
+    sent = sched_->now();
+    base = net_.latency_hops(grp.up_hops(origin), bytes_for(v));
+  }
+  transport_send(
+      origin, root, grp.up_hops(origin), bytes_for(v), tag,
+      [this, g = info.group, origin, v, value, ctx, sent, base] {
+        if (auto* trc = tracer(); trc != nullptr && ctx.valid()) {
+          // Split flight time into the fault-free base (kWireUp) and
+          // whatever retransmission/backoff added on top (kRetransmit).
+          const sim::Time now = sched_->now();
+          const sim::Time base_end = std::min(sent + base, now);
+          trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kWireUp,
+                           origin, sent, base_end);
+          if (now > base_end) {
+            trc->record_span(ctx.trace, ctx.span,
+                             telemetry::SpanKind::kRetransmit, origin,
+                             base_end, now);
+          }
+        }
+        roots_[g]->on_arrival(origin, v, value, ctx);
+      });
 }
 
 void DsmSystem::multicast_frame(GroupId g, Frame frame) {
@@ -183,12 +209,49 @@ void DsmSystem::multicast_frame(GroupId g, Frame frame) {
   }
   group_busy_until_[g] = dispatch;
   group_wire_clear_[g] = dispatch + serialize;
+  const bool traced = tracer() != nullptr;
+  if (traced) {
+    // Sequencing/serial-dispatch wait at the root: flush -> injection.
+    const sim::Time now = sched_->now();
+    for (const SequencedWrite& w : frame.writes) {
+      if (w.ctx.valid() && dispatch > now) {
+        tracer()->record_span(w.ctx.trace, w.ctx.span,
+                              telemetry::SpanKind::kRootDispatch, root, now,
+                              dispatch);
+      }
+    }
+  }
   // Every member's copy shares one immutable payload.
   auto payload = std::make_shared<const Frame>(std::move(frame));
   for (const NodeId m : grp.members()) {
-    sched_->at(dispatch, [this, &grp, root, m, g, bytes, tag, payload] {
+    sim::Duration base = 0;
+    if (traced) base = net_.latency_hops(grp.down_hops(m), bytes);
+    sched_->at(dispatch,
+               [this, &grp, root, m, g, bytes, tag, payload, dispatch, base] {
       transport_send(root, m, grp.down_hops(m), bytes, tag,
-                     [this, m, g, payload] {
+                     [this, m, g, payload, dispatch, base] {
+                       if (auto* trc = tracer()) {
+                         // The down leg matters only to the trace whose
+                         // grant this frame carries for member m: the
+                         // waiter is unblocked when the grant lands.
+                         const sim::Time now = sched_->now();
+                         for (const SequencedWrite& w : payload->writes) {
+                           if (!w.ctx.valid()) continue;
+                           if (vars_[w.var].kind != VarKind::kLock) continue;
+                           if (!lock_granted_to(w.value, m)) continue;
+                           const sim::Time base_end =
+                               std::min(dispatch + base, now);
+                           trc->record_span(w.ctx.trace, w.ctx.span,
+                                            telemetry::SpanKind::kWireDown, m,
+                                            dispatch, base_end);
+                           if (now > base_end) {
+                             trc->record_span(
+                                 w.ctx.trace, w.ctx.span,
+                                 telemetry::SpanKind::kRetransmit, m, base_end,
+                                 now);
+                           }
+                         }
+                       }
                        nodes_[m]->deliver_frame(g, *payload);
                      });
     });

@@ -87,6 +87,9 @@ class DsmSystem {
   /// The attached flight recorder, or nullptr (from DsmConfig::recorder).
   [[nodiscard]] trace::Recorder* recorder() const { return config_.recorder; }
 
+  /// The attached causal tracer, or nullptr (from DsmConfig::tracer).
+  [[nodiscard]] telemetry::Tracer* tracer() const { return config_.tracer; }
+
   // --- substrate internals (used by DsmNode / GroupRoot) -----------------
   /// Ships a node's write to its group root (up the spanning tree).
   void share_out(NodeId origin, VarId v, Word value);

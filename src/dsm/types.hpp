@@ -16,6 +16,10 @@ namespace optsync::trace {
 class Recorder;
 }
 
+namespace optsync::telemetry {
+class Tracer;
+}
+
 namespace optsync::dsm {
 
 using net::NodeId;
@@ -151,6 +155,13 @@ struct DsmConfig {
   /// (trace/recorder.hpp); core/OptimisticMutex adds lock and speculation
   /// transitions. Not owned; must outlive the DsmSystem. nullptr = off.
   trace::Recorder* recorder = nullptr;
+
+  /// Optional causal tracer (telemetry/tracer.hpp). When set, lock traffic
+  /// carries SpanContext end to end: the substrate records wire-up/queue/
+  /// coalesce/dispatch/wire-down spans for every traced lock request so
+  /// the critical-path analyzer can attribute op latency. Untraced ops
+  /// (invalid node context) cost one branch. Not owned. nullptr = off.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 /// Variable metadata kept by the system.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simkern/assert.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace optsync::load {
 
@@ -105,11 +106,27 @@ sim::Process Generator::worker(shard::ShardedStore& store,
     if (q.fifo.empty()) break;  // every arrival delivered and drained
     const Request& r = plan_[q.fifo.front()];
     q.fifo.pop_front();
+    ++started_;
+    // Open the causal trace for this request. The client-queue leg (arrival
+    // to now) is recorded as a backlog span by begin_op itself.
+    auto* trc = store.system().tracer();
+    const shard::ShardId primary = primary_shard(store, r);
+    telemetry::SpanContext octx{};
+    if (trc != nullptr) {
+      octx = trc->begin_op(n, stats::service_op_name(r.op), primary,
+                           base_ + r.at, sched.now());
+    }
     switch (r.op) {
-      case stats::ServiceOp::kRead:
+      case stats::ServiceOp::kRead: {
+        const sim::Time compute_began = sched.now();
         co_await sim::delay(sched, cfg_.read_compute_ns);
         (void)store.get(n, r.keys.front());
+        if (trc != nullptr && octx.valid()) {
+          trc->record_span(octx.trace, octx.span, telemetry::SpanKind::kCs, n,
+                           compute_began, sched.now());
+        }
         break;
+      }
       case stats::ServiceOp::kWrite:
         co_await store.put(n, r.keys.front(), r.value).join();
         break;
@@ -124,7 +141,8 @@ sim::Process Generator::worker(shard::ShardedStore& store,
         break;
       }
     }
-    auto& slot = report.shards[primary_shard(store, r)].op(r.op);
+    if (trc != nullptr && octx.valid()) trc->end_op(n, sched.now());
+    auto& slot = report.shards[primary].op(r.op);
     ++slot.completed;
     // Arrival-to-completion: client queueing behind earlier requests on
     // this node is part of the figure (open-loop SLO accounting).
@@ -132,6 +150,15 @@ sim::Process Generator::worker(shard::ShardedStore& store,
         static_cast<std::int64_t>(sched.now() - (base_ + r.at)));
     ++finished_;
   }
+}
+
+void Generator::register_telemetry(telemetry::Sampler& sampler) {
+  sampler.add_gauge("optsync_gen_queued", {}, [this] {
+    return static_cast<double>(pushed_ - started_);
+  });
+  sampler.add_gauge("optsync_gen_inflight", {}, [this] {
+    return static_cast<double>(started_ - finished_);
+  });
 }
 
 sim::Process Generator::run(shard::ShardedStore& store,
@@ -143,6 +170,7 @@ sim::Process Generator::run(shard::ShardedStore& store,
   plan_ = plan(cfg_, node_count);
   base_ = sched.now();
   pushed_ = 0;
+  started_ = 0;
   finished_ = 0;
   all_pushed_ = false;
   done_ = false;
@@ -150,7 +178,8 @@ sim::Process Generator::run(shard::ShardedStore& store,
   if (report.shards.size() < store.shards()) {
     report.shards.resize(store.shards());
   }
-  report.offered_rps = 1e9 / effective_arrival(cfg_).mean_gap_ns;
+  const double gap_ns = effective_arrival(cfg_).mean_gap_ns;
+  report.offered_rps = gap_ns > 0.0 ? 1e9 / gap_ns : 0.0;
 
   queues_.clear();
   for (std::uint32_t n = 0; n < node_count; ++n) {

@@ -31,6 +31,7 @@
 #include "shard/sharded_store.hpp"
 #include "simkern/coro.hpp"
 #include "stats/service_report.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace optsync::load {
 
@@ -88,6 +89,11 @@ class Generator {
   /// store.fill_report(report) afterwards.
   sim::Process run(shard::ShardedStore& store, stats::ServiceReport& report);
 
+  /// Registers client-side gauges on `sampler`: requests sitting in node
+  /// FIFOs (arrived, not yet started) and requests in flight (started, not
+  /// yet finished). `sampler` must outlive the run.
+  void register_telemetry(telemetry::Sampler& sampler);
+
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] const GeneratorConfig& config() const { return cfg_; }
 
@@ -110,6 +116,7 @@ class Generator {
   std::vector<std::unique_ptr<NodeQueue>> queues_;
   sim::Time base_ = 0;          ///< scheduler time when run() started
   std::uint64_t pushed_ = 0;    ///< arrivals delivered to node FIFOs
+  std::uint64_t started_ = 0;   ///< requests a worker has begun serving
   std::uint64_t finished_ = 0;  ///< requests completed
   bool all_pushed_ = false;
   bool done_ = false;

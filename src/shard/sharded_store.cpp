@@ -6,6 +6,7 @@
 #include "simkern/assert.hpp"
 #include "simkern/random.hpp"
 #include "stats/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace optsync::shard {
 
@@ -119,6 +120,12 @@ sim::Process ShardedStore::put_queued(Shard& sh, dsm::NodeId n, Key key,
   write_slot(sh, node, key, value);
   node.write(sh.version, node.read(sh.version) + 1);
   sh.queue->release(n);
+  if (auto* trc = sys_->tracer()) {
+    if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
+      trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kCs, n,
+                       acquired, sched.now());
+    }
+  }
   // The queue path feeds the same per-shard flight record the optimistic
   // mutex feeds through Config::lock_stats, so one LockStats describes the
   // shard lock whatever mix of protocols served it.
@@ -199,6 +206,12 @@ sim::Process ShardedStore::multi_put_impl(
     node.write(sh.version, node.read(sh.version) + 1);
   }
   mux.release(n);
+  if (auto* trc = sys_->tracer()) {
+    if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
+      trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kCs, n,
+                       acquired, sched.now());
+    }
+  }
   for (const ShardId s : ids) ++shards_[s]->committed;
   ++txn_stats_.acquisitions;
   txn_stats_.acquire_ns.record(static_cast<std::int64_t>(acquired - started));
@@ -226,6 +239,43 @@ void ShardedStore::fill_report(stats::ServiceReport& report) {
   report.messages = sys_->network().stats().messages;
   report.faults = stats::collect_fault_report(sys_->network().stats(),
                                               sys_->reliable().stats());
+}
+
+void ShardedStore::register_telemetry(telemetry::Sampler& sampler,
+                                      const stats::ServiceReport& live) {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard* sh = shards_[s].get();
+    const telemetry::Labels labels{{"shard", std::to_string(s)}};
+    sampler.add_gauge("optsync_shard_backlog", labels, [&live, s] {
+      if (s >= live.shards.size()) return 0.0;
+      std::uint64_t issued = 0;
+      std::uint64_t completed = 0;
+      for (const auto& o : live.shards[s].ops) {
+        issued += o.issued;
+        completed += o.completed;
+      }
+      return static_cast<double>(issued) - static_cast<double>(completed);
+    });
+    sampler.add_gauge("optsync_lock_queue", labels, [this, sh] {
+      return static_cast<double>(
+          sys_->root_of(sh->group).lock_state(sh->lock).queue.size());
+    });
+    sampler.add_gauge("optsync_frame_pending", labels, [this, sh] {
+      return static_cast<double>(sys_->root_of(sh->group).pending_writes());
+    });
+    sampler.add_rate("optsync_shard_goodput_rps", labels, [&live, s] {
+      if (s >= live.shards.size()) return 0.0;
+      std::uint64_t completed = 0;
+      for (const auto& o : live.shards[s].ops) completed += o.completed;
+      return static_cast<double>(completed);
+    });
+  }
+  sampler.add_rate("optsync_messages_per_s", {}, [this] {
+    return static_cast<double>(sys_->network().stats().messages);
+  });
+  sampler.add_rate("optsync_retransmits_per_s", {}, [this] {
+    return static_cast<double>(sys_->reliable().stats().retransmits);
+  });
 }
 
 bool ShardedStore::replicas_converged() const {

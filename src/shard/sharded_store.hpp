@@ -47,6 +47,7 @@
 #include "stats/lock_stats.hpp"
 #include "stats/service_report.hpp"
 #include "sync/gwc_lock.hpp"
+#include "telemetry/sampler.hpp"
 
 namespace optsync::shard {
 
@@ -125,6 +126,14 @@ class ShardedStore {
   /// True when every replica of every shard agrees on every slot and the
   /// version word (GWC convergence).
   [[nodiscard]] bool replicas_converged() const;
+
+  /// Registers live per-shard gauges/rates on `sampler`: arrival backlog
+  /// (issued - completed, read from `live` — the report the generator
+  /// updates during the run), root lock-queue length, open-frame occupancy,
+  /// goodput, plus global message/retransmit rates. Both `sampler` and
+  /// `live` must outlive the store's sampling window.
+  void register_telemetry(telemetry::Sampler& sampler,
+                          const stats::ServiceReport& live);
 
   // --- per-shard introspection (tests, benches) -------------------------
   [[nodiscard]] dsm::VarId lock_var(ShardId s) const;

@@ -20,9 +20,26 @@ std::uint64_t ServiceReport::completed() const {
   return n;
 }
 
+double ServiceReport::safe_rate(double count, sim::Time window_ns) {
+  if (window_ns == 0) return 0.0;
+  return count / sim::to_seconds(window_ns);
+}
+
 double ServiceReport::goodput_rps() const {
-  if (elapsed_ns == 0) return 0.0;
-  return static_cast<double>(completed()) / sim::to_seconds(elapsed_ns);
+  return safe_rate(static_cast<double>(completed()), elapsed_ns);
+}
+
+double ServiceReport::shard_goodput_rps(std::size_t shard) const {
+  if (shard >= shards.size()) return 0.0;
+  double done = 0.0;
+  for (const auto& o : shards[shard].ops) done += static_cast<double>(o.completed);
+  return safe_rate(done, elapsed_ns);
+}
+
+std::uint32_t ServiceReport::drowning_shards() const {
+  std::uint32_t n = 0;
+  for (const auto& s : shards) n += s.drowning ? 1 : 0;
+  return n;
 }
 
 Histogram ServiceReport::merged_latency(ServiceOp op) const {
@@ -50,20 +67,32 @@ std::string ServiceReport::format() const {
                 static_cast<unsigned long long>(messages));
   out << line;
   out << "  shard  reads  writes  txns   w.p50       w.p99       w.p999      "
-         "serializable\n";
+         "serializable  health\n";
   for (const auto& s : shards) {
     const auto& w = s.op(ServiceOp::kWrite).latency_ns;
+    char health[64];
+    if (s.drowning) {
+      std::snprintf(health, sizeof health, "DROWNING (+%.0f req/s backlog)",
+                    s.backlog_slope_per_s);
+    } else {
+      std::snprintf(health, sizeof health, "ok");
+    }
     std::snprintf(
         line, sizeof line,
-        "  %-6u %-6llu %-7llu %-6llu %-11s %-11s %-11s %s\n", s.shard,
+        "  %-6u %-6llu %-7llu %-6llu %-11s %-11s %-11s %-13s %s\n", s.shard,
         static_cast<unsigned long long>(s.op(ServiceOp::kRead).completed),
         static_cast<unsigned long long>(s.op(ServiceOp::kWrite).completed),
         static_cast<unsigned long long>(s.op(ServiceOp::kTxn).completed),
         sim::format_time(static_cast<sim::Time>(w.p50())).c_str(),
         sim::format_time(static_cast<sim::Time>(w.p99())).c_str(),
         sim::format_time(static_cast<sim::Time>(w.p999())).c_str(),
-        s.serializable() ? "yes" : "NO (BUG)");
+        s.serializable() ? "yes" : "NO (BUG)", health);
     out << line;
+  }
+  if (drowning_shards() > 0) {
+    out << "  " << drowning_shards()
+        << " shard(s) DROWNING: backlog grew for as long as load was "
+           "offered (past saturation, not merely slow)\n";
   }
   return out.str();
 }

@@ -80,6 +80,15 @@ struct ShardServiceStats {
   std::int64_t version = 0;
   std::uint64_t committed_writes = 0;
 
+  // --- overload verdict (telemetry::flag_overload) ---------------------
+  /// True when the shard's backlog series shows sustained growth: the
+  /// shard is past saturation ("drowning"), not merely slow. Stays false
+  /// when no telemetry sampler observed the run.
+  bool drowning = false;
+  double backlog_slope_per_s = 0.0;  ///< trailing least-squares backlog slope
+  double final_backlog = 0.0;        ///< issued - completed at the last sample
+  double peak_backlog = 0.0;
+
   [[nodiscard]] bool serializable() const {
     return version == static_cast<std::int64_t>(committed_writes);
   }
@@ -95,9 +104,19 @@ struct ServiceReport {
   [[nodiscard]] std::uint64_t issued() const;
   [[nodiscard]] std::uint64_t completed() const;
 
+  /// `count / window`, with zero-duration windows mapping to 0 rather
+  /// than inf/NaN — empty or instant runs must stay JSON-serializable.
+  [[nodiscard]] static double safe_rate(double count, sim::Time window_ns);
+
   /// Completed requests per second of simulated time ("goodput" — every
   /// completed request did real, serializable work).
   [[nodiscard]] double goodput_rps() const;
+
+  /// One shard's completed requests per second over the run window.
+  [[nodiscard]] double shard_goodput_rps(std::size_t shard) const;
+
+  /// Shards flagged `drowning` by the overload detector.
+  [[nodiscard]] std::uint32_t drowning_shards() const;
 
   /// All shards' latency distributions for `op`, merged.
   [[nodiscard]] Histogram merged_latency(ServiceOp op) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simkern/assert.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace optsync::sync {
 
@@ -19,10 +20,24 @@ sim::Process GwcQueueLock::acquire(dsm::NodeId n) {
   OPTSYNC_EXPECT(!held_by(n));  // no nested acquisition
   const sim::Time requested = sys_->scheduler().now();
 
+  // Open a lock-wait umbrella span and hang the request's wire/queue legs
+  // under it: the atomic_exchange below ships the request synchronously, so
+  // repointing the node's context parent just around it is safe.
+  auto* trc = sys_->tracer();
+  telemetry::SpanContext octx =
+      trc != nullptr ? trc->node_ctx(n) : telemetry::SpanContext{};
+  telemetry::SpanId wait_span = 0;
+  if (trc != nullptr && octx.valid()) {
+    wait_span = trc->start_span(octx.trace, octx.span,
+                                telemetry::SpanKind::kLockWait, n, requested);
+    trc->set_node_parent(n, wait_span);
+  }
   node.atomic_exchange(lock_, lock_request_value(n));
+  if (wait_span != 0) trc->set_node_parent(n, octx.span);
   while (node.read(lock_) != lock_grant_value(n)) {
     co_await node.on_change(lock_).wait();
   }
+  if (wait_span != 0) trc->end_span(wait_span, sys_->scheduler().now());
 
   const sim::Duration waited = sys_->scheduler().now() - requested;
   ++stats_.acquisitions;

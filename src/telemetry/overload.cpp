@@ -1,0 +1,70 @@
+#include "telemetry/overload.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace optsync::telemetry {
+
+OverloadVerdict assess_backlog(const Series& s, const OverloadConfig& cfg) {
+  OverloadVerdict v;
+  if (s.samples.empty()) return v;
+  v.final_backlog = s.samples.back().v;
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < s.samples.size(); ++i) {
+    if (s.samples[i].v > v.peak_backlog) {
+      v.peak_backlog = s.samples[i].v;
+      peak = i;
+    }
+  }
+
+  // Fit over the window ENDING AT THE PEAK sample, not the end of the
+  // series: a finite open-loop run always finishes with a drain phase
+  // (arrivals stop, backlog falls), which would mask a shard that was
+  // structurally behind for the entire offered-load window. With arrivals
+  // that never stop, the peak sits at the end and the two windows agree.
+  const std::size_t upto = peak + 1;  // samples [0, upto)
+  if (upto < cfg.min_samples) return v;
+  const std::size_t window = std::max<std::size_t>(
+      cfg.min_samples, static_cast<std::size_t>(static_cast<double>(upto) *
+                                                cfg.window_fraction));
+  const std::size_t first = upto - std::min(window, upto);
+  const std::size_t n = upto - first;
+
+  // Least-squares slope in requests per second of series time. Centering
+  // both axes keeps the arithmetic stable for large ns timestamps.
+  double mean_t = 0.0, mean_v = 0.0;
+  for (std::size_t i = first; i < upto; ++i) {
+    mean_t += static_cast<double>(s.samples[i].t);
+    mean_v += s.samples[i].v;
+  }
+  mean_t /= static_cast<double>(n);
+  mean_v /= static_cast<double>(n);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = first; i < upto; ++i) {
+    const double dt = static_cast<double>(s.samples[i].t) - mean_t;
+    num += dt * (s.samples[i].v - mean_v);
+    den += dt * dt;
+  }
+  if (den <= 0.0) return v;  // all samples at one instant: no slope
+  v.slope_per_s = num / den * 1e9;
+
+  v.drowning = v.slope_per_s >= cfg.min_slope_per_s &&
+               v.peak_backlog >= cfg.min_final_backlog;
+  return v;
+}
+
+void flag_overload(stats::ServiceReport& report, const SeriesSet& set,
+                   const OverloadConfig& cfg) {
+  for (auto& sh : report.shards) {
+    const Series* s = set.find(
+        "optsync_shard_backlog", {{"shard", std::to_string(sh.shard)}});
+    if (s == nullptr) continue;
+    const OverloadVerdict v = assess_backlog(*s, cfg);
+    sh.drowning = v.drowning;
+    sh.backlog_slope_per_s = v.slope_per_s;
+    sh.final_backlog = v.final_backlog;
+    sh.peak_backlog = v.peak_backlog;
+  }
+}
+
+}  // namespace optsync::telemetry

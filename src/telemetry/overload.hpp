@@ -1,0 +1,55 @@
+// Overload detection over per-shard backlog series: "slow" vs "drowning".
+//
+// An at-capacity shard shows high latency but a backlog that oscillates
+// around a plateau — it drains what arrives. A shard past saturation
+// cannot drain: its backlog (issued - completed) grows for as long as
+// arrivals continue. The detector fits a least-squares slope over the
+// trailing window of the backlog series UP TO ITS PEAK (a finite run ends
+// with a drain phase once arrivals stop; with unending arrivals the peak
+// is the end and the windows coincide) and flags the shard `drowning` when
+// the slope is sustained-positive AND the peak backlog is material (a
+// growing-but-tiny queue is noise, not overload).
+//
+// flag_overload() runs the verdict for every shard of a ServiceReport
+// against the "optsync_shard_backlog" series the standard service gauges
+// produce (shard/sharded_store.hpp register_telemetry), filling the
+// drowning/backlog fields of each ShardServiceStats.
+#pragma once
+
+#include "stats/service_report.hpp"
+#include "telemetry/series.hpp"
+
+namespace optsync::telemetry {
+
+struct OverloadConfig {
+  /// Trailing fraction of the pre-peak samples the slope is fitted over.
+  /// The front of the run (ramp-up) is noise for the "sustained" question.
+  double window_fraction = 0.5;
+  /// Fewer pre-peak samples than this -> no verdict (never drowning).
+  std::size_t min_samples = 6;
+  /// Backlog growth (requests/second of series time) below this is "keeps
+  /// up, roughly"; above it the queue is structurally growing.
+  double min_slope_per_s = 1'000.0;
+  /// A shard whose peak backlog is below this cannot be drowning no
+  /// matter the slope — it never had anything material queued.
+  double min_final_backlog = 16.0;
+};
+
+struct OverloadVerdict {
+  bool drowning = false;
+  double slope_per_s = 0.0;   ///< least-squares backlog slope, trailing window
+  double final_backlog = 0.0;
+  double peak_backlog = 0.0;
+};
+
+/// Assesses one backlog series. Robust to empty/short series (no verdict).
+[[nodiscard]] OverloadVerdict assess_backlog(const Series& s,
+                                             const OverloadConfig& cfg = {});
+
+/// Runs assess_backlog for every shard's "optsync_shard_backlog" series in
+/// `set` and writes the verdicts into `report.shards`. Shards without a
+/// series are left untouched.
+void flag_overload(stats::ServiceReport& report, const SeriesSet& set,
+                   const OverloadConfig& cfg = {});
+
+}  // namespace optsync::telemetry

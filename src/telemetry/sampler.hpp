@@ -1,0 +1,79 @@
+// Sim-clock telemetry sampler: periodic gauge snapshots into a SeriesSet.
+//
+// start() arms a periodic tick on the scheduler. Each tick evaluates every
+// registered probe and appends one sample per probe at the current sim
+// time. The tick re-arms itself only while other simulation events are
+// pending: a discrete-event run ends when the queue drains, so a sampler
+// that rescheduled unconditionally would keep the simulation alive
+// forever. The final partial interval is captured by calling sample_now()
+// once after the scheduler returns.
+//
+// Two probe flavors:
+//   * add_gauge  — the callback IS the sample (backlog depth, queue length)
+//   * add_rate   — the callback is a monotone counter; the sample is its
+//     per-second increase since the previous tick (retransmits/s,
+//     goodput). The first tick primes the counter and records 0; a
+//     zero-length interval records 0 (never a division by zero).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simkern/scheduler.hpp"
+#include "telemetry/series.hpp"
+
+namespace optsync::telemetry {
+
+struct SamplerConfig {
+  sim::Duration interval_ns = 50'000;  ///< 50 sim-µs between snapshots
+  std::size_t capacity = 8192;         ///< retained samples per series
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig cfg = {});
+
+  /// Registers a gauge probe. Register before or after start(); new probes
+  /// simply join the next tick.
+  void add_gauge(std::string name, Labels labels, std::function<double()> fn);
+
+  /// Registers a rate probe over a monotone counter (per-second units).
+  void add_rate(std::string name, Labels labels,
+                std::function<double()> counter);
+
+  /// Arms the periodic tick (first snapshot one interval from now).
+  void start(sim::Scheduler& sched);
+  /// Cancels any pending tick.
+  void stop();
+
+  /// Takes one snapshot immediately (used for the final partial interval,
+  /// and by tests).
+  void sample_now(sim::Time now);
+
+  [[nodiscard]] const SeriesSet& series() const { return set_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] sim::Duration interval_ns() const { return cfg_.interval_ns; }
+
+ private:
+  void tick();
+
+  struct Probe {
+    std::size_t idx = 0;  ///< series index in set_
+    std::function<double()> fn;
+    bool rate = false;
+    bool primed = false;
+    double prev = 0.0;
+    sim::Time prev_t = 0;
+  };
+
+  SamplerConfig cfg_;
+  SeriesSet set_;
+  std::vector<Probe> probes_;
+  sim::Scheduler* sched_ = nullptr;
+  sim::EventId pending_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace optsync::telemetry

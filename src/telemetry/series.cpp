@@ -1,0 +1,129 @@
+#include "telemetry/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "stats/json.hpp"
+
+namespace optsync::telemetry {
+
+SeriesSet::SeriesSet(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::size_t SeriesSet::series(std::string name, Labels labels) {
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (all_[i].name == name && all_[i].labels == labels) return i;
+  }
+  Series s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  all_.push_back(std::move(s));
+  return all_.size() - 1;
+}
+
+void SeriesSet::append(std::size_t idx, sim::Time t, double v) {
+  Series& s = all_[idx];
+  if (s.samples.size() >= capacity_) {
+    s.samples.pop_front();
+    ++s.dropped;
+  }
+  s.samples.push_back(Sample{t, v});
+}
+
+const Series* SeriesSet::find(std::string_view name,
+                              const Labels& labels) const {
+  for (const Series& s : all_) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Prometheus label values escape backslash, double-quote, and newline.
+void write_escaped(std::ostream& out, const std::string& v) {
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out << '\\';
+    if (c == '\n') {
+      out << "\\n";
+      continue;
+    }
+    out << c;
+  }
+}
+
+void write_value(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    // Exposition format spells non-finite values out; don't emit "inf"
+    // from printf locale-dependently.
+    out << (std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf"));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void SeriesSet::write_prometheus(std::ostream& out) const {
+  std::set<std::string> typed;
+  for (const Series& s : all_) {
+    if (typed.insert(s.name).second) {
+      out << "# TYPE " << s.name << " gauge\n";
+      // Emit every series of this metric name together (the exposition
+      // format requires one contiguous block per metric family).
+      for (const Series& peer : all_) {
+        if (peer.name != s.name) continue;
+        out << peer.name;
+        if (!peer.labels.empty()) {
+          out << '{';
+          bool first = true;
+          for (const auto& [k, v] : peer.labels) {
+            if (!first) out << ',';
+            first = false;
+            out << k << "=\"";
+            write_escaped(out, v);
+            out << '"';
+          }
+          out << '}';
+        }
+        out << ' ';
+        write_value(out, peer.last());
+        out << '\n';
+      }
+    }
+  }
+}
+
+void SeriesSet::write_json(std::ostream& out, sim::Duration interval_ns) const {
+  stats::JsonWriter w(out, /*pretty=*/true);
+  w.begin_object();
+  w.value("schema", "optsync-timeseries/1");
+  w.value("interval_ns", static_cast<std::uint64_t>(interval_ns));
+  w.begin_array("series");
+  for (const Series& s : all_) {
+    w.begin_object();
+    w.value("name", s.name);
+    w.begin_object("labels");
+    for (const auto& [k, v] : s.labels) w.value(k, v);
+    w.end_object();
+    w.value("dropped", s.dropped);
+    w.begin_array("samples");
+    for (const Sample& p : s.samples) {
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(p.t));
+      w.value(p.v);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace optsync::telemetry

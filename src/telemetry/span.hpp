@@ -1,0 +1,191 @@
+// Causal span model for per-request tracing across the DSM substrate.
+//
+// A service request gets one TraceId at arrival; every latency-bearing leg
+// of its journey (client backlog, lock wait, wire hops, root queueing,
+// coalesce delay, multicast dispatch, retransmission, speculation,
+// rollback, the critical section itself) becomes a Span inside that trace.
+// A SpanContext {trace, parent span} travels with the op: node-side it
+// lives in a per-node slot of the Tracer (a node runs one op at a time —
+// the Fig. 4 nesting rule), wire-side it is captured into the message
+// closure, root-side it rides in SequencedWrite and the lock waiter queue.
+//
+// The critical-path analyzer (telemetry/tracer.hpp) folds every span of a
+// trace into latency buckets; bucket_of() below is that mapping. kRequest
+// and kLockWait are umbrella spans — they contain other spans and are
+// never attributed themselves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace optsync::telemetry {
+
+/// Identifies one traced service operation. 0 = "no trace".
+using TraceId = std::uint64_t;
+
+/// Identifies one span. Unique across traces. 0 = "no span".
+using SpanId = std::uint64_t;
+
+/// What travels with an op: which trace it belongs to and which span new
+/// child spans should hang off. Invalid (trace == 0) means "untraced" —
+/// every instrumentation site is a no-op then.
+struct SpanContext {
+  TraceId trace = 0;
+  SpanId span = 0;
+  [[nodiscard]] bool valid() const { return trace != 0; }
+};
+
+/// The legs of a request's journey. Keep span_kind_name() in sync.
+enum class SpanKind : std::uint8_t {
+  kRequest = 0,   ///< umbrella: arrival -> completion (one per trace)
+  kBacklog,       ///< arrival -> worker picks the request up (client FIFO)
+  kLockWait,      ///< umbrella: lock requested -> grant applied locally
+  kWireUp,        ///< fault-free flight of a lock request/release to root
+  kRootQueue,     ///< waiting in the root's lock queue (busy lock)
+  kCoalesce,      ///< sequenced write waiting in the root's open frame
+  kRootDispatch,  ///< frame flush -> serial-server dispatch (root compute)
+  kWireDown,      ///< fault-free flight of the grant frame to the waiter
+  kRetransmit,    ///< delivery delay beyond the fault-free flight time
+  kCs,            ///< critical section under the lock (or read compute)
+  kSpeculate,     ///< optimistic journal save + speculative body (§4)
+  kRollback,      ///< journal restore after a failed speculation
+};
+inline constexpr std::size_t kSpanKindCount = 12;
+
+constexpr std::string_view span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRequest:
+      return "request";
+    case SpanKind::kBacklog:
+      return "backlog";
+    case SpanKind::kLockWait:
+      return "lock-wait";
+    case SpanKind::kWireUp:
+      return "wire-up";
+    case SpanKind::kRootQueue:
+      return "root-queue";
+    case SpanKind::kCoalesce:
+      return "coalesce";
+    case SpanKind::kRootDispatch:
+      return "root-dispatch";
+    case SpanKind::kWireDown:
+      return "wire-down";
+    case SpanKind::kRetransmit:
+      return "retransmit";
+    case SpanKind::kCs:
+      return "cs";
+    case SpanKind::kSpeculate:
+      return "speculate";
+    case SpanKind::kRollback:
+      return "rollback";
+  }
+  return "?";
+}
+
+/// Latency-attribution buckets. kOther is the remainder of the request
+/// window no leaf span covers (instant handoffs, context switches); the
+/// buckets plus kOther sum to the measured arrival->completion latency
+/// exactly, by construction.
+enum class Bucket : std::uint8_t {
+  kQueueWait = 0,   ///< root lock-queue time
+  kWire,            ///< fault-free wire flight (up + down)
+  kRootSequencing,  ///< root serial-server dispatch
+  kCoalesce,        ///< grant parked in an open frame
+  kRetransmit,      ///< loss-recovery delay beyond fault-free flight
+  kRollback,        ///< speculative state restore
+  kCompute,         ///< CS body, read compute, speculative save+body
+  kBacklog,         ///< client-side FIFO queueing before service began
+  kOther,           ///< uncovered remainder (must stay small)
+};
+inline constexpr std::size_t kBucketCount = 9;
+
+constexpr std::string_view bucket_name(Bucket b) {
+  switch (b) {
+    case Bucket::kQueueWait:
+      return "queue_wait";
+    case Bucket::kWire:
+      return "wire";
+    case Bucket::kRootSequencing:
+      return "root_sequencing";
+    case Bucket::kCoalesce:
+      return "coalesce";
+    case Bucket::kRetransmit:
+      return "retransmit";
+    case Bucket::kRollback:
+      return "rollback";
+    case Bucket::kCompute:
+      return "compute";
+    case Bucket::kBacklog:
+      return "backlog";
+    case Bucket::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+/// True for leaf kinds the analyzer attributes; false for umbrella spans
+/// (kRequest, kLockWait), which only provide structure.
+constexpr bool attributable(SpanKind k) {
+  return k != SpanKind::kRequest && k != SpanKind::kLockWait;
+}
+
+constexpr Bucket bucket_of(SpanKind k) {
+  switch (k) {
+    case SpanKind::kBacklog:
+      return Bucket::kBacklog;
+    case SpanKind::kWireUp:
+    case SpanKind::kWireDown:
+      return Bucket::kWire;
+    case SpanKind::kRootQueue:
+      return Bucket::kQueueWait;
+    case SpanKind::kCoalesce:
+      return Bucket::kCoalesce;
+    case SpanKind::kRootDispatch:
+      return Bucket::kRootSequencing;
+    case SpanKind::kRetransmit:
+      return Bucket::kRetransmit;
+    case SpanKind::kRollback:
+      return Bucket::kRollback;
+    case SpanKind::kCs:
+    case SpanKind::kSpeculate:
+      return Bucket::kCompute;
+    case SpanKind::kRequest:
+    case SpanKind::kLockWait:
+      break;
+  }
+  return Bucket::kOther;
+}
+
+/// Sweep priority when leaf spans overlap (lower wins). Compute wins over
+/// wait-side spans: time the CPU spent speculating during a lock wait is
+/// the paper's latency-hiding story, so it reads as compute, and only the
+/// *uncovered* wait tail lands in the wait buckets.
+constexpr int sweep_priority(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCs:
+    case SpanKind::kSpeculate:
+      return 0;
+    case SpanKind::kRollback:
+      return 1;
+    case SpanKind::kRetransmit:
+      return 2;
+    case SpanKind::kCoalesce:
+      return 3;
+    case SpanKind::kRootDispatch:
+      return 4;
+    case SpanKind::kWireDown:
+      return 5;
+    case SpanKind::kWireUp:
+      return 6;
+    case SpanKind::kRootQueue:
+      return 7;
+    case SpanKind::kBacklog:
+      return 8;
+    case SpanKind::kRequest:
+    case SpanKind::kLockWait:
+      break;
+  }
+  return 99;
+}
+
+}  // namespace optsync::telemetry

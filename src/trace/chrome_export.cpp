@@ -1,8 +1,10 @@
 #include "trace/chrome_export.hpp"
 
 #include <set>
+#include <string>
 
 #include "stats/json.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace optsync::trace {
 
@@ -37,6 +39,11 @@ void write_args(JsonWriter& w, const Event& e) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const Recorder& rec) {
+  write_chrome_trace(out, rec, nullptr);
+}
+
+void write_chrome_trace(std::ostream& out, const Recorder& rec,
+                        const telemetry::Tracer* tracer) {
   JsonWriter w(out);
   w.begin_object();
   w.value("displayTimeUnit", "ns");
@@ -108,6 +115,39 @@ void write_chrome_trace(std::ostream& out, const Recorder& rec) {
     }
     w.end_object();
   });
+
+  if (tracer != nullptr) {
+    // Causal spans as async begin/end pairs: one async track per trace id,
+    // so Perfetto threads an op's legs together across nodes. The request
+    // umbrella is named after the op class for quick filtering.
+    tracer->for_each_span([&](const telemetry::Span& s) {
+      if (s.end == 0) return;  // still open at export time
+      std::string name;
+      if (s.kind == telemetry::SpanKind::kRequest) {
+        name = "op:";
+        name += tracer->op_of(s.trace);
+      } else {
+        name = telemetry::span_kind_name(s.kind);
+      }
+      for (const std::string_view ph : {"b", "e"}) {
+        w.begin_object()
+            .value("name", name)
+            .value("cat", "span")
+            .value("ph", ph)
+            .value("ts", to_us(ph == "b" ? s.start : s.end))
+            .value("pid", 0)
+            .value("tid", static_cast<std::uint64_t>(s.node))
+            .value("id", s.trace);
+        if (ph == "b") {
+          w.begin_object("args")
+              .value("span", s.id)
+              .value("parent", s.parent)
+              .end_object();
+        }
+        w.end_object();
+      }
+    });
+  }
 
   w.end_array();
   // Ring accounting: lets a reader see whether the trace is the whole run

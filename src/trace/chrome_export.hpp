@@ -13,9 +13,19 @@
 
 #include "trace/recorder.hpp"
 
+namespace optsync::telemetry {
+class Tracer;
+}
+
 namespace optsync::trace {
 
 /// Writes the retained events as a complete Chrome trace JSON document.
 void write_chrome_trace(std::ostream& out, const Recorder& rec);
+
+/// Same document, plus the causal spans of `tracer` (when non-null) as
+/// async begin/end pairs keyed by trace id — Perfetto draws each traced
+/// op's request/wait/wire/queue/coalesce legs as one connected track.
+void write_chrome_trace(std::ostream& out, const Recorder& rec,
+                        const telemetry::Tracer* tracer);
 
 }  // namespace optsync::trace

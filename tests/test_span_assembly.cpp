@@ -1,0 +1,197 @@
+// Span assembly end-to-end: every traced service op must yield a COMPLETE
+// span tree (no orphan parents, no unfinished request spans) whose latency
+// buckets sum exactly to the measured arrival->completion latency — on a
+// clean fiber, and across a battery of drop/duplicate/partition fault
+// schedules where retransmission legs stretch the trees. Also the overload
+// detector's acceptance pair: a deep-overload run must flag its saturated
+// shard `drowning`, an at-capacity run must not. Seeds 1100+ keep the
+// fault schedules disjoint from the other soak suites.
+#include <gtest/gtest.h>
+
+#include "dsm/system.hpp"
+#include "faults/fault_plan.hpp"
+#include "load/generator.hpp"
+#include "shard/sharded_store.hpp"
+#include "telemetry/overload.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace optsync {
+namespace {
+
+/// Same attack shape as the service soak (drops on both traffic classes,
+/// duplication, a healed link partition), over this suite's seed range.
+faults::FaultPlan span_attack(std::uint64_t seed) {
+  faults::FaultPlan plan(seed);
+  plan.drop(0.08, "lock").drop(0.08, "data").duplicate(0.04);
+  const auto a = static_cast<net::NodeId>(seed % 8);
+  const auto b = static_cast<net::NodeId>((seed / 8 + 1 + a) % 8);
+  if (a != b) plan.partition_link(a, b, 20'000, 220'000);
+  return plan;
+}
+
+struct TracedRun {
+  telemetry::Tracer tracer;
+  stats::ServiceReport report;
+  std::uint64_t requests = 0;
+};
+
+void run_traced_service(TracedRun& run, std::uint64_t seed,
+                        const faults::FaultPlan* faults, bool zipfian,
+                        std::uint64_t requests, double rate_rps) {
+  sim::Scheduler sched;
+  const net::MeshTorus2D topo = net::MeshTorus2D::near_square(8);
+  dsm::DsmConfig cfg;
+  if (faults != nullptr) cfg.faults = *faults;
+  cfg.tracer = &run.tracer;
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = 4;
+  shard::ShardedStore store(sys, scfg);
+
+  load::GeneratorConfig gcfg;
+  gcfg.seed = seed;
+  gcfg.requests = requests;
+  gcfg.rate_rps = rate_rps;
+  gcfg.txn_fraction = 0.10;
+  if (zipfian) {
+    gcfg.keys.dist = load::KeyDist::kZipfian;
+    gcfg.keys.keys = 1024;
+  }
+  load::Generator gen(gcfg);
+  run.requests = requests;
+
+  auto drive = gen.run(store, run.report);
+  sched.run();
+  drive.rethrow_if_failed();
+  store.fill_report(run.report);
+  ASSERT_TRUE(gen.done());
+}
+
+/// The assembly contract shared by the clean and faulted runs: one
+/// complete tree per request, buckets exactly covering each request
+/// window, and most latency attributed to a named cause.
+void expect_complete_assembly(const TracedRun& run, std::uint64_t seed,
+                              double min_named_fraction) {
+  const telemetry::Analysis an = run.tracer.analyze();
+  EXPECT_EQ(an.orphan_spans, 0u) << "seed " << seed;
+  EXPECT_EQ(an.incomplete_ops, 0u) << "seed " << seed;
+  EXPECT_EQ(an.open_spans, 0u) << "seed " << seed;
+  EXPECT_EQ(an.ops.size(), run.requests) << "seed " << seed;
+  EXPECT_EQ(run.tracer.dropped_spans(), 0u) << "seed " << seed;
+
+  sim::Duration total = 0;
+  for (const telemetry::OpBreakdown& op : an.ops) {
+    sim::Duration sum = 0;
+    for (const sim::Duration b : op.buckets) sum += b;
+    // Exact by construction: the sweep covers the window with buckets
+    // plus the kOther remainder. Any mismatch is a broken tree.
+    ASSERT_EQ(sum, op.total()) << "trace " << op.trace << " seed " << seed;
+    total += op.total();
+  }
+  EXPECT_EQ(total, an.total_latency);
+  EXPECT_GE(an.named_fraction(), min_named_fraction)
+      << "seed " << seed << ": named buckets cover only "
+      << 100.0 * an.named_fraction() << "% of measured latency";
+}
+
+TEST(SpanAssembly, CleanZipfianRunYieldsCompleteTrees) {
+  TracedRun run;
+  run_traced_service(run, /*seed=*/41, /*faults=*/nullptr, /*zipfian=*/true,
+                     /*requests=*/600, /*rate_rps=*/200'000.0);
+  EXPECT_EQ(run.report.completed(), 600u);
+  EXPECT_TRUE(run.report.serializable());
+  // Acceptance: per-op buckets sum to measured latency (exact, asserted
+  // inside) and >= 95% of the total is attributed to a named cause.
+  expect_complete_assembly(run, 41, 0.95);
+}
+
+class SpanAssemblyFaultSoak : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SpanAssemblyFaultSoak, TreesSurviveDropAndPartition) {
+  const std::uint64_t seed = GetParam();
+  const faults::FaultPlan plan = span_attack(seed);
+  TracedRun run;
+  run_traced_service(run, seed, &plan, /*zipfian=*/false, /*requests=*/220,
+                     /*rate_rps=*/60'000.0);
+  EXPECT_EQ(run.report.completed(), 220u);
+  EXPECT_GT(run.report.faults.drops_injected, 0u) << "seed " << seed;
+  // Loss recovery stretches trees with retransmit legs but must never
+  // tear them: every parent resolves, every window stays fully bucketed.
+  expect_complete_assembly(run, seed, 0.90);
+}
+
+INSTANTIATE_TEST_SUITE_P(DropPartitionSeeds, SpanAssemblyFaultSoak,
+                         ::testing::Range<std::uint64_t>(1100, 1122));
+
+// --- overload detection acceptance pair ---------------------------------
+
+struct OverloadRun {
+  stats::ServiceReport report;
+  bool drowning = false;
+  double slope = 0.0;
+};
+
+OverloadRun run_overloaded_service(double rate_rps) {
+  OverloadRun run;
+  sim::Scheduler sched;
+  const net::MeshTorus2D topo = net::MeshTorus2D::near_square(8);
+  dsm::DsmConfig cfg;
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = 1;
+  shard::ShardedStore store(sys, scfg);
+
+  load::GeneratorConfig gcfg;
+  gcfg.seed = 7;
+  gcfg.requests = 1'500;
+  gcfg.rate_rps = rate_rps;
+  gcfg.read_fraction = 0.10;
+  gcfg.txn_fraction = 0.0;
+  load::Generator gen(gcfg);
+
+  telemetry::Sampler sampler;
+  run.report.shards.resize(store.shards());
+  store.register_telemetry(sampler, run.report);
+
+  auto drive = gen.run(store, run.report);
+  sampler.start(sched);
+  sched.run();
+  drive.rethrow_if_failed();
+  sampler.sample_now(sched.now());
+  store.fill_report(run.report);
+  telemetry::flag_overload(run.report, sampler.series());
+
+  run.drowning = run.report.shards.at(0).drowning;
+  run.slope = run.report.shards.at(0).backlog_slope_per_s;
+  return run;
+}
+
+TEST(OverloadDetection, DeepOverloadFlagsTheShardDrowning) {
+  // 2M req/s against a single shard whose goodput ceiling is ~600k: the
+  // backlog grows for the whole offered-load window.
+  const OverloadRun run = run_overloaded_service(2'000'000.0);
+  EXPECT_EQ(run.report.completed(), 1'500u);
+  EXPECT_TRUE(run.drowning)
+      << "saturated shard not flagged (slope " << run.slope << " req/s)";
+  EXPECT_GT(run.slope, 0.0);
+  EXPECT_EQ(run.report.drowning_shards(), 1u);
+  EXPECT_NE(run.report.format().find("DROWNING"), std::string::npos);
+}
+
+TEST(OverloadDetection, AtCapacityLoadIsNotFlagged) {
+  // 25k req/s is well within one shard's capacity: latency is fine and
+  // the backlog never grows structurally. High latency != drowning.
+  const OverloadRun run = run_overloaded_service(25'000.0);
+  EXPECT_EQ(run.report.completed(), 1'500u);
+  EXPECT_FALSE(run.drowning)
+      << "healthy shard flagged (slope " << run.slope << " req/s)";
+  EXPECT_EQ(run.report.drowning_shards(), 0u);
+  EXPECT_EQ(run.report.format().find("DROWNING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsync

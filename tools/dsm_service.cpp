@@ -29,6 +29,7 @@
 #include "net/topology.hpp"
 #include "shard/sharded_store.hpp"
 #include "stats/metrics.hpp"
+#include "telemetry/overload.hpp"
 #include "trace/gwc_checker.hpp"
 #include "util/flags.hpp"
 
@@ -91,8 +92,9 @@ void usage() {
          " adaptive)\n"
          "  --fault-drop P --fault-seed N --partition A:B:S:E[,...]\n"
          "  plus the standard bench flags (--seed, --metrics-out,"
-         " --trace-out,\n  --coalesce-max-writes, --coalesce-max-ns,"
-         " --ack-delay-ns)\n";
+         " --trace-out,\n  --trace-capacity, --coalesce-max-writes,"
+         " --coalesce-max-ns, --ack-delay-ns,\n  --prom-out,"
+         " --timeseries-out, --sample-interval-ns)\n";
 }
 
 }  // namespace
@@ -179,11 +181,42 @@ int main(int argc, char** argv) try {
   load::Generator gen(gcfg);
 
   stats::ServiceReport report;
+  if (report.shards.size() < store.shards()) {
+    report.shards.resize(store.shards());
+  }
+  // Live telemetry: per-shard backlog/lock-queue/frame gauges plus
+  // client-side queue depth, sampled on the sim clock throughout the run.
+  auto& sampler = harness.sampler();
+  store.register_telemetry(sampler, report);
+  gen.register_telemetry(sampler);
   auto drive = gen.run(store, report);
+  sampler.start(sched);
   sched.run();
+  sampler.sample_now(sched.now());  // final partial interval
   store.fill_report(report);
+  telemetry::flag_overload(report, sampler.series());
 
   std::cout << report.format();
+
+  // Critical-path attribution rollup across every traced request.
+  const telemetry::Analysis analysis = harness.tracer().analyze();
+  if (!analysis.ops.empty() && analysis.total_latency > 0) {
+    std::cout << "latency attribution (" << analysis.ops.size()
+              << " traced ops, " << analysis.orphan_spans << " orphan spans, "
+              << analysis.incomplete_ops << " incomplete):\n";
+    for (std::size_t b = 0; b < telemetry::kBucketCount; ++b) {
+      const auto ns = analysis.totals[b];
+      if (ns == 0) continue;
+      char line[128];
+      std::snprintf(line, sizeof line, "  %-16s %6.2f%%\n",
+                    std::string(telemetry::bucket_name(
+                                    static_cast<telemetry::Bucket>(b)))
+                        .c_str(),
+                    100.0 * static_cast<double>(ns) /
+                        static_cast<double>(analysis.total_latency));
+      std::cout << line;
+    }
+  }
 
   bool ok = true;
   if (!gen.done()) {
@@ -232,7 +265,12 @@ int main(int argc, char** argv) try {
         .set("write_p999_ns", static_cast<double>(w.p999()))
         .set("txn_p99_ns", static_cast<double>(t.p99()))
         .set("sequenced", static_cast<double>(s.sequenced))
-        .set("frames", static_cast<double>(s.frames));
+        .set("frames", static_cast<double>(s.frames))
+        .set("goodput_rps", report.shard_goodput_rps(s.shard))
+        .set("drowning", s.drowning ? 1.0 : 0.0)
+        .set("backlog_slope_per_s", s.backlog_slope_per_s)
+        .set("final_backlog", s.final_backlog)
+        .set("peak_backlog", s.peak_backlog);
     metrics.lock(s.lock);
   }
   if (store.txn_stats().acquisitions > 0) metrics.lock(store.txn_stats());
