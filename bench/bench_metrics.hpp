@@ -1,11 +1,11 @@
 // Shared --metrics-out support for the figure/ablation benches.
 //
 // Every bench main accepts `--metrics-out PATH` and, when given, writes one
-// JSON document describing the run (schema "optsync-bench/1", documented in
+// JSON document describing the run (schema "optsync-bench/2", documented in
 // EXPERIMENTS.md):
 //
 //   {
-//     "schema": "optsync-bench/1",
+//     "schema": "optsync-bench/2",
 //     "bench": "<executable name>",
 //     "rows": [ {"label": "...", "<metric>": <number>, ...}, ... ],
 //     "locks": [ <stats::LockStats JSON>, ... ]
@@ -83,7 +83,7 @@ class MetricsOut {
     }
     stats::JsonWriter w(out, /*pretty=*/true);
     w.begin_object();
-    w.value("schema", "optsync-bench/1");
+    w.value("schema", "optsync-bench/2");
     w.value("bench", bench_);
     w.begin_array("rows");
     for (const auto& r : rows_) {
@@ -130,7 +130,7 @@ class MetricsOut {
 /// Flags handled here (defaults mirror DsmConfig / ReliableConfig, so an
 /// unflagged run is byte-identical to constructing the config directly):
 ///   --seed N                 workload/fault seed (default 42)
-///   --metrics-out PATH       optsync-bench/1 JSON document
+///   --metrics-out PATH       optsync-bench/2 JSON document
 ///   --trace-out PATH         Chrome trace of the run's flight record
 ///   --trace-capacity N       flight-recorder ring size (default 65536)
 ///   --coalesce-max-writes N  root frame size cap (default 1 = unbatched)

@@ -1,0 +1,323 @@
+// Txn scaling: optimistic multi-key commit (OCC over GWC) versus the
+// pessimistic MultiGroupMutex baseline as the shard count grows.
+//
+// Both protocols acquire the involved shard locks in the same canonical
+// ascending-VarId order; the difference is WHEN. The legacy path takes
+// every lock first and holds them across the whole per-key compute, so a
+// 3-key transaction occupies three shard roots for the full service time.
+// The OCC path speculates outside the locks (local pokes + undo log,
+// clobber interrupts armed) and holds them only for validate + publish —
+// a fraction of the compute — trading a shorter critical section for the
+// occasional abort/retry and, past the abort budget, an irrevocable
+// fallback through the very same MultiGroupMutex.
+//
+// For each shard count in {1, 2, 4, 8} this bench replays an identical
+// open-loop, transaction-heavy schedule (same seed, same plan bytes)
+// under both commit modes, across a uniform-key and a contended
+// (Zipfian keys) mix, and compares cross-shard goodput — completed
+// multi-key operations (txn + rmw) per second. The run FAILS unless OCC
+// goodput strictly exceeds the baseline at every shard count >= 4 on
+// both mixes — the claim the subsystem exists to make. It also
+// fails on any serializability-ledger or convergence
+// violation, and, when --fault-seed injects a lossy fiber, on any GWC
+// total-order violation found by trace::GwcChecker (faulted runs check
+// correctness only — the goodput gate applies to fault-free runs).
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "dsm/system.hpp"
+#include "faults/fault_plan.hpp"
+#include "load/generator.hpp"
+#include "net/topology.hpp"
+#include "shard/sharded_store.hpp"
+#include "stats/table.hpp"
+#include "trace/gwc_checker.hpp"
+#include "trace/recorder.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace optsync;
+
+struct Mix {
+  const char* name;
+  double read_fraction;
+  double txn_fraction;
+  double rmw_fraction;
+  load::KeyDist dist;
+  bool gated;  ///< the OCC-beats-baseline gate applies to this mix
+};
+
+// Both mixes are transaction-heavy and both carry the gate (OCC strictly
+// beats the baseline at >= 4 shards). The uniform mix is the regime
+// optimism exists for — conflicts occasional, compute dominant, abort
+// rate a few percent. The contended mix adds Zipfian skew so hot stripes
+// force real abort/retry/fallback traffic: OCC still wins because blind
+// writes tolerate write-write clobbers and doomed transactions abort
+// before touching any lock, while read-set conflicts pay the documented
+// abort + backoff + irrevocable-escalation cost.
+constexpr Mix kMixes[] = {
+    {"uniform", 0.40, 0.25, 0.25, load::KeyDist::kUniform, true},
+    {"contended", 0.10, 0.35, 0.35, load::KeyDist::kZipfian, true},
+};
+
+// Same drop/duplicate/partition shape as the txn fault soak, so the CI
+// smoke run exercises the retransmit + abort paths together.
+faults::FaultPlan txn_attack(std::uint64_t seed) {
+  faults::FaultPlan plan(seed);
+  plan.drop(0.08, "lock").drop(0.08, "data").duplicate(0.04);
+  const auto a = static_cast<net::NodeId>(seed % 8);
+  const auto b = static_cast<net::NodeId>((seed / 8 + 1 + a) % 8);
+  if (a != b) plan.partition_link(a, b, 20'000, 220'000);
+  return plan;
+}
+
+struct RunResult {
+  stats::ServiceReport report;
+  bool converged = false;
+  bool gwc_ok = true;
+  std::uint64_t gwc_writes = 0;
+  std::string gwc_report;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t fallbacks = 0;
+  /// Completed multi-key (txn + rmw) operations per second.
+  [[nodiscard]] double multikey_goodput_rps() const {
+    if (report.elapsed_ns == 0) return 0.0;
+    std::uint64_t done = 0;
+    for (const auto& s : report.shards) {
+      done += s.op(stats::ServiceOp::kTxn).completed +
+              s.op(stats::ServiceOp::kRmw).completed;
+    }
+    return 1e9 * static_cast<double>(done) /
+           static_cast<double>(report.elapsed_ns);
+  }
+  [[nodiscard]] double abort_rate() const {
+    const double total =
+        static_cast<double>(commits) + static_cast<double>(aborts);
+    return total > 0.0 ? static_cast<double>(aborts) / total : 0.0;
+  }
+};
+
+RunResult run_txn(bench::Harness& harness, std::uint32_t nodes,
+                  std::uint32_t shards, shard::TxnMode mode, const Mix& mix,
+                  double per_shard_rate, std::uint64_t requests_per_shard,
+                  std::uint64_t seed, std::uint64_t fault_seed) {
+  sim::Scheduler sched;
+  const auto topo = net::MeshTorus2D::near_square(nodes);
+  dsm::DsmConfig cfg;
+  harness.apply(cfg);
+  trace::Recorder recorder(1 << 10);
+  trace::GwcChecker checker;
+  if (fault_seed != 0) {
+    cfg.faults = txn_attack(fault_seed);
+    checker.install(recorder);
+    cfg.recorder = &recorder;
+  }
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = shards;
+  scfg.txn_mode = mode;
+  // Compute-heavy transactions over a wide slot space: per-key compute
+  // dominates the lock round trips (so WHERE the compute runs — inside or
+  // outside the critical section — decides throughput), and conflict
+  // detection at stripe == slot granularity has enough stripes that
+  // uniform traffic conflicts occasionally rather than constantly.
+  scfg.write_compute_ns = 10'000;
+  scfg.slots_per_shard = 64;
+  shard::ShardedStore store(sys, scfg);
+
+  load::GeneratorConfig gcfg;
+  gcfg.seed = seed;  // same seed for both modes -> identical plan bytes
+  gcfg.requests = requests_per_shard * shards;
+  gcfg.rate_rps = per_shard_rate * shards;
+  gcfg.read_fraction = mix.read_fraction;
+  gcfg.txn_fraction = mix.txn_fraction;
+  gcfg.rmw_fraction = mix.rmw_fraction;
+  gcfg.keys.dist = mix.dist;
+  gcfg.keys.keys = 64 * shards;  // spread the key set across every shard
+  gcfg.keys.zipf_s = 1.0;
+  load::Generator gen(gcfg);
+
+  RunResult res;
+  auto drive = gen.run(store, res.report);
+  sched.run();
+  drive.rethrow_if_failed();
+  store.fill_report(res.report);
+  res.converged = store.replicas_converged();
+  if (fault_seed != 0) {
+    res.gwc_ok = checker.ok();
+    res.gwc_writes = checker.writes_checked();
+    if (!res.gwc_ok) res.gwc_report = checker.report();
+  }
+  for (const auto& s : res.report.shards) {
+    res.commits += s.txn_commits;
+    res.aborts += s.txn_aborts;
+    res.retries += s.txn_retries;
+    res.fallbacks += s.txn_fallbacks;
+  }
+  if (!gen.done()) throw std::runtime_error("generator did not finish");
+  return res;
+}
+
+std::vector<std::uint32_t> parse_shards(const std::string& csv) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(static_cast<std::uint32_t>(
+        std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::runtime_error("empty --shards list");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Flags flags(argc, argv);
+  bench::Harness harness("txn_scaling", flags);
+  harness.allow_only(flags,
+                     {"nodes", "requests-per-shard", "shards", "fault-seed"});
+  auto& metrics = harness.metrics();
+
+  const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 16));
+  const auto requests_per_shard =
+      static_cast<std::uint64_t>(flags.get_int("requests-per-shard", 300));
+  const auto shard_counts = parse_shards(flags.get("shards", "1,2,4,8"));
+  const auto fault_seed =
+      static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  // Offered load per shard, chosen to straddle the two capacities: with
+  // 10us of per-key compute the pessimistic baseline saturates its shard
+  // locks below this rate (hold time = lock chain + full compute), while
+  // OCC — which holds locks only for validate + publish — absorbs it
+  // with occasional aborts. Elapsed time for the saturated mode is
+  // decided by its commit throughput, so goodput compares capacity.
+  const double per_shard_rate = 25'000.0;
+
+  std::cout << "Txn scaling: OCC commit vs MultiGroupMutex baseline, "
+            << nodes << " nodes, identical open-loop schedules ("
+            << requests_per_shard << " req/shard @ "
+            << static_cast<std::uint64_t>(per_shard_rate)
+            << " req/s/shard)\n"
+            << "gate: OCC cross-shard goodput must strictly beat the "
+               "baseline on both mixes at >= 4 shards\n";
+  if (fault_seed != 0) {
+    std::cout << "fault injection on (seed " << fault_seed
+              << "): drops + duplicates + a flapping partition, GWC "
+                 "order audited per run; the goodput gate is waived (a "
+                 "lossy fiber stretches the OCC exposure window — the "
+                 "faulted run checks correctness, not capacity)\n";
+  }
+  std::cout << "\n";
+
+  bool ok = true;
+  for (const Mix& mix : kMixes) {
+    std::cout << "=== mix " << mix.name << " (reads "
+              << stats::Table::num(100 * mix.read_fraction) << "%, txns "
+              << stats::Table::num(100 * mix.txn_fraction) << "%, rmws "
+              << stats::Table::num(100 * mix.rmw_fraction) << "%, "
+              << (mix.dist == load::KeyDist::kZipfian ? "zipfian" : "uniform")
+              << " keys)"
+              << (mix.gated ? " [gated]" : "") << " ===\n";
+    stats::Table table({"shards", "mode", "multikey req/s", "goodput req/s",
+                        "commits", "aborts", "retries", "fallbacks",
+                        "abort%"});
+    for (const std::uint32_t shards : shard_counts) {
+      const std::uint64_t run_seed =
+          harness.seed() ^
+          (0x9e3779b97f4a7c15ull *
+           (shards * 64 + (&mix - kMixes) * 8 + 1));
+      double occ_goodput = 0.0;
+      for (const shard::TxnMode mode :
+           {shard::TxnMode::kOcc, shard::TxnMode::kLegacy}) {
+        const auto res =
+            run_txn(harness, nodes, shards, mode, mix, per_shard_rate,
+                    requests_per_shard, run_seed, fault_seed);
+        const auto& r = res.report;
+        if (!r.serializable() || !res.converged) {
+          std::cout << "TXN INVARIANT VIOLATION at mix=" << mix.name
+                    << " shards=" << shards << " mode="
+                    << shard::txn_mode_name(mode) << " (serializable="
+                    << r.serializable() << ", converged=" << res.converged
+                    << ")\n";
+          ok = false;
+        }
+        if (!res.gwc_ok) {
+          std::cout << "GWC ORDER VIOLATION at mix=" << mix.name
+                    << " shards=" << shards << " mode="
+                    << shard::txn_mode_name(mode) << "\n"
+                    << res.gwc_report << "\n";
+          ok = false;
+        }
+        const double multikey = res.multikey_goodput_rps();
+        if (mode == shard::TxnMode::kOcc) {
+          occ_goodput = multikey;
+        } else if (mix.gated && fault_seed == 0 && shards >= 4 &&
+                   occ_goodput <= multikey) {
+          std::cout << "OCC SCALING REGRESSION: at " << shards
+                    << " shards (" << mix.name << " mix) OCC multi-key "
+                    << "goodput (" << occ_goodput
+                    << " req/s) did not exceed the MultiGroupMutex "
+                    << "baseline (" << multikey << " req/s)\n";
+          ok = false;
+        }
+        table.add_row({std::to_string(shards),
+                       std::string(shard::txn_mode_name(mode)),
+                       stats::Table::num(multikey),
+                       stats::Table::num(r.goodput_rps()),
+                       std::to_string(res.commits),
+                       std::to_string(res.aborts),
+                       std::to_string(res.retries),
+                       std::to_string(res.fallbacks),
+                       stats::Table::num(100.0 * res.abort_rate())});
+
+        const std::string label =
+            std::string("mix=") + mix.name + ",shards=" +
+            std::to_string(shards) + ",mode=" +
+            std::string(shard::txn_mode_name(mode));
+        metrics.row(label)
+            .set("shards", shards)
+            .set("occ", mode == shard::TxnMode::kOcc ? 1.0 : 0.0)
+            .set("multikey_goodput_rps", multikey)
+            .set("goodput_rps", r.goodput_rps())
+            .set("offered_rps", r.offered_rps)
+            .set("txn_commits", static_cast<double>(res.commits))
+            .set("txn_aborts", static_cast<double>(res.aborts))
+            .set("txn_retries", static_cast<double>(res.retries))
+            .set("txn_fallbacks", static_cast<double>(res.fallbacks))
+            .set("txn_abort_rate", res.abort_rate())
+            .set("gwc_writes_checked",
+                 static_cast<double>(res.gwc_writes))
+            .set("elapsed_ns", static_cast<double>(r.elapsed_ns));
+        for (const auto& s : r.shards) {
+          auto ls = s.lock;
+          ls.name = label + "/" + ls.name;
+          metrics.lock(ls);
+        }
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (ok) {
+    std::cout << "OCC beat the pessimistic baseline at every gated point; "
+                 "all runs serializable and convergent\n";
+  }
+  return harness.finish() && ok ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

@@ -23,6 +23,11 @@ MultiGroupMutex::MultiGroupMutex(dsm::DsmSystem& sys,
 sim::Process MultiGroupMutex::acquire(dsm::NodeId n) {
   // Validate synchronously — a coroutine would capture the violation in a
   // failed Process instead of throwing to the caller.
+  //
+  // The canonical-order invariant is re-asserted here (not only in the
+  // constructor) so a future mutation of ordered_ cannot silently undo
+  // the deadlock-avoidance argument documented in the header.
+  OPTSYNC_EXPECT(std::is_sorted(ordered_.begin(), ordered_.end()));
   for (const dsm::VarId l : ordered_) {
     OPTSYNC_EXPECT(sys_->group(sys_->var(l).group).contains(n));
   }

@@ -6,11 +6,17 @@
 // updates."
 //
 // Each group's root manages its own queue lock; a cross-group critical
-// section acquires one lock per involved group. Locks are always acquired
-// in a fixed global order (ascending lock VarId), which makes deadlock
-// impossible regardless of how sections overlap: the resource-ordering
-// argument — a cycle in the wait-for graph would need some node to hold a
-// higher-ordered lock while waiting for a lower one.
+// section acquires one lock per involved group.
+//
+// CANONICAL LOCK ORDER (deadlock-avoidance invariant): every multi-lock
+// acquisition in the system — this mutex AND the OCC commit protocol in
+// txn::TxnManager — acquires in strictly ascending lock VarId. This makes
+// deadlock impossible regardless of how sections overlap or which path
+// (pessimistic or optimistic) they take: the resource-ordering argument —
+// a cycle in the wait-for graph would need some node to hold a
+// higher-ordered lock while waiting for a lower one. The constructor
+// sorts its input into this order and acquire() asserts it before every
+// acquisition; any new multi-lock caller must follow the same order.
 #pragma once
 
 #include <vector>

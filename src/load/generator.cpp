@@ -21,8 +21,9 @@ constexpr std::uint64_t kValueStream = 0x5ca1ab1e00000005ull;
 Generator::Generator(GeneratorConfig cfg) : cfg_(cfg) {
   OPTSYNC_EXPECT(cfg_.requests >= 1);
   OPTSYNC_EXPECT(cfg_.read_fraction >= 0.0 && cfg_.read_fraction <= 1.0);
-  OPTSYNC_EXPECT(cfg_.txn_fraction >= 0.0 &&
-                 cfg_.read_fraction + cfg_.txn_fraction <= 1.0);
+  OPTSYNC_EXPECT(cfg_.txn_fraction >= 0.0 && cfg_.rmw_fraction >= 0.0 &&
+                 cfg_.read_fraction + cfg_.txn_fraction + cfg_.rmw_fraction <=
+                     1.0);
   OPTSYNC_EXPECT(cfg_.txn_keys >= 1);
 }
 
@@ -57,11 +58,17 @@ std::vector<Request> Generator::plan(const GeneratorConfig& cfg,
       r.op = stats::ServiceOp::kRead;
     } else if (u < cfg.read_fraction + cfg.txn_fraction) {
       r.op = stats::ServiceOp::kTxn;
+    } else if (u < cfg.read_fraction + cfg.txn_fraction + cfg.rmw_fraction) {
+      // Carved out of the interval after txn so a zero rmw_fraction
+      // leaves every pre-existing plan byte-identical.
+      r.op = stats::ServiceOp::kRmw;
     } else {
       r.op = stats::ServiceOp::kWrite;
     }
-    const std::uint32_t want =
-        r.op == stats::ServiceOp::kTxn ? cfg.txn_keys : 1;
+    const std::uint32_t want = r.op == stats::ServiceOp::kTxn ||
+                                       r.op == stats::ServiceOp::kRmw
+                                   ? cfg.txn_keys
+                                   : 1;
     r.keys.reserve(want);
     while (r.keys.size() < want) {
       const shard::Key k = keys.sample(key_rng);
@@ -138,6 +145,14 @@ sim::Process Generator::worker(shard::ShardedStore& store,
                            r.value + static_cast<dsm::Word>(i));
         }
         co_await store.multi_put(n, std::move(kvs)).join();
+        break;
+      }
+      case stats::ServiceOp::kRmw: {
+        // YCSB-F: read every key, add the planned delta, write back — one
+        // atomic multi-key increment.
+        const auto delta =
+            static_cast<dsm::Word>(r.value % 1024) + 1;
+        co_await store.multi_rmw(n, r.keys, delta).join();
         break;
       }
     }

@@ -35,7 +35,7 @@
 
 namespace optsync::load {
 
-/// One planned request. `keys.size() > 1` only for kTxn.
+/// One planned request. `keys.size() > 1` only for kTxn/kRmw.
 struct Request {
   sim::Time at = 0;  ///< arrival offset from the start of run()
   dsm::NodeId node = 0;
@@ -55,9 +55,14 @@ struct GeneratorConfig {
   ArrivalConfig arrival;
   KeyConfig keys;
 
-  double read_fraction = 0.50;  ///< P(read); rest split write/txn
+  double read_fraction = 0.50;  ///< P(read); rest split write/txn/rmw
   double txn_fraction = 0.05;   ///< P(multi-key transaction)
-  std::uint32_t txn_keys = 3;   ///< keys per transaction (deduplicated)
+  /// P(multi-key read-modify-write) — the YCSB-F op class. Defaults to 0
+  /// so pre-existing plans stay byte-identical: the rmw draw reuses the
+  /// op stream's single uniform per request, splitting the interval after
+  /// txn, and `value` doubles as the rmw delta.
+  double rmw_fraction = 0.0;
+  std::uint32_t txn_keys = 3;   ///< keys per transaction/rmw (deduplicated)
 
   /// Local compute per read (lookup cost); reads are otherwise free.
   sim::Duration read_compute_ns = 100;

@@ -57,6 +57,17 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
     sh->queue = std::make_unique<sync::GwcQueueLock>(sys, sh->lock);
     shards_.push_back(std::move(sh));
   }
+
+  // The txn layer stripes orecs by slot (stripe == slot index), so any
+  // committed slot write bumps exactly the orec its readers validated.
+  cfg_.txn.orec_stripes = cfg.slots_per_shard;
+  txn_mgr_ = std::make_unique<txn::TxnManager>(sys, cfg_.txn);
+  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+    Shard& sh = *shards_[s];
+    sh.site = txn_mgr_->add_site("svc.s" + std::to_string(s), sh.group,
+                                 sh.lock, sh.version);
+    OPTSYNC_ENSURE(sh.site == static_cast<txn::SiteId>(s));
+  }
 }
 
 std::size_t ShardedStore::slot_of(Key key) const {
@@ -82,6 +93,10 @@ void ShardedStore::write_slot(Shard& sh, dsm::DsmNode& node, Key key,
   const std::size_t slot = slot_of(key);
   node.write(sh.slot_keys[slot], static_cast<dsm::Word>(key));
   node.write(sh.slot_values[slot], value);
+  // Every committed slot write bumps its orec stripe, so an OCC reader
+  // that validated the stripe sees single-key puts as conflicts too.
+  txn_mgr_->orecs().bump(node.id(), sh.site,
+                         static_cast<std::uint32_t>(slot));
 }
 
 sim::Process ShardedStore::put(dsm::NodeId n, Key key, dsm::Word value) {
@@ -139,11 +154,15 @@ sim::Process ShardedStore::put_queued(Shard& sh, dsm::NodeId n, Key key,
 sim::Process ShardedStore::put_optimistic(Shard& sh, dsm::NodeId n, Key key,
                                           dsm::Word value) {
   core::Section sec;
-  sec.shared_writes.reserve(2 * cfg_.slots_per_shard + 1);
+  sec.shared_writes.reserve(3 * cfg_.slots_per_shard + 1);
   for (std::uint32_t k = 0; k < cfg_.slots_per_shard; ++k) {
     sec.shared_writes.push_back(sh.slot_keys[k]);
     sec.shared_writes.push_back(sh.slot_values[k]);
   }
+  // write_slot also bumps the slot's orec stripe inside the body.
+  const auto& orec_vars = txn_mgr_->orecs().site_vars(sh.site);
+  sec.shared_writes.insert(sec.shared_writes.end(), orec_vars.begin(),
+                           orec_vars.end());
   sec.shared_writes.push_back(sh.version);
   sec.body = [this, &sh, key, value](dsm::DsmNode& node) -> sim::Process {
     co_await sim::delay(sys_->scheduler(), cfg_.write_compute_ns);
@@ -170,20 +189,256 @@ core::MultiGroupMutex& ShardedStore::txn_mutex(
   return *it->second;
 }
 
-sim::Process ShardedStore::multi_put(
-    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
-  OPTSYNC_EXPECT(!kvs.empty());
+std::vector<ShardId> ShardedStore::involved_shards(
+    const std::vector<Key>& keys) const {
   std::vector<ShardId> ids;
-  ids.reserve(kvs.size());
-  for (const auto& [key, value] : kvs) {
+  ids.reserve(keys.size());
+  for (const Key key : keys) {
     OPTSYNC_EXPECT(key != 0);
-    (void)value;
     ids.push_back(map_.shard_of(key));
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+void ShardedStore::record_txn_flight(sim::Time started, sim::Time acquired) {
+  const sim::Time now = sys_->scheduler().now();
+  ++txn_stats_.acquisitions;
+  txn_stats_.acquire_ns.record(static_cast<std::int64_t>(acquired - started));
+  txn_stats_.hold_ns.record(static_cast<std::int64_t>(now - acquired));
+}
+
+sim::Process ShardedStore::multi_put(
+    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
+  OPTSYNC_EXPECT(!kvs.empty());
+  std::vector<Key> keys;
+  keys.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) {
+    (void)value;
+    keys.push_back(key);
+  }
+  std::vector<ShardId> ids = involved_shards(keys);
+  if (cfg_.txn_mode == TxnMode::kOcc) {
+    return multi_put_occ(n, std::move(kvs), std::move(ids));
+  }
   core::MultiGroupMutex& mux = txn_mutex(ids);
   return multi_put_impl(n, std::move(kvs), std::move(ids), mux);
+}
+
+sim::Process ShardedStore::multi_put_occ(
+    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs,
+    std::vector<ShardId> ids) {
+  auto& sched = sys_->scheduler();
+  const sim::Time started = sched.now();
+  auto& cm = txn_mgr_->contention();
+  std::uint32_t aborts = 0;
+  for (;;) {
+    if (cm.should_fallback(aborts)) {
+      // Abort budget exhausted: go irrevocable. The legacy path acquires
+      // the same locks in the same ascending order, so progress is
+      // guaranteed however hot the keys.
+      cm.note_fallback();
+      for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
+      core::MultiGroupMutex& mux = txn_mutex(ids);
+      co_await multi_put_impl(n, std::move(kvs), std::move(ids), mux).join();
+      co_return;
+    }
+    txn::Txn t;
+    txn_mgr_->begin(t, n);
+    const sim::Time spec_began = sched.now();
+    for (const auto& [key, value] : kvs) {
+      Shard& sh = *shards_[map_.shard_of(key)];
+      const auto slot = static_cast<std::uint32_t>(slot_of(key));
+      txn_mgr_->write_word(t, sh.site, slot, sh.slot_keys[slot],
+                           static_cast<dsm::Word>(key));
+      txn_mgr_->write_word(t, sh.site, slot, sh.slot_values[slot], value);
+    }
+    co_await sim::delay(
+        sched, (cfg_.write_compute_ns + 2 * cfg_.txn.save_ns_per_var) *
+                   static_cast<sim::Duration>(kvs.size()));
+    if (auto* trc = sys_->tracer()) {
+      if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
+        trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kSpeculate,
+                         n, spec_began, sched.now());
+      }
+    }
+    txn::TxnManager::CommitResult res;
+    co_await txn_mgr_->commit(t, &res).join();
+    if (res.committed) {
+      for (const ShardId s : ids) {
+        ++shards_[s]->committed;
+        ++shards_[s]->txn_commits;
+      }
+      record_txn_flight(started, res.locks_acquired_at);
+      co_return;
+    }
+    ++aborts;
+    for (const ShardId s : ids) {
+      ++shards_[s]->txn_aborts;
+      ++shards_[s]->txn_retries;
+    }
+    co_await cm.backoff(n, aborts).join();
+  }
+}
+
+sim::Process ShardedStore::multi_rmw(dsm::NodeId n, std::vector<Key> keys,
+                                     dsm::Word delta) {
+  OPTSYNC_EXPECT(!keys.empty());
+  auto& sched = sys_->scheduler();
+  const sim::Time started = sched.now();
+  std::vector<ShardId> ids = involved_shards(keys);
+  auto& cm = txn_mgr_->contention();
+  std::uint32_t aborts = 0;
+  for (;;) {
+    if (cfg_.txn_mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
+      if (cfg_.txn_mode == TxnMode::kOcc) {
+        cm.note_fallback();
+        for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
+      }
+      core::MultiGroupMutex& mux = txn_mutex(ids);
+      co_await multi_rmw_impl(n, std::move(keys), std::move(ids), mux, delta)
+          .join();
+      co_return;
+    }
+    txn::Txn t;
+    txn_mgr_->begin(t, n);
+    const sim::Time spec_began = sched.now();
+    auto& node = sys_->node(n);
+    for (const Key key : keys) {
+      Shard& sh = *shards_[map_.shard_of(key)];
+      const auto slot = static_cast<std::uint32_t>(slot_of(key));
+      // Read-your-writes: both reads are covered by this stripe's write
+      // lock at commit, so the rmw is strictly serializable.
+      const dsm::Word cur_key =
+          txn_mgr_->read_word(t, sh.site, slot, sh.slot_keys[slot]);
+      const dsm::Word cur_val =
+          cur_key == static_cast<dsm::Word>(key)
+              ? node.read(sh.slot_values[slot])
+              : 0;
+      txn_mgr_->write_word(t, sh.site, slot, sh.slot_keys[slot],
+                           static_cast<dsm::Word>(key));
+      txn_mgr_->write_word(t, sh.site, slot, sh.slot_values[slot],
+                           cur_val + delta);
+    }
+    co_await sim::delay(
+        sched, (cfg_.write_compute_ns + 2 * cfg_.txn.save_ns_per_var) *
+                   static_cast<sim::Duration>(keys.size()));
+    if (auto* trc = sys_->tracer()) {
+      if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
+        trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kSpeculate,
+                         n, spec_began, sched.now());
+      }
+    }
+    txn::TxnManager::CommitResult res;
+    co_await txn_mgr_->commit(t, &res).join();
+    if (res.committed) {
+      for (const ShardId s : ids) {
+        ++shards_[s]->committed;
+        ++shards_[s]->txn_commits;
+      }
+      record_txn_flight(started, res.locks_acquired_at);
+      co_return;
+    }
+    ++aborts;
+    for (const ShardId s : ids) {
+      ++shards_[s]->txn_aborts;
+      ++shards_[s]->txn_retries;
+    }
+    co_await cm.backoff(n, aborts).join();
+  }
+}
+
+sim::Process ShardedStore::multi_rmw_impl(dsm::NodeId n, std::vector<Key> keys,
+                                          std::vector<ShardId> ids,
+                                          core::MultiGroupMutex& mux,
+                                          dsm::Word delta) {
+  auto& sched = sys_->scheduler();
+  const sim::Time started = sched.now();
+  co_await mux.acquire(n).join();
+  const sim::Time acquired = sched.now();
+  auto& node = sys_->node(n);
+  co_await sim::delay(
+      sched, cfg_.write_compute_ns * static_cast<sim::Duration>(keys.size()));
+  for (const Key key : keys) {
+    Shard& sh = *shards_[map_.shard_of(key)];
+    const std::size_t slot = slot_of(key);
+    const dsm::Word cur =
+        node.read(sh.slot_keys[slot]) == static_cast<dsm::Word>(key)
+            ? node.read(sh.slot_values[slot])
+            : 0;
+    write_slot(sh, node, key, cur + delta);
+  }
+  for (const ShardId s : ids) {
+    Shard& sh = *shards_[s];
+    node.write(sh.version, node.read(sh.version) + 1);
+  }
+  mux.release(n);
+  if (auto* trc = sys_->tracer()) {
+    if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
+      trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kCs, n,
+                       acquired, sched.now());
+    }
+  }
+  for (const ShardId s : ids) ++shards_[s]->committed;
+  record_txn_flight(started, acquired);
+}
+
+sim::Process ShardedStore::multi_get(
+    dsm::NodeId n, std::vector<Key> keys,
+    std::vector<std::optional<dsm::Word>>* out) {
+  OPTSYNC_EXPECT(!keys.empty());
+  OPTSYNC_EXPECT(out != nullptr);
+  std::vector<ShardId> ids = involved_shards(keys);
+  auto& cm = txn_mgr_->contention();
+  auto& node = sys_->node(n);
+  std::uint32_t aborts = 0;
+  for (;;) {
+    if (cfg_.txn_mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
+      // Irrevocable snapshot: read under every involved shard lock.
+      if (cfg_.txn_mode == TxnMode::kOcc) {
+        cm.note_fallback();
+        for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
+      }
+      core::MultiGroupMutex& mux = txn_mutex(ids);
+      co_await mux.acquire(n).join();
+      out->clear();
+      for (const Key key : keys) {
+        out->push_back(get(n, key));
+      }
+      mux.release(n);
+      co_return;
+    }
+    txn::Txn t;
+    txn_mgr_->begin(t, n);
+    std::vector<std::optional<dsm::Word>> snap;
+    snap.reserve(keys.size());
+    for (const Key key : keys) {
+      Shard& sh = *shards_[map_.shard_of(key)];
+      const auto slot = static_cast<std::uint32_t>(slot_of(key));
+      const dsm::Word cur_key =
+          txn_mgr_->read_word(t, sh.site, slot, sh.slot_keys[slot]);
+      if (cur_key == static_cast<dsm::Word>(key)) {
+        snap.emplace_back(node.read(sh.slot_values[slot]));
+      } else {
+        snap.emplace_back(std::nullopt);
+      }
+    }
+    // Empty write set: commit takes no locks, just validates the read-set
+    // orecs and charges the per-entry cost.
+    txn::TxnManager::CommitResult res;
+    co_await txn_mgr_->commit(t, &res).join();
+    if (res.committed) {
+      *out = std::move(snap);
+      co_return;
+    }
+    ++aborts;
+    for (const ShardId s : ids) {
+      ++shards_[s]->txn_aborts;
+      ++shards_[s]->txn_retries;
+    }
+    co_await cm.backoff(n, aborts).join();
+  }
 }
 
 sim::Process ShardedStore::multi_put_impl(
@@ -235,6 +490,10 @@ void ShardedStore::fill_report(stats::ServiceReport& report) {
     entry.max_frame_writes = root.max_frame_writes;
     entry.version = sys_->node(sh.root).read(sh.version);
     entry.committed_writes = sh.committed;
+    entry.txn_commits = sh.txn_commits;
+    entry.txn_aborts = sh.txn_aborts;
+    entry.txn_retries = sh.txn_retries;
+    entry.txn_fallbacks = sh.txn_fallbacks;
   }
   report.messages = sys_->network().stats().messages;
   report.faults = stats::collect_fault_report(sys_->network().stats(),
@@ -276,6 +535,12 @@ void ShardedStore::register_telemetry(telemetry::Sampler& sampler,
   sampler.add_rate("optsync_retransmits_per_s", {}, [this] {
     return static_cast<double>(sys_->reliable().stats().retransmits);
   });
+  sampler.add_rate("optsync_txn_commits_per_s", {}, [this] {
+    return static_cast<double>(txn_mgr_->commits());
+  });
+  sampler.add_rate("optsync_txn_aborts_per_s", {}, [this] {
+    return static_cast<double>(txn_mgr_->aborts());
+  });
 }
 
 bool ShardedStore::replicas_converged() const {
@@ -284,6 +549,8 @@ bool ShardedStore::replicas_converged() const {
     const auto& members = sys_->group(sh.group).members();
     std::vector<dsm::VarId> vars = sh.slot_keys;
     vars.insert(vars.end(), sh.slot_values.begin(), sh.slot_values.end());
+    const auto& orec_vars = txn_mgr_->orecs().site_vars(sh.site);
+    vars.insert(vars.end(), orec_vars.begin(), orec_vars.end());
     vars.push_back(sh.version);
     for (const dsm::VarId v : vars) {
       const dsm::Word expect = sys_->node(members[0]).read(v);
@@ -326,6 +593,22 @@ std::uint64_t ShardedStore::queue_path_ops(ShardId s) const {
 
 std::uint64_t ShardedStore::optimistic_path_ops(ShardId s) const {
   return shards_.at(s)->optimistic_ops;
+}
+
+std::uint64_t ShardedStore::txn_commits(ShardId s) const {
+  return shards_.at(s)->txn_commits;
+}
+
+std::uint64_t ShardedStore::txn_aborts(ShardId s) const {
+  return shards_.at(s)->txn_aborts;
+}
+
+std::uint64_t ShardedStore::txn_retries(ShardId s) const {
+  return shards_.at(s)->txn_retries;
+}
+
+std::uint64_t ShardedStore::txn_fallbacks(ShardId s) const {
+  return shards_.at(s)->txn_fallbacks;
 }
 
 }  // namespace optsync::shard

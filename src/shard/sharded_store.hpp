@@ -21,11 +21,18 @@
 //     protocol (zero extra traffic), a cold one commits writes in
 //     roughly its compute time.
 //
-// Multi-key transactions that cross shards acquire every involved shard
-// lock through core::MultiGroupMutex (global VarId order — deadlock-free)
-// and bump every involved shard's version word, so the per-shard
-// serializability ledger (version == committed writes) stays exact across
-// shard boundaries.
+// Multi-key transactions that cross shards run, by default, on the
+// optimistic txn::TxnManager layer (TxnMode::kOcc): speculate locally,
+// detect conflicts through clobber interrupts and orec versions, then
+// commit under the involved shard locks held only for validate+publish.
+// Repeated aborts escalate to the irrevocable fallback — the legacy
+// TxnMode::kLegacy path, core::MultiGroupMutex held across the whole
+// compute (same ascending-VarId order, so the two paths are jointly
+// deadlock-free). Either way every involved shard's version word is
+// bumped once, so the per-shard serializability ledger (version ==
+// committed writes) stays exact across shard boundaries. Every committed
+// slot write — single-key or transactional — also bumps the slot's orec
+// stripe, which is what multi_get/multi_rmw readers validate against.
 //
 // Concurrency contract: operations on one node must not overlap (a node
 // models one instruction stream — the Fig. 4 nesting rule). load::Generator
@@ -48,6 +55,7 @@
 #include "stats/service_report.hpp"
 #include "sync/gwc_lock.hpp"
 #include "telemetry/sampler.hpp"
+#include "txn/txn.hpp"
 
 namespace optsync::shard {
 
@@ -61,6 +69,19 @@ constexpr std::string_view lock_policy_name(LockPolicy p) {
       return "optimistic";
     case LockPolicy::kAdaptive:
       return "adaptive";
+  }
+  return "?";
+}
+
+/// How cross-shard multi-key operations commit.
+enum class TxnMode { kOcc, kLegacy };
+
+constexpr std::string_view txn_mode_name(TxnMode m) {
+  switch (m) {
+    case TxnMode::kOcc:
+      return "occ";
+    case TxnMode::kLegacy:
+      return "legacy";
   }
   return "?";
 }
@@ -80,6 +101,16 @@ struct ShardedStoreConfig {
 
   /// In-section compute per write (hash + slot scan).
   sim::Duration write_compute_ns = 800;
+
+  /// Cross-shard commit protocol. kOcc speculates outside the locks and
+  /// holds them only for validate+publish; kLegacy holds every involved
+  /// lock across the whole compute (the pre-OCC MultiGroupMutex path,
+  /// kept as baseline and as the OCC irrevocable fallback).
+  TxnMode txn_mode = TxnMode::kOcc;
+  /// OCC layer tuning. `orec_stripes` is forced to slots_per_shard by the
+  /// store (stripe == slot, so a slot write always bumps the orec its
+  /// readers validated).
+  txn::TxnConfig txn;
 
   /// Shard s roots at members[(s * root_stride) % members.size()]; the
   /// default walks the machine so consecutive shards sequence on
@@ -111,11 +142,27 @@ class ShardedStore {
   /// Use as: co_await store.put(n, key, value).join();
   sim::Process put(dsm::NodeId n, Key key, dsm::Word value);
 
-  /// Multi-key transaction: acquires every involved shard's lock through
-  /// MultiGroupMutex (ascending-VarId order), writes all pairs, bumps each
-  /// involved shard's version word once, releases in reverse order.
+  /// Multi-key transaction writing all pairs atomically and bumping each
+  /// involved shard's version word once. TxnMode::kOcc speculates and
+  /// commits through the txn layer, retrying with backoff on conflict and
+  /// escalating to the irrevocable MultiGroupMutex path after the abort
+  /// budget; TxnMode::kLegacy holds every involved lock across the write.
   sim::Process multi_put(dsm::NodeId n,
                          std::vector<std::pair<Key, dsm::Word>> kvs);
+
+  /// Multi-key read-modify-write: atomically adds `delta` to every key's
+  /// value (absent keys start at 0, so this also inserts). The read set
+  /// is covered by the write locks at commit, making the transaction
+  /// strictly serializable — the lost-update test case (YCSB-F idiom).
+  sim::Process multi_rmw(dsm::NodeId n, std::vector<Key> keys,
+                         dsm::Word delta);
+
+  /// Multi-key consistent snapshot into `*out` (aligned with `keys`;
+  /// absent keys read as nullopt). Validates the read set through the OCC
+  /// commit protocol (no locks taken); falls back to reading under the
+  /// involved shard locks after the abort budget.
+  sim::Process multi_get(dsm::NodeId n, std::vector<Key> keys,
+                         std::vector<std::optional<dsm::Word>>* out);
 
   // --- end-of-run rollup -------------------------------------------------
   /// Fills the lock/root/ledger side of `report` (resizing its shard list
@@ -151,6 +198,14 @@ class ShardedStore {
   [[nodiscard]] const stats::LockStats& txn_stats() const {
     return txn_stats_;
   }
+  /// OCC layer introspection (orec versions, contention counters).
+  [[nodiscard]] txn::TxnManager& txn_manager() { return *txn_mgr_; }
+  /// Cross-shard transactions that committed / aborted / retried with this
+  /// shard involved, plus escalations to the irrevocable fallback.
+  [[nodiscard]] std::uint64_t txn_commits(ShardId s) const;
+  [[nodiscard]] std::uint64_t txn_aborts(ShardId s) const;
+  [[nodiscard]] std::uint64_t txn_retries(ShardId s) const;
+  [[nodiscard]] std::uint64_t txn_fallbacks(ShardId s) const;
 
  private:
   struct Shard {
@@ -168,6 +223,11 @@ class ShardedStore {
     std::uint64_t committed = 0;  ///< write sections finished on this shard
     std::uint64_t queue_ops = 0;
     std::uint64_t optimistic_ops = 0;
+    txn::SiteId site = 0;  ///< this shard's site in the txn layer
+    std::uint64_t txn_commits = 0;
+    std::uint64_t txn_aborts = 0;
+    std::uint64_t txn_retries = 0;
+    std::uint64_t txn_fallbacks = 0;
   };
 
   [[nodiscard]] std::size_t slot_of(Key key) const;
@@ -179,14 +239,26 @@ class ShardedStore {
                               std::vector<std::pair<Key, dsm::Word>> kvs,
                               std::vector<ShardId> ids,
                               core::MultiGroupMutex& mux);
+  sim::Process multi_put_occ(dsm::NodeId n,
+                             std::vector<std::pair<Key, dsm::Word>> kvs,
+                             std::vector<ShardId> ids);
+  sim::Process multi_rmw_impl(dsm::NodeId n, std::vector<Key> keys,
+                              std::vector<ShardId> ids,
+                              core::MultiGroupMutex& mux, dsm::Word delta);
   /// Cached MultiGroupMutex per involved-shard set (clients are stateless
   /// between acquisitions, so reuse is safe and keeps stats cumulative).
   core::MultiGroupMutex& txn_mutex(const std::vector<ShardId>& ids);
+  [[nodiscard]] std::vector<ShardId> involved_shards(
+      const std::vector<Key>& keys) const;
+  void record_txn_flight(sim::Time started, sim::Time acquired);
 
   dsm::DsmSystem* sys_;
   ShardedStoreConfig cfg_;
   ShardMap map_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Created after the shard groups so its orec vars slot into each
+  /// shard's group; one site per shard, site id == shard id.
+  std::unique_ptr<txn::TxnManager> txn_mgr_;
   std::map<std::vector<ShardId>, std::unique_ptr<core::MultiGroupMutex>>
       txn_muxes_;
   stats::LockStats txn_stats_;

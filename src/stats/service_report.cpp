@@ -66,8 +66,8 @@ std::string ServiceReport::format() const {
                 offered_rps, goodput_rps(),
                 static_cast<unsigned long long>(messages));
   out << line;
-  out << "  shard  reads  writes  txns   w.p50       w.p99       w.p999      "
-         "serializable  health\n";
+  out << "  shard  reads  writes  txns   rmws   abort%  w.p50       "
+         "w.p99       w.p999      serializable  health\n";
   for (const auto& s : shards) {
     const auto& w = s.op(ServiceOp::kWrite).latency_ns;
     char health[64];
@@ -79,10 +79,14 @@ std::string ServiceReport::format() const {
     }
     std::snprintf(
         line, sizeof line,
-        "  %-6u %-6llu %-7llu %-6llu %-11s %-11s %-11s %-13s %s\n", s.shard,
+        "  %-6u %-6llu %-7llu %-6llu %-6llu %-7.1f %-11s %-11s %-11s %-13s "
+        "%s\n",
+        s.shard,
         static_cast<unsigned long long>(s.op(ServiceOp::kRead).completed),
         static_cast<unsigned long long>(s.op(ServiceOp::kWrite).completed),
         static_cast<unsigned long long>(s.op(ServiceOp::kTxn).completed),
+        static_cast<unsigned long long>(s.op(ServiceOp::kRmw).completed),
+        100.0 * s.txn_abort_rate(),
         sim::format_time(static_cast<sim::Time>(w.p50())).c_str(),
         sim::format_time(static_cast<sim::Time>(w.p99())).c_str(),
         sim::format_time(static_cast<sim::Time>(w.p999())).c_str(),

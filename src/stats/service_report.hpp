@@ -26,9 +26,11 @@
 namespace optsync::stats {
 
 /// Operation classes the service distinguishes. kTxn is a multi-key write
-/// crossing shard (and therefore root) boundaries under MultiGroupMutex.
-enum class ServiceOp { kRead = 0, kWrite = 1, kTxn = 2 };
-inline constexpr std::size_t kServiceOpCount = 3;
+/// crossing shard (and therefore root) boundaries; kRmw is a multi-key
+/// read-modify-write (YCSB-F idiom). Both commit through the store's
+/// configured TxnMode (OCC or legacy MultiGroupMutex).
+enum class ServiceOp { kRead = 0, kWrite = 1, kTxn = 2, kRmw = 3 };
+inline constexpr std::size_t kServiceOpCount = 4;
 
 constexpr std::string_view service_op_name(ServiceOp op) {
   switch (op) {
@@ -38,6 +40,8 @@ constexpr std::string_view service_op_name(ServiceOp op) {
       return "write";
     case ServiceOp::kTxn:
       return "txn";
+    case ServiceOp::kRmw:
+      return "rmw";
   }
   return "?";
 }
@@ -79,6 +83,21 @@ struct ShardServiceStats {
   /// exactness: mutual exclusion + serializability, invariant 2).
   std::int64_t version = 0;
   std::uint64_t committed_writes = 0;
+
+  // --- OCC transaction rollup (TxnMode::kOcc) ---------------------------
+  /// Cross-shard transactions that committed / aborted / retried with
+  /// this shard involved, and escalations to the irrevocable fallback.
+  std::uint64_t txn_commits = 0;
+  std::uint64_t txn_aborts = 0;
+  std::uint64_t txn_retries = 0;
+  std::uint64_t txn_fallbacks = 0;
+
+  /// aborts / (commits + aborts); 0 when the shard saw no transactions.
+  [[nodiscard]] double txn_abort_rate() const {
+    const double total =
+        static_cast<double>(txn_commits) + static_cast<double>(txn_aborts);
+    return total > 0.0 ? static_cast<double>(txn_aborts) / total : 0.0;
+  }
 
   // --- overload verdict (telemetry::flag_overload) ---------------------
   /// True when the shard's backlog series shows sustained growth: the

@@ -49,8 +49,10 @@ enum class SpanKind : std::uint8_t {
   kCs,            ///< critical section under the lock (or read compute)
   kSpeculate,     ///< optimistic journal save + speculative body (§4)
   kRollback,      ///< journal restore after a failed speculation
+  kValidate,      ///< OCC read-set validation against orec versions
+  kBackoff,       ///< contention-manager delay between transaction retries
 };
-inline constexpr std::size_t kSpanKindCount = 12;
+inline constexpr std::size_t kSpanKindCount = 14;
 
 constexpr std::string_view span_kind_name(SpanKind k) {
   switch (k) {
@@ -78,6 +80,10 @@ constexpr std::string_view span_kind_name(SpanKind k) {
       return "speculate";
     case SpanKind::kRollback:
       return "rollback";
+    case SpanKind::kValidate:
+      return "validate";
+    case SpanKind::kBackoff:
+      return "backoff";
   }
   return "?";
 }
@@ -95,9 +101,10 @@ enum class Bucket : std::uint8_t {
   kRollback,        ///< speculative state restore
   kCompute,         ///< CS body, read compute, speculative save+body
   kBacklog,         ///< client-side FIFO queueing before service began
+  kBackoff,         ///< contention-manager retry delay between txn attempts
   kOther,           ///< uncovered remainder (must stay small)
 };
-inline constexpr std::size_t kBucketCount = 9;
+inline constexpr std::size_t kBucketCount = 10;
 
 constexpr std::string_view bucket_name(Bucket b) {
   switch (b) {
@@ -117,6 +124,8 @@ constexpr std::string_view bucket_name(Bucket b) {
       return "compute";
     case Bucket::kBacklog:
       return "backlog";
+    case Bucket::kBackoff:
+      return "backoff";
     case Bucket::kOther:
       return "other";
   }
@@ -148,7 +157,10 @@ constexpr Bucket bucket_of(SpanKind k) {
       return Bucket::kRollback;
     case SpanKind::kCs:
     case SpanKind::kSpeculate:
+    case SpanKind::kValidate:
       return Bucket::kCompute;
+    case SpanKind::kBackoff:
+      return Bucket::kBackoff;
     case SpanKind::kRequest:
     case SpanKind::kLockWait:
       break;
@@ -164,6 +176,7 @@ constexpr int sweep_priority(SpanKind k) {
   switch (k) {
     case SpanKind::kCs:
     case SpanKind::kSpeculate:
+    case SpanKind::kValidate:
       return 0;
     case SpanKind::kRollback:
       return 1;
@@ -179,8 +192,10 @@ constexpr int sweep_priority(SpanKind k) {
       return 6;
     case SpanKind::kRootQueue:
       return 7;
-    case SpanKind::kBacklog:
+    case SpanKind::kBackoff:
       return 8;
+    case SpanKind::kBacklog:
+      return 9;
     case SpanKind::kRequest:
     case SpanKind::kLockWait:
       break;

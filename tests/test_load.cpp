@@ -175,12 +175,92 @@ TEST(GeneratorPlan, ShapeMatchesConfig) {
         EXPECT_GE(r.keys.size(), 2u);
         EXPECT_LE(r.keys.size(), 3u);
         break;
+      case stats::ServiceOp::kRmw:
+        ADD_FAILURE() << "rmw_fraction is 0; no rmw may be planned";
+        break;
     }
     for (const auto k : r.keys) EXPECT_GE(k, 1u);
   }
   EXPECT_NEAR(static_cast<double>(reads) / 2'000, 0.30, 0.05);
   EXPECT_NEAR(static_cast<double>(txns) / 2'000, 0.20, 0.05);
   EXPECT_EQ(reads + writes + txns, 2'000u);
+}
+
+TEST(GeneratorPlan, ZeroRmwFractionLeavesScheduleByteIdentical) {
+  // The rmw op class is carved out of the op stream's single uniform
+  // draw, after txn — with rmw_fraction = 0 the interval is empty, so a
+  // plan made before the feature existed is reproduced byte for byte.
+  auto with = small_cfg(42);
+  with.rmw_fraction = 0.0;
+  const auto a = Generator::plan(small_cfg(42), 8);
+  const auto b = Generator::plan(with, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << "request " << i;
+    EXPECT_EQ(a[i].node, b[i].node) << "request " << i;
+    EXPECT_EQ(a[i].op, b[i].op) << "request " << i;
+    EXPECT_EQ(a[i].keys, b[i].keys) << "request " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "request " << i;
+  }
+}
+
+TEST(GeneratorPlan, RmwFractionPlansMultiKeyRmws) {
+  auto cfg = small_cfg(13);
+  cfg.requests = 2'000;
+  cfg.read_fraction = 0.30;
+  cfg.txn_fraction = 0.10;
+  cfg.rmw_fraction = 0.20;
+  cfg.txn_keys = 3;
+  const auto plan = Generator::plan(cfg, 4);
+  std::uint64_t rmws = 0;
+  for (const auto& r : plan) {
+    if (r.op != stats::ServiceOp::kRmw) continue;
+    ++rmws;
+    EXPECT_GE(r.keys.size(), 2u);
+    EXPECT_LE(r.keys.size(), 3u);
+  }
+  EXPECT_NEAR(static_cast<double>(rmws) / 2'000, 0.20, 0.05);
+  // Arrival times and issuing nodes are untouched by the op-mix change
+  // (independent streams): compare against a mix without rmw.
+  auto base = cfg;
+  base.rmw_fraction = 0.0;
+  const auto ref = Generator::plan(base, 4);
+  ASSERT_EQ(plan.size(), ref.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].at, ref[i].at) << "request " << i;
+    EXPECT_EQ(plan[i].node, ref[i].node) << "request " << i;
+  }
+}
+
+TEST(Generator, RmwRunCompletesWithExactIncrements) {
+  sim::Scheduler sched;
+  const net::MeshTorus2D topo = net::MeshTorus2D::near_square(8);
+  dsm::DsmSystem sys(sched, topo, dsm::DsmConfig{});
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = 4;
+  shard::ShardedStore store(sys, scfg);
+
+  auto cfg = small_cfg(21);
+  cfg.requests = 300;
+  cfg.read_fraction = 0.20;
+  cfg.txn_fraction = 0.10;
+  cfg.rmw_fraction = 0.30;
+  Generator gen(cfg);
+  stats::ServiceReport report;
+  auto drive = gen.run(store, report);
+  sched.run();
+  drive.rethrow_if_failed();
+  store.fill_report(report);
+
+  EXPECT_TRUE(gen.done());
+  EXPECT_EQ(report.completed(), 300u);
+  EXPECT_TRUE(report.serializable());
+  EXPECT_TRUE(store.replicas_converged());
+  std::uint64_t rmws = 0;
+  for (const auto& s : report.shards) {
+    rmws += s.op(stats::ServiceOp::kRmw).completed;
+  }
+  EXPECT_GT(rmws, 0u);
 }
 
 // ------------------------------------------------------------ end to end ---

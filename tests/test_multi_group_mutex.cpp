@@ -133,6 +133,40 @@ TEST(MultiGroupMutex, LocksNormalizedToGlobalOrder) {
   EXPECT_LT(m.locks()[0], m.locks()[1]);
 }
 
+TEST(MultiGroupMutex, ShuffledInputAcquiresInCanonicalOrder) {
+  // The canonical-order invariant (ascending lock VarId, shared with the
+  // OCC commit path): whatever order the caller lists the locks in, the
+  // mutex normalizes to strictly ascending order and acquires that way.
+  Fixture f;
+  const dsm::VarId lc = f.sys.define_lock("lc", f.ga);
+  for (const auto& input :
+       {std::vector<dsm::VarId>{lc, f.lb, f.la},
+        std::vector<dsm::VarId>{f.lb, lc, f.la},
+        std::vector<dsm::VarId>{f.la, lc, f.lb}}) {
+    MultiGroupMutex m(f.sys, input);
+    ASSERT_EQ(m.locks().size(), 3u);
+    EXPECT_LT(m.locks()[0], m.locks()[1]);
+    EXPECT_LT(m.locks()[1], m.locks()[2]);
+  }
+  // And a shuffled-input mutex still runs sections to completion.
+  MultiGroupMutex m(f.sys, {lc, f.lb, f.la});
+  std::uint64_t completions = 0;
+  auto worker = [&](dsm::NodeId n) -> sim::Process {
+    for (int k = 0; k < 5; ++k) {
+      co_await m.acquire(n).join();
+      co_await sim::delay(f.sched, 200);
+      m.release(n);
+      ++completions;
+    }
+  };
+  auto p1 = worker(4);
+  auto p2 = worker(5);
+  f.sched.run();
+  p1.rethrow_if_failed();
+  p2.rethrow_if_failed();
+  EXPECT_EQ(completions, 10u);
+}
+
 TEST(MultiGroupMutex, HeldByTracksAllLocks) {
   Fixture f;
   MultiGroupMutex m(f.sys, {f.la, f.lb});

@@ -1,0 +1,446 @@
+// OCC transaction-layer unit tests: orec versioning propagates with the
+// frames, speculative writes stay local until commit, the undo log
+// restores exact bytes on abort, read-set validation catches conflicting
+// commits, a read-set clobber dooms the transaction while a blind write
+// survives it (and aborts converge on the foreign committed value), the
+// contention manager escalates after its abort budget, and the store's
+// multi_rmw/multi_get ride the layer without losing updates.
+#include "txn/txn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "load/generator.hpp"
+#include "shard/sharded_store.hpp"
+#include "simkern/assert.hpp"
+#include "sync/gwc_lock.hpp"
+#include "txn/contention.hpp"
+#include "txn/orec.hpp"
+
+namespace optsync::txn {
+namespace {
+
+// One site over one 8-node group; payload vars x/y/z sit on stripes
+// 0/1/2 by convention (the caller owns the stripe mapping, like the
+// sharded store's slot == stripe rule).
+struct Fixture {
+  Fixture() : topo(net::MeshTorus2D::near_square(8)),
+              sys(sched, topo, dsm::DsmConfig{}) {
+    g = sys.create_group({0, 1, 2, 3, 4, 5, 6, 7}, 0);
+    lock = sys.define_lock("site.lock", g);
+    ver = sys.define_mutex_data("site.ver", g, lock, 0);
+    x = sys.define_mutex_data("x", g, lock, 0);
+    y = sys.define_mutex_data("y", g, lock, 0);
+    z = sys.define_mutex_data("z", g, lock, 0);
+    TxnConfig cfg;
+    cfg.orec_stripes = 4;
+    mgr = std::make_unique<TxnManager>(sys, cfg);
+    site = mgr->add_site("site", g, lock, ver);
+  }
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  dsm::GroupId g = 0;
+  dsm::VarId lock = 0, ver = 0, x = 0, y = 0, z = 0;
+  std::unique_ptr<TxnManager> mgr;
+  SiteId site = 0;
+};
+
+// A conflicting committed write from `n`: takes the site lock, publishes
+// `value` into `v`, bumps the stripe's orec — what any non-transactional
+// writer (e.g. a single-key put) does.
+sim::Process foreign_commit(Fixture& f, dsm::NodeId n, dsm::VarId v,
+                            std::uint32_t stripe, dsm::Word value) {
+  sync::GwcQueueLock lk(f.sys, f.lock);
+  co_await lk.acquire(n).join();
+  f.sys.node(n).write(v, value);
+  f.mgr->orecs().bump(n, f.site, stripe);
+  lk.release(n);
+}
+
+// ------------------------------------------------------------------ orec ---
+
+TEST(OrecTable, VersionsStartAtZeroAndBumpPropagates) {
+  Fixture f;
+  auto& orecs = f.mgr->orecs();
+  ASSERT_EQ(orecs.stripes(), 4u);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(orecs.version(3, f.site, k), 0);
+  }
+  auto p = foreign_commit(f, 2, f.x, 0, 11);
+  f.sched.run();
+  p.rethrow_if_failed();
+  // The bump rode the root's frames to every member.
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(orecs.version(n, f.site, 0), 1) << "node " << n;
+    EXPECT_EQ(orecs.version(n, f.site, 1), 0) << "node " << n;
+  }
+}
+
+TEST(OrecTable, StripeOfIsStableAndInRange) {
+  Fixture f;
+  auto& orecs = f.mgr->orecs();
+  for (std::uint64_t k = 1; k < 200; ++k) {
+    const auto s = orecs.stripe_of(k);
+    EXPECT_LT(s, orecs.stripes());
+    EXPECT_EQ(s, orecs.stripe_of(k));
+  }
+}
+
+// ------------------------------------------------------------ speculation ---
+
+TEST(TxnManager, SpeculativeWritesStayLocalUntilCommit) {
+  Fixture f;
+  bool mid_checked = false;
+  auto p = [&]() -> sim::Process {
+    Txn t;
+    f.mgr->begin(t, 1);
+    f.mgr->write_word(t, f.site, 0, f.x, 42);
+    // Read-your-writes locally; no other replica has seen anything.
+    EXPECT_EQ(f.mgr->read_word(t, f.site, 0, f.x), 42);
+    EXPECT_EQ(f.sys.node(2).read(f.x), 0);
+    mid_checked = true;
+    TxnManager::CommitResult res;
+    co_await f.mgr->commit(t, &res).join();
+    EXPECT_TRUE(res.committed);
+  }();
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_TRUE(mid_checked);
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.sys.node(n).read(f.x), 42) << "node " << n;
+    EXPECT_EQ(f.mgr->orecs().version(n, f.site, 0), 1) << "node " << n;
+    EXPECT_EQ(f.sys.node(n).read(f.ver), 1) << "node " << n;
+  }
+  EXPECT_EQ(f.mgr->commits(), 1u);
+  EXPECT_EQ(f.mgr->aborts(), 0u);
+}
+
+TEST(TxnManager, AbortRestoresExactBytes) {
+  Fixture f;
+  // Establish non-zero committed state first.
+  auto setup = [&]() -> sim::Process {
+    Txn t;
+    f.mgr->begin(t, 0);
+    f.mgr->write_word(t, f.site, 0, f.x, 7);
+    f.mgr->write_word(t, f.site, 1, f.y, 9);
+    TxnManager::CommitResult res;
+    co_await f.mgr->commit(t, &res).join();
+    EXPECT_TRUE(res.committed);
+  }();
+  f.sched.run();
+  setup.rethrow_if_failed();
+
+  auto p = [&]() -> sim::Process {
+    Txn t;
+    f.mgr->begin(t, 3);
+    f.mgr->write_word(t, f.site, 0, f.x, 100);
+    f.mgr->write_word(t, f.site, 1, f.y, 200);
+    f.mgr->write_word(t, f.site, 1, f.y, 201);  // overwrite: one undo entry
+    EXPECT_EQ(f.sys.node(3).read(f.x), 100);
+    EXPECT_EQ(f.sys.node(3).read(f.y), 201);
+    co_await f.mgr->abort(t).join();
+  }();
+  f.sched.run();
+  p.rethrow_if_failed();
+  // Exact pre-images restored locally; nothing ever left the node.
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.sys.node(n).read(f.x), 7) << "node " << n;
+    EXPECT_EQ(f.sys.node(n).read(f.y), 9) << "node " << n;
+  }
+  EXPECT_EQ(f.mgr->aborts(), 1u);
+  // The ledger saw exactly the one committed transaction.
+  EXPECT_EQ(f.sys.node(0).read(f.ver), 1);
+}
+
+// ------------------------------------------------------------- validation ---
+
+TEST(TxnManager, ReadSetValidationCatchesConflictingCommit) {
+  Fixture f;
+  auto reader = [&]() -> sim::Process {
+    Txn t;
+    f.mgr->begin(t, 1);
+    // Read x (stripe 0), then speculate on y (stripe 1) while a foreign
+    // commit bumps stripe 0.
+    const dsm::Word seen = f.mgr->read_word(t, f.site, 0, f.x);
+    EXPECT_EQ(seen, 0);
+    f.mgr->write_word(t, f.site, 1, f.y, seen + 1);
+    co_await sim::delay(f.sched, 300'000);  // let the writer commit
+    TxnManager::CommitResult res;
+    co_await f.mgr->commit(t, &res).join();
+    EXPECT_FALSE(res.committed);
+    EXPECT_TRUE(res.validation_failed);
+  }();
+  auto writer = [&]() -> sim::Process {
+    co_await sim::delay(f.sched, 10'000);
+    co_await foreign_commit(f, 2, f.x, 0, 55).join();
+  }();
+  f.sched.run();
+  reader.rethrow_if_failed();
+  writer.rethrow_if_failed();
+  EXPECT_EQ(f.mgr->validation_failures(), 1u);
+  EXPECT_EQ(f.mgr->aborts(), 1u);
+  // y's speculative value was rolled back everywhere it existed (node 1).
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.sys.node(n).read(f.x), 55) << "node " << n;
+    EXPECT_EQ(f.sys.node(n).read(f.y), 0) << "node " << n;
+  }
+}
+
+TEST(TxnManager, BlindWriteSurvivesClobberAndCommitsOverIt) {
+  // Write-write race, no read: a foreign commit clobbers the write-set
+  // variable mid-speculation, but a blind writer is NOT doomed — its
+  // commit republishes the whole write-set under the site lock, which
+  // orders the race (foreign first, ours second) and stays serializable.
+  Fixture f;
+  auto spec = [&]() -> sim::Process {
+    Txn t;
+    f.mgr->begin(t, 1);
+    f.mgr->write_word(t, f.site, 0, f.x, 100);  // arms the clobber interrupt
+    co_await sim::delay(f.sched, 300'000);  // foreign commit lands meanwhile
+    EXPECT_FALSE(t.doomed);
+    // Read-your-own-writes: the local replica now holds the foreign 55,
+    // but the transaction still sees its own pending 100.
+    EXPECT_EQ(f.mgr->read_word(t, f.site, 0, f.x), 100);
+    TxnManager::CommitResult res;
+    co_await f.mgr->commit(t, &res).join();
+    EXPECT_TRUE(res.committed);
+  }();
+  auto writer = [&]() -> sim::Process {
+    co_await sim::delay(f.sched, 10'000);
+    co_await foreign_commit(f, 2, f.x, 0, 55).join();
+  }();
+  f.sched.run();
+  spec.rethrow_if_failed();
+  writer.rethrow_if_failed();
+  EXPECT_GE(f.mgr->clobbers_observed(), 1u);
+  // Our commit is the later one in the site's serial order: 100 wins.
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.sys.node(n).read(f.x), 100) << "node " << n;
+  }
+  // Both the foreign writer and our commit bumped the stripe orec; only
+  // our transactional commit bumps the ledger.
+  EXPECT_EQ(f.sys.node(0).read(f.ver), 1);
+  EXPECT_EQ(f.mgr->orecs().version(0, f.site, 0), 2);
+}
+
+TEST(TxnManager, ReadSetClobberDoomsAndAbortKeepsForeignValue) {
+  // The same race, but the transaction READ the stripe first: its
+  // speculation is built on superseded state, so the clobber dooms it,
+  // the commit path aborts without acquiring any lock, and the rollback
+  // converges the local replica on the foreign committed value.
+  Fixture f;
+  auto spec = [&]() -> sim::Process {
+    Txn t;
+    f.mgr->begin(t, 1);
+    const dsm::Word seen = f.mgr->read_word(t, f.site, 0, f.x);
+    f.mgr->write_word(t, f.site, 0, f.x, seen + 100);
+    co_await sim::delay(f.sched, 300'000);  // foreign commit lands meanwhile
+    EXPECT_TRUE(t.doomed);
+    TxnManager::CommitResult res;
+    co_await f.mgr->commit(t, &res).join();
+    EXPECT_FALSE(res.committed);
+    EXPECT_TRUE(res.doomed_at_commit);
+  }();
+  auto writer = [&]() -> sim::Process {
+    co_await sim::delay(f.sched, 10'000);
+    co_await foreign_commit(f, 2, f.x, 0, 55).join();
+  }();
+  f.sched.run();
+  spec.rethrow_if_failed();
+  writer.rethrow_if_failed();
+  EXPECT_GE(f.mgr->clobbers_observed(), 1u);
+  // The abort did NOT restore node 1's pre-image over the foreign value:
+  // every replica converged on the committed 55.
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.sys.node(n).read(f.x), 55) << "node " << n;
+  }
+  EXPECT_EQ(f.sys.node(0).read(f.ver), 0);  // no transactional commit
+}
+
+// ------------------------------------------------------------- contention ---
+
+TEST(ContentionManager, BackoffDoublesToCapAndEscalates) {
+  Fixture f;
+  ContentionConfig cfg;
+  cfg.max_aborts = 4;
+  cfg.backoff_base_ns = 2'000;
+  cfg.backoff_cap_ns = 64'000;
+  ContentionManager cm(f.sys, cfg);
+  EXPECT_EQ(cm.base_delay(1), 2'000u);
+  EXPECT_EQ(cm.base_delay(2), 4'000u);
+  EXPECT_EQ(cm.base_delay(3), 8'000u);
+  EXPECT_EQ(cm.base_delay(10), 64'000u);  // capped
+  EXPECT_FALSE(cm.should_fallback(0));
+  EXPECT_FALSE(cm.should_fallback(3));
+  EXPECT_TRUE(cm.should_fallback(4));
+  EXPECT_TRUE(cm.should_fallback(9));
+}
+
+TEST(ContentionManager, JitteredBackoffIsDeterministicPerSeed) {
+  auto run_once = [] {
+    Fixture f;
+    ContentionConfig cfg;
+    cfg.seed = 99;
+    ContentionManager cm(f.sys, cfg);
+    auto p = [&]() -> sim::Process {
+      for (std::uint32_t k = 1; k <= 5; ++k) {
+        co_await cm.backoff(4, k).join();
+      }
+    }();
+    f.sched.run();
+    p.rethrow_if_failed();
+    EXPECT_EQ(cm.backoffs(), 5u);
+    return cm.total_backoff_ns();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+  // Jitter keeps each delay within [base/2, base].
+  EXPECT_LE(a, 2'000u + 4'000u + 8'000u + 16'000u + 32'000u);
+  EXPECT_GE(a, (2'000u + 4'000u + 8'000u + 16'000u + 32'000u) / 2);
+}
+
+// ------------------------------------------------- store-level transactions ---
+
+struct StoreFixture {
+  explicit StoreFixture(shard::ShardedStoreConfig scfg = {})
+      : topo(net::MeshTorus2D::near_square(8)),
+        sys(sched, topo, dsm::DsmConfig{}),
+        store(sys, scfg) {}
+  sim::Scheduler sched;
+  net::MeshTorus2D topo;
+  dsm::DsmSystem sys;
+  shard::ShardedStore store;
+};
+
+TEST(StoreTxn, SingleKeyPutBumpsItsOrecStripe) {
+  StoreFixture f;
+  auto p = f.store.put(1, 17, 1234);
+  f.sched.run();
+  p.rethrow_if_failed();
+  const auto s = f.store.shard_of(17);
+  auto& orecs = f.store.txn_manager().orecs();
+  std::uint64_t bumped = 0;
+  for (std::uint32_t k = 0; k < orecs.stripes(); ++k) {
+    bumped += static_cast<std::uint64_t>(
+        orecs.version(0, static_cast<SiteId>(s), k));
+  }
+  EXPECT_EQ(bumped, 1u);
+}
+
+TEST(StoreTxn, MultiRmwHasNoLostUpdates) {
+  // The YCSB-F torture case: every node increments the same two keys.
+  // Any lost update would break the final sums; any ledger drift would
+  // break serializability.
+  StoreFixture f;
+  const std::vector<shard::Key> keys{5, 6};
+  constexpr int kRounds = 5;
+  auto worker = [&](dsm::NodeId n) -> sim::Process {
+    for (int k = 0; k < kRounds; ++k) {
+      co_await f.store.multi_rmw(n, keys, 1).join();
+    }
+  };
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId n = 0; n < 8; ++n) procs.push_back(worker(n));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  const auto expect = static_cast<dsm::Word>(8 * kRounds);
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.store.get(n, 5).value_or(-1), expect) << "node " << n;
+    EXPECT_EQ(f.store.get(n, 6).value_or(-1), expect) << "node " << n;
+  }
+  EXPECT_TRUE(f.store.replicas_converged());
+  stats::ServiceReport report;
+  f.store.fill_report(report);
+  EXPECT_TRUE(report.serializable());
+  // Eight nodes hammering two keys must collide: the OCC layer had to
+  // abort and retry (or escalate) at least once to stay exact.
+  EXPECT_GT(f.store.txn_manager().aborts() +
+                f.store.txn_manager().contention().fallbacks_signalled(),
+            0u);
+}
+
+TEST(StoreTxn, MultiGetReturnsCommittedSnapshot) {
+  StoreFixture f;
+  auto setup = [&]() -> sim::Process {
+    std::vector<std::pair<shard::Key, dsm::Word>> kvs{{10, 111}, {11, 222}};
+    co_await f.store.multi_put(0, std::move(kvs)).join();
+  }();
+  f.sched.run();
+  setup.rethrow_if_failed();
+
+  std::vector<std::optional<dsm::Word>> out;
+  auto p = f.store.multi_get(3, {10, 11, 12}, &out);
+  f.sched.run();
+  p.rethrow_if_failed();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].value_or(-1), 111);
+  EXPECT_EQ(out[1].value_or(-1), 222);
+  EXPECT_FALSE(out[2].has_value());  // never written
+}
+
+TEST(StoreTxn, OccAndLegacyAgreeOnFinalState) {
+  auto run_mode = [](shard::TxnMode mode) {
+    shard::ShardedStoreConfig scfg;
+    scfg.shards = 4;
+    scfg.txn_mode = mode;
+    StoreFixture f(scfg);
+    auto worker = [&](dsm::NodeId n, std::uint64_t seed) -> sim::Process {
+      sim::Rng rng(seed);
+      for (int k = 0; k < 6; ++k) {
+        const auto a = static_cast<shard::Key>(1 + rng.below(30));
+        auto b = static_cast<shard::Key>(1 + rng.below(30));
+        if (b == a) b = (b % 30) + 1;
+        std::vector<std::pair<shard::Key, dsm::Word>> kvs{
+            {a, static_cast<dsm::Word>(k)},
+            {b, static_cast<dsm::Word>(k + 100)}};
+        co_await f.store.multi_put(n, std::move(kvs)).join();
+      }
+    };
+    std::vector<sim::Process> procs;
+    for (dsm::NodeId n = 0; n < 4; ++n) {
+      procs.push_back(worker(n, 31 + n));
+    }
+    f.sched.run();
+    for (auto& p : procs) p.rethrow_if_failed();
+    EXPECT_TRUE(f.store.replicas_converged());
+    stats::ServiceReport report;
+    f.store.fill_report(report);
+    EXPECT_TRUE(report.serializable());
+  };
+  run_mode(shard::TxnMode::kOcc);
+  run_mode(shard::TxnMode::kLegacy);
+}
+
+TEST(StoreTxn, AbortBudgetEscalatesToIrrevocableFallback) {
+  shard::ShardedStoreConfig scfg;
+  scfg.txn.contention.max_aborts = 1;  // escalate after the first abort
+  StoreFixture f(scfg);
+  const std::vector<shard::Key> keys{5, 6};
+  auto worker = [&](dsm::NodeId n) -> sim::Process {
+    for (int k = 0; k < 6; ++k) {
+      co_await f.store.multi_rmw(n, keys, 1).join();
+    }
+  };
+  std::vector<sim::Process> procs;
+  for (dsm::NodeId n = 0; n < 8; ++n) procs.push_back(worker(n));
+  f.sched.run();
+  for (auto& p : procs) p.rethrow_if_failed();
+  // Still exact under escalation...
+  for (dsm::NodeId n = 0; n < 8; ++n) {
+    EXPECT_EQ(f.store.get(n, 5).value_or(-1), 48) << "node " << n;
+  }
+  // ...and the budget of one abort forced at least one fallback.
+  EXPECT_GT(f.store.txn_manager().contention().fallbacks_signalled(), 0u);
+  std::uint64_t fallbacks = 0;
+  for (shard::ShardId s = 0; s < f.store.shards(); ++s) {
+    fallbacks += f.store.txn_fallbacks(s);
+  }
+  EXPECT_GT(fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace optsync::txn

@@ -15,7 +15,7 @@
 // serializability and convergence assertions. Exit status is nonzero on
 // any violation, so the CI soak loop is just a shell loop over seeds.
 //
-//   dsm_service --shards 8 --rate 50000 --requests 2000 \
+//   dsm_service --shards 8 --rate 50000 --requests 2000
 //               --fault-drop 0.10 --fault-seed 7 --metrics-out out.json
 #include <iostream>
 #include <sstream>
@@ -87,9 +87,12 @@ void usage() {
          "  --keys N             key domain size (default 256)\n"
          "  --read-fraction F    P(read) (default 0.5)\n"
          "  --txn-fraction F     P(multi-key txn) (default 0.05)\n"
-         "  --txn-keys N         keys per txn (default 3)\n"
+         "  --rmw-fraction F     P(multi-key read-modify-write) (default 0)\n"
+         "  --txn-keys N         keys per txn/rmw (default 3)\n"
          "  --policy P           queue | optimistic | adaptive (default"
          " adaptive)\n"
+         "  --txn-mode M         occ | legacy multi-key commit (default"
+         " occ)\n"
          "  --fault-drop P --fault-seed N --partition A:B:S:E[,...]\n"
          "  plus the standard bench flags (--seed, --metrics-out,"
          " --trace-out,\n  --trace-capacity, --coalesce-max-writes,"
@@ -108,8 +111,9 @@ int main(int argc, char** argv) try {
   bench::Harness harness("dsm_service", flags);
   harness.allow_only(
       flags, {"nodes", "shards", "requests", "rate", "arrival", "dist",
-              "zipf-s", "keys", "read-fraction", "txn-fraction", "txn-keys",
-              "policy", "fault-drop", "fault-seed", "partition", "help"});
+              "zipf-s", "keys", "read-fraction", "txn-fraction",
+              "rmw-fraction", "txn-keys", "policy", "txn-mode", "fault-drop",
+              "fault-seed", "partition", "help"});
 
   const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 16));
   const auto shards = static_cast<std::uint32_t>(flags.get_int("shards", 4));
@@ -146,6 +150,15 @@ int main(int argc, char** argv) try {
     std::cerr << "unknown --policy '" << policy << "'\n";
     return 2;
   }
+  const std::string txn_mode = flags.get("txn-mode", "occ");
+  if (txn_mode == "occ") {
+    scfg.txn_mode = shard::TxnMode::kOcc;
+  } else if (txn_mode == "legacy") {
+    scfg.txn_mode = shard::TxnMode::kLegacy;
+  } else {
+    std::cerr << "unknown --txn-mode '" << txn_mode << "'\n";
+    return 2;
+  }
   shard::ShardedStore store(sys, scfg);
 
   load::GeneratorConfig gcfg;
@@ -176,6 +189,7 @@ int main(int argc, char** argv) try {
   gcfg.keys.zipf_s = flags.get_double("zipf-s", 0.99);
   gcfg.read_fraction = flags.get_double("read-fraction", 0.5);
   gcfg.txn_fraction = flags.get_double("txn-fraction", 0.05);
+  gcfg.rmw_fraction = flags.get_double("rmw-fraction", 0.0);
   gcfg.txn_keys =
       static_cast<std::uint32_t>(flags.get_int("txn-keys", 3));
   load::Generator gen(gcfg);
@@ -252,6 +266,7 @@ int main(int argc, char** argv) try {
     const auto& w = s.op(stats::ServiceOp::kWrite).latency_ns;
     const auto& r = s.op(stats::ServiceOp::kRead).latency_ns;
     const auto& t = s.op(stats::ServiceOp::kTxn).latency_ns;
+    const auto& m = s.op(stats::ServiceOp::kRmw).latency_ns;
     metrics.row("shard=" + std::to_string(s.shard))
         .set("reads", static_cast<double>(s.op(stats::ServiceOp::kRead)
                                               .completed))
@@ -259,11 +274,19 @@ int main(int argc, char** argv) try {
                                                .completed))
         .set("txns", static_cast<double>(s.op(stats::ServiceOp::kTxn)
                                              .completed))
+        .set("rmws", static_cast<double>(s.op(stats::ServiceOp::kRmw)
+                                             .completed))
         .set("read_p99_ns", static_cast<double>(r.p99()))
         .set("write_p50_ns", static_cast<double>(w.p50()))
         .set("write_p99_ns", static_cast<double>(w.p99()))
         .set("write_p999_ns", static_cast<double>(w.p999()))
         .set("txn_p99_ns", static_cast<double>(t.p99()))
+        .set("rmw_p99_ns", static_cast<double>(m.p99()))
+        .set("txn_commits", static_cast<double>(s.txn_commits))
+        .set("txn_aborts", static_cast<double>(s.txn_aborts))
+        .set("txn_retries", static_cast<double>(s.txn_retries))
+        .set("txn_fallbacks", static_cast<double>(s.txn_fallbacks))
+        .set("txn_abort_rate", s.txn_abort_rate())
         .set("sequenced", static_cast<double>(s.sequenced))
         .set("frames", static_cast<double>(s.frames))
         .set("goodput_rps", report.shard_goodput_rps(s.shard))
