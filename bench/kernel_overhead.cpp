@@ -1,0 +1,346 @@
+// Kernel overhead: wall-clock micro-costs of the simulation kernel's hot
+// paths, and the scale ceiling they buy.
+//
+// The discrete-event kernel is the substrate every figure stands on: a
+// simulated message is one EventQueue push + pop, so kernel overhead
+// multiplies into every protocol number and bounds how big a machine a run
+// can afford. This bench measures the post-"raw-speed pass" kernel directly
+// (real nanoseconds, std::chrono — the only bench in the suite where wall
+// time is the subject rather than noise):
+//
+//   1. event-storm    arm/cancel churn on a raw EventQueue. The slot-table
+//                     design must hold ns/op flat AND memory bounded — the
+//                     old dual-hash-set queue leaked cancelled ids.
+//   2. dispatch       push+pop through a live Scheduler, ns/event.
+//   3. alloc-audit    a real sharded-service run, counting the allocations
+//                     the hot paths still make: SmallFn heap fallbacks
+//                     (callbacks too big for the 88-byte inline buffer) and
+//                     frame-pool recycling (steady state must reuse, not
+//                     new). Gates: inline share and reuse share >= 95%.
+//   4. scale-ceiling  the same service workload at 256 and 1024 nodes x 64
+//                     shards. Every multicast fans out to every member, so
+//                     messages per op grow ~4x — but the kernel cost PER
+//                     MESSAGE DELIVERED must stay flat (within
+//                     --ceiling-tolerance, default 10%): the kernel has no
+//                     per-node superlinear state left. This is the
+//                     1024-node ceiling claim.
+//
+// Wall-clock stages repeat --reps times and keep the fastest rep (minimum
+// is the standard noise-robust estimator for cost floors).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "dsm/system.hpp"
+#include "load/generator.hpp"
+#include "net/topology.hpp"
+#include "shard/sharded_store.hpp"
+#include "simkern/event_queue.hpp"
+#include "stats/table.hpp"
+#include "util/flags.hpp"
+#include "util/small_fn.hpp"
+
+namespace {
+
+using namespace optsync;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+struct ServiceRun {
+  double wall_ns = 0;
+  std::uint64_t events = 0;
+  std::uint64_t completed_ops = 0;
+  std::uint64_t heap_allocs = 0;   // SmallFn heap fallbacks during the run
+  std::uint64_t pool_acquires = 0;
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t messages = 0;
+  bool converged = false;
+  bool serializable = false;
+};
+
+// One sharded-service run (the service_scaling workload shape) with the
+// kernel counters sampled around it.
+ServiceRun run_service(bench::Harness& harness, std::uint32_t nodes,
+                       std::uint32_t shards, double per_shard_rate,
+                       std::uint64_t requests_per_shard, std::uint64_t seed) {
+  sim::Scheduler sched;
+  const auto topo = net::MeshTorus2D::near_square(nodes);
+  dsm::DsmConfig cfg;
+  harness.apply(cfg);
+  dsm::DsmSystem sys(sched, topo, cfg);
+
+  shard::ShardedStoreConfig scfg;
+  scfg.shards = shards;
+  shard::ShardedStore store(sys, scfg);
+
+  load::GeneratorConfig gcfg;
+  gcfg.seed = seed;
+  gcfg.requests = requests_per_shard * shards;
+  gcfg.rate_rps = per_shard_rate * shards;
+  gcfg.keys.keys = 1024;
+  gcfg.read_fraction = 0.25;
+  gcfg.txn_fraction = 0.05;
+  load::Generator gen(gcfg);
+
+  ServiceRun out;
+  stats::ServiceReport report;
+  const std::uint64_t heap0 = util::small_fn_heap_allocs();
+  auto drive = gen.run(store, report);
+  const auto t0 = Clock::now();
+  sched.run();
+  out.wall_ns = elapsed_ns(t0);
+  out.heap_allocs = util::small_fn_heap_allocs() - heap0;
+  store.fill_report(report);
+  out.events = sched.events_processed();
+  out.completed_ops = 0;
+  for (const auto& s : report.shards) {
+    for (const auto& o : s.ops) out.completed_ops += o.completed;
+  }
+  out.pool_acquires = sys.pool_stats().acquires;
+  out.pool_reuses = sys.pool_stats().reuses;
+  out.messages = report.messages;
+  out.converged = store.replicas_converged();
+  out.serializable = report.serializable();
+  if (!gen.done()) throw std::runtime_error("generator did not finish");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  util::Flags flags(argc, argv);
+  bench::Harness harness("kernel_overhead", flags);
+  harness.allow_only(flags, {"storm-ops", "dispatch-events", "reps",
+                             "ceiling-shards", "ceiling-requests-per-shard",
+                             "ceiling-tolerance"});
+  auto& metrics = harness.metrics();
+
+  const auto storm_ops =
+      static_cast<std::uint64_t>(flags.get_int("storm-ops", 1'000'000));
+  const auto dispatch_events =
+      static_cast<std::uint64_t>(flags.get_int("dispatch-events", 1'000'000));
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  const auto ceiling_shards =
+      static_cast<std::uint32_t>(flags.get_int("ceiling-shards", 64));
+  const auto ceiling_requests = static_cast<std::uint64_t>(
+      flags.get_int("ceiling-requests-per-shard", 48));
+  const double ceiling_tol = flags.get_double("ceiling-tolerance", 0.10);
+
+  bool ok = true;
+  std::cout << "Kernel overhead: wall-clock hot-path costs (best of " << reps
+            << " reps)\n\n";
+
+  // --- 1. event-storm ------------------------------------------------------
+  // Arm/cancel churn with a live population: every op arms one timer and
+  // cancels a previously armed one, the retransmit-timer pattern. Memory
+  // must stay bounded by the LIVE count, not the op count.
+  {
+    double best = 1e300;
+    std::size_t peak_heap = 0;
+    std::size_t peak_slots = 0;
+    for (int r = 0; r < reps; ++r) {
+      sim::EventQueue q;
+      constexpr std::size_t kLive = 1024;
+      std::vector<sim::EventId> live(kLive, 0);
+      const auto t0 = Clock::now();
+      for (std::uint64_t i = 0; i < storm_ops; ++i) {
+        const std::size_t k = i % kLive;
+        if (live[k] != 0) q.cancel(live[k]);
+        live[k] = q.push(static_cast<sim::Time>(i + 1'000'000), [] {});
+        peak_heap = std::max(peak_heap, q.heap_entries());
+        peak_slots = std::max(peak_slots, q.slot_count());
+      }
+      best = std::min(best, elapsed_ns(t0) / static_cast<double>(storm_ops));
+    }
+    const bool bounded = peak_slots <= 4 * 1024 && peak_heap <= 8 * 1024;
+    std::cout << "event-storm:  " << stats::Table::num(best) << " ns/op ("
+              << storm_ops << " arm+cancel ops, peak heap " << peak_heap
+              << " entries, peak slots " << peak_slots << ", live 1024) "
+              << (bounded ? "[bounded]" : "[LEAK]") << "\n";
+    if (!bounded) ok = false;
+    metrics.row("event_storm")
+        .set("ns_per_op", best)
+        .set("ops", static_cast<double>(storm_ops))
+        .set("peak_heap_entries", static_cast<double>(peak_heap))
+        .set("peak_slots", static_cast<double>(peak_slots))
+        .set("bounded", bounded ? 1.0 : 0.0);
+  }
+
+  // --- 2. dispatch ---------------------------------------------------------
+  // Self-rearming event chains through a full Scheduler::run — push, heap
+  // sift, pop, SmallFn invoke. The end-to-end per-event kernel cost.
+  {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      sim::Scheduler sched;
+      constexpr std::uint64_t kChains = 64;
+      std::uint64_t remaining = dispatch_events;
+      struct Chain {
+        sim::Scheduler* sched;
+        std::uint64_t* remaining;
+        sim::Time at;
+        void fire() {
+          if (*remaining == 0) return;
+          --*remaining;
+          at += 100;
+          Chain self = *this;
+          sched->at(at, [self]() mutable { self.fire(); });
+        }
+      };
+      const auto t0 = Clock::now();
+      for (std::uint64_t c = 0; c < kChains; ++c) {
+        Chain chain{&sched, &remaining, static_cast<sim::Time>(c)};
+        chain.fire();
+      }
+      sched.run();
+      best = std::min(best,
+                      elapsed_ns(t0) / static_cast<double>(dispatch_events));
+    }
+    std::cout << "dispatch:     " << stats::Table::num(best)
+              << " ns/event (" << dispatch_events
+              << " scheduled events, 64 chains)\n";
+    metrics.row("dispatch")
+        .set("ns_per_event", best)
+        .set("events", static_cast<double>(dispatch_events));
+  }
+
+  // --- 3. alloc-audit ------------------------------------------------------
+  // A real service run at saturation. Steady state must run out of the
+  // inline callback buffer and the frame pool, not the heap.
+  {
+    const auto run = run_service(harness, /*nodes=*/16, /*shards=*/4,
+                                 /*per_shard_rate=*/200'000,
+                                 /*requests_per_shard=*/400,
+                                 harness.seed() ^ 0xa110cull);
+    const double inline_share =
+        run.events == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(run.heap_allocs) /
+                        static_cast<double>(run.events);
+    const double reuse_share =
+        run.pool_acquires == 0
+            ? 1.0
+            : static_cast<double>(run.pool_reuses) /
+                  static_cast<double>(run.pool_acquires);
+    std::cout << "alloc-audit:  " << run.heap_allocs
+              << " SmallFn heap fallbacks over " << run.events
+              << " events (inline share "
+              << stats::Table::num(100.0 * inline_share) << "%), frame pool "
+              << run.pool_reuses << "/" << run.pool_acquires << " reused ("
+              << stats::Table::num(100.0 * reuse_share) << "%)\n";
+    if (inline_share < 0.95 || reuse_share < 0.95) {
+      std::cout << "ALLOCATION REGRESSION: hot paths are heap-allocating "
+                   "(need >= 95% inline and >= 95% pool reuse)\n";
+      ok = false;
+    }
+    if (!run.serializable || !run.converged) {
+      std::cout << "SERVICE INVARIANT VIOLATION in the alloc-audit run\n";
+      ok = false;
+    }
+    metrics.row("alloc_audit")
+        .set("events", static_cast<double>(run.events))
+        .set("small_fn_heap_allocs", static_cast<double>(run.heap_allocs))
+        .set("inline_share", inline_share)
+        .set("pool_acquires", static_cast<double>(run.pool_acquires))
+        .set("pool_reuses", static_cast<double>(run.pool_reuses))
+        .set("pool_reuse_share", reuse_share)
+        .set("wall_ns_per_event",
+             run.events == 0 ? 0.0 : run.wall_ns /
+                                         static_cast<double>(run.events));
+  }
+
+  // --- 4. scale-ceiling ----------------------------------------------------
+  // 64 shards on 256 vs 1024 nodes (full replication: every frame fans out
+  // to every member, so the big machine does ~4x the per-member deliveries
+  // per op). The cost of moving ONE message — wall time over messages
+  // delivered — must not grow with the node count. That is the unit of
+  // per-op overhead: an op's work is its message fan-out, so flat ns/message
+  // means flat overhead per unit of work. (ns/event is reported but not
+  // gated: the hop-class multicast deliberately packs a whole same-time
+  // class into one event, so events/op *shrinks* with scale and the
+  // per-event average measures batch width, not kernel cost.)
+  {
+    stats::Table table({"nodes", "events", "msgs", "ops", "wall ms",
+                        "ns/msg", "ns/event", "msgs/op"});
+    double per_msg[2] = {0, 0};
+    const std::uint32_t node_counts[2] = {256, 1024};
+    for (int i = 0; i < 2; ++i) {
+      ServiceRun best;
+      best.wall_ns = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        auto run = run_service(harness, node_counts[i], ceiling_shards,
+                               /*per_shard_rate=*/50'000, ceiling_requests,
+                               harness.seed() ^ (0xce111ull + i));
+        if (!run.serializable || !run.converged) {
+          std::cout << "SERVICE INVARIANT VIOLATION at " << node_counts[i]
+                    << " nodes\n";
+          ok = false;
+        }
+        if (run.wall_ns < best.wall_ns) best = run;
+      }
+      per_msg[i] = best.messages == 0
+                       ? 0.0
+                       : best.wall_ns / static_cast<double>(best.messages);
+      const double per_event =
+          best.events == 0 ? 0.0
+                           : best.wall_ns / static_cast<double>(best.events);
+      table.add_row({std::to_string(node_counts[i]),
+                     std::to_string(best.events),
+                     std::to_string(best.messages),
+                     std::to_string(best.completed_ops),
+                     stats::Table::num(best.wall_ns / 1e6),
+                     stats::Table::num(per_msg[i]),
+                     stats::Table::num(per_event),
+                     stats::Table::num(
+                         static_cast<double>(best.messages) /
+                         static_cast<double>(std::max<std::uint64_t>(
+                             1, best.completed_ops)))});
+      metrics.row("ceiling,nodes=" + std::to_string(node_counts[i]))
+          .set("nodes", node_counts[i])
+          .set("shards", ceiling_shards)
+          .set("events", static_cast<double>(best.events))
+          .set("completed_ops", static_cast<double>(best.completed_ops))
+          .set("wall_ns", best.wall_ns)
+          .set("ns_per_message", per_msg[i])
+          .set("ns_per_event", per_event)
+          .set("messages", static_cast<double>(best.messages));
+    }
+    std::cout << "scale-ceiling: 64-shard service, 256 vs 1024 nodes\n";
+    table.print(std::cout);
+    const double ratio = per_msg[0] == 0 ? 0.0 : per_msg[1] / per_msg[0];
+    std::cout << "per-message overhead ratio (1024/256): "
+              << stats::Table::num(ratio) << " (tolerance ±"
+              << stats::Table::num(100.0 * ceiling_tol) << "%)\n\n";
+    if (ratio > 1.0 + ceiling_tol) {
+      std::cout << "SCALE CEILING REGRESSION: per-message kernel cost grew "
+                << stats::Table::num(100.0 * (ratio - 1.0))
+                << "% from 256 to 1024 nodes\n";
+      ok = false;
+    }
+    metrics.row("ceiling")
+        .set("ns_per_message_256", per_msg[0])
+        .set("ns_per_message_1024", per_msg[1])
+        .set("ratio", ratio)
+        .set("tolerance", ceiling_tol);
+  }
+
+  if (ok) {
+    std::cout << "kernel overhead flat: memory bounded under churn, hot "
+                 "paths allocation-free, per-message cost holds to 1024 "
+                 "nodes\n";
+  }
+  return harness.finish() && ok ? 0 : 1;
+}
+catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

@@ -27,6 +27,7 @@
 #include "dsm/types.hpp"
 #include "simkern/time.hpp"
 #include "telemetry/span.hpp"
+#include "util/pool.hpp"
 
 namespace optsync::dsm {
 
@@ -54,6 +55,68 @@ struct Frame {
   [[nodiscard]] std::size_t size() const { return writes.size(); }
   [[nodiscard]] std::uint64_t first_seq() const { return writes.front().seq; }
   [[nodiscard]] std::uint64_t last_seq() const { return writes.back().seq; }
+};
+
+/// A pooled, refcounted frame in flight. The multicast path used to wrap
+/// every flushed frame in a fresh shared_ptr<const Frame>; FramePayload
+/// objects instead live forever in a util::RecyclePool and keep their
+/// writes vector's capacity across reuse, so shipping a frame allocates
+/// nothing at steady state.
+struct FramePayload {
+  Frame frame;
+  std::uint32_t refs = 0;
+  util::RecyclePool<FramePayload>* pool = nullptr;
+};
+
+/// Copyable handle keeping a FramePayload alive while delivery closures
+/// reference it. Release happens in the DESTRUCTOR, not on invocation: the
+/// reliable channel destroys expired packets' callbacks without ever
+/// calling them, and the payload must flow back to the pool regardless.
+class FrameRef {
+ public:
+  FrameRef() = default;
+  explicit FrameRef(FramePayload* p) : p_(p) {
+    if (p_ != nullptr) ++p_->refs;
+  }
+  // Copy ops are noexcept on purpose: closures capturing a FrameRef must
+  // stay nothrow-move-constructible (a const capture degrades a lambda's
+  // move to a copy), or SmallFn's inline gate rejects them and every frame
+  // delivery heap-allocates.
+  FrameRef(const FrameRef& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) ++p_->refs;
+  }
+  FrameRef(FrameRef&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  FrameRef& operator=(const FrameRef& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      if (p_ != nullptr) ++p_->refs;
+    }
+    return *this;
+  }
+  FrameRef& operator=(FrameRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~FrameRef() { release(); }
+
+  [[nodiscard]] const Frame& operator*() const { return p_->frame; }
+  [[nodiscard]] const Frame* operator->() const { return &p_->frame; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  void release() {
+    if (p_ != nullptr && --p_->refs == 0) {
+      p_->frame.writes.clear();  // keep capacity for the next frame
+      p_->pool->release(p_);
+    }
+    p_ = nullptr;
+  }
+  FramePayload* p_ = nullptr;
 };
 
 /// Wire size of a frame whose writes total `sum_write_bytes` as standalone

@@ -1,9 +1,25 @@
 #include "dsm/group.hpp"
 
+#include <algorithm>
+
 namespace optsync::dsm {
 
 Group::Group(GroupId id, const net::Topology& topo,
              std::vector<NodeId> members, NodeId root)
-    : id_(id), tree_(topo, std::move(members), root) {}
+    : id_(id), tree_(topo, std::move(members), root) {
+  // Bucket members by tree depth. Buckets ascend by depth and keep member
+  // order inside each bucket, so a bucketed multicast delivers same-time
+  // copies in exactly the member order the per-member path used.
+  unsigned max_hops = 0;
+  for (const NodeId m : tree_.members()) {
+    max_hops = std::max(max_hops, tree_.hops_to_root(m));
+  }
+  classes_.resize(static_cast<std::size_t>(max_hops) + 1);
+  for (unsigned h = 0; h <= max_hops; ++h) classes_[h].hops = h;
+  for (const NodeId m : tree_.members()) {
+    classes_[tree_.hops_to_root(m)].members.push_back(m);
+  }
+  std::erase_if(classes_, [](const HopClass& c) { return c.members.empty(); });
+}
 
 }  // namespace optsync::dsm

@@ -33,9 +33,23 @@ class Group {
     return tree_.hops_to_root(member);
   }
 
+  /// Members bucketed by tree depth (down_hops), ascending by depth, each
+  /// bucket preserving member order. Every member of a bucket receives a
+  /// multicast frame at the same instant, so the substrate schedules one
+  /// delivery event per bucket instead of one per member — on a 32x32
+  /// torus that is ~33 pending events per frame in flight, not 1024.
+  struct HopClass {
+    unsigned hops = 0;
+    std::vector<NodeId> members;
+  };
+  [[nodiscard]] const std::vector<HopClass>& down_classes() const {
+    return classes_;
+  }
+
  private:
   GroupId id_;
   net::SpanningTree tree_;
+  std::vector<HopClass> classes_;
 };
 
 }  // namespace optsync::dsm

@@ -25,7 +25,7 @@ void DsmNode::write(VarId v, Word value) {
   memory_[v] = value;
   ++stats_.local_writes;
   sys_->share_out(id_, v, value);
-  on_change(v).notify_all();
+  if (auto* sig = signal_if_any(v)) sig->notify_all();
 }
 
 Word DsmNode::atomic_exchange(VarId v, Word value) {
@@ -38,7 +38,7 @@ Word DsmNode::atomic_exchange(VarId v, Word value) {
   memory_[v] = value;
   ++stats_.local_writes;
   sys_->share_out(id_, v, value);
-  on_change(v).notify_all();
+  if (auto* sig = signal_if_any(v)) sig->notify_all();
   return old;
 }
 
@@ -69,8 +69,7 @@ void DsmNode::resume_insharing() {
   if (draining_) return;  // already inside a drain higher up the stack
   draining_ = true;
   while (!suspended_ && !inbox_.empty()) {
-    Pending p = inbox_.front();
-    inbox_.pop_front();
+    const Pending p = inbox_.take_front();
     apply(p);
   }
   draining_ = false;
@@ -78,16 +77,39 @@ void DsmNode::resume_insharing() {
 
 void DsmNode::arm_interrupt(VarId v, InterruptHandler handler) {
   OPTSYNC_EXPECT(handler != nullptr);
-  interrupts_[v] = std::move(handler);
+  if (v >= interrupt_idx_.size()) {
+    interrupt_idx_.resize(v + 1, kNoInterrupt);
+  }
+  std::uint32_t& idx = interrupt_idx_[v];
+  if (idx != kNoInterrupt) {
+    interrupt_handlers_[idx] = std::move(handler);
+    return;
+  }
+  if (!interrupt_free_.empty()) {
+    idx = interrupt_free_.back();
+    interrupt_free_.pop_back();
+    interrupt_handlers_[idx] = std::move(handler);
+  } else {
+    idx = static_cast<std::uint32_t>(interrupt_handlers_.size());
+    interrupt_handlers_.push_back(std::move(handler));
+  }
 }
 
-void DsmNode::disarm_interrupt(VarId v) { interrupts_.erase(v); }
+void DsmNode::disarm_interrupt(VarId v) {
+  if (v >= interrupt_idx_.size()) return;
+  std::uint32_t& idx = interrupt_idx_[v];
+  if (idx == kNoInterrupt) return;
+  interrupt_handlers_[idx] = nullptr;
+  interrupt_free_.push_back(idx);
+  idx = kNoInterrupt;
+}
 
 bool DsmNode::interrupt_armed(VarId v) const {
-  return interrupts_.contains(v);
+  return v < interrupt_idx_.size() && interrupt_idx_[v] != kNoInterrupt;
 }
 
 sim::Signal& DsmNode::on_change(VarId v) {
+  if (v >= signals_.size()) signals_.resize(v + 1);
   auto& slot = signals_[v];
   if (!slot) slot = std::make_unique<sim::Signal>(sys_->scheduler());
   return *slot;
@@ -133,6 +155,7 @@ void DsmNode::apply(const Pending& p) {
   }
 
   // GWC delivery invariant: root sequence numbers apply in increasing order.
+  if (p.group >= last_seq_.size()) last_seq_.resize(p.group + 1, 0);
   auto& last = last_seq_[p.group];
   OPTSYNC_ENSURE(p.seq > last);
   last = p.seq;
@@ -158,19 +181,20 @@ void DsmNode::apply(const Pending& p) {
         AppliedUpdate{p.seq, p.var, p.value, p.origin});
   }
 
-  const auto it = interrupts_.find(p.var);
-  if (it != interrupts_.end()) {
+  const std::uint32_t iidx =
+      p.var < interrupt_idx_.size() ? interrupt_idx_[p.var] : kNoInterrupt;
+  if (iidx != kNoInterrupt) {
     // Atomic interrupt + insharing suspension (Fig. 5): later packets queue
     // until the interrupt logic resumes insharing.
     suspended_ = true;
     ++stats_.interrupts;
-    // Copy the handler: it may disarm (erase) itself while running.
-    auto handler = it->second;
-    on_change(p.var).notify_all();
+    // Copy the handler: it may disarm itself while running.
+    auto handler = interrupt_handlers_[iidx];
+    if (auto* sig = signal_if_any(p.var)) sig->notify_all();
     handler(p.var, p.value, p.origin);
     return;
   }
-  on_change(p.var).notify_all();
+  if (auto* sig = signal_if_any(p.var)) sig->notify_all();
 }
 
 const std::vector<DsmNode::AppliedUpdate>& DsmNode::applied_log(

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 #include "dsm/frame.hpp"
 #include "dsm/types.hpp"
 #include "simkern/coro.hpp"
+#include "util/ring.hpp"
 
 namespace optsync::dsm {
 
@@ -127,6 +127,16 @@ class DsmNode {
   void apply(const Pending& p);
   void ensure_capacity(VarId v);
 
+  /// The signal for `v` if one was ever requested, else nullptr. apply()
+  /// notifies through this so vars nobody waits on never allocate a Signal
+  /// (the hot path used to create one per written var).
+  [[nodiscard]] sim::Signal* signal_if_any(VarId v) const {
+    return v < signals_.size() ? signals_[v].get() : nullptr;
+  }
+
+  static constexpr std::uint32_t kNoInterrupt =
+      std::numeric_limits<std::uint32_t>::max();
+
   DsmSystem* sys_;
   NodeId id_;
   std::vector<Word> memory_;
@@ -134,10 +144,17 @@ class DsmNode {
   bool draining_ = false;
   bool hw_blocking_ = true;
   bool in_mutex_section_ = false;
-  std::deque<Pending> inbox_;
-  std::unordered_map<VarId, InterruptHandler> interrupts_;
-  std::unordered_map<VarId, std::unique_ptr<sim::Signal>> signals_;
-  std::unordered_map<GroupId, std::uint64_t> last_seq_;
+  util::Ring<Pending> inbox_;
+  // Hot per-var/per-group state is indexed by the dense VarId/GroupId
+  // directly (grown on demand) — the unordered_map hash+probe per applied
+  // write was a measurable slice of the kernel's per-message cost. The
+  // interrupt table is split: a 4-byte index per var into a small handler
+  // vector, since only lock vars ever arm interrupts.
+  std::vector<std::uint32_t> interrupt_idx_;  ///< kNoInterrupt = not armed
+  std::vector<InterruptHandler> interrupt_handlers_;
+  std::vector<std::uint32_t> interrupt_free_;
+  std::vector<std::unique_ptr<sim::Signal>> signals_;
+  std::vector<std::uint64_t> last_seq_;
   std::unordered_map<GroupId, std::vector<AppliedUpdate>> applied_;
   bool log_applied_ = false;
   Stats stats_;

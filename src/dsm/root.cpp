@@ -10,12 +10,37 @@
 
 namespace optsync::dsm {
 
-GroupRoot::GroupRoot(DsmSystem& sys, GroupId gid) : sys_(&sys), gid_(gid) {}
+GroupRoot::GroupRoot(DsmSystem& sys, GroupId gid)
+    : sys_(&sys),
+      gid_(gid),
+      coalesce_writes_(std::max(1u, sys.config().coalesce_max_writes)),
+      coalesce_ns_(sys.config().coalesce_max_ns) {}
+
+GroupRoot::LockEntry& GroupRoot::lock_entry(VarId v) {
+  for (LockEntry& e : locks_) {
+    if (e.var == v) return e;
+  }
+  locks_.emplace_back();
+  locks_.back().var = v;
+  return locks_.back();
+}
 
 const GroupRoot::LockState& GroupRoot::lock_state(VarId lock) const {
   static const LockState kIdle;
-  const auto it = locks_.find(lock);
-  return it == locks_.end() ? kIdle : it->second;
+  for (const LockEntry& e : locks_) {
+    if (e.var == lock) return e.state;
+  }
+  return kIdle;
+}
+
+void GroupRoot::set_coalesce(std::uint32_t max_writes, sim::Duration max_ns) {
+  coalesce_writes_ = std::max(1u, max_writes);
+  coalesce_ns_ = max_ns;
+  // A shrunken cap applies to the open frame too: flush it if it is already
+  // at or past the new size, so lowering the cap takes effect immediately.
+  if (pending_.writes.size() >= coalesce_writes_) {
+    flush_pending(/*timer_fired=*/false);
+  }
 }
 
 void GroupRoot::on_arrival(NodeId origin, VarId v, Word value,
@@ -63,7 +88,8 @@ void GroupRoot::on_arrival(NodeId origin, VarId v, Word value,
 
 void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value,
                                   telemetry::SpanContext ctx) {
-  LockState& ls = locks_[v];
+  LockEntry& entry = lock_entry(v);
+  LockState& ls = entry.state;
 
   if (value == kLockFree) {
     // Release. The paper assumes correct bracketing; enforce it.
@@ -73,14 +99,11 @@ void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value,
       // "The root checks whether any nodes are queued awaiting exclusive
       // access. If so, the next queued number is written as the new lock
       // value" — the grant is appended right after the releaser's data.
-      ls.holder = ls.queue.front();
-      ls.queue.pop_front();
+      ls.holder = ls.queue.take_front();
       ++ls.queued_grants;
       telemetry::SpanContext grant_ctx{};
-      auto& meta = waiter_meta_[v];
-      if (!meta.empty()) {
-        const WaiterMeta waiter = meta.front();
-        meta.pop_front();
+      if (!entry.meta.empty()) {
+        const WaiterMeta waiter = entry.meta.take_front();
         grant_ctx = waiter.ctx;
         if (auto* trc = sys_->tracer(); trc != nullptr && grant_ctx.valid()) {
           // The queue-wait leg of the waiter's trace ends here: the grant
@@ -114,7 +137,7 @@ void GroupRoot::handle_lock_write(NodeId origin, VarId v, Word value,
     // never propagate to other members.
     ls.queue.push_back(requester);
     ls.max_queue_depth = std::max(ls.max_queue_depth, ls.queue.size());
-    waiter_meta_[v].push_back(WaiterMeta{ctx, sys_->scheduler().now()});
+    entry.meta.push_back(WaiterMeta{ctx, sys_->scheduler().now()});
   }
 }
 
@@ -141,21 +164,27 @@ void GroupRoot::multicast(VarId v, Word value, NodeId origin,
   // grant emitted right after a release (handle_lock_write) lands in the
   // same frame as the releasing holder's final data writes (§2). At
   // coalesce_max_writes == 1 the size cap fires on every write and this is
-  // exactly the old ship-immediately path.
+  // exactly the old ship-immediately path. The knobs are per-root members
+  // (seeded from DsmConfig) so the adaptive controller can tune one shard
+  // without touching its neighbours.
   pending_.writes.push_back(
       SequencedWrite{seq, v, value, origin, ctx, sys_->scheduler().now()});
-  const std::uint32_t cap = std::max(1u, sys_->config().coalesce_max_writes);
-  if (pending_.writes.size() >= cap) {
+  // Lock cut-through: a lock word is a grant or release on some waiter's
+  // critical path, and parking it until the frame fills would serialize
+  // every lock hand-off behind the batch (at cap 64 a hand-off could wait
+  // for 63 more writes to arrive). Ship the frame the moment a lock word
+  // lands: the grant still rides with the data writes sequenced before it
+  // (§2), and only pure data traffic coalesces to full depth.
+  if (pending_.writes.size() >= coalesce_writes_ ||
+      sys_->var(v).kind == VarKind::kLock) {
     flush_pending(/*timer_fired=*/false);
     return;
   }
   if (flush_timer_ == 0) {
-    flush_timer_ = sys_->scheduler().after(
-        sys_->config().coalesce_max_ns,
-        [this] {
-          flush_timer_ = 0;
-          flush_pending(/*timer_fired=*/true);
-        });
+    flush_timer_ = sys_->scheduler().after(coalesce_ns_, [this] {
+      flush_timer_ = 0;
+      flush_pending(/*timer_fired=*/true);
+    });
   }
 }
 
@@ -198,9 +227,9 @@ void GroupRoot::flush_pending(bool timer_fired) {
       }
     }
   }
-  Frame out;
-  out.writes.swap(pending_.writes);
-  sys_->multicast_frame(gid_, std::move(out));
+  // Hands the writes vector to the pooled payload and gets a recycled
+  // (empty, warm-capacity) vector back — no allocation either way.
+  sys_->multicast_frame(gid_, pending_);
 }
 
 }  // namespace optsync::dsm

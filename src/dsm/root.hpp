@@ -10,12 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "dsm/frame.hpp"
 #include "dsm/types.hpp"
 #include "simkern/scheduler.hpp"
+#include "util/ring.hpp"
 
 namespace optsync::dsm {
 
@@ -34,10 +33,12 @@ class GroupRoot {
   void on_arrival(NodeId origin, VarId v, Word value,
                   telemetry::SpanContext ctx = {});
 
-  /// Queue-lock state for one lock variable.
+  /// Queue-lock state for one lock variable. The waiter queue is a flat
+  /// ring buffer (deque surface, no per-node allocation): one push/pop per
+  /// contended request sits on the sequencing hot path.
   struct LockState {
     NodeId holder = kNoNode;
-    std::deque<NodeId> queue;
+    util::Ring<NodeId> queue;
     std::uint64_t requests = 0;
     std::uint64_t immediate_grants = 0;  ///< granted without queueing
     std::uint64_t queued_grants = 0;     ///< granted from the queue
@@ -65,6 +66,19 @@ class GroupRoot {
     return pending_.writes.size();
   }
 
+  // --- per-root coalescing override -------------------------------------
+  /// Overrides the system-wide coalescing knobs for THIS root only. The
+  /// adaptive per-shard controller (shard/coalesce_controller.hpp) drives
+  /// these from live telemetry: a backlogged root batches aggressively, an
+  /// idle one ships every write immediately. Roots start at the DsmConfig
+  /// values. A cap of 0 is clamped to 1. Takes effect from the next
+  /// sequenced write; an open frame keeps its armed deadline.
+  void set_coalesce(std::uint32_t max_writes, sim::Duration max_ns);
+  [[nodiscard]] std::uint32_t coalesce_max_writes() const {
+    return coalesce_writes_;
+  }
+  [[nodiscard]] sim::Duration coalesce_max_ns() const { return coalesce_ns_; }
+
   [[nodiscard]] GroupId group() const { return gid_; }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
@@ -77,19 +91,30 @@ class GroupRoot {
 
   /// Trace metadata for queued lock waiters, kept in lockstep with
   /// LockState::queue (only handle_lock_write pushes/pops either). A
-  /// side table so the public LockState stays a plain NodeId queue.
+  /// side ring so the public LockState stays a plain NodeId queue.
   struct WaiterMeta {
     telemetry::SpanContext ctx{};
     sim::Time enqueued_at = 0;
   };
 
+  /// One lock variable's full root-side state. The table is a flat vector
+  /// scanned linearly: groups hold a handful of locks (the sharded service
+  /// exactly one), and the scan beats hashing at that size.
+  struct LockEntry {
+    VarId var = kNoVar;
+    LockState state;
+    util::Ring<WaiterMeta> meta;
+  };
+  LockEntry& lock_entry(VarId v);
+
   DsmSystem* sys_;
   GroupId gid_;
   std::uint64_t next_seq_ = 1;
-  std::unordered_map<VarId, LockState> locks_;
-  std::unordered_map<VarId, std::deque<WaiterMeta>> waiter_meta_;
+  std::vector<LockEntry> locks_;
   Frame pending_;                 ///< open frame awaiting flush
   sim::EventId flush_timer_ = 0;  ///< 0 = not armed
+  std::uint32_t coalesce_writes_;
+  sim::Duration coalesce_ns_;
   Stats stats_;
 };
 

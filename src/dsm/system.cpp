@@ -123,7 +123,7 @@ std::uint32_t DsmSystem::bytes_for(VarId v) const {
 
 void DsmSystem::transport_send(NodeId src, NodeId dst, unsigned hops,
                                std::uint32_t bytes, std::string_view tag,
-                               std::function<void()> on_delivery) {
+                               net::DeliveryFn on_delivery) {
   if (reliable_on_) {
     rel_.send(src, dst, hops, bytes, tag, std::move(on_delivery));
   } else {
@@ -168,7 +168,7 @@ void DsmSystem::share_out(NodeId origin, VarId v, Word value) {
       });
 }
 
-void DsmSystem::multicast_frame(GroupId g, Frame frame) {
+void DsmSystem::multicast_frame(GroupId g, Frame& frame) {
   OPTSYNC_EXPECT(!frame.writes.empty());
   const Group& grp = group(g);
   const NodeId root = grp.root();
@@ -221,40 +221,88 @@ void DsmSystem::multicast_frame(GroupId g, Frame frame) {
       }
     }
   }
-  // Every member's copy shares one immutable payload.
-  auto payload = std::make_shared<const Frame>(std::move(frame));
-  for (const NodeId m : grp.members()) {
-    sim::Duration base = 0;
-    if (traced) base = net_.latency_hops(grp.down_hops(m), bytes);
-    sched_->at(dispatch,
-               [this, &grp, root, m, g, bytes, tag, payload, dispatch, base] {
-      transport_send(root, m, grp.down_hops(m), bytes, tag,
-                     [this, m, g, payload, dispatch, base] {
-                       if (auto* trc = tracer()) {
-                         // The down leg matters only to the trace whose
-                         // grant this frame carries for member m: the
-                         // waiter is unblocked when the grant lands.
-                         const sim::Time now = sched_->now();
-                         for (const SequencedWrite& w : payload->writes) {
-                           if (!w.ctx.valid()) continue;
-                           if (vars_[w.var].kind != VarKind::kLock) continue;
-                           if (!lock_granted_to(w.value, m)) continue;
-                           const sim::Time base_end =
-                               std::min(dispatch + base, now);
-                           trc->record_span(w.ctx.trace, w.ctx.span,
-                                            telemetry::SpanKind::kWireDown, m,
-                                            dispatch, base_end);
-                           if (now > base_end) {
-                             trc->record_span(
-                                 w.ctx.trace, w.ctx.span,
-                                 telemetry::SpanKind::kRetransmit, m, base_end,
-                                 now);
-                           }
+  // Every member's copy shares one immutable pooled payload; the caller's
+  // vector is swapped out and replaced with a recycled (empty, warm) one.
+  FramePayload* raw = frame_pool_.acquire();
+  raw->pool = &frame_pool_;
+  raw->frame.writes.swap(frame.writes);
+  // Deliberately non-const: a const capture would make the delivery
+  // closures' moves copy the ref (refcount churn on every enqueue).
+  FrameRef payload(raw);
+  if (reliable_on_ || net_.fault_hook_installed()) {
+    // Lossy/reliable transport needs a real per-member message (its own
+    // retransmit timer, its own fault draw), so the fan-out stays one
+    // transport_send per member, launched from one injection event at the
+    // dispatch instant.
+    sched_->at(dispatch, [this, g, root, bytes, tag, payload, dispatch,
+                          traced] {
+      const Group& grp = group(g);
+      for (const NodeId m : grp.members()) {
+        sim::Duration base = 0;
+        if (traced) base = net_.latency_hops(grp.down_hops(m), bytes);
+        transport_send(root, m, grp.down_hops(m), bytes, tag,
+                       [this, m, g, payload, dispatch, base] {
+                         if (auto* trc = tracer()) {
+                           record_down_spans(*trc, *payload, m, dispatch, base);
                          }
-                       }
-                       nodes_[m]->deliver_frame(g, *payload);
-                     });
+                         nodes_[m]->deliver_frame(g, *payload);
+                       });
+      }
     });
+    return;
+  }
+  // Fault-free fast path: every member at the same tree depth receives its
+  // copy at the same instant (delay is a pure function of hops and bytes),
+  // so the fan-out schedules ONE delivery event per hop-class, not one per
+  // member. A 1024-member group in flight holds ~33 pending events instead
+  // of 1024 — the scheduler heap stays shallow no matter the fan-out — and
+  // the member loop inside the event touches node state in ascending-id
+  // order, which the per-member interleaving never did. Per-member message
+  // accounting and trace records are preserved; deliveries within a class
+  // run in member order, exactly the order the per-member path produced for
+  // same-time copies.
+  for (const Group::HopClass& hc : grp.down_classes()) {
+    const sim::Duration fly = net_.latency_hops(hc.hops, bytes);
+    net_.account_sends(hc.members.size(), hc.hops, bytes);
+    sched_->at(
+        dispatch + fly,
+        [this, g, root, bytes, payload, dispatch, fly, traced,
+         tag = std::string_view(tag), members = &hc.members] {
+          const bool observed = net_.observing();
+          for (const NodeId m : *members) {
+            if (observed) {
+              net_.emit_trace(net::MessageTrace{dispatch, sched_->now(), root,
+                                                m, bytes, tag,
+                                                net::DeliveryKind::kNormal});
+            }
+            if (traced) {
+              if (auto* trc = tracer()) {
+                record_down_spans(*trc, *payload, m, dispatch, fly);
+              }
+            }
+            nodes_[m]->deliver_frame(g, *payload);
+          }
+        });
+  }
+}
+
+void DsmSystem::record_down_spans(telemetry::Tracer& trc, const Frame& frame,
+                                  NodeId m, sim::Time dispatch,
+                                  sim::Duration base) {
+  // The down leg matters only to the trace whose grant this frame carries
+  // for member m: the waiter is unblocked when the grant lands.
+  const sim::Time now = sched_->now();
+  for (const SequencedWrite& w : frame.writes) {
+    if (!w.ctx.valid()) continue;
+    if (vars_[w.var].kind != VarKind::kLock) continue;
+    if (!lock_granted_to(w.value, m)) continue;
+    const sim::Time base_end = std::min(dispatch + base, now);
+    trc.record_span(w.ctx.trace, w.ctx.span, telemetry::SpanKind::kWireDown, m,
+                    dispatch, base_end);
+    if (now > base_end) {
+      trc.record_span(w.ctx.trace, w.ctx.span, telemetry::SpanKind::kRetransmit,
+                      m, base_end, now);
+    }
   }
 }
 

@@ -96,8 +96,18 @@ class DsmSystem {
 
   /// Root -> members: multicasts a frame of sequenced writes down the tree.
   /// The whole frame travels as one message per member (per-frame header
-  /// amortization; see dsm/frame.hpp for the byte model).
-  void multicast_frame(GroupId g, Frame frame);
+  /// amortization; see dsm/frame.hpp for the byte model). The caller's
+  /// writes vector is swapped into a pooled payload and replaced by an
+  /// empty vector with recycled capacity — the root flushes into the same
+  /// buffers forever, no per-frame allocation.
+  void multicast_frame(GroupId g, Frame& frame);
+
+  /// Frame-payload pool counters (kernel_overhead bench: reuse share must
+  /// approach 1 at steady state).
+  [[nodiscard]] const util::RecyclePool<FramePayload>::Stats& pool_stats()
+      const {
+    return frame_pool_.stats();
+  }
 
   /// Wire size of messages about variable `v`.
   [[nodiscard]] std::uint32_t bytes_for(VarId v) const;
@@ -107,7 +117,12 @@ class DsmSystem {
   /// network, per configuration.
   void transport_send(NodeId src, NodeId dst, unsigned hops,
                       std::uint32_t bytes, std::string_view tag,
-                      std::function<void()> on_delivery);
+                      net::DeliveryFn on_delivery);
+
+  /// Records the wire-down (and any retransmit) telemetry spans for the
+  /// traced lock grants a delivered frame carries for member `m`.
+  void record_down_spans(telemetry::Tracer& trc, const Frame& frame, NodeId m,
+                         sim::Time dispatch, sim::Duration base);
 
   sim::Scheduler* sched_;
   const net::Topology* topo_;
@@ -126,6 +141,7 @@ class DsmSystem {
   /// that it would overtake it on the (FIFO) down links — frames of one
   /// group vary in size, and per-member delivery order must stay FIFO.
   std::vector<sim::Time> group_wire_clear_;
+  util::RecyclePool<FramePayload> frame_pool_;
   sim::Rng jitter_rng_{0};
 };
 

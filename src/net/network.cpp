@@ -27,13 +27,13 @@ std::string_view delivery_kind_name(DeliveryKind k) {
 }
 
 void Network::send(NodeId src, NodeId dst, std::uint32_t bytes,
-                   std::string_view tag, std::function<void()> on_delivery) {
+                   std::string_view tag, DeliveryFn on_delivery) {
   send_hops(src, dst, topo_->hop_count(src, dst), bytes, tag,
             std::move(on_delivery));
 }
 
 void Network::deliver_at(sim::Duration delay, MessageTrace trace,
-                         std::function<void()> on_delivery) {
+                         DeliveryFn on_delivery) {
   if (trace_ || !observers_.empty()) {
     // Capture trace data now; emit at delivery so lines appear in arrival
     // order, which is what the Fig. 7 trace bench wants to show.
@@ -49,7 +49,7 @@ void Network::deliver_at(sim::Duration delay, MessageTrace trace,
 
 void Network::send_hops(NodeId src, NodeId dst, unsigned hops,
                         std::uint32_t bytes, std::string_view tag,
-                        std::function<void()> on_delivery, DeliveryKind kind) {
+                        DeliveryFn on_delivery, DeliveryKind kind) {
   OPTSYNC_EXPECT(on_delivery != nullptr);
   stats_.messages += 1;
   stats_.bytes += bytes;

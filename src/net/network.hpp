@@ -25,6 +25,11 @@
 
 namespace optsync::net {
 
+/// Delivery callbacks ride scheduler events; the small-buffer type keeps
+/// per-message sends allocation-free. Must be copy-constructible closures —
+/// the fault injector duplicates messages by copying the callback.
+using DeliveryFn = sim::Scheduler::Callback;
+
 /// Counters exposed for benches and the EXPERIMENTS tables.
 struct NetworkStats {
   std::uint64_t messages = 0;
@@ -116,14 +121,30 @@ class Network {
   /// `tag` labels the message for tracing (must outlive the delivery —
   /// callers pass string literals).
   void send(NodeId src, NodeId dst, std::uint32_t bytes, std::string_view tag,
-            std::function<void()> on_delivery);
+            DeliveryFn on_delivery);
 
   /// Sends across an explicit hop count (used for tree edges whose physical
   /// length differs from the src-dst shortest path). `kind` distinguishes
   /// retransmissions for tracing; fresh sends leave it kNormal.
   void send_hops(NodeId src, NodeId dst, unsigned hops, std::uint32_t bytes,
-                 std::string_view tag, std::function<void()> on_delivery,
+                 std::string_view tag, DeliveryFn on_delivery,
                  DeliveryKind kind = DeliveryKind::kNormal);
+
+  /// Accounts `n` equal-size messages fanned out across `hops` each (one
+  /// multicast hop-class) without scheduling anything. The caller owns the
+  /// delivery event and per-member trace emission — see the hop-class fast
+  /// path in DsmSystem::multicast_frame, which schedules one scheduler
+  /// event per hop-class instead of one per member.
+  void account_sends(std::size_t n, unsigned hops, std::uint32_t bytes) {
+    stats_.messages += n;
+    stats_.bytes += static_cast<std::uint64_t>(bytes) * n;
+    stats_.hop_bytes += static_cast<std::uint64_t>(bytes) * hops * n;
+  }
+
+  /// True when some hook or observer wants a record of every delivery.
+  [[nodiscard]] bool observing() const {
+    return trace_ != nullptr || !observers_.empty();
+  }
 
   /// Installs a hook observing every delivery (replaces any previous hook).
   using TraceHook = std::function<void(const MessageTrace&)>;
@@ -151,7 +172,7 @@ class Network {
 
  private:
   void deliver_at(sim::Duration delay, MessageTrace trace,
-                  std::function<void()> on_delivery);
+                  DeliveryFn on_delivery);
 
   sim::Scheduler* sched_;
   const Topology* topo_;

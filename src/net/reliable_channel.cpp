@@ -15,7 +15,7 @@ std::size_t ReliableChannel::in_flight() const {
 
 void ReliableChannel::send(NodeId src, NodeId dst, unsigned hops,
                            std::uint32_t bytes, std::string_view tag,
-                           std::function<void()> on_delivery) {
+                           DeliveryFn on_delivery) {
   OPTSYNC_EXPECT(on_delivery != nullptr);
   if (src == dst) {
     // Interface loopback: never crosses the fiber, cannot be lost, and the

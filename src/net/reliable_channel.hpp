@@ -96,7 +96,7 @@ class ReliableChannel {
   /// released, regardless of injected loss/duplication/reorder (within the
   /// retransmit cap).
   void send(NodeId src, NodeId dst, unsigned hops, std::uint32_t bytes,
-            std::string_view tag, std::function<void()> on_delivery);
+            std::string_view tag, DeliveryFn on_delivery);
 
   [[nodiscard]] const ReliableStats& stats() const { return stats_; }
   [[nodiscard]] const ReliableConfig& config() const { return cfg_; }
@@ -110,7 +110,7 @@ class ReliableChannel {
     unsigned hops;
     std::uint32_t bytes;
     std::string_view tag;
-    std::function<void()> on_delivery;  // cleared once released
+    DeliveryFn on_delivery;  // cleared once released
     sim::Time first_sent;
     unsigned attempts = 0;      // retransmissions so far
     sim::EventId timer = 0;     // 0 = no timer armed

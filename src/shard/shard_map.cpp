@@ -7,13 +7,14 @@ namespace optsync::shard {
 
 ShardMap ShardMap::hashed(std::uint32_t shards) {
   OPTSYNC_EXPECT(shards >= 1);
-  return ShardMap(Policy::kHash, shards, 0);
+  return ShardMap(Policy::kHash, shards, 0, 0);
 }
 
 ShardMap ShardMap::ranged(std::uint32_t shards, Key key_space) {
   OPTSYNC_EXPECT(shards >= 1);
   OPTSYNC_EXPECT(key_space >= shards);
-  return ShardMap(Policy::kRange, shards, key_space / shards);
+  return ShardMap(Policy::kRange, shards, key_space / shards,
+                  static_cast<std::uint32_t>(key_space % shards));
 }
 
 ShardId ShardMap::shard_of(Key key) const {
@@ -23,8 +24,19 @@ ShardId ShardMap::shard_of(Key key) const {
     const std::uint64_t mixed = sim::SplitMix64(key).next();
     return static_cast<ShardId>(mixed % shards_);
   }
-  const Key stripe = key / stripe_;
-  return stripe >= shards_ ? shards_ - 1 : static_cast<ShardId>(stripe);
+  // Balanced stripes: the first wide_ stripes hold stripe_ + 1 keys, the
+  // rest stripe_ keys, so the division remainder is spread one key per
+  // stripe instead of piling onto the last one. Keys >= key_space (and the
+  // maximum key) clamp to the last shard.
+  const Key wide_span = static_cast<Key>(wide_) * (stripe_ + 1);
+  ShardId s;
+  if (key < wide_span) {
+    s = static_cast<ShardId>(key / (stripe_ + 1));
+  } else {
+    const Key idx = static_cast<Key>(wide_) + (key - wide_span) / stripe_;
+    s = idx >= shards_ ? shards_ - 1 : static_cast<ShardId>(idx);
+  }
+  return s;
 }
 
 }  // namespace optsync::shard

@@ -8,10 +8,14 @@
 //     population (including dense sequential keys) uniformly; the mix is
 //     the same one simkern/random uses for seeding, so routing is
 //     platform-stable and deterministic.
-//   * kRange — the key space [0, key_space) cut into contiguous
-//     equal-width stripes, last stripe absorbing the remainder and any
-//     key >= key_space. Keeps key locality (neighbouring keys share a
-//     shard), the classic directory choice when scans matter.
+//   * kRange — the key space [0, key_space) cut into contiguous stripes
+//     of near-equal width: the first key_space % shards stripes hold one
+//     extra key, so no stripe is ever more than one key wider than
+//     another (the old scheme dumped the whole division remainder on the
+//     last stripe — up to 2x the load at small key spaces). Keys
+//     >= key_space clamp to the last shard. Keeps key locality
+//     (neighbouring keys share a shard), the classic directory choice
+//     when scans matter.
 //
 // The directory is a value type: cheap to copy, no substrate references,
 // usable by routers, benches, and tests alike.
@@ -43,16 +47,21 @@ class ShardMap {
 
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
   [[nodiscard]] Policy policy() const { return policy_; }
-  /// Range policy only: size of one stripe (last stripe may be larger).
+  /// Range policy only: base stripe width (the first `key_space % shards`
+  /// stripes hold one more key).
   [[nodiscard]] Key stripe_width() const { return stripe_; }
+  /// Range policy only: stripes holding stripe_width() + 1 keys.
+  [[nodiscard]] std::uint32_t wide_stripes() const { return wide_; }
 
  private:
-  ShardMap(Policy policy, std::uint32_t shards, Key stripe)
-      : policy_(policy), shards_(shards), stripe_(stripe) {}
+  ShardMap(Policy policy, std::uint32_t shards, Key stripe,
+           std::uint32_t wide)
+      : policy_(policy), shards_(shards), stripe_(stripe), wide_(wide) {}
 
   Policy policy_;
   std::uint32_t shards_;
-  Key stripe_;  // range policy; 0 under hash
+  Key stripe_;          // range policy: base width; 0 under hash
+  std::uint32_t wide_;  // range policy: stripes one key wider; 0 under hash
 };
 
 }  // namespace optsync::shard

@@ -8,54 +8,124 @@ namespace optsync::sim {
 
 EventId EventQueue::push(Time when, Callback cb) {
   OPTSYNC_EXPECT(cb != nullptr);
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_ids_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  heap_.push_back(Entry{when, next_seq_++, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return make_id(slot, s.gen);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = nullptr;
+  if (++s.gen == 0) s.gen = 1;  // ids are never 0; see EventId docs
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  // The live set is authoritative: an id is present iff it was pushed, has
-  // not fired, and has not been cancelled. O(1) — the reliable channel
-  // cancels one retransmit timer per acked packet, so this must not scan.
-  const auto it = live_ids_.find(id);
-  if (it == live_ids_.end()) return false;
-  live_ids_.erase(it);
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffull);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // already fired, already cancelled, or never existed
+  }
+  // O(1): drop the callback and invalidate the slot now; the heap entry
+  // becomes dead and is reclaimed lazily (top drop or compaction).
+  free_slot(slot);
+  --live_;
+  ++dead_in_heap_;
+  maybe_compact();
   return true;
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+void EventQueue::maybe_compact() {
+  // Compact when dead entries dominate: bounds heap memory at ~2x the live
+  // count under arm/cancel storms while keeping the amortized cost O(1)
+  // per cancel (each compaction halves the heap, paid for by the cancels
+  // that created the dead entries).
+  if (dead_in_heap_ < 64 || dead_in_heap_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  // Bottom-up heapify: O(n), and n just halved.
+  for (std::size_t i = heap_.size() / kArity + 1; i-- > 0;) sift_down(i);
+  dead_in_heap_ = 0;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    heap_.front() = heap_.back();
     heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    --dead_in_heap_;
   }
 }
 
 Time EventQueue::next_time() {
-  if (live_ids_.empty()) return kNever;
-  drop_cancelled_top();
+  if (live_ == 0) return kNever;
+  drop_dead_top();
   return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_top();
-  OPTSYNC_EXPECT(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  OPTSYNC_EXPECT(live_ > 0);
+  drop_dead_top();
+  const Entry e = heap_.front();
+  heap_.front() = heap_.back();
   heap_.pop_back();
-  live_ids_.erase(e.id);
-  return Popped{e.time, e.id, std::move(e.callback)};
+  if (!heap_.empty()) sift_down(0);
+  Popped out{e.time, make_id(e.slot, e.gen), std::move(slots_[e.slot].cb)};
+  free_slot(e.slot);
+  --live_;
+  return out;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  live_ids_.clear();
-  cancelled_.clear();
+  free_slots_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    s.cb = nullptr;
+    if (++s.gen == 0) s.gen = 1;
+    free_slots_.push_back(i);
+  }
+  live_ = 0;
+  dead_in_heap_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace optsync::sim

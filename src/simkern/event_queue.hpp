@@ -2,15 +2,16 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "simkern/time.hpp"
+#include "util/small_fn.hpp"
 
 namespace optsync::sim {
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
+/// Encodes (generation << 32 | slot); generations start at 1, so a valid id
+/// is never 0 — callers use 0 as their "no timer armed" sentinel.
 using EventId = std::uint64_t;
 
 /// Min-heap of events ordered by (time, insertion sequence).
@@ -19,13 +20,19 @@ using EventId = std::uint64_t;
 /// scheduled for the same instant always fire in scheduling order, so a given
 /// seed reproduces a simulation bit-for-bit.
 ///
-/// Cancellation is lazy: cancel() is O(1) — it moves the id from the live-id
-/// set to the tombstone set — and the heap entry is physically dropped when
-/// it reaches the top. The reliable channel arms one timer per transmission
-/// and cancels one per ack, so cancel sits on the per-message hot path.
+/// Layout: heap entries are 24-byte PODs carrying only (time, seq, slot,
+/// generation); callbacks live in a parallel slot table recycled through a
+/// freelist. push and cancel are allocation-free O(1)/O(log n) — the
+/// reliable channel arms one retransmit timer per transmission and cancels
+/// one per ack, so both sit on the per-message hot path. cancel() frees the
+/// slot (and destroys the callback) immediately; the stale heap entry is
+/// dropped lazily at the top, and the heap is compacted in place whenever
+/// dead entries outnumber live ones, so arm/cancel storms cannot grow
+/// memory without bound (the old tombstone-set design leaked every
+/// cancelled id that never reached the top).
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::SmallFn<void()>;
 
   /// Inserts an event; returns an id usable with cancel().
   EventId push(Time when, Callback cb);
@@ -35,13 +42,13 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const { return live_ids_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_ids_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; kNever when empty.
-  /// Amortized O(log n): lazily discards cancelled tombstones at the top.
+  /// Amortized O(log n): lazily discards dead entries at the top.
   [[nodiscard]] Time next_time();
 
   /// Removes and returns the earliest live event.
@@ -53,30 +60,67 @@ class EventQueue {
   };
   Popped pop();
 
-  /// Drops all events.
+  /// Drops all events. Slot capacity is retained; every outstanding id is
+  /// invalidated (its generation is bumped), so a stale id from before the
+  /// clear can never cancel an event armed after it.
   void clear();
+
+  // --- introspection (bounded-memory regression tests, kernel bench) ----
+  /// Heap entries currently held, including dead ones awaiting compaction.
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+  /// Callback slots ever created (the table's high-water mark).
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  /// Cancelled entries still physically in the heap.
+  [[nodiscard]] std::size_t dead_entries() const { return dead_in_heap_; }
 
  private:
   struct Entry {
     Time time;
     std::uint64_t seq;
-    EventId id;
-    Callback callback;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// a fires strictly before b.
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // 4-ary min-heap. Pops dominate the kernel (a same-time multicast burst
+  // pushes with one comparison each — the parent's smaller seq stops the
+  // sift immediately — but every pop sifts down the full depth), and a
+  // 4-ary sift-down halves the depth of a binary one while reading its four
+  // 24-byte children from at most two cache lines. Measured on the pop-
+  // heavy dispatch mix: ~25% cheaper per event at 32k pending.
+  static constexpr std::size_t kArity = 4;
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;
   };
 
-  void drop_cancelled_top();
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slots_[e.slot].gen == e.gen;
+  }
+
+  /// Bumps the slot's generation (invalidating its current id), destroys
+  /// the callback, and returns the slot to the freelist.
+  void free_slot(std::uint32_t slot);
+
+  void drop_dead_top();
+  void maybe_compact();
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> live_ids_;  ///< ids in the heap, not cancelled
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::size_t dead_in_heap_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
 };
 
 }  // namespace optsync::sim

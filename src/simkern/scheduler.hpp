@@ -20,7 +20,9 @@ namespace optsync::sim {
 /// real concurrency.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Small-buffer callable (util::SmallFn): every substrate closure fits the
+  /// inline buffer, so scheduling an event allocates nothing.
+  using Callback = EventQueue::Callback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -40,6 +42,34 @@ class Scheduler {
 
   /// Cancels a pending event; returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Schedules a housekeeping event: one that observes the simulation
+  /// (telemetry samplers, control loops) rather than being part of it.
+  /// Housekeeping loops re-arm themselves only while the simulation still
+  /// has real work — but they must not count themselves, or EACH OTHER, as
+  /// that work: two loops each re-arming "while !idle()" keep the queue
+  /// non-empty forever and run() never returns. Arm through this method
+  /// and test busy() instead of !idle().
+  template <typename F>
+  EventId after_housekeeping(Duration delay, F&& f) {
+    ++housekeeping_armed_;
+    return after(delay, [this, f = std::forward<F>(f)]() mutable {
+      --housekeeping_armed_;
+      f();
+    });
+  }
+
+  /// Cancels an event armed with after_housekeeping().
+  bool cancel_housekeeping(EventId id) {
+    const bool live = queue_.cancel(id);
+    if (live) --housekeeping_armed_;
+    return live;
+  }
+
+  /// True while any non-housekeeping event is pending.
+  [[nodiscard]] bool busy() const {
+    return queue_.size() > housekeeping_armed_;
+  }
 
   /// Runs a single event if one is pending. Returns false when idle.
   bool step();
@@ -75,6 +105,7 @@ class Scheduler {
   Time now_ = 0;
   bool stopped_ = false;
   std::uint64_t processed_ = 0;
+  std::size_t housekeeping_armed_ = 0;
   DispatchHook dispatch_;
 };
 

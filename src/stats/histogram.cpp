@@ -44,8 +44,13 @@ std::int64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
   if (q <= 0.0) return min();
   if (q >= 1.0) return max();
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // Rank of the q-th sample, 1-based. The epsilon absorbs FP noise in
+  // q * count: 0.95 * 20 evaluates to 19.000000000000004, and a plain
+  // ceil() would skip to rank 20 — an off-by-one that reported p95 of a
+  // 20-sample distribution as its maximum. Clamped to [1, count].
+  const double exact = q * static_cast<double>(count_);
+  auto target = static_cast<std::uint64_t>(std::ceil(exact - 1e-9));
+  target = std::clamp<std::uint64_t>(target, 1, count_);
   std::uint64_t cum = 0;
   for (unsigned i = 0; i < buckets_.size(); ++i) {
     cum += buckets_[i];

@@ -27,12 +27,12 @@ void Sampler::add_rate(std::string name, Labels labels,
 
 void Sampler::start(sim::Scheduler& sched) {
   sched_ = &sched;
-  pending_ = sched.after(cfg_.interval_ns, [this] { tick(); });
+  pending_ = sched.after_housekeeping(cfg_.interval_ns, [this] { tick(); });
 }
 
 void Sampler::stop() {
   if (sched_ != nullptr && pending_ != 0) {
-    sched_->cancel(pending_);
+    sched_->cancel_housekeeping(pending_);
     pending_ = 0;
   }
 }
@@ -59,10 +59,11 @@ void Sampler::sample_now(sim::Time now) {
 void Sampler::tick() {
   pending_ = 0;
   sample_now(sched_->now());
-  // Re-arm only while the simulation is still doing something else; the
-  // run must be allowed to drain (see file comment).
-  if (!sched_->idle()) {
-    pending_ = sched_->after(cfg_.interval_ns, [this] { tick(); });
+  // Re-arm only while the simulation is still doing real work; the run
+  // must drain, and another housekeeping loop (the coalesce controller,
+  // say) must not read as work or the two keep each other alive forever.
+  if (sched_->busy()) {
+    pending_ = sched_->after_housekeeping(cfg_.interval_ns, [this] { tick(); });
   }
 }
 

@@ -1,0 +1,38 @@
+// Cache-line padding for per-thread / per-node state (2PLSF pad_word idiom).
+//
+// The threaded runtime under rt/ keeps arrays indexed by thread id; without
+// padding, neighbouring entries share a cache line and every update is a
+// coherence miss for every other thread (false sharing). CachePadded<T>
+// rounds each element up to its own line. The simulated kernel is
+// single-threaded and does not need this — it is for rt/ state and for any
+// per-shard counters a future threaded service port shares.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace optsync::util {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  CachePadded() = default;
+  template <typename... A>
+  explicit CachePadded(A&&... args) : value(std::forward<A>(args)...) {}
+
+  T value;
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace optsync::util

@@ -1,0 +1,69 @@
+// Recycling object pool: steady-state allocation-free object reuse.
+//
+// The multicast path used to construct a shared_ptr<const Frame> per flushed
+// frame — a control block plus a writes vector that grew from empty on
+// every frame. RecyclePool hands out pointers to long-lived objects carved
+// from deque slabs: release() does NOT destroy the object, so internal
+// buffers (Frame::writes capacity) survive to the next acquire and the
+// per-frame cost collapses to a freelist pop. Addresses are stable for the
+// object's whole life (std::deque never relocates), which is what lets
+// closures capture raw payload pointers across scheduler hops.
+//
+// Single-threaded by design, like the sim kernel it serves; rt/ has its own
+// concurrency story.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace optsync::util {
+
+template <typename T>
+class RecyclePool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< acquires served from the freelist
+    std::size_t created = 0;     ///< objects ever constructed (high-water)
+    std::size_t free = 0;        ///< objects currently in the freelist
+  };
+
+  RecyclePool() = default;
+  RecyclePool(const RecyclePool&) = delete;
+  RecyclePool& operator=(const RecyclePool&) = delete;
+
+  /// Returns a pooled object. Fresh objects are value-initialized; recycled
+  /// ones come back exactly as release() received them — callers reset the
+  /// fields they use (and keep the capacity that makes recycling pay).
+  T* acquire() {
+    ++stats_.acquires;
+    if (!free_.empty()) {
+      ++stats_.reuses;
+      T* p = free_.back();
+      free_.pop_back();
+      --stats_.free;
+      return p;
+    }
+    storage_.emplace_back();
+    ++stats_.created;
+    return &storage_.back();
+  }
+
+  /// Returns an object to the freelist. The object must have come from this
+  /// pool and must not be used after release.
+  void release(T* p) {
+    free_.push_back(p);
+    ++stats_.free;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::deque<T> storage_;  // stable addresses; grows in slabs, never shrinks
+  std::vector<T*> free_;
+  Stats stats_;
+};
+
+}  // namespace optsync::util

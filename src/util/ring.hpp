@@ -1,0 +1,113 @@
+// Flat circular buffer with deque surface, no per-node allocation.
+//
+// std::deque allocates a ~512-byte map chunk per block and never returns
+// it while elements churn through; the root waiter queues and the node
+// inboxes push/pop one element per message, so the deque's block walk and
+// its allocator sat on the hot path. Ring keeps elements in one contiguous
+// power-of-two array indexed by masked head/tail counters: push_back and
+// pop_front are a store/load plus an increment, and the array is reused
+// forever once the queue has hit its high-water mark.
+//
+// API mirrors the deque subset the substrate uses (empty/size/front/back/
+// push_back/emplace_back/pop_front/operator[]/clear) so GroupRoot's public
+// LockState::queue keeps its shape for tests and the service layer.
+// Requires T to be default-constructible and move-assignable.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::util {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  [[nodiscard]] T& front() {
+    OPTSYNC_EXPECT(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    OPTSYNC_EXPECT(size_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] T& back() {
+    OPTSYNC_EXPECT(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+  [[nodiscard]] const T& back() const {
+    OPTSYNC_EXPECT(size_ > 0);
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+
+  /// i-th element from the front (0 = front), for tests and introspection.
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    OPTSYNC_EXPECT(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  template <typename... A>
+  void emplace_back(A&&... args) {
+    push_back(T(std::forward<A>(args)...));
+  }
+
+  void pop_front() {
+    OPTSYNC_EXPECT(size_ > 0);
+    buf_[head_] = T{};  // release resources held by the slot
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  /// Removes and returns the front element.
+  T take_front() {
+    OPTSYNC_EXPECT(size_ > 0);
+    T out = std::move(buf_[head_]);
+    buf_[head_] = T{};
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return out;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) buf_[(head_ + i) & mask_] = T{};
+    head_ = 0;
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    while (buf_.size() < n) grow();
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_.swap(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace optsync::util

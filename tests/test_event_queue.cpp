@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "simkern/assert.hpp"
@@ -168,6 +169,80 @@ TEST(EventQueue, CancelledBacklogDoesNotLeakIntoPopOrder) {
     EXPECT_EQ(popped.time, t);
   }
   EXPECT_TRUE(q.empty());
+}
+
+// Regression: the old dual-hash-set queue kept every cancelled id in a
+// tombstone set until its heap entry surfaced, so a long-running arm/cancel
+// storm (retransmit timers over days of sim time) grew without bound even
+// though the LIVE population stayed tiny. The slot-table queue destroys the
+// callback at cancel and compacts the heap when dead entries outnumber live
+// ones: after a million arm/cancel ops with <= 1024 live, every internal
+// structure must still be sized by the live count, not the op count.
+TEST(EventQueue, MillionOpArmCancelStormStaysBounded) {
+  constexpr std::uint64_t kOps = 1'000'000;
+  constexpr std::size_t kLive = 1024;
+  EventQueue q;
+  std::vector<EventId> live(kLive, 0);
+  std::size_t peak_heap = 0;
+  std::size_t peak_slots = 0;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const std::size_t k = i % kLive;
+    if (live[k] != 0) ASSERT_TRUE(q.cancel(live[k]));
+    live[k] = q.push(static_cast<Time>(kOps + i), [] {});
+    peak_heap = std::max(peak_heap, q.heap_entries());
+    peak_slots = std::max(peak_slots, q.slot_count());
+  }
+  EXPECT_EQ(q.size(), kLive);
+  // Slots are recycled through the freelist; the heap holds at most ~2x
+  // live before compaction kicks in (plus the compaction threshold).
+  EXPECT_LE(peak_slots, 4 * kLive);
+  EXPECT_LE(peak_heap, 8 * kLive);
+  // The survivors still pop in time order with their callbacks intact.
+  int fired = 0;
+  while (!q.empty()) {
+    auto popped = q.pop();
+    popped.callback();
+    ++fired;
+  }
+  EXPECT_EQ(fired, static_cast<int>(kLive));
+}
+
+// Regression: clear() used to leave the cancelled-id bookkeeping behind, so
+// an id armed BEFORE the clear could alias (and cancel) an unrelated event
+// armed after it once the slot was reused. clear() now bumps every slot's
+// generation: stale ids are dead forever.
+TEST(EventQueue, StaleIdsFromBeforeClearCannotCancelNewEvents) {
+  EventQueue q;
+  std::vector<EventId> stale;
+  for (int i = 0; i < 64; ++i) stale.push_back(q.push(10 + i, [] {}));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // Re-arm into the same (recycled) slots.
+  bool fired[64] = {};
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 64; ++i) {
+    fresh.push_back(q.push(10 + i, [&fired, i] { fired[i] = true; }));
+  }
+  for (const EventId id : stale) EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 64u);
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(fired[i]) << i;
+  // The fresh ids are spent now, and the stale ones still dead.
+  for (const EventId id : fresh) EXPECT_FALSE(q.cancel(id));
+  for (const EventId id : stale) EXPECT_FALSE(q.cancel(id));
+}
+
+// Ids never collide across slot reuse within a generation epoch: a slot
+// freed by pop/cancel comes back with a new generation, so the old id's
+// cancel misses even when the slot number matches.
+TEST(EventQueue, RecycledSlotGetsFreshGeneration) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.pop().callback();          // slot freed by firing
+  const EventId b = q.push(2, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));   // stale id: dead
+  EXPECT_TRUE(q.cancel(b));    // fresh id: live
 }
 
 TEST(EventQueue, RandomizedOrderMatchesStableSort) {

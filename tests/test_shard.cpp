@@ -52,6 +52,68 @@ TEST(ShardMap, SingleShardTakesEverything) {
   for (Key k = 1; k <= 100; ++k) EXPECT_EQ(map.shard_of(k), 0u);
 }
 
+// Regression: range routing computed key / (key_space / shards), which (a)
+// dumped the whole division remainder on the LAST stripe (up to 2x width
+// at small key spaces) and (b) routed the top keys of an uneven space past
+// shards - 1. Balanced striping spreads the remainder one key per stripe;
+// this sweep checks every key of several adversarial spaces against a
+// directly computed stripe walk, plus the max-key/overflow clamps.
+TEST(ShardMap, RangeBoundariesExhaustive) {
+  const struct {
+    std::uint32_t shards;
+    Key space;
+  } cases[] = {
+      {1, 1},   {1, 7},    {2, 3},    {3, 10},   {4, 1000},
+      {7, 100}, {8, 1024}, {16, 100}, {5, 5},    {6, 13},
+  };
+  for (const auto& c : cases) {
+    const auto map = ShardMap::ranged(c.shards, c.space);
+    const Key base = c.space / c.shards;
+    const std::uint32_t wide = static_cast<std::uint32_t>(c.space % c.shards);
+    EXPECT_EQ(map.stripe_width(), base);
+    EXPECT_EQ(map.wide_stripes(), wide);
+    // Walk the stripes exactly as the spec says and check every key.
+    Key k = 0;
+    std::uint64_t last_count = 0;
+    for (std::uint32_t s = 0; s < c.shards; ++s) {
+      const Key width = base + (s < wide ? 1 : 0);
+      for (Key i = 0; i < width; ++i, ++k) {
+        ASSERT_EQ(map.shard_of(k), s)
+            << "shards=" << c.shards << " space=" << c.space << " key=" << k;
+      }
+      last_count = width;
+    }
+    EXPECT_EQ(k, c.space);  // the walk covered the whole space
+    // No stripe is more than one key wider than another.
+    EXPECT_GE(last_count + 1, base);
+    // Keys at and past the end of the space clamp to the last shard.
+    EXPECT_EQ(map.shard_of(c.space), c.shards - 1);
+    EXPECT_EQ(map.shard_of(c.space + 1), c.shards - 1);
+    EXPECT_EQ(map.shard_of(~Key{0}), c.shards - 1);  // max 64-bit key
+  }
+}
+
+TEST(ShardMap, HashModeBoundaryKeysStayInRange) {
+  for (const std::uint32_t shards : {1u, 2u, 3u, 8u, 16u, 64u}) {
+    const auto map = ShardMap::hashed(shards);
+    for (const Key k : {Key{0}, Key{1}, Key{shards}, Key{shards} - 1,
+                        ~Key{0}, ~Key{0} - 1, Key{1} << 63}) {
+      EXPECT_LT(map.shard_of(k), shards) << "shards=" << shards << " k=" << k;
+    }
+  }
+}
+
+TEST(ShardMap, RangeKeepsNeighbouringKeysTogether) {
+  // The locality property hash sharding gives up: all but shards-1 of the
+  // adjacent key pairs share a shard.
+  const auto map = ShardMap::ranged(8, 1000);
+  std::uint32_t splits = 0;
+  for (Key k = 0; k + 1 < 1000; ++k) {
+    if (map.shard_of(k) != map.shard_of(k + 1)) ++splits;
+  }
+  EXPECT_EQ(splits, 7u);
+}
+
 // --------------------------------------------------------- ShardedStore ---
 
 struct Fixture {

@@ -115,6 +115,73 @@ TEST(Histogram, PercentilesWithinRelativeErrorBound) {
   EXPECT_NEAR(h.mean(), 5000.5, 1.0);
 }
 
+// Regression: percentile() computed the 1-based rank as ceil(q * count)
+// with no epsilon, and 0.95 * 20 evaluates to 19.000000000000004 in
+// binary floating point — ceil() jumped to rank 20, reporting p95 of a
+// 20-sample distribution as its MAXIMUM. Exact-rank quantiles over small
+// sample counts are the adversarial case.
+TEST(Histogram, ExactRankQuantilesAreNotOffByOne) {
+  stats::Histogram h;
+  // 20 distinct small values (exact buckets: no bucketing error at all).
+  for (std::int64_t v = 1; v <= 20; ++v) h.record(v);
+  // q * count lands exactly on a rank for these; FP noise must not bump
+  // the answer into the next sample up.
+  EXPECT_EQ(h.percentile(0.05), 1);   // rank 1
+  EXPECT_EQ(h.percentile(0.50), 10);  // rank 10
+  EXPECT_EQ(h.percentile(0.95), 19);  // rank 19 — the historical bug
+  EXPECT_EQ(h.percentile(1.0), 20);
+  EXPECT_EQ(h.percentile(0.0), 1);
+}
+
+TEST(Histogram, BoundaryQuantilesMatchTrackedExtremes) {
+  stats::Histogram h;
+  for (std::int64_t v : {5, 5, 5, 900'000, 900'001}) h.record(v);
+  // p0/p100 answer from the exact min/max words, never from bucket
+  // midpoints, so wide buckets at the top cannot leak into them.
+  EXPECT_EQ(h.percentile(0.0), 5);
+  EXPECT_EQ(h.percentile(1.0), 900'001);
+  // Quantiles strictly below the top sample's rank stay at the mode.
+  EXPECT_EQ(h.percentile(0.50), 5);
+  // Negative and >1 quantiles clamp to the extremes rather than walking
+  // off the bucket array.
+  EXPECT_EQ(h.percentile(-0.5), 5);
+  EXPECT_EQ(h.percentile(1.5), 900'001);
+}
+
+// Merging histograms whose ranges straddle each other must answer
+// percentiles from the COMBINED distribution, clamped to the combined
+// [min, max] — the per-shard latency rollup case.
+TEST(Histogram, MergeAcrossStraddlingRangesKeepsQuantilesSane) {
+  stats::Histogram low;
+  stats::Histogram high;
+  for (std::int64_t v = 1; v <= 100; ++v) low.record(v);
+  for (std::int64_t v = 1'000'000; v < 1'000'100; ++v) high.record(v);
+  stats::Histogram merged = low;
+  merged.merge(high);
+  EXPECT_EQ(merged.count(), 200u);
+  EXPECT_EQ(merged.min(), 1);
+  EXPECT_EQ(merged.max(), 1'000'099);
+  // Rank 100 is the top of the low half; rank 101 the bottom of the high
+  // half. The boundary-straddling quantiles must come from the right half
+  // (6.25% relative bucketing error allowed, no cross-half bleeding).
+  EXPECT_LE(merged.percentile(0.50), 110);
+  EXPECT_GE(merged.percentile(0.505), 900'000);
+  EXPECT_GE(merged.percentile(0.99), 900'000);
+  // Merging into an empty histogram adopts the source's extremes.
+  stats::Histogram empty;
+  empty.merge(high);
+  EXPECT_EQ(empty.min(), 1'000'000);
+  EXPECT_EQ(empty.max(), 1'000'099);
+  EXPECT_EQ(empty.percentile(0.0), 1'000'000);
+  EXPECT_EQ(empty.percentile(1.0), 1'000'099);
+  // Merging an empty histogram in is a no-op on the extremes.
+  stats::Histogram target = low;
+  target.merge(stats::Histogram{});
+  EXPECT_EQ(target.min(), 1);
+  EXPECT_EQ(target.max(), 100);
+  EXPECT_EQ(target.count(), 100u);
+}
+
 TEST(Histogram, EmptyHistogramAnswersZeroEverywhere) {
   const stats::Histogram h;
   EXPECT_EQ(h.count(), 0u);

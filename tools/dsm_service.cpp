@@ -27,6 +27,7 @@
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
 #include "net/topology.hpp"
+#include "shard/coalesce_controller.hpp"
 #include "shard/sharded_store.hpp"
 #include "stats/metrics.hpp"
 #include "telemetry/overload.hpp"
@@ -91,6 +92,8 @@ void usage() {
          "  --txn-keys N         keys per txn/rmw (default 3)\n"
          "  --policy P           queue | optimistic | adaptive (default"
          " adaptive)\n"
+         "  --adaptive-coalesce  drive each shard's frame cap from its live"
+         " backlog\n"
          "  --txn-mode M         occ | legacy multi-key commit (default"
          " occ)\n"
          "  --fault-drop P --fault-seed N --partition A:B:S:E[,...]\n"
@@ -112,8 +115,9 @@ int main(int argc, char** argv) try {
   harness.allow_only(
       flags, {"nodes", "shards", "requests", "rate", "arrival", "dist",
               "zipf-s", "keys", "read-fraction", "txn-fraction",
-              "rmw-fraction", "txn-keys", "policy", "txn-mode", "fault-drop",
-              "fault-seed", "partition", "help"});
+              "rmw-fraction", "txn-keys", "policy", "txn-mode",
+              "adaptive-coalesce", "fault-drop", "fault-seed", "partition",
+              "help"});
 
   const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 16));
   const auto shards = static_cast<std::uint32_t>(flags.get_int("shards", 4));
@@ -204,6 +208,14 @@ int main(int argc, char** argv) try {
   store.register_telemetry(sampler, report);
   gen.register_telemetry(sampler);
   auto drive = gen.run(store, report);
+  // --adaptive-coalesce: the per-shard controller tunes each root's frame
+  // cap from its live backlog (and exports optsync_coalesce_cap gauges).
+  shard::CoalesceController coalesce_ctrl(store, report);
+  const bool adaptive_coalesce = flags.get_bool("adaptive-coalesce", false);
+  if (adaptive_coalesce) {
+    coalesce_ctrl.start();
+    coalesce_ctrl.register_telemetry(sampler);
+  }
   sampler.start(sched);
   sched.run();
   sampler.sample_now(sched.now());  // final partial interval
@@ -262,6 +274,15 @@ int main(int argc, char** argv) try {
       .set("goodput_rps", report.goodput_rps())
       .set("messages", static_cast<double>(report.messages))
       .set("elapsed_ns", static_cast<double>(report.elapsed_ns));
+  if (adaptive_coalesce) {
+    for (std::uint32_t s = 0; s < store.shards(); ++s) {
+      metrics.row("coalesce,shard=" + std::to_string(s))
+          .set("cap", static_cast<double>(coalesce_ctrl.cap(s)))
+          .set("peak_cap", static_cast<double>(coalesce_ctrl.peak_cap(s)))
+          .set("raises", static_cast<double>(coalesce_ctrl.raises(s)))
+          .set("lowers", static_cast<double>(coalesce_ctrl.lowers(s)));
+    }
+  }
   for (const auto& s : report.shards) {
     const auto& w = s.op(stats::ServiceOp::kWrite).latency_ns;
     const auto& r = s.op(stats::ServiceOp::kRead).latency_ns;
