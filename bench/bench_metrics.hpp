@@ -1,11 +1,11 @@
 // Shared --metrics-out support for the figure/ablation benches.
 //
 // Every bench main accepts `--metrics-out PATH` and, when given, writes one
-// JSON document describing the run (schema "optsync-bench/2", documented in
+// JSON document describing the run (schema "optsync-bench/3", documented in
 // EXPERIMENTS.md):
 //
 //   {
-//     "schema": "optsync-bench/2",
+//     "schema": "optsync-bench/3",
 //     "bench": "<executable name>",
 //     "rows": [ {"label": "...", "<metric>": <number>, ...}, ... ],
 //     "locks": [ <stats::LockStats JSON>, ... ]
@@ -15,6 +15,12 @@
 // table row, metric names as keys); "locks" carries the per-lock flight
 // records (acquire/hold percentiles, speculation outcomes) where the bench
 // exercises the GWC lock protocol.
+//
+// /3 adds the lease-tier counters: benches and the service CLI running
+// partial replication emit "lease,shard=N" rows (hits, grants,
+// invalidations, remote_reads, forwarded_ops, hit_rate) and
+// service_scaling adds the "lease_read_heavy" / "lease_fault_soak"
+// comparison rows.
 //
 // bench::Harness (below) layers the rest of the shared bench plumbing on
 // top: the standard flag set every bench accepts (--seed, --metrics-out,
@@ -83,7 +89,7 @@ class MetricsOut {
     }
     stats::JsonWriter w(out, /*pretty=*/true);
     w.begin_object();
-    w.value("schema", "optsync-bench/2");
+    w.value("schema", "optsync-bench/3");
     w.value("bench", bench_);
     w.begin_array("rows");
     for (const auto& r : rows_) {
@@ -130,7 +136,7 @@ class MetricsOut {
 /// Flags handled here (defaults mirror DsmConfig / ReliableConfig, so an
 /// unflagged run is byte-identical to constructing the config directly):
 ///   --seed N                 workload/fault seed (default 42)
-///   --metrics-out PATH       optsync-bench/2 JSON document
+///   --metrics-out PATH       optsync-bench/3 JSON document
 ///   --trace-out PATH         Chrome trace of the run's flight record
 ///   --trace-capacity N       flight-recorder ring size (default 65536)
 ///   --coalesce-max-writes N  root frame size cap (default 1 = unbatched)

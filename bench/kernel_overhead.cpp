@@ -38,6 +38,7 @@
 #include "dsm/system.hpp"
 #include "load/generator.hpp"
 #include "net/topology.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "simkern/event_queue.hpp"
 #include "stats/table.hpp"
@@ -94,7 +95,8 @@ ServiceRun run_service(bench::Harness& harness, std::uint32_t nodes,
   ServiceRun out;
   stats::ServiceReport report;
   const std::uint64_t heap0 = util::small_fn_heap_allocs();
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   const auto t0 = Clock::now();
   sched.run();
   out.wall_ns = elapsed_ns(t0);

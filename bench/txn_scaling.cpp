@@ -33,6 +33,7 @@
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
 #include "net/topology.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "stats/table.hpp"
 #include "trace/gwc_checker.hpp"
@@ -123,7 +124,7 @@ RunResult run_txn(bench::Harness& harness, std::uint32_t nodes,
 
   shard::ShardedStoreConfig scfg;
   scfg.shards = shards;
-  scfg.txn_mode = mode;
+  scfg.txn.mode = mode;
   // Compute-heavy transactions over a wide slot space: per-key compute
   // dominates the lock round trips (so WHERE the compute runs — inside or
   // outside the critical section — decides throughput), and conflict
@@ -146,7 +147,8 @@ RunResult run_txn(bench::Harness& harness, std::uint32_t nodes,
   load::Generator gen(gcfg);
 
   RunResult res;
-  auto drive = gen.run(store, res.report);
+  shard::Client client(store);
+  auto drive = gen.run(client, res.report);
   sched.run();
   drive.rethrow_if_failed();
   store.fill_report(res.report);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dsm/system.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "simkern/random.hpp"
 
@@ -30,9 +31,9 @@ struct Counters {
   std::uint64_t get_hits = 0;
 };
 
-sim::Process client(shard::ShardedStore& store, Counters& counters,
-                    dsm::NodeId me, std::uint64_t seed) {
-  auto& sched = store.system().scheduler();
+sim::Process worker(shard::Client& kv, Counters& counters, dsm::NodeId me,
+                    std::uint64_t seed) {
+  auto& sched = kv.store().system().scheduler();
   sim::Rng rng(seed);
   for (int op = 0; op < 40; ++op) {
     co_await sim::delay(sched,
@@ -40,11 +41,13 @@ sim::Process client(shard::ShardedStore& store, Counters& counters,
     const auto key = static_cast<shard::Key>(1 + rng.below(24));
     if (rng.chance(0.3)) {
       ++counters.puts;
-      co_await store.put(me, key, static_cast<dsm::Word>(key) * 1000 + me)
+      co_await kv.write(me, key, static_cast<dsm::Word>(key) * 1000 + me)
           .join();
     } else {
       ++counters.gets;
-      if (store.get(me, key).has_value()) ++counters.get_hits;
+      std::optional<dsm::Word> got;
+      co_await kv.read(me, key, &got).join();
+      if (got.has_value()) ++counters.get_hits;
     }
   }
 }
@@ -62,11 +65,12 @@ int main() {
   cfg.lock = shard::LockPolicy::kOptimistic;  // pure §4 speculation
   cfg.root_stride = 2;  // spread roots (lock managers) across the machine
   shard::ShardedStore store(sys, cfg);
+  shard::Client kv(store);
 
   Counters counters;
   std::vector<sim::Process> procs;
   for (dsm::NodeId i = 0; i < kNodes; ++i) {
-    procs.push_back(client(store, counters, i, 1000 + i));
+    procs.push_back(worker(kv, counters, i, 1000 + i));
   }
   sched.run();
   for (const auto& p : procs) p.rethrow_if_failed();

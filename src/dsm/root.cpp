@@ -227,6 +227,9 @@ void GroupRoot::flush_pending(bool timer_fired) {
       }
     }
   }
+  // The observer sees the frame at its commit point, before the writes
+  // vector is swapped out into the pooled payload below.
+  if (observer_) observer_(pending_);
   // Hands the writes vector to the pooled payload and gets a recycled
   // (empty, warm-capacity) vector back — no allocation either way.
   sys_->multicast_frame(gid_, pending_);

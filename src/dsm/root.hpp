@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "dsm/frame.hpp"
 #include "dsm/types.hpp"
@@ -79,6 +80,17 @@ class GroupRoot {
   }
   [[nodiscard]] sim::Duration coalesce_max_ns() const { return coalesce_ns_; }
 
+  // --- frame observation -------------------------------------------------
+  /// Hook invoked on every frame flush, after the flush is sequenced but
+  /// before the frame is multicast (the writes vector is swapped into the
+  /// payload pool by multicast_frame, so this is the last point the frame
+  /// is observable in place). The lease directory taps flushes here: the
+  /// flush instant is when a frame's writes become the group's committed
+  /// order, so lease epochs revoked inside the observer are revoked at
+  /// exactly the GWC commit point. One observer per root (last set wins).
+  using FrameObserver = std::function<void(const Frame&)>;
+  void set_frame_observer(FrameObserver fn) { observer_ = std::move(fn); }
+
   [[nodiscard]] GroupId group() const { return gid_; }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
@@ -112,6 +124,7 @@ class GroupRoot {
   std::uint64_t next_seq_ = 1;
   std::vector<LockEntry> locks_;
   Frame pending_;                 ///< open frame awaiting flush
+  FrameObserver observer_;        ///< flush tap (lease directory)
   sim::EventId flush_timer_ = 0;  ///< 0 = not armed
   std::uint32_t coalesce_writes_;
   sim::Duration coalesce_ns_;

@@ -131,6 +131,14 @@ void DsmSystem::transport_send(NodeId src, NodeId dst, unsigned hops,
   }
 }
 
+void DsmSystem::send_direct(NodeId src, NodeId dst, std::uint32_t bytes,
+                            std::string_view tag,
+                            net::DeliveryFn on_delivery) {
+  OPTSYNC_EXPECT(src < nodes_.size() && dst < nodes_.size());
+  transport_send(src, dst, topo_->hop_count(src, dst), bytes, tag,
+                 std::move(on_delivery));
+}
+
 void DsmSystem::share_out(NodeId origin, VarId v, Word value) {
   const VarInfo& info = vars_[v];
   const Group& grp = group(info.group);

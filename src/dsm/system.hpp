@@ -112,6 +112,16 @@ class DsmSystem {
   /// Wire size of messages about variable `v`.
   [[nodiscard]] std::uint32_t bytes_for(VarId v) const;
 
+  /// Point-to-point service message between two nodes over the shortest
+  /// topology path, riding the same transport as substrate traffic (the
+  /// reliable channel when faults are configured, the raw network
+  /// otherwise — so RPCs built on it survive drop/dup/partition runs).
+  /// This is the client <-> shard-root RPC primitive of the service layer:
+  /// lease grants, invalidations, and forwarded writes all travel here.
+  /// `tag` must outlive the delivery (callers pass string literals).
+  void send_direct(NodeId src, NodeId dst, std::uint32_t bytes,
+                   std::string_view tag, net::DeliveryFn on_delivery);
+
  private:
   /// Routes one substrate message through the reliable channel or the raw
   /// network, per configuration.

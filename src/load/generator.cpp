@@ -104,8 +104,9 @@ shard::ShardId Generator::primary_shard(const shard::ShardedStore& store,
   return best;
 }
 
-sim::Process Generator::worker(shard::ShardedStore& store,
+sim::Process Generator::worker(shard::Client& client,
                                stats::ServiceReport& report, dsm::NodeId n) {
+  shard::ShardedStore& store = client.store();
   auto& sched = store.system().scheduler();
   NodeQueue& q = *queues_[n];
   while (true) {
@@ -127,7 +128,9 @@ sim::Process Generator::worker(shard::ShardedStore& store,
       case stats::ServiceOp::kRead: {
         const sim::Time compute_began = sched.now();
         co_await sim::delay(sched, cfg_.read_compute_ns);
-        (void)store.get(n, r.keys.front());
+        std::optional<dsm::Word> out;
+        co_await client.read(n, r.keys.front(), &out, {cfg_.read_level})
+            .join();
         if (trc != nullptr && octx.valid()) {
           trc->record_span(octx.trace, octx.span, telemetry::SpanKind::kCs, n,
                            compute_began, sched.now());
@@ -135,24 +138,25 @@ sim::Process Generator::worker(shard::ShardedStore& store,
         break;
       }
       case stats::ServiceOp::kWrite:
-        co_await store.put(n, r.keys.front(), r.value).join();
+        co_await client.write(n, r.keys.front(), r.value).join();
         break;
       case stats::ServiceOp::kTxn: {
-        std::vector<std::pair<shard::Key, dsm::Word>> kvs;
-        kvs.reserve(r.keys.size());
+        shard::TxnRequest req;
+        req.puts.reserve(r.keys.size());
         for (std::size_t i = 0; i < r.keys.size(); ++i) {
-          kvs.emplace_back(r.keys[i],
-                           r.value + static_cast<dsm::Word>(i));
+          req.puts.emplace_back(r.keys[i],
+                                r.value + static_cast<dsm::Word>(i));
         }
-        co_await store.multi_put(n, std::move(kvs)).join();
+        co_await client.txn(n, std::move(req)).join();
         break;
       }
       case stats::ServiceOp::kRmw: {
         // YCSB-F: read every key, add the planned delta, write back — one
         // atomic multi-key increment.
-        const auto delta =
-            static_cast<dsm::Word>(r.value % 1024) + 1;
-        co_await store.multi_rmw(n, r.keys, delta).join();
+        shard::TxnRequest req;
+        req.adds = r.keys;
+        req.delta = static_cast<dsm::Word>(r.value % 1024) + 1;
+        co_await client.txn(n, std::move(req)).join();
         break;
       }
     }
@@ -178,6 +182,15 @@ void Generator::register_telemetry(telemetry::Sampler& sampler) {
 
 sim::Process Generator::run(shard::ShardedStore& store,
                             stats::ServiceReport& report) {
+  // Pre-Client shim: the local Client lives in this coroutine frame for
+  // the whole run.
+  shard::Client client(store);
+  co_await run(client, report).join();
+}
+
+sim::Process Generator::run(shard::Client& client,
+                            stats::ServiceReport& report) {
+  shard::ShardedStore& store = client.store();
   auto& sys = store.system();
   auto& sched = sys.scheduler();
   const auto node_count = static_cast<std::uint32_t>(sys.node_count());
@@ -223,7 +236,7 @@ sim::Process Generator::run(shard::ShardedStore& store,
   std::vector<sim::Process> workers;
   workers.reserve(node_count);
   for (std::uint32_t n = 0; n < node_count; ++n) {
-    workers.push_back(worker(store, report, n));
+    workers.push_back(worker(client, report, n));
   }
   for (auto& w : workers) co_await w.join();
 

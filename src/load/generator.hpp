@@ -10,8 +10,8 @@
 //      service runs, which is what "open loop" means: a slow service does
 //      not slow the arrivals down.
 //
-//   2. run() — a sim::Process that replays the plan against a
-//      shard::ShardedStore. Arrivals enqueue into per-node FIFOs; one
+//   2. run() — a sim::Process that replays the plan through a
+//      shard::Client. Arrivals enqueue into per-node FIFOs; one
 //      worker coroutine per node drains its FIFO in order (a node is one
 //      instruction stream — the Fig. 4 nesting rule forbids overlapping
 //      sections on a node). Request latency is measured from ARRIVAL to
@@ -28,6 +28,7 @@
 
 #include "load/arrival.hpp"
 #include "load/key_dist.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "simkern/coro.hpp"
 #include "stats/service_report.hpp"
@@ -66,6 +67,12 @@ struct GeneratorConfig {
 
   /// Local compute per read (lookup cost); reads are otherwise free.
   sim::Duration read_compute_ns = 100;
+
+  /// Consistency level for reads (single-key reads and snapshot
+  /// multi-gets) issued through shard::Client. Only observable in
+  /// partial-replication mode; the kLinearizable default keeps
+  /// full-replication runs byte-identical to pre-Client plans.
+  shard::ConsistencyLevel read_level = shard::ConsistencyLevel::kLinearizable;
 };
 
 class Generator {
@@ -81,17 +88,23 @@ class Generator {
   [[nodiscard]] static ArrivalConfig effective_arrival(
       const GeneratorConfig& cfg);
 
-  /// Drives `store` with the planned schedule and fills the request side
-  /// of `report` (issued/completed counts and latency histograms, tagged
-  /// by shard and operation). Completes when every request has finished;
-  /// the caller runs the scheduler:
+  /// Drives the service behind `client` with the planned schedule and
+  /// fills the request side of `report` (issued/completed counts and
+  /// latency histograms, tagged by shard and operation). Completes when
+  /// every request has finished; the caller runs the scheduler:
   ///
-  ///   auto drive = gen.run(store, report);
+  ///   shard::Client client(store);
+  ///   auto drive = gen.run(client, report);
   ///   sys.scheduler().run();
   ///   // drive is now finished; gen.done() is true
   ///
   /// The report's lock/root/ledger side is NOT filled here — call
   /// store.fill_report(report) afterwards.
+  sim::Process run(shard::Client& client, stats::ServiceReport& report);
+
+  /// Pre-Client entry point: wraps `store` in a Client and runs with the
+  /// config's read level.
+  [[deprecated("construct a shard::Client and use run(client, report)")]]
   sim::Process run(shard::ShardedStore& store, stats::ServiceReport& report);
 
   /// Registers client-side gauges on `sampler`: requests sitting in node
@@ -109,7 +122,7 @@ class Generator {
     sim::Signal ready;
   };
 
-  sim::Process worker(shard::ShardedStore& store, stats::ServiceReport& report,
+  sim::Process worker(shard::Client& client, stats::ServiceReport& report,
                       dsm::NodeId n);
   /// Primary shard of a request — where its latency sample is filed.
   /// For transactions: the lowest involved ShardId.

@@ -1,0 +1,35 @@
+#include "shard/client.hpp"
+
+#include "simkern/assert.hpp"
+
+namespace optsync::shard {
+
+sim::Process Client::read(dsm::NodeId n, Key key,
+                          std::optional<dsm::Word>* out, ReadOptions opts) {
+  return store_->read_op(n, key, out, opts.level);
+}
+
+sim::Process Client::write(dsm::NodeId n, Key key, dsm::Word value,
+                           WriteOptions opts) {
+  (void)opts;
+  return store_->write_op(n, key, value);
+}
+
+sim::Process Client::txn(dsm::NodeId n, TxnRequest req, TxnResult* result,
+                         ReadOptions opts) {
+  const int classes = (!req.puts.empty() ? 1 : 0) +
+                      (!req.adds.empty() ? 1 : 0) +
+                      (!req.reads.empty() ? 1 : 0);
+  OPTSYNC_EXPECT(classes == 1);
+  if (!req.puts.empty()) {
+    return store_->multi_put_op(n, std::move(req.puts));
+  }
+  if (!req.adds.empty()) {
+    return store_->multi_rmw_op(n, std::move(req.adds), req.delta);
+  }
+  OPTSYNC_EXPECT(result != nullptr);
+  return store_->multi_get_op(n, std::move(req.reads), &result->values,
+                              opts.level);
+}
+
+}  // namespace optsync::shard

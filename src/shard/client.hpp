@@ -1,0 +1,93 @@
+// shard::Client: the consistency-aware operation facade over ShardedStore.
+//
+// The store's historical surface grew one method per operation shape
+// (get/put/multi_put/multi_rmw/multi_get), with consistency implied by the
+// method rather than requested by the caller. Client collapses that into
+// three verbs —
+//
+//   read(node, key, &out, {ConsistencyLevel})
+//   write(node, key, value)
+//   txn(node, TxnRequest{puts | adds+delta | reads}, &result)
+//
+// — with the read-side consistency an explicit, per-call choice:
+//
+//   kLinearizable  the root's current value; clients pay a round trip.
+//   kLeased        serve from a warm local lease, zero messages; bounded
+//                  staleness (never past TTL, never a version the client
+//                  saw invalidated).
+//   kSnapshot      kLeased for single reads; a txn of `reads` is served
+//                  entirely from local leases when every stripe is warm,
+//                  else it runs the OCC snapshot protocol at the root.
+//
+// Under full replication every level reads local replica memory, so the
+// level only changes behavior for client (non-member) nodes in
+// partial-replication mode — which is exactly when the caller must say
+// what staleness it can tolerate.
+//
+// Client is stateless (a pointer to the store), so any number can be
+// constructed; the per-node one-instruction-stream rule still applies to
+// the operations themselves.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "shard/sharded_store.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::shard {
+
+struct ReadOptions {
+  ConsistencyLevel level = ConsistencyLevel::kLinearizable;
+};
+
+/// Write-side knobs. Empty today — writes always commit through the owning
+/// shard's lock protocol — kept so call sites name their intent and future
+/// knobs (durability class, async ack) land without a signature change.
+struct WriteOptions {};
+
+/// One multi-key transaction. Exactly one operation class may be
+/// populated:
+///   * puts  — atomic multi-key write;
+///   * adds  — multi-key read-modify-write (each value += delta, absent
+///             keys start at 0; the YCSB-F idiom);
+///   * reads — consistent multi-key snapshot (values land in
+///             TxnResult::values, aligned with `reads`).
+struct TxnRequest {
+  std::vector<std::pair<Key, dsm::Word>> puts;
+  std::vector<Key> adds;
+  dsm::Word delta = 0;
+  std::vector<Key> reads;
+};
+
+struct TxnResult {
+  std::vector<std::optional<dsm::Word>> values;
+};
+
+class Client {
+ public:
+  explicit Client(ShardedStore& store) : store_(&store) {}
+
+  [[nodiscard]] ShardedStore& store() { return *store_; }
+  [[nodiscard]] const ShardedStore& store() const { return *store_; }
+
+  /// Single-key read on node `n` at the requested consistency level.
+  /// `*out` receives the value, or nullopt if the key is absent.
+  sim::Process read(dsm::NodeId n, Key key, std::optional<dsm::Word>* out,
+                    ReadOptions opts = {});
+
+  /// Single-key write under the owning shard's lock protocol.
+  sim::Process write(dsm::NodeId n, Key key, dsm::Word value,
+                     WriteOptions opts = {});
+
+  /// Multi-key transaction. `result` may be null unless `req.reads` is the
+  /// populated class. `opts.level` applies to the reads class only.
+  sim::Process txn(dsm::NodeId n, TxnRequest req, TxnResult* result = nullptr,
+                   ReadOptions opts = {});
+
+ private:
+  ShardedStore* store_;
+};
+
+}  // namespace optsync::shard

@@ -16,6 +16,29 @@ ShardMap make_map(const ShardedStoreConfig& cfg) {
              ? ShardMap::hashed(cfg.shards)
              : ShardMap::ranged(cfg.shards, cfg.key_space);
 }
+
+/// Forwarded-op rendezvous: the origin parks here until the completion ack
+/// from the executing root arrives.
+struct FwdRendezvous {
+  explicit FwdRendezvous(sim::Scheduler& s) : sig(s) {}
+  sim::Signal sig;
+  bool done = false;
+};
+
+sim::Process ack_when_done(dsm::DsmSystem& sys, sim::Process op,
+                           dsm::NodeId server, dsm::NodeId client,
+                           std::uint32_t reply_bytes,
+                           std::shared_ptr<FwdRendezvous> rv) {
+  co_await op.join();
+  sys.send_direct(server, client, reply_bytes, "svc-fwd-ack", [rv] {
+    rv->done = true;
+    rv->sig.notify_all();
+  });
+}
+
+/// Already-completed Process for paths that did all their work
+/// synchronously (warm-lease snapshot serves).
+sim::Process completed_process() { co_return; }
 }  // namespace
 
 ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
@@ -25,9 +48,17 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
   OPTSYNC_EXPECT(cfg.root_stride >= 1);
   txn_stats_.name = "svc.txn";
 
+  // Group membership: every node (full replication, the default) or the
+  // server prefix [0, server_nodes). server_nodes covering the whole
+  // machine normalizes to full replication — there would be no clients.
+  std::uint32_t span = cfg.lease.server_nodes;
+  if (span == 0 || span >= sys.node_count()) {
+    span = sys.node_count();
+    cfg_.lease.server_nodes = 0;
+  }
   std::vector<dsm::NodeId> members;
-  members.reserve(sys.node_count());
-  for (dsm::NodeId i = 0; i < sys.node_count(); ++i) members.push_back(i);
+  members.reserve(span);
+  for (dsm::NodeId i = 0; i < span; ++i) members.push_back(i);
 
   shards_.reserve(cfg.shards);
   for (std::uint32_t s = 0; s < cfg.shards; ++s) {
@@ -60,13 +91,42 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
 
   // The txn layer stripes orecs by slot (stripe == slot index), so any
   // committed slot write bumps exactly the orec its readers validated.
-  cfg_.txn.orec_stripes = cfg.slots_per_shard;
-  txn_mgr_ = std::make_unique<txn::TxnManager>(sys, cfg_.txn);
+  cfg_.txn.tuning.orec_stripes = cfg.slots_per_shard;
+  txn_mgr_ = std::make_unique<txn::TxnManager>(sys, cfg_.txn.tuning);
   for (std::uint32_t s = 0; s < cfg.shards; ++s) {
     Shard& sh = *shards_[s];
     sh.site = txn_mgr_->add_site("svc.s" + std::to_string(s), sh.group,
                                  sh.lock, sh.version);
     OPTSYNC_ENSURE(sh.site == static_cast<txn::SiteId>(s));
+  }
+
+  // Partial replication: stand up the lease tier (after the txn layer, so
+  // the orec vars exist to be watched) and the proxy chains.
+  if (span < sys.node_count()) {
+    lease_mgr_ =
+        std::make_unique<LeaseManager>(sys, cfg_.lease, cfg.slots_per_shard);
+    for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+      Shard& sh = *shards_[s];
+      lease_mgr_->register_shard(s, sh.group, sh.root, sh.slot_keys,
+                                 sh.slot_values,
+                                 txn_mgr_->orecs().site_vars(sh.site),
+                                 sh.version);
+    }
+    proxies_.resize(sys.node_count());
+  }
+
+  if (cfg.coalesce.max_writes != 0 || cfg.coalesce.max_ns >= 0) {
+    const auto& base = sys.config();
+    const std::uint32_t mw = cfg.coalesce.max_writes != 0
+                                 ? cfg.coalesce.max_writes
+                                 : base.coalesce_max_writes;
+    const sim::Duration mn =
+        cfg.coalesce.max_ns >= 0
+            ? static_cast<sim::Duration>(cfg.coalesce.max_ns)
+            : base.coalesce_max_ns;
+    for (auto& shp : shards_) {
+      sys.root_of(shp->group).set_coalesce(mw, mn);
+    }
   }
 }
 
@@ -77,7 +137,8 @@ std::size_t ShardedStore::slot_of(Key key) const {
                                   cfg_.slots_per_shard);
 }
 
-std::optional<dsm::Word> ShardedStore::get(dsm::NodeId n, Key key) const {
+std::optional<dsm::Word> ShardedStore::local_get(dsm::NodeId n,
+                                                 Key key) const {
   OPTSYNC_EXPECT(key != 0);
   const Shard& sh = *shards_[map_.shard_of(key)];
   const auto& node = sys_->node(n);
@@ -87,6 +148,185 @@ std::optional<dsm::Word> ShardedStore::get(dsm::NodeId n, Key key) const {
   }
   return std::nullopt;
 }
+
+std::optional<dsm::Word> ShardedStore::get(dsm::NodeId n, Key key) const {
+  // Pre-Client shim. It predates partial replication, so it requires a
+  // member node — a client has no replica to read; use Client::read.
+  OPTSYNC_EXPECT(is_member(n));
+  return local_get(n, key);
+}
+
+sim::Process ShardedStore::put(dsm::NodeId n, Key key, dsm::Word value) {
+  return write_op(n, key, value);
+}
+
+sim::Process ShardedStore::multi_put(
+    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
+  return multi_put_op(n, std::move(kvs));
+}
+
+sim::Process ShardedStore::multi_rmw(dsm::NodeId n, std::vector<Key> keys,
+                                     dsm::Word delta) {
+  return multi_rmw_op(n, std::move(keys), delta);
+}
+
+sim::Process ShardedStore::multi_get(
+    dsm::NodeId n, std::vector<Key> keys,
+    std::vector<std::optional<dsm::Word>>* out) {
+  return multi_get_op(n, std::move(keys), out,
+                      ConsistencyLevel::kLinearizable);
+}
+
+// --- Client entry points ---------------------------------------------------
+
+sim::Process ShardedStore::read_op(dsm::NodeId n, Key key,
+                                   std::optional<dsm::Word>* out,
+                                   ConsistencyLevel level) {
+  OPTSYNC_EXPECT(key != 0);
+  OPTSYNC_EXPECT(out != nullptr);
+  if (is_member(n)) {
+    // Members read their local replica at every level — that is
+    // eagersharing's contract; consistency levels distinguish clients.
+    *out = local_get(n, key);
+    co_return;
+  }
+  const ShardId s = map_.shard_of(key);
+  co_await lease_mgr_
+      ->client_read(n, s, slot_of(key), key, out,
+                    level != ConsistencyLevel::kLinearizable)
+      .join();
+}
+
+sim::Process ShardedStore::write_op(dsm::NodeId n, Key key, dsm::Word value) {
+  OPTSYNC_EXPECT(key != 0);
+  if (!partial()) return put_direct(n, key, value);
+  const ShardId s = map_.shard_of(key);
+  const dsm::NodeId server = shards_[s]->root;
+  const std::uint32_t req = cfg_.lease.ctrl_bytes + cfg_.lease.data_bytes;
+  return forward_op(n, s, req, cfg_.lease.ctrl_bytes,
+                    [this, server, key, value] {
+                      return put_direct(server, key, value);
+                    });
+}
+
+sim::Process ShardedStore::multi_put_op(
+    dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
+  OPTSYNC_EXPECT(!kvs.empty());
+  if (!partial()) return multi_put_direct(n, std::move(kvs));
+  std::vector<Key> keys;
+  keys.reserve(kvs.size());
+  for (const auto& [key, value] : kvs) {
+    (void)value;
+    keys.push_back(key);
+  }
+  const ShardId primary = involved_shards(keys).front();
+  const dsm::NodeId server = shards_[primary]->root;
+  const auto req = static_cast<std::uint32_t>(
+      cfg_.lease.ctrl_bytes + cfg_.lease.data_bytes * kvs.size());
+  return forward_op(n, primary, req, cfg_.lease.ctrl_bytes,
+                    [this, server, kvs = std::move(kvs)]() mutable {
+                      return multi_put_direct(server, std::move(kvs));
+                    });
+}
+
+sim::Process ShardedStore::multi_rmw_op(dsm::NodeId n, std::vector<Key> keys,
+                                        dsm::Word delta) {
+  OPTSYNC_EXPECT(!keys.empty());
+  if (!partial()) return multi_rmw_direct(n, std::move(keys), delta);
+  const ShardId primary = involved_shards(keys).front();
+  const dsm::NodeId server = shards_[primary]->root;
+  const auto req = static_cast<std::uint32_t>(
+      cfg_.lease.ctrl_bytes + cfg_.lease.data_bytes * keys.size());
+  return forward_op(n, primary, req, cfg_.lease.ctrl_bytes,
+                    [this, server, delta, keys = std::move(keys)]() mutable {
+                      return multi_rmw_direct(server, std::move(keys), delta);
+                    });
+}
+
+sim::Process ShardedStore::multi_get_op(
+    dsm::NodeId n, std::vector<Key> keys,
+    std::vector<std::optional<dsm::Word>>* out, ConsistencyLevel level) {
+  OPTSYNC_EXPECT(!keys.empty());
+  OPTSYNC_EXPECT(out != nullptr);
+  if (!partial()) return multi_get_direct(n, std::move(keys), out);
+
+  if (!is_member(n) && level != ConsistencyLevel::kLinearizable) {
+    // kSnapshot warm path: when EVERY key's stripe holds a valid lease the
+    // whole read set is served locally with zero messages. Stripe == orec
+    // stripe, so the leased epochs are exactly the orec versions an OCC
+    // multi_get would validate; each is within the lease staleness bound.
+    bool all_warm = true;
+    std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+    for (const Key key : keys) {
+      by_shard[map_.shard_of(key)].push_back(slot_of(key));
+    }
+    for (ShardId s = 0; s < shards_.size() && all_warm; ++s) {
+      if (!by_shard[s].empty()) {
+        all_warm = lease_mgr_->warm(n, s, by_shard[s]);
+      }
+    }
+    if (all_warm) {
+      out->assign(keys.size(), std::nullopt);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        lease_mgr_->serve_warm(n, map_.shard_of(keys[i]), slot_of(keys[i]),
+                               keys[i], &(*out)[i]);
+      }
+      return completed_process();
+    }
+  }
+
+  // Cold (or linearizable, or a member): the full OCC snapshot protocol,
+  // executed at the primary shard's root through its proxy chain.
+  const ShardId primary = involved_shards(keys).front();
+  const dsm::NodeId server = shards_[primary]->root;
+  const auto req = static_cast<std::uint32_t>(
+      cfg_.lease.ctrl_bytes + cfg_.lease.data_bytes * keys.size());
+  const auto reply = static_cast<std::uint32_t>(
+      cfg_.lease.ctrl_bytes + cfg_.lease.data_bytes * keys.size());
+  return forward_op(n, primary, req, reply,
+                    [this, server, out, keys = std::move(keys)]() mutable {
+                      return multi_get_direct(server, std::move(keys), out);
+                    });
+}
+
+// --- partial-replication routing -------------------------------------------
+
+sim::Process ShardedStore::chain_after(sim::Process prev, OpThunk thunk) {
+  co_await prev.join();
+  co_await thunk().join();
+}
+
+sim::Process ShardedStore::enqueue_proxy(dsm::NodeId server, OpThunk thunk) {
+  // One mutating instruction stream per node: each proxied op starts only
+  // after the previous one completed — the Fig. 4 nesting rule, upheld on
+  // root nodes however many clients forward to them.
+  ProxySlot& p = proxies_[server];
+  p.tail = p.active ? chain_after(p.tail, std::move(thunk)) : thunk();
+  p.active = true;
+  return p.tail;
+}
+
+sim::Process ShardedStore::forward_op(dsm::NodeId n, ShardId primary,
+                                      std::uint32_t req_bytes,
+                                      std::uint32_t reply_bytes,
+                                      OpThunk thunk) {
+  const dsm::NodeId server = shards_[primary]->root;
+  lease_mgr_->note_forwarded(primary);
+  if (n == server) {
+    co_await enqueue_proxy(server, std::move(thunk)).join();
+    co_return;
+  }
+  auto rv = std::make_shared<FwdRendezvous>(sys_->scheduler());
+  sys_->send_direct(
+      n, server, req_bytes, "svc-fwd",
+      [this, n, server, reply_bytes, rv, thunk = std::move(thunk)]() mutable {
+        (void)ack_when_done(*sys_, enqueue_proxy(server, std::move(thunk)),
+                            server, n, reply_bytes, rv);
+      });
+  while (!rv->done) co_await rv->sig.wait();
+}
+
+// --- lock-policy write path ------------------------------------------------
 
 void ShardedStore::write_slot(Shard& sh, dsm::DsmNode& node, Key key,
                               dsm::Word value) {
@@ -99,8 +339,8 @@ void ShardedStore::write_slot(Shard& sh, dsm::DsmNode& node, Key key,
                          static_cast<std::uint32_t>(slot));
 }
 
-sim::Process ShardedStore::put(dsm::NodeId n, Key key, dsm::Word value) {
-  OPTSYNC_EXPECT(key != 0);
+sim::Process ShardedStore::put_direct(dsm::NodeId n, Key key,
+                                      dsm::Word value) {
   Shard& sh = *shards_[map_.shard_of(key)];
   bool use_queue = false;
   switch (cfg_.lock) {
@@ -209,9 +449,8 @@ void ShardedStore::record_txn_flight(sim::Time started, sim::Time acquired) {
   txn_stats_.hold_ns.record(static_cast<std::int64_t>(now - acquired));
 }
 
-sim::Process ShardedStore::multi_put(
+sim::Process ShardedStore::multi_put_direct(
     dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
-  OPTSYNC_EXPECT(!kvs.empty());
   std::vector<Key> keys;
   keys.reserve(kvs.size());
   for (const auto& [key, value] : kvs) {
@@ -219,7 +458,7 @@ sim::Process ShardedStore::multi_put(
     keys.push_back(key);
   }
   std::vector<ShardId> ids = involved_shards(keys);
-  if (cfg_.txn_mode == TxnMode::kOcc) {
+  if (cfg_.txn.mode == TxnMode::kOcc) {
     return multi_put_occ(n, std::move(kvs), std::move(ids));
   }
   core::MultiGroupMutex& mux = txn_mutex(ids);
@@ -255,7 +494,7 @@ sim::Process ShardedStore::multi_put_occ(
       txn_mgr_->write_word(t, sh.site, slot, sh.slot_values[slot], value);
     }
     co_await sim::delay(
-        sched, (cfg_.write_compute_ns + 2 * cfg_.txn.save_ns_per_var) *
+        sched, (cfg_.write_compute_ns + 2 * cfg_.txn.tuning.save_ns_per_var) *
                    static_cast<sim::Duration>(kvs.size()));
     if (auto* trc = sys_->tracer()) {
       if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
@@ -282,17 +521,17 @@ sim::Process ShardedStore::multi_put_occ(
   }
 }
 
-sim::Process ShardedStore::multi_rmw(dsm::NodeId n, std::vector<Key> keys,
-                                     dsm::Word delta) {
-  OPTSYNC_EXPECT(!keys.empty());
+sim::Process ShardedStore::multi_rmw_direct(dsm::NodeId n,
+                                            std::vector<Key> keys,
+                                            dsm::Word delta) {
   auto& sched = sys_->scheduler();
   const sim::Time started = sched.now();
   std::vector<ShardId> ids = involved_shards(keys);
   auto& cm = txn_mgr_->contention();
   std::uint32_t aborts = 0;
   for (;;) {
-    if (cfg_.txn_mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
-      if (cfg_.txn_mode == TxnMode::kOcc) {
+    if (cfg_.txn.mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
+      if (cfg_.txn.mode == TxnMode::kOcc) {
         cm.note_fallback();
         for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
       }
@@ -322,7 +561,7 @@ sim::Process ShardedStore::multi_rmw(dsm::NodeId n, std::vector<Key> keys,
                            cur_val + delta);
     }
     co_await sim::delay(
-        sched, (cfg_.write_compute_ns + 2 * cfg_.txn.save_ns_per_var) *
+        sched, (cfg_.write_compute_ns + 2 * cfg_.txn.tuning.save_ns_per_var) *
                    static_cast<sim::Duration>(keys.size()));
     if (auto* trc = sys_->tracer()) {
       if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
@@ -384,19 +623,17 @@ sim::Process ShardedStore::multi_rmw_impl(dsm::NodeId n, std::vector<Key> keys,
   record_txn_flight(started, acquired);
 }
 
-sim::Process ShardedStore::multi_get(
+sim::Process ShardedStore::multi_get_direct(
     dsm::NodeId n, std::vector<Key> keys,
     std::vector<std::optional<dsm::Word>>* out) {
-  OPTSYNC_EXPECT(!keys.empty());
-  OPTSYNC_EXPECT(out != nullptr);
   std::vector<ShardId> ids = involved_shards(keys);
   auto& cm = txn_mgr_->contention();
   auto& node = sys_->node(n);
   std::uint32_t aborts = 0;
   for (;;) {
-    if (cfg_.txn_mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
+    if (cfg_.txn.mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
       // Irrevocable snapshot: read under every involved shard lock.
-      if (cfg_.txn_mode == TxnMode::kOcc) {
+      if (cfg_.txn.mode == TxnMode::kOcc) {
         cm.note_fallback();
         for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
       }
@@ -404,7 +641,7 @@ sim::Process ShardedStore::multi_get(
       co_await mux.acquire(n).join();
       out->clear();
       for (const Key key : keys) {
-        out->push_back(get(n, key));
+        out->push_back(local_get(n, key));
       }
       mux.release(n);
       co_return;
@@ -494,6 +731,14 @@ void ShardedStore::fill_report(stats::ServiceReport& report) {
     entry.txn_aborts = sh.txn_aborts;
     entry.txn_retries = sh.txn_retries;
     entry.txn_fallbacks = sh.txn_fallbacks;
+    if (lease_mgr_) {
+      const auto& c = lease_mgr_->counters(s);
+      entry.lease_hits = c.hits;
+      entry.lease_grants = c.grants;
+      entry.lease_invalidations = c.invalidations;
+      entry.remote_reads = c.remote_reads;
+      entry.forwarded_ops = c.forwarded;
+    }
   }
   report.messages = sys_->network().stats().messages;
   report.faults = stats::collect_fault_report(sys_->network().stats(),
@@ -541,6 +786,22 @@ void ShardedStore::register_telemetry(telemetry::Sampler& sampler,
   sampler.add_rate("optsync_txn_aborts_per_s", {}, [this] {
     return static_cast<double>(txn_mgr_->aborts());
   });
+  if (lease_mgr_) {
+    sampler.add_rate("optsync_lease_hits_per_s", {}, [this] {
+      double v = 0.0;
+      for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+        v += static_cast<double>(lease_mgr_->counters(s).hits);
+      }
+      return v;
+    });
+    sampler.add_rate("optsync_lease_invalidations_per_s", {}, [this] {
+      double v = 0.0;
+      for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+        v += static_cast<double>(lease_mgr_->counters(s).invalidations);
+      }
+      return v;
+    });
+  }
 }
 
 bool ShardedStore::replicas_converged() const {
@@ -568,6 +829,10 @@ dsm::VarId ShardedStore::lock_var(ShardId s) const {
 
 dsm::GroupId ShardedStore::group_of(ShardId s) const {
   return shards_.at(s)->group;
+}
+
+dsm::NodeId ShardedStore::root_of(ShardId s) const {
+  return shards_.at(s)->root;
 }
 
 std::uint64_t ShardedStore::committed_writes(ShardId s) const {

@@ -9,6 +9,18 @@
 // version word, and a set of KV slots. A ShardMap routes keys to shards;
 // unrelated keys never meet a common sequencer or lock queue.
 //
+// Replication modes (LeaseConfig::server_nodes):
+//   * full (0, the default) — every node is a member of every shard group;
+//     reads are free everywhere, every write multicasts machine-wide.
+//   * partial (N > 0) — groups span only nodes [0, N); the rest are pure
+//     clients. Client reads go through the leased read-replica tier
+//     (shard/lease.hpp): a warm lease serves locally with zero messages, a
+//     miss round-trips to the shard root. Every mutating operation is
+//     routed to the owning (primary) shard root's node and executed there
+//     by that node's proxy chain — a per-node FIFO of operations, so the
+//     root node stays one instruction stream (the Fig. 4 nesting rule)
+//     however many clients forward to it.
+//
 // Per-shard lock protocol (LockPolicy):
 //   * kQueue      — the §2 GWC queue lock (sync::GwcQueueLock);
 //   * kOptimistic — core::OptimisticMutex, §4 speculation with the
@@ -16,29 +28,31 @@
 //   * kAdaptive   — a store-level per-shard core::UsageHistory observes
 //     lock busyness at every write arrival and routes the write to the
 //     queue-lock client when the shard looks contended, to the optimistic
-//     mutex when it looks idle. This is the §4 decision lifted from
-//     per-node to per-shard: a hot shard degenerates to the regular
-//     protocol (zero extra traffic), a cold one commits writes in
-//     roughly its compute time.
+//     mutex when it looks idle.
 //
 // Multi-key transactions that cross shards run, by default, on the
-// optimistic txn::TxnManager layer (TxnMode::kOcc): speculate locally,
-// detect conflicts through clobber interrupts and orec versions, then
-// commit under the involved shard locks held only for validate+publish.
-// Repeated aborts escalate to the irrevocable fallback — the legacy
-// TxnMode::kLegacy path, core::MultiGroupMutex held across the whole
-// compute (same ascending-VarId order, so the two paths are jointly
-// deadlock-free). Either way every involved shard's version word is
-// bumped once, so the per-shard serializability ledger (version ==
-// committed writes) stays exact across shard boundaries. Every committed
-// slot write — single-key or transactional — also bumps the slot's orec
-// stripe, which is what multi_get/multi_rmw readers validate against.
+// optimistic txn::TxnManager layer (TxnConfig::mode == TxnMode::kOcc):
+// speculate locally, detect conflicts through clobber interrupts and orec
+// versions, then commit under the involved shard locks held only for
+// validate+publish. Repeated aborts escalate to the irrevocable fallback —
+// the TxnMode::kLegacy path, core::MultiGroupMutex held across the whole
+// compute. Either way every involved shard's version word is bumped once,
+// so the per-shard serializability ledger stays exact across shard
+// boundaries, and every committed slot write bumps the slot's orec stripe,
+// which is what multi_get/multi_rmw readers — and lease epochs — validate
+// against.
+//
+// The operation surface lives on shard::Client (shard/client.hpp):
+// read/write/txn with an explicit ConsistencyLevel. The get/put/multi_*
+// methods below are the pre-Client API, kept as thin deprecated shims.
 //
 // Concurrency contract: operations on one node must not overlap (a node
 // models one instruction stream — the Fig. 4 nesting rule). load::Generator
-// serializes per node; direct callers must do the same.
+// serializes per node; direct callers must do the same. In partial mode the
+// store's own proxy chains uphold the rule on root nodes.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -49,6 +63,7 @@
 #include "core/optimistic_mutex.hpp"
 #include "core/usage_history.hpp"
 #include "dsm/system.hpp"
+#include "shard/lease.hpp"
 #include "shard/shard_map.hpp"
 #include "simkern/coro.hpp"
 #include "stats/lock_stats.hpp"
@@ -58,6 +73,8 @@
 #include "txn/txn.hpp"
 
 namespace optsync::shard {
+
+class Client;
 
 enum class LockPolicy { kQueue, kOptimistic, kAdaptive };
 
@@ -86,6 +103,54 @@ constexpr std::string_view txn_mode_name(TxnMode m) {
   return "?";
 }
 
+/// What a read is allowed to return (shard::Client::read / txn).
+///   * kLinearizable — the value the shard root holds at serve time; a
+///     client pays the full round trip on every read.
+///   * kLeased       — serve from a valid local lease when warm (zero
+///     messages), fetch a fresh lease otherwise. Bounded staleness: never
+///     past the lease TTL, never a version the client saw invalidated.
+///   * kSnapshot     — like kLeased for single reads; a multi-key read is
+///     additionally served entirely from local leases only when EVERY
+///     stripe is warm (epoch-consistent, the orec-validated snapshot),
+///     else it falls back to the OCC multi_get protocol at the root.
+/// On group-member nodes every level reads local replica memory — that is
+/// eagersharing's contract.
+enum class ConsistencyLevel { kLinearizable, kLeased, kSnapshot };
+
+constexpr std::string_view consistency_level_name(ConsistencyLevel c) {
+  switch (c) {
+    case ConsistencyLevel::kLinearizable:
+      return "linearizable";
+    case ConsistencyLevel::kLeased:
+      return "leased";
+    case ConsistencyLevel::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+/// Cross-shard transaction commit configuration (nested — replaces the
+/// old flat `txn_mode` + `txn` fields).
+struct TxnConfig {
+  /// kOcc speculates outside the locks and holds them only for
+  /// validate+publish; kLegacy holds every involved lock across the whole
+  /// compute (the pre-OCC MultiGroupMutex path, kept as baseline and as
+  /// the OCC irrevocable fallback).
+  TxnMode mode = TxnMode::kOcc;
+  /// OCC layer tuning. `orec_stripes` is forced to slots_per_shard by the
+  /// store (stripe == slot, so a slot write always bumps the orec its
+  /// readers validated).
+  txn::TxnConfig tuning;
+};
+
+/// Per-store override of the roots' coalescing knobs. Defaults inherit
+/// the DsmConfig values untouched (the adaptive controller can still
+/// retune per shard at runtime either way).
+struct CoalesceConfig {
+  std::uint32_t max_writes = 0;  ///< 0 = inherit DsmConfig
+  std::int64_t max_ns = -1;      ///< < 0 = inherit DsmConfig
+};
+
 struct ShardedStoreConfig {
   std::uint32_t shards = 4;
   std::uint32_t slots_per_shard = 8;  ///< KV slots (key, value var pairs)
@@ -102,15 +167,10 @@ struct ShardedStoreConfig {
   /// In-section compute per write (hash + slot scan).
   sim::Duration write_compute_ns = 800;
 
-  /// Cross-shard commit protocol. kOcc speculates outside the locks and
-  /// holds them only for validate+publish; kLegacy holds every involved
-  /// lock across the whole compute (the pre-OCC MultiGroupMutex path,
-  /// kept as baseline and as the OCC irrevocable fallback).
-  TxnMode txn_mode = TxnMode::kOcc;
-  /// OCC layer tuning. `orec_stripes` is forced to slots_per_shard by the
-  /// store (stripe == slot, so a slot write always bumps the orec its
-  /// readers validated).
-  txn::TxnConfig txn;
+  TxnConfig txn;
+  CoalesceConfig coalesce;
+  /// Replication mode + leased read-replica tier (shard/lease.hpp).
+  LeaseConfig lease;
 
   /// Shard s roots at members[(s * root_stride) % members.size()]; the
   /// default walks the machine so consecutive shards sequence on
@@ -120,8 +180,9 @@ struct ShardedStoreConfig {
 
 class ShardedStore {
  public:
-  /// Creates one sharing group per shard over ALL nodes of `sys` (full
-  /// replication — every node can serve local reads for every key).
+  /// Creates one sharing group per shard. Group membership is all nodes
+  /// (full replication) or nodes [0, lease.server_nodes) — see the header
+  /// comment on replication modes.
   ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg);
 
   ShardedStore(const ShardedStore&) = delete;
@@ -130,61 +191,69 @@ class ShardedStore {
   [[nodiscard]] const ShardMap& map() const { return map_; }
   [[nodiscard]] std::uint32_t shards() const { return map_.shards(); }
   [[nodiscard]] ShardId shard_of(Key key) const { return map_.shard_of(key); }
+  /// The KV slot (== orec stripe == lease stripe at width 1) `key` maps to
+  /// within its shard.
+  [[nodiscard]] std::size_t slot_of(Key key) const;
   [[nodiscard]] dsm::DsmSystem& system() { return *sys_; }
   [[nodiscard]] const ShardedStoreConfig& config() const { return cfg_; }
 
-  /// Local read on node `n` — zero network traffic (eagersharing keeps
-  /// every replica warm). Empty when the key is absent or was evicted.
-  [[nodiscard]] std::optional<dsm::Word> get(dsm::NodeId n, Key key) const;
+  /// True in partial-replication mode (lease tier active).
+  [[nodiscard]] bool partial() const { return lease_mgr_ != nullptr; }
+  /// True when `n` is a member of the shard groups (always true in full
+  /// replication).
+  [[nodiscard]] bool is_member(dsm::NodeId n) const {
+    return !partial() || n < cfg_.lease.server_nodes;
+  }
+  /// The lease tier, or nullptr under full replication.
+  [[nodiscard]] LeaseManager* leases() { return lease_mgr_.get(); }
+  [[nodiscard]] const LeaseManager* leases() const { return lease_mgr_.get(); }
 
-  /// Single-key write under the owning shard's lock, per the configured
-  /// LockPolicy. Keys are >= 1 (0 marks an empty slot).
-  /// Use as: co_await store.put(n, key, value).join();
-  sim::Process put(dsm::NodeId n, Key key, dsm::Word value);
+  // --- pre-Client API (deprecated shims) ---------------------------------
+  /// Local read on node `n`. Full replication only — partial-replication
+  /// reads need a consistency level; use shard::Client::read.
+  [[deprecated("use shard::Client::read")]] std::optional<dsm::Word> get(
+      dsm::NodeId n, Key key) const;
 
-  /// Multi-key transaction writing all pairs atomically and bumping each
-  /// involved shard's version word once. TxnMode::kOcc speculates and
-  /// commits through the txn layer, retrying with backoff on conflict and
-  /// escalating to the irrevocable MultiGroupMutex path after the abort
-  /// budget; TxnMode::kLegacy holds every involved lock across the write.
-  sim::Process multi_put(dsm::NodeId n,
-                         std::vector<std::pair<Key, dsm::Word>> kvs);
+  /// Single-key write under the owning shard's lock.
+  [[deprecated("use shard::Client::write")]] sim::Process put(
+      dsm::NodeId n, Key key, dsm::Word value);
 
-  /// Multi-key read-modify-write: atomically adds `delta` to every key's
-  /// value (absent keys start at 0, so this also inserts). The read set
-  /// is covered by the write locks at commit, making the transaction
-  /// strictly serializable — the lost-update test case (YCSB-F idiom).
-  sim::Process multi_rmw(dsm::NodeId n, std::vector<Key> keys,
-                         dsm::Word delta);
+  /// Multi-key atomic write.
+  [[deprecated("use shard::Client::txn")]] sim::Process multi_put(
+      dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs);
 
-  /// Multi-key consistent snapshot into `*out` (aligned with `keys`;
-  /// absent keys read as nullopt). Validates the read set through the OCC
-  /// commit protocol (no locks taken); falls back to reading under the
-  /// involved shard locks after the abort budget.
-  sim::Process multi_get(dsm::NodeId n, std::vector<Key> keys,
-                         std::vector<std::optional<dsm::Word>>* out);
+  /// Multi-key read-modify-write (+= delta; absent keys start at 0).
+  [[deprecated("use shard::Client::txn")]] sim::Process multi_rmw(
+      dsm::NodeId n, std::vector<Key> keys, dsm::Word delta);
+
+  /// Multi-key consistent snapshot.
+  [[deprecated("use shard::Client::txn")]] sim::Process multi_get(
+      dsm::NodeId n, std::vector<Key> keys,
+      std::vector<std::optional<dsm::Word>>* out);
 
   // --- end-of-run rollup -------------------------------------------------
-  /// Fills the lock/root/ledger side of `report` (resizing its shard list
-  /// if needed): per-shard LockStats, root sequencing/frame rollup, final
-  /// version vs. committed-write counts, network/fault totals.
+  /// Fills the lock/root/ledger/lease side of `report` (resizing its shard
+  /// list if needed): per-shard LockStats, root sequencing/frame rollup,
+  /// final version vs. committed-write counts, lease counters,
+  /// network/fault totals.
   void fill_report(stats::ServiceReport& report);
 
   /// True when every replica of every shard agrees on every slot and the
-  /// version word (GWC convergence).
+  /// version word (GWC convergence). Partial mode checks the members.
   [[nodiscard]] bool replicas_converged() const;
 
   /// Registers live per-shard gauges/rates on `sampler`: arrival backlog
   /// (issued - completed, read from `live` — the report the generator
   /// updates during the run), root lock-queue length, open-frame occupancy,
-  /// goodput, plus global message/retransmit rates. Both `sampler` and
-  /// `live` must outlive the store's sampling window.
+  /// goodput, plus global message/retransmit/lease rates. Both `sampler`
+  /// and `live` must outlive the store's sampling window.
   void register_telemetry(telemetry::Sampler& sampler,
                           const stats::ServiceReport& live);
 
   // --- per-shard introspection (tests, benches) -------------------------
   [[nodiscard]] dsm::VarId lock_var(ShardId s) const;
   [[nodiscard]] dsm::GroupId group_of(ShardId s) const;
+  [[nodiscard]] dsm::NodeId root_of(ShardId s) const;
   [[nodiscard]] std::uint64_t committed_writes(ShardId s) const;
   /// Final version word, read on the shard's root node.
   [[nodiscard]] dsm::Word version(ShardId s) const;
@@ -208,6 +277,8 @@ class ShardedStore {
   [[nodiscard]] std::uint64_t txn_fallbacks(ShardId s) const;
 
  private:
+  friend class Client;
+
   struct Shard {
     explicit Shard(double decay) : history(decay) {}
     dsm::GroupId group = 0;
@@ -230,11 +301,33 @@ class ShardedStore {
     std::uint64_t txn_fallbacks = 0;
   };
 
-  [[nodiscard]] std::size_t slot_of(Key key) const;
+  // --- Client entry points (shard/client.hpp delegates here) ------------
+  sim::Process read_op(dsm::NodeId n, Key key, std::optional<dsm::Word>* out,
+                       ConsistencyLevel level);
+  sim::Process write_op(dsm::NodeId n, Key key, dsm::Word value);
+  sim::Process multi_put_op(dsm::NodeId n,
+                            std::vector<std::pair<Key, dsm::Word>> kvs);
+  sim::Process multi_rmw_op(dsm::NodeId n, std::vector<Key> keys,
+                            dsm::Word delta);
+  sim::Process multi_get_op(dsm::NodeId n, std::vector<Key> keys,
+                            std::vector<std::optional<dsm::Word>>* out,
+                            ConsistencyLevel level);
+
+  [[nodiscard]] std::optional<dsm::Word> local_get(dsm::NodeId n,
+                                                   Key key) const;
   void write_slot(Shard& sh, dsm::DsmNode& node, Key key, dsm::Word value);
+  /// The LockPolicy dispatch, executing on node `n` (full mode: the
+  /// caller's node; partial mode: the shard root's, via its proxy chain).
+  sim::Process put_direct(dsm::NodeId n, Key key, dsm::Word value);
   sim::Process put_queued(Shard& sh, dsm::NodeId n, Key key, dsm::Word value);
   sim::Process put_optimistic(Shard& sh, dsm::NodeId n, Key key,
                               dsm::Word value);
+  sim::Process multi_put_direct(dsm::NodeId n,
+                                std::vector<std::pair<Key, dsm::Word>> kvs);
+  sim::Process multi_rmw_direct(dsm::NodeId n, std::vector<Key> keys,
+                                dsm::Word delta);
+  sim::Process multi_get_direct(dsm::NodeId n, std::vector<Key> keys,
+                                std::vector<std::optional<dsm::Word>>* out);
   sim::Process multi_put_impl(dsm::NodeId n,
                               std::vector<std::pair<Key, dsm::Word>> kvs,
                               std::vector<ShardId> ids,
@@ -245,6 +338,21 @@ class ShardedStore {
   sim::Process multi_rmw_impl(dsm::NodeId n, std::vector<Key> keys,
                               std::vector<ShardId> ids,
                               core::MultiGroupMutex& mux, dsm::Word delta);
+
+  // --- partial-replication routing --------------------------------------
+  using OpThunk = std::function<sim::Process()>;
+  /// Appends `thunk` to `server`'s proxy chain (the node's single
+  /// instruction stream for mutating ops); returns a Process completing
+  /// when the thunk has run.
+  sim::Process enqueue_proxy(dsm::NodeId server, OpThunk thunk);
+  sim::Process chain_after(sim::Process prev, OpThunk thunk);
+  /// Routes an operation to `primary`'s root: enqueued directly when `n`
+  /// IS the root node, else shipped as an RPC (request `req_bytes` up,
+  /// `reply_bytes` back once the proxied op completes).
+  sim::Process forward_op(dsm::NodeId n, ShardId primary,
+                          std::uint32_t req_bytes, std::uint32_t reply_bytes,
+                          OpThunk thunk);
+
   /// Cached MultiGroupMutex per involved-shard set (clients are stateless
   /// between acquisitions, so reuse is safe and keeps stats cumulative).
   core::MultiGroupMutex& txn_mutex(const std::vector<ShardId>& ids);
@@ -259,6 +367,14 @@ class ShardedStore {
   /// Created after the shard groups so its orec vars slot into each
   /// shard's group; one site per shard, site id == shard id.
   std::unique_ptr<txn::TxnManager> txn_mgr_;
+  /// Partial-replication lease tier; nullptr under full replication.
+  std::unique_ptr<LeaseManager> lease_mgr_;
+  /// Per-node proxy chain tails (partial mode; only root nodes used).
+  struct ProxySlot {
+    bool active = false;
+    sim::Process tail;
+  };
+  std::vector<ProxySlot> proxies_;
   std::map<std::vector<ShardId>, std::unique_ptr<core::MultiGroupMutex>>
       txn_muxes_;
   stats::LockStats txn_stats_;

@@ -93,6 +93,29 @@ std::string ServiceReport::format() const {
         s.serializable() ? "yes" : "NO (BUG)", health);
     out << line;
   }
+  bool lease_active = false;
+  for (const auto& s : shards) {
+    lease_active = lease_active || s.lease_hits + s.lease_grants +
+                                           s.lease_invalidations +
+                                           s.remote_reads + s.forwarded_ops >
+                                       0;
+  }
+  if (lease_active) {
+    out << "  shard  hit%    hits     grants   invals   remote   "
+           "forwarded\n";
+    for (const auto& s : shards) {
+      std::snprintf(
+          line, sizeof line,
+          "  %-6u %-7.1f %-8llu %-8llu %-8llu %-8llu %llu\n", s.shard,
+          100.0 * s.lease_hit_rate(),
+          static_cast<unsigned long long>(s.lease_hits),
+          static_cast<unsigned long long>(s.lease_grants),
+          static_cast<unsigned long long>(s.lease_invalidations),
+          static_cast<unsigned long long>(s.remote_reads),
+          static_cast<unsigned long long>(s.forwarded_ops));
+      out << line;
+    }
+  }
   if (drowning_shards() > 0) {
     out << "  " << drowning_shards()
         << " shard(s) DROWNING: backlog grew for as long as load was "

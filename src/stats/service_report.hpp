@@ -99,6 +99,29 @@ struct ShardServiceStats {
     return total > 0.0 ? static_cast<double>(txn_aborts) / total : 0.0;
   }
 
+  // --- lease tier rollup (shard::LeaseManager, partial replication) ------
+  /// Client reads served from a valid local lease (zero messages).
+  std::uint64_t lease_hits = 0;
+  /// Lease grants issued by this shard's root (client read misses).
+  std::uint64_t lease_grants = 0;
+  /// Per-holder invalidation records shipped at frame flushes.
+  std::uint64_t lease_invalidations = 0;
+  /// Client reads answered by the root without installing a lease
+  /// (ConsistencyLevel::kLinearizable, or the lease tier disabled).
+  std::uint64_t remote_reads = 0;
+  /// Write/txn operations forwarded to this shard's root for execution
+  /// (partial replication routes every mutation through the root's node).
+  std::uint64_t forwarded_ops = 0;
+
+  /// Locally served share of client reads; 0 when no client read touched
+  /// the shard (the safe_rate idiom: empty windows stay JSON-clean).
+  [[nodiscard]] double lease_hit_rate() const {
+    const double total = static_cast<double>(lease_hits) +
+                         static_cast<double>(lease_grants) +
+                         static_cast<double>(remote_reads);
+    return total > 0.0 ? static_cast<double>(lease_hits) / total : 0.0;
+  }
+
   // --- overload verdict (telemetry::flag_overload) ---------------------
   /// True when the shard's backlog series shows sustained growth: the
   /// shard is past saturation ("drowning"), not merely slow. Stays false

@@ -51,8 +51,9 @@ enum class SpanKind : std::uint8_t {
   kRollback,      ///< journal restore after a failed speculation
   kValidate,      ///< OCC read-set validation against orec versions
   kBackoff,       ///< contention-manager delay between transaction retries
+  kLeaseFetch,    ///< client read round trip to the shard root (lease miss)
 };
-inline constexpr std::size_t kSpanKindCount = 14;
+inline constexpr std::size_t kSpanKindCount = 15;
 
 constexpr std::string_view span_kind_name(SpanKind k) {
   switch (k) {
@@ -84,6 +85,8 @@ constexpr std::string_view span_kind_name(SpanKind k) {
       return "validate";
     case SpanKind::kBackoff:
       return "backoff";
+    case SpanKind::kLeaseFetch:
+      return "lease-fetch";
   }
   return "?";
 }
@@ -144,6 +147,7 @@ constexpr Bucket bucket_of(SpanKind k) {
       return Bucket::kBacklog;
     case SpanKind::kWireUp:
     case SpanKind::kWireDown:
+    case SpanKind::kLeaseFetch:
       return Bucket::kWire;
     case SpanKind::kRootQueue:
       return Bucket::kQueueWait;
@@ -196,6 +200,8 @@ constexpr int sweep_priority(SpanKind k) {
       return 8;
     case SpanKind::kBacklog:
       return 9;
+    case SpanKind::kLeaseFetch:
+      return 10;
     case SpanKind::kRequest:
     case SpanKind::kLockWait:
       break;

@@ -21,6 +21,7 @@
 #include "dsm/system.hpp"
 #include "load/generator.hpp"
 #include "net/topology.hpp"
+#include "shard/client.hpp"
 #include "shard/coalesce_controller.hpp"
 #include "shard/sharded_store.hpp"
 #include "stats/json.hpp"
@@ -78,7 +79,8 @@ std::string run_fingerprint(std::uint64_t seed, const WorkloadParams& p) {
   load::Generator gen(gcfg);
 
   stats::ServiceReport report;
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   shard::CoalesceController ctrl(store, report);
   if (p.adaptive_coalesce) ctrl.start();
   sched.run();

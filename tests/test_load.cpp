@@ -247,7 +247,8 @@ TEST(Generator, RmwRunCompletesWithExactIncrements) {
   cfg.rmw_fraction = 0.30;
   Generator gen(cfg);
   stats::ServiceReport report;
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   sched.run();
   drive.rethrow_if_failed();
   store.fill_report(report);
@@ -277,7 +278,8 @@ TEST(Generator, RunCompletesEveryRequestWithCoherentAccounting) {
   cfg.requests = 300;
   Generator gen(cfg);
   stats::ServiceReport report;
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   sched.run();
   drive.rethrow_if_failed();
   store.fill_report(report);
@@ -316,7 +318,8 @@ TEST(Generator, ServiceRunIsDeterministicPerSeed) {
     cfg.requests = 200;
     Generator gen(cfg);
     stats::ServiceReport report;
-    auto drive = gen.run(store, report);
+    shard::Client client(store);
+    auto drive = gen.run(client, report);
     sched.run();
     drive.rethrow_if_failed();
     store.fill_report(report);

@@ -12,6 +12,7 @@
 #include "dsm/system.hpp"
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "trace/gwc_checker.hpp"
 #include "trace/recorder.hpp"
@@ -61,7 +62,8 @@ TEST_P(ServiceFaultSoak, EveryShardSurvivesDropAndPartition) {
   gcfg.txn_fraction = 0.10;
   load::Generator gen(gcfg);
   stats::ServiceReport report;
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   sched.run();
   drive.rethrow_if_failed();
   store.fill_report(report);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dsm/system.hpp"
+#include "shard/client.hpp"
 #include "shard/shard_map.hpp"
 
 namespace optsync::shard {
@@ -120,18 +121,29 @@ struct Fixture {
   explicit Fixture(ShardedStoreConfig cfg = {})
       : topo(net::MeshTorus2D::near_square(8)),
         sys(sched, topo, dsm::DsmConfig{}),
-        store(sys, cfg) {}
+        store(sys, cfg),
+        client(store) {}
   sim::Scheduler sched;
   net::MeshTorus2D topo;
   dsm::DsmSystem sys;
   ShardedStore store;
+  Client client;
 };
 
 sim::Process put_batch(Fixture& f, dsm::NodeId n, std::vector<Key> keys,
                        dsm::Word base) {
   for (const Key k : keys) {
-    co_await f.store.put(n, k, base + static_cast<dsm::Word>(k)).join();
+    co_await f.client.write(n, k, base + static_cast<dsm::Word>(k)).join();
   }
+}
+
+// Member-node reads complete without scheduler involvement, so the process
+// is done the moment read() returns.
+std::optional<dsm::Word> read_now(Fixture& f, dsm::NodeId n, Key k) {
+  std::optional<dsm::Word> out;
+  auto p = f.client.read(n, k, &out);
+  EXPECT_TRUE(p.done());
+  return out;
 }
 
 TEST(ShardedStore, PutGetRoundtripAcrossShards) {
@@ -146,12 +158,12 @@ TEST(ShardedStore, PutGetRoundtripAcrossShards) {
   // Reads are local on every node — all replicas serve the same values.
   for (const dsm::NodeId n : {0u, 3u, 7u}) {
     for (const Key k : {1ull, 2ull, 3ull, 17ull, 101ull, 999ull}) {
-      const auto got = f.store.get(n, k);
+      const auto got = read_now(f, n, k);
       ASSERT_TRUE(got.has_value()) << "key " << k << " on node " << n;
       EXPECT_EQ(*got, 5'000 + static_cast<dsm::Word>(k));
     }
   }
-  EXPECT_FALSE(f.store.get(0, 123'456).has_value());
+  EXPECT_FALSE(read_now(f, 0, 123'456).has_value());
 }
 
 TEST(ShardedStore, PerShardLedgerStaysExactUnderContention) {
@@ -176,12 +188,13 @@ TEST(ShardedStore, PerShardLedgerStaysExactUnderContention) {
 
 sim::Process txn_batch(Fixture& f, dsm::NodeId n, int rounds) {
   for (int r = 0; r < rounds; ++r) {
-    std::vector<std::pair<Key, dsm::Word>> kvs = {
+    TxnRequest req;
+    req.puts = {
         {static_cast<Key>(r * 3 + 1), n * 100 + r},
         {static_cast<Key>(r * 3 + 2), n * 100 + r + 1},
         {static_cast<Key>(r * 3 + 3), n * 100 + r + 2},
     };
-    co_await f.store.multi_put(n, std::move(kvs)).join();
+    co_await f.client.txn(n, std::move(req)).join();
   }
 }
 
@@ -290,6 +303,47 @@ TEST(ShardedStore, FillReportRollsUpEveryShard) {
   EXPECT_TRUE(report.serializable());
   EXPECT_GT(report.messages, 0u);
 }
+
+// The pre-Client methods must keep working until callers finish migrating:
+// each shim delegates to the Client entry points, so values written through
+// one surface read back identically through the other.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+sim::Process shim_ops(Fixture& f) {
+  co_await f.store.put(0, 11, 110).join();
+  std::vector<std::pair<Key, dsm::Word>> kvs;
+  kvs.emplace_back(12, 120);
+  kvs.emplace_back(13, 130);
+  co_await f.store.multi_put(1, std::move(kvs)).join();
+  std::vector<Key> rmw_keys;
+  rmw_keys.push_back(11);
+  co_await f.store.multi_rmw(2, std::move(rmw_keys), 5).join();
+}
+
+TEST(ShardedStore, DeprecatedShimsStillServe) {
+  ShardedStoreConfig cfg;
+  cfg.slots_per_shard = 16;
+  Fixture f(cfg);
+  auto p = shim_ops(f);
+  f.sched.run();
+  p.rethrow_if_failed();
+  EXPECT_EQ(f.store.get(3, 11), std::optional<dsm::Word>(115));
+  EXPECT_EQ(f.store.get(4, 12), std::optional<dsm::Word>(120));
+  EXPECT_EQ(f.store.get(5, 13), std::optional<dsm::Word>(130));
+  // And the new surface observes the same state.
+  EXPECT_EQ(read_now(f, 6, 11), std::optional<dsm::Word>(115));
+
+  std::vector<std::optional<dsm::Word>> snap;
+  auto g = f.store.multi_get(0, {11, 12, 13}, &snap);
+  f.sched.run();
+  g.rethrow_if_failed();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], std::optional<dsm::Word>(115));
+  EXPECT_EQ(snap[1], std::optional<dsm::Word>(120));
+  EXPECT_EQ(snap[2], std::optional<dsm::Word>(130));
+  EXPECT_TRUE(f.store.replicas_converged());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace optsync::shard

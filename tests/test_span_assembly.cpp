@@ -11,6 +11,7 @@
 #include "dsm/system.hpp"
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "telemetry/overload.hpp"
 #include "telemetry/sampler.hpp"
@@ -62,7 +63,8 @@ void run_traced_service(TracedRun& run, std::uint64_t seed,
   load::Generator gen(gcfg);
   run.requests = requests;
 
-  auto drive = gen.run(store, run.report);
+  shard::Client client(store);
+  auto drive = gen.run(client, run.report);
   sched.run();
   drive.rethrow_if_failed();
   store.fill_report(run.report);
@@ -157,7 +159,8 @@ OverloadRun run_overloaded_service(double rate_rps) {
   run.report.shards.resize(store.shards());
   store.register_telemetry(sampler, run.report);
 
-  auto drive = gen.run(store, run.report);
+  shard::Client client(store);
+  auto drive = gen.run(client, run.report);
   sampler.start(sched);
   sched.run();
   drive.rethrow_if_failed();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "load/generator.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "simkern/assert.hpp"
 #include "sync/gwc_lock.hpp"
@@ -309,16 +310,26 @@ struct StoreFixture {
   explicit StoreFixture(shard::ShardedStoreConfig scfg = {})
       : topo(net::MeshTorus2D::near_square(8)),
         sys(sched, topo, dsm::DsmConfig{}),
-        store(sys, scfg) {}
+        store(sys, scfg),
+        client(store) {}
   sim::Scheduler sched;
   net::MeshTorus2D topo;
   dsm::DsmSystem sys;
   shard::ShardedStore store;
+  shard::Client client;
 };
+
+std::optional<dsm::Word> read_now(StoreFixture& f, dsm::NodeId n,
+                                  shard::Key k) {
+  std::optional<dsm::Word> out;
+  auto p = f.client.read(n, k, &out);
+  EXPECT_TRUE(p.done());
+  return out;
+}
 
 TEST(StoreTxn, SingleKeyPutBumpsItsOrecStripe) {
   StoreFixture f;
-  auto p = f.store.put(1, 17, 1234);
+  auto p = f.client.write(1, 17, 1234);
   f.sched.run();
   p.rethrow_if_failed();
   const auto s = f.store.shard_of(17);
@@ -340,7 +351,10 @@ TEST(StoreTxn, MultiRmwHasNoLostUpdates) {
   constexpr int kRounds = 5;
   auto worker = [&](dsm::NodeId n) -> sim::Process {
     for (int k = 0; k < kRounds; ++k) {
-      co_await f.store.multi_rmw(n, keys, 1).join();
+      shard::TxnRequest req;
+      req.adds = keys;
+      req.delta = 1;
+      co_await f.client.txn(n, std::move(req)).join();
     }
   };
   std::vector<sim::Process> procs;
@@ -349,8 +363,8 @@ TEST(StoreTxn, MultiRmwHasNoLostUpdates) {
   for (auto& p : procs) p.rethrow_if_failed();
   const auto expect = static_cast<dsm::Word>(8 * kRounds);
   for (dsm::NodeId n = 0; n < 8; ++n) {
-    EXPECT_EQ(f.store.get(n, 5).value_or(-1), expect) << "node " << n;
-    EXPECT_EQ(f.store.get(n, 6).value_or(-1), expect) << "node " << n;
+    EXPECT_EQ(read_now(f, n, 5).value_or(-1), expect) << "node " << n;
+    EXPECT_EQ(read_now(f, n, 6).value_or(-1), expect) << "node " << n;
   }
   EXPECT_TRUE(f.store.replicas_converged());
   stats::ServiceReport report;
@@ -366,27 +380,30 @@ TEST(StoreTxn, MultiRmwHasNoLostUpdates) {
 TEST(StoreTxn, MultiGetReturnsCommittedSnapshot) {
   StoreFixture f;
   auto setup = [&]() -> sim::Process {
-    std::vector<std::pair<shard::Key, dsm::Word>> kvs{{10, 111}, {11, 222}};
-    co_await f.store.multi_put(0, std::move(kvs)).join();
+    shard::TxnRequest req;
+    req.puts = {{10, 111}, {11, 222}};
+    co_await f.client.txn(0, std::move(req)).join();
   }();
   f.sched.run();
   setup.rethrow_if_failed();
 
-  std::vector<std::optional<dsm::Word>> out;
-  auto p = f.store.multi_get(3, {10, 11, 12}, &out);
+  shard::TxnRequest req;
+  req.reads = {10, 11, 12};
+  shard::TxnResult res;
+  auto p = f.client.txn(3, std::move(req), &res);
   f.sched.run();
   p.rethrow_if_failed();
-  ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0].value_or(-1), 111);
-  EXPECT_EQ(out[1].value_or(-1), 222);
-  EXPECT_FALSE(out[2].has_value());  // never written
+  ASSERT_EQ(res.values.size(), 3u);
+  EXPECT_EQ(res.values[0].value_or(-1), 111);
+  EXPECT_EQ(res.values[1].value_or(-1), 222);
+  EXPECT_FALSE(res.values[2].has_value());  // never written
 }
 
 TEST(StoreTxn, OccAndLegacyAgreeOnFinalState) {
   auto run_mode = [](shard::TxnMode mode) {
     shard::ShardedStoreConfig scfg;
     scfg.shards = 4;
-    scfg.txn_mode = mode;
+    scfg.txn.mode = mode;
     StoreFixture f(scfg);
     auto worker = [&](dsm::NodeId n, std::uint64_t seed) -> sim::Process {
       sim::Rng rng(seed);
@@ -394,10 +411,10 @@ TEST(StoreTxn, OccAndLegacyAgreeOnFinalState) {
         const auto a = static_cast<shard::Key>(1 + rng.below(30));
         auto b = static_cast<shard::Key>(1 + rng.below(30));
         if (b == a) b = (b % 30) + 1;
-        std::vector<std::pair<shard::Key, dsm::Word>> kvs{
-            {a, static_cast<dsm::Word>(k)},
-            {b, static_cast<dsm::Word>(k + 100)}};
-        co_await f.store.multi_put(n, std::move(kvs)).join();
+        shard::TxnRequest req;
+        req.puts = {{a, static_cast<dsm::Word>(k)},
+                    {b, static_cast<dsm::Word>(k + 100)}};
+        co_await f.client.txn(n, std::move(req)).join();
       }
     };
     std::vector<sim::Process> procs;
@@ -417,12 +434,15 @@ TEST(StoreTxn, OccAndLegacyAgreeOnFinalState) {
 
 TEST(StoreTxn, AbortBudgetEscalatesToIrrevocableFallback) {
   shard::ShardedStoreConfig scfg;
-  scfg.txn.contention.max_aborts = 1;  // escalate after the first abort
+  scfg.txn.tuning.contention.max_aborts = 1;  // escalate after the first abort
   StoreFixture f(scfg);
   const std::vector<shard::Key> keys{5, 6};
   auto worker = [&](dsm::NodeId n) -> sim::Process {
     for (int k = 0; k < 6; ++k) {
-      co_await f.store.multi_rmw(n, keys, 1).join();
+      shard::TxnRequest req;
+      req.adds = keys;
+      req.delta = 1;
+      co_await f.client.txn(n, std::move(req)).join();
     }
   };
   std::vector<sim::Process> procs;
@@ -431,7 +451,7 @@ TEST(StoreTxn, AbortBudgetEscalatesToIrrevocableFallback) {
   for (auto& p : procs) p.rethrow_if_failed();
   // Still exact under escalation...
   for (dsm::NodeId n = 0; n < 8; ++n) {
-    EXPECT_EQ(f.store.get(n, 5).value_or(-1), 48) << "node " << n;
+    EXPECT_EQ(read_now(f, n, 5).value_or(-1), 48) << "node " << n;
   }
   // ...and the budget of one abort forced at least one fallback.
   EXPECT_GT(f.store.txn_manager().contention().fallbacks_signalled(), 0u);

@@ -21,6 +21,7 @@
 #include "dsm/system.hpp"
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
+#include "shard/client.hpp"
 #include "shard/sharded_store.hpp"
 #include "trace/gwc_checker.hpp"
 #include "trace/recorder.hpp"
@@ -74,7 +75,8 @@ TEST_P(TxnFaultSoak, OccStaysSerializableUnderDropAndPartition) {
   gcfg.keys.zipf_s = 1.0;
   load::Generator gen(gcfg);
   stats::ServiceReport report;
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   sched.run();
   drive.rethrow_if_failed();
   store.fill_report(report);
@@ -114,11 +116,15 @@ TEST(TxnFaultSoak, ContendedMixProducesAbortsAndLosesNoIncrements) {
   scfg.shards = 4;
   shard::ShardedStore store(sys, scfg);
 
+  shard::Client client(store);
   const std::vector<shard::Key> keys{5, 6};
   constexpr int kRounds = 8;
   auto worker = [&](dsm::NodeId n) -> sim::Process {
+    shard::TxnRequest req;
+    req.adds = keys;
+    req.delta = 1;
     for (int k = 0; k < kRounds; ++k) {
-      co_await store.multi_rmw(n, keys, 1).join();
+      co_await client.txn(n, req).join();
     }
   };
   std::vector<sim::Process> procs;
@@ -127,9 +133,15 @@ TEST(TxnFaultSoak, ContendedMixProducesAbortsAndLosesNoIncrements) {
   for (auto& p : procs) p.rethrow_if_failed();
 
   const auto expect = static_cast<dsm::Word>(8 * kRounds);
+  auto read_now = [&](dsm::NodeId n, shard::Key k) {
+    std::optional<dsm::Word> out;
+    auto p = client.read(n, k, &out);
+    EXPECT_TRUE(p.done());
+    return out;
+  };
   for (dsm::NodeId n = 0; n < 8; ++n) {
-    EXPECT_EQ(store.get(n, 5).value_or(-1), expect) << "node " << n;
-    EXPECT_EQ(store.get(n, 6).value_or(-1), expect) << "node " << n;
+    EXPECT_EQ(read_now(n, 5).value_or(-1), expect) << "node " << n;
+    EXPECT_EQ(read_now(n, 6).value_or(-1), expect) << "node " << n;
   }
   EXPECT_TRUE(store.replicas_converged());
   stats::ServiceReport report;

@@ -27,6 +27,7 @@
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
 #include "net/topology.hpp"
+#include "shard/client.hpp"
 #include "shard/coalesce_controller.hpp"
 #include "shard/sharded_store.hpp"
 #include "stats/metrics.hpp"
@@ -96,6 +97,15 @@ void usage() {
          " backlog\n"
          "  --txn-mode M         occ | legacy multi-key commit (default"
          " occ)\n"
+         "  --server-nodes N     partial replication: groups span nodes"
+         " [0,N),\n                       the rest are clients (default 0 ="
+         " full replication)\n"
+         "  --lease              enable the leased read-replica tier"
+         " (needs --server-nodes)\n"
+         "  --lease-ttl-ns T     lease lifetime (default 2000000)\n"
+         "  --consistency C      linearizable | leased | snapshot read"
+         " level (default\n                       leased when --lease is"
+         " set, else linearizable)\n"
          "  --fault-drop P --fault-seed N --partition A:B:S:E[,...]\n"
          "  plus the standard bench flags (--seed, --metrics-out,"
          " --trace-out,\n  --trace-capacity, --coalesce-max-writes,"
@@ -116,6 +126,7 @@ int main(int argc, char** argv) try {
       flags, {"nodes", "shards", "requests", "rate", "arrival", "dist",
               "zipf-s", "keys", "read-fraction", "txn-fraction",
               "rmw-fraction", "txn-keys", "policy", "txn-mode",
+              "server-nodes", "lease", "lease-ttl-ns", "consistency",
               "adaptive-coalesce", "fault-drop", "fault-seed", "partition",
               "help"});
 
@@ -156,11 +167,24 @@ int main(int argc, char** argv) try {
   }
   const std::string txn_mode = flags.get("txn-mode", "occ");
   if (txn_mode == "occ") {
-    scfg.txn_mode = shard::TxnMode::kOcc;
+    scfg.txn.mode = shard::TxnMode::kOcc;
   } else if (txn_mode == "legacy") {
-    scfg.txn_mode = shard::TxnMode::kLegacy;
+    scfg.txn.mode = shard::TxnMode::kLegacy;
   } else {
     std::cerr << "unknown --txn-mode '" << txn_mode << "'\n";
+    return 2;
+  }
+  scfg.lease.server_nodes =
+      static_cast<std::uint32_t>(flags.get_int("server-nodes", 0));
+  scfg.lease.enabled = flags.get_bool("lease", false);
+  const std::int64_t ttl_ns = flags.get_int("lease-ttl-ns", 2'000'000);
+  if (ttl_ns <= 0) {  // Duration is unsigned: reject before the cast wraps
+    std::cerr << "--lease-ttl-ns must be > 0\n";
+    return 2;
+  }
+  scfg.lease.ttl_ns = static_cast<sim::Duration>(ttl_ns);
+  if (scfg.lease.enabled && scfg.lease.server_nodes == 0) {
+    std::cerr << "--lease needs --server-nodes N (partial replication)\n";
     return 2;
   }
   shard::ShardedStore store(sys, scfg);
@@ -196,6 +220,18 @@ int main(int argc, char** argv) try {
   gcfg.rmw_fraction = flags.get_double("rmw-fraction", 0.0);
   gcfg.txn_keys =
       static_cast<std::uint32_t>(flags.get_int("txn-keys", 3));
+  const std::string consistency =
+      flags.get("consistency", scfg.lease.enabled ? "leased" : "linearizable");
+  if (consistency == "linearizable") {
+    gcfg.read_level = shard::ConsistencyLevel::kLinearizable;
+  } else if (consistency == "leased") {
+    gcfg.read_level = shard::ConsistencyLevel::kLeased;
+  } else if (consistency == "snapshot") {
+    gcfg.read_level = shard::ConsistencyLevel::kSnapshot;
+  } else {
+    std::cerr << "unknown --consistency '" << consistency << "'\n";
+    return 2;
+  }
   load::Generator gen(gcfg);
 
   stats::ServiceReport report;
@@ -207,7 +243,8 @@ int main(int argc, char** argv) try {
   auto& sampler = harness.sampler();
   store.register_telemetry(sampler, report);
   gen.register_telemetry(sampler);
-  auto drive = gen.run(store, report);
+  shard::Client client(store);
+  auto drive = gen.run(client, report);
   // --adaptive-coalesce: the per-shard controller tunes each root's frame
   // cap from its live backlog (and exports optsync_coalesce_cap gauges).
   shard::CoalesceController coalesce_ctrl(store, report);
@@ -266,6 +303,13 @@ int main(int argc, char** argv) try {
               << " shard groups): " << checker.report() << "\n";
     if (!checker.ok()) ok = false;
   }
+  if (store.partial()) {
+    // The auditor is the lease tier's independent witness: any serve of a
+    // superseded epoch (or past TTL) fails the run, soak mode or not.
+    const auto& auditor = store.leases()->auditor();
+    std::cout << auditor.report() << "\n";
+    if (!auditor.ok()) ok = false;
+  }
 
   auto& metrics = harness.metrics();
   metrics.row("service")
@@ -315,6 +359,15 @@ int main(int argc, char** argv) try {
         .set("backlog_slope_per_s", s.backlog_slope_per_s)
         .set("final_backlog", s.final_backlog)
         .set("peak_backlog", s.peak_backlog);
+    if (store.partial()) {
+      metrics.row("lease,shard=" + std::to_string(s.shard))
+          .set("hits", static_cast<double>(s.lease_hits))
+          .set("grants", static_cast<double>(s.lease_grants))
+          .set("invalidations", static_cast<double>(s.lease_invalidations))
+          .set("remote_reads", static_cast<double>(s.remote_reads))
+          .set("forwarded_ops", static_cast<double>(s.forwarded_ops))
+          .set("hit_rate", s.lease_hit_rate());
+    }
     metrics.lock(s.lock);
   }
   if (store.txn_stats().acquisitions > 0) metrics.lock(store.txn_stats());
