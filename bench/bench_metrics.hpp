@@ -1,11 +1,11 @@
 // Shared --metrics-out support for the figure/ablation benches.
 //
 // Every bench main accepts `--metrics-out PATH` and, when given, writes one
-// JSON document describing the run (schema "optsync-bench/3", documented in
+// JSON document describing the run (schema "optsync-bench/4", documented in
 // EXPERIMENTS.md):
 //
 //   {
-//     "schema": "optsync-bench/3",
+//     "schema": "optsync-bench/4",
 //     "bench": "<executable name>",
 //     "rows": [ {"label": "...", "<metric>": <number>, ...}, ... ],
 //     "locks": [ <stats::LockStats JSON>, ... ]
@@ -21,6 +21,12 @@
 // invalidations, remote_reads, forwarded_ops, hit_rate) and
 // service_scaling adds the "lease_read_heavy" / "lease_fault_soak"
 // comparison rows.
+//
+// /4 adds the elastic-fabric counters: dsm_service --elastic emits an
+// "elastic" rollup row (control_actions, dir_epoch, client_redirects,
+// handoff_replayed) plus per-shard "elastic,shard=N" rows (migrations,
+// splits, merges, promotions, demotions, redirects), and service_scaling
+// adds the "hotspot_shift" static-vs-elastic comparison row.
 //
 // bench::Harness (below) layers the rest of the shared bench plumbing on
 // top: the standard flag set every bench accepts (--seed, --metrics-out,
@@ -89,7 +95,7 @@ class MetricsOut {
     }
     stats::JsonWriter w(out, /*pretty=*/true);
     w.begin_object();
-    w.value("schema", "optsync-bench/3");
+    w.value("schema", "optsync-bench/4");
     w.value("bench", bench_);
     w.begin_array("rows");
     for (const auto& r : rows_) {
@@ -136,7 +142,7 @@ class MetricsOut {
 /// Flags handled here (defaults mirror DsmConfig / ReliableConfig, so an
 /// unflagged run is byte-identical to constructing the config directly):
 ///   --seed N                 workload/fault seed (default 42)
-///   --metrics-out PATH       optsync-bench/3 JSON document
+///   --metrics-out PATH       optsync-bench/4 JSON document
 ///   --trace-out PATH         Chrome trace of the run's flight record
 ///   --trace-capacity N       flight-recorder ring size (default 65536)
 ///   --coalesce-max-writes N  root frame size cap (default 1 = unbatched)

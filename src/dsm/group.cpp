@@ -2,14 +2,21 @@
 
 #include <algorithm>
 
+#include "simkern/assert.hpp"
+
 namespace optsync::dsm {
 
 Group::Group(GroupId id, const net::Topology& topo,
              std::vector<NodeId> members, NodeId root)
-    : id_(id), tree_(topo, std::move(members), root) {
+    : id_(id), topo_(&topo), tree_(topo, std::move(members), root) {
+  rebuild_classes();
+}
+
+void Group::rebuild_classes() {
   // Bucket members by tree depth. Buckets ascend by depth and keep member
   // order inside each bucket, so a bucketed multicast delivers same-time
   // copies in exactly the member order the per-member path used.
+  classes_.clear();
   unsigned max_hops = 0;
   for (const NodeId m : tree_.members()) {
     max_hops = std::max(max_hops, tree_.hops_to_root(m));
@@ -20,6 +27,14 @@ Group::Group(GroupId id, const net::Topology& topo,
     classes_[tree_.hops_to_root(m)].members.push_back(m);
   }
   std::erase_if(classes_, [](const HopClass& c) { return c.members.empty(); });
+}
+
+void Group::reroot(NodeId new_root) {
+  OPTSYNC_EXPECT(tree_.contains(new_root));
+  if (new_root == tree_.root()) return;
+  tree_ = net::SpanningTree(*topo_, tree_.members(), new_root);
+  rebuild_classes();
+  ++reroots_;
 }
 
 }  // namespace optsync::dsm

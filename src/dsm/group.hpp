@@ -46,10 +46,24 @@ class Group {
     return classes_;
   }
 
+  /// Re-roots the group at `new_root` (must be a member): rebuilds the
+  /// spanning tree's parent links and the hop-depth delivery classes in
+  /// place. Membership is unchanged. The caller (elastic::RootMigrator)
+  /// is responsible for sequencer-state handoff and wire drain — this is
+  /// purely the topology half of an online root migration.
+  void reroot(NodeId new_root);
+
+  /// Times this group has been re-rooted since construction.
+  [[nodiscard]] std::uint64_t reroots() const { return reroots_; }
+
  private:
+  void rebuild_classes();
+
   GroupId id_;
+  const net::Topology* topo_;
   net::SpanningTree tree_;
   std::vector<HopClass> classes_;
+  std::uint64_t reroots_ = 0;
 };
 
 }  // namespace optsync::dsm

@@ -117,12 +117,38 @@ sim::Signal& DsmNode::on_change(VarId v) {
 
 void DsmNode::deliver(GroupId g, std::uint64_t seq, VarId v, Word value,
                       NodeId origin) {
+  if (g >= inorder_.size()) inorder_.resize(g + 1);
+  GroupInorder& io = inorder_[g];
+  if (seq != io.next) {
+    if (seq < io.next) {
+      // Already delivered on the other flow (cross-flow race around a root
+      // migration); a second application would violate GWC, drop it.
+      ++stats_.stale_drops;
+      return;
+    }
+    // Early: a later flow overtook an in-flight pre-cut frame. Park until
+    // the gap closes; release below is in strict sequence order.
+    io.held.emplace(seq, Pending{g, seq, v, value, origin});
+    ++stats_.held_out_of_order;
+    return;
+  }
+  accept(Pending{g, seq, v, value, origin});
+  ++io.next;
+  while (!io.held.empty() && io.held.begin()->first == io.next) {
+    const Pending p = io.held.begin()->second;
+    io.held.erase(io.held.begin());
+    accept(p);
+    ++io.next;
+  }
+}
+
+void DsmNode::accept(const Pending& p) {
   if (suspended_) {
-    inbox_.push_back(Pending{g, seq, v, value, origin});
+    inbox_.push_back(p);
     ++stats_.queued_while_suspended;
     return;
   }
-  apply(Pending{g, seq, v, value, origin});
+  apply(p);
 }
 
 void DsmNode::deliver_frame(GroupId g, const Frame& frame) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -99,6 +100,8 @@ class DsmNode {
     std::uint64_t echoes_dropped = 0;  ///< HW blocking drops (Fig. 6)
     std::uint64_t interrupts = 0;
     std::uint64_t queued_while_suspended = 0;
+    std::uint64_t held_out_of_order = 0;  ///< parked by the delivery gate
+    std::uint64_t stale_drops = 0;        ///< already-delivered seq discarded
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -124,8 +127,22 @@ class DsmNode {
     NodeId origin;
   };
 
+  void accept(const Pending& p);
   void apply(const Pending& p);
   void ensure_capacity(VarId v);
+
+  /// Per-group in-order delivery gate. GWC needs every member to apply a
+  /// group's writes in sequence order; on a single root flow the transport
+  /// already guarantees that (per-flow FIFO). An online root migration
+  /// changes the flow mid-stream — old-root->member and new-root->member
+  /// are different FIFO channels, and under faults a retransmitted pre-cut
+  /// frame can land after a post-cut frame. The gate holds early arrivals
+  /// until the gap closes, releasing them in sequence order, so the apply
+  /// path (and GwcChecker) see one uninterrupted stream across the cut.
+  struct GroupInorder {
+    std::uint64_t next = 1;  ///< next expected delivery seq
+    std::map<std::uint64_t, Pending> held;
+  };
 
   /// The signal for `v` if one was ever requested, else nullptr. apply()
   /// notifies through this so vars nobody waits on never allocate a Signal
@@ -154,6 +171,7 @@ class DsmNode {
   std::vector<InterruptHandler> interrupt_handlers_;
   std::vector<std::uint32_t> interrupt_free_;
   std::vector<std::unique_ptr<sim::Signal>> signals_;
+  std::vector<GroupInorder> inorder_;
   std::vector<std::uint64_t> last_seq_;
   std::unordered_map<GroupId, std::vector<AppliedUpdate>> applied_;
   bool log_applied_ = false;

@@ -48,6 +48,21 @@ void GroupRoot::on_arrival(NodeId origin, VarId v, Word value,
   const VarInfo& info = sys_->var(v);
   OPTSYNC_EXPECT(info.group == gid_);
 
+  if (quiesced_) {
+    // Root handoff in progress: nothing is admitted — not even lock words —
+    // so the sequencer state frozen at begin_quiesce() is exactly what the
+    // successor inherits. The write is parked and replayed, in arrival
+    // order, by end_quiesce(). The log is bounded: a migration stuck long
+    // enough to park this much traffic is a protocol bug, not load.
+    constexpr std::size_t kHandoffLogCap = 65536;
+    OPTSYNC_ENSURE(handoff_log_.size() < kHandoffLogCap);
+    handoff_log_.push_back(HeldArrival{origin, v, value, ctx});
+    ++mig_stats_.handoff_logged;
+    mig_stats_.max_handoff_log =
+        std::max(mig_stats_.max_handoff_log, handoff_log_.size());
+    return;
+  }
+
   switch (info.kind) {
     case VarKind::kLock:
       handle_lock_write(origin, v, value, ctx);
@@ -189,6 +204,38 @@ void GroupRoot::multicast(VarId v, Word value, NodeId origin,
 }
 
 void GroupRoot::flush() { flush_pending(/*timer_fired=*/false); }
+
+void GroupRoot::begin_quiesce() {
+  OPTSYNC_EXPECT(!quiesced_);
+  // Ship the open frame from the outgoing root before the cut: the frame
+  // carries everything already sequenced, so the successor starts with an
+  // empty coalesce buffer and next_seq_ pointing one past the last shipped
+  // write.
+  flush_pending(/*timer_fired=*/false);
+  quiesced_ = true;
+  ++mig_stats_.quiesces;
+}
+
+void GroupRoot::end_quiesce() {
+  OPTSYNC_EXPECT(quiesced_);
+  quiesced_ = false;
+  // Replay in arrival order. Replayed writes may themselves flush frames
+  // (size cap, lock cut-through) — those multicasts now originate at the
+  // new root. Swap the log out first: a replayed write cannot re-enter the
+  // log (quiesced_ is false), but keep the loop robust anyway.
+  std::vector<HeldArrival> log;
+  log.swap(handoff_log_);
+  for (const HeldArrival& h : log) {
+    ++mig_stats_.handoff_replayed;
+    on_arrival(h.origin, h.var, h.value, h.ctx);
+  }
+}
+
+std::size_t GroupRoot::waiter_queue_depth() const {
+  std::size_t depth = 0;
+  for (const LockEntry& e : locks_) depth += e.state.queue.size();
+  return depth;
+}
 
 void GroupRoot::flush_pending(bool timer_fired) {
   if (flush_timer_ != 0) {

@@ -94,6 +94,39 @@ class GroupRoot {
   [[nodiscard]] GroupId group() const { return gid_; }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
+  // --- online root migration (elastic::RootMigrator) ---------------------
+  /// Quiesces the sequencer for a root handoff: the open coalesce frame is
+  /// flushed (so the outgoing root's last frame is on the wire), and from
+  /// this call every arriving write — lock words included — is parked in a
+  /// bounded handoff log instead of being admitted. The sequencer state
+  /// (next_seq_, lock table, waiter queues) is frozen at the cut.
+  void begin_quiesce();
+
+  /// Ends the quiesce after the group has been re-rooted: replays the
+  /// handoff log through on_arrival() in original arrival order, so writes
+  /// that raced the handoff are sequenced by the new root with no gap and
+  /// no reordering. GWC order is one uninterrupted stream across the cut.
+  void end_quiesce();
+
+  [[nodiscard]] bool quiesced() const { return quiesced_; }
+  [[nodiscard]] std::size_t handoff_log_size() const {
+    return handoff_log_.size();
+  }
+
+  /// Total queued waiters across all lock variables — the waiter-queue
+  /// portion of the state a migration must transfer to the successor.
+  [[nodiscard]] std::size_t waiter_queue_depth() const;
+
+  struct MigrationStats {
+    std::uint64_t quiesces = 0;
+    std::uint64_t handoff_logged = 0;    ///< writes parked during quiesce
+    std::uint64_t handoff_replayed = 0;  ///< writes replayed at end_quiesce
+    std::size_t max_handoff_log = 0;
+  };
+  [[nodiscard]] const MigrationStats& migration_stats() const {
+    return mig_stats_;
+  }
+
  private:
   void handle_lock_write(NodeId origin, VarId v, Word value,
                          telemetry::SpanContext ctx);
@@ -119,6 +152,14 @@ class GroupRoot {
   };
   LockEntry& lock_entry(VarId v);
 
+  /// One write parked while the root is quiesced for migration.
+  struct HeldArrival {
+    NodeId origin;
+    VarId var;
+    Word value;
+    telemetry::SpanContext ctx;
+  };
+
   DsmSystem* sys_;
   GroupId gid_;
   std::uint64_t next_seq_ = 1;
@@ -128,6 +169,9 @@ class GroupRoot {
   sim::EventId flush_timer_ = 0;  ///< 0 = not armed
   std::uint32_t coalesce_writes_;
   sim::Duration coalesce_ns_;
+  bool quiesced_ = false;
+  std::vector<HeldArrival> handoff_log_;
+  MigrationStats mig_stats_;
   Stats stats_;
 };
 

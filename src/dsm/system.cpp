@@ -90,6 +90,16 @@ void DsmSystem::initialize(VarId v, Word value) {
   }
 }
 
+void DsmSystem::reroot_group(GroupId g, NodeId new_root) {
+  OPTSYNC_EXPECT(g < groups_.size());
+  OPTSYNC_EXPECT(new_root < nodes_.size());
+  groups_[g]->reroot(new_root);
+}
+
+sim::Time DsmSystem::group_clear_at(GroupId g) const {
+  return g < group_wire_clear_.size() ? group_wire_clear_[g] : 0;
+}
+
 DsmNode& DsmSystem::node(NodeId n) {
   OPTSYNC_EXPECT(n < nodes_.size());
   return *nodes_[n];

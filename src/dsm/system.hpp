@@ -61,6 +61,20 @@ class DsmSystem {
   /// Re-initializes a variable on every group member without any traffic.
   void initialize(VarId v, Word value);
 
+  // --- online root migration --------------------------------------------
+  /// Re-roots `g` at `new_root` (must be a member): rebuilds the spanning
+  /// tree and delivery classes. The sequencer object (GroupRoot) is
+  /// per-group and survives the move; callers (elastic::RootMigrator) must
+  /// quiesce it first and drain in-flight frames — see GroupRoot's
+  /// begin_quiesce()/end_quiesce() and group_clear_at().
+  void reroot_group(GroupId g, NodeId new_root);
+
+  /// When the root's serializer for `g` last goes quiet: the dispatch+wire
+  /// clear instant of the newest multicast frame (0 if none yet). A
+  /// migration waits past this (plus the flight radius) before re-rooting,
+  /// so buffering in the nodes' delivery gates stays the exception.
+  [[nodiscard]] sim::Time group_clear_at(GroupId g) const;
+
   // --- access ------------------------------------------------------------
   [[nodiscard]] DsmNode& node(NodeId n);
   [[nodiscard]] const DsmNode& node(NodeId n) const;

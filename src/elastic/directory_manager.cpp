@@ -1,0 +1,130 @@
+#include "elastic/directory_manager.hpp"
+
+#include <algorithm>
+
+#include "shard/sharded_store.hpp"
+#include "simkern/assert.hpp"
+
+namespace optsync::elastic {
+
+using shard::Key;
+using shard::ShardId;
+using shard::ShardMap;
+
+DirectoryManager::DirectoryManager(shard::ShardedStore& store)
+    : store_(&store) {
+  OPTSYNC_EXPECT(store.elastic());
+}
+
+Key DirectoryManager::remaining_hi(ShardId s) const {
+  if (const auto it = remaining_hi_.find(s); it != remaining_hi_.end()) {
+    return it->second;
+  }
+  return store_->map().base_range(s).second;
+}
+
+bool DirectoryManager::has_donation(ShardId src) const {
+  return std::any_of(donations_.begin(), donations_.end(),
+                     [src](const Donation& d) { return d.src == src; });
+}
+
+sim::Process DirectoryManager::split(ShardId src, ShardId dst,
+                                     std::uint64_t* out_moved) {
+  OPTSYNC_EXPECT(store_->map().policy() == ShardMap::Policy::kRange);
+  OPTSYNC_EXPECT(src < store_->base_shards());
+  OPTSYNC_EXPECT(dst < store_->shards());
+  OPTSYNC_EXPECT(src != dst);
+  const Key lo = store_->map().base_range(src).first;
+  const Key hi = remaining_hi(src);
+  if (out_moved != nullptr) *out_moved = 0;
+  if (hi - lo < 2) co_return;  // one key left: nothing to halve
+  const Key mid = lo + (hi - lo) / 2;
+  std::uint64_t moved = 0;
+  co_await store_
+      ->elastic_reassign(
+          src, dst, [mid, hi](Key k) { return k >= mid && k < hi; },
+          [mid, hi, dst](ShardMap& m) { m.assign_range(mid, hi, dst); },
+          &moved)
+      .join();
+  remaining_hi_[src] = mid;
+  donations_.push_back(Donation{mid, hi, src, dst});
+  ++store_->shards_[src]->splits;
+  ++stats_.splits;
+  stats_.moved_slots += moved;
+  if (out_moved != nullptr) *out_moved = moved;
+}
+
+sim::Process DirectoryManager::merge_back(ShardId src,
+                                          std::uint64_t* out_moved) {
+  if (out_moved != nullptr) *out_moved = 0;
+  // Newest donation first: LIFO keeps the remaining base range contiguous.
+  const auto rit =
+      std::find_if(donations_.rbegin(), donations_.rend(),
+                   [src](const Donation& d) { return d.src == src; });
+  if (rit == donations_.rend()) co_return;
+  const Donation d = *rit;
+  donations_.erase(std::next(rit).base());
+  std::uint64_t moved = 0;
+  co_await store_
+      ->elastic_reassign(
+          d.dst, d.src, [d](Key k) { return k >= d.lo && k < d.hi; },
+          [d](ShardMap& m) { m.clear_range(d.lo, d.hi); }, &moved)
+      .join();
+  remaining_hi_[src] = d.hi;
+  ++store_->shards_[src]->merges;
+  ++stats_.merges;
+  stats_.moved_slots += moved;
+  if (out_moved != nullptr) *out_moved = moved;
+}
+
+sim::Process DirectoryManager::promote(Key key, ShardId hot) {
+  OPTSYNC_EXPECT(key != 0);
+  OPTSYNC_EXPECT(hot < store_->shards());
+  const ShardId home = store_->map().shard_of(key);
+  if (home == hot) co_return;
+  std::uint64_t moved = 0;
+  co_await store_
+      ->elastic_reassign(
+          home, hot, [key](Key k) { return k == key; },
+          [key, hot](ShardMap& m) { m.pin(key, hot); }, &moved)
+      .join();
+  pins_.push_back(Pin{key, home, hot});
+  ++store_->shards_[home]->promotions;
+  ++stats_.promotions;
+  stats_.moved_slots += moved;
+}
+
+sim::Process DirectoryManager::demote(Key key) {
+  const auto it = std::find_if(pins_.begin(), pins_.end(),
+                               [key](const Pin& p) { return p.key == key; });
+  if (it == pins_.end()) co_return;
+  const Pin pin = *it;
+  pins_.erase(it);
+  // Where the directory routes the key once the pin is gone — overrides
+  // may have moved its home range since the promotion.
+  ShardMap probe = store_->map();
+  probe.unpin(key);
+  const ShardId dst = probe.shard_of(key);
+  if (dst == pin.hot) {
+    // Degenerate (shouldn't happen: base policy never routes to hot
+    // groups) — just drop the pin without moving data.
+    std::uint64_t moved = 0;
+    co_await store_
+        ->elastic_reassign(
+            pin.hot, pin.home, [](Key) { return false; },
+            [key](ShardMap& m) { m.unpin(key); }, &moved)
+        .join();
+  } else {
+    std::uint64_t moved = 0;
+    co_await store_
+        ->elastic_reassign(
+            pin.hot, dst, [key](Key k) { return k == key; },
+            [key](ShardMap& m) { m.unpin(key); }, &moved)
+        .join();
+    stats_.moved_slots += moved;
+    ++store_->shards_[dst]->demotions;
+  }
+  ++stats_.demotions;
+}
+
+}  // namespace optsync::elastic

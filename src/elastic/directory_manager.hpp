@@ -1,0 +1,103 @@
+// Skew-adaptive directory mutations: stripe split/merge and hot-key
+// promotion/demotion over ShardedStore's versioned ShardMap.
+//
+// Each mutation is one two-phase epoch bump executed through the store's
+// elastic_reassign primitive: under the {src, dst} shard locks the
+// affected slots move, every src orec stripe is bumped (dooming OCC
+// transactions speculated at the old epoch), both shards commit one write
+// section (the serializability ledger stays exact), the outgoing map is
+// snapshotted into the redirect history, and the new epoch is installed —
+// all before either lock is released, so no operation ever observes a
+// half-moved directory. In-flight ops at the old epoch are either drained
+// (they re-check ownership after lock acquisition and chase the new
+// owner) or doomed at OCC validation; stale-map clients get a redirect,
+// never a wrong answer.
+//
+// The manager tracks what it did — donations (split ranges) as a LIFO per
+// source shard so merges restore contiguous base ranges, and pins with
+// their home shards so demotion returns keys where the base policy puts
+// them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "shard/shard_map.hpp"
+#include "simkern/coro.hpp"
+
+namespace optsync::shard {
+class ShardedStore;
+}
+
+namespace optsync::elastic {
+
+class DirectoryManager {
+ public:
+  explicit DirectoryManager(shard::ShardedStore& store);
+
+  DirectoryManager(const DirectoryManager&) = delete;
+  DirectoryManager& operator=(const DirectoryManager&) = delete;
+
+  /// Splits the upper half of `src`'s remaining stripe range to `dst`
+  /// (range policy only). No-op when fewer than 2 keys remain. `out_moved`
+  /// (optional) receives the number of occupied slots that moved.
+  sim::Process split(shard::ShardId src, shard::ShardId dst,
+                     std::uint64_t* out_moved = nullptr);
+
+  /// Takes `src`'s most recent donation back (the inverse split). No-op
+  /// when src has no outstanding donation.
+  sim::Process merge_back(shard::ShardId src,
+                          std::uint64_t* out_moved = nullptr);
+
+  /// Pins `key` to shard `hot` (typically a dedicated hot group) and moves
+  /// its slot there. No-op when the key already routes to `hot`.
+  sim::Process promote(shard::Key key, shard::ShardId hot);
+
+  /// Unpins `key` and returns its slot to wherever the directory routes it
+  /// without the pin. No-op for keys this manager never promoted.
+  sim::Process demote(shard::Key key);
+
+  /// One outstanding split donation: [lo, hi) moved src -> dst.
+  struct Donation {
+    shard::Key lo = 0;
+    shard::Key hi = 0;
+    shard::ShardId src = 0;
+    shard::ShardId dst = 0;
+  };
+  [[nodiscard]] const std::vector<Donation>& donations() const {
+    return donations_;
+  }
+
+  /// One outstanding promotion: `key` pinned home -> hot.
+  struct Pin {
+    shard::Key key = 0;
+    shard::ShardId home = 0;
+    shard::ShardId hot = 0;
+  };
+  [[nodiscard]] const std::vector<Pin>& pins() const { return pins_; }
+
+  [[nodiscard]] bool has_donation(shard::ShardId src) const;
+
+  struct Stats {
+    std::uint64_t splits = 0;
+    std::uint64_t merges = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t moved_slots = 0;  ///< occupied slots relocated, total
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// The still-owned upper bound of a shard's base range after donations
+  /// (absent = the full base range).
+  [[nodiscard]] shard::Key remaining_hi(shard::ShardId s) const;
+
+  shard::ShardedStore* store_;
+  std::vector<Donation> donations_;
+  std::vector<Pin> pins_;
+  std::unordered_map<shard::ShardId, shard::Key> remaining_hi_;
+  Stats stats_;
+};
+
+}  // namespace optsync::elastic

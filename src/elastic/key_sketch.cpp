@@ -1,0 +1,62 @@
+#include "elastic/key_sketch.hpp"
+
+#include <algorithm>
+
+#include "simkern/assert.hpp"
+
+namespace optsync::elastic {
+
+KeySketch::KeySketch(std::size_t capacity) : cap_(capacity) {
+  OPTSYNC_EXPECT(capacity >= 1);
+  entries_.reserve(capacity);
+}
+
+void KeySketch::record(shard::Key key) {
+  ++total_;
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      ++e.count;
+      return;
+    }
+  }
+  if (entries_.size() < cap_) {
+    entries_.push_back(Entry{key, 1});
+    return;
+  }
+  auto min_it = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.count < b.count; });
+  min_it->key = key;
+  ++min_it->count;
+}
+
+void KeySketch::decay() {
+  total_ /= 2;
+  for (Entry& e : entries_) e.count /= 2;
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.count == 0; }),
+                 entries_.end());
+}
+
+std::vector<KeySketch::Entry> KeySketch::top() const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  return out;
+}
+
+std::uint64_t KeySketch::count(shard::Key key) const {
+  for (const Entry& e : entries_) {
+    if (e.key == key) return e.count;
+  }
+  return 0;
+}
+
+double KeySketch::share(shard::Key key) const {
+  return total_ > 0
+             ? static_cast<double>(count(key)) / static_cast<double>(total_)
+             : 0.0;
+}
+
+}  // namespace optsync::elastic

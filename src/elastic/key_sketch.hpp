@@ -1,0 +1,58 @@
+// Space-saving top-k sketch over one shard's key accesses.
+//
+// The elastic controller needs "which single keys dominate this shard's
+// traffic" without per-key state: a shard serves an unbounded key
+// population, but only a handful of keys can matter for promotion. The
+// classic space-saving summary fits: `capacity` (key, count) entries,
+// linear-scanned (capacity is ~8; a scan beats hashing at that size). A
+// recorded key already present bumps its count; a new key evicts the
+// current minimum and inherits its count + 1 — so a genuinely hot key's
+// count is overestimated by at most the evicted minimum, never missed.
+//
+// decay() halves every count (dropping zeros) and the running total, so
+// share() answers over a sliding exponential window rather than the whole
+// run — a key that WAS hot stops looking hot within a few control ticks,
+// which is what demotion hysteresis keys off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/shard_map.hpp"
+
+namespace optsync::elastic {
+
+class KeySketch {
+ public:
+  explicit KeySketch(std::size_t capacity = 8);
+
+  void record(shard::Key key);
+
+  /// Halves every count and the total; zero entries are dropped.
+  void decay();
+
+  struct Entry {
+    shard::Key key = 0;
+    std::uint64_t count = 0;
+  };
+
+  /// Entries sorted by descending count.
+  [[nodiscard]] std::vector<Entry> top() const;
+
+  /// The sketch's count for `key` (0 when not tracked).
+  [[nodiscard]] std::uint64_t count(shard::Key key) const;
+
+  /// `key`'s share of all accesses recorded in the current window
+  /// (count / total; 0 on an empty window).
+  [[nodiscard]] double share(shard::Key key) const;
+
+  /// Accesses recorded since construction, minus decay halvings.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  std::size_t cap_;
+  std::vector<Entry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace optsync::elastic

@@ -1,0 +1,72 @@
+#include "elastic/migrator.hpp"
+
+#include <algorithm>
+
+#include "dsm/root.hpp"
+#include "dsm/system.hpp"
+#include "shard/sharded_store.hpp"
+#include "simkern/assert.hpp"
+
+namespace optsync::elastic {
+
+RootMigrator::RootMigrator(shard::ShardedStore& store, RootMigratorConfig cfg)
+    : store_(&store), cfg_(cfg) {}
+
+sim::Process RootMigrator::migrate(shard::ShardId s, dsm::NodeId to) {
+  shard::ShardedStore& store = *store_;
+  dsm::DsmSystem& sys = store.system();
+  auto& sched = sys.scheduler();
+  OPTSYNC_EXPECT(s < store.shards());
+  OPTSYNC_EXPECT(!in_flight_);
+  const dsm::GroupId g = store.group_of(s);
+  const auto& members = sys.group(g).members();
+  OPTSYNC_EXPECT(std::find(members.begin(), members.end(), to) !=
+                 members.end());
+  const dsm::NodeId from = store.root_of(s);
+  if (from == to) co_return;
+
+  in_flight_ = true;
+  dsm::GroupRoot& root = sys.root_of(g);
+
+  // 1. Quiesce: last old-flow frame on the wire, arrivals start parking.
+  root.begin_quiesce();
+  const sim::Time cut = sched.now();
+
+  // 2. Drain until the old flow has cleared, plus grace.
+  const sim::Time clear = sys.group_clear_at(g);
+  if (clear > sched.now()) {
+    co_await sim::delay(sched, clear - sched.now());
+  }
+  if (cfg_.drain_grace_ns > 0) {
+    co_await sim::delay(sched, cfg_.drain_grace_ns);
+  }
+
+  // 3. Transfer the sequencer state the successor must own.
+  const auto bytes = static_cast<std::uint32_t>(
+      cfg_.ctrl_bytes +
+      cfg_.per_waiter_bytes *
+          static_cast<std::uint32_t>(root.waiter_queue_depth()) +
+      cfg_.per_slot_bytes * store.config().slots_per_shard);
+  bool delivered = false;
+  sim::Signal sig(sched);
+  sys.send_direct(from, to, bytes, "mig-state", [&delivered, &sig] {
+    delivered = true;
+    sig.notify_all();
+  });
+  while (!delivered) co_await sig.wait();
+
+  // 4. Re-root topology + service routing.
+  store.apply_root_move(s, to);
+
+  // 5. Replay the raced writes; sequencing continues without a gap.
+  const std::size_t logged = root.handoff_log_size();
+  root.end_quiesce();
+
+  ++stats_.migrations;
+  stats_.handoff_replayed += logged;
+  stats_.max_handoff_log = std::max(stats_.max_handoff_log, logged);
+  stats_.total_quiesce_ns += sched.now() - cut;
+  in_flight_ = false;
+}
+
+}  // namespace optsync::elastic

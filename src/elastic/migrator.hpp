@@ -1,0 +1,88 @@
+// Online root migration: hand one shard's sequencer role to another group
+// member without dropping GWC order.
+//
+// The root is a per-group OBJECT (dsm::GroupRoot), not a node: sequencing
+// state — next_seq_, the lock table, waiter queues, the open coalesce
+// frame — lives with the group and survives a change of which node plays
+// root. What a migration must actually move is (a) the spanning tree's
+// orientation (frames flow down from the new root's position) and (b) the
+// service layer's routing (shard root field, lease directory). The
+// protocol:
+//
+//   1. quiesce   — GroupRoot::begin_quiesce(): flush the open frame, then
+//                  park every arriving write (lock words included) in a
+//                  bounded handoff log. next_seq_ freezes at the cut.
+//   2. drain     — wait until the outgoing root's multicast frames have
+//                  cleared the wire (DsmSystem::group_clear_at) plus a
+//                  grace period. The per-member delivery gate in DsmNode
+//                  would re-order-buffer stragglers anyway; draining keeps
+//                  the cross-flow window — and the replay burst — small.
+//   3. transfer  — one state-transfer message old-root -> new-root, sized
+//                  by what the successor must own: waiter queues, the
+//                  version-ledger cursor, per-slot lease/orec state.
+//   4. re-root   — ShardedStore::apply_root_move(): Group::reroot()
+//                  rebuilds parent links and hop-depth classes in place,
+//                  the shard's root field and the lease directory follow.
+//   5. replay    — GroupRoot::end_quiesce(): the handoff log replays
+//                  through on_arrival() in original arrival order, so
+//                  writes that raced the cut are sequenced by the new
+//                  root with no gap and no reorder.
+//
+// GwcChecker and StaleReadAuditor see one uninterrupted sequenced stream
+// across the cut: sequence numbers continue from where the old root
+// stopped, and lease epochs are root-location independent.
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/types.hpp"
+#include "shard/shard_map.hpp"
+#include "simkern/coro.hpp"
+#include "simkern/time.hpp"
+
+namespace optsync::shard {
+class ShardedStore;
+}
+
+namespace optsync::elastic {
+
+struct RootMigratorConfig {
+  /// Extra wait after the group's wire-clear instant before the state
+  /// transfer — headroom for per-member fan-out under the faulted path.
+  sim::Duration drain_grace_ns = 2'000;
+  /// State-transfer message sizing: fixed header plus per-waiter and
+  /// per-slot charges (waiter queue, version ledger, lease directory).
+  std::uint32_t ctrl_bytes = 64;
+  std::uint32_t per_waiter_bytes = 16;
+  std::uint32_t per_slot_bytes = 16;
+};
+
+class RootMigrator {
+ public:
+  explicit RootMigrator(shard::ShardedStore& store,
+                        RootMigratorConfig cfg = {});
+
+  RootMigrator(const RootMigrator&) = delete;
+  RootMigrator& operator=(const RootMigrator&) = delete;
+
+  /// Migrates shard `s`'s root to member node `to`. No-op if `to` already
+  /// is the root. At most one migration may be in flight per migrator.
+  sim::Process migrate(shard::ShardId s, dsm::NodeId to);
+
+  struct Stats {
+    std::uint64_t migrations = 0;
+    std::uint64_t handoff_replayed = 0;  ///< writes that raced the cut
+    std::size_t max_handoff_log = 0;
+    sim::Duration total_quiesce_ns = 0;  ///< summed cut-to-replay windows
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool in_flight() const { return in_flight_; }
+
+ private:
+  shard::ShardedStore* store_;
+  RootMigratorConfig cfg_;
+  Stats stats_;
+  bool in_flight_ = false;
+};
+
+}  // namespace optsync::elastic

@@ -44,15 +44,27 @@ std::vector<Request> Generator::plan(const GeneratorConfig& cfg,
 
   ArrivalProcess arrivals(effective_arrival(cfg));
   const KeySampler keys(cfg.keys);
+  const std::uint32_t span =
+      cfg.node_span == 0 ? node_count : std::min(cfg.node_span, node_count);
 
   std::vector<Request> out;
   out.reserve(cfg.requests);
   sim::Time clock = 0;
   for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+    // Hotspot shift: rotate post-shift draws within the key domain. The
+    // rotation happens here, not in KeySampler, because it is a property
+    // of the SCHEDULE (request index), not of the distribution.
+    const auto draw = [&cfg, &keys, &key_rng, i] {
+      shard::Key k = keys.sample(key_rng);
+      if (cfg.keys.shift_offset != 0 && i >= cfg.keys.shift_at_request) {
+        k = 1 + (k - 1 + cfg.keys.shift_offset) % cfg.keys.keys;
+      }
+      return k;
+    };
     clock += arrivals.next_gap(arrival_rng);
     Request r;
     r.at = clock;
-    r.node = static_cast<dsm::NodeId>(node_rng.below(node_count));
+    r.node = static_cast<dsm::NodeId>(node_rng.below(span));
     const double u = op_rng.uniform01();
     if (u < cfg.read_fraction) {
       r.op = stats::ServiceOp::kRead;
@@ -71,14 +83,14 @@ std::vector<Request> Generator::plan(const GeneratorConfig& cfg,
                                    : 1;
     r.keys.reserve(want);
     while (r.keys.size() < want) {
-      const shard::Key k = keys.sample(key_rng);
+      const shard::Key k = draw();
       // Duplicate keys inside one transaction collapse to the last write
       // anyway; resample a few times for distinct keys, then give up (a
       // tiny key space may not have `want` distinct keys to offer).
       if (std::find(r.keys.begin(), r.keys.end(), k) != r.keys.end()) {
         bool inserted = false;
         for (int attempt = 0; attempt < 8 && !inserted; ++attempt) {
-          const shard::Key k2 = keys.sample(key_rng);
+          const shard::Key k2 = draw();
           if (std::find(r.keys.begin(), r.keys.end(), k2) == r.keys.end()) {
             r.keys.push_back(k2);
             inserted = true;

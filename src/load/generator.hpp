@@ -56,6 +56,12 @@ struct GeneratorConfig {
   ArrivalConfig arrival;
   KeyConfig keys;
 
+  /// Issue requests only from nodes [0, node_span). 0 means every node.
+  /// Elastic full-replication runs set node_count - 1 so the reserved
+  /// control node (where directory moves execute) carries no client
+  /// traffic; the 0 default keeps pre-existing plans byte-identical.
+  std::uint32_t node_span = 0;
+
   double read_fraction = 0.50;  ///< P(read); rest split write/txn/rmw
   double txn_fraction = 0.05;   ///< P(multi-key transaction)
   /// P(multi-key read-modify-write) — the YCSB-F op class. Defaults to 0

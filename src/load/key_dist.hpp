@@ -35,6 +35,15 @@ struct KeyConfig {
   KeyDist dist = KeyDist::kZipfian;
   std::uint64_t keys = 256;  ///< key domain is [1, keys] (0 is reserved)
   double zipf_s = 0.99;      ///< Zipf exponent (YCSB default)
+
+  /// Mid-run hotspot shift: from planned request index `shift_at_request`
+  /// onward, every sampled key is rotated within the domain,
+  /// key' = 1 + (key - 1 + shift_offset) mod keys. Rotation is a
+  /// bijection, so the popularity SHAPE is unchanged — only WHICH keys
+  /// (and hence which shards) are hot moves. shift_offset == 0 disables
+  /// the shift and keeps pre-existing plans byte-identical.
+  std::uint64_t shift_at_request = 0;
+  std::uint64_t shift_offset = 0;
 };
 
 class KeySampler {

@@ -4,15 +4,37 @@
 
 namespace optsync::shard {
 
+sim::Process Client::sync_route(dsm::NodeId n, std::vector<Key> keys) {
+  for (;;) {
+    bool stale = false;
+    for (const Key key : keys) {
+      const ShardedStore::Route r = store_->route(key, view_epoch_);
+      if (!r.stale) continue;
+      stale = true;
+      ++stats_.redirects;
+      co_await store_->redirect_probe(n, r.believed).join();
+    }
+    if (const std::uint64_t now = store_->dir_epoch(); now != view_epoch_) {
+      view_epoch_ = now;
+      ++stats_.refreshes;
+    }
+    if (!stale) co_return;
+    // Re-check at the refreshed epoch: the directory can move again while
+    // a probe is in flight.
+  }
+}
+
 sim::Process Client::read(dsm::NodeId n, Key key,
                           std::optional<dsm::Word>* out, ReadOptions opts) {
-  return store_->read_op(n, key, out, opts.level);
+  if (store_->elastic()) co_await sync_route(n, std::vector<Key>(1, key)).join();
+  co_await store_->read_op(n, key, out, opts.level).join();
 }
 
 sim::Process Client::write(dsm::NodeId n, Key key, dsm::Word value,
                            WriteOptions opts) {
   (void)opts;
-  return store_->write_op(n, key, value);
+  if (store_->elastic()) co_await sync_route(n, std::vector<Key>(1, key)).join();
+  co_await store_->write_op(n, key, value).join();
 }
 
 sim::Process Client::txn(dsm::NodeId n, TxnRequest req, TxnResult* result,
@@ -21,15 +43,31 @@ sim::Process Client::txn(dsm::NodeId n, TxnRequest req, TxnResult* result,
                       (!req.adds.empty() ? 1 : 0) +
                       (!req.reads.empty() ? 1 : 0);
   OPTSYNC_EXPECT(classes == 1);
+  if (store_->elastic()) {
+    std::vector<Key> keys;
+    if (!req.puts.empty()) {
+      keys.reserve(req.puts.size());
+      for (const auto& [key, value] : req.puts) {
+        (void)value;
+        keys.push_back(key);
+      }
+    } else {
+      keys = !req.adds.empty() ? req.adds : req.reads;
+    }
+    co_await sync_route(n, std::move(keys)).join();
+  }
   if (!req.puts.empty()) {
-    return store_->multi_put_op(n, std::move(req.puts));
+    co_await store_->multi_put_op(n, std::move(req.puts)).join();
+    co_return;
   }
   if (!req.adds.empty()) {
-    return store_->multi_rmw_op(n, std::move(req.adds), req.delta);
+    co_await store_->multi_rmw_op(n, std::move(req.adds), req.delta).join();
+    co_return;
   }
   OPTSYNC_EXPECT(result != nullptr);
-  return store_->multi_get_op(n, std::move(req.reads), &result->values,
-                              opts.level);
+  co_await store_
+      ->multi_get_op(n, std::move(req.reads), &result->values, opts.level)
+      .join();
 }
 
 }  // namespace optsync::shard

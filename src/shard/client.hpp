@@ -24,9 +24,17 @@
 // partial-replication mode — which is exactly when the caller must say
 // what staleness it can tolerate.
 //
-// Client is stateless (a pointer to the store), so any number can be
-// constructed; the per-node one-instruction-stream rule still applies to
-// the operations themselves.
+// On an elastic fabric (ElasticConfig::enabled) the client additionally
+// carries a cached directory epoch. Every operation first checks its view
+// against the store's live directory; a stale view pays one redirect probe
+// to the believed owner's root, refreshes the epoch, and retries the check
+// before the operation proceeds against the true owner. Stale-map clients
+// are therefore slower, never wrong. On a static fabric the check is a
+// single version compare.
+//
+// Client is otherwise stateless (a pointer to the store plus the epoch and
+// its redirect counters), so any number can be constructed; the per-node
+// one-instruction-stream rule still applies to the operations themselves.
 #pragma once
 
 #include <optional>
@@ -67,10 +75,20 @@ struct TxnResult {
 
 class Client {
  public:
-  explicit Client(ShardedStore& store) : store_(&store) {}
+  explicit Client(ShardedStore& store)
+      : store_(&store), view_epoch_(store.dir_epoch()) {}
 
   [[nodiscard]] ShardedStore& store() { return *store_; }
   [[nodiscard]] const ShardedStore& store() const { return *store_; }
+
+  /// Directory-staleness accounting (elastic fabric; zero otherwise).
+  struct Stats {
+    std::uint64_t redirects = 0;  ///< probes paid for routing with a stale map
+    std::uint64_t refreshes = 0;  ///< directory epoch updates taken
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// The directory epoch this client last routed with.
+  [[nodiscard]] std::uint64_t view_epoch() const { return view_epoch_; }
 
   /// Single-key read on node `n` at the requested consistency level.
   /// `*out` receives the value, or nullopt if the key is absent.
@@ -87,7 +105,14 @@ class Client {
                    ReadOptions opts = {});
 
  private:
+  /// Pays the stale-directory penalty for every key the op touches, then
+  /// refreshes view_epoch_. Loops until the view is current — the map can
+  /// move again while a probe is in flight.
+  sim::Process sync_route(dsm::NodeId n, std::vector<Key> keys);
+
   ShardedStore* store_;
+  std::uint64_t view_epoch_ = 0;
+  Stats stats_;
 };
 
 }  // namespace optsync::shard

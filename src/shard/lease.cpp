@@ -66,7 +66,9 @@ void LeaseManager::register_shard(ShardId shard, dsm::GroupId group,
                                   const std::vector<dsm::VarId>& orec_vars,
                                   dsm::VarId version_var) {
   OPTSYNC_EXPECT(slot_keys.size() == slots_ && slot_values.size() == slots_);
-  OPTSYNC_EXPECT(orec_vars.size() == slots_);  // orec stripe == slot
+  // Per-slot stripes map 1:1; elastic mode appends one extra directory
+  // stripe (it guards routing, not a slot) which the lease tier ignores.
+  OPTSYNC_EXPECT(orec_vars.size() >= slots_);
   if (dirs_.size() <= shard) dirs_.resize(shard + 1);
   auto dir = std::make_unique<ShardDir>();
   dir->shard = shard;

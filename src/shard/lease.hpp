@@ -189,6 +189,14 @@ class LeaseManager {
   }
   void note_forwarded(ShardId s) { ++dirs_[s]->counters.forwarded; }
 
+  /// Online root migration: points the shard's directory at the successor
+  /// root. The directory itself (values, epochs, holders) is root-location
+  /// independent — stripe epochs continue across the cut, which is why the
+  /// StaleReadAuditor sees one uninterrupted stream — but grants,
+  /// linearizable reads, and invalidations must originate at (and charge
+  /// the RPC serializer of) the new root node from here on.
+  void set_root(ShardId s, dsm::NodeId root) { dirs_[s]->root = root; }
+
   /// Live holder entries in `shard`'s directory (all stripes).
   [[nodiscard]] std::size_t directory_size(ShardId s) const;
   [[nodiscard]] std::size_t holders(ShardId s, std::uint32_t stripe) const;

@@ -1,5 +1,7 @@
 #include "shard/shard_map.hpp"
 
+#include <algorithm>
+
 #include "simkern/assert.hpp"
 #include "simkern/random.hpp"
 
@@ -17,7 +19,7 @@ ShardMap ShardMap::ranged(std::uint32_t shards, Key key_space) {
                   static_cast<std::uint32_t>(key_space % shards));
 }
 
-ShardId ShardMap::shard_of(Key key) const {
+ShardId ShardMap::base_shard_of(Key key) const {
   if (policy_ == Policy::kHash) {
     // One splitmix64 round is a full-avalanche finalizer — dense key
     // populations spread uniformly, and the mapping is platform-stable.
@@ -37,6 +39,69 @@ ShardId ShardMap::shard_of(Key key) const {
     s = idx >= shards_ ? shards_ - 1 : static_cast<ShardId>(idx);
   }
   return s;
+}
+
+ShardId ShardMap::shard_of(Key key) const {
+  if (!pinned_.empty()) {
+    const auto it = pinned_.find(key);
+    if (it != pinned_.end()) return it->second;
+  }
+  if (!overrides_.empty()) {
+    // First override with hi > key; a hit iff it also starts at or below.
+    const auto it = std::upper_bound(
+        overrides_.begin(), overrides_.end(), key,
+        [](Key k, const RangeOverride& o) { return k < o.hi; });
+    if (it != overrides_.end() && it->lo <= key) return it->owner;
+  }
+  return base_shard_of(key);
+}
+
+std::pair<Key, Key> ShardMap::base_range(ShardId s) const {
+  OPTSYNC_EXPECT(policy_ == Policy::kRange);
+  OPTSYNC_EXPECT(s < shards_);
+  const Key wide_span = static_cast<Key>(wide_) * (stripe_ + 1);
+  if (s < wide_) {
+    const Key lo = static_cast<Key>(s) * (stripe_ + 1);
+    return {lo, lo + stripe_ + 1};
+  }
+  const Key lo = wide_span + static_cast<Key>(s - wide_) * stripe_;
+  return {lo, lo + stripe_};
+}
+
+void ShardMap::pin(Key key, ShardId owner) {
+  pinned_[key] = owner;
+  ++version_;
+}
+
+void ShardMap::unpin(Key key) {
+  pinned_.erase(key);
+  ++version_;
+}
+
+void ShardMap::assign_range(Key lo, Key hi, ShardId owner) {
+  OPTSYNC_EXPECT(lo < hi);
+  clear_range(lo, hi);  // bumps version_; final state is what matters
+  const auto at = std::lower_bound(
+      overrides_.begin(), overrides_.end(), lo,
+      [](const RangeOverride& o, Key k) { return o.lo < k; });
+  overrides_.insert(at, RangeOverride{lo, hi, owner});
+  ++version_;
+}
+
+void ShardMap::clear_range(Key lo, Key hi) {
+  OPTSYNC_EXPECT(lo < hi);
+  std::vector<RangeOverride> next;
+  next.reserve(overrides_.size() + 1);
+  for (const RangeOverride& o : overrides_) {
+    if (o.hi <= lo || o.lo >= hi) {  // disjoint: keep whole
+      next.push_back(o);
+      continue;
+    }
+    if (o.lo < lo) next.push_back(RangeOverride{o.lo, lo, o.owner});
+    if (o.hi > hi) next.push_back(RangeOverride{hi, o.hi, o.owner});
+  }
+  overrides_ = std::move(next);
+  ++version_;
 }
 
 }  // namespace optsync::shard

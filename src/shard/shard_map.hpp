@@ -1,8 +1,8 @@
 // Key -> shard directory for the sharded DSM service layer.
 //
 // A shard is one independent eagersharing group with its own root, lock,
-// and KV slots (shard/sharded_store.hpp); the ShardMap is the pure routing
-// function in front of them. Two policies:
+// and KV slots (shard/sharded_store.hpp); the ShardMap is the routing
+// function in front of them. Two base policies:
 //
 //   * kHash  — splitmix64-mixed key modulo shard count. Spreads any key
 //     population (including dense sequential keys) uniformly; the mix is
@@ -17,11 +17,26 @@
 //     (neighbouring keys share a shard), the classic directory choice
 //     when scans matter.
 //
+// On top of the base policy the directory is *versioned and mutable*: the
+// elastic control plane overlays it with
+//
+//   * range overrides — a contiguous [lo, hi) reassigned to another shard
+//     (stripe split, and its inverse, merge), and
+//   * pins — single hot keys promoted to a dedicated shard.
+//
+// Lookup order is pins, then overrides, then the base policy. Every
+// mutation bumps version(); the store keeps a bounded history of past
+// snapshots so a client holding a stale version gets a redirect, never a
+// wrong answer (shard/sharded_store.hpp).
+//
 // The directory is a value type: cheap to copy, no substrate references,
 // usable by routers, benches, and tests alike.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace optsync::shard {
 
@@ -45,6 +60,9 @@ class ShardMap {
 
   [[nodiscard]] ShardId shard_of(Key key) const;
 
+  /// The base policy's answer, ignoring pins and overrides.
+  [[nodiscard]] ShardId base_shard_of(Key key) const;
+
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
   [[nodiscard]] Policy policy() const { return policy_; }
   /// Range policy only: base stripe width (the first `key_space % shards`
@@ -52,6 +70,46 @@ class ShardMap {
   [[nodiscard]] Key stripe_width() const { return stripe_; }
   /// Range policy only: stripes holding stripe_width() + 1 keys.
   [[nodiscard]] std::uint32_t wide_stripes() const { return wide_; }
+
+  /// Range policy only: the base stripe extent [lo, hi) of shard `s`
+  /// (before overrides; keys >= key_space clamp into the last stripe).
+  [[nodiscard]] std::pair<Key, Key> base_range(ShardId s) const;
+
+  // --- elastic overlays --------------------------------------------------
+  /// A contiguous [lo, hi) routed to `owner` instead of the base policy.
+  struct RangeOverride {
+    Key lo;
+    Key hi;  ///< exclusive
+    ShardId owner;
+  };
+
+  /// Routes `key` to `owner` (hot-key promotion). Owner may be any shard
+  /// index the caller considers valid — including dedicated hot groups
+  /// beyond the base modulus; the map itself doesn't range-check it.
+  void pin(Key key, ShardId owner);
+
+  /// Removes a pin; the key falls back to overrides/base policy.
+  void unpin(Key key);
+
+  /// Reassigns [lo, hi) to `owner` (stripe split). Overlapping overrides
+  /// are trimmed or replaced — overrides never overlap.
+  void assign_range(Key lo, Key hi, ShardId owner);
+
+  /// Drops any override coverage of [lo, hi) (stripe merge: the span
+  /// falls back to the base policy). Partially-covered overrides are
+  /// trimmed.
+  void clear_range(Key lo, Key hi);
+
+  /// Directory version: bumped by every mutation. A client caches the
+  /// version it routed with; a mismatch against the store's current map is
+  /// the stale-directory signal (redirect, refresh, retry).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  [[nodiscard]] const std::vector<RangeOverride>& overrides() const {
+    return overrides_;
+  }
+  [[nodiscard]] std::size_t pinned_keys() const { return pinned_.size(); }
+  [[nodiscard]] bool mutated() const { return version_ != 0; }
 
  private:
   ShardMap(Policy policy, std::uint32_t shards, Key stripe,
@@ -62,6 +120,9 @@ class ShardMap {
   std::uint32_t shards_;
   Key stripe_;          // range policy: base width; 0 under hash
   std::uint32_t wide_;  // range policy: stripes one key wider; 0 under hash
+  std::uint64_t version_ = 0;
+  std::vector<RangeOverride> overrides_;  // sorted by lo, non-overlapping
+  std::unordered_map<Key, ShardId> pinned_;
 };
 
 }  // namespace optsync::shard

@@ -1,6 +1,7 @@
 #include "shard/sharded_store.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 
 #include "simkern/assert.hpp"
@@ -60,8 +61,36 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
   members.reserve(span);
   for (dsm::NodeId i = 0; i < span; ++i) members.push_back(i);
 
-  shards_.reserve(cfg.shards);
-  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+  // Elastic mode appends dedicated hot groups after the base shards; the
+  // base ShardMap never routes to them — only pins do.
+  const std::uint32_t total_shards =
+      cfg.shards + (cfg.elastic.enabled ? cfg.elastic.hot_groups : 0);
+
+  // Root placement: members[(s * root_stride) % members]. A stride sharing
+  // a factor with the member count cycles through only members/gcd distinct
+  // nodes — shard roots would silently stack on a few nodes while the rest
+  // sit idle. Reject that at construction; an even wrap (stride coprime
+  // with the member count) is still allowed when shards > members.
+  {
+    const std::size_t m = members.size();
+    const std::size_t g =
+        std::gcd(static_cast<std::size_t>(cfg.root_stride) % m, m);
+    const std::size_t distinct = m / g;
+    OPTSYNC_EXPECT(distinct == m || total_shards <= distinct);
+  }
+
+  if (cfg.elastic.enabled && span == sys.node_count()) {
+    // Full replication: directory moves execute on a reserved control node
+    // (one instruction stream per node — the Fig. 4 rule); callers must
+    // keep regular traffic off it. Partial mode uses proxy chains instead.
+    control_node_ = cfg.elastic.control_node == dsm::kNoNode
+                        ? members.back()
+                        : cfg.elastic.control_node;
+    OPTSYNC_EXPECT(control_node_ < sys.node_count());
+  }
+
+  shards_.reserve(total_shards);
+  for (std::uint32_t s = 0; s < total_shards; ++s) {
     auto sh = std::make_unique<Shard>(cfg.history_decay);
     sh->root = members[(static_cast<std::size_t>(s) * cfg.root_stride) %
                        members.size()];
@@ -91,9 +120,15 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
 
   // The txn layer stripes orecs by slot (stripe == slot index), so any
   // committed slot write bumps exactly the orec its readers validated.
-  cfg_.txn.tuning.orec_stripes = cfg.slots_per_shard;
+  // Elastic fabrics get one extra stripe per site — the DIRECTORY stripe
+  // (index slots_per_shard), bumped only by elastic_reassign. OCC writers
+  // read it per involved shard, so a directory move dooms transactions
+  // speculated against the old epoch without single-key puts (which bump
+  // slot stripes constantly) ever inducing a false conflict.
+  cfg_.txn.tuning.orec_stripes =
+      cfg.slots_per_shard + (cfg.elastic.enabled ? 1 : 0);
   txn_mgr_ = std::make_unique<txn::TxnManager>(sys, cfg_.txn.tuning);
-  for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+  for (std::uint32_t s = 0; s < total_shards; ++s) {
     Shard& sh = *shards_[s];
     sh.site = txn_mgr_->add_site("svc.s" + std::to_string(s), sh.group,
                                  sh.lock, sh.version);
@@ -105,7 +140,7 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
   if (span < sys.node_count()) {
     lease_mgr_ =
         std::make_unique<LeaseManager>(sys, cfg_.lease, cfg.slots_per_shard);
-    for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+    for (std::uint32_t s = 0; s < total_shards; ++s) {
       Shard& sh = *shards_[s];
       lease_mgr_->register_shard(s, sh.group, sh.root, sh.slot_keys,
                                  sh.slot_values,
@@ -184,6 +219,7 @@ sim::Process ShardedStore::read_op(dsm::NodeId n, Key key,
                                    ConsistencyLevel level) {
   OPTSYNC_EXPECT(key != 0);
   OPTSYNC_EXPECT(out != nullptr);
+  if (access_observer_) access_observer_(map_.shard_of(key), key);
   if (is_member(n)) {
     // Members read their local replica at every level — that is
     // eagersharing's contract; consistency levels distinguish clients.
@@ -199,6 +235,7 @@ sim::Process ShardedStore::read_op(dsm::NodeId n, Key key,
 
 sim::Process ShardedStore::write_op(dsm::NodeId n, Key key, dsm::Word value) {
   OPTSYNC_EXPECT(key != 0);
+  if (access_observer_) access_observer_(map_.shard_of(key), key);
   if (!partial()) return put_direct(n, key, value);
   const ShardId s = map_.shard_of(key);
   const dsm::NodeId server = shards_[s]->root;
@@ -212,6 +249,12 @@ sim::Process ShardedStore::write_op(dsm::NodeId n, Key key, dsm::Word value) {
 sim::Process ShardedStore::multi_put_op(
     dsm::NodeId n, std::vector<std::pair<Key, dsm::Word>> kvs) {
   OPTSYNC_EXPECT(!kvs.empty());
+  if (access_observer_) {
+    for (const auto& [key, value] : kvs) {
+      (void)value;
+      access_observer_(map_.shard_of(key), key);
+    }
+  }
   if (!partial()) return multi_put_direct(n, std::move(kvs));
   std::vector<Key> keys;
   keys.reserve(kvs.size());
@@ -232,6 +275,9 @@ sim::Process ShardedStore::multi_put_op(
 sim::Process ShardedStore::multi_rmw_op(dsm::NodeId n, std::vector<Key> keys,
                                         dsm::Word delta) {
   OPTSYNC_EXPECT(!keys.empty());
+  if (access_observer_) {
+    for (const Key key : keys) access_observer_(map_.shard_of(key), key);
+  }
   if (!partial()) return multi_rmw_direct(n, std::move(keys), delta);
   const ShardId primary = involved_shards(keys).front();
   const dsm::NodeId server = shards_[primary]->root;
@@ -248,6 +294,9 @@ sim::Process ShardedStore::multi_get_op(
     std::vector<std::optional<dsm::Word>>* out, ConsistencyLevel level) {
   OPTSYNC_EXPECT(!keys.empty());
   OPTSYNC_EXPECT(out != nullptr);
+  if (access_observer_) {
+    for (const Key key : keys) access_observer_(map_.shard_of(key), key);
+  }
   if (!partial()) return multi_get_direct(n, std::move(keys), out);
 
   if (!is_member(n) && level != ConsistencyLevel::kLinearizable) {
@@ -341,34 +390,51 @@ void ShardedStore::write_slot(Shard& sh, dsm::DsmNode& node, Key key,
 
 sim::Process ShardedStore::put_direct(dsm::NodeId n, Key key,
                                       dsm::Word value) {
-  Shard& sh = *shards_[map_.shard_of(key)];
-  bool use_queue = false;
-  switch (cfg_.lock) {
-    case LockPolicy::kQueue:
-      use_queue = true;
-      break;
-    case LockPolicy::kOptimistic:
-      use_queue = false;
-      break;
-    case LockPolicy::kAdaptive: {
-      // The §4 decision, per shard: fold the lock's busyness (local copy,
-      // zero traffic) into the shard's EWMA, then pick the protocol.
-      const dsm::Word lw = sys_->node(n).read(sh.lock);
-      const bool busy = dsm::lock_held(lw) && !dsm::lock_granted_to(lw, n);
-      sh.history.observe(busy ? 1.0 : 0.0);
-      use_queue = sh.history.indicates_usage(cfg_.history_threshold);
-      break;
+  for (;;) {
+    const ShardId sid = map_.shard_of(key);
+    Shard& sh = *shards_[sid];
+    bool use_queue = false;
+    switch (cfg_.lock) {
+      case LockPolicy::kQueue:
+        use_queue = true;
+        break;
+      case LockPolicy::kOptimistic:
+        use_queue = false;
+        break;
+      case LockPolicy::kAdaptive: {
+        // The §4 decision, per shard: fold the lock's busyness (local copy,
+        // zero traffic) into the shard's EWMA, then pick the protocol.
+        const dsm::Word lw = sys_->node(n).read(sh.lock);
+        const bool busy = dsm::lock_held(lw) && !dsm::lock_granted_to(lw, n);
+        sh.history.observe(busy ? 1.0 : 0.0);
+        use_queue = sh.history.indicates_usage(cfg_.history_threshold);
+        break;
+      }
     }
+    bool moved = false;
+    if (use_queue) {
+      co_await put_queued(sh, sid, n, key, value, &moved).join();
+    } else {
+      co_await put_optimistic(sh, sid, n, key, value, &moved).join();
+    }
+    if (!moved) co_return;
+    // The directory reassigned the key between routing and lock grant: the
+    // acquired lock was the wrong shard's and nothing was written. Count
+    // the re-route against the old owner and retry at the new one.
+    ++sh.redirects;
   }
-  return use_queue ? put_queued(sh, n, key, value)
-                   : put_optimistic(sh, n, key, value);
 }
 
-sim::Process ShardedStore::put_queued(Shard& sh, dsm::NodeId n, Key key,
-                                      dsm::Word value) {
+sim::Process ShardedStore::put_queued(Shard& sh, ShardId sid, dsm::NodeId n,
+                                      Key key, dsm::Word value, bool* moved) {
   auto& sched = sys_->scheduler();
   const sim::Time started = sched.now();
   co_await sh.queue->acquire(n).join();
+  if (cfg_.elastic.enabled && map_.shard_of(key) != sid) {
+    sh.queue->release(n);
+    *moved = true;
+    co_return;
+  }
   const sim::Time acquired = sched.now();
   auto& node = sys_->node(n);
   co_await sim::delay(sched, cfg_.write_compute_ns);
@@ -391,8 +457,9 @@ sim::Process ShardedStore::put_queued(Shard& sh, dsm::NodeId n, Key key,
   ++sh.queue_ops;
 }
 
-sim::Process ShardedStore::put_optimistic(Shard& sh, dsm::NodeId n, Key key,
-                                          dsm::Word value) {
+sim::Process ShardedStore::put_optimistic(Shard& sh, ShardId sid,
+                                          dsm::NodeId n, Key key,
+                                          dsm::Word value, bool* moved) {
   core::Section sec;
   sec.shared_writes.reserve(3 * cfg_.slots_per_shard + 1);
   for (std::uint32_t k = 0; k < cfg_.slots_per_shard; ++k) {
@@ -404,12 +471,22 @@ sim::Process ShardedStore::put_optimistic(Shard& sh, dsm::NodeId n, Key key,
   sec.shared_writes.insert(sec.shared_writes.end(), orec_vars.begin(),
                            orec_vars.end());
   sec.shared_writes.push_back(sh.version);
-  sec.body = [this, &sh, key, value](dsm::DsmNode& node) -> sim::Process {
+  sec.body = [this, &sh, sid, key, value,
+              moved](dsm::DsmNode& node) -> sim::Process {
+    // Re-checked inside the body: the section may retry after rollback,
+    // and the directory can move the key during any wait. The last
+    // (committed) execution's verdict is the one that sticks.
+    if (cfg_.elastic.enabled && map_.shard_of(key) != sid) {
+      *moved = true;
+      co_return;
+    }
+    *moved = false;
     co_await sim::delay(sys_->scheduler(), cfg_.write_compute_ns);
     write_slot(sh, node, key, value);
     node.write(sh.version, node.read(sh.version) + 1);
   };
   co_await sh.mux->execute(n, std::move(sec)).join();
+  if (*moved) co_return;
   ++sh.committed;
   ++sh.optimistic_ops;
 }
@@ -471,8 +548,19 @@ sim::Process ShardedStore::multi_put_occ(
   auto& sched = sys_->scheduler();
   const sim::Time started = sched.now();
   auto& cm = txn_mgr_->contention();
+  std::vector<Key> keys;
+  if (cfg_.elastic.enabled) {
+    keys.reserve(kvs.size());
+    for (const auto& [key, value] : kvs) {
+      (void)value;
+      keys.push_back(key);
+    }
+  }
   std::uint32_t aborts = 0;
   for (;;) {
+    // A directory move between attempts re-homes keys; route each attempt
+    // against the live map so retries land on the new owners.
+    if (cfg_.elastic.enabled) ids = involved_shards(keys);
     if (cm.should_fallback(aborts)) {
       // Abort budget exhausted: go irrevocable. The legacy path acquires
       // the same locks in the same ascending order, so progress is
@@ -485,6 +573,20 @@ sim::Process ShardedStore::multi_put_occ(
     }
     txn::Txn t;
     txn_mgr_->begin(t, n);
+    if (cfg_.elastic.enabled) {
+      // Blind puts gain a read-set entry on each involved shard's
+      // DIRECTORY orec stripe: elastic_reassign bumps it under the shard
+      // locks, so a put speculated against the old epoch fails validation
+      // (doomed, not lost) instead of publishing to a shard its key has
+      // already left. Reading the directory stripe — not the slot stripes,
+      // which every single-key put bumps — keeps static traffic free of
+      // false conflicts.
+      for (const ShardId s : ids) {
+        Shard& sh = *shards_[s];
+        (void)txn_mgr_->read_word(t, sh.site, cfg_.slots_per_shard,
+                                  sh.version);
+      }
+    }
     const sim::Time spec_began = sched.now();
     for (const auto& [key, value] : kvs) {
       Shard& sh = *shards_[map_.shard_of(key)];
@@ -530,6 +632,7 @@ sim::Process ShardedStore::multi_rmw_direct(dsm::NodeId n,
   auto& cm = txn_mgr_->contention();
   std::uint32_t aborts = 0;
   for (;;) {
+    if (cfg_.elastic.enabled) ids = involved_shards(keys);
     if (cfg_.txn.mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
       if (cfg_.txn.mode == TxnMode::kOcc) {
         cm.note_fallback();
@@ -542,6 +645,17 @@ sim::Process ShardedStore::multi_rmw_direct(dsm::NodeId n,
     }
     txn::Txn t;
     txn_mgr_->begin(t, n);
+    if (cfg_.elastic.enabled) {
+      // Same doomed-not-lost guard as multi_put_occ: a key ABSENT from its
+      // (old) owner leaves no moved slot behind to bump, so the slot reads
+      // below would not catch a concurrent directory move — the directory
+      // stripe does.
+      for (const ShardId s : ids) {
+        Shard& sh = *shards_[s];
+        (void)txn_mgr_->read_word(t, sh.site, cfg_.slots_per_shard,
+                                  sh.version);
+      }
+    }
     const sim::Time spec_began = sched.now();
     auto& node = sys_->node(n);
     for (const Key key : keys) {
@@ -594,7 +708,20 @@ sim::Process ShardedStore::multi_rmw_impl(dsm::NodeId n, std::vector<Key> keys,
                                           dsm::Word delta) {
   auto& sched = sys_->scheduler();
   const sim::Time started = sched.now();
-  co_await mux.acquire(n).join();
+  core::MultiGroupMutex* m = &mux;
+  for (;;) {
+    co_await m->acquire(n).join();
+    if (!cfg_.elastic.enabled) break;
+    // The irrevocable path holds the owners' locks across the compute; if
+    // the directory moved a key while we queued, release and re-acquire
+    // the correct (ascending-ordered) set — never write under the wrong
+    // shard's lock.
+    std::vector<ShardId> now_ids = involved_shards(keys);
+    if (now_ids == ids) break;
+    m->release(n);
+    ids = std::move(now_ids);
+    m = &txn_mutex(ids);
+  }
   const sim::Time acquired = sched.now();
   auto& node = sys_->node(n);
   co_await sim::delay(
@@ -612,7 +739,7 @@ sim::Process ShardedStore::multi_rmw_impl(dsm::NodeId n, std::vector<Key> keys,
     Shard& sh = *shards_[s];
     node.write(sh.version, node.read(sh.version) + 1);
   }
-  mux.release(n);
+  m->release(n);
   if (auto* trc = sys_->tracer()) {
     if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
       trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kCs, n,
@@ -631,19 +758,30 @@ sim::Process ShardedStore::multi_get_direct(
   auto& node = sys_->node(n);
   std::uint32_t aborts = 0;
   for (;;) {
+    if (cfg_.elastic.enabled) ids = involved_shards(keys);
     if (cfg_.txn.mode == TxnMode::kLegacy || cm.should_fallback(aborts)) {
       // Irrevocable snapshot: read under every involved shard lock.
       if (cfg_.txn.mode == TxnMode::kOcc) {
         cm.note_fallback();
         for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
       }
-      core::MultiGroupMutex& mux = txn_mutex(ids);
-      co_await mux.acquire(n).join();
+      core::MultiGroupMutex* mux = &txn_mutex(ids);
+      for (;;) {
+        co_await mux->acquire(n).join();
+        if (!cfg_.elastic.enabled) break;
+        std::vector<ShardId> now_ids = involved_shards(keys);
+        if (now_ids == ids) break;
+        // The directory moved a key while we queued: the locks held are
+        // the wrong set. Release and chase the new owners.
+        mux->release(n);
+        ids = std::move(now_ids);
+        mux = &txn_mutex(ids);
+      }
       out->clear();
       for (const Key key : keys) {
         out->push_back(local_get(n, key));
       }
-      mux.release(n);
+      mux->release(n);
       co_return;
     }
     txn::Txn t;
@@ -683,7 +821,25 @@ sim::Process ShardedStore::multi_put_impl(
     std::vector<ShardId> ids, core::MultiGroupMutex& mux) {
   auto& sched = sys_->scheduler();
   const sim::Time started = sched.now();
-  co_await mux.acquire(n).join();
+  core::MultiGroupMutex* m = &mux;
+  if (cfg_.elastic.enabled) {
+    std::vector<Key> keys;
+    keys.reserve(kvs.size());
+    for (const auto& [key, value] : kvs) {
+      (void)value;
+      keys.push_back(key);
+    }
+    for (;;) {
+      co_await m->acquire(n).join();
+      std::vector<ShardId> now_ids = involved_shards(keys);
+      if (now_ids == ids) break;
+      m->release(n);
+      ids = std::move(now_ids);
+      m = &txn_mutex(ids);
+    }
+  } else {
+    co_await m->acquire(n).join();
+  }
   const sim::Time acquired = sched.now();
   auto& node = sys_->node(n);
   co_await sim::delay(
@@ -697,7 +853,7 @@ sim::Process ShardedStore::multi_put_impl(
     Shard& sh = *shards_[s];
     node.write(sh.version, node.read(sh.version) + 1);
   }
-  mux.release(n);
+  m->release(n);
   if (auto* trc = sys_->tracer()) {
     if (const auto ctx = trc->node_ctx(n); ctx.valid()) {
       trc->record_span(ctx.trace, ctx.span, telemetry::SpanKind::kCs, n,
@@ -708,6 +864,171 @@ sim::Process ShardedStore::multi_put_impl(
   ++txn_stats_.acquisitions;
   txn_stats_.acquire_ns.record(static_cast<std::int64_t>(acquired - started));
   txn_stats_.hold_ns.record(static_cast<std::int64_t>(sched.now() - acquired));
+}
+
+// --- elastic fabric --------------------------------------------------------
+
+ShardedStore::Route ShardedStore::route(Key key, std::uint64_t epoch) const {
+  Route r;
+  r.owner = map_.shard_of(key);
+  if (epoch == map_.version()) {
+    r.believed = r.owner;
+    return r;
+  }
+  for (auto it = map_history_.rbegin(); it != map_history_.rend(); ++it) {
+    if (it->version() == epoch) {
+      r.believed = it->shard_of(key);
+      r.stale = r.believed != r.owner;
+      return r;
+    }
+  }
+  // Epoch aged out of the bounded history: we can't prove the client's
+  // routing was right, so force one refresh round trip.
+  r.believed = r.owner;
+  r.stale = true;
+  return r;
+}
+
+sim::Process ShardedStore::redirect_probe(dsm::NodeId n, ShardId believed) {
+  Shard& sh = *shards_.at(believed);
+  ++sh.redirects;
+  if (n == sh.root) co_return;
+  auto rv = std::make_shared<FwdRendezvous>(sys_->scheduler());
+  sys_->send_direct(n, sh.root, cfg_.lease.ctrl_bytes, "svc-redirect",
+                    [this, n, root = sh.root, rv] {
+                      sys_->send_direct(root, n, cfg_.lease.ctrl_bytes,
+                                        "svc-redirect-ack", [rv] {
+                                          rv->done = true;
+                                          rv->sig.notify_all();
+                                        });
+                    });
+  while (!rv->done) co_await rv->sig.wait();
+}
+
+void ShardedStore::apply_root_move(ShardId s, dsm::NodeId to) {
+  Shard& sh = *shards_.at(s);
+  sys_->reroot_group(sh.group, to);
+  sh.root = to;
+  ++sh.migrations;
+  // Lease epochs are root-location independent (keyed per client/stripe);
+  // only the directory's notion of where to fetch from changes.
+  if (lease_mgr_) lease_mgr_->set_root(s, to);
+}
+
+sim::Process ShardedStore::reassign_body(dsm::NodeId exec, ShardId src,
+                                         ShardId dst,
+                                         std::function<bool(Key)> pred,
+                                         std::function<void(ShardMap&)> mutate,
+                                         std::uint64_t* moved_slots) {
+  OPTSYNC_EXPECT(src != dst);
+  auto& sched = sys_->scheduler();
+  std::vector<ShardId> ids{src, dst};
+  std::sort(ids.begin(), ids.end());
+  core::MultiGroupMutex& mux = txn_mutex(ids);
+  co_await mux.acquire(exec).join();
+  Shard& from = *shards_[src];
+  Shard& to = *shards_[dst];
+  auto& node = sys_->node(exec);
+  std::uint64_t moved = 0;
+  for (std::uint32_t slot = 0; slot < cfg_.slots_per_shard; ++slot) {
+    const dsm::Word k = node.read(from.slot_keys[slot]);
+    if (k == 0 || !pred(static_cast<Key>(k))) continue;
+    const dsm::Word v = node.read(from.slot_values[slot]);
+    // slot_of is shard-independent, so the key keeps its slot index (and
+    // with it its orec stripe and lease stripe) in the destination.
+    node.write(to.slot_keys[slot], k);
+    node.write(to.slot_values[slot], v);
+    txn_mgr_->orecs().bump(exec, to.site, slot);
+    node.write(from.slot_keys[slot], 0);
+    node.write(from.slot_values[slot], 0);
+    // The vacated slot changed too: an OCC reader holding its pre-move
+    // value must revalidate (and re-route) rather than serve a key the
+    // shard no longer owns.
+    txn_mgr_->orecs().bump(exec, from.site, slot);
+    ++moved;
+  }
+  co_await sim::delay(sched, cfg_.write_compute_ns *
+                                 static_cast<sim::Duration>(moved + 1));
+  // Bump both DIRECTORY stripes (index slots_per_shard): every OCC writer
+  // reads them for its involved shards, so transactions speculated against
+  // the old epoch fail validation wherever their keys sat — including keys
+  // that were absent and left no moved slot behind. Slot stripes stay
+  // untouched unless a slot actually moved, so static traffic never pays a
+  // false conflict for the guard.
+  txn_mgr_->orecs().bump(exec, from.site, cfg_.slots_per_shard);
+  txn_mgr_->orecs().bump(exec, to.site, cfg_.slots_per_shard);
+  // One write section per involved shard keeps the serializability ledger
+  // exact: version words move in lockstep with committed counts.
+  node.write(from.version, node.read(from.version) + 1);
+  node.write(to.version, node.read(to.version) + 1);
+  ++from.committed;
+  ++to.committed;
+  // Snapshot the outgoing epoch, then install the new one — still under
+  // both shard locks, so no op ever sees a half-moved directory.
+  map_history_.push_back(map_);
+  if (map_history_.size() > kMapHistory) {
+    map_history_.erase(map_history_.begin());
+  }
+  mutate(map_);
+  mux.release(exec);
+  if (moved_slots != nullptr) *moved_slots = moved;
+}
+
+sim::Process ShardedStore::elastic_reassign(
+    ShardId src, ShardId dst, std::function<bool(Key)> pred,
+    std::function<void(ShardMap&)> mutate, std::uint64_t* moved_slots) {
+  OPTSYNC_EXPECT(cfg_.elastic.enabled);
+  OPTSYNC_EXPECT(src < shards_.size());
+  OPTSYNC_EXPECT(dst < shards_.size());
+  if (partial()) {
+    // Partial mode: every mutation flows through a proxy chain; the move
+    // is one more op on the destination root's instruction stream. The
+    // closures ride behind a shared_ptr and every owning object here is a
+    // named local: GCC 12's coroutine lowering double-destroys init-captures
+    // that move from frame parameters inside a co_await full expression,
+    // which double-frees the std::function targets.
+    const dsm::NodeId exec = shards_[dst]->root;
+    auto fns = std::make_shared<
+        std::pair<std::function<bool(Key)>, std::function<void(ShardMap&)>>>(
+        std::move(pred), std::move(mutate));
+    OpThunk thunk = [this, exec, src, dst, fns, moved_slots]() {
+      return reassign_body(exec, src, dst, fns->first, fns->second,
+                           moved_slots);
+    };
+    sim::Process queued = enqueue_proxy(exec, std::move(thunk));
+    co_await queued.join();
+    co_return;
+  }
+  // Full replication: the reserved control node is the mover's instruction
+  // stream (the generator must keep regular traffic off it).
+  OPTSYNC_EXPECT(control_node_ != dsm::kNoNode);
+  co_await reassign_body(control_node_, src, dst, std::move(pred),
+                         std::move(mutate), moved_slots)
+      .join();
+}
+
+std::uint64_t ShardedStore::migrations(ShardId s) const {
+  return shards_.at(s)->migrations;
+}
+
+std::uint64_t ShardedStore::splits(ShardId s) const {
+  return shards_.at(s)->splits;
+}
+
+std::uint64_t ShardedStore::merges(ShardId s) const {
+  return shards_.at(s)->merges;
+}
+
+std::uint64_t ShardedStore::promotions(ShardId s) const {
+  return shards_.at(s)->promotions;
+}
+
+std::uint64_t ShardedStore::demotions(ShardId s) const {
+  return shards_.at(s)->demotions;
+}
+
+std::uint64_t ShardedStore::redirects(ShardId s) const {
+  return shards_.at(s)->redirects;
 }
 
 void ShardedStore::fill_report(stats::ServiceReport& report) {
@@ -727,6 +1048,13 @@ void ShardedStore::fill_report(stats::ServiceReport& report) {
     entry.max_frame_writes = root.max_frame_writes;
     entry.version = sys_->node(sh.root).read(sh.version);
     entry.committed_writes = sh.committed;
+    entry.root_node = sh.root;  // effective placement, post-migration
+    entry.migrations = sh.migrations;
+    entry.splits = sh.splits;
+    entry.merges = sh.merges;
+    entry.promotions = sh.promotions;
+    entry.demotions = sh.demotions;
+    entry.redirects = sh.redirects;
     entry.txn_commits = sh.txn_commits;
     entry.txn_aborts = sh.txn_aborts;
     entry.txn_retries = sh.txn_retries;

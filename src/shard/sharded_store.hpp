@@ -72,6 +72,12 @@
 #include "telemetry/sampler.hpp"
 #include "txn/txn.hpp"
 
+namespace optsync::elastic {
+class RootMigrator;
+class DirectoryManager;
+class ElasticController;
+}  // namespace optsync::elastic
+
 namespace optsync::shard {
 
 class Client;
@@ -151,6 +157,23 @@ struct CoalesceConfig {
   std::int64_t max_ns = -1;      ///< < 0 = inherit DsmConfig
 };
 
+/// Elastic control-plane knobs (src/elastic/). Off by default: the fabric
+/// is exactly the static store — no hot groups, no directory mutation, no
+/// extra read-set entries on blind OCC puts.
+struct ElasticConfig {
+  bool enabled = false;
+  /// Dedicated promotion groups appended after the base shards. A hot key
+  /// pinned to one gets a private sequencer and lock — the "one-stripe
+  /// group" of hot-key routing.
+  std::uint32_t hot_groups = 2;
+  /// Full replication only: the node directory moves execute on. It must
+  /// not run regular traffic (one instruction stream per node — keep it
+  /// out of the generator's node span); defaults to the last member.
+  /// Partial replication routes moves through the destination root's
+  /// proxy chain instead and ignores this.
+  dsm::NodeId control_node = dsm::kNoNode;
+};
+
 struct ShardedStoreConfig {
   std::uint32_t shards = 4;
   std::uint32_t slots_per_shard = 8;  ///< KV slots (key, value var pairs)
@@ -174,8 +197,12 @@ struct ShardedStoreConfig {
 
   /// Shard s roots at members[(s * root_stride) % members.size()]; the
   /// default walks the machine so consecutive shards sequence on
-  /// different nodes.
+  /// different nodes. Construction rejects strides whose cycle reaches
+  /// fewer distinct nodes than there are shards while other members sit
+  /// idle (gcd(stride, members) > 1 silently stacked roots before).
   std::uint32_t root_stride = 1;
+
+  ElasticConfig elastic;
 };
 
 class ShardedStore {
@@ -189,7 +216,14 @@ class ShardedStore {
   ShardedStore& operator=(const ShardedStore&) = delete;
 
   [[nodiscard]] const ShardMap& map() const { return map_; }
-  [[nodiscard]] std::uint32_t shards() const { return map_.shards(); }
+  /// Total shard count, including elastic hot groups (report sizing,
+  /// introspection loops). The base routing modulus is base_shards().
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Shards the base ShardMap policy routes over (the configured count;
+  /// hot groups are reachable only through pins).
+  [[nodiscard]] std::uint32_t base_shards() const { return map_.shards(); }
   [[nodiscard]] ShardId shard_of(Key key) const { return map_.shard_of(key); }
   /// The KV slot (== orec stripe == lease stripe at width 1) `key` maps to
   /// within its shard.
@@ -207,6 +241,43 @@ class ShardedStore {
   /// The lease tier, or nullptr under full replication.
   [[nodiscard]] LeaseManager* leases() { return lease_mgr_.get(); }
   [[nodiscard]] const LeaseManager* leases() const { return lease_mgr_.get(); }
+
+  // --- versioned directory (elastic fabric) -------------------------------
+  /// True when the elastic control plane is configured.
+  [[nodiscard]] bool elastic() const { return cfg_.elastic.enabled; }
+  /// Full replication: the reserved mover node (kNoNode when not elastic).
+  [[nodiscard]] dsm::NodeId control_node() const { return control_node_; }
+  /// Current directory epoch (== ShardMap::version of the live map).
+  /// Clients snapshot this and compare on every routed op.
+  [[nodiscard]] std::uint64_t dir_epoch() const { return map_.version(); }
+
+  /// One routing decision checked against a client's directory epoch.
+  struct Route {
+    ShardId owner = 0;     ///< current directory's answer (always correct)
+    ShardId believed = 0;  ///< what a client at `epoch` would have routed to
+    bool stale = false;    ///< believed wrong (or epoch aged out of history)
+  };
+  [[nodiscard]] Route route(Key key, std::uint64_t epoch) const;
+
+  /// The stale-directory penalty: one control round trip to the believed
+  /// owner's root, answered with a redirect (counted against the believed
+  /// shard). Free when `n` already is that root node.
+  sim::Process redirect_probe(dsm::NodeId n, ShardId believed);
+
+  // --- elastic counters (per shard; all zero on a static fabric) ----------
+  [[nodiscard]] std::uint64_t migrations(ShardId s) const;
+  [[nodiscard]] std::uint64_t splits(ShardId s) const;
+  [[nodiscard]] std::uint64_t merges(ShardId s) const;
+  [[nodiscard]] std::uint64_t promotions(ShardId s) const;
+  [[nodiscard]] std::uint64_t demotions(ShardId s) const;
+  [[nodiscard]] std::uint64_t redirects(ShardId s) const;
+
+  /// Observer invoked with (current owner, key) at every keyed operation's
+  /// routing point — the elastic key sketch taps accesses here. One
+  /// observer (last set wins); null disables.
+  void set_access_observer(std::function<void(ShardId, Key)> fn) {
+    access_observer_ = std::move(fn);
+  }
 
   // --- pre-Client API (deprecated shims) ---------------------------------
   /// Local read on node `n`. Full replication only — partial-replication
@@ -278,6 +349,9 @@ class ShardedStore {
 
  private:
   friend class Client;
+  friend class elastic::RootMigrator;
+  friend class elastic::DirectoryManager;
+  friend class elastic::ElasticController;
 
   struct Shard {
     explicit Shard(double decay) : history(decay) {}
@@ -299,6 +373,13 @@ class ShardedStore {
     std::uint64_t txn_aborts = 0;
     std::uint64_t txn_retries = 0;
     std::uint64_t txn_fallbacks = 0;
+    // Elastic fabric counters (all stay zero on a static fabric).
+    std::uint64_t migrations = 0;  ///< root moved away from/onto this shard
+    std::uint64_t splits = 0;      ///< stripe ranges donated (counted on src)
+    std::uint64_t merges = 0;      ///< donated ranges taken back (on src)
+    std::uint64_t promotions = 0;  ///< hot keys pinned away (on src)
+    std::uint64_t demotions = 0;   ///< pinned keys returned (on home shard)
+    std::uint64_t redirects = 0;   ///< stale-epoch probes answered here
   };
 
   // --- Client entry points (shard/client.hpp delegates here) ------------
@@ -319,9 +400,12 @@ class ShardedStore {
   /// The LockPolicy dispatch, executing on node `n` (full mode: the
   /// caller's node; partial mode: the shard root's, via its proxy chain).
   sim::Process put_direct(dsm::NodeId n, Key key, dsm::Word value);
-  sim::Process put_queued(Shard& sh, dsm::NodeId n, Key key, dsm::Word value);
-  sim::Process put_optimistic(Shard& sh, dsm::NodeId n, Key key,
-                              dsm::Word value);
+  /// `moved` is set (and nothing written) when the directory reassigned
+  /// the key between routing and lock acquisition — put_direct re-routes.
+  sim::Process put_queued(Shard& sh, ShardId sid, dsm::NodeId n, Key key,
+                          dsm::Word value, bool* moved);
+  sim::Process put_optimistic(Shard& sh, ShardId sid, dsm::NodeId n, Key key,
+                              dsm::Word value, bool* moved);
   sim::Process multi_put_direct(dsm::NodeId n,
                                 std::vector<std::pair<Key, dsm::Word>> kvs);
   sim::Process multi_rmw_direct(dsm::NodeId n, std::vector<Key> keys,
@@ -360,6 +444,29 @@ class ShardedStore {
       const std::vector<Key>& keys) const;
   void record_txn_flight(sim::Time started, sim::Time acquired);
 
+  // --- elastic fabric internals (src/elastic/ drives these) --------------
+  /// Applies the topology half of a root migration: spanning tree, the
+  /// shard's root field, the lease directory. Called by elastic::
+  /// RootMigrator between quiesce and handoff replay.
+  void apply_root_move(ShardId s, dsm::NodeId to);
+
+  /// The two-phase directory move primitive behind split/merge/promote/
+  /// demote. Under the {src, dst} shard locks it moves every src slot
+  /// whose key satisfies `pred` into dst, bumps every src orec stripe
+  /// (dooming racing OCC transactions at the old epoch), commits one
+  /// write section per involved shard (the ledger stays exact), snapshots
+  /// the old map into history, and installs `mutate`'s new epoch. Runs on
+  /// the control node (full replication) or through the destination
+  /// root's proxy chain (partial).
+  sim::Process elastic_reassign(ShardId src, ShardId dst,
+                                std::function<bool(Key)> pred,
+                                std::function<void(ShardMap&)> mutate,
+                                std::uint64_t* moved_slots);
+  sim::Process reassign_body(dsm::NodeId exec, ShardId src, ShardId dst,
+                             std::function<bool(Key)> pred,
+                             std::function<void(ShardMap&)> mutate,
+                             std::uint64_t* moved_slots);
+
   dsm::DsmSystem* sys_;
   ShardedStoreConfig cfg_;
   ShardMap map_;
@@ -378,6 +485,13 @@ class ShardedStore {
   std::map<std::vector<ShardId>, std::unique_ptr<core::MultiGroupMutex>>
       txn_muxes_;
   stats::LockStats txn_stats_;
+  /// Bounded history of past directory snapshots (newest last): a client
+  /// whose epoch is still in history routes against its exact snapshot; an
+  /// epoch that aged out forces one refresh. Only mutated maps are kept.
+  std::vector<ShardMap> map_history_;
+  static constexpr std::size_t kMapHistory = 16;
+  dsm::NodeId control_node_ = dsm::kNoNode;
+  std::function<void(ShardId, Key)> access_observer_;
 };
 
 }  // namespace optsync::shard

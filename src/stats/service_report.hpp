@@ -122,6 +122,17 @@ struct ShardServiceStats {
     return total > 0.0 ? static_cast<double>(lease_hits) / total : 0.0;
   }
 
+  // --- elastic fabric rollup (src/elastic/; zero on a static fabric) -----
+  /// Node the shard's root sequenced on at end of run — the *effective*
+  /// placement, after any root_stride wrap or online migration.
+  std::uint32_t root_node = 0;
+  std::uint64_t migrations = 0;  ///< root handoffs involving this shard
+  std::uint64_t splits = 0;      ///< stripe ranges donated away (on src)
+  std::uint64_t merges = 0;      ///< donated ranges taken back (on src)
+  std::uint64_t promotions = 0;  ///< hot keys pinned to a hot group (on src)
+  std::uint64_t demotions = 0;   ///< pinned keys returned (on home shard)
+  std::uint64_t redirects = 0;   ///< stale-epoch ops re-routed/probed here
+
   // --- overload verdict (telemetry::flag_overload) ---------------------
   /// True when the shard's backlog series shows sustained growth: the
   /// shard is past saturation ("drowning"), not merely slow. Stays false

@@ -17,13 +17,16 @@
 //
 //   dsm_service --shards 8 --rate 50000 --requests 2000
 //               --fault-drop 0.10 --fault-seed 7 --metrics-out out.json
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_metrics.hpp"
 #include "dsm/system.hpp"
+#include "elastic/controller.hpp"
 #include "faults/fault_plan.hpp"
 #include "load/generator.hpp"
 #include "net/topology.hpp"
@@ -106,6 +109,14 @@ void usage() {
          "  --consistency C      linearizable | leased | snapshot read"
          " level (default\n                       leased when --lease is"
          " set, else linearizable)\n"
+         "  --elastic            enable the elastic control plane (hot-key"
+         " promotion,\n                       stripe split/merge, online root"
+         " migration)\n"
+         "  --hot-groups N       dedicated hot groups appended after the base"
+         " shards\n                       (default 2; needs --elastic)\n"
+         "  --migrate-shard S:N  one-shot manual root migration of shard S to"
+         " node N,\n                       fired shortly after start (needs"
+         " --elastic)\n"
          "  --fault-drop P --fault-seed N --partition A:B:S:E[,...]\n"
          "  plus the standard bench flags (--seed, --metrics-out,"
          " --trace-out,\n  --trace-capacity, --coalesce-max-writes,"
@@ -127,8 +138,8 @@ int main(int argc, char** argv) try {
               "zipf-s", "keys", "read-fraction", "txn-fraction",
               "rmw-fraction", "txn-keys", "policy", "txn-mode",
               "server-nodes", "lease", "lease-ttl-ns", "consistency",
-              "adaptive-coalesce", "fault-drop", "fault-seed", "partition",
-              "help"});
+              "adaptive-coalesce", "elastic", "hot-groups", "migrate-shard",
+              "fault-drop", "fault-seed", "partition", "help"});
 
   const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 16));
   const auto shards = static_cast<std::uint32_t>(flags.get_int("shards", 4));
@@ -187,7 +198,50 @@ int main(int argc, char** argv) try {
     std::cerr << "--lease needs --server-nodes N (partial replication)\n";
     return 2;
   }
+  const bool elastic = flags.get_bool("elastic", false);
+  scfg.elastic.enabled = elastic;
+  scfg.elastic.hot_groups =
+      static_cast<std::uint32_t>(flags.get_int("hot-groups", 2));
+  if (!elastic && flags.has("hot-groups")) {
+    std::cerr << "--hot-groups needs --elastic\n";
+    return 2;
+  }
+  // --migrate-shard S:N — manual one-shot root migration, parsed up front
+  // so a bad spec fails before the simulation spins up.
+  const std::string mig_spec = flags.get("migrate-shard", "");
+  bool manual_move = false;
+  std::uint32_t mig_shard = 0;
+  dsm::NodeId mig_node = dsm::kNoNode;
+  if (!mig_spec.empty()) {
+    if (!elastic) {
+      std::cerr << "--migrate-shard needs --elastic\n";
+      return 2;
+    }
+    const auto colon = mig_spec.find(':');
+    try {
+      if (colon == std::string::npos) throw std::invalid_argument(mig_spec);
+      mig_shard = static_cast<std::uint32_t>(
+          std::stoul(mig_spec.substr(0, colon)));
+      mig_node = static_cast<dsm::NodeId>(
+          std::stoul(mig_spec.substr(colon + 1)));
+    } catch (const std::exception&) {
+      std::cerr << "bad --migrate-shard spec '" << mig_spec
+                << "' (want SHARD:NODE)\n";
+      return 2;
+    }
+    if (mig_shard >= shards || mig_node >= nodes) {
+      std::cerr << "--migrate-shard " << mig_spec << " out of range ("
+                << shards << " shards, " << nodes << " nodes)\n";
+      return 2;
+    }
+    manual_move = true;
+  }
   shard::ShardedStore store(sys, scfg);
+  if (manual_move && mig_node == store.control_node()) {
+    std::cerr << "--migrate-shard target node " << mig_node
+              << " is the reserved elastic control node\n";
+    return 2;
+  }
 
   load::GeneratorConfig gcfg;
   gcfg.seed = harness.seed();
@@ -232,6 +286,12 @@ int main(int argc, char** argv) try {
     std::cerr << "unknown --consistency '" << consistency << "'\n";
     return 2;
   }
+  if (elastic && scfg.lease.server_nodes == 0 && nodes >= 2) {
+    // Full replication reserves the last node as the directory-move
+    // executor; keep it out of the client span so reconfigurations never
+    // queue behind regular traffic on the same instruction stream.
+    gcfg.node_span = nodes - 1;
+  }
   load::Generator gen(gcfg);
 
   stats::ServiceReport report;
@@ -253,8 +313,36 @@ int main(int argc, char** argv) try {
     coalesce_ctrl.start();
     coalesce_ctrl.register_telemetry(sampler);
   }
+  std::optional<elastic::ElasticController> ctrl;
+  if (elastic) {
+    ctrl.emplace(store, report, sampler.series());
+    ctrl->register_telemetry(sampler);
+    ctrl->start();
+  }
+  const dsm::NodeId mig_from = manual_move ? store.root_of(mig_shard)
+                                           : dsm::kNoNode;
+  std::function<void()> fire_move;
+  if (manual_move) {
+    if (scfg.lease.server_nodes > 0 && mig_node >= scfg.lease.server_nodes) {
+      std::cerr << "--migrate-shard target node " << mig_node
+                << " is a client under --server-nodes "
+                << scfg.lease.server_nodes << "\n";
+      return 2;
+    }
+    // Fire shortly after start; if the controller already has a move in
+    // flight, retry until the migrator frees up (one migration at a time).
+    fire_move = [&] {
+      if (ctrl->migrator().in_flight()) {
+        sched.at(sched.now() + 10'000, fire_move);
+        return;
+      }
+      (void)ctrl->migrator().migrate(mig_shard, mig_node);
+    };
+    sched.at(50'000, fire_move);
+  }
   sampler.start(sched);
   sched.run();
+  if (ctrl) ctrl->stop();
   sampler.sample_now(sched.now());  // final partial interval
   store.fill_report(report);
   telemetry::flag_overload(report, sampler.series());
@@ -310,6 +398,37 @@ int main(int argc, char** argv) try {
     std::cout << auditor.report() << "\n";
     if (!auditor.ok()) ok = false;
   }
+  std::uint64_t el_migrations = 0;
+  std::uint64_t el_splits = 0;
+  std::uint64_t el_merges = 0;
+  std::uint64_t el_promotions = 0;
+  std::uint64_t el_demotions = 0;
+  std::uint64_t el_redirects = 0;
+  if (elastic) {
+    for (std::uint32_t s = 0; s < store.shards(); ++s) {
+      el_migrations += store.migrations(s);
+      el_splits += store.splits(s);
+      el_merges += store.merges(s);
+      el_promotions += store.promotions(s);
+      el_demotions += store.demotions(s);
+      el_redirects += store.redirects(s);
+    }
+    std::cout << "elastic fabric: " << ctrl->actions()
+              << " control actions (" << el_promotions << " promotions, "
+              << el_splits << " splits, " << el_migrations
+              << " migrations, " << el_merges << " merges, " << el_demotions
+              << " demotions), " << el_redirects
+              << " stale-directory redirects ("
+              << client.stats().redirects
+              << " client retries), directory epoch " << store.dir_epoch()
+              << "\n";
+    if (manual_move && mig_from != mig_node &&
+        ctrl->migrator().stats().migrations == 0) {
+      std::cout << "MANUAL MIGRATION DID NOT RUN: --migrate-shard "
+                << mig_spec << " never completed\n";
+      ok = false;
+    }
+  }
 
   auto& metrics = harness.metrics();
   metrics.row("service")
@@ -318,6 +437,31 @@ int main(int argc, char** argv) try {
       .set("goodput_rps", report.goodput_rps())
       .set("messages", static_cast<double>(report.messages))
       .set("elapsed_ns", static_cast<double>(report.elapsed_ns));
+  if (elastic) {
+    metrics.row("elastic")
+        .set("control_actions", static_cast<double>(ctrl->actions()))
+        .set("control_ticks", static_cast<double>(ctrl->ticks()))
+        .set("dir_epoch", static_cast<double>(store.dir_epoch()))
+        .set("migrations", static_cast<double>(el_migrations))
+        .set("splits", static_cast<double>(el_splits))
+        .set("merges", static_cast<double>(el_merges))
+        .set("promotions", static_cast<double>(el_promotions))
+        .set("demotions", static_cast<double>(el_demotions))
+        .set("redirects", static_cast<double>(el_redirects))
+        .set("client_redirects",
+             static_cast<double>(client.stats().redirects))
+        .set("handoff_replayed",
+             static_cast<double>(ctrl->migrator().stats().handoff_replayed));
+    for (std::uint32_t s = 0; s < store.shards(); ++s) {
+      metrics.row("elastic,shard=" + std::to_string(s))
+          .set("migrations", static_cast<double>(store.migrations(s)))
+          .set("splits", static_cast<double>(store.splits(s)))
+          .set("merges", static_cast<double>(store.merges(s)))
+          .set("promotions", static_cast<double>(store.promotions(s)))
+          .set("demotions", static_cast<double>(store.demotions(s)))
+          .set("redirects", static_cast<double>(store.redirects(s)));
+    }
+  }
   if (adaptive_coalesce) {
     for (std::uint32_t s = 0; s < store.shards(); ++s) {
       metrics.row("coalesce,shard=" + std::to_string(s))
