@@ -1,11 +1,11 @@
 // Shared --metrics-out support for the figure/ablation benches.
 //
 // Every bench main accepts `--metrics-out PATH` and, when given, writes one
-// JSON document describing the run (schema "optsync-bench/4", documented in
+// JSON document describing the run (schema "optsync-bench/5", documented in
 // EXPERIMENTS.md):
 //
 //   {
-//     "schema": "optsync-bench/4",
+//     "schema": "optsync-bench/5",
 //     "bench": "<executable name>",
 //     "rows": [ {"label": "...", "<metric>": <number>, ...}, ... ],
 //     "locks": [ <stats::LockStats JSON>, ... ]
@@ -28,6 +28,14 @@
 // splits, merges, promotions, demotions, redirects), and service_scaling
 // adds the "hotspot_shift" static-vs-elastic comparison row.
 //
+// /5 adds the decision-forensics fields: "shard=N" rows gain the
+// abort-reason partition (aborts_read_clobber, aborts_validation,
+// aborts_dir_epoch — they sum to txn_aborts) and hot-stripe attribution
+// (hot_stripe, hot_stripe_conflicts), traced benches emit critical-path
+// shares per bucket (path_<bucket>_share) plus p99_path_named_fraction,
+// and the harness grows `--journal-out PATH` writing the structured
+// decision journal ("optsync-journal/1") tools/dsm_inspect consumes.
+//
 // bench::Harness (below) layers the rest of the shared bench plumbing on
 // top: the standard flag set every bench accepts (--seed, --metrics-out,
 // --trace-out, --coalesce-max-writes, --coalesce-max-ns, --ack-delay-ns),
@@ -41,6 +49,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +57,7 @@
 #include "dsm/types.hpp"
 #include "stats/json.hpp"
 #include "stats/lock_stats.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/tracer.hpp"
 #include "trace/chrome_export.hpp"
@@ -95,7 +105,7 @@ class MetricsOut {
     }
     stats::JsonWriter w(out, /*pretty=*/true);
     w.begin_object();
-    w.value("schema", "optsync-bench/4");
+    w.value("schema", "optsync-bench/5");
     w.value("bench", bench_);
     w.begin_array("rows");
     for (const auto& r : rows_) {
@@ -151,6 +161,17 @@ class MetricsOut {
 ///   --prom-out PATH          Prometheus text exposition of the sampler
 ///   --timeseries-out PATH    optsync-timeseries/1 JSON of the sampler
 ///   --sample-interval-ns NS  sampler tick period (default 50000)
+///   --journal-out PATH       optsync-journal/1 decision journal
+///   --journal-capacity N     journal event pool size (default 65536)
+///
+/// Validated while still signed — the pool size is a std::size_t, so a
+/// negative flag value would otherwise wrap into an absurd reserve.
+inline std::size_t checked_journal_capacity(const util::Flags& flags) {
+  const std::int64_t cap = flags.get_int("journal-capacity", 1 << 16);
+  if (cap <= 0) throw std::invalid_argument("--journal-capacity must be > 0");
+  return static_cast<std::size_t>(cap);
+}
+
 class Harness {
  public:
   Harness(std::string bench, const util::Flags& flags)
@@ -158,6 +179,8 @@ class Harness {
         trace_out_(flags.get("trace-out")),
         prom_out_(flags.get("prom-out")),
         timeseries_out_(flags.get("timeseries-out")),
+        journal_out_(flags.get("journal-out")),
+        journal_(checked_journal_capacity(flags)),
         seed_(static_cast<std::uint64_t>(flags.get_int("seed", 42))),
         coalesce_max_writes_(static_cast<std::uint32_t>(
             flags.get_int("coalesce-max-writes",
@@ -182,7 +205,8 @@ class Harness {
     extras.insert(extras.end(),
                   {"seed", "metrics-out", "trace-out", "trace-capacity",
                    "coalesce-max-writes", "coalesce-max-ns", "ack-delay-ns",
-                   "prom-out", "timeseries-out", "sample-interval-ns"});
+                   "prom-out", "timeseries-out", "sample-interval-ns",
+                   "journal-out", "journal-capacity"});
     flags.allow_only(extras);
   }
 
@@ -195,6 +219,7 @@ class Harness {
     cfg.reliable.ack_delay_ns = ack_delay_ns_;
     if (tracing()) cfg.recorder = &recorder_;
     cfg.tracer = &tracer_;
+    if (journaling()) cfg.journal = &journal_;
   }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
@@ -210,9 +235,11 @@ class Harness {
   [[nodiscard]] bool sampling() const {
     return !prom_out_.empty() || !timeseries_out_.empty();
   }
+  [[nodiscard]] bool journaling() const { return !journal_out_.empty(); }
   [[nodiscard]] trace::Recorder& recorder() { return recorder_; }
   [[nodiscard]] telemetry::Tracer& tracer() { return tracer_; }
   [[nodiscard]] telemetry::Sampler& sampler() { return sampler_; }
+  [[nodiscard]] telemetry::Journal& journal() { return journal_; }
   [[nodiscard]] MetricsOut& metrics() { return metrics_; }
 
   /// End-of-run writes: the Chrome trace (when requested), the telemetry
@@ -255,6 +282,23 @@ class Harness {
         std::cout << "timeseries written to " << timeseries_out_ << "\n";
       }
     }
+    if (journaling()) {
+      std::ofstream out(journal_out_);
+      if (!out) {
+        std::cerr << "error: cannot open --journal-out file: " << journal_out_
+                  << "\n";
+        ok = false;
+      } else {
+        journal_.write_json(out);
+        out << "\n";
+        std::cout << "journal written to " << journal_out_ << " ("
+                  << journal_.size() << " events";
+        if (journal_.dropped() > 0) {
+          std::cout << ", " << journal_.dropped() << " dropped";
+        }
+        std::cout << ")\n";
+      }
+    }
     if (!metrics_.write()) ok = false;
     return ok;
   }
@@ -264,6 +308,8 @@ class Harness {
   std::string trace_out_;
   std::string prom_out_;
   std::string timeseries_out_;
+  std::string journal_out_;
+  telemetry::Journal journal_;
   std::uint64_t seed_;
   std::uint32_t coalesce_max_writes_;
   sim::Duration coalesce_max_ns_;

@@ -1,0 +1,285 @@
+// Threaded-rt mutex scaling with live wall-clock telemetry.
+//
+// Runs the Fig. 4/5 optimistic mutex on the threaded runtime (rt/) at
+// --nodes threads over --shards independent mutexes, with an RtSampler
+// scraping per-shard gauges and rates the whole time — the same probe
+// vocabulary the sim-clock Sampler exports for the sharded service
+// (per-shard labels, optsync_* families, HELP preambles), so the rt
+// substrate's telemetry lines up with the sim substrate's ahead of the
+// threaded-rt service port:
+//
+//   optsync_rt_executions_per_s{shard=N}    completed sections/s per mutex
+//   optsync_rt_rollbacks{shard=N}           cumulative rollbacks per mutex
+//   optsync_rt_optimistic_share{shard=N}    optimistic successes / executions
+//   optsync_rt_sequenced_per_s              root-sequenced updates/s
+//   optsync_rt_speculative_drops_per_s      non-holder writes filtered/s
+//   optsync_rt_echoes_dropped_per_s         hardware-blocked self-echoes/s
+//   optsync_rt_interrupts_per_s             sharing interrupts raised/s
+//
+// Self-checks (exit 1 on violation): every shard's counter is exactly
+// nodes * sections-per-shard on every node, and each mutex's outcome
+// partition (optimistic + rollbacks + regular == executions) holds.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "rt/rt_mutex.hpp"
+#include "stats/table.hpp"
+#include "telemetry/rt_sampler.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace optsync;
+
+struct Params {
+  std::size_t nodes = 4;
+  std::size_t shards = 2;
+  int sections = 200;      ///< sections per node (spread across shards)
+  std::uint32_t link_delay_us = 0;
+  unsigned jitter_us = 20;
+  std::int64_t sample_interval_us = 500;
+};
+
+int usage() {
+  std::cout
+      << "usage: rt_mutex_scaling [--nodes N] [--shards N] [--sections N]\n"
+      << "                        [--link-delay-us N] [--jitter-us N]\n"
+      << "                        [--sample-interval-us N] [--seed N]\n"
+      << "                        [--prom-out PATH] [--timeseries-out PATH]\n"
+      << "                        [--metrics-out PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.has("help")) return usage();
+  try {
+    flags.allow_only({"nodes", "shards", "sections", "link-delay-us",
+                      "jitter-us", "sample-interval-us", "seed", "prom-out",
+                      "timeseries-out", "metrics-out", "help"});
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  }
+
+  Params p;
+  p.nodes = static_cast<std::size_t>(flags.get_int("nodes", 4));
+  p.shards = static_cast<std::size_t>(flags.get_int("shards", 2));
+  p.sections = static_cast<int>(flags.get_int("sections", 200));
+  p.link_delay_us =
+      static_cast<std::uint32_t>(flags.get_int("link-delay-us", 0));
+  p.jitter_us = static_cast<unsigned>(flags.get_int("jitter-us", 20));
+  p.sample_interval_us = flags.get_int("sample-interval-us", 500);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  if (p.nodes == 0 || p.shards == 0 || p.sections <= 0) {
+    std::cerr << "error: --nodes, --shards, --sections must be positive\n";
+    return 2;
+  }
+
+  rt::RtSystem::Config scfg;
+  scfg.nodes = p.nodes;
+  scfg.link_delay_us = p.link_delay_us;
+  rt::RtSystem sys(scfg);
+
+  struct Shard {
+    rt::VarId lock;
+    rt::VarId data;
+    std::unique_ptr<rt::RtOptimisticMutex> mux;
+  };
+  std::vector<Shard> shards(p.shards);
+  for (std::size_t s = 0; s < p.shards; ++s) {
+    // Append rather than operator+ — GCC 12's -Wrestrict false-positives
+    // on "lit" + to_string (PR105651).
+    std::string lock_name = "l";
+    lock_name += std::to_string(s);
+    std::string data_name = "a";
+    data_name += std::to_string(s);
+    shards[s].lock = sys.define_lock(std::move(lock_name));
+    shards[s].data = sys.define_mutex_data(std::move(data_name),
+                                           shards[s].lock);
+    shards[s].mux = std::make_unique<rt::RtOptimisticMutex>(
+        sys, shards[s].lock, rt::RtOptimisticMutex::Config{});
+  }
+
+  // Wall-clock sampler: same probe API as the sim Sampler, per-shard labels.
+  telemetry::RtSampler sampler(
+      std::chrono::microseconds(p.sample_interval_us));
+  sampler.set_help("optsync_rt_executions_per_s",
+                   "Completed mutex sections per second, per shard");
+  sampler.set_help("optsync_rt_rollbacks",
+                   "Cumulative speculative rollbacks, per shard");
+  sampler.set_help("optsync_rt_optimistic_share",
+                   "Fraction of executions that committed optimistically");
+  sampler.set_help("optsync_rt_sequenced_per_s",
+                   "Root-sequenced updates per second");
+  sampler.set_help("optsync_rt_speculative_drops_per_s",
+                   "Non-holder mutex-data writes filtered per second");
+  sampler.set_help("optsync_rt_echoes_dropped_per_s",
+                   "Hardware-blocked self-echoes dropped per second");
+  sampler.set_help("optsync_rt_interrupts_per_s",
+                   "Sharing interrupts raised per second");
+  for (std::size_t s = 0; s < p.shards; ++s) {
+    const telemetry::Labels labels{{"shard", std::to_string(s)}};
+    rt::RtOptimisticMutex* mux = shards[s].mux.get();
+    sampler.add_rate("optsync_rt_executions_per_s", labels, [mux] {
+      return static_cast<double>(mux->stats_view().executions);
+    });
+    sampler.add_gauge("optsync_rt_rollbacks", labels, [mux] {
+      return static_cast<double>(mux->stats_view().rollbacks);
+    });
+    sampler.add_gauge("optsync_rt_optimistic_share", labels, [mux] {
+      const auto v = mux->stats_view();
+      return v.executions == 0 ? 0.0
+                               : static_cast<double>(v.optimistic_successes) /
+                                     static_cast<double>(v.executions);
+    });
+  }
+  const rt::RtSystem::Stats& rstats = sys.stats();
+  sampler.add_rate("optsync_rt_sequenced_per_s", {}, [&rstats] {
+    return static_cast<double>(
+        rstats.sequenced.load(std::memory_order_relaxed));
+  });
+  sampler.add_rate("optsync_rt_speculative_drops_per_s", {}, [&rstats] {
+    return static_cast<double>(
+        rstats.speculative_drops.load(std::memory_order_relaxed));
+  });
+  sampler.add_rate("optsync_rt_echoes_dropped_per_s", {}, [&rstats] {
+    return static_cast<double>(
+        rstats.echoes_dropped.load(std::memory_order_relaxed));
+  });
+  sampler.add_rate("optsync_rt_interrupts_per_s", {}, [&rstats] {
+    return static_cast<double>(
+        rstats.interrupts.load(std::memory_order_relaxed));
+  });
+  sampler.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(p.nodes);
+  for (rt::NodeId n = 0; n < p.nodes; ++n) {
+    threads.emplace_back([&, n] {
+      std::mt19937 rng(static_cast<unsigned>(seed * 7919u + n * 104729u));
+      std::uniform_int_distribution<unsigned> jitter(0, p.jitter_us);
+      for (int k = 0; k < p.sections; ++k) {
+        if (p.jitter_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(jitter(rng)));
+        }
+        Shard& sh = shards[static_cast<std::size_t>(k) % p.shards];
+        rt::RtOptimisticMutex::Section sec;
+        sec.shared_writes = {sh.data};
+        sec.body = [&sys, &sh](rt::NodeId me) {
+          const rt::Word v = sys.read(me, sh.data);
+          std::this_thread::yield();
+          sys.write(me, sh.data, v + 1);
+        };
+        sh.mux->execute(n, sec);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  sys.quiesce();
+  sampler.stop();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  benchio::MetricsOut metrics("rt_mutex_scaling", flags.get("metrics-out"));
+
+  stats::Table table({"shard", "executions", "optimistic", "rollbacks",
+                      "regular", "throughput/s"});
+  bool ok = true;
+  std::uint64_t total_exec = 0;
+  for (std::size_t s = 0; s < p.shards; ++s) {
+    const auto v = shards[s].mux->stats_view();
+    total_exec += v.executions;
+    table.add_row({std::to_string(s), std::to_string(v.executions),
+                   std::to_string(v.optimistic_successes),
+                   std::to_string(v.rollbacks),
+                   std::to_string(v.regular_paths),
+                   stats::Table::num(static_cast<double>(v.executions) /
+                                     wall_s)});
+    metrics.row("shard=" + std::to_string(s))
+        .set("executions", static_cast<double>(v.executions))
+        .set("optimistic_successes",
+             static_cast<double>(v.optimistic_successes))
+        .set("rollbacks", static_cast<double>(v.rollbacks))
+        .set("regular_paths", static_cast<double>(v.regular_paths));
+    if (v.optimistic_successes + v.rollbacks + v.regular_paths !=
+        v.executions) {
+      std::cout << "OUTCOME VIOLATION: shard " << s
+                << " outcomes do not partition executions\n";
+      ok = false;
+    }
+    // Exactness: every node converged on nodes * sections-for-this-shard.
+    rt::Word expected = 0;
+    for (int k = 0; k < p.sections; ++k) {
+      if (static_cast<std::size_t>(k) % p.shards == s) ++expected;
+    }
+    expected *= static_cast<rt::Word>(p.nodes);
+    for (rt::NodeId n = 0; n < p.nodes; ++n) {
+      if (sys.read(n, shards[s].data) != expected) {
+        std::cout << "COUNTER VIOLATION: shard " << s << " node " << n
+                  << " read " << sys.read(n, shards[s].data) << ", expected "
+                  << expected << "\n";
+        ok = false;
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << total_exec << " sections on " << p.nodes << " threads x "
+            << p.shards << " shards in " << stats::Table::num(wall_s * 1e3)
+            << " ms; sampler ticks=" << sampler.ticks() << "\n";
+  if (total_exec != static_cast<std::uint64_t>(p.nodes) * p.sections) {
+    std::cout << "EXECUTION VIOLATION: " << total_exec << " != "
+              << static_cast<std::uint64_t>(p.nodes) * p.sections << "\n";
+    ok = false;
+  }
+
+  metrics.row("system")
+      .set("sequenced", static_cast<double>(rstats.sequenced.load()))
+      .set("speculative_drops",
+           static_cast<double>(rstats.speculative_drops.load()))
+      .set("echoes_dropped",
+           static_cast<double>(rstats.echoes_dropped.load()))
+      .set("interrupts", static_cast<double>(rstats.interrupts.load()))
+      .set("wall_s", wall_s)
+      .set("sampler_ticks", static_cast<double>(sampler.ticks()));
+
+  const std::string prom_out = flags.get("prom-out");
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out);
+    if (!out) {
+      std::cerr << "error: cannot open --prom-out file: " << prom_out << "\n";
+      ok = false;
+    } else {
+      sampler.series().write_prometheus(out);
+      std::cout << "prometheus exposition written to " << prom_out << "\n";
+    }
+  }
+  const std::string ts_out = flags.get("timeseries-out");
+  if (!ts_out.empty()) {
+    std::ofstream out(ts_out);
+    if (!out) {
+      std::cerr << "error: cannot open --timeseries-out file: " << ts_out
+                << "\n";
+      ok = false;
+    } else {
+      sampler.series().write_json(
+          out, static_cast<sim::Duration>(p.sample_interval_us) * 1000);
+      std::cout << "timeseries written to " << ts_out << "\n";
+    }
+  }
+  if (!metrics.write()) ok = false;
+  return ok ? 0 : 1;
+}

@@ -16,9 +16,11 @@
 // tools/dsm_service to explore skewed (Zipfian) traffic, burst arrivals,
 // and fault injection on the same service stack.
 #include <algorithm>
+#include <array>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench_metrics.hpp"
 #include "dsm/system.hpp"
@@ -199,7 +201,7 @@ int main(int argc, char** argv) try {
     std::cout << "--- latency attribution (Zipfian, 4 shards, 50k req/s per"
                  " shard; "
               << an.ops.size() << " traced ops) ---\n";
-    stats::Table atable({"bucket", "time", "share"});
+    stats::Table atable({"bucket", "time", "share", "path share"});
     auto& arow = metrics.row("attribution");
     for (std::size_t b = 0; b < telemetry::kBucketCount; ++b) {
       const std::string name(
@@ -209,18 +211,68 @@ int main(int argc, char** argv) try {
               ? 0.0
               : static_cast<double>(an.totals[b]) /
                     static_cast<double>(an.total_latency);
+      const double path_share =
+          an.total_latency == 0
+              ? 0.0
+              : static_cast<double>(an.path_totals[b]) /
+                    static_cast<double>(an.total_latency);
       atable.add_row({name, sim::format_time(static_cast<sim::Time>(an.totals[b])),
-                      stats::Table::num(100.0 * share) + "%"});
+                      stats::Table::num(100.0 * share) + "%",
+                      stats::Table::num(100.0 * path_share) + "%"});
       arow.set(name + "_ns", static_cast<double>(an.totals[b]));
+      arow.set("path_" + name + "_ns",
+               static_cast<double>(an.path_totals[b]));
+      arow.set("path_" + name + "_share", path_share);
     }
+    // The forensics gate reads the TAIL: over the slowest 1% of traced ops
+    // (by request latency), how much of their latency does the critical
+    // path land in a named segment? A good sweep number can hide a tail
+    // whose slow ops are unexplained — the p99 cut cannot.
+    std::vector<sim::Duration> latencies;
+    latencies.reserve(an.ops.size());
+    for (const auto& op : an.ops) latencies.push_back(op.total());
+    std::sort(latencies.begin(), latencies.end());
+    const sim::Duration p99_cut =
+        latencies.empty()
+            ? 0
+            : latencies[latencies.size() - 1 -
+                        std::min(latencies.size() - 1, latencies.size() / 100)];
+    sim::Duration p99_total = 0;
+    sim::Duration p99_other = 0;
+    std::array<std::uint64_t, telemetry::kBucketCount> verdicts{};
+    for (const auto& op : an.ops) {
+      ++verdicts[static_cast<std::size_t>(op.dominant_path_bucket())];
+      if (op.total() < p99_cut) continue;
+      p99_total += op.total();
+      p99_other += op.path_buckets[static_cast<std::size_t>(
+          telemetry::Bucket::kOther)];
+    }
+    const double p99_path_named =
+        p99_total == 0 ? 1.0
+                       : static_cast<double>(p99_total - p99_other) /
+                             static_cast<double>(p99_total);
     arow.set("total_latency_ns", static_cast<double>(an.total_latency))
         .set("named_fraction", an.named_fraction())
+        .set("path_named_fraction", an.path_named_fraction())
+        .set("p99_path_named_fraction", p99_path_named)
         .set("orphan_spans", static_cast<double>(an.orphan_spans))
         .set("traced_ops", static_cast<double>(an.ops.size()));
     atable.print(std::cout);
     std::cout << "named buckets cover "
               << stats::Table::num(100.0 * an.named_fraction())
-              << "% of measured latency\n\n";
+              << "% of measured latency; critical path names "
+              << stats::Table::num(100.0 * an.path_named_fraction())
+              << "% overall, "
+              << stats::Table::num(100.0 * p99_path_named)
+              << "% of the p99 tail\n"
+              << "dominant path verdicts:";
+    for (std::size_t b = 0; b < telemetry::kBucketCount; ++b) {
+      if (verdicts[b] == 0) continue;
+      std::cout << " "
+                << telemetry::bucket_name(static_cast<telemetry::Bucket>(b))
+                << "=" << verdicts[b];
+    }
+    std::cout << "\n\n";
     if (an.orphan_spans != 0 || an.incomplete_ops != 0) {
       std::cout << "ATTRIBUTION VIOLATION: " << an.orphan_spans
                 << " orphan spans, " << an.incomplete_ops
@@ -231,6 +283,12 @@ int main(int argc, char** argv) try {
       std::cout << "ATTRIBUTION VIOLATION: named buckets cover only "
                 << stats::Table::num(100.0 * an.named_fraction())
                 << "% of measured latency (need >= 95%)\n";
+      ok = false;
+    }
+    if (p99_path_named < 0.95) {
+      std::cout << "ATTRIBUTION VIOLATION: critical path names only "
+                << stats::Table::num(100.0 * p99_path_named)
+                << "% of the p99 tail's latency (need >= 95%)\n";
       ok = false;
     }
     if (!res.report.serializable() || !res.converged) {

@@ -104,6 +104,11 @@ class DsmSystem {
   /// The attached causal tracer, or nullptr (from DsmConfig::tracer).
   [[nodiscard]] telemetry::Tracer* tracer() const { return config_.tracer; }
 
+  /// The attached decision journal, or nullptr (from DsmConfig::journal).
+  [[nodiscard]] telemetry::Journal* journal() const {
+    return config_.journal;
+  }
+
   // --- substrate internals (used by DsmNode / GroupRoot) -----------------
   /// Ships a node's write to its group root (up the spanning tree).
   void share_out(NodeId origin, VarId v, Word value);

@@ -18,6 +18,7 @@ class Recorder;
 
 namespace optsync::telemetry {
 class Tracer;
+class Journal;
 }
 
 namespace optsync::dsm {
@@ -162,6 +163,13 @@ struct DsmConfig {
   /// the critical-path analyzer can attribute op latency. Untraced ops
   /// (invalid node context) cost one branch. Not owned. nullptr = off.
   telemetry::Tracer* tracer = nullptr;
+
+  /// Optional decision journal (telemetry/journal.hpp). When set, the
+  /// speculative layers append typed forensics records — txn aborts with
+  /// reason + conflicting stripe/owner, lease epoch transitions, elastic
+  /// ladder steps with their triggering inputs. Bounded and pooled; a full
+  /// journal drops silently. Not owned. nullptr = off.
+  telemetry::Journal* journal = nullptr;
 };
 
 /// Variable metadata kept by the system.

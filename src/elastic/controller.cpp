@@ -7,6 +7,7 @@
 #include "dsm/system.hpp"
 #include "shard/sharded_store.hpp"
 #include "simkern/assert.hpp"
+#include "telemetry/journal.hpp"
 
 namespace optsync::elastic {
 
@@ -28,6 +29,7 @@ ElasticController::ElasticController(shard::ShardedStore& store,
   if (cfg_.interval_ns <= 0) cfg_.interval_ns = 100'000;
   sketches_.assign(store.shards(), KeySketch(cfg_.sketch_capacity));
   streak_.assign(store.base_shards(), 0);
+  verdict_.assign(store.base_shards(), telemetry::OverloadVerdict{});
 }
 
 void ElasticController::start() {
@@ -46,6 +48,10 @@ void ElasticController::stop() {
 }
 
 void ElasticController::register_telemetry(telemetry::Sampler& sampler) {
+  sampler.set_help("optsync_hot_key_share",
+                   "Traffic share of the hottest key in the shard's sketch");
+  sampler.set_help("optsync_dir_epoch",
+                   "Directory epoch (bumps on every elastic reconfiguration)");
   for (ShardId s = 0; s < store_->base_shards(); ++s) {
     sampler.add_gauge("optsync_hot_key_share",
                       {{"shard", std::to_string(s)}}, [this, s] {
@@ -149,6 +155,27 @@ void ElasticController::launch(std::function<sim::Process()> thunk) {
   (void)run_action(std::move(thunk));
 }
 
+void ElasticController::journal_step(const char* step, ShardId s,
+                                     std::uint32_t target,
+                                     std::uint32_t streak) {
+  auto* j = store_->system().journal();
+  if (j == nullptr) return;
+  const telemetry::OverloadVerdict v =
+      s < verdict_.size() ? verdict_[s] : telemetry::OverloadVerdict{};
+  std::uint64_t top_key = 0;
+  double top_share = 0.0;
+  if (s < sketches_.size()) {
+    const auto top = sketches_[s].top();
+    if (!top.empty()) {
+      top_key = top.front().key;
+      top_share = sketches_[s].share(top.front().key);
+    }
+  }
+  j->elastic_decision(store_->system().scheduler().now(), step, s, target,
+                      v.slope_per_s, v.peak_backlog, backlog(s), top_key,
+                      top_share, streak, cooldown_);
+}
+
 void ElasticController::act_on(ShardId s) {
   // 1. A dominant single key: route it to a dedicated one-stripe group.
   const auto top = sketches_[s].top();
@@ -157,6 +184,7 @@ void ElasticController::act_on(ShardId s) {
     const ShardId hot = pick_hot_group();
     if (hot < store_->shards()) {
       const Key key = top.front().key;
+      journal_step("promote", s, hot, streak_[s]);
       streak_[s] = 0;
       pin_cold_[key] = 0;
       launch([this, key, hot] { return dir_.promote(key, hot); });
@@ -179,6 +207,7 @@ void ElasticController::act_on(ShardId s) {
     }
     if (victim != 0) {
       const Key cand_key = top.front().key;
+      journal_step("swap_pin", s, /*target=*/0, streak_[s]);
       streak_[s] = 0;
       pin_cold_.erase(victim);
       pin_cold_[cand_key] = 0;
@@ -190,6 +219,7 @@ void ElasticController::act_on(ShardId s) {
   if (store_->map().policy() == ShardMap::Policy::kRange) {
     const ShardId dst = pick_split_target(s);
     if (dst < store_->base_shards()) {
+      journal_step("split", s, dst, streak_[s]);
       streak_[s] = 0;
       launch([this, s, dst] { return dir_.split(s, dst); });
       return;
@@ -199,6 +229,7 @@ void ElasticController::act_on(ShardId s) {
   if (cfg_.migrate_roots) {
     const dsm::NodeId to = pick_migration_target(s);
     if (to != dsm::kNoNode) {
+      journal_step("migrate", s, to, streak_[s]);
       streak_[s] = 0;
       launch([this, s, to] { return migrator_.migrate(s, to); });
       return;
@@ -214,6 +245,7 @@ void ElasticController::maybe_relax() {
     cold = seen < cfg_.min_hot_accesses ? cold + 1 : 0;
     if (cold >= cfg_.cold_ticks) {
       const Key key = pin.key;
+      journal_step("demote", pin.hot, /*target=*/0, cold);
       pin_cold_.erase(key);
       launch([this, key] { return dir_.demote(key); });
       return;
@@ -228,6 +260,7 @@ void ElasticController::maybe_relax() {
         backlog(d.dst) <= cfg_.merge_backlog_max;
     if (src_cold && dst_cold) {
       const ShardId src = d.src;
+      journal_step("merge", src, d.dst, streak_[src]);
       launch([this, src] { return dir_.merge_back(src); });
       return;
     }
@@ -241,16 +274,17 @@ void ElasticController::tick() {
   for (ShardId s = 0; s < base; ++s) {
     const telemetry::Series* ser = series_->find(
         "optsync_shard_backlog", {{"shard", std::to_string(s)}});
-    bool drowning = ser != nullptr &&
-                    telemetry::assess_backlog(*ser, cfg_.overload).drowning;
-    // Live recovery overlay: assess_backlog pins its fit window to the
-    // series PEAK (the right call for end-of-run verdicts, where the final
-    // drain would mask a structurally-behind shard), so mid-run it never
-    // un-flags a shard whose hotspot moved away. A shard whose queue is no
-    // longer material is not drowning NOW, whatever its history says.
-    if (drowning && backlog(s) < cfg_.overload.min_final_backlog) {
-      drowning = false;
-    }
+    verdict_[s] = ser != nullptr
+                      ? telemetry::assess_backlog(*ser, cfg_.overload)
+                      : telemetry::OverloadVerdict{};
+    // Live recovery overlay (telemetry::live_drowning): assess_backlog
+    // pins its fit window to the series PEAK (the right call for
+    // end-of-run verdicts, where the final drain would mask a
+    // structurally-behind shard), so mid-run it never un-flags a shard
+    // whose hotspot moved away. A shard whose queue is no longer material
+    // is not drowning NOW, whatever its history says.
+    const bool drowning =
+        telemetry::live_drowning(verdict_[s], backlog(s), cfg_.overload);
     streak_[s] = drowning ? streak_[s] + 1 : 0;
   }
   if (cooldown_ > 0) {

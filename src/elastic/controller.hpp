@@ -140,6 +140,13 @@ class ElasticController {
   /// kNoNode when the current placement is already minimal.
   [[nodiscard]] dsm::NodeId pick_migration_target(shard::ShardId s) const;
   void maybe_relax();  ///< demotions and merge-backs in quiet ticks
+  /// Journals one ladder step with the inputs that triggered it: the
+  /// shard's cached overload verdict (slope/peak from this tick), its
+  /// live backlog, the sketch's top key + share, and the hysteresis state
+  /// (`streak` is the relevant counter — drowning streak for escalations,
+  /// cold-window count for demotions). No-op without a journal.
+  void journal_step(const char* step, shard::ShardId s, std::uint32_t target,
+                    std::uint32_t streak);
 
   shard::ShardedStore* store_;
   const stats::ServiceReport* live_;
@@ -149,6 +156,8 @@ class ElasticController {
   DirectoryManager dir_;
   std::vector<KeySketch> sketches_;    ///< indexed by owner ShardId
   std::vector<std::uint32_t> streak_;  ///< consecutive drowning ticks
+  /// This tick's overload verdict per base shard (decision-journal inputs).
+  std::vector<telemetry::OverloadVerdict> verdict_;
   /// Consecutive cold windows per promoted key (demotion hysteresis).
   std::unordered_map<shard::Key, std::uint32_t> pin_cold_;
   std::uint32_t cooldown_ = 0;

@@ -184,6 +184,10 @@ sim::Process Generator::worker(shard::Client& client,
 }
 
 void Generator::register_telemetry(telemetry::Sampler& sampler) {
+  sampler.set_help("optsync_gen_queued",
+                   "Open-loop arrivals pushed but not yet started");
+  sampler.set_help("optsync_gen_inflight",
+                   "Requests started but not yet completed");
   sampler.add_gauge("optsync_gen_queued", {}, [this] {
     return static_cast<double>(pushed_ - started_);
   });

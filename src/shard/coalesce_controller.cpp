@@ -37,6 +37,8 @@ void CoalesceController::stop() {
 }
 
 void CoalesceController::register_telemetry(telemetry::Sampler& sampler) {
+  sampler.set_help("optsync_coalesce_cap",
+                   "Current write-coalescing batch cap, per shard");
   for (std::uint32_t s = 0; s < ctl_.size(); ++s) {
     sampler.add_gauge("optsync_coalesce_cap",
                       {{"shard", std::to_string(s)}},

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simkern/assert.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace optsync::shard {
@@ -135,12 +136,20 @@ void LeaseManager::on_flush(ShardDir& dir, const dsm::Frame& frame) {
     auto& holders = dir.holder[ls];
     for (std::size_t i = 0; i < holders.size();) {
       if (holders[i].expiry <= now) {
+        if (auto* j = sys_->journal()) {
+          j->lease_expiry(now, holders[i].node, dir.shard, ls,
+                          holders[i].epoch);
+        }
         holders[i] = holders.back();
         holders.pop_back();
         continue;
       }
       if (holders[i].epoch < dir.epoch[ls]) {
         revoked.emplace_back(holders[i].node, ls);
+        if (auto* j = sys_->journal()) {
+          j->lease_invalidation(now, holders[i].node, dir.shard, ls,
+                                holders[i].epoch, dir.epoch[ls]);
+        }
         holders[i].epoch = dir.epoch[ls];
       }
       ++i;
@@ -280,8 +289,10 @@ sim::Process LeaseManager::client_read(dsm::NodeId n, ShardId shard,
               const std::uint64_t epoch = dr.epoch[ls];
               const sim::Time expiry = sys_->scheduler().now() + cfg_.ttl_ns;
               bool refreshed = false;
+              std::uint64_t prior_epoch = epoch;  // fresh grant: delta 0
               for (Holder& h : dr.holder[ls]) {
                 if (h.node == n) {
+                  prior_epoch = h.epoch;
                   h.epoch = epoch;
                   h.expiry = expiry;
                   refreshed = true;
@@ -290,6 +301,10 @@ sim::Process LeaseManager::client_read(dsm::NodeId n, ShardId shard,
               }
               if (!refreshed) dr.holder[ls].push_back(Holder{n, epoch, expiry});
               ++dr.counters.grants;
+              if (auto* j = sys_->journal()) {
+                j->lease_grant(sys_->scheduler().now(), n, shard, ls,
+                               prior_epoch, epoch);
+              }
               const std::size_t lo =
                   static_cast<std::size_t>(ls) * cfg_.stripe_width;
               const std::size_t hi =

@@ -7,6 +7,7 @@
 #include "simkern/assert.hpp"
 #include "simkern/random.hpp"
 #include "stats/metrics.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace optsync::shard {
@@ -109,6 +110,9 @@ ShardedStore::ShardedStore(dsm::DsmSystem& sys, ShardedStoreConfig cfg)
           sys.define_mutex_data(slot + ".val", sh->group, sh->lock, 0));
     }
     sh->stats.name = base + ".lock";
+    // Heatmap rows: one per orec stripe, plus the elastic directory stripe
+    // (index slots_per_shard) so dir-epoch conflicts land somewhere real.
+    sh->stripe_conflicts.assign(cfg.slots_per_shard + 1, 0);
     core::OptimisticMutex::Config mcfg;
     mcfg.history_threshold = cfg.history_threshold;
     mcfg.history_decay = cfg.history_decay;
@@ -567,6 +571,7 @@ sim::Process ShardedStore::multi_put_occ(
       // guaranteed however hot the keys.
       cm.note_fallback();
       for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
+      record_txn_fallback(n, ids, aborts);
       core::MultiGroupMutex& mux = txn_mutex(ids);
       co_await multi_put_impl(n, std::move(kvs), std::move(ids), mux).join();
       co_return;
@@ -619,6 +624,7 @@ sim::Process ShardedStore::multi_put_occ(
       ++shards_[s]->txn_aborts;
       ++shards_[s]->txn_retries;
     }
+    record_txn_abort(n, res, ids, aborts);
     co_await cm.backoff(n, aborts).join();
   }
 }
@@ -637,6 +643,7 @@ sim::Process ShardedStore::multi_rmw_direct(dsm::NodeId n,
       if (cfg_.txn.mode == TxnMode::kOcc) {
         cm.note_fallback();
         for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
+        record_txn_fallback(n, ids, aborts);
       }
       core::MultiGroupMutex& mux = txn_mutex(ids);
       co_await multi_rmw_impl(n, std::move(keys), std::move(ids), mux, delta)
@@ -698,6 +705,7 @@ sim::Process ShardedStore::multi_rmw_direct(dsm::NodeId n,
       ++shards_[s]->txn_aborts;
       ++shards_[s]->txn_retries;
     }
+    record_txn_abort(n, res, ids, aborts);
     co_await cm.backoff(n, aborts).join();
   }
 }
@@ -764,6 +772,7 @@ sim::Process ShardedStore::multi_get_direct(
       if (cfg_.txn.mode == TxnMode::kOcc) {
         cm.note_fallback();
         for (const ShardId s : ids) ++shards_[s]->txn_fallbacks;
+        record_txn_fallback(n, ids, aborts);
       }
       core::MultiGroupMutex* mux = &txn_mutex(ids);
       for (;;) {
@@ -812,6 +821,7 @@ sim::Process ShardedStore::multi_get_direct(
       ++shards_[s]->txn_aborts;
       ++shards_[s]->txn_retries;
     }
+    record_txn_abort(n, res, ids, aborts);
     co_await cm.backoff(n, aborts).join();
   }
 }
@@ -1059,6 +1069,10 @@ void ShardedStore::fill_report(stats::ServiceReport& report) {
     entry.txn_aborts = sh.txn_aborts;
     entry.txn_retries = sh.txn_retries;
     entry.txn_fallbacks = sh.txn_fallbacks;
+    entry.aborts_read_clobber = sh.aborts_read_clobber;
+    entry.aborts_validation = sh.aborts_validation;
+    entry.aborts_dir_epoch = sh.aborts_dir_epoch;
+    entry.stripe_conflicts = sh.stripe_conflicts;
     if (lease_mgr_) {
       const auto& c = lease_mgr_->counters(s);
       entry.lease_hits = c.hits;
@@ -1075,6 +1089,26 @@ void ShardedStore::fill_report(stats::ServiceReport& report) {
 
 void ShardedStore::register_telemetry(telemetry::Sampler& sampler,
                                       const stats::ServiceReport& live) {
+  sampler.set_help("optsync_shard_backlog",
+                   "Requests issued but not yet completed, per shard");
+  sampler.set_help("optsync_lock_queue",
+                   "Waiters queued on the shard's root lock");
+  sampler.set_help("optsync_frame_pending",
+                   "Speculative write frames pending at the shard root");
+  sampler.set_help("optsync_shard_goodput_rps",
+                   "Completed requests per second, per shard");
+  sampler.set_help("optsync_messages_per_s",
+                   "Network messages per second across all nodes");
+  sampler.set_help("optsync_retransmits_per_s",
+                   "Reliable-channel retransmits per second");
+  sampler.set_help("optsync_txn_commits_per_s",
+                   "OCC transaction commits per second");
+  sampler.set_help("optsync_txn_aborts_per_s",
+                   "OCC transaction aborts per second (all reasons)");
+  sampler.set_help("optsync_lease_hits_per_s",
+                   "Reads served locally from a valid lease, per second");
+  sampler.set_help("optsync_lease_invalidations_per_s",
+                   "Lease invalidation round trips per second");
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     Shard* sh = shards_[s].get();
     const telemetry::Labels labels{{"shard", std::to_string(s)}};
@@ -1202,6 +1236,85 @@ std::uint64_t ShardedStore::txn_retries(ShardId s) const {
 
 std::uint64_t ShardedStore::txn_fallbacks(ShardId s) const {
   return shards_.at(s)->txn_fallbacks;
+}
+
+std::uint64_t ShardedStore::aborts_read_clobber(ShardId s) const {
+  return shards_.at(s)->aborts_read_clobber;
+}
+
+std::uint64_t ShardedStore::aborts_validation(ShardId s) const {
+  return shards_.at(s)->aborts_validation;
+}
+
+std::uint64_t ShardedStore::aborts_dir_epoch(ShardId s) const {
+  return shards_.at(s)->aborts_dir_epoch;
+}
+
+const std::vector<std::uint64_t>& ShardedStore::stripe_conflicts(
+    ShardId s) const {
+  return shards_.at(s)->stripe_conflicts;
+}
+
+void ShardedStore::record_txn_abort(dsm::NodeId n,
+                                    const txn::TxnManager::CommitResult& res,
+                                    const std::vector<ShardId>& ids,
+                                    std::uint32_t attempt) {
+  // Conflict location: the doom site for clobber aborts, the first failing
+  // read-set entry for validation aborts (site id == shard id). A result
+  // without attribution — possible only if an abort path predates the
+  // conflict plumbing — falls back to the first involved shard, stripe 0.
+  const ShardId conflict_shard =
+      res.has_conflict ? static_cast<ShardId>(res.conflict_site) : ids.front();
+  const std::uint32_t stripe = res.has_conflict ? res.conflict_stripe : 0;
+  // Directory-epoch aborts are conflicts ON the directory stripe — the
+  // reserved orec at index slots_per_shard that only elastic_reassign
+  // bumps — whether the kill arrived as a clobber doom or as commit-time
+  // validation.
+  telemetry::AbortReason reason;
+  if (res.has_conflict && stripe == cfg_.slots_per_shard) {
+    reason = telemetry::AbortReason::kDirectoryEpoch;
+  } else if (res.doomed_at_commit) {
+    reason = telemetry::AbortReason::kReadSetClobber;
+  } else {
+    reason = telemetry::AbortReason::kCommitValidation;
+  }
+  for (const ShardId s : ids) {
+    Shard& sh = *shards_[s];
+    switch (reason) {
+      case telemetry::AbortReason::kReadSetClobber:
+        ++sh.aborts_read_clobber;
+        break;
+      case telemetry::AbortReason::kCommitValidation:
+        ++sh.aborts_validation;
+        break;
+      case telemetry::AbortReason::kDirectoryEpoch:
+        ++sh.aborts_dir_epoch;
+        break;
+      case telemetry::AbortReason::kFallbackEscalation:
+        break;  // unreachable: not an abort reason here
+    }
+  }
+  Shard& at = *shards_.at(conflict_shard);
+  if (stripe < at.stripe_conflicts.size()) ++at.stripe_conflicts[stripe];
+  if (auto* j = sys_->journal()) {
+    const dsm::NodeId owner = res.conflict_origin != dsm::kNoNode
+                                  ? res.conflict_origin
+                                  : at.root;
+    j->txn_abort(sys_->scheduler().now(), reason, n, conflict_shard, stripe,
+                 owner, attempt);
+  }
+}
+
+void ShardedStore::record_txn_fallback(dsm::NodeId n,
+                                       const std::vector<ShardId>& ids,
+                                       std::uint32_t attempts) {
+  auto* j = sys_->journal();
+  if (j == nullptr) return;
+  // One escalation record per involved set; the deepest shard id is as
+  // arbitrary as any — record the first (lowest) for determinism.
+  j->txn_abort(sys_->scheduler().now(),
+               telemetry::AbortReason::kFallbackEscalation, n, ids.front(),
+               0, shards_[ids.front()]->root, attempts);
 }
 
 }  // namespace optsync::shard

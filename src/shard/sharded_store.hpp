@@ -346,6 +346,13 @@ class ShardedStore {
   [[nodiscard]] std::uint64_t txn_aborts(ShardId s) const;
   [[nodiscard]] std::uint64_t txn_retries(ShardId s) const;
   [[nodiscard]] std::uint64_t txn_fallbacks(ShardId s) const;
+  /// Abort-reason partition and per-stripe conflict heatmap (forensics;
+  /// see the Shard field comments for the sum invariant).
+  [[nodiscard]] std::uint64_t aborts_read_clobber(ShardId s) const;
+  [[nodiscard]] std::uint64_t aborts_validation(ShardId s) const;
+  [[nodiscard]] std::uint64_t aborts_dir_epoch(ShardId s) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& stripe_conflicts(
+      ShardId s) const;
 
  private:
   friend class Client;
@@ -373,6 +380,16 @@ class ShardedStore {
     std::uint64_t txn_aborts = 0;
     std::uint64_t txn_retries = 0;
     std::uint64_t txn_fallbacks = 0;
+    // Abort-reason partition (telemetry/journal.hpp taxonomy). Bumped on
+    // every involved shard, exactly like txn_aborts, so per shard and in
+    // total: read_clobber + validation + dir_epoch == txn_aborts.
+    std::uint64_t aborts_read_clobber = 0;
+    std::uint64_t aborts_validation = 0;
+    std::uint64_t aborts_dir_epoch = 0;
+    /// Conflict heatmap: aborts attributed to each orec stripe OF THIS
+    /// shard (bumped only on the conflict shard). Sized slots_per_shard+1;
+    /// the last entry is the elastic directory stripe.
+    std::vector<std::uint64_t> stripe_conflicts;
     // Elastic fabric counters (all stay zero on a static fabric).
     std::uint64_t migrations = 0;  ///< root moved away from/onto this shard
     std::uint64_t splits = 0;      ///< stripe ranges donated (counted on src)
@@ -443,6 +460,16 @@ class ShardedStore {
   [[nodiscard]] std::vector<ShardId> involved_shards(
       const std::vector<Key>& keys) const;
   void record_txn_flight(sim::Time started, sim::Time acquired);
+
+  /// Classifies one failed OCC commit attempt, bumps the abort-reason
+  /// counters on every involved shard + the conflict-stripe heatmap on the
+  /// conflict shard, and journals the abort (when a journal is attached).
+  void record_txn_abort(dsm::NodeId n,
+                        const txn::TxnManager::CommitResult& res,
+                        const std::vector<ShardId>& ids, std::uint32_t attempt);
+  /// Journals a contention-manager escalation to the irrevocable fallback.
+  void record_txn_fallback(dsm::NodeId n, const std::vector<ShardId>& ids,
+                           std::uint32_t attempts);
 
   // --- elastic fabric internals (src/elastic/ drives these) --------------
   /// Applies the topology half of a root migration: spanning tree, the

@@ -1,0 +1,275 @@
+#include "stats/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace optsync::stats {
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  static const JsonValue kNull;
+  if (!is_object()) return kNull;
+  const auto it = obj_->find(key);
+  return it == obj_->end() ? kNull : it->second;
+}
+
+const JsonValue& JsonValue::operator[](std::size_t i) const {
+  static const JsonValue kNull;
+  if (!is_array() || i >= arr_->size()) return kNull;
+  return (*arr_)[i];
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult out;
+    JsonValue v;
+    if (!parse_value(&v, 0)) {
+      out.error = error_;
+      out.offset = pos_;
+      return out;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      out.error = "trailing characters after document";
+      out.offset = pos_;
+      return out;
+    }
+    out.value = std::move(v);
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* msg) {
+    if (error_.empty()) error_ = msg;
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool expect(char c, const char* msg) {
+    if (eof() || text_[pos_] != c) return fail(msg);
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      *out = JsonValue(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return fail("expected object key");
+      skip_ws();
+      if (!expect(':', "expected ':' after key")) return false;
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      obj.insert_or_assign(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        *out = JsonValue(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      *out = JsonValue(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        *out = JsonValue(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos_;
+    std::string s;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        *out = std::move(s);
+        return true;
+      }
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (eof()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // The writer only escapes control characters, so ASCII is the
+          // interesting range; encode the rest as UTF-8 for completeness.
+          if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* endp = nullptr;
+    const double d = std::strtod(tok.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    *out = JsonValue(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+JsonParseResult parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    JsonParseResult out;
+    out.error = "cannot open file: " + path;
+    return out;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  return parse_json(text);
+}
+
+}  // namespace optsync::stats

@@ -1,0 +1,128 @@
+// Minimal recursive-descent JSON parser for the offline analyzers.
+//
+// dsm_inspect (tools/) consumes the JSON artifacts the benches write
+// (--metrics-out, --journal-out) without any third-party dependency, so
+// this is a small, strict-enough reader for exactly that: the subset of
+// JSON stats::JsonWriter emits (objects, arrays, strings with the standard
+// escapes, doubles/integers, booleans, null). Numbers are stored as both
+// double and int64 views; strings are unescaped. Errors carry a byte
+// offset. Not a general-purpose validator — unknown \u escapes are kept
+// as-is rather than decoded to UTF-8 beyond the BMP-ASCII range.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optsync::stats {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Ordered map: iteration order follows key order, which is stable and
+/// good enough for reporting (writer emission order is not preserved).
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::kNumber), num_(d) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::kString), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : type_(Type::kArray),
+        arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : type_(Type::kObject),
+        obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // --- typed access (loose: wrong type yields the fallback) --------------
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  [[nodiscard]] std::uint64_t as_uint(std::uint64_t fallback = 0) const {
+    return is_number() && num_ >= 0 ? static_cast<std::uint64_t>(num_)
+                                    : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    static const JsonArray kEmpty;
+    return is_array() ? *arr_ : kEmpty;
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    static const JsonObject kEmpty;
+    return is_object() ? *obj_ : kEmpty;
+  }
+
+  // --- navigation --------------------------------------------------------
+  /// Object member lookup; a null value for absent keys / non-objects, so
+  /// lookups chain: v["a"]["b"].as_int().
+  [[nodiscard]] const JsonValue& operator[](std::string_view key) const;
+  /// Array element; null when out of range / not an array.
+  [[nodiscard]] const JsonValue& operator[](std::size_t i) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return is_object() && obj_->find(key) != obj_->end();
+  }
+  [[nodiscard]] std::size_t size() const {
+    if (is_array()) return arr_->size();
+    if (is_object()) return obj_->size();
+    return 0;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // shared_ptr keeps JsonValue copyable/movable with an incomplete
+  // recursive payload and makes subtree sharing cheap.
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+struct JsonParseResult {
+  JsonValue value;
+  bool ok = false;
+  std::string error;        ///< empty when ok
+  std::size_t offset = 0;   ///< byte offset of the error
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing junk is
+/// an error). Depth-limited to keep malicious inputs from overflowing the
+/// stack.
+[[nodiscard]] JsonParseResult parse_json(std::string_view text);
+
+/// Convenience: reads the file and parses it; IO errors surface through
+/// the same JsonParseResult error channel.
+[[nodiscard]] JsonParseResult parse_json_file(const std::string& path);
+
+}  // namespace optsync::stats

@@ -116,6 +116,31 @@ std::string ServiceReport::format() const {
       out << line;
     }
   }
+  std::uint64_t total_aborts = 0;
+  for (const auto& s : shards) total_aborts += s.txn_aborts;
+  if (total_aborts > 0) {
+    out << "  shard  aborts   clobber  validate dir-ep   sum-ok  "
+           "hottest-stripe\n";
+    for (const auto& s : shards) {
+      if (s.txn_aborts == 0) continue;
+      std::size_t hot = 0;
+      for (std::size_t i = 1; i < s.stripe_conflicts.size(); ++i) {
+        if (s.stripe_conflicts[i] > s.stripe_conflicts[hot]) hot = i;
+      }
+      const std::uint64_t hot_count =
+          s.stripe_conflicts.empty() ? 0 : s.stripe_conflicts[hot];
+      std::snprintf(
+          line, sizeof line,
+          "  %-6u %-8llu %-8llu %-8llu %-8llu %-7s %zu (%llu)\n", s.shard,
+          static_cast<unsigned long long>(s.txn_aborts),
+          static_cast<unsigned long long>(s.aborts_read_clobber),
+          static_cast<unsigned long long>(s.aborts_validation),
+          static_cast<unsigned long long>(s.aborts_dir_epoch),
+          s.abort_reasons_consistent() ? "yes" : "NO(BUG)", hot,
+          static_cast<unsigned long long>(hot_count));
+      out << line;
+    }
+  }
   if (drowning_shards() > 0) {
     out << "  " << drowning_shards()
         << " shard(s) DROWNING: backlog grew for as long as load was "

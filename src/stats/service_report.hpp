@@ -92,6 +92,24 @@ struct ShardServiceStats {
   std::uint64_t txn_retries = 0;
   std::uint64_t txn_fallbacks = 0;
 
+  // --- abort forensics (telemetry/journal.hpp taxonomy) ------------------
+  /// Reason partition of txn_aborts. Invariant (per shard and in total):
+  /// aborts_read_clobber + aborts_validation + aborts_dir_epoch ==
+  /// txn_aborts. Fallback escalations are counted in txn_fallbacks, not
+  /// here — an escalation ends the optimistic phase, it is not an abort.
+  std::uint64_t aborts_read_clobber = 0;
+  std::uint64_t aborts_validation = 0;
+  std::uint64_t aborts_dir_epoch = 0;
+  /// Conflict heatmap: aborts attributed to each orec stripe of THIS
+  /// shard (slots_per_shard entries + the elastic directory stripe last).
+  std::vector<std::uint64_t> stripe_conflicts;
+
+  /// The abort-reason partition sums back to the abort counter.
+  [[nodiscard]] bool abort_reasons_consistent() const {
+    return aborts_read_clobber + aborts_validation + aborts_dir_epoch ==
+           txn_aborts;
+  }
+
   /// aborts / (commits + aborts); 0 when the shard saw no transactions.
   [[nodiscard]] double txn_abort_rate() const {
     const double total =

@@ -53,6 +53,16 @@ OverloadVerdict assess_backlog(const Series& s, const OverloadConfig& cfg) {
   return v;
 }
 
+bool live_drowning(const Series& s, double current_backlog,
+                   const OverloadConfig& cfg) {
+  return live_drowning(assess_backlog(s, cfg), current_backlog, cfg);
+}
+
+bool live_drowning(const OverloadVerdict& v, double current_backlog,
+                   const OverloadConfig& cfg) {
+  return v.drowning && current_backlog >= cfg.min_final_backlog;
+}
+
 void flag_overload(stats::ServiceReport& report, const SeriesSet& set,
                    const OverloadConfig& cfg) {
   for (auto& sh : report.shards) {

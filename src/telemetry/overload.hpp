@@ -46,6 +46,23 @@ struct OverloadVerdict {
 [[nodiscard]] OverloadVerdict assess_backlog(const Series& s,
                                              const OverloadConfig& cfg = {});
 
+/// The LIVE variant the elastic controller acts on mid-run: the historical
+/// verdict (assess_backlog is peak-pinned, so a shard that drowned once
+/// stays flagged) overlaid with the current backlog — a shard whose queue
+/// has drained below the materiality floor has recovered, whatever its
+/// history says. This is what makes migrate-then-drain flip the verdict
+/// exactly once instead of flapping: the slope stays above threshold (the
+/// pre-peak window never changes) while the recovery is judged on live
+/// backlog alone.
+[[nodiscard]] bool live_drowning(const Series& s, double current_backlog,
+                                 const OverloadConfig& cfg = {});
+
+/// Same overlay for callers that already hold the series' verdict (the
+/// elastic controller caches it per tick for its decision journal).
+[[nodiscard]] bool live_drowning(const OverloadVerdict& v,
+                                 double current_backlog,
+                                 const OverloadConfig& cfg = {});
+
 /// Runs assess_backlog for every shard's "optsync_shard_backlog" series in
 /// `set` and writes the verdicts into `report.shards`. Shards without a
 /// series are left untouched.

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "telemetry/series.hpp"
@@ -40,6 +41,18 @@ class RtSampler {
 
   /// Register before start(). Callback runs on the sampling thread.
   void add_gauge(std::string name, Labels labels, std::function<double()> fn);
+
+  /// Rate probe over a monotone counter, mirroring Sampler::add_rate: the
+  /// sample is the counter's per-second increase since the previous tick
+  /// (wall-clock ns). The first tick primes the counter and records 0.
+  void add_rate(std::string name, Labels labels,
+                std::function<double()> counter);
+
+  /// Attaches a Prometheus HELP string to a metric family (see
+  /// SeriesSet::set_help). Register before start().
+  void set_help(const std::string& name, std::string help) {
+    set_.set_help(name, std::move(help));
+  }
 
   void start();
   /// Idempotent; joins the sampling thread. One final sample is taken on
@@ -61,6 +74,10 @@ class RtSampler {
   struct Probe {
     std::size_t idx;
     std::function<double()> fn;
+    bool rate = false;
+    bool primed = false;
+    double prev = 0.0;
+    sim::Time prev_t = 0;
   };
   std::vector<Probe> probes_;
   std::thread thread_;

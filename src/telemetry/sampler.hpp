@@ -43,6 +43,12 @@ class Sampler {
   void add_rate(std::string name, Labels labels,
                 std::function<double()> counter);
 
+  /// Attaches a Prometheus HELP string to a metric family (see
+  /// SeriesSet::set_help).
+  void set_help(const std::string& name, std::string help) {
+    set_.set_help(name, std::move(help));
+  }
+
   /// Arms the periodic tick (first snapshot one interval from now).
   void start(sim::Scheduler& sched);
   /// Cancels any pending tick.

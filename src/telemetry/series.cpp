@@ -40,6 +40,49 @@ const Series* SeriesSet::find(std::string_view name,
   return nullptr;
 }
 
+void SeriesSet::set_help(const std::string& name, std::string help) {
+  for (auto& [n, h] : help_) {
+    if (n == name) {
+      h = std::move(help);
+      return;
+    }
+  }
+  help_.emplace_back(name, std::move(help));
+}
+
+const std::string* SeriesSet::help_of(const std::string& name) const {
+  for (const auto& [n, h] : help_) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string sanitize_name(std::string_view raw, bool allow_colon) {
+  std::string out;
+  out.reserve(raw.size() + 1);
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' ||
+                    (allow_colon && c == ':');
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  if (out.front() >= '0' && out.front() <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+std::string SeriesSet::sanitize_metric_name(std::string_view raw) {
+  return sanitize_name(raw, /*allow_colon=*/true);
+}
+
+std::string SeriesSet::sanitize_label_name(std::string_view raw) {
+  return sanitize_name(raw, /*allow_colon=*/false);
+}
+
 namespace {
 
 /// Prometheus label values escape backslash, double-quote, and newline.
@@ -69,31 +112,55 @@ void write_value(std::ostream& out, double v) {
 }  // namespace
 
 void SeriesSet::write_prometheus(std::ostream& out) const {
-  std::set<std::string> typed;
+  // Group by SANITIZED metric name: two raw names that collapse to the
+  // same exposition name must render as one contiguous family, or the
+  // output fails the format's "metric may not appear twice" rule.
+  std::vector<std::string> sanitized;
+  sanitized.reserve(all_.size());
   for (const Series& s : all_) {
-    if (typed.insert(s.name).second) {
-      out << "# TYPE " << s.name << " gauge\n";
-      // Emit every series of this metric name together (the exposition
-      // format requires one contiguous block per metric family).
-      for (const Series& peer : all_) {
-        if (peer.name != s.name) continue;
-        out << peer.name;
-        if (!peer.labels.empty()) {
-          out << '{';
-          bool first = true;
-          for (const auto& [k, v] : peer.labels) {
-            if (!first) out << ',';
-            first = false;
-            out << k << "=\"";
-            write_escaped(out, v);
-            out << '"';
-          }
-          out << '}';
+    sanitized.push_back(sanitize_metric_name(s.name));
+  }
+  std::set<std::string> emitted;
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    const std::string& name = sanitized[i];
+    if (!emitted.insert(name).second) continue;
+    // HELP precedes TYPE (promtool insists on the order). HELP text
+    // escapes backslash and newline only.
+    const std::string* help = help_of(all_[i].name);
+    out << "# HELP " << name << ' ';
+    if (help != nullptr) {
+      for (const char c : *help) {
+        if (c == '\\') {
+          out << "\\\\";
+        } else if (c == '\n') {
+          out << "\\n";
+        } else {
+          out << c;
         }
-        out << ' ';
-        write_value(out, peer.last());
-        out << '\n';
       }
+    } else {
+      out << "optsync gauge " << name;
+    }
+    out << "\n# TYPE " << name << " gauge\n";
+    for (std::size_t j = 0; j < all_.size(); ++j) {
+      if (sanitized[j] != name) continue;
+      const Series& peer = all_[j];
+      out << name;
+      if (!peer.labels.empty()) {
+        out << '{';
+        bool first = true;
+        for (const auto& [k, v] : peer.labels) {
+          if (!first) out << ',';
+          first = false;
+          out << sanitize_label_name(k) << "=\"";
+          write_escaped(out, v);
+          out << '"';
+        }
+        out << '}';
+      }
+      out << ' ';
+      write_value(out, peer.last());
+      out << '\n';
     }
   }
 }

@@ -6,9 +6,13 @@
 // the ring fills, with a drop counter so exports can say so. A SeriesSet
 // owns many series and renders them two ways:
 //
-//   * write_prometheus(): the text exposition format (one "# TYPE" line
-//     per metric name, then `name{labels} value` with the LAST sample) —
-//     what a scrape endpoint would serve;
+//   * write_prometheus(): the text exposition format (a "# HELP" and
+//     "# TYPE" line per metric name, then `name{labels} value` with the
+//     LAST sample) — what a scrape endpoint would serve. Metric and label
+//     names are sanitized to the exposition grammar on output
+//     ([a-zA-Z_:][a-zA-Z0-9_:]* for metrics, [a-zA-Z_][a-zA-Z0-9_]* for
+//     labels), so a series registered with a free-form name still renders
+//     promtool-parseable;
 //   * write_json(): the full retained history of every series, for
 //     offline plotting ({"schema":"optsync-timeseries/1", ...}).
 //
@@ -20,6 +24,7 @@
 #include <deque>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -64,6 +69,19 @@ class SeriesSet {
   [[nodiscard]] const Series* find(std::string_view name,
                                    const Labels& labels) const;
 
+  /// Attaches a HELP string to a metric name (rendered as the family's
+  /// "# HELP" line; metrics without one get a generic default so every
+  /// family still carries the full preamble).
+  void set_help(const std::string& name, std::string help);
+  /// The registered HELP string, or nullptr.
+  [[nodiscard]] const std::string* help_of(const std::string& name) const;
+
+  /// Maps a free-form name onto the exposition grammar: every character
+  /// outside [a-zA-Z0-9_:] (metrics) / [a-zA-Z0-9_] (labels) becomes '_',
+  /// and a leading digit gains a '_' prefix.
+  [[nodiscard]] static std::string sanitize_metric_name(std::string_view raw);
+  [[nodiscard]] static std::string sanitize_label_name(std::string_view raw);
+
   /// Prometheus text exposition of every series' latest value.
   void write_prometheus(std::ostream& out) const;
 
@@ -75,6 +93,8 @@ class SeriesSet {
  private:
   std::size_t capacity_;
   std::vector<Series> all_;
+  /// HELP strings keyed by RAW metric name (sanitized on output).
+  std::vector<std::pair<std::string, std::string>> help_;
 };
 
 }  // namespace optsync::telemetry

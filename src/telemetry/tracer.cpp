@@ -194,7 +194,51 @@ Analysis Tracer::analyze() const {
       b.buckets[static_cast<std::size_t>(bucket)] += hi - lo;
     }
 
-    for (std::size_t i = 0; i < kBucketCount; ++i) out.totals[i] += b.buckets[i];
+    // Critical path: backward walk from the request's completion. At each
+    // point in time the path sits on the child whose (clipped) end is the
+    // latest — the span whose completion gated progress; the gap between
+    // consecutive children is the parent's own self time. Segments
+    // partition [start, end], so path_buckets sum to total() exactly.
+    std::unordered_map<SpanId, std::vector<const Span*>> children;
+    for (const Span* s : spans) {
+      if (s->id != request->id) children[s->parent].push_back(s);
+    }
+    for (auto& [pid, kids] : children) {
+      std::sort(kids.begin(), kids.end(), [](const Span* x, const Span* y) {
+        return x->end != y->end ? x->end > y->end : x->start > y->start;
+      });
+    }
+    struct PathWalker {
+      const std::unordered_map<SpanId, std::vector<const Span*>>& children;
+      OpBreakdown& b;
+      void attribute(SpanKind k, sim::Time lo, sim::Time hi) const {
+        if (hi <= lo) return;
+        const Bucket bucket = attributable(k) ? bucket_of(k) : Bucket::kOther;
+        b.path_buckets[static_cast<std::size_t>(bucket)] += hi - lo;
+      }
+      void walk(const Span* s, sim::Time lo, sim::Time hi) const {
+        sim::Time t = hi;
+        const auto kids = children.find(s->id);
+        if (kids != children.end()) {
+          for (const Span* c : kids->second) {  // end-descending order
+            if (t <= lo) break;
+            const sim::Time ce = std::min(c->end, t);
+            const sim::Time cs = std::max(c->start, lo);
+            if (ce <= cs) continue;
+            attribute(s->kind, ce, t);  // self time after this child
+            walk(c, cs, ce);
+            t = cs;
+          }
+        }
+        attribute(s->kind, lo, t);  // leading self time (whole span if leaf)
+      }
+    };
+    PathWalker{children, b}.walk(request, b.start, b.end);
+
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      out.totals[i] += b.buckets[i];
+      out.path_totals[i] += b.path_buckets[i];
+    }
     out.total_latency += b.total();
     out.ops.push_back(std::move(b));
   }

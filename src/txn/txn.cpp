@@ -89,6 +89,13 @@ void TxnManager::arm_clobber(Txn& t, SiteId site, std::uint32_t stripe,
           for (const auto& r : txn.reads) {
             if (r.site == site && r.stripe == stripe) {
               txn.doomed = true;
+              if (!txn.doom_known) {
+                // First doom wins: this is the conflict that killed us.
+                txn.doom_known = true;
+                txn.doom_site = site;
+                txn.doom_stripe = stripe;
+                txn.doom_origin = origin;
+              }
               break;
             }
           }
@@ -125,6 +132,14 @@ void TxnManager::write_word(Txn& t, SiteId site, std::uint32_t stripe,
   }
 }
 
+void TxnManager::note_doom_conflict(const Txn& t, CommitResult* out) {
+  if (!t.doom_known) return;
+  out->has_conflict = true;
+  out->conflict_site = t.doom_site;
+  out->conflict_stripe = t.doom_stripe;
+  out->conflict_origin = t.doom_origin;
+}
+
 void TxnManager::finish(Txn& t) {
   for (const auto& u : t.undo) {
     sys_->node(t.node).disarm_interrupt(u.var);
@@ -147,6 +162,7 @@ sim::Process TxnManager::commit(Txn& t, CommitResult* out) {
   // race on.
   if (t.doomed) {
     out->doomed_at_commit = true;
+    note_doom_conflict(t, out);
     ++aborts_;
     co_await abort_impl(t).join();
     co_return;
@@ -174,12 +190,20 @@ sim::Process TxnManager::commit(Txn& t, CommitResult* out) {
                                    static_cast<sim::Duration>(entries));
   }
   bool ok = !t.doomed;
-  if (!ok) out->doomed_at_commit = true;
+  if (!ok) {
+    out->doomed_at_commit = true;
+    note_doom_conflict(t, out);
+  }
   if (ok) {
     for (const auto& r : t.reads) {
       if (orecs_.version(t.node, r.site, r.stripe) != r.observed) {
         ok = false;
         out->validation_failed = true;
+        // The moved orec is the conflict; the committer that bumped it is
+        // anonymous here (only the version is replicated).
+        out->has_conflict = true;
+        out->conflict_site = r.site;
+        out->conflict_stripe = r.stripe;
         ++validation_failures_;
         break;
       }

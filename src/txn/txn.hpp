@@ -98,6 +98,13 @@ struct Txn {
   bool doomed = false;
   sim::Time began = 0;
 
+  /// Attribution for the doom (first doom wins; later clobbers on an
+  /// already-doomed transaction change nothing about why it died).
+  bool doom_known = false;
+  SiteId doom_site = 0;
+  std::uint32_t doom_stripe = 0;
+  dsm::NodeId doom_origin = dsm::kNoNode;  ///< the conflicting committer
+
   struct ReadEntry {
     SiteId site;
     std::uint32_t stripe;
@@ -169,6 +176,15 @@ class TxnManager {
     bool doomed_at_commit = false;    ///< killed by a clobber interrupt
     bool validation_failed = false;   ///< read-set orec version moved
     sim::Time locks_acquired_at = 0;  ///< all write locks held (0 if none)
+    /// Conflict attribution for the forensics journal: the (site, stripe)
+    /// whose orec killed this attempt — the doom site for clobber aborts,
+    /// the first failing read-set entry for validation aborts. The origin
+    /// node is known for dooms (the clobbering writer); validation sees
+    /// only the moved version, so origin stays kNoNode there.
+    bool has_conflict = false;
+    SiteId conflict_site = 0;
+    std::uint32_t conflict_stripe = 0;
+    dsm::NodeId conflict_origin = dsm::kNoNode;
   };
 
   /// Runs the commit protocol; on failure the transaction is fully
@@ -199,6 +215,7 @@ class TxnManager {
   };
 
   void arm_clobber(Txn& t, SiteId site, std::uint32_t stripe, dsm::VarId v);
+  static void note_doom_conflict(const Txn& t, CommitResult* out);
   void finish(Txn& t);
   sim::Process abort_impl(Txn& t);
 

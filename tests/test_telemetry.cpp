@@ -5,10 +5,12 @@
 // ServiceReport rate guards the telemetry stack leans on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "simkern/scheduler.hpp"
 #include "stats/service_report.hpp"
@@ -218,6 +220,45 @@ TEST(Overload, ShortSeriesGivesNoVerdict) {
   EXPECT_EQ(assess_backlog(Series{}).drowning, false);
 }
 
+TEST(Overload, EmptyAndOneSampleSeriesGiveNoVerdictAnywhere) {
+  // Guards at every entry point: assess, the live overlay, both shapes.
+  EXPECT_FALSE(assess_backlog(Series{}).drowning);
+  EXPECT_EQ(assess_backlog(Series{}).slope_per_s, 0.0);
+  EXPECT_FALSE(assess_backlog(make_series({42.0})).drowning);
+  EXPECT_FALSE(live_drowning(Series{}, /*current_backlog=*/1e9));
+  EXPECT_FALSE(live_drowning(make_series({42.0}), /*current_backlog=*/1e9));
+}
+
+TEST(Overload, LiveVerdictFlipsExactlyOnceAcrossMigrateThenDrain) {
+  // The elastic recovery story: a shard drowns, a migration peels its load
+  // off, the queue drains. The LIVE verdict must flip false->true once
+  // (saturation detected) and true->false once (recovered), with no
+  // flapping — assess_backlog alone would stay pinned to the historical
+  // peak forever.
+  std::vector<double> v;
+  for (int i = 0; i < 40; ++i) v.push_back(5.0 * i);   // ramp to 195
+  for (int i = 0; i < 40; ++i) {                       // post-migration drain
+    v.push_back(std::max(0.0, 195.0 - 5.0 * i));
+  }
+  Series s;
+  s.name = "optsync_shard_backlog";
+  bool prev = false;
+  int rising = 0;
+  int falling = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    s.samples.push_back(Sample{static_cast<sim::Time>(i) * 50'000, v[i]});
+    const bool now = live_drowning(s, /*current_backlog=*/v[i]);
+    if (now && !prev) ++rising;
+    if (!now && prev) ++falling;
+    prev = now;
+  }
+  EXPECT_EQ(rising, 1);
+  EXPECT_EQ(falling, 1);
+  EXPECT_FALSE(prev);  // drained below the materiality floor at the end
+  // The historical verdict stays pinned: slope over the pre-peak window.
+  EXPECT_TRUE(assess_backlog(s).drowning);
+}
+
 TEST(Overload, FlagOverloadFillsReportShards) {
   SeriesSet set;
   const auto hot = set.series("optsync_shard_backlog", {{"shard", "0"}});
@@ -236,6 +277,77 @@ TEST(Overload, FlagOverloadFillsReportShards) {
   EXPECT_EQ(report.drowning_shards(), 1u);
   const std::string text = report.format();
   EXPECT_NE(text.find("DROWNING"), std::string::npos);
+}
+
+// --- Prometheus exposition: HELP + sanitization -------------------------
+
+TEST(SeriesSet, PrometheusHelpPrecedesTypeAndEscapes) {
+  SeriesSet set;
+  const auto a = set.series("optsync_backlog", {});
+  const auto b = set.series("optsync_goodput", {});
+  set.append(a, 10, 1.0);
+  set.append(b, 10, 2.0);
+  set.set_help("optsync_backlog", "Queue depth\nper shard \\ raw");
+  std::ostringstream out;
+  set.write_prometheus(out);
+  const std::string text = out.str();
+  // Registered help renders escaped; HELP comes before TYPE.
+  EXPECT_NE(
+      text.find("# HELP optsync_backlog Queue depth\\nper shard \\\\ raw"),
+      std::string::npos);
+  EXPECT_LT(text.find("# HELP optsync_backlog"),
+            text.find("# TYPE optsync_backlog"));
+  // Families without registered help still carry a full preamble.
+  EXPECT_NE(text.find("# HELP optsync_goodput optsync gauge optsync_goodput"),
+            std::string::npos);
+  EXPECT_LT(text.find("# HELP optsync_goodput"),
+            text.find("# TYPE optsync_goodput"));
+}
+
+TEST(SeriesSet, SanitizesMetricAndLabelNamesToExpositionGrammar) {
+  EXPECT_EQ(SeriesSet::sanitize_metric_name("optsync_ok:metric"),
+            "optsync_ok:metric");
+  EXPECT_EQ(SeriesSet::sanitize_metric_name("bad.metric-name"),
+            "bad_metric_name");
+  EXPECT_EQ(SeriesSet::sanitize_metric_name("9leading"), "_9leading");
+  EXPECT_EQ(SeriesSet::sanitize_metric_name(""), "_");
+  // Labels additionally reject ':'.
+  EXPECT_EQ(SeriesSet::sanitize_label_name("shard:id"), "shard_id");
+  EXPECT_EQ(SeriesSet::sanitize_label_name("ok_label"), "ok_label");
+
+  SeriesSet set;
+  const auto idx = set.series("rt.latency p50", {{"shard-id", "3"}});
+  set.append(idx, 10, 1.5);
+  std::ostringstream out;
+  set.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE rt_latency_p50 gauge"), std::string::npos);
+  EXPECT_NE(text.find("rt_latency_p50{shard_id=\"3\"} 1.5"),
+            std::string::npos);
+}
+
+TEST(SeriesSet, CollidingSanitizedNamesMergeIntoOneFamily) {
+  // "a.b" and "a_b" collapse to the same exposition name; the output must
+  // render them as ONE contiguous family or promtool rejects it.
+  SeriesSet set;
+  const auto a = set.series("a.b", {{"v", "dot"}});
+  const auto mid = set.series("other", {});
+  const auto b = set.series("a_b", {{"v", "underscore"}});
+  set.append(a, 10, 1.0);
+  set.append(mid, 10, 2.0);
+  set.append(b, 10, 3.0);
+  std::ostringstream out;
+  set.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("# TYPE a_b gauge"), text.rfind("# TYPE a_b gauge"));
+  const auto dot = text.find("a_b{v=\"dot\"}");
+  const auto under = text.find("a_b{v=\"underscore\"}");
+  const auto other = text.find("# TYPE other gauge");
+  ASSERT_NE(dot, std::string::npos);
+  ASSERT_NE(under, std::string::npos);
+  EXPECT_TRUE(other < dot || other > under)
+      << "family split by another family:\n"
+      << text;
 }
 
 // --- RtSampler (wall clock) ---------------------------------------------
@@ -261,6 +373,32 @@ TEST(RtSampler, SamplesOnAThreadAndStopJoins) {
   for (std::size_t i = 1; i < s->samples.size(); ++i) {
     EXPECT_GE(s->samples[i].v, s->samples[i - 1].v);
   }
+}
+
+TEST(RtSampler, RateProbeMirrorsSimSamplerSemantics) {
+  RtSampler sampler(std::chrono::microseconds(200), /*capacity=*/1024);
+  std::atomic<std::uint64_t> counter{0};
+  sampler.add_rate("r", {{"shard", "0"}}, [&] {
+    return static_cast<double>(counter.load(std::memory_order_relaxed));
+  });
+  sampler.start();
+  for (int i = 0; i < 50; ++i) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  sampler.stop();
+  const Series* s = sampler.series().find("r", {{"shard", "0"}});
+  ASSERT_NE(s, nullptr);
+  ASSERT_FALSE(s->samples.empty());
+  EXPECT_EQ(s->samples.front().v, 0.0);  // priming tick records 0
+  double max_rate = 0.0;
+  for (const Sample& p : s->samples) {
+    EXPECT_GE(p.v, 0.0);  // monotone counter: deltas never negative
+    max_rate = std::max(max_rate, p.v);
+  }
+  // 50 increments landed inside the sampling window, so some tick must
+  // have seen a positive per-second delta.
+  EXPECT_GT(max_rate, 0.0);
 }
 
 // --- Tracer -------------------------------------------------------------
@@ -307,6 +445,69 @@ TEST(Tracer, SweepPrefersComputeOverWaitLegs) {
   EXPECT_EQ(b[static_cast<std::size_t>(Bucket::kCompute)], 500);
   EXPECT_EQ(b[static_cast<std::size_t>(Bucket::kWire)], 500);
   EXPECT_EQ(b[static_cast<std::size_t>(Bucket::kOther)], 0);
+}
+
+TEST(Tracer, CriticalPathPartitionsWindowAndNamesDominantBucket) {
+  // wire [0,500] under a lock wait ending 600, then cs [600,1000]. The
+  // backward walk: cs gated completion, before it the wait, whose tail
+  // [500,600] is umbrella self time (other), gated by the wire leg.
+  Tracer trc;
+  const auto ctx = trc.begin_op(0, "write", 0, /*arrival=*/0, /*now=*/0);
+  const SpanId wait =
+      trc.start_span(ctx.trace, ctx.span, SpanKind::kLockWait, 0, 0);
+  trc.record_span(ctx.trace, wait, SpanKind::kWireUp, 0, 0, 500);
+  trc.end_span(wait, 600);
+  trc.record_span(ctx.trace, ctx.span, SpanKind::kCs, 0, 600, 1000);
+  trc.end_op(0, 1000);
+
+  const Analysis an = trc.analyze();
+  ASSERT_EQ(an.ops.size(), 1u);
+  const OpBreakdown& op = an.ops[0];
+  const auto& pb = op.path_buckets;
+  EXPECT_EQ(pb[static_cast<std::size_t>(Bucket::kWire)], 500);
+  EXPECT_EQ(pb[static_cast<std::size_t>(Bucket::kCompute)], 400);
+  EXPECT_EQ(pb[static_cast<std::size_t>(Bucket::kOther)], 100);
+  sim::Duration sum = 0;
+  for (const auto b : pb) sum += b;
+  EXPECT_EQ(sum, op.total());  // path segments partition the window
+  EXPECT_EQ(op.path_named(), 900);
+  EXPECT_EQ(op.dominant_path_bucket(), Bucket::kWire);
+  EXPECT_NEAR(an.path_named_fraction(), 0.9, 1e-9);
+  // Analysis-level path totals mirror the single op.
+  EXPECT_EQ(an.path_totals[static_cast<std::size_t>(Bucket::kWire)], 500);
+}
+
+TEST(Tracer, CriticalPathExcludesConcurrentOffPathWork) {
+  // Speculation overlapping the full-length lock wait: the coverage sweep
+  // credits the overlap to compute (latency hiding), but the CRITICAL PATH
+  // runs through the wait's wire leg — the speculation finished early and
+  // gated nothing.
+  Tracer trc;
+  const auto ctx = trc.begin_op(0, "write", 0, 0, 0);
+  const SpanId wait =
+      trc.start_span(ctx.trace, ctx.span, SpanKind::kLockWait, 0, 0);
+  trc.record_span(ctx.trace, wait, SpanKind::kWireUp, 0, 0, 1000);
+  trc.record_span(ctx.trace, ctx.span, SpanKind::kSpeculate, 0, 200, 700);
+  trc.end_span(wait, 1000);
+  trc.end_op(0, 1000);
+
+  const Analysis an = trc.analyze();
+  ASSERT_EQ(an.ops.size(), 1u);
+  const OpBreakdown& op = an.ops[0];
+  EXPECT_EQ(op.buckets[static_cast<std::size_t>(Bucket::kCompute)], 500);
+  EXPECT_EQ(op.path_buckets[static_cast<std::size_t>(Bucket::kWire)], 1000);
+  EXPECT_EQ(op.path_buckets[static_cast<std::size_t>(Bucket::kCompute)], 0);
+  EXPECT_EQ(op.dominant_path_bucket(), Bucket::kWire);
+  sim::Duration sum = 0;
+  for (const auto b : op.path_buckets) sum += b;
+  EXPECT_EQ(sum, op.total());
+}
+
+TEST(Tracer, EmptyAnalysisAttributesNothingWrongly) {
+  const Analysis an = Tracer().analyze();
+  EXPECT_EQ(an.total_latency, 0);
+  EXPECT_EQ(an.named_fraction(), 1.0);
+  EXPECT_EQ(an.path_named_fraction(), 1.0);
 }
 
 TEST(Tracer, OrphanParentIsDetected) {

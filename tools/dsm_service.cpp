@@ -121,7 +121,8 @@ void usage() {
          "  plus the standard bench flags (--seed, --metrics-out,"
          " --trace-out,\n  --trace-capacity, --coalesce-max-writes,"
          " --coalesce-max-ns, --ack-delay-ns,\n  --prom-out,"
-         " --timeseries-out, --sample-interval-ns)\n";
+         " --timeseries-out, --sample-interval-ns, --journal-out,\n"
+         "  --journal-capacity)\n";
 }
 
 }  // namespace
@@ -349,24 +350,53 @@ int main(int argc, char** argv) try {
 
   std::cout << report.format();
 
-  // Critical-path attribution rollup across every traced request.
+  // Latency attribution rollup across every traced request: the coverage
+  // sweep (what ran during the window) next to the critical path (what
+  // gated completion).
   const telemetry::Analysis analysis = harness.tracer().analyze();
   if (!analysis.ops.empty() && analysis.total_latency > 0) {
     std::cout << "latency attribution (" << analysis.ops.size()
               << " traced ops, " << analysis.orphan_spans << " orphan spans, "
-              << analysis.incomplete_ops << " incomplete):\n";
+              << analysis.incomplete_ops << " incomplete):\n"
+              << "  bucket            sweep    path\n";
     for (std::size_t b = 0; b < telemetry::kBucketCount; ++b) {
       const auto ns = analysis.totals[b];
-      if (ns == 0) continue;
+      const auto path_ns = analysis.path_totals[b];
+      if (ns == 0 && path_ns == 0) continue;
       char line[128];
-      std::snprintf(line, sizeof line, "  %-16s %6.2f%%\n",
+      std::snprintf(line, sizeof line, "  %-16s %6.2f%% %6.2f%%\n",
                     std::string(telemetry::bucket_name(
                                     static_cast<telemetry::Bucket>(b)))
                         .c_str(),
                     100.0 * static_cast<double>(ns) /
+                        static_cast<double>(analysis.total_latency),
+                    100.0 * static_cast<double>(path_ns) /
                         static_cast<double>(analysis.total_latency));
       std::cout << line;
     }
+    char frac[128];
+    std::snprintf(frac, sizeof frac,
+                  "  critical path names %.2f%% of traced latency\n",
+                  100.0 * analysis.path_named_fraction());
+    std::cout << frac;
+  }
+  if (harness.journaling()) {
+    const auto& journal = harness.journal();
+    std::cout << "decision journal: " << journal.size() << " events ("
+              << journal.count(telemetry::Journal::Kind::kTxnAbort)
+              << " txn aborts, "
+              << journal.count(telemetry::Journal::Kind::kLeaseGrant)
+              << " lease grants, "
+              << journal.count(telemetry::Journal::Kind::kLeaseInvalidation)
+              << " invalidations, "
+              << journal.count(telemetry::Journal::Kind::kLeaseExpiry)
+              << " expiries, "
+              << journal.count(telemetry::Journal::Kind::kElasticDecision)
+              << " elastic decisions";
+    if (journal.dropped() > 0) {
+      std::cout << "; " << journal.dropped() << " DROPPED";
+    }
+    std::cout << ")\n";
   }
 
   bool ok = true;
@@ -437,6 +467,22 @@ int main(int argc, char** argv) try {
       .set("goodput_rps", report.goodput_rps())
       .set("messages", static_cast<double>(report.messages))
       .set("elapsed_ns", static_cast<double>(report.elapsed_ns));
+  if (!analysis.ops.empty() && analysis.total_latency > 0) {
+    auto& row = metrics.row("attribution")
+                    .set("traced_ops",
+                         static_cast<double>(analysis.ops.size()))
+                    .set("named_fraction", analysis.named_fraction())
+                    .set("path_named_fraction",
+                         analysis.path_named_fraction());
+    for (std::size_t b = 0; b < telemetry::kBucketCount; ++b) {
+      row.set("path_" +
+                  std::string(telemetry::bucket_name(
+                      static_cast<telemetry::Bucket>(b))) +
+                  "_share",
+              static_cast<double>(analysis.path_totals[b]) /
+                  static_cast<double>(analysis.total_latency));
+    }
+  }
   if (elastic) {
     metrics.row("elastic")
         .set("control_actions", static_cast<double>(ctrl->actions()))
@@ -476,6 +522,14 @@ int main(int argc, char** argv) try {
     const auto& r = s.op(stats::ServiceOp::kRead).latency_ns;
     const auto& t = s.op(stats::ServiceOp::kTxn).latency_ns;
     const auto& m = s.op(stats::ServiceOp::kRmw).latency_ns;
+    std::size_t hot_stripe = 0;
+    std::uint64_t hot_conflicts = 0;
+    for (std::size_t i = 0; i < s.stripe_conflicts.size(); ++i) {
+      if (s.stripe_conflicts[i] > hot_conflicts) {
+        hot_conflicts = s.stripe_conflicts[i];
+        hot_stripe = i;
+      }
+    }
     metrics.row("shard=" + std::to_string(s.shard))
         .set("reads", static_cast<double>(s.op(stats::ServiceOp::kRead)
                                               .completed))
@@ -496,6 +550,12 @@ int main(int argc, char** argv) try {
         .set("txn_retries", static_cast<double>(s.txn_retries))
         .set("txn_fallbacks", static_cast<double>(s.txn_fallbacks))
         .set("txn_abort_rate", s.txn_abort_rate())
+        .set("aborts_read_clobber",
+             static_cast<double>(s.aborts_read_clobber))
+        .set("aborts_validation", static_cast<double>(s.aborts_validation))
+        .set("aborts_dir_epoch", static_cast<double>(s.aborts_dir_epoch))
+        .set("hot_stripe", static_cast<double>(hot_stripe))
+        .set("hot_stripe_conflicts", static_cast<double>(hot_conflicts))
         .set("sequenced", static_cast<double>(s.sequenced))
         .set("frames", static_cast<double>(s.frames))
         .set("goodput_rps", report.shard_goodput_rps(s.shard))
